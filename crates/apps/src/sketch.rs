@@ -1,0 +1,178 @@
+//! A GroupDesign-style multi-user sketch editor (reference \[2\] in the paper),
+//! rebuilt on COSOFT coupling: a canvas whose strokes synchronize through
+//! event re-execution, with GroupDesign's signature *time-relaxed* mode —
+//! keep modifications private until commitment — expressed as
+//! decouple → draw → `CopyTo` (synchronization by state) → re-couple.
+
+use cosoft_core::session::Session;
+use cosoft_uikit::{spec, Toolkit};
+use cosoft_wire::{
+    AttrName, CopyMode, EventKind, GlobalObjectId, ObjectPath, UiEvent, UserId, Value,
+};
+
+/// UI spec of a sketch pad instance.
+pub const SKETCH_SPEC: &str = r#"form canvas title="Group Sketch" {
+  canvas board width=640 height=480
+  label status text=""
+}"#;
+
+/// The canvas path within a sketch instance.
+pub fn board_path() -> ObjectPath {
+    ObjectPath::parse("canvas.board").expect("static path")
+}
+
+/// Builds a sketch-pad session.
+pub fn sketch_session(user: UserId, name: &str) -> Session {
+    let tree = spec::build_tree(SKETCH_SPEC).expect("static spec");
+    Session::new(Toolkit::from_tree(tree), user, &format!("pad-{name}"), "group-sketch")
+}
+
+/// A stroke-drawing event.
+pub fn draw_event(points: Vec<(i32, i32)>) -> UiEvent {
+    UiEvent::new(board_path(), EventKind::StrokeAdded, vec![Value::Stroke(points)])
+}
+
+/// A canvas-clear event.
+pub fn clear_event() -> UiEvent {
+    UiEvent::simple(board_path(), EventKind::CanvasCleared)
+}
+
+/// The strokes currently on a session's board.
+pub fn strokes(session: &Session) -> Vec<Vec<(i32, i32)>> {
+    session
+        .toolkit()
+        .tree()
+        .resolve(&board_path())
+        .and_then(|id| session.toolkit().tree().attr(id, &AttrName::Strokes).ok())
+        .and_then(|v| match v {
+            Value::StrokeList(s) => Some(s.clone()),
+            _ => None,
+        })
+        .unwrap_or_default()
+}
+
+/// Joins another pad's board: couples the canvases and pulls the current
+/// picture so the late joiner starts synchronized (§3.1 initial sync by
+/// UI state). Returns the copy request id.
+///
+/// # Errors
+///
+/// Session errors when this session is not registered yet.
+pub fn join_board(
+    session: &mut Session,
+    remote_board: GlobalObjectId,
+) -> Result<u64, cosoft_core::SessionError> {
+    let req = session.copy_from(remote_board.clone(), &board_path(), CopyMode::Strict)?;
+    session.couple(&board_path(), remote_board)?;
+    Ok(req)
+}
+
+/// GroupDesign's private mode: decouple from the shared board.
+///
+/// # Errors
+///
+/// Session errors when this session is not registered yet.
+pub fn go_private(
+    session: &mut Session,
+    remote_board: GlobalObjectId,
+) -> Result<(), cosoft_core::SessionError> {
+    session.decouple(&board_path(), remote_board)
+}
+
+/// Commit private work: push the whole picture by state copy, then
+/// re-couple ("participants ... decouple from others, work alone for some
+/// time, and then join the work group again" — the periodical
+/// synchronization the paper argues for).
+///
+/// # Errors
+///
+/// Session errors when this session is not registered yet.
+pub fn commit_private_work(
+    session: &mut Session,
+    remote_board: GlobalObjectId,
+) -> Result<u64, cosoft_core::SessionError> {
+    let req = session.copy_to(&board_path(), remote_board.clone(), CopyMode::Strict)?;
+    session.couple(&board_path(), remote_board)?;
+    Ok(req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosoft_core::harness::SimHarness;
+
+    #[test]
+    fn strokes_replicate_between_coupled_pads() {
+        let mut h = SimHarness::new(1);
+        let a = h.add_session(sketch_session(UserId(1), "a"));
+        let b = h.add_session(sketch_session(UserId(2), "b"));
+        h.settle();
+        let remote = h.session(b).gid(&board_path()).unwrap();
+        h.session_mut(a).couple(&board_path(), remote).unwrap();
+        h.settle();
+
+        h.session_mut(a).user_event(draw_event(vec![(0, 0), (10, 10)])).unwrap();
+        h.settle();
+        h.session_mut(b).user_event(draw_event(vec![(5, 5), (6, 6)])).unwrap();
+        h.settle();
+
+        assert_eq!(strokes(h.session(a)), strokes(h.session(b)));
+        assert_eq!(strokes(h.session(a)).len(), 2);
+
+        h.session_mut(b).user_event(clear_event()).unwrap();
+        h.settle();
+        assert!(strokes(h.session(a)).is_empty());
+        assert!(strokes(h.session(b)).is_empty());
+    }
+
+    #[test]
+    fn late_joiner_pulls_existing_picture() {
+        let mut h = SimHarness::new(2);
+        let a = h.add_session(sketch_session(UserId(1), "a"));
+        h.settle();
+        h.session_mut(a).user_event(draw_event(vec![(1, 1), (2, 2)])).unwrap();
+        h.settle();
+
+        let c = h.add_session(sketch_session(UserId(3), "late"));
+        h.settle();
+        let board_a = h.session(a).gid(&board_path()).unwrap();
+        join_board(h.session_mut(c), board_a).unwrap();
+        h.settle();
+
+        assert_eq!(strokes(h.session(c)).len(), 1, "picture transferred on join");
+        // And live after the join:
+        h.session_mut(a).user_event(draw_event(vec![(9, 9), (8, 8)])).unwrap();
+        h.settle();
+        assert_eq!(strokes(h.session(c)).len(), 2);
+    }
+
+    #[test]
+    fn private_work_until_commitment() {
+        let mut h = SimHarness::new(3);
+        let a = h.add_session(sketch_session(UserId(1), "a"));
+        let b = h.add_session(sketch_session(UserId(2), "b"));
+        h.settle();
+        let board_b = h.session(b).gid(&board_path()).unwrap();
+        h.session_mut(a).couple(&board_path(), board_b.clone()).unwrap();
+        h.settle();
+
+        // a goes private and sketches three strokes b cannot see.
+        go_private(h.session_mut(a), board_b.clone()).unwrap();
+        h.settle();
+        for k in 0..3 {
+            h.session_mut(a).user_event(draw_event(vec![(k, k), (k + 1, k)])).unwrap();
+        }
+        h.settle();
+        assert_eq!(strokes(h.session(a)).len(), 3);
+        assert_eq!(strokes(h.session(b)).len(), 0, "private until commitment");
+
+        // Commitment: one state copy transfers the whole picture.
+        commit_private_work(h.session_mut(a), board_b).unwrap();
+        h.settle();
+        assert_eq!(strokes(h.session(b)).len(), 3);
+        // Coupled again: live strokes flow.
+        h.session_mut(b).user_event(draw_event(vec![(50, 50), (51, 51)])).unwrap();
+        h.settle();
+        assert_eq!(strokes(h.session(a)).len(), 4);
+    }
+}

@@ -1,0 +1,362 @@
+//! Cooperative TORI (§4): the "Task-Oriented database Retrieval
+//! Interface" made multi-user by coupling its query and result forms.
+//!
+//! Reproduced elements:
+//!
+//! * query forms generated from a high-level description (the table
+//!   schema): per-attribute comparison-operator menus and text input
+//!   fields, a view menu selecting the projected attributes, and a query
+//!   invocation button — exactly the objects §4 lists as coupled;
+//! * result forms with the "use result data to partially instantiate new
+//!   query forms" operation (row activation fills the query field);
+//! * **multiple evaluation**: invoking a query is a coupled event, so the
+//!   query re-executes in every coupled instance — possibly against
+//!   *different databases*, the flexibility the paper trades against
+//!   evaluate-once-and-share.
+
+use std::sync::Arc;
+
+use cosoft_core::session::Session;
+use cosoft_retrieval::{Predicate, Query, Table};
+use cosoft_uikit::{spec, Toolkit, WidgetTree};
+use cosoft_wire::{AttrName, EventKind, ObjectPath, UiEvent, UserId, Value};
+
+/// Comparison operators offered by the per-attribute operator menus.
+pub const OPERATORS: [&str; 5] = ["substring", "equals", "prefix", "like-one-of", "range"];
+
+/// Generates the TORI query-form spec from a table schema ("TORI
+/// generates \[forms\] from high-level descriptions").
+pub fn query_form_spec(table: &Table) -> String {
+    let mut out = String::from("form tori title=\"TORI Retrieval\" {\n");
+    let ops = OPERATORS
+        .iter()
+        .map(|o| format!("{o:?}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    for col in table.column_names() {
+        out.push_str(&format!(
+            "  panel attr_{col} {{\n    label name text=\"{col}\"\n    menu op items=[{ops}] selected=0\n    textfield value text=\"\"\n  }}\n"
+        ));
+    }
+    let views = table
+        .column_names()
+        .iter()
+        .map(|c| format!("\"{c}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push_str(&format!(
+        "  menu view items=[\"all\", {views}] selected=0\n  button invoke title=\"Run query\"\n  table results columns=[{views}] rows=[] selected=-1\n  label status text=\"\"\n}}\n"
+    ));
+    out
+}
+
+fn attr_of(tree: &WidgetTree, path: &str, attr: &AttrName) -> Option<Value> {
+    tree.resolve(&ObjectPath::parse(path).ok()?)
+        .and_then(|id| tree.attr(id, attr).ok().cloned())
+}
+
+/// Reads the query described by the form's widgets and builds the
+/// predicate + projection.
+fn build_query(tree: &WidgetTree, table: &Table) -> Result<Query, cosoft_retrieval::DbError> {
+    let mut conjuncts = Vec::new();
+    for col in table.column_names() {
+        let op_idx = attr_of(tree, &format!("tori.attr_{col}.op"), &AttrName::Selected)
+            .and_then(|v| v.as_int())
+            .unwrap_or(0)
+            .clamp(0, OPERATORS.len() as i64 - 1) as usize;
+        let operand = attr_of(tree, &format!("tori.attr_{col}.value"), &AttrName::Text)
+            .and_then(|v| v.as_text().map(str::to_owned))
+            .unwrap_or_default();
+        let predicate = Predicate::from_operator(col, OPERATORS[op_idx], &operand)?;
+        if predicate != Predicate::True {
+            conjuncts.push(predicate);
+        }
+    }
+    let mut query = Query::new();
+    if !conjuncts.is_empty() {
+        query = query.filter(Predicate::And(conjuncts));
+    }
+    // The view menu: entry 0 is "all"; entry k>0 projects to column k-1.
+    let view_idx = attr_of(tree, "tori.view", &AttrName::Selected)
+        .and_then(|v| v.as_int())
+        .unwrap_or(0);
+    if view_idx > 0 {
+        if let Some(col) = table.column_names().get(view_idx as usize - 1) {
+            query = query.select([(*col).to_owned()]);
+        }
+    }
+    Ok(query)
+}
+
+/// Executes the form's query against `table` and writes the result rows
+/// into the `tori.results` table widget plus a status line.
+pub fn evaluate_into_form(tree: &mut WidgetTree, table: &Table) {
+    let outcome = build_query(tree, table).and_then(|q| q.run(table));
+    let (rows, status) = match outcome {
+        Ok(result) => {
+            let n = result.len();
+            (result.to_lines(), format!("{n} rows"))
+        }
+        Err(e) => (Vec::new(), format!("error: {e}")),
+    };
+    if let Some(id) = tree.resolve(&ObjectPath::parse("tori.results").expect("static")) {
+        tree.set_attr(id, AttrName::custom("rows"), Value::TextList(rows))
+            .expect("results widget is a table");
+    }
+    if let Some(id) = tree.resolve(&ObjectPath::parse("tori.status").expect("static")) {
+        tree.set_attr(id, AttrName::Text, Value::Text(status)).expect("status is a label");
+    }
+}
+
+/// Builds a cooperative TORI session over its own database instance.
+///
+/// Callbacks:
+/// * `tori.invoke` activation evaluates the query **locally** — when the
+///   form is coupled, the same activation re-executes in every instance,
+///   each against its own database (multiple evaluation);
+/// * `tori.results` row activation partially instantiates a new query:
+///   the first cell of the selected row is written into the first
+///   attribute's value field.
+pub fn tori_session(user: UserId, table: Arc<Table>) -> Session {
+    let tree = spec::build_tree(&query_form_spec(&table)).expect("generated spec is valid");
+    let mut session =
+        Session::new(Toolkit::from_tree(tree), user, &format!("tori-{user}"), "tori");
+    let eval_table = table.clone();
+    session.toolkit_mut().on(
+        ObjectPath::parse("tori.invoke").expect("static"),
+        EventKind::Activate,
+        move |tree, _| evaluate_into_form(tree, &eval_table),
+    );
+    let first_col = table.column_names().first().map(|c| (*c).to_owned());
+    session.toolkit_mut().on(
+        ObjectPath::parse("tori.results").expect("static"),
+        EventKind::RowActivated,
+        move |tree, event| {
+            let Some(col) = &first_col else { return };
+            let Some(row_idx) = event.params.first().and_then(Value::as_int) else { return };
+            let rows = tree
+                .resolve(&ObjectPath::parse("tori.results").expect("static"))
+                .and_then(|id| tree.attr(id, &AttrName::custom("rows")).ok())
+                .and_then(|v| v.as_text_list().map(<[String]>::to_vec))
+                .unwrap_or_default();
+            let Some(row) = rows.get(row_idx as usize) else { return };
+            let first_cell = row.split('\t').next().unwrap_or("").to_owned();
+            // Partially instantiate a new query from result data.
+            if let Some(id) =
+                tree.resolve(&ObjectPath::parse(&format!("tori.attr_{col}.value")).expect("ok"))
+            {
+                tree.set_attr(id, AttrName::Text, Value::Text(first_cell))
+                    .expect("value is a text field");
+            }
+        },
+    );
+    session
+}
+
+/// Current result lines of a TORI form.
+pub fn result_rows(session: &Session) -> Vec<String> {
+    session
+        .toolkit()
+        .tree()
+        .resolve(&ObjectPath::parse("tori.results").expect("static"))
+        .and_then(|id| session.toolkit().tree().attr(id, &AttrName::custom("rows")).ok())
+        .and_then(|v| v.as_text_list().map(<[String]>::to_vec))
+        .unwrap_or_default()
+}
+
+/// Event helpers for driving a TORI form.
+pub mod events {
+    use super::*;
+
+    /// Commits text into an attribute's value field.
+    pub fn set_value(col: &str, text: &str) -> UiEvent {
+        UiEvent::new(
+            ObjectPath::parse(&format!("tori.attr_{col}.value")).expect("static"),
+            EventKind::TextCommitted,
+            vec![Value::Text(text.to_owned())],
+        )
+    }
+
+    /// Selects a comparison operator for an attribute.
+    pub fn set_operator(col: &str, op: &str) -> UiEvent {
+        let idx = OPERATORS.iter().position(|o| *o == op).unwrap_or(0) as i64;
+        UiEvent::new(
+            ObjectPath::parse(&format!("tori.attr_{col}.op")).expect("static"),
+            EventKind::SelectionChanged,
+            vec![Value::Int(idx)],
+        )
+    }
+
+    /// Selects a view (0 = all columns, k = column k-1 only).
+    pub fn set_view(idx: i64) -> UiEvent {
+        UiEvent::new(
+            ObjectPath::parse("tori.view").expect("static"),
+            EventKind::SelectionChanged,
+            vec![Value::Int(idx)],
+        )
+    }
+
+    /// Invokes the query.
+    pub fn invoke() -> UiEvent {
+        UiEvent::simple(ObjectPath::parse("tori.invoke").expect("static"), EventKind::Activate)
+    }
+
+    /// Activates a result row.
+    pub fn activate_row(idx: i64) -> UiEvent {
+        UiEvent::new(
+            ObjectPath::parse("tori.results").expect("static"),
+            EventKind::RowActivated,
+            vec![Value::Int(idx)],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosoft_core::harness::SimHarness;
+    use cosoft_retrieval::sample_literature_db;
+
+    fn db() -> Arc<Table> {
+        Arc::new(sample_literature_db(7, 200))
+    }
+
+    #[test]
+    fn spec_generates_and_parses() {
+        let table = db();
+        let tree = spec::build_tree(&query_form_spec(&table)).unwrap();
+        assert!(tree.resolve(&ObjectPath::parse("tori.attr_author.op").unwrap()).is_some());
+        assert!(tree.resolve(&ObjectPath::parse("tori.attr_year.value").unwrap()).is_some());
+        assert!(tree.resolve(&ObjectPath::parse("tori.invoke").unwrap()).is_some());
+        assert!(tree.resolve(&ObjectPath::parse("tori.results").unwrap()).is_some());
+    }
+
+    #[test]
+    fn single_user_query_round_trip() {
+        let mut h = SimHarness::new(1);
+        let n = h.add_session(tori_session(UserId(1), db()));
+        h.settle();
+        h.session_mut(n).user_event(events::set_value("author", "Zhao")).unwrap();
+        h.session_mut(n).user_event(events::invoke()).unwrap();
+        h.settle();
+        let rows = result_rows(h.session(n));
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r.starts_with("Zhao")));
+    }
+
+    #[test]
+    fn coupled_invocation_evaluates_in_both_instances() {
+        let mut h = SimHarness::new(2);
+        let a = h.add_session(tori_session(UserId(1), db()));
+        let b = h.add_session(tori_session(UserId(2), db()));
+        h.settle();
+
+        // Couple the whole query forms (§4: query forms, operator menus,
+        // text fields, view menus, and the invocation are synchronized).
+        let root = ObjectPath::parse("tori").unwrap();
+        let remote = h.session(b).gid(&root).unwrap();
+        h.session_mut(a).couple(&root, remote).unwrap();
+        h.settle();
+
+        h.session_mut(a).user_event(events::set_value("author", "Hoppe")).unwrap();
+        h.settle();
+        h.session_mut(a).user_event(events::invoke()).unwrap();
+        h.settle();
+
+        let rows_a = result_rows(h.session(a));
+        let rows_b = result_rows(h.session(b));
+        assert!(!rows_a.is_empty());
+        assert_eq!(rows_a, rows_b, "same database ⇒ same multiple-evaluation result");
+        assert!(h.session(b).remote_executions() >= 2, "field edit + invoke re-executed");
+    }
+
+    #[test]
+    fn multiple_evaluation_against_different_databases() {
+        // "queries can be sent to different databases" — instance b has a
+        // different corpus, so the same coupled query yields different
+        // results. This is the flexibility multiple evaluation buys.
+        let mut h = SimHarness::new(3);
+        let a = h.add_session(tori_session(UserId(1), Arc::new(sample_literature_db(7, 200))));
+        let b = h.add_session(tori_session(UserId(2), Arc::new(sample_literature_db(99, 200))));
+        h.settle();
+        let root = ObjectPath::parse("tori").unwrap();
+        let remote = h.session(b).gid(&root).unwrap();
+        h.session_mut(a).couple(&root, remote).unwrap();
+        h.settle();
+
+        h.session_mut(a).user_event(events::set_value("author", "Stefik")).unwrap();
+        h.settle();
+        h.session_mut(a).user_event(events::invoke()).unwrap();
+        h.settle();
+
+        let rows_a = result_rows(h.session(a));
+        let rows_b = result_rows(h.session(b));
+        assert!(!rows_a.is_empty() && !rows_b.is_empty());
+        assert_ne!(rows_a, rows_b, "different databases ⇒ different results");
+    }
+
+    #[test]
+    fn operator_menu_and_view_menu_shape_the_query() {
+        let mut h = SimHarness::new(4);
+        let n = h.add_session(tori_session(UserId(1), db()));
+        h.settle();
+        // year range 1990..1994, project to author only (view index 1 =
+        // first column).
+        h.session_mut(n).user_event(events::set_operator("year", "range")).unwrap();
+        h.session_mut(n).user_event(events::set_value("year", "1990..1994")).unwrap();
+        h.session_mut(n).user_event(events::set_view(1)).unwrap();
+        h.session_mut(n).user_event(events::invoke()).unwrap();
+        h.settle();
+        let rows = result_rows(h.session(n));
+        assert!(!rows.is_empty());
+        // Single projected column: no tab separators.
+        assert!(rows.iter().all(|r| !r.contains('\t')), "{rows:?}");
+    }
+
+    #[test]
+    fn row_activation_partially_instantiates_next_query() {
+        let mut h = SimHarness::new(5);
+        let n = h.add_session(tori_session(UserId(1), db()));
+        h.settle();
+        h.session_mut(n).user_event(events::invoke()).unwrap();
+        h.settle();
+        let rows = result_rows(h.session(n));
+        assert!(!rows.is_empty());
+        let expected_author = rows[0].split('\t').next().unwrap().to_owned();
+
+        h.session_mut(n).user_event(events::activate_row(0)).unwrap();
+        h.settle();
+        let field = h
+            .session(n)
+            .toolkit()
+            .tree()
+            .resolve(&ObjectPath::parse("tori.attr_author.value").unwrap())
+            .unwrap();
+        assert_eq!(
+            h.session(n).toolkit().tree().attr(field, &AttrName::Text).unwrap(),
+            &Value::Text(expected_author)
+        );
+    }
+
+    #[test]
+    fn malformed_query_reports_error_status() {
+        let mut h = SimHarness::new(6);
+        let n = h.add_session(tori_session(UserId(1), db()));
+        h.settle();
+        h.session_mut(n).user_event(events::set_operator("year", "range")).unwrap();
+        h.session_mut(n).user_event(events::set_value("year", "not-a-range")).unwrap();
+        h.session_mut(n).user_event(events::invoke()).unwrap();
+        h.settle();
+        let status = h
+            .session(n)
+            .toolkit()
+            .tree()
+            .resolve(&ObjectPath::parse("tori.status").unwrap())
+            .and_then(|id| {
+                h.session(n).toolkit().tree().attr(id, &AttrName::Text).ok().cloned()
+            })
+            .unwrap();
+        assert!(status.to_string().contains("error"), "{status}");
+        assert!(result_rows(h.session(n)).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! The fully replicated architecture driven through the *real* COSOFT
+//! protocol: actual [`cosoft_core::Session`]s, the real server core, the
+//! real wire codec — on the virtual-time network.
+//!
+//! This runner cross-validates the analytic model in [`crate::arch`]: it
+//! measures protocol-true latencies and byte counts. Actions are injected
+//! at their scripted issue times and each is settled before the next
+//! (closed-per-action measurement; deliberate floor-control contention is
+//! exercised separately by the lock benchmarks).
+
+use cosoft_core::harness::SimHarness;
+use cosoft_core::session::Session;
+use cosoft_net::sim::NodeId;
+use cosoft_uikit::{spec, Toolkit};
+use cosoft_wire::UserId;
+
+use crate::stats::{ActionSample, RunStats};
+use crate::workload::{paths, Workload};
+
+/// The per-user instance spec: the shared `work` form plus a private
+/// environment.
+const INSTANCE_SPEC: &str = r#"form work {
+  textfield field text=""
+  button compute title="Compute"
+  panel private {
+    textfield field text=""
+    button compute title="Compute"
+  }
+}"#;
+
+fn rewrite_path(p: &cosoft_wire::ObjectPath) -> cosoft_wire::ObjectPath {
+    // Workload paths use `work.*` for shared and `private.*` for private
+    // objects; the instance hosts the private ones under `work.private.*`.
+    match p.segments().first().map(String::as_str) {
+        Some("private") => {
+            let rel = p.strip_prefix(&cosoft_wire::ObjectPath::parse("private").expect("static"))
+                .expect("prefix checked");
+            cosoft_wire::ObjectPath::parse("work.private").expect("static").join(&rel)
+        }
+        _ => p.clone(),
+    }
+}
+
+/// Runs the workload over live sessions. Returns protocol-true stats.
+///
+/// # Panics
+///
+/// Panics on protocol failures (this is a measurement harness; failures
+/// indicate bugs, not conditions to recover from).
+pub fn run_cosoft_live(workload: &Workload, seed: u64, one_way_latency_us: u64) -> RunStats {
+    let mut h = SimHarness::with_latency(seed, one_way_latency_us);
+    let nodes: Vec<NodeId> = (0..workload.users)
+        .map(|u| {
+            h.add_session(Session::new(
+                Toolkit::from_tree(spec::build_tree(INSTANCE_SPEC).expect("static spec")),
+                UserId(u as u64 + 1),
+                &format!("ws{u}"),
+                "workload",
+            ))
+        })
+        .collect();
+    h.settle();
+
+    // Couple the shared field and compute button across all users
+    // (a chain; the closure connects everyone).
+    for w in nodes.windows(2) {
+        for p in [paths::field(), paths::compute()] {
+            let dst = h.session(w[1]).gid(&p).expect("registered");
+            h.session_mut(w[0]).couple(&p, dst).expect("registered");
+        }
+        h.settle();
+    }
+    h.net.reset_stats();
+
+    let mut stats = RunStats::default();
+    for action in &workload.actions {
+        h.net.advance_to(action.issue_us);
+        let issued = h.net.now_us();
+        let node = nodes[action.user];
+        let event = action.event.retarget(rewrite_path(&action.event.path));
+        h.session_mut(node).user_event(event).expect("workload event is valid");
+        h.settle();
+        stats.samples.push(ActionSample {
+            user: action.user,
+            kind: action.kind,
+            issued_us: issued,
+            completed_us: h.net.now_us(),
+        });
+    }
+    stats.bytes_sent = h.net.stats().bytes_sent;
+    stats.messages_sent = h.net.stats().messages_sent;
+    stats.makespan_us = h.net.now_us();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ActionKind;
+    use crate::workload::mixed_workload;
+
+    #[test]
+    fn live_run_produces_protocol_traffic_for_shared_actions_only() {
+        let all_private = mixed_workload(3, 3, 5, 10_000, 0.2, 0.0);
+        let stats = run_cosoft_live(&all_private, 1, 2_000);
+        assert_eq!(stats.samples.len(), 15);
+        assert_eq!(stats.messages_sent, 0, "private actions stay local");
+        assert!(stats.latencies_us(None).iter().all(|&l| l == 0), "local = instant in virtual time");
+
+        let all_shared = mixed_workload(3, 3, 5, 10_000, 0.2, 1.0);
+        let stats = run_cosoft_live(&all_shared, 1, 2_000);
+        assert!(stats.messages_sent > 0);
+        // Shared actions pay at least the grant round trip (2 hops).
+        assert!(stats.latencies_us(None).iter().all(|&l| l >= 4_000), "{:?}", stats.latencies_us(None));
+    }
+
+    #[test]
+    fn live_latency_scales_with_network_latency() {
+        let w = mixed_workload(5, 4, 5, 50_000, 0.0, 1.0);
+        let fast = run_cosoft_live(&w, 2, 500);
+        let slow = run_cosoft_live(&w, 2, 10_000);
+        assert!(
+            slow.mean_latency_us(Some(ActionKind::Ui)) > fast.mean_latency_us(Some(ActionKind::Ui))
+        );
+    }
+
+    #[test]
+    fn live_runs_are_deterministic() {
+        let w = mixed_workload(8, 4, 10, 20_000, 0.1, 0.5);
+        let a = run_cosoft_live(&w, 9, 2_000);
+        let b = run_cosoft_live(&w, 9, 2_000);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.bytes_sent, b.bytes_sent);
+    }
+}

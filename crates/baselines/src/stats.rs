@@ -1,0 +1,132 @@
+//! Measurement records shared by all architecture runners.
+
+/// Classification of one workload action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionKind {
+    /// A pure user-interface action (typing, selecting) with no
+    /// application-semantic cost.
+    Ui,
+    /// An action invoking application functionality with a configurable
+    /// service time (e.g. evaluating a query, recomputing a view).
+    Semantic,
+}
+
+/// One completed action with its virtual-time latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActionSample {
+    /// Issuing user (0-based).
+    pub user: usize,
+    /// Action classification.
+    pub kind: ActionKind,
+    /// Virtual time the user issued the action (µs).
+    pub issued_us: u64,
+    /// Virtual time the action's effect reached the issuing user (µs).
+    pub completed_us: u64,
+}
+
+impl ActionSample {
+    /// The action's end-to-end latency in microseconds.
+    pub fn latency_us(&self) -> u64 {
+        self.completed_us.saturating_sub(self.issued_us)
+    }
+}
+
+/// Result of running one workload on one architecture.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Per-action samples.
+    pub samples: Vec<ActionSample>,
+    /// Total protocol bytes put on the (simulated) wire.
+    pub bytes_sent: u64,
+    /// Total protocol messages sent.
+    pub messages_sent: u64,
+    /// Virtual time at which the run went quiescent (µs).
+    pub makespan_us: u64,
+}
+
+impl RunStats {
+    /// Latencies of the samples matching `kind` (or all), sorted.
+    pub fn latencies_us(&self, kind: Option<ActionKind>) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .samples
+            .iter()
+            .filter(|s| kind.map(|k| s.kind == k).unwrap_or(true))
+            .map(ActionSample::latency_us)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Mean latency in microseconds over the matching samples (0 if none).
+    pub fn mean_latency_us(&self, kind: Option<ActionKind>) -> f64 {
+        let v = self.latencies_us(kind);
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<u64>() as f64 / v.len() as f64
+        }
+    }
+
+    /// The `p`-quantile latency (p in `[0, 1]`) over matching samples.
+    pub fn percentile_latency_us(&self, kind: Option<ActionKind>, p: f64) -> u64 {
+        let v = self.latencies_us(kind);
+        if v.is_empty() {
+            return 0;
+        }
+        let idx = ((v.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+        v[idx]
+    }
+
+    /// Bytes on the wire per sampled action (0 if no samples).
+    pub fn bytes_per_action(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.bytes_sent as f64 / self.samples.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: ActionKind, lat: u64) -> ActionSample {
+        ActionSample { user: 0, kind, issued_us: 100, completed_us: 100 + lat }
+    }
+
+    #[test]
+    fn latency_and_percentiles() {
+        let stats = RunStats {
+            samples: (1..=100).map(|i| sample(ActionKind::Ui, i * 10)).collect(),
+            bytes_sent: 5_000,
+            messages_sent: 100,
+            makespan_us: 1_000,
+        };
+        assert_eq!(stats.latencies_us(None).len(), 100);
+        assert!((stats.mean_latency_us(None) - 505.0).abs() < 1e-9);
+        assert_eq!(stats.percentile_latency_us(None, 0.0), 10);
+        assert_eq!(stats.percentile_latency_us(None, 1.0), 1000);
+        assert_eq!(stats.percentile_latency_us(None, 0.5), 510);
+        assert!((stats.bytes_per_action() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kind_filter() {
+        let stats = RunStats {
+            samples: vec![sample(ActionKind::Ui, 10), sample(ActionKind::Semantic, 1000)],
+            ..Default::default()
+        };
+        assert_eq!(stats.latencies_us(Some(ActionKind::Ui)), vec![10]);
+        assert_eq!(stats.latencies_us(Some(ActionKind::Semantic)), vec![1000]);
+        assert_eq!(stats.mean_latency_us(None), 505.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let stats = RunStats::default();
+        assert_eq!(stats.mean_latency_us(None), 0.0);
+        assert_eq!(stats.percentile_latency_us(None, 0.9), 0);
+        assert_eq!(stats.bytes_per_action(), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Timestamp / dependency-detection ordering (GROVE-style, §2.1): the
+//! alternative to COSOFT's centralized floor control for fully replicated
+//! systems.
+//!
+//! "In timestamp (or dependency-detection) approach, each user action is
+//! timestamped in order to detect conflicting actions."
+//!
+//! The model: every replica applies its own action optimistically at issue
+//! time (zero local latency) and broadcasts it with a `(lamport, replica)`
+//! timestamp. Two actions on the same object are *concurrent* — and
+//! therefore conflicting — when neither replica had seen the other's
+//! action at issue time (their issue times are within one one-way
+//! propagation delay). The lower timestamp wins; the loser's optimistic
+//! application is rolled back and replaced. The interesting comparison
+//! with floor control: zero grant latency versus rollbacks under
+//! contention.
+
+use std::collections::HashMap;
+
+use cosoft_wire::ObjectPath;
+
+use crate::stats::{ActionSample, RunStats};
+use crate::workload::Workload;
+
+/// Outcome of running a workload under timestamp ordering.
+#[derive(Debug, Clone, Default)]
+pub struct TimestampStats {
+    /// Per-action samples (latency = local application, i.e. 0, plus the
+    /// rollback penalty for losers).
+    pub run: RunStats,
+    /// Actions that conflicted with a concurrent action on the same
+    /// object.
+    pub conflicts: u64,
+    /// Conflict losers whose optimistic application was rolled back.
+    pub rollbacks: u64,
+    /// Time by which every replica converged (µs).
+    pub convergence_us: u64,
+}
+
+/// Runs `workload` under optimistic timestamp ordering with the given
+/// one-way propagation delay.
+pub fn run_timestamp(workload: &Workload, one_way_latency_us: u64) -> TimestampStats {
+    let mut stats = TimestampStats::default();
+    // Actions per object, in issue order (the workload is sorted).
+    let mut per_object: HashMap<&ObjectPath, Vec<usize>> = HashMap::new();
+    for (i, a) in workload.actions.iter().enumerate() {
+        per_object.entry(&a.event.path).or_default().push(i);
+    }
+    let mut lost = vec![false; workload.actions.len()];
+    for indices in per_object.values() {
+        for w in indices.windows(2) {
+            let (i, j) = (w[0], w[1]);
+            let (a, b) = (&workload.actions[i], &workload.actions[j]);
+            if a.user != b.user && b.issue_us.saturating_sub(a.issue_us) < one_way_latency_us {
+                // Neither saw the other: conflict. Deterministic winner:
+                // lower (issue, user) — here a, being earlier in sorted
+                // order.
+                stats.conflicts += 2;
+                stats.rollbacks += 1;
+                lost[j] = true;
+            }
+        }
+    }
+    for (i, a) in workload.actions.iter().enumerate() {
+        // Optimistic local application is instantaneous; a loser pays the
+        // detection delay (the winner's broadcast must arrive) before its
+        // state is corrected.
+        let completed = if lost[i] { a.issue_us + one_way_latency_us } else { a.issue_us };
+        stats.run.samples.push(ActionSample {
+            user: a.user,
+            kind: a.kind,
+            issued_us: a.issue_us,
+            completed_us: completed,
+        });
+        // One broadcast to every other replica.
+        stats.run.messages_sent += (workload.users as u64).saturating_sub(1);
+        stats.run.bytes_sent += 64 * (workload.users as u64).saturating_sub(1);
+        let converged = a.issue_us + one_way_latency_us;
+        stats.convergence_us = stats.convergence_us.max(converged);
+        stats.run.makespan_us = stats.run.makespan_us.max(completed);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{editing_workload, paths, WorkAction};
+    use cosoft_wire::{EventKind, UiEvent, Value};
+
+    #[test]
+    fn no_conflicts_when_actions_are_spaced() {
+        let mut w = editing_workload(1, 4, 10, 1_000_000, 0.0);
+        w.actions.sort_by_key(|a| a.issue_us);
+        let stats = run_timestamp(&w, 2_000);
+        assert_eq!(stats.conflicts, 0);
+        assert_eq!(stats.rollbacks, 0);
+        // All actions apply locally with zero latency.
+        assert!(stats.run.latencies_us(None).iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn concurrent_same_object_actions_conflict() {
+        let ev = |user, t| WorkAction {
+            user,
+            issue_us: t,
+            kind: crate::stats::ActionKind::Ui,
+            event: UiEvent::new(
+                paths::field(),
+                EventKind::TextCommitted,
+                vec![Value::Text("x".into())],
+            ),
+        };
+        let w = crate::workload::Workload {
+            users: 2,
+            actions: vec![ev(0, 1_000), ev(1, 1_500)],
+        };
+        let stats = run_timestamp(&w, 2_000);
+        assert_eq!(stats.rollbacks, 1);
+        assert_eq!(stats.conflicts, 2);
+        // The loser converges after the winner's broadcast arrives.
+        assert_eq!(stats.run.samples[1].latency_us(), 2_000);
+    }
+
+    #[test]
+    fn same_user_actions_never_conflict() {
+        let ev = |t| WorkAction {
+            user: 0,
+            issue_us: t,
+            kind: crate::stats::ActionKind::Ui,
+            event: UiEvent::new(
+                paths::field(),
+                EventKind::TextCommitted,
+                vec![Value::Text("x".into())],
+            ),
+        };
+        let w = crate::workload::Workload { users: 1, actions: vec![ev(0), ev(10)] };
+        let stats = run_timestamp(&w, 5_000);
+        assert_eq!(stats.conflicts, 0);
+    }
+
+    #[test]
+    fn conflict_rate_grows_with_latency() {
+        let w = editing_workload(5, 8, 50, 10_000, 0.0);
+        let slow = run_timestamp(&w, 50_000);
+        let fast = run_timestamp(&w, 500);
+        assert!(slow.rollbacks > fast.rollbacks);
+    }
+}

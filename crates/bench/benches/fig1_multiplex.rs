@@ -1,0 +1,36 @@
+//! Figure 1 — the multiplex architecture: sequential dispatch through a
+//! single application instance. Prints the paper-style scaling series,
+//! then criterion-benches the runner itself.
+
+use cosoft_bench::figures::{fig1_rows, FIG1_HEADERS};
+use cosoft_bench::report::print_table;
+use cosoft_baselines::{editing_workload, run_multiplex, ArchConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_table("Figure 1: multiplex architecture vs population", &FIG1_HEADERS, &fig1_rows());
+
+    let mut group = c.benchmark_group("fig1_multiplex_run");
+    for users in [4usize, 16, 32] {
+        let w = editing_workload(17, users, 50, 30_000, 0.1);
+        let cfg = ArchConfig::default();
+        group.bench_with_input(BenchmarkId::from_parameter(users), &w, |b, w| {
+            b.iter(|| run_multiplex(std::hint::black_box(w), &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

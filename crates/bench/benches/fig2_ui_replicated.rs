@@ -1,0 +1,41 @@
+//! Figure 2 — the UI-replicated architecture: the central semantic
+//! component serializes all semantic actions; a time-consuming one blocks
+//! everyone. Prints the blocking sweep, then benches the runner.
+
+use cosoft_bench::figures::{fig23_rows, FIG23_HEADERS};
+use cosoft_bench::report::print_table;
+use cosoft_baselines::{mixed_workload, run_ui_replicated, ArchConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_table(
+        "Figure 2/3: semantic-action blocking (UI-replicated vs fully replicated)",
+        &FIG23_HEADERS,
+        &fig23_rows(),
+    );
+
+    let mut group = c.benchmark_group("fig2_ui_replicated_run");
+    for semantic_ms in [1u64, 20, 100] {
+        let mut cfg = ArchConfig::default();
+        cfg.semantic_service_us = semantic_ms * 1_000;
+        let w = mixed_workload(23, 8, 50, 25_000, 0.2, 0.2);
+        group.bench_with_input(BenchmarkId::from_parameter(semantic_ms), &w, |b, w| {
+            b.iter(|| run_ui_replicated(std::hint::black_box(w), &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

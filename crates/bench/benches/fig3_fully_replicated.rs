@@ -1,0 +1,58 @@
+//! Figure 3 — the fully replicated architecture: private work stays
+//! local; shared actions pay floor control and are re-executed by every
+//! replica. Benches both the analytic model and the live protocol.
+
+use cosoft_bench::report::print_table;
+use cosoft_baselines::{
+    mixed_workload, run_cosoft_live, run_fully_replicated, ActionKind, ArchConfig,
+};
+use cosoft_bench::report::fmt_us;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Cross-validate the analytic model against the live protocol.
+    let mut rows = Vec::new();
+    for &shared in &[0.0f64, 0.5, 1.0] {
+        let w = mixed_workload(29, 4, 20, 25_000, 0.1, shared);
+        let model = run_fully_replicated(&w, &ArchConfig::default());
+        let live = run_cosoft_live(&w, 29, 2_000);
+        rows.push(vec![
+            format!("{:.0}%", shared * 100.0),
+            fmt_us(model.mean_latency_us(Some(ActionKind::Ui))),
+            fmt_us(live.mean_latency_us(Some(ActionKind::Ui))),
+            model.bytes_sent.to_string(),
+            live.bytes_sent.to_string(),
+        ]);
+    }
+    print_table(
+        "Figure 3: fully replicated — analytic model vs live protocol",
+        &["shared actions", "model ui mean", "live ui mean", "model bytes", "live bytes"],
+        &rows,
+    );
+
+    let mut group = c.benchmark_group("fig3_fully_replicated");
+    for users in [4usize, 8] {
+        let w = mixed_workload(29, users, 30, 25_000, 0.15, 0.3);
+        group.bench_with_input(BenchmarkId::new("model", users), &w, |b, w| {
+            b.iter(|| run_fully_replicated(std::hint::black_box(w), &ArchConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("live", users), &w, |b, w| {
+            b.iter(|| run_cosoft_live(std::hint::black_box(w), 29, 2_000))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Figure 4 — the COSOFT server-client architecture: coupling-layer costs
+//! on the live protocol (couple/decouple, closure maintenance, event
+//! broadcast, lock contention), plus micro-benchmarks of the server data
+//! structures.
+
+use cosoft_bench::figures::{fig4_rows, FIG4_HEADERS};
+use cosoft_bench::report::print_table;
+use cosoft_server::{CoupleDirectory, LockTable};
+use cosoft_wire::{GlobalObjectId, InstanceId, ObjectPath};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn gid(i: u64, p: &str) -> GlobalObjectId {
+    GlobalObjectId::new(InstanceId(i), ObjectPath::parse(p).expect("static"))
+}
+
+fn bench(c: &mut Criterion) {
+    print_table("Figure 4: COSOFT coupling-layer costs (live)", &FIG4_HEADERS, &fig4_rows());
+
+    // Transitive-closure maintenance on chains vs stars.
+    let mut group = c.benchmark_group("fig4_closure");
+    for n in [8u64, 64, 512] {
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, &n| {
+            let mut dir = CoupleDirectory::new();
+            for i in 0..n - 1 {
+                dir.couple(gid(i, "o"), gid(i + 1, "o"));
+            }
+            let probe = gid(0, "o");
+            b.iter(|| dir.group_of(std::hint::black_box(&probe)))
+        });
+        group.bench_with_input(BenchmarkId::new("star", n), &n, |b, &n| {
+            let mut dir = CoupleDirectory::new();
+            for i in 1..n {
+                dir.couple(gid(0, "o"), gid(i, "o"));
+            }
+            let probe = gid(0, "o");
+            b.iter(|| dir.group_of(std::hint::black_box(&probe)))
+        });
+    }
+    group.finish();
+
+    // Lock acquire/release over whole groups.
+    let mut group = c.benchmark_group("fig4_locks");
+    for n in [8u64, 64, 512] {
+        let objects: Vec<GlobalObjectId> = (0..n).map(|i| gid(i, "o")).collect();
+        group.bench_with_input(BenchmarkId::new("lock_unlock", n), &objects, |b, objs| {
+            let mut locks = LockTable::new();
+            b.iter(|| {
+                locks.try_lock_group(std::hint::black_box(objs), 1).expect("free");
+                locks.unlock_exec(1)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! L1 — the §4 classroom lesson: "partial coupling can be very efficient
+//! since it allows for indirect coupling ... for these dependent objects
+//! direct coupling might be much more costly". Prints the
+//! indirect-vs-direct byte series and benches the display regeneration.
+
+use cosoft_apps::classroom::{regenerate_display, student_session};
+use cosoft_bench::figures::{l1_rows, L1_HEADERS};
+use cosoft_bench::report::print_table;
+use cosoft_wire::UserId;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_table("L1: indirect vs direct coupling of dependent displays", &L1_HEADERS, &l1_rows());
+
+    // The price of indirect coupling is local regeneration; show it is
+    // cheap compared to shipping the curve.
+    let mut session = student_session(UserId(1), "bench");
+    c.bench_function("l1_display_regeneration", |b| {
+        b.iter(|| regenerate_display(session.toolkit_mut().tree_mut(), "exercise"))
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! L2 — synchronization by state vs by action after a decoupled period
+//! (§3.1: replaying recorded actions "is expensive, especially for long
+//! periods of decoupling"). Prints the crossover series and benches the
+//! snapshot machinery.
+
+use cosoft_bench::figures::{l2_rows, synthetic_form, L2_HEADERS};
+use cosoft_bench::report::print_table;
+use cosoft_uikit::WidgetTree;
+use cosoft_wire::WidgetKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn tree_of(n: usize) -> (WidgetTree, cosoft_uikit::WidgetId) {
+    let snap = synthetic_form(n, 1.0, 1);
+    let mut tree = WidgetTree::new();
+    let root = tree.create_root(WidgetKind::Form, "root").expect("fresh tree");
+    cosoft_core::apply_destructive(&mut tree, root, &snap, &cosoft_core::CorrespondenceTable::new())
+        .expect("merge into empty form");
+    (tree, root)
+}
+
+fn bench(c: &mut Criterion) {
+    print_table("L2: state copy vs action replay after decoupling", &L2_HEADERS, &l2_rows());
+
+    let mut group = c.benchmark_group("l2_snapshot");
+    for n in [10usize, 100, 1_000] {
+        let (tree, root) = tree_of(n);
+        group.bench_with_input(BenchmarkId::new("snapshot_relevant", n), &tree, |b, tree| {
+            b.iter(|| tree.snapshot(std::hint::black_box(root), true).expect("snapshot"))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

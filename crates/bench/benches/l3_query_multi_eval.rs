@@ -1,0 +1,44 @@
+//! L3 — the §4 TORI lesson: multiple evaluation of coupled queries versus
+//! evaluate-once-and-share. Prints the wire-byte crossover series and
+//! benches the query engine (the CPU side of "the potentially costly
+//! re-execution").
+
+use std::sync::Arc;
+
+use cosoft_bench::figures::{l3_rows, L3_HEADERS};
+use cosoft_bench::report::print_table;
+use cosoft_retrieval::{sample_literature_db, Predicate, Query};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_table("L3: multiple evaluation vs evaluate-once-and-share", &L3_HEADERS, &l3_rows());
+
+    let mut group = c.benchmark_group("l3_query_eval");
+    for rows in [1_000usize, 10_000, 100_000] {
+        let table = Arc::new(sample_literature_db(7, rows));
+        let query = Query::new()
+            .filter(Predicate::And(vec![
+                Predicate::substring("author", "o"),
+                Predicate::Range("year".into(), 1988, 1992),
+            ]))
+            .select(["author", "title"]);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &table, |b, table| {
+            b.iter(|| query.run(std::hint::black_box(table)).expect("query runs"))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

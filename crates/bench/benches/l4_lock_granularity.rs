@@ -1,0 +1,49 @@
+//! L4 — floor-control granularity (§3.2): "such a locking mechanism might
+//! become costly if the events were fine-grained, such as cursor
+//! movements or the typing of single characters. However, in our model,
+//! most events are high-level callback events." Prints the
+//! per-keystroke vs per-commit series and benches the lock table under
+//! contention patterns.
+
+use cosoft_bench::figures::{l4_rows, L4_HEADERS};
+use cosoft_bench::report::print_table;
+use cosoft_server::LockTable;
+use cosoft_wire::{GlobalObjectId, InstanceId, ObjectPath};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_table("L4: per-commit vs per-keystroke floor control", &L4_HEADERS, &l4_rows());
+
+    // Conflict-handling cost: every second attempt hits a held lock.
+    let mut group = c.benchmark_group("l4_lock_contention");
+    for n in [4u64, 32] {
+        let group_objs: Vec<GlobalObjectId> = (0..n)
+            .map(|i| GlobalObjectId::new(InstanceId(i), ObjectPath::parse("f.t").expect("ok")))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &group_objs, |b, objs| {
+            let mut locks = LockTable::new();
+            b.iter(|| {
+                locks.try_lock_group(objs, 1).expect("free");
+                // A competing round fails fast.
+                let conflict = locks.try_lock_group(objs, 2);
+                assert!(conflict.is_err());
+                locks.unlock_exec(1)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

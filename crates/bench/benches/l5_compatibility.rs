@@ -1,0 +1,93 @@
+//! L5 — the compatibility machinery of §3.3: s-compatibility checking,
+//! destructive merging and flexible matching over nested complex objects.
+//! The paper warns that "calculating [the mapping] over several levels of
+//! nesting may be costly in practice"; the (kind, name) heuristics keep
+//! it near-linear.
+
+use cosoft_bench::figures::synthetic_form;
+use cosoft_core::{
+    apply_destructive, apply_flexible, check_s_compatible, CorrespondenceTable,
+};
+use cosoft_uikit::WidgetTree;
+use cosoft_wire::WidgetKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let corr = CorrespondenceTable::new();
+
+    let mut group = c.benchmark_group("l5_s_compatibility");
+    for n in [10usize, 100, 1_000] {
+        let a = synthetic_form(n, 1.0, 1);
+        let b_ = synthetic_form(n, 1.0, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b_), |bench, (a, b_)| {
+            bench.iter(|| check_s_compatible(std::hint::black_box(a), b_, &corr).expect("compatible"))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("l5_destructive_merge");
+    for (n, frac) in [(100usize, 0.3f64), (100, 0.7), (1_000, 0.7)] {
+        let snap = synthetic_form(n, frac, 1);
+        let base = synthetic_form(n, frac, 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}nodes_{frac}match")),
+            &(snap, base),
+            |bench, (snap, base)| {
+                bench.iter_batched(
+                    || {
+                        let mut tree = WidgetTree::new();
+                        let root = tree.create_root(WidgetKind::Form, "root").expect("fresh");
+                        apply_destructive(&mut tree, root, base, &corr).expect("seed");
+                        (tree, root)
+                    },
+                    |(mut tree, root)| {
+                        apply_destructive(&mut tree, root, std::hint::black_box(snap), &corr)
+                            .expect("merge")
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("l5_flexible_match");
+    for frac in [0.3f64, 0.7, 1.0] {
+        let snap = synthetic_form(200, frac, 1);
+        let base = synthetic_form(200, frac, 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{frac}match")),
+            &(snap, base),
+            |bench, (snap, base)| {
+                bench.iter_batched(
+                    || {
+                        let mut tree = WidgetTree::new();
+                        let root = tree.create_root(WidgetKind::Form, "root").expect("fresh");
+                        apply_destructive(&mut tree, root, base, &corr).expect("seed");
+                        (tree, root)
+                    },
+                    |(mut tree, root)| {
+                        apply_flexible(&mut tree, root, std::hint::black_box(snap), &corr)
+                            .expect("match")
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Table 1 — the comparison of application-independent synchronization
+//! approaches: the same mixed workload over multiplex, UI-replicated,
+//! fully replicated (model + live protocol) and timestamp ordering,
+//! alongside the paper's qualitative flexibility dimensions.
+
+use cosoft_bench::figures::{table1_rows, TABLE1_HEADERS};
+use cosoft_bench::report::print_table;
+use cosoft_baselines::{
+    mixed_workload, run_fully_replicated, run_multiplex, run_timestamp, run_ui_replicated,
+    ArchConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_table(
+        "Table 1: comparison of synchronization approaches",
+        &TABLE1_HEADERS,
+        &table1_rows(),
+    );
+
+    let w = mixed_workload(7, 8, 60, 25_000, 0.15, 0.3);
+    let cfg = ArchConfig::default();
+    let mut group = c.benchmark_group("table1_runners");
+    group.bench_function("multiplex", |b| b.iter(|| run_multiplex(std::hint::black_box(&w), &cfg)));
+    group.bench_function("ui_replicated", |b| {
+        b.iter(|| run_ui_replicated(std::hint::black_box(&w), &cfg))
+    });
+    group.bench_function("fully_replicated", |b| {
+        b.iter(|| run_fully_replicated(std::hint::black_box(&w), &cfg))
+    });
+    group.bench_function("timestamp", |b| {
+        b.iter(|| run_timestamp(std::hint::black_box(&w), cfg.one_way_latency_us))
+    });
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Prints the paper's Table-1-style comparison of synchronization
+//! approaches. `cargo run -p cosoft-bench --bin table1`.
+
+use cosoft_bench::figures::{table1_rows, TABLE1_HEADERS};
+use cosoft_bench::report::print_table;
+
+fn main() {
+    print_table(
+        "Table 1: comparison of application-independent synchronization approaches",
+        &TABLE1_HEADERS,
+        &table1_rows(),
+    );
+    println!(
+        "\nWorkload: 8 users, 60 actions each, 15% semantic, 30% shared, 2 ms one-way latency."
+    );
+    println!("Quantitative columns from the architecture runners; flexibility columns per §2.2.");
+}

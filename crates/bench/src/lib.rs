@@ -1,0 +1,14 @@
+//! `cosoft-bench` — the benchmark harness regenerating every figure and
+//! table of the paper (DESIGN.md §3 maps experiment ids to modules).
+//!
+//! * [`figures`] computes the paper-style series (virtual-time latencies,
+//!   wire bytes, rejection counts) shared by the criterion benches and
+//!   the printer binaries;
+//! * [`report`] renders plain-text tables.
+//!
+//! Run `cargo bench --workspace` for everything, or
+//! `cargo run -p cosoft-bench --bin table1` / `--bin figures` for just
+//! the paper-style reports.
+
+pub mod figures;
+pub mod report;

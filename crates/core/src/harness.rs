@@ -1,0 +1,140 @@
+//! Simulation harness: wires any number of [`Session`]s and one
+//! [`ServerCore`] onto the deterministic simulated network and pumps
+//! messages until quiescence.
+//!
+//! All integration tests and benchmarks of the fully replicated (COSOFT)
+//! architecture run on this harness; the virtual clock makes latency
+//! measurements reproducible.
+
+use std::collections::BTreeMap;
+
+use cosoft_net::sim::{Latency, NodeId, SimNet};
+use cosoft_server::ServerCore;
+use cosoft_wire::InstanceId;
+
+use crate::session::Session;
+
+/// The server's fixed endpoint on the simulated network.
+pub const SERVER_NODE: NodeId = NodeId(0);
+
+/// A simulated COSOFT deployment: one server, N client sessions.
+#[derive(Debug)]
+pub struct SimHarness {
+    /// The simulated network (exposed for latency/fault configuration and
+    /// traffic statistics).
+    pub net: SimNet,
+    /// The server core.
+    pub server: ServerCore<NodeId>,
+    /// Sessions keyed by node id; a `BTreeMap` keeps outbox flushing (and
+    /// therefore the whole simulation) deterministic.
+    sessions: BTreeMap<NodeId, Session>,
+    next_node: u64,
+}
+
+impl SimHarness {
+    /// Creates a harness with the given network seed and zero latency.
+    pub fn new(seed: u64) -> Self {
+        SimHarness {
+            net: SimNet::new(seed),
+            server: ServerCore::new(),
+            sessions: BTreeMap::new(),
+            next_node: 1,
+        }
+    }
+
+    /// Creates a harness with a fixed one-way latency in microseconds.
+    pub fn with_latency(seed: u64, one_way_us: u64) -> Self {
+        let mut h = Self::new(seed);
+        h.net.set_latency(Latency::Fixed(one_way_us));
+        h
+    }
+
+    /// Adds a session (its queued `Register` is sent on the next pump) and
+    /// returns its network node id.
+    pub fn add_session(&mut self, session: Session) -> NodeId {
+        let node = NodeId(self.next_node);
+        self.next_node += 1;
+        self.sessions.insert(node, session);
+        node
+    }
+
+    /// Borrows a session by node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this harness.
+    pub fn session(&self, node: NodeId) -> &Session {
+        &self.sessions[&node]
+    }
+
+    /// Mutably borrows a session by node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this harness.
+    pub fn session_mut(&mut self, node: NodeId) -> &mut Session {
+        self.sessions.get_mut(&node).expect("unknown session node")
+    }
+
+    /// Removes a session abruptly (simulating a crash); the server
+    /// observes the disconnect on the next pump.
+    pub fn crash(&mut self, node: NodeId) {
+        if self.sessions.remove(&node).is_some() {
+            let out = self.server.disconnect(node);
+            for (dst, msg) in out {
+                self.net.send(SERVER_NODE, dst, msg);
+            }
+        }
+    }
+
+    /// The instance id a session received, if registered.
+    pub fn instance_of(&self, node: NodeId) -> Option<InstanceId> {
+        self.sessions.get(&node).and_then(Session::instance)
+    }
+
+    fn flush_outboxes(&mut self) {
+        for (&node, session) in self.sessions.iter_mut() {
+            for msg in session.drain_outbox() {
+                self.net.send(node, SERVER_NODE, msg);
+            }
+        }
+    }
+
+    /// Pumps the network until quiescence: flushes session outboxes,
+    /// delivers messages (server ↔ sessions), and repeats until no
+    /// messages remain. Returns the number of deliveries processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message count exceeds `max_steps` (runaway guard).
+    pub fn pump(&mut self, max_steps: u64) -> u64 {
+        let mut steps = 0;
+        loop {
+            self.flush_outboxes();
+            if self.net.is_idle() {
+                return steps;
+            }
+            while let Some(delivery) = self.net.step() {
+                steps += 1;
+                assert!(steps <= max_steps, "simulation exceeded {max_steps} deliveries");
+                if delivery.dst == SERVER_NODE {
+                    let out = self.server.handle(delivery.src, delivery.msg);
+                    for (dst, msg) in out {
+                        self.net.send(SERVER_NODE, dst, msg);
+                    }
+                } else if let Some(session) = self.sessions.get_mut(&delivery.dst) {
+                    session.on_message(delivery.msg);
+                    for msg in session.drain_outbox() {
+                        self.net.send(delivery.dst, SERVER_NODE, msg);
+                    }
+                }
+                // Messages to crashed sessions are dropped silently.
+            }
+        }
+    }
+
+    /// Convenience: pump with a generous default cap.
+    pub fn settle(&mut self) -> u64 {
+        self.pump(1_000_000)
+    }
+}

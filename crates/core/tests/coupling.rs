@@ -1,0 +1,636 @@
+//! End-to-end tests of the coupling runtime over the simulated network:
+//! every §3 mechanism exercised through the real protocol.
+
+use cosoft_core::harness::SimHarness;
+use cosoft_core::session::{Session, SessionEvent};
+use cosoft_net::sim::NodeId;
+use cosoft_uikit::{spec, Toolkit};
+use cosoft_wire::{
+    AccessRight, AttrName, CopyMode, EventKind, ObjectPath, Target, UiEvent, UserId, Value,
+    WidgetKind,
+};
+
+fn path(s: &str) -> ObjectPath {
+    ObjectPath::parse(s).unwrap()
+}
+
+fn session(spec_src: &str, user: u64) -> Session {
+    Session::new(
+        Toolkit::from_tree(spec::build_tree(spec_src).unwrap()),
+        UserId(user),
+        &format!("ws{user}"),
+        "test-app",
+    )
+}
+
+fn text_of(h: &SimHarness, node: NodeId, p: &str) -> String {
+    let tree = h.session(node).toolkit().tree();
+    let id = tree.resolve(&path(p)).unwrap();
+    tree.attr(id, &AttrName::Text).unwrap().as_text().unwrap().to_owned()
+}
+
+fn type_text(h: &mut SimHarness, node: NodeId, p: &str, text: &str) {
+    h.session_mut(node)
+        .user_event(UiEvent::new(path(p), EventKind::TextCommitted, vec![Value::Text(text.into())]))
+        .unwrap();
+}
+
+const FIELD_FORM: &str = r#"form f { textfield t text="" }"#;
+
+#[test]
+fn events_propagate_through_couple_chain() {
+    let mut h = SimHarness::new(1);
+    let a = h.add_session(session(FIELD_FORM, 1));
+    let b = h.add_session(session(FIELD_FORM, 2));
+    let c = h.add_session(session(FIELD_FORM, 3));
+    h.settle();
+
+    // a→b and b→c: the closure couples a with c too.
+    let gb = h.session(b).gid(&path("f.t")).unwrap();
+    let gc = h.session(c).gid(&path("f.t")).unwrap();
+    h.session_mut(a).couple(&path("f.t"), gb).unwrap();
+    h.settle();
+    h.session_mut(b).couple(&path("f.t"), gc).unwrap();
+    h.settle();
+
+    type_text(&mut h, a, "f.t", "closure");
+    h.settle();
+    for node in [a, b, c] {
+        assert_eq!(text_of(&h, node, "f.t"), "closure");
+    }
+    assert_eq!(h.session(b).remote_executions(), 1);
+    assert_eq!(h.session(c).remote_executions(), 1);
+    // Locks fully released after the round.
+    assert!(h.server.locks().is_empty());
+}
+
+#[test]
+fn uncoupled_events_stay_local() {
+    let mut h = SimHarness::new(1);
+    let a = h.add_session(session(FIELD_FORM, 1));
+    let b = h.add_session(session(FIELD_FORM, 2));
+    h.settle();
+    h.net.reset_stats();
+
+    type_text(&mut h, a, "f.t", "private");
+    h.settle();
+    assert_eq!(text_of(&h, a, "f.t"), "private");
+    assert_eq!(text_of(&h, b, "f.t"), "");
+    assert_eq!(h.net.stats().messages_sent, 0, "no network traffic for local events");
+}
+
+#[test]
+fn decoupled_objects_do_not_cease_to_exist() {
+    // "these will not cease to exist when being decoupled so that coupling
+    // can be used to transfer information between environments" (§2.2).
+    let mut h = SimHarness::new(1);
+    let a = h.add_session(session(FIELD_FORM, 1));
+    let b = h.add_session(session(FIELD_FORM, 2));
+    h.settle();
+    let gb = h.session(b).gid(&path("f.t")).unwrap();
+    h.session_mut(a).couple(&path("f.t"), gb.clone()).unwrap();
+    h.settle();
+    type_text(&mut h, a, "f.t", "shared");
+    h.settle();
+    assert_eq!(text_of(&h, b, "f.t"), "shared");
+
+    h.session_mut(a).decouple(&path("f.t"), gb).unwrap();
+    h.settle();
+    assert!(!h.session(a).is_coupled(&path("f.t")));
+    assert!(!h.session(b).is_coupled(&path("f.t")));
+
+    // Both keep the transferred information and diverge independently.
+    type_text(&mut h, a, "f.t", "a-alone");
+    type_text(&mut h, b, "f.t", "b-alone");
+    h.settle();
+    assert_eq!(text_of(&h, a, "f.t"), "a-alone");
+    assert_eq!(text_of(&h, b, "f.t"), "b-alone");
+}
+
+#[test]
+fn floor_control_rejects_concurrent_events_and_rolls_back_feedback() {
+    let mut h = SimHarness::with_latency(7, 1_000);
+    let a = h.add_session(session(FIELD_FORM, 1));
+    let b = h.add_session(session(FIELD_FORM, 2));
+    h.settle();
+    let gb = h.session(b).gid(&path("f.t")).unwrap();
+    h.session_mut(a).couple(&path("f.t"), gb).unwrap();
+    h.settle();
+
+    // Both users type *before* any message is pumped: a's event reaches
+    // the server first (FIFO on equal latency), locks the group, and b's
+    // event is rejected.
+    type_text(&mut h, a, "f.t", "from-a");
+    type_text(&mut h, b, "f.t", "from-b");
+    // Local echoes are visible immediately (syntactic feedback).
+    assert_eq!(text_of(&h, a, "f.t"), "from-a");
+    assert_eq!(text_of(&h, b, "f.t"), "from-b");
+    h.settle();
+
+    // a's event won; b's echo was rolled back and overwritten by the
+    // re-execution of a's event.
+    assert_eq!(text_of(&h, a, "f.t"), "from-a");
+    assert_eq!(text_of(&h, b, "f.t"), "from-a");
+    assert_eq!(h.server.rejected_events(), 1);
+    let rejected: Vec<_> = h
+        .session_mut(b)
+        .take_events()
+        .into_iter()
+        .filter(|e| matches!(e, SessionEvent::EventRejected { .. }))
+        .collect();
+    assert_eq!(rejected.len(), 1);
+    assert!(h.server.locks().is_empty());
+}
+
+#[test]
+fn objects_are_disabled_while_group_is_locked() {
+    let mut h = SimHarness::new(3);
+    let a = h.add_session(session(FIELD_FORM, 1));
+    let b = h.add_session(session(FIELD_FORM, 2));
+    h.settle();
+    let gb = h.session(b).gid(&path("f.t")).unwrap();
+    h.session_mut(a).couple(&path("f.t"), gb).unwrap();
+    h.settle();
+
+    type_text(&mut h, a, "f.t", "locking");
+    // Drive the simulation only partially: deliver the Event to the
+    // server and the resulting grant/execute, but stop before the dones.
+    for session in [a, b] {
+        let msgs = h.session_mut(session).drain_outbox();
+        for m in msgs {
+            h.net.send(session, cosoft_core::SERVER_NODE, m);
+        }
+    }
+    // Event reaches server; grant+execute go out.
+    while let Some(d) = h.net.step() {
+        if d.dst == cosoft_core::SERVER_NODE {
+            let out = h.server.handle(d.src, d.msg);
+            for (dst, msg) in out {
+                h.net.send(cosoft_core::SERVER_NODE, dst, msg);
+            }
+        } else {
+            let dst = d.dst;
+            h.session_mut(dst).on_message(d.msg);
+            // Do NOT drain outboxes: ExecuteDone stays queued.
+        }
+    }
+    // Mid-execution: both local objects are disabled.
+    for node in [a, b] {
+        let tree = h.session(node).toolkit().tree();
+        let id = tree.resolve(&path("f.t")).unwrap();
+        assert!(!tree.widget(id).unwrap().is_interactable(), "locked during execution");
+    }
+    // User input on a locked object fails loudly.
+    let err = h
+        .session_mut(b)
+        .user_event(UiEvent::new(path("f.t"), EventKind::TextCommitted, vec![Value::Text("x".into())]))
+        .unwrap_err();
+    assert!(matches!(err, cosoft_core::SessionError::Ui(cosoft_uikit::UiError::Disabled { .. })));
+
+    // Finish the round: dones flow, unlock re-enables everything.
+    h.settle();
+    for node in [a, b] {
+        let tree = h.session(node).toolkit().tree();
+        let id = tree.resolve(&path("f.t")).unwrap();
+        assert!(tree.widget(id).unwrap().is_interactable());
+    }
+}
+
+#[test]
+fn coupling_a_form_synchronizes_its_components() {
+    let spec_src = r#"form f { textfield a text="" textfield b text="" }"#;
+    let mut h = SimHarness::new(1);
+    let a = h.add_session(session(spec_src, 1));
+    let b = h.add_session(session(spec_src, 2));
+    h.settle();
+
+    // Couple the whole forms, not the fields.
+    let gb = h.session(b).gid(&path("f")).unwrap();
+    h.session_mut(a).couple(&path("f"), gb).unwrap();
+    h.settle();
+
+    // An event *inside* the coupled form routes through the form's links.
+    type_text(&mut h, a, "f.a", "component-sync");
+    h.settle();
+    assert_eq!(text_of(&h, b, "f.a"), "component-sync");
+    assert_eq!(text_of(&h, b, "f.b"), "", "sibling untouched");
+}
+
+#[test]
+fn components_reenable_after_event_inside_coupled_form() {
+    // Regression: the event executes on `f.a` (a component of the coupled
+    // form `f`); the unlock notice must re-enable `f.a`, not just `f`.
+    let spec_src = r#"form f { textfield a text="" }"#;
+    let mut h = SimHarness::new(6);
+    let a = h.add_session(session(spec_src, 1));
+    let b = h.add_session(session(spec_src, 2));
+    h.settle();
+    let gb = h.session(b).gid(&path("f")).unwrap();
+    h.session_mut(a).couple(&path("f"), gb).unwrap();
+    h.settle();
+
+    type_text(&mut h, a, "f.a", "first");
+    h.settle();
+    for node in [a, b] {
+        let tree = h.session(node).toolkit().tree();
+        let id = tree.resolve(&path("f.a")).unwrap();
+        assert!(tree.widget(id).unwrap().is_interactable(), "field re-enabled after round");
+    }
+    // A second event must succeed (would fail with Disabled before the fix).
+    type_text(&mut h, a, "f.a", "second");
+    h.settle();
+    assert_eq!(text_of(&h, b, "f.a"), "second");
+}
+
+#[test]
+fn heterogeneous_coupling_via_correspondence() {
+    // The teacher's display is a label; students edit text fields.
+    let mut h = SimHarness::new(1);
+    let teacher = h.add_session(session(r#"form f { label view text="" }"#, 1));
+    let student = h.add_session(session(r#"form f { textfield answer text="" }"#, 2));
+    h.settle();
+
+    // The teacher declares that student text fields may drive its label.
+    h.session_mut(teacher).correspondences_mut().declare(
+        WidgetKind::TextField,
+        WidgetKind::Label,
+        vec![(AttrName::Text, AttrName::Text)],
+    );
+    let view = h.session(teacher).gid(&path("f.view")).unwrap();
+    h.session_mut(student).couple(&path("f.answer"), view.clone()).unwrap();
+    h.settle();
+
+    // State copy across kinds (strict: structures are both leaves).
+    h.session_mut(student).copy_to(&path("f.answer"), view, CopyMode::Strict).unwrap();
+    h.settle();
+    // First set some content, then push.
+    type_text(&mut h, student, "f.answer", "42");
+    h.settle();
+
+    // The event was re-executed on the label: TextCommitted feedback sets
+    // its text attribute.
+    assert_eq!(text_of(&h, teacher, "f.view"), "42");
+}
+
+#[test]
+fn copy_from_pulls_remote_state_with_semantics() {
+    let mut h = SimHarness::new(1);
+    let a = h.add_session(session(FIELD_FORM, 1));
+    let b = h.add_session(session(FIELD_FORM, 2));
+    h.settle();
+
+    // b has content and a semantic payload behind its form.
+    type_text(&mut h, b, "f.t", "late-join-me");
+    h.settle();
+    h.session_mut(b).hooks_mut().register(
+        path("f"),
+        |_| b"semantic-blob".to_vec(),
+        |_, _| {},
+    );
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    let loaded = Arc::new(AtomicBool::new(false));
+    let loaded2 = loaded.clone();
+    h.session_mut(a).hooks_mut().register(
+        path("f"),
+        |_| Vec::new(),
+        move |_, bytes| {
+            assert_eq!(bytes, b"semantic-blob");
+            loaded2.store(true, Ordering::SeqCst);
+        },
+    );
+
+    // Late join: a pulls b's form state.
+    let src = h.session(b).gid(&path("f")).unwrap();
+    let req = h.session_mut(a).copy_from(src, &path("f"), CopyMode::Strict).unwrap();
+    h.settle();
+
+    assert_eq!(text_of(&h, a, "f.t"), "late-join-me");
+    assert!(loaded.load(Ordering::SeqCst), "load hook ran in the dominated instance");
+    let completed: Vec<_> = h
+        .session_mut(a)
+        .take_events()
+        .into_iter()
+        .filter(|e| matches!(e, SessionEvent::CopyCompleted { req_id } if *req_id == req))
+        .collect();
+    assert_eq!(completed.len(), 1);
+}
+
+#[test]
+fn remote_copy_three_party_flow() {
+    let mut h = SimHarness::new(1);
+    let teacher = h.add_session(session(FIELD_FORM, 1));
+    let s1 = h.add_session(session(FIELD_FORM, 2));
+    let s2 = h.add_session(session(FIELD_FORM, 3));
+    h.settle();
+
+    type_text(&mut h, s1, "f.t", "model-solution");
+    h.settle();
+
+    // The teacher copies student 1's work to student 2 without touching
+    // either directly.
+    let src = h.session(s1).gid(&path("f.t")).unwrap();
+    let dst = h.session(s2).gid(&path("f.t")).unwrap();
+    h.session_mut(teacher).remote_copy(src, dst, CopyMode::Strict);
+    h.settle();
+    assert_eq!(text_of(&h, s2, "f.t"), "model-solution");
+}
+
+#[test]
+fn destructive_merge_over_the_wire_reshapes_target() {
+    let mut h = SimHarness::new(1);
+    let a = h.add_session(session(
+        r#"form f title="Rich" { textfield x text="payload" slider s value=0.5 }"#,
+        1,
+    ));
+    let b = h.add_session(session(r#"form f title="Poor" { canvas odd }"#, 2));
+    h.settle();
+
+    let dst = h.session(b).gid(&path("f")).unwrap();
+    h.session_mut(a).copy_to(&path("f"), dst, CopyMode::DestructiveMerge).unwrap();
+    h.settle();
+
+    let tree = h.session(b).toolkit().tree();
+    assert!(tree.resolve(&path("f.x")).is_some(), "missing child created");
+    assert!(tree.resolve(&path("f.s")).is_some());
+    assert!(tree.resolve(&path("f.odd")).is_none(), "conflicting child destroyed");
+    assert_eq!(text_of(&h, b, "f.x"), "payload");
+}
+
+#[test]
+fn strict_copy_incompatibility_reports_error() {
+    let mut h = SimHarness::new(1);
+    let a = h.add_session(session(r#"form f { textfield x text="v" slider s value=0.1 }"#, 1));
+    let b = h.add_session(session(r#"form f { canvas different }"#, 2));
+    h.settle();
+
+    let dst = h.session(b).gid(&path("f")).unwrap();
+    h.session_mut(a).copy_to(&path("f"), dst, CopyMode::Strict).unwrap();
+    h.settle();
+    let errors: Vec<_> = h
+        .session_mut(a)
+        .take_events()
+        .into_iter()
+        .filter(|e| matches!(e, SessionEvent::Error { .. }))
+        .collect();
+    assert_eq!(errors.len(), 1);
+    // b unchanged.
+    assert!(h.session(b).toolkit().tree().resolve(&path("f.different")).is_some());
+}
+
+#[test]
+fn undo_redo_round_trip_over_the_wire() {
+    let mut h = SimHarness::new(1);
+    let a = h.add_session(session(FIELD_FORM, 1));
+    let b = h.add_session(session(FIELD_FORM, 2));
+    h.settle();
+
+    type_text(&mut h, b, "f.t", "original");
+    h.settle();
+
+    // a pushes new state onto b (overwriting "original").
+    type_text(&mut h, a, "f.t", "overwritten");
+    h.settle();
+    let dst = h.session(b).gid(&path("f.t")).unwrap();
+    h.session_mut(a).copy_to(&path("f.t"), dst.clone(), CopyMode::Strict).unwrap();
+    h.settle();
+    assert_eq!(text_of(&h, b, "f.t"), "overwritten");
+
+    // Undo restores the original.
+    h.session_mut(b).undo(dst.clone());
+    h.settle();
+    assert_eq!(text_of(&h, b, "f.t"), "original");
+
+    // Redo re-applies the copy.
+    h.session_mut(b).redo(dst);
+    h.settle();
+    assert_eq!(text_of(&h, b, "f.t"), "overwritten");
+}
+
+#[test]
+fn co_send_command_rpc_with_handler() {
+    let mut h = SimHarness::new(1);
+    let a = h.add_session(session(FIELD_FORM, 1));
+    let b = h.add_session(session(FIELD_FORM, 2));
+    h.settle();
+
+    // b registers an application-defined command that writes its field.
+    h.session_mut(b).on_command("set-status", |toolkit, _from, payload| {
+        let text = String::from_utf8_lossy(payload).into_owned();
+        let id = toolkit.tree().resolve(&ObjectPath::parse("f.t").unwrap()).unwrap();
+        toolkit.tree_mut().set_attr(id, AttrName::Text, Value::Text(text)).unwrap();
+    });
+
+    let b_instance = h.instance_of(b).unwrap();
+    h.session_mut(a).send_command(
+        Target::Instance(b_instance),
+        "set-status",
+        b"rpc-payload".to_vec(),
+    );
+    h.settle();
+    assert_eq!(text_of(&h, b, "f.t"), "rpc-payload");
+
+    // Unhandled commands surface as events.
+    h.session_mut(a).send_command(Target::Broadcast, "unknown-cmd", vec![1, 2]);
+    h.settle();
+    let received: Vec<_> = h
+        .session_mut(b)
+        .take_events()
+        .into_iter()
+        .filter(|e| matches!(e, SessionEvent::CommandReceived { command, .. } if command == "unknown-cmd"))
+        .collect();
+    assert_eq!(received.len(), 1);
+}
+
+#[test]
+fn crash_auto_decouples_and_releases_group() {
+    let mut h = SimHarness::new(1);
+    let a = h.add_session(session(FIELD_FORM, 1));
+    let b = h.add_session(session(FIELD_FORM, 2));
+    let c = h.add_session(session(FIELD_FORM, 3));
+    h.settle();
+
+    let gb = h.session(b).gid(&path("f.t")).unwrap();
+    let gc = h.session(c).gid(&path("f.t")).unwrap();
+    h.session_mut(a).couple(&path("f.t"), gb.clone()).unwrap();
+    h.settle();
+    h.session_mut(b).couple(&path("f.t"), gc).unwrap();
+    h.settle();
+    assert_eq!(h.session(a).group_of(&path("f.t")).unwrap().len(), 3);
+
+    // b crashes; the server auto-decouples its objects.
+    h.crash(b);
+    h.settle();
+
+    // a and c remain coupled with each other (they were joined through b's
+    // object, but the closure re-forms only over surviving links — a and c
+    // had no direct link, so they decouple).
+    assert!(!h.session(a).is_coupled(&path("f.t")));
+    assert!(!h.session(c).is_coupled(&path("f.t")));
+
+    // Typing in a stays local now.
+    type_text(&mut h, a, "f.t", "after-crash");
+    h.settle();
+    assert_eq!(text_of(&h, a, "f.t"), "after-crash");
+    assert_eq!(text_of(&h, c, "f.t"), "");
+}
+
+#[test]
+fn destroy_decouples_the_destroyed_object() {
+    let mut h = SimHarness::new(1);
+    let a = h.add_session(session(FIELD_FORM, 1));
+    let b = h.add_session(session(FIELD_FORM, 2));
+    h.settle();
+    let gb = h.session(b).gid(&path("f.t")).unwrap();
+    h.session_mut(a).couple(&path("f.t"), gb).unwrap();
+    h.settle();
+    assert!(h.session(b).is_coupled(&path("f.t")));
+
+    h.session_mut(a).destroy(&path("f.t")).unwrap();
+    h.settle();
+    assert!(!h.session(b).is_coupled(&path("f.t")));
+    assert!(h.server.couples().is_empty());
+}
+
+#[test]
+fn permissions_gate_coupling() {
+    let mut h = SimHarness::new(1);
+    let a = h.add_session(session(FIELD_FORM, 1));
+    let b = h.add_session(session(FIELD_FORM, 2));
+    h.settle();
+
+    // b locks down its field for user 1.
+    h.session_mut(b)
+        .set_permission(UserId(1), &path("f.t"), AccessRight::Denied)
+        .unwrap();
+    h.settle();
+
+    let gb = h.session(b).gid(&path("f.t")).unwrap();
+    h.session_mut(a).couple(&path("f.t"), gb.clone()).unwrap();
+    h.settle();
+    let denied: Vec<_> = h
+        .session_mut(a)
+        .take_events()
+        .into_iter()
+        .filter(|e| matches!(e, SessionEvent::PermissionDenied { .. }))
+        .collect();
+    assert_eq!(denied.len(), 1);
+    assert!(!h.session(a).is_coupled(&path("f.t")));
+
+    // Granting write makes the same couple succeed.
+    h.session_mut(b)
+        .set_permission(UserId(1), &path("f.t"), AccessRight::Write)
+        .unwrap();
+    h.settle();
+    h.session_mut(a).couple(&path("f.t"), gb).unwrap();
+    h.settle();
+    assert!(h.session(a).is_coupled(&path("f.t")));
+}
+
+#[test]
+fn query_instances_supports_join_ui() {
+    let mut h = SimHarness::new(1);
+    let a = h.add_session(session(FIELD_FORM, 1));
+    let _b = h.add_session(session(FIELD_FORM, 2));
+    let _c = h.add_session(session(FIELD_FORM, 3));
+    h.settle();
+
+    h.session_mut(a).query_instances();
+    h.settle();
+    let lists: Vec<_> = h
+        .session_mut(a)
+        .take_events()
+        .into_iter()
+        .filter_map(|e| match e {
+            SessionEvent::InstanceList(entries) => Some(entries),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(lists.len(), 1);
+    assert_eq!(lists[0].len(), 3);
+}
+
+#[test]
+fn same_instance_coupling_mirrors_two_widgets() {
+    // "including the case of two objects coupled within the same
+    // application instance" (§3.3).
+    let mut h = SimHarness::new(1);
+    let a = h.add_session(session(
+        r#"form f { textfield left text="" textfield right text="" }"#,
+        1,
+    ));
+    h.settle();
+    let right = h.session(a).gid(&path("f.right")).unwrap();
+    h.session_mut(a).couple(&path("f.left"), right).unwrap();
+    h.settle();
+
+    type_text(&mut h, a, "f.left", "mirrored");
+    h.settle();
+    assert_eq!(text_of(&h, a, "f.right"), "mirrored");
+}
+
+#[test]
+fn join_copies_then_couples() {
+    let mut h = SimHarness::new(12);
+    let a = h.add_session(session(FIELD_FORM, 1));
+    let b = h.add_session(session(FIELD_FORM, 2));
+    h.settle();
+    type_text(&mut h, b, "f.t", "existing-work");
+    h.settle();
+
+    let remote = h.session(b).gid(&path("f.t")).unwrap();
+    h.session_mut(a).join(remote, &path("f.t"), CopyMode::Strict).unwrap();
+    h.settle();
+    // Initial state arrived AND live coupling works.
+    assert_eq!(text_of(&h, a, "f.t"), "existing-work");
+    type_text(&mut h, b, "f.t", "live-update");
+    h.settle();
+    assert_eq!(text_of(&h, a, "f.t"), "live-update");
+}
+
+#[test]
+fn leave_group_detaches_from_every_peer() {
+    let mut h = SimHarness::new(13);
+    let a = h.add_session(session(FIELD_FORM, 1));
+    let b = h.add_session(session(FIELD_FORM, 2));
+    let c = h.add_session(session(FIELD_FORM, 3));
+    h.settle();
+    let gb = h.session(b).gid(&path("f.t")).unwrap();
+    let gc = h.session(c).gid(&path("f.t")).unwrap();
+    // a links directly to BOTH b and c (a star centred on a).
+    h.session_mut(a).couple(&path("f.t"), gb).unwrap();
+    h.settle();
+    h.session_mut(a).couple(&path("f.t"), gc).unwrap();
+    h.settle();
+    assert_eq!(h.session(a).group_of(&path("f.t")).unwrap().len(), 3);
+
+    let n = h.session_mut(a).leave_group(&path("f.t")).unwrap();
+    assert_eq!(n, 2);
+    h.settle();
+    assert!(!h.session(a).is_coupled(&path("f.t")));
+    // b and c were only connected through a, so they decouple too.
+    assert!(!h.session(b).is_coupled(&path("f.t")));
+    assert!(!h.session(c).is_coupled(&path("f.t")));
+
+    // Leaving when uncoupled is a no-op.
+    assert_eq!(h.session_mut(a).leave_group(&path("f.t")).unwrap(), 0);
+}
+
+#[test]
+fn deterministic_replay_same_seed_same_bytes() {
+    let run = |seed: u64| -> (u64, u64) {
+        let mut h = SimHarness::with_latency(seed, 1_500);
+        let a = h.add_session(session(FIELD_FORM, 1));
+        let b = h.add_session(session(FIELD_FORM, 2));
+        h.settle();
+        let gb = h.session(b).gid(&path("f.t")).unwrap();
+        h.session_mut(a).couple(&path("f.t"), gb).unwrap();
+        h.settle();
+        for i in 0..10 {
+            type_text(&mut h, a, "f.t", &format!("v{i}"));
+            h.settle();
+        }
+        (h.net.stats().bytes_sent, h.net.now_us())
+    };
+    assert_eq!(run(11), run(11));
+}

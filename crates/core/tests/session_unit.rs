@@ -1,0 +1,187 @@
+//! Session edge-path tests: pre-registration errors, event queries,
+//! outbox/event draining semantics, and misdirected server messages.
+
+use cosoft_core::session::{Session, SessionError, SessionEvent};
+use cosoft_core::harness::SimHarness;
+use cosoft_uikit::{spec, Toolkit};
+use cosoft_wire::{
+    AccessRight, CopyMode, EventKind, GlobalObjectId, InstanceId, Message, ObjectPath, UiEvent,
+    UserId,
+};
+
+const FORM: &str = r#"form f { textfield t text="" }"#;
+
+fn path(p: &str) -> ObjectPath {
+    ObjectPath::parse(p).expect("valid")
+}
+
+fn fresh() -> Session {
+    Session::new(
+        Toolkit::from_tree(spec::build_tree(FORM).expect("static")),
+        UserId(1),
+        "h",
+        "unit",
+    )
+}
+
+#[test]
+fn new_session_queues_registration() {
+    let mut s = fresh();
+    let out = s.drain_outbox();
+    assert_eq!(out.len(), 1);
+    assert!(matches!(out[0], Message::Register { .. }));
+    assert!(s.drain_outbox().is_empty(), "drained");
+    assert!(s.instance().is_none());
+}
+
+#[test]
+fn operations_before_welcome_fail_cleanly() {
+    let mut s = fresh();
+    let remote = GlobalObjectId::new(InstanceId(9), path("x"));
+    assert_eq!(s.gid(&path("f.t")).unwrap_err(), SessionError::NotRegistered);
+    assert_eq!(s.couple(&path("f.t"), remote.clone()).unwrap_err(), SessionError::NotRegistered);
+    assert_eq!(
+        s.copy_from(remote.clone(), &path("f.t"), CopyMode::Strict).unwrap_err(),
+        SessionError::NotRegistered
+    );
+    assert_eq!(
+        s.copy_to(&path("f.t"), remote.clone(), CopyMode::Strict).unwrap_err(),
+        SessionError::NotRegistered
+    );
+    assert_eq!(
+        s.set_permission(UserId(2), &path("f.t"), AccessRight::Read).unwrap_err(),
+        SessionError::NotRegistered
+    );
+}
+
+#[test]
+fn welcome_sets_instance_and_emits_event() {
+    let mut s = fresh();
+    s.on_message(Message::Welcome { instance: InstanceId(5) });
+    assert_eq!(s.instance(), Some(InstanceId(5)));
+    let events = s.take_events();
+    assert!(matches!(events[0], SessionEvent::Registered(InstanceId(5))));
+    assert!(s.take_events().is_empty(), "events drained");
+}
+
+#[test]
+fn uncoupled_event_on_unknown_widget_errors() {
+    let mut s = fresh();
+    s.on_message(Message::Welcome { instance: InstanceId(1) });
+    let err = s
+        .user_event(UiEvent::simple(path("f.missing"), EventKind::Activate))
+        .unwrap_err();
+    assert!(matches!(err, SessionError::Ui(cosoft_uikit::UiError::UnknownPath { .. })));
+}
+
+#[test]
+fn copy_to_missing_source_errors() {
+    let mut s = fresh();
+    s.on_message(Message::Welcome { instance: InstanceId(1) });
+    let remote = GlobalObjectId::new(InstanceId(2), path("x"));
+    let err = s.copy_to(&path("f.missing"), remote, CopyMode::Strict).unwrap_err();
+    assert!(matches!(err, SessionError::Ui(cosoft_uikit::UiError::UnknownPath { .. })));
+}
+
+#[test]
+fn state_request_for_missing_object_replies_none() {
+    let mut s = fresh();
+    s.on_message(Message::Welcome { instance: InstanceId(1) });
+    s.drain_outbox();
+    s.on_message(Message::StateRequest { req_id: 7, path: path("f.gone") });
+    let out = s.drain_outbox();
+    assert_eq!(out.len(), 1);
+    assert!(matches!(out[0], Message::StateReply { req_id: 7, snapshot: None }));
+}
+
+#[test]
+fn apply_state_to_missing_object_reports_error() {
+    let mut s = fresh();
+    s.on_message(Message::Welcome { instance: InstanceId(1) });
+    s.drain_outbox();
+    let snapshot = cosoft_wire::StateNode::new(cosoft_wire::WidgetKind::Label, "x");
+    s.on_message(Message::ApplyState {
+        req_id: 9,
+        path: path("f.gone"),
+        snapshot,
+        mode: CopyMode::Strict,
+    });
+    let out = s.drain_outbox();
+    assert_eq!(out.len(), 1);
+    match &out[0] {
+        Message::StateApplied { req_id: 9, overwritten: None, error: Some(_) } => {}
+        other => panic!("expected failed StateApplied, got {other:?}"),
+    }
+}
+
+#[test]
+fn execute_event_for_missing_target_still_reports_done() {
+    // The group must never stall because one replica lost the widget.
+    let mut s = fresh();
+    s.on_message(Message::Welcome { instance: InstanceId(1) });
+    s.drain_outbox();
+    s.on_message(Message::ExecuteEvent {
+        exec_id: 4,
+        target: path("f.gone"),
+        event: UiEvent::simple(path("f.gone"), EventKind::Activate),
+    });
+    let out = s.drain_outbox();
+    assert!(out.iter().any(|m| matches!(m, Message::ExecuteDone { exec_id: 4 })));
+    assert_eq!(s.remote_executions(), 0);
+}
+
+#[test]
+fn spurious_server_messages_are_ignored() {
+    let mut s = fresh();
+    s.on_message(Message::Welcome { instance: InstanceId(1) });
+    s.drain_outbox();
+    s.take_events(); // drop the Registered notification
+    // Replies for unknown seq/exec ids must be no-ops.
+    s.on_message(Message::EventGranted { seq: 99, exec_id: 5 });
+    s.on_message(Message::EventRejected { seq: 98 });
+    s.on_message(Message::GroupUnlocked { exec_id: 1, objects: vec![path("f.gone")] });
+    // Client-originated kinds arriving at a client are ignored.
+    s.on_message(Message::Deregister);
+    assert!(s.drain_outbox().is_empty());
+    assert!(s.take_events().is_empty());
+}
+
+#[test]
+fn list_coupled_surfaces_as_event() {
+    let mut h = SimHarness::new(9);
+    let a = h.add_session(fresh());
+    let b = h.add_session(Session::new(
+        Toolkit::from_tree(spec::build_tree(FORM).expect("static")),
+        UserId(2),
+        "h2",
+        "unit",
+    ));
+    h.settle();
+    let gb = h.session(b).gid(&path("f.t")).expect("registered");
+    h.session_mut(a).couple(&path("f.t"), gb.clone()).expect("registered");
+    h.settle();
+    let ga = h.session(a).gid(&path("f.t")).expect("registered");
+    h.session_mut(a).list_coupled(ga);
+    h.settle();
+    let sets: Vec<_> = h
+        .session_mut(a)
+        .take_events()
+        .into_iter()
+        .filter_map(|e| match e {
+            SessionEvent::CoupledSet { coupled, .. } => Some(coupled),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(sets.len(), 1);
+    assert_eq!(sets[0], vec![gb]);
+}
+
+#[test]
+fn leave_queues_deregister() {
+    let mut s = fresh();
+    s.on_message(Message::Welcome { instance: InstanceId(1) });
+    s.drain_outbox();
+    s.leave();
+    let out = s.drain_outbox();
+    assert!(matches!(out[0], Message::Deregister));
+}

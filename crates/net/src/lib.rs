@@ -1,0 +1,20 @@
+//! `cosoft-net` — network substrates for the COSOFT reproduction.
+//!
+//! Two carriers for the same [`cosoft_wire::Message`] protocol:
+//!
+//! * [`sim`] — a deterministic discrete-event simulated network with a
+//!   virtual microsecond clock, seeded latency models and fault injection.
+//!   All benchmarks and most tests run here, replacing the paper's 1994
+//!   LAN with a reproducible substrate.
+//! * [`tcp`] — real sockets (`std::net`, thread-per-connection, crossbeam
+//!   channels) so the same server and client logic also runs end-to-end
+//!   over TCP.
+//!
+//! The server and client cores are written sans-I/O (they map an incoming
+//! message to outgoing messages) so both carriers drive identical logic.
+
+pub mod sim;
+pub mod tcp;
+
+pub use sim::{Delivery, FaultPlan, Latency, NetStats, NodeId, SimNet};
+pub use tcp::{ConnId, NetEvent, TcpClient, TcpHost};

@@ -1,0 +1,322 @@
+//! Real TCP transport: length-prefixed COSOFT frames over `std::net`
+//! sockets, thread-per-connection, delivered through crossbeam channels.
+//!
+//! The simulated network ([`crate::sim`]) carries all benchmarks; this
+//! transport exists so the same server/client logic also runs over real
+//! sockets (integration tests and the runnable examples use it).
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use cosoft_wire::{codec, Message};
+use parking_lot::Mutex;
+
+/// Identifier of one accepted connection on a [`TcpHost`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+/// Event surfaced by a [`TcpHost`].
+#[derive(Debug)]
+pub enum NetEvent {
+    /// A client connected.
+    Connected(ConnId),
+    /// A complete message arrived from a client.
+    Message(ConnId, Message),
+    /// A client disconnected (cleanly or on error).
+    Disconnected(ConnId),
+}
+
+/// Accepting side of the TCP transport (used by the COSOFT server).
+///
+/// Each accepted connection gets a reader thread that decodes frames into
+/// the shared event channel; writes go through a per-connection mutex.
+pub struct TcpHost {
+    local_addr: SocketAddr,
+    events: Receiver<NetEvent>,
+    writers: Arc<Mutex<HashMap<ConnId, TcpStream>>>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TcpHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpHost").field("local_addr", &self.local_addr).finish()
+    }
+}
+
+impl TcpHost {
+    /// Binds a listener (use port 0 for an ephemeral port) and starts the
+    /// accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str) -> io::Result<TcpHost> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let (tx, rx) = unbounded();
+        let writers: Arc<Mutex<HashMap<ConnId, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let next_id = Arc::new(AtomicU64::new(1));
+
+        let accept_writers = writers.clone();
+        let accept_shutdown = shutdown.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("cosoft-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let id = ConnId(next_id.fetch_add(1, Ordering::SeqCst));
+                    stream.set_nodelay(true).ok();
+                    let reader = match stream.try_clone() {
+                        Ok(r) => r,
+                        Err(_) => continue,
+                    };
+                    accept_writers.lock().insert(id, stream);
+                    if tx.send(NetEvent::Connected(id)).is_err() {
+                        break;
+                    }
+                    let conn_tx = tx.clone();
+                    let conn_writers = accept_writers.clone();
+                    std::thread::Builder::new()
+                        .name(format!("cosoft-conn-{}", id.0))
+                        .spawn(move || {
+                            let mut reader = BufReader::new(reader);
+                            loop {
+                                match codec::read_frame(&mut reader) {
+                                    Ok(Some(msg)) => {
+                                        if conn_tx.send(NetEvent::Message(id, msg)).is_err() {
+                                            break;
+                                        }
+                                    }
+                                    Ok(None) | Err(_) => break,
+                                }
+                            }
+                            conn_writers.lock().remove(&id);
+                            let _ = conn_tx.send(NetEvent::Disconnected(id));
+                        })
+                        .expect("spawn connection thread");
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(TcpHost { local_addr, events: rx, writers, shutdown, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Receiver of connection events.
+    pub fn events(&self) -> &Receiver<NetEvent> {
+        &self.events
+    }
+
+    /// Sends a message to one connection.
+    ///
+    /// # Errors
+    ///
+    /// `NotConnected` if the connection is gone; otherwise propagates
+    /// socket write errors.
+    pub fn send(&self, conn: ConnId, msg: &Message) -> io::Result<()> {
+        let frame = codec::frame_message(msg);
+        let mut writers = self.writers.lock();
+        match writers.get_mut(&conn) {
+            Some(stream) => stream.write_all(&frame),
+            None => Err(io::Error::new(io::ErrorKind::NotConnected, "connection closed")),
+        }
+    }
+
+    /// Closes one connection; its reader thread will surface a
+    /// [`NetEvent::Disconnected`].
+    pub fn disconnect(&self, conn: ConnId) {
+        if let Some(stream) = self.writers.lock().remove(&conn) {
+            stream.shutdown(std::net::Shutdown::Both).ok();
+        }
+    }
+}
+
+impl Drop for TcpHost {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(100));
+        for (_, stream) in self.writers.lock().drain() {
+            stream.shutdown(std::net::Shutdown::Both).ok();
+        }
+        if let Some(h) = self.accept_thread.take() {
+            h.join().ok();
+        }
+    }
+}
+
+/// Connecting side of the TCP transport (used by application instances).
+pub struct TcpClient {
+    stream: Mutex<TcpStream>,
+    incoming: Receiver<Message>,
+    _reader: JoinHandle<()>,
+}
+
+impl std::fmt::Debug for TcpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpClient").finish_non_exhaustive()
+    }
+}
+
+impl TcpClient {
+    /// Connects to a [`TcpHost`] and starts the reader thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader_stream = stream.try_clone()?;
+        let (tx, rx): (Sender<Message>, Receiver<Message>) = unbounded();
+        let reader = std::thread::Builder::new()
+            .name("cosoft-client-reader".into())
+            .spawn(move || {
+                let mut reader = BufReader::new(reader_stream);
+                while let Ok(Some(msg)) = codec::read_frame(&mut reader) {
+                    if tx.send(msg).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn client reader");
+        Ok(TcpClient { stream: Mutex::new(stream), incoming: rx, _reader: reader })
+    }
+
+    /// Sends a message to the server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn send(&self, msg: &Message) -> io::Result<()> {
+        self.stream.lock().write_all(&codec::frame_message(msg))
+    }
+
+    /// Receives the next message, blocking up to `timeout`.
+    ///
+    /// Returns `None` on timeout or when the connection closed.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        self.incoming.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        self.incoming.try_recv().ok()
+    }
+
+    /// Receiver handle for select-style integration.
+    pub fn incoming(&self) -> &Receiver<Message> {
+        &self.incoming
+    }
+
+    /// Shuts the connection down; the server sees a disconnect.
+    pub fn close(&self) {
+        self.stream.lock().shutdown(std::net::Shutdown::Both).ok();
+    }
+}
+
+impl Drop for TcpClient {
+    fn drop(&mut self) {
+        // The reader thread holds a cloned file descriptor; an explicit
+        // shutdown is required so dropping the client actually closes the
+        // connection (and unblocks the reader).
+        self.stream.lock().shutdown(std::net::Shutdown::Both).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosoft_wire::{InstanceId, UserId};
+
+    const TIMEOUT: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn round_trip_over_real_sockets() {
+        let host = TcpHost::bind("127.0.0.1:0").unwrap();
+        let client = TcpClient::connect(host.local_addr()).unwrap();
+
+        let conn = match host.events().recv_timeout(TIMEOUT).unwrap() {
+            NetEvent::Connected(c) => c,
+            other => panic!("expected Connected, got {other:?}"),
+        };
+
+        client
+            .send(&Message::Register {
+                user: UserId(7),
+                host: "ws1".into(),
+                app_name: "demo".into(),
+            })
+            .unwrap();
+        match host.events().recv_timeout(TIMEOUT).unwrap() {
+            NetEvent::Message(c, Message::Register { user, .. }) => {
+                assert_eq!(c, conn);
+                assert_eq!(user, UserId(7));
+            }
+            other => panic!("expected Register, got {other:?}"),
+        }
+
+        host.send(conn, &Message::Welcome { instance: InstanceId(3) }).unwrap();
+        match client.recv_timeout(TIMEOUT).unwrap() {
+            Message::Welcome { instance } => assert_eq!(instance, InstanceId(3)),
+            other => panic!("expected Welcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnect_is_surfaced() {
+        let host = TcpHost::bind("127.0.0.1:0").unwrap();
+        let client = TcpClient::connect(host.local_addr()).unwrap();
+        let conn = match host.events().recv_timeout(TIMEOUT).unwrap() {
+            NetEvent::Connected(c) => c,
+            other => panic!("expected Connected, got {other:?}"),
+        };
+        client.close();
+        match host.events().recv_timeout(TIMEOUT).unwrap() {
+            NetEvent::Disconnected(c) => assert_eq!(c, conn),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+        assert!(host.send(conn, &Message::QueryInstances).is_err());
+    }
+
+    #[test]
+    fn multiple_clients_multiplex() {
+        let host = TcpHost::bind("127.0.0.1:0").unwrap();
+        let c1 = TcpClient::connect(host.local_addr()).unwrap();
+        let c2 = TcpClient::connect(host.local_addr()).unwrap();
+        let mut conns = Vec::new();
+        for _ in 0..2 {
+            match host.events().recv_timeout(TIMEOUT).unwrap() {
+                NetEvent::Connected(c) => conns.push(c),
+                other => panic!("expected Connected, got {other:?}"),
+            }
+        }
+        c1.send(&Message::QueryInstances).unwrap();
+        c2.send(&Message::Deregister).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            match host.events().recv_timeout(TIMEOUT).unwrap() {
+                NetEvent::Message(c, m) => got.push((c, m.kind_name())),
+                other => panic!("expected Message, got {other:?}"),
+            }
+        }
+        got.sort();
+        assert_eq!(got.len(), 2);
+        assert_ne!(got[0].0, got[1].0);
+    }
+}

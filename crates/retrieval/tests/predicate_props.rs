@@ -1,0 +1,110 @@
+//! Property-based tests of the relation engine: predicate evaluation
+//! against a naive reference implementation, and query-combinator laws.
+
+use proptest::prelude::*;
+
+use cosoft_retrieval::{ColumnType, Predicate, Query, Table, Value};
+
+fn table_from_rows(rows: &[(String, i64)]) -> Table {
+    let mut t = Table::new("t", vec![("name", ColumnType::Text), ("num", ColumnType::Int)])
+        .expect("static schema");
+    for (name, num) in rows {
+        t.insert(vec![Value::text(name), Value::Int(*num)]).expect("typed row");
+    }
+    t
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(String, i64)>> {
+    prop::collection::vec(("[a-c]{0,4}", -50i64..50), 0..30)
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    let leaf = prop_oneof![
+        Just(Predicate::True),
+        "[a-c]{0,3}".prop_map(|s| Predicate::substring("name", &s)),
+        "[a-c]{0,3}".prop_map(|s| Predicate::Prefix("name".into(), s)),
+        (-50i64..50).prop_map(|n| Predicate::eq("num", Value::Int(n))),
+        (-50i64..50, 0i64..30).prop_map(|(lo, d)| Predicate::Range("num".into(), lo, lo + d)),
+        prop::collection::vec("[a-c]{0,4}", 0..3)
+            .prop_map(|alts| Predicate::like_one_of("name", alts)),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Predicate::And),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Predicate::Or),
+            inner.prop_map(|p| Predicate::Not(Box::new(p))),
+        ]
+    })
+}
+
+/// Reference evaluation, written independently of the engine.
+fn reference_matches(p: &Predicate, name: &str, num: i64) -> bool {
+    match p {
+        Predicate::True => true,
+        Predicate::Eq(col, v) => match (col.as_str(), v) {
+            ("name", Value::Text(s)) => name == s,
+            ("num", Value::Int(i)) => num == *i,
+            _ => false,
+        },
+        Predicate::Substring(_, needle) => {
+            name.to_lowercase().contains(&needle.to_lowercase())
+        }
+        Predicate::Prefix(_, prefix) => name.to_lowercase().starts_with(&prefix.to_lowercase()),
+        Predicate::LikeOneOf(col, alts) => {
+            let cell = if col == "name" { name.to_lowercase() } else { num.to_string() };
+            alts.iter().any(|a| a.to_lowercase() == cell)
+        }
+        Predicate::Range(_, lo, hi) => num >= *lo && num <= *hi,
+        Predicate::And(ps) => ps.iter().all(|p| reference_matches(p, name, num)),
+        Predicate::Or(ps) => ps.iter().any(|p| reference_matches(p, name, num)),
+        Predicate::Not(p) => !reference_matches(p, name, num),
+    }
+}
+
+// The generator keeps text operators on `name` and numeric operators on
+// `num`, so every generated predicate is type-correct by construction.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn engine_matches_reference(rows in arb_rows(), p in arb_predicate()) {
+        let table = table_from_rows(&rows);
+        let result = Query::new().filter(p.clone()).run(&table).expect("valid predicate");
+        let expected: Vec<&(String, i64)> =
+            rows.iter().filter(|(n, i)| reference_matches(&p, n, *i)).collect();
+        prop_assert_eq!(result.len(), expected.len());
+        for (row, (name, num)) in result.rows.iter().zip(expected) {
+            prop_assert_eq!(&row[0], &Value::text(name));
+            prop_assert_eq!(&row[1], &Value::Int(*num));
+        }
+    }
+
+    #[test]
+    fn double_negation_is_identity(rows in arb_rows(), p in arb_predicate()) {
+        let table = table_from_rows(&rows);
+        let direct = Query::new().filter(p.clone()).run(&table).expect("valid");
+        let double_neg = Query::new()
+            .filter(Predicate::Not(Box::new(Predicate::Not(Box::new(p)))))
+            .run(&table)
+            .expect("valid");
+        prop_assert_eq!(direct, double_neg);
+    }
+
+    #[test]
+    fn limit_is_prefix_of_unlimited(rows in arb_rows(), p in arb_predicate(), k in 0usize..10) {
+        let table = table_from_rows(&rows);
+        let full = Query::new().filter(p.clone()).run(&table).expect("valid");
+        let limited = Query::new().filter(p).limit(k).run(&table).expect("valid");
+        prop_assert_eq!(limited.len(), full.len().min(k));
+        prop_assert_eq!(&limited.rows[..], &full.rows[..limited.len()]);
+    }
+
+    #[test]
+    fn projection_preserves_row_count(rows in arb_rows(), p in arb_predicate()) {
+        let table = table_from_rows(&rows);
+        let full = Query::new().filter(p.clone()).run(&table).expect("valid");
+        let projected = Query::new().filter(p).select(["num"]).run(&table).expect("valid");
+        prop_assert_eq!(projected.len(), full.len());
+        prop_assert!(projected.rows.iter().all(|r| r.len() == 1));
+    }
+}

@@ -1,0 +1,157 @@
+//! Access permissions (§2.2): "three-valued tuples with user ID, UI state
+//! identifier, and access right category".
+
+use std::collections::HashMap;
+
+use cosoft_wire::{AccessRight, GlobalObjectId, UserId};
+
+/// The server's access-permission table.
+///
+/// Rights resolve most-specific-first:
+///
+/// 1. an explicit `(user, object)` tuple,
+/// 2. an explicit `(user, ancestor-of-object)` tuple (a right on a complex
+///    object covers its components),
+/// 3. the table's default right (configurable; permissive `Write` out of
+///    the box, matching the open classroom setting).
+///
+/// The owner of an object (the user of the instance the object lives in)
+/// always has `Write` on it; ownership is checked by the caller, which
+/// knows the registry.
+#[derive(Debug, Clone)]
+pub struct AccessTable {
+    tuples: HashMap<(UserId, GlobalObjectId), AccessRight>,
+    default: AccessRight,
+}
+
+impl Default for AccessTable {
+    fn default() -> Self {
+        AccessTable { tuples: HashMap::new(), default: AccessRight::Write }
+    }
+}
+
+impl AccessTable {
+    /// Creates a table with the permissive default (`Write`).
+    pub fn new() -> Self {
+        AccessTable::default()
+    }
+
+    /// Creates a table with an explicit default right.
+    pub fn with_default(default: AccessRight) -> Self {
+        AccessTable { tuples: HashMap::new(), default }
+    }
+
+    /// The default right applied when no tuple matches.
+    pub fn default_right(&self) -> AccessRight {
+        self.default
+    }
+
+    /// Inserts (or replaces) a permission tuple, returning the previous
+    /// right for that exact tuple.
+    pub fn set(
+        &mut self,
+        user: UserId,
+        object: GlobalObjectId,
+        right: AccessRight,
+    ) -> Option<AccessRight> {
+        self.tuples.insert((user, object), right)
+    }
+
+    /// Resolves the effective right of `user` on `object`.
+    pub fn right_of(&self, user: UserId, object: &GlobalObjectId) -> AccessRight {
+        if let Some(r) = self.tuples.get(&(user, object.clone())) {
+            return *r;
+        }
+        // Walk ancestors: a right on a complex object covers components.
+        let mut path = object.path.clone();
+        while let Some(parent) = path.parent() {
+            let key = (user, GlobalObjectId::new(object.instance, parent.clone()));
+            if let Some(r) = self.tuples.get(&key) {
+                return *r;
+            }
+            path = parent;
+        }
+        self.default
+    }
+
+    /// Whether `user` may read (copy) the state of `object`.
+    pub fn may_read(&self, user: UserId, object: &GlobalObjectId) -> bool {
+        self.right_of(user, object).allows_read()
+    }
+
+    /// Whether `user` may write (couple with / modify) `object`.
+    pub fn may_write(&self, user: UserId, object: &GlobalObjectId) -> bool {
+        self.right_of(user, object).allows_write()
+    }
+
+    /// Number of explicit tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the table has no explicit tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosoft_wire::{InstanceId, ObjectPath};
+
+    fn gid(i: u64, p: &str) -> GlobalObjectId {
+        GlobalObjectId::new(InstanceId(i), ObjectPath::parse(p).unwrap())
+    }
+
+    #[test]
+    fn default_is_permissive() {
+        let t = AccessTable::new();
+        assert!(t.may_read(UserId(1), &gid(2, "a.b")));
+        assert!(t.may_write(UserId(1), &gid(2, "a.b")));
+    }
+
+    #[test]
+    fn explicit_tuple_overrides_default() {
+        let mut t = AccessTable::new();
+        t.set(UserId(1), gid(2, "a.b"), AccessRight::Denied);
+        assert!(!t.may_read(UserId(1), &gid(2, "a.b")));
+        assert!(t.may_read(UserId(3), &gid(2, "a.b")), "other users unaffected");
+    }
+
+    #[test]
+    fn read_only_permits_copy_not_couple() {
+        let mut t = AccessTable::with_default(AccessRight::Denied);
+        t.set(UserId(1), gid(2, "form"), AccessRight::Read);
+        assert!(t.may_read(UserId(1), &gid(2, "form")));
+        assert!(!t.may_write(UserId(1), &gid(2, "form")));
+    }
+
+    #[test]
+    fn rights_inherit_down_the_object_tree() {
+        let mut t = AccessTable::with_default(AccessRight::Denied);
+        t.set(UserId(1), gid(2, "form"), AccessRight::Write);
+        assert!(t.may_write(UserId(1), &gid(2, "form.field")));
+        assert!(t.may_write(UserId(1), &gid(2, "form.panel.deep")));
+        assert!(!t.may_write(UserId(1), &gid(2, "other")));
+        // Closer tuples win over ancestors.
+        t.set(UserId(1), gid(2, "form.field"), AccessRight::Denied);
+        assert!(!t.may_read(UserId(1), &gid(2, "form.field")));
+        assert!(t.may_write(UserId(1), &gid(2, "form.other")));
+    }
+
+    #[test]
+    fn restrictive_default() {
+        let t = AccessTable::with_default(AccessRight::Denied);
+        assert!(!t.may_read(UserId(1), &gid(2, "x")));
+        assert_eq!(t.default_right(), AccessRight::Denied);
+    }
+
+    #[test]
+    fn set_returns_previous() {
+        let mut t = AccessTable::new();
+        assert_eq!(t.set(UserId(1), gid(1, "a"), AccessRight::Read), None);
+        assert_eq!(t.set(UserId(1), gid(1, "a"), AccessRight::Write), Some(AccessRight::Read));
+        assert_eq!(t.len(), 1);
+    }
+}

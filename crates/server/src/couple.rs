@@ -1,0 +1,303 @@
+//! The couple directory: the couple relation `C` and its transitive
+//! closure `CO(o)` (§3).
+//!
+//! "A couple link is a directed arc from the source UI object to the
+//! destination UI object ... To compute the set of objects CO(o) connected
+//! to or coupled with a given object o, we use the transitive closure of
+//! C." Closure traversal is undirected: coupling either endpoint adds the
+//! peer's whole group ("objects already connected to O2 are added to the
+//! list of targets, and objects already connected to O1 are added to the
+//! source").
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+use cosoft_wire::{GlobalObjectId, InstanceId};
+
+/// The server-side couple relation.
+#[derive(Debug, Clone, Default)]
+pub struct CoupleDirectory {
+    /// Directed links as created (kept for faithful decoupling semantics).
+    links: HashSet<(GlobalObjectId, GlobalObjectId)>,
+    /// Undirected adjacency for closure traversal.
+    adj: HashMap<GlobalObjectId, BTreeSet<GlobalObjectId>>,
+}
+
+impl CoupleDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        CoupleDirectory::default()
+    }
+
+    /// Adds a couple link `src → dst`. Returns `false` if the link (in
+    /// either direction) already existed.
+    ///
+    /// Self-links are ignored (an object is trivially coupled with
+    /// itself).
+    pub fn couple(&mut self, src: GlobalObjectId, dst: GlobalObjectId) -> bool {
+        if src == dst {
+            return false;
+        }
+        if self.links.contains(&(src.clone(), dst.clone()))
+            || self.links.contains(&(dst.clone(), src.clone()))
+        {
+            return false;
+        }
+        self.links.insert((src.clone(), dst.clone()));
+        self.adj.entry(src.clone()).or_default().insert(dst.clone());
+        self.adj.entry(dst).or_default().insert(src);
+        true
+    }
+
+    /// Removes the couple link between `src` and `dst` (either direction).
+    /// Returns `false` if no such link existed.
+    pub fn decouple(&mut self, src: &GlobalObjectId, dst: &GlobalObjectId) -> bool {
+        let removed = self.links.remove(&(src.clone(), dst.clone()))
+            || self.links.remove(&(dst.clone(), src.clone()));
+        if removed {
+            self.remove_adj(src, dst);
+        }
+        removed
+    }
+
+    fn remove_adj(&mut self, a: &GlobalObjectId, b: &GlobalObjectId) {
+        if let Some(s) = self.adj.get_mut(a) {
+            s.remove(b);
+            if s.is_empty() {
+                self.adj.remove(a);
+            }
+        }
+        if let Some(s) = self.adj.get_mut(b) {
+            s.remove(a);
+            if s.is_empty() {
+                self.adj.remove(b);
+            }
+        }
+    }
+
+    /// Computes `CO(o)`: every object transitively coupled with `o`,
+    /// excluding `o` itself, in deterministic order.
+    pub fn coupled_with(&self, o: &GlobalObjectId) -> Vec<GlobalObjectId> {
+        let mut group = self.group_of(o);
+        group.retain(|g| g != o);
+        group
+    }
+
+    /// The full coupling group of `o` (including `o`), in deterministic
+    /// order. An uncoupled object forms a singleton group.
+    pub fn group_of(&self, o: &GlobalObjectId) -> Vec<GlobalObjectId> {
+        let mut seen: BTreeSet<GlobalObjectId> = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(o.clone());
+        queue.push_back(o.clone());
+        while let Some(cur) = queue.pop_front() {
+            if let Some(neighbors) = self.adj.get(&cur) {
+                for n in neighbors {
+                    if seen.insert(n.clone()) {
+                        queue.push_back(n.clone());
+                    }
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Whether `o` participates in any couple link.
+    pub fn is_coupled(&self, o: &GlobalObjectId) -> bool {
+        self.adj.contains_key(o)
+    }
+
+    /// Finds the coupled object enclosing `o`: `o` itself if coupled,
+    /// otherwise the nearest coupled ancestor along `o`'s pathname.
+    ///
+    /// Events on components of a coupled complex object are routed
+    /// through the enclosing object's couple links (coupling a form
+    /// synchronizes its components).
+    pub fn coupled_base_of(&self, o: &GlobalObjectId) -> Option<GlobalObjectId> {
+        if self.is_coupled(o) {
+            return Some(o.clone());
+        }
+        let mut path = o.path.clone();
+        while let Some(parent) = path.parent() {
+            let candidate = GlobalObjectId::new(o.instance, parent.clone());
+            if self.is_coupled(&candidate) {
+                return Some(candidate);
+            }
+            path = parent;
+        }
+        None
+    }
+
+    /// Removes every link touching `object` (applied automatically "when a
+    /// UI object is destroyed", §3.2). Returns the object's former group
+    /// (excluding it) so the server can notify the remaining members.
+    pub fn remove_object(&mut self, object: &GlobalObjectId) -> Vec<GlobalObjectId> {
+        let rest = self.coupled_with(object);
+        let neighbors: Vec<GlobalObjectId> =
+            self.adj.get(object).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+        for n in neighbors {
+            self.links.remove(&(object.clone(), n.clone()));
+            self.links.remove(&(n.clone(), object.clone()));
+            self.remove_adj(object, &n);
+        }
+        rest
+    }
+
+    /// Removes every link touching any object of `instance` (applied when
+    /// "an application instance terminates", §3.2). Returns the resulting
+    /// groups of every surviving object that lost a neighbour — computed
+    /// *after* removal, so singleton groups signal full decoupling.
+    pub fn remove_instance(&mut self, instance: InstanceId) -> Vec<Vec<GlobalObjectId>> {
+        let doomed: Vec<GlobalObjectId> =
+            self.adj.keys().filter(|o| o.instance == instance).cloned().collect();
+        let mut affected: BTreeSet<GlobalObjectId> = BTreeSet::new();
+        for o in &doomed {
+            if let Some(neighbors) = self.adj.get(o) {
+                affected.extend(neighbors.iter().filter(|n| n.instance != instance).cloned());
+            }
+        }
+        for o in doomed {
+            self.remove_object(&o);
+        }
+        let mut seen: BTreeSet<GlobalObjectId> = BTreeSet::new();
+        let mut groups = Vec::new();
+        for s in affected {
+            if seen.contains(&s) {
+                continue;
+            }
+            let g = self.group_of(&s);
+            seen.extend(g.iter().cloned());
+            groups.push(g);
+        }
+        groups
+    }
+
+    /// The instances owning at least one object of `o`'s group (including
+    /// `o`'s own instance), sorted.
+    pub fn instances_in_group(&self, o: &GlobalObjectId) -> Vec<InstanceId> {
+        let mut v: Vec<InstanceId> = self.group_of(o).iter().map(|g| g.instance).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the directory has no links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosoft_wire::ObjectPath;
+
+    fn gid(i: u64, p: &str) -> GlobalObjectId {
+        GlobalObjectId::new(InstanceId(i), ObjectPath::parse(p).unwrap())
+    }
+
+    #[test]
+    fn couple_builds_transitive_closure() {
+        let mut d = CoupleDirectory::new();
+        assert!(d.couple(gid(1, "a"), gid(2, "b")));
+        assert!(d.couple(gid(2, "b"), gid(3, "c")));
+        // a ~ b ~ c: closure connects a and c although no direct link.
+        assert_eq!(d.coupled_with(&gid(1, "a")), vec![gid(2, "b"), gid(3, "c")]);
+        assert_eq!(d.coupled_with(&gid(3, "c")), vec![gid(1, "a"), gid(2, "b")]);
+        assert_eq!(d.group_of(&gid(2, "b")).len(), 3);
+    }
+
+    #[test]
+    fn closure_is_undirected() {
+        let mut d = CoupleDirectory::new();
+        d.couple(gid(1, "a"), gid(2, "b"));
+        // Either endpoint sees the other.
+        assert_eq!(d.coupled_with(&gid(2, "b")), vec![gid(1, "a")]);
+    }
+
+    #[test]
+    fn duplicate_and_self_links_rejected() {
+        let mut d = CoupleDirectory::new();
+        assert!(d.couple(gid(1, "a"), gid(2, "b")));
+        assert!(!d.couple(gid(1, "a"), gid(2, "b")));
+        assert!(!d.couple(gid(2, "b"), gid(1, "a")), "reverse duplicate rejected");
+        assert!(!d.couple(gid(1, "a"), gid(1, "a")), "self link rejected");
+        assert_eq!(d.link_count(), 1);
+    }
+
+    #[test]
+    fn decouple_splits_groups() {
+        let mut d = CoupleDirectory::new();
+        d.couple(gid(1, "a"), gid(2, "b"));
+        d.couple(gid(2, "b"), gid(3, "c"));
+        assert!(d.decouple(&gid(2, "b"), &gid(1, "a")), "direction-insensitive");
+        assert!(d.coupled_with(&gid(1, "a")).is_empty());
+        assert_eq!(d.coupled_with(&gid(3, "c")), vec![gid(2, "b")]);
+        assert!(!d.decouple(&gid(1, "a"), &gid(2, "b")), "already removed");
+    }
+
+    #[test]
+    fn decouple_keeps_group_when_cycle_exists() {
+        let mut d = CoupleDirectory::new();
+        d.couple(gid(1, "a"), gid(2, "b"));
+        d.couple(gid(2, "b"), gid(3, "c"));
+        d.couple(gid(3, "c"), gid(1, "a"));
+        d.decouple(&gid(1, "a"), &gid(2, "b"));
+        // Still connected through c.
+        assert_eq!(d.group_of(&gid(1, "a")).len(), 3);
+    }
+
+    #[test]
+    fn uncoupled_object_is_singleton() {
+        let d = CoupleDirectory::new();
+        assert!(d.coupled_with(&gid(1, "x")).is_empty());
+        assert_eq!(d.group_of(&gid(1, "x")), vec![gid(1, "x")]);
+        assert!(!d.is_coupled(&gid(1, "x")));
+    }
+
+    #[test]
+    fn remove_object_detaches_everything() {
+        let mut d = CoupleDirectory::new();
+        d.couple(gid(1, "a"), gid(2, "b"));
+        d.couple(gid(1, "a"), gid(3, "c"));
+        let rest = d.remove_object(&gid(1, "a"));
+        assert_eq!(rest, vec![gid(2, "b"), gid(3, "c")]);
+        assert!(d.is_empty());
+        assert!(d.coupled_with(&gid(2, "b")).is_empty());
+    }
+
+    #[test]
+    fn remove_instance_decouples_all_its_objects() {
+        let mut d = CoupleDirectory::new();
+        d.couple(gid(1, "a"), gid(2, "b"));
+        d.couple(gid(1, "x"), gid(3, "y"));
+        d.couple(gid(2, "b"), gid(3, "z"));
+        let affected = d.remove_instance(InstanceId(1));
+        assert_eq!(affected.len(), 2);
+        // b~z survives (the link not involving instance 1).
+        assert_eq!(d.coupled_with(&gid(2, "b")), vec![gid(3, "z")]);
+        assert!(d.coupled_with(&gid(3, "y")).is_empty());
+    }
+
+    #[test]
+    fn instances_in_group_deduplicates() {
+        let mut d = CoupleDirectory::new();
+        d.couple(gid(1, "a"), gid(2, "b"));
+        d.couple(gid(1, "c"), gid(2, "b"));
+        assert_eq!(d.instances_in_group(&gid(2, "b")), vec![InstanceId(1), InstanceId(2)]);
+    }
+
+    #[test]
+    fn two_objects_same_instance_can_couple() {
+        // "including the case of two objects coupled within the same
+        // application instance" (§3.3).
+        let mut d = CoupleDirectory::new();
+        assert!(d.couple(gid(1, "a"), gid(1, "b")));
+        assert_eq!(d.coupled_with(&gid(1, "a")), vec![gid(1, "b")]);
+        assert_eq!(d.instances_in_group(&gid(1, "a")), vec![InstanceId(1)]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Historical UI states (§2.2): "the historical UI states backup the UI
+//! states which have been overwritten when synchronizing by state was
+//! applied, and provide the possibility of undoing/redoing user's
+//! actions".
+
+use std::collections::HashMap;
+
+use cosoft_wire::{GlobalObjectId, StateNode};
+
+/// Per-object undo/redo stacks of overwritten UI states.
+#[derive(Debug, Clone)]
+pub struct HistoryStore {
+    undo: HashMap<GlobalObjectId, Vec<StateNode>>,
+    redo: HashMap<GlobalObjectId, Vec<StateNode>>,
+    max_depth: usize,
+}
+
+impl Default for HistoryStore {
+    fn default() -> Self {
+        HistoryStore { undo: HashMap::new(), redo: HashMap::new(), max_depth: 64 }
+    }
+}
+
+impl HistoryStore {
+    /// Creates a store with the default depth cap (64 states per object).
+    pub fn new() -> Self {
+        HistoryStore::default()
+    }
+
+    /// Creates a store with an explicit per-object depth cap.
+    pub fn with_max_depth(max_depth: usize) -> Self {
+        HistoryStore { undo: HashMap::new(), redo: HashMap::new(), max_depth: max_depth.max(1) }
+    }
+
+    /// Records a state overwritten by synchronization-by-state.
+    ///
+    /// A fresh overwrite invalidates the redo stack (standard linear
+    /// history semantics).
+    pub fn record_overwrite(&mut self, object: GlobalObjectId, overwritten: StateNode) {
+        self.redo.remove(&object);
+        let stack = self.undo.entry(object).or_default();
+        stack.push(overwritten);
+        if stack.len() > self.max_depth {
+            stack.remove(0);
+        }
+    }
+
+    /// Pops the most recent overwritten state for undo. The caller applies
+    /// it and then feeds the state it displaced into
+    /// [`HistoryStore::record_undone`].
+    pub fn pop_undo(&mut self, object: &GlobalObjectId) -> Option<StateNode> {
+        self.undo.get_mut(object)?.pop()
+    }
+
+    /// Records the state displaced by an undo, making it redoable.
+    pub fn record_undone(&mut self, object: GlobalObjectId, displaced: StateNode) {
+        let stack = self.redo.entry(object).or_default();
+        stack.push(displaced);
+        if stack.len() > self.max_depth {
+            stack.remove(0);
+        }
+    }
+
+    /// Pops the most recent undone state for redo. The caller applies it
+    /// and feeds the displaced state back through
+    /// [`HistoryStore::record_redone`].
+    pub fn pop_redo(&mut self, object: &GlobalObjectId) -> Option<StateNode> {
+        self.redo.get_mut(object)?.pop()
+    }
+
+    /// Records the state displaced by a redo back onto the undo stack
+    /// (without clearing redo, unlike a fresh overwrite).
+    pub fn record_redone(&mut self, object: GlobalObjectId, displaced: StateNode) {
+        let stack = self.undo.entry(object).or_default();
+        stack.push(displaced);
+        if stack.len() > self.max_depth {
+            stack.remove(0);
+        }
+    }
+
+    /// Depth of the undo stack for `object`.
+    pub fn undo_depth(&self, object: &GlobalObjectId) -> usize {
+        self.undo.get(object).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Depth of the redo stack for `object`.
+    pub fn redo_depth(&self, object: &GlobalObjectId) -> usize {
+        self.redo.get(object).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Drops all history of `object` (e.g. when it is destroyed).
+    pub fn forget(&mut self, object: &GlobalObjectId) {
+        self.undo.remove(object);
+        self.redo.remove(object);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosoft_wire::{AttrName, InstanceId, ObjectPath, Value, WidgetKind};
+
+    fn gid(p: &str) -> GlobalObjectId {
+        GlobalObjectId::new(InstanceId(1), ObjectPath::parse(p).unwrap())
+    }
+
+    fn state(text: &str) -> StateNode {
+        StateNode::new(WidgetKind::TextField, "f")
+            .with_attr(AttrName::Text, Value::Text(text.into()))
+    }
+
+    #[test]
+    fn undo_redo_round_trip() {
+        let mut h = HistoryStore::new();
+        let o = gid("a.f");
+        // Current state "v2" overwrote "v1".
+        h.record_overwrite(o.clone(), state("v1"));
+        assert_eq!(h.undo_depth(&o), 1);
+
+        // Undo: restore v1; the displaced current state v2 becomes redoable.
+        let restored = h.pop_undo(&o).unwrap();
+        assert_eq!(restored, state("v1"));
+        h.record_undone(o.clone(), state("v2"));
+        assert_eq!(h.redo_depth(&o), 1);
+
+        // Redo: restore v2; displaced v1 goes back to undo.
+        let redone = h.pop_redo(&o).unwrap();
+        assert_eq!(redone, state("v2"));
+        h.record_redone(o.clone(), state("v1"));
+        assert_eq!(h.undo_depth(&o), 1);
+        assert_eq!(h.redo_depth(&o), 0);
+    }
+
+    #[test]
+    fn fresh_overwrite_clears_redo() {
+        let mut h = HistoryStore::new();
+        let o = gid("a.f");
+        h.record_overwrite(o.clone(), state("v1"));
+        h.pop_undo(&o).unwrap();
+        h.record_undone(o.clone(), state("v2"));
+        assert_eq!(h.redo_depth(&o), 1);
+        h.record_overwrite(o.clone(), state("v3"));
+        assert_eq!(h.redo_depth(&o), 0);
+    }
+
+    #[test]
+    fn depth_cap_drops_oldest() {
+        let mut h = HistoryStore::with_max_depth(3);
+        let o = gid("a.f");
+        for i in 0..5 {
+            h.record_overwrite(o.clone(), state(&format!("v{i}")));
+        }
+        assert_eq!(h.undo_depth(&o), 3);
+        assert_eq!(h.pop_undo(&o).unwrap(), state("v4"));
+        assert_eq!(h.pop_undo(&o).unwrap(), state("v3"));
+        assert_eq!(h.pop_undo(&o).unwrap(), state("v2"));
+        assert!(h.pop_undo(&o).is_none());
+    }
+
+    #[test]
+    fn objects_are_independent() {
+        let mut h = HistoryStore::new();
+        h.record_overwrite(gid("a"), state("x"));
+        assert_eq!(h.undo_depth(&gid("b")), 0);
+        assert!(h.pop_undo(&gid("b")).is_none());
+    }
+
+    #[test]
+    fn forget_clears_both_stacks() {
+        let mut h = HistoryStore::new();
+        let o = gid("a");
+        h.record_overwrite(o.clone(), state("x"));
+        h.record_undone(o.clone(), state("y"));
+        h.forget(&o);
+        assert_eq!(h.undo_depth(&o), 0);
+        assert_eq!(h.redo_depth(&o), 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! `cosoft-server` — the COSOFT central communication server (§2.2,
+//! Figure 4 of Zhao & Hoppe, ICDCS 1994).
+//!
+//! "A central controller (the server) coordinates the communication and
+//! access control. A centralized database residing on the server consists
+//! of four categories of data: the access permissions, the registration
+//! records, the historical UI states, and the lock table."
+//!
+//! The state machine ([`ServerCore`]) is sans-I/O and generic over the
+//! endpoint key, so the same core runs on the deterministic simulated
+//! network and over real TCP (see `cosoft-net`).
+
+mod access;
+mod couple;
+mod history;
+mod locks;
+mod registry;
+mod server;
+
+pub use access::AccessTable;
+pub use couple::CoupleDirectory;
+pub use history::HistoryStore;
+pub use locks::{ExecId, LockTable};
+pub use registry::Registry;
+pub use server::{Outgoing, ServerCore};

@@ -1,0 +1,164 @@
+//! The server lock table (§2.2/§3.2): "the lock table guarantees that
+//! actions occur serially within each group of coupled objects".
+
+use std::collections::HashMap;
+
+use cosoft_wire::GlobalObjectId;
+
+/// Identifier of one multiple-execution round holding locks.
+pub type ExecId = u64;
+
+/// Centralized lock table over global object ids.
+///
+/// The paper's client-visible algorithm acquires locks incrementally and
+/// rolls back on conflict; with the table centralized in the server the
+/// check-then-lock over a whole group is atomic, which is observably
+/// equivalent (no interleaving can occur between check and lock) and
+/// avoids the rollback traffic. The rollback path the paper describes
+/// survives at the protocol level as `EventRejected`.
+#[derive(Debug, Clone, Default)]
+pub struct LockTable {
+    held: HashMap<GlobalObjectId, ExecId>,
+}
+
+impl LockTable {
+    /// Creates an empty lock table.
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Attempts to lock every object in `group` for `exec`.
+    ///
+    /// Atomic: either all objects become locked, or none do and the id of
+    /// the first already-locked object is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns the conflicting object when any group member is already
+    /// locked by a *different* exec.
+    pub fn try_lock_group(
+        &mut self,
+        group: &[GlobalObjectId],
+        exec: ExecId,
+    ) -> Result<(), GlobalObjectId> {
+        for o in group {
+            if let Some(&holder) = self.held.get(o) {
+                if holder != exec {
+                    return Err(o.clone());
+                }
+            }
+        }
+        for o in group {
+            self.held.insert(o.clone(), exec);
+        }
+        Ok(())
+    }
+
+    /// Releases every lock held by `exec`, returning the released objects.
+    pub fn unlock_exec(&mut self, exec: ExecId) -> Vec<GlobalObjectId> {
+        let released: Vec<GlobalObjectId> = self
+            .held
+            .iter()
+            .filter(|(_, &e)| e == exec)
+            .map(|(o, _)| o.clone())
+            .collect();
+        for o in &released {
+            self.held.remove(o);
+        }
+        released
+    }
+
+    /// Releases one object's lock regardless of holder (used when an
+    /// object is destroyed mid-execution).
+    pub fn force_unlock(&mut self, object: &GlobalObjectId) -> Option<ExecId> {
+        self.held.remove(object)
+    }
+
+    /// Whether `object` is currently locked.
+    pub fn is_locked(&self, object: &GlobalObjectId) -> bool {
+        self.held.contains_key(object)
+    }
+
+    /// The exec currently holding `object`, if any.
+    pub fn holder(&self, object: &GlobalObjectId) -> Option<ExecId> {
+        self.held.get(object).copied()
+    }
+
+    /// Number of currently held locks.
+    pub fn len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Whether no locks are held.
+    pub fn is_empty(&self) -> bool {
+        self.held.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosoft_wire::{InstanceId, ObjectPath};
+
+    fn gid(i: u64, p: &str) -> GlobalObjectId {
+        GlobalObjectId::new(InstanceId(i), ObjectPath::parse(p).unwrap())
+    }
+
+    #[test]
+    fn lock_then_conflict_then_unlock() {
+        let mut t = LockTable::new();
+        let group = vec![gid(1, "a"), gid(2, "b")];
+        t.try_lock_group(&group, 1).unwrap();
+        assert!(t.is_locked(&gid(1, "a")));
+        assert_eq!(t.holder(&gid(2, "b")), Some(1));
+
+        // A second exec touching any member fails.
+        let err = t.try_lock_group(&[gid(2, "b"), gid(3, "c")], 2).unwrap_err();
+        assert_eq!(err, gid(2, "b"));
+        // Atomicity: the non-conflicting member was NOT locked.
+        assert!(!t.is_locked(&gid(3, "c")));
+
+        let mut released = t.unlock_exec(1);
+        released.sort();
+        assert_eq!(released, group);
+        assert!(t.is_empty());
+        // Now exec 2 can proceed.
+        t.try_lock_group(&[gid(2, "b"), gid(3, "c")], 2).unwrap();
+    }
+
+    #[test]
+    fn relocking_by_same_exec_is_idempotent() {
+        let mut t = LockTable::new();
+        t.try_lock_group(&[gid(1, "a")], 7).unwrap();
+        t.try_lock_group(&[gid(1, "a"), gid(1, "b")], 7).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.unlock_exec(7).len(), 2);
+    }
+
+    #[test]
+    fn force_unlock_releases_single_object() {
+        let mut t = LockTable::new();
+        t.try_lock_group(&[gid(1, "a"), gid(1, "b")], 3).unwrap();
+        assert_eq!(t.force_unlock(&gid(1, "a")), Some(3));
+        assert!(!t.is_locked(&gid(1, "a")));
+        assert!(t.is_locked(&gid(1, "b")));
+        assert_eq!(t.force_unlock(&gid(1, "a")), None);
+    }
+
+    #[test]
+    fn empty_group_locks_trivially() {
+        let mut t = LockTable::new();
+        t.try_lock_group(&[], 1).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn disjoint_groups_lock_concurrently() {
+        let mut t = LockTable::new();
+        t.try_lock_group(&[gid(1, "a")], 1).unwrap();
+        t.try_lock_group(&[gid(2, "a")], 2).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.unlock_exec(1), vec![gid(1, "a")]);
+        assert_eq!(t.unlock_exec(2), vec![gid(2, "a")]);
+    }
+}

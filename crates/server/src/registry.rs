@@ -1,0 +1,146 @@
+//! Registration records (§2.2): "application instance as well as
+//! participant information such as application instance identifier, host
+//! name, and user name".
+
+use std::collections::HashMap;
+
+use cosoft_wire::{InstanceId, InstanceInfo, UserId};
+
+/// Registry of live application instances, generic over the transport
+/// endpoint key `E` (a simulated node id or a TCP connection id).
+#[derive(Debug, Clone)]
+pub struct Registry<E> {
+    next: u64,
+    by_instance: HashMap<InstanceId, (InstanceInfo, E)>,
+    by_endpoint: HashMap<E, InstanceId>,
+}
+
+impl<E> Default for Registry<E> {
+    fn default() -> Self {
+        Registry { next: 1, by_instance: HashMap::new(), by_endpoint: HashMap::new() }
+    }
+}
+
+impl<E: Copy + Eq + std::hash::Hash> Registry<E> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers a new instance reachable at `endpoint`, assigning a fresh
+    /// [`InstanceId`].
+    pub fn register(&mut self, endpoint: E, user: UserId, host: &str, app_name: &str) -> InstanceId {
+        let id = InstanceId(self.next);
+        self.next += 1;
+        let info = InstanceInfo { instance: id, user, host: host.to_owned(), app_name: app_name.to_owned() };
+        self.by_instance.insert(id, (info, endpoint));
+        self.by_endpoint.insert(endpoint, id);
+        id
+    }
+
+    /// Removes an instance, returning its record.
+    pub fn deregister(&mut self, id: InstanceId) -> Option<InstanceInfo> {
+        let (info, endpoint) = self.by_instance.remove(&id)?;
+        self.by_endpoint.remove(&endpoint);
+        Some(info)
+    }
+
+    /// Resolves the instance registered at an endpoint.
+    pub fn instance_at(&self, endpoint: E) -> Option<InstanceId> {
+        self.by_endpoint.get(&endpoint).copied()
+    }
+
+    /// Resolves the endpoint of an instance.
+    pub fn endpoint_of(&self, id: InstanceId) -> Option<E> {
+        self.by_instance.get(&id).map(|(_, e)| *e)
+    }
+
+    /// The registration record of an instance.
+    pub fn info(&self, id: InstanceId) -> Option<&InstanceInfo> {
+        self.by_instance.get(&id).map(|(i, _)| i)
+    }
+
+    /// The user who registered an instance.
+    pub fn user_of(&self, id: InstanceId) -> Option<UserId> {
+        self.info(id).map(|i| i.user)
+    }
+
+    /// Whether an instance is registered.
+    pub fn contains(&self, id: InstanceId) -> bool {
+        self.by_instance.contains_key(&id)
+    }
+
+    /// All registration records, sorted by instance id (deterministic for
+    /// `InstanceList` replies).
+    pub fn all(&self) -> Vec<InstanceInfo> {
+        let mut v: Vec<InstanceInfo> = self.by_instance.values().map(|(i, _)| i.clone()).collect();
+        v.sort_by_key(|i| i.instance);
+        v
+    }
+
+    /// All registered instance ids, sorted.
+    pub fn ids(&self) -> Vec<InstanceId> {
+        let mut v: Vec<InstanceId> = self.by_instance.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered instances.
+    pub fn len(&self) -> usize {
+        self.by_instance.len()
+    }
+
+    /// Whether no instances are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_instance.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_unique_ids() {
+        let mut r: Registry<u64> = Registry::new();
+        let a = r.register(10, UserId(1), "h1", "app");
+        let b = r.register(11, UserId(2), "h2", "app");
+        assert_ne!(a, b);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.instance_at(10), Some(a));
+        assert_eq!(r.endpoint_of(b), Some(11));
+        assert_eq!(r.user_of(a), Some(UserId(1)));
+    }
+
+    #[test]
+    fn deregister_removes_both_mappings() {
+        let mut r: Registry<u64> = Registry::new();
+        let a = r.register(10, UserId(1), "h", "app");
+        let info = r.deregister(a).unwrap();
+        assert_eq!(info.instance, a);
+        assert!(r.is_empty());
+        assert_eq!(r.instance_at(10), None);
+        assert!(r.deregister(a).is_none());
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut r: Registry<u64> = Registry::new();
+        let a = r.register(10, UserId(1), "h", "app");
+        r.deregister(a);
+        let b = r.register(10, UserId(1), "h", "app");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_is_sorted() {
+        let mut r: Registry<u64> = Registry::new();
+        for e in 0..5u64 {
+            r.register(e, UserId(e), "h", "app");
+        }
+        let infos = r.all();
+        for w in infos.windows(2) {
+            assert!(w[0].instance < w[1].instance);
+        }
+    }
+}

@@ -1,0 +1,812 @@
+//! The COSOFT central server (§2.2, Figure 4).
+//!
+//! `ServerCore` is written sans-I/O: [`ServerCore::handle`] maps one
+//! incoming message to the set of outgoing messages, keyed by a generic
+//! endpoint type `E` (a simulated node id or a TCP connection id). The
+//! same core therefore drives both the deterministic simulation and the
+//! real TCP transport.
+//!
+//! The server owns the centralized database of §2.2: registration records
+//! ([`crate::Registry`]), access permissions ([`crate::AccessTable`]),
+//! historical UI states ([`crate::HistoryStore`]) and the lock table
+//! ([`crate::LockTable`]), plus the couple directory implementing the
+//! couple relation and its transitive closure.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use cosoft_wire::{
+    AccessRight, CopyMode, GlobalObjectId, InstanceId, Message, ObjectPath, Target, UserId,
+};
+
+use crate::access::AccessTable;
+use crate::couple::CoupleDirectory;
+use crate::history::HistoryStore;
+use crate::locks::LockTable;
+use crate::registry::Registry;
+
+/// What a state transfer is doing, which decides how its completion is
+/// recorded in the history store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransferKind {
+    /// A CopyFrom / CopyTo / RemoteCopy.
+    Copy,
+    /// An undo restoring a historical state.
+    Undo,
+    /// A redo re-applying an undone state.
+    Redo,
+}
+
+/// One per-target leg of a state transfer. A copy onto a *coupled*
+/// destination fans out to every member of its group (the group must stay
+/// consistent), so a logical transfer owns several legs.
+#[derive(Debug, Clone)]
+struct Transfer {
+    dst: GlobalObjectId,
+    kind: TransferKind,
+    group: u64,
+}
+
+/// The logical transfer a requester is waiting on.
+#[derive(Debug, Clone)]
+struct TransferGroup {
+    requester: InstanceId,
+    client_req: u64,
+    outstanding: usize,
+    failed: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+struct ExecState {
+    /// The object each instance actually executed on: the member base
+    /// joined with the event's path relative to the origin's base. These
+    /// are the paths clients disabled, so `GroupUnlocked` must list them.
+    targets: Vec<GlobalObjectId>,
+    /// Outstanding `ExecuteDone` replies per instance.
+    owed: HashMap<InstanceId, usize>,
+}
+
+/// Outgoing messages produced by one [`ServerCore::handle`] call.
+pub type Outgoing<E> = Vec<(E, Message)>;
+
+/// The sans-I/O COSOFT server state machine.
+#[derive(Debug)]
+pub struct ServerCore<E> {
+    registry: Registry<E>,
+    access: AccessTable,
+    locks: LockTable,
+    couples: CoupleDirectory,
+    history: HistoryStore,
+    next_exec: u64,
+    next_transfer: u64,
+    execs: HashMap<u64, ExecState>,
+    transfers: HashMap<u64, Transfer>,
+    transfer_groups: HashMap<u64, TransferGroup>,
+    next_transfer_group: u64,
+    /// Pull-mode transfers awaiting a `StateReply`: destination + mode +
+    /// the owning transfer group.
+    pending_pulls: HashMap<u64, (GlobalObjectId, CopyMode, u64)>,
+    /// Floor-control rejections served so far (benchmark metric).
+    rejected_events: u64,
+    /// Events granted so far (benchmark metric).
+    granted_events: u64,
+}
+
+impl<E: Copy + Eq + Hash> Default for ServerCore<E> {
+    fn default() -> Self {
+        ServerCore::new()
+    }
+}
+
+impl<E: Copy + Eq + Hash> ServerCore<E> {
+    /// Creates a server with the permissive default access policy.
+    pub fn new() -> Self {
+        ServerCore {
+            registry: Registry::new(),
+            access: AccessTable::new(),
+            locks: LockTable::new(),
+            couples: CoupleDirectory::new(),
+            history: HistoryStore::new(),
+            next_exec: 1,
+            next_transfer: 1,
+            execs: HashMap::new(),
+            transfers: HashMap::new(),
+            transfer_groups: HashMap::new(),
+            next_transfer_group: 1,
+            pending_pulls: HashMap::new(),
+            rejected_events: 0,
+            granted_events: 0,
+        }
+    }
+
+    /// Creates a server with an explicit default access right.
+    pub fn with_default_right(right: AccessRight) -> Self {
+        let mut s = Self::new();
+        s.access = AccessTable::with_default(right);
+        s
+    }
+
+    /// The registration records.
+    pub fn registry(&self) -> &Registry<E> {
+        &self.registry
+    }
+
+    /// The couple directory.
+    pub fn couples(&self) -> &CoupleDirectory {
+        &self.couples
+    }
+
+    /// The lock table.
+    pub fn locks(&self) -> &LockTable {
+        &self.locks
+    }
+
+    /// The historical-UI-state store.
+    pub fn history(&self) -> &HistoryStore {
+        &self.history
+    }
+
+    /// Events rejected by floor control so far.
+    pub fn rejected_events(&self) -> u64 {
+        self.rejected_events
+    }
+
+    /// Events granted by floor control so far.
+    pub fn granted_events(&self) -> u64 {
+        self.granted_events
+    }
+
+    /// Effective right of `user` on `object`: the object's owner always
+    /// has write access; otherwise the permission table decides.
+    fn right_of(&self, user: UserId, object: &GlobalObjectId) -> AccessRight {
+        if self.registry.user_of(object.instance) == Some(user) {
+            return AccessRight::Write;
+        }
+        self.access.right_of(user, object)
+    }
+
+    fn to_instance(&self, id: InstanceId, msg: Message, out: &mut Outgoing<E>) {
+        if let Some(e) = self.registry.endpoint_of(id) {
+            out.push((e, msg));
+        }
+    }
+
+    /// Handles a transport-level disconnect of `endpoint` exactly like a
+    /// graceful `Deregister` (§3.2: decoupling "is applied automatically
+    /// when ... an application instance terminates").
+    pub fn disconnect(&mut self, endpoint: E) -> Outgoing<E> {
+        match self.registry.instance_at(endpoint) {
+            Some(id) => self.deregister_instance(id),
+            None => Vec::new(),
+        }
+    }
+
+    /// Processes one message from `endpoint`, returning the messages to
+    /// send in response (to any endpoints).
+    pub fn handle(&mut self, endpoint: E, msg: Message) -> Outgoing<E> {
+        // Registration is the only message legal before a Welcome.
+        if let Message::Register { user, host, app_name } = &msg {
+            let id = self.registry.register(endpoint, *user, host, app_name);
+            return vec![(endpoint, Message::Welcome { instance: id })];
+        }
+        let Some(from) = self.registry.instance_at(endpoint) else {
+            return vec![(
+                endpoint,
+                Message::ErrorReply {
+                    context: msg.kind_name().to_owned(),
+                    reason: "endpoint is not registered".to_owned(),
+                },
+            )];
+        };
+        self.handle_registered(from, msg)
+    }
+
+    fn handle_registered(&mut self, from: InstanceId, msg: Message) -> Outgoing<E> {
+        let mut out = Vec::new();
+        match msg {
+            Message::Register { .. } => unreachable!("handled in handle()"),
+            Message::Deregister => {
+                out.extend(self.deregister_instance(from));
+            }
+            Message::QueryInstances => {
+                let entries = self.registry.all();
+                self.to_instance(from, Message::InstanceList { entries }, &mut out);
+            }
+            Message::Couple { src, dst } | Message::RemoteCouple { a: src, b: dst } => {
+                out.extend(self.do_couple(from, src, dst));
+            }
+            Message::Decouple { src, dst } | Message::RemoteDecouple { a: src, b: dst } => {
+                out.extend(self.do_decouple(from, src, dst));
+            }
+            Message::ListCoupled { object } => {
+                let coupled = self.couples.coupled_with(&object);
+                self.to_instance(from, Message::CoupledSet { object, coupled }, &mut out);
+            }
+            Message::ObjectDestroyed { object } => {
+                if object.instance != from {
+                    self.to_instance(
+                        from,
+                        Message::PermissionDenied {
+                            what: format!("destroy notification for foreign object {object}"),
+                        },
+                        &mut out,
+                    );
+                } else {
+                    let survivors = self.couples.remove_object(&object);
+                    self.history.forget(&object);
+                    let mut instances: Vec<InstanceId> =
+                        survivors.iter().map(|g| g.instance).collect();
+                    instances.push(from);
+                    instances.sort();
+                    instances.dedup();
+                    // Each survivor (and the destroyer) learns the new
+                    // grouping of the remaining objects.
+                    for o in &survivors {
+                        let group = self.couples.group_of(o);
+                        for inst in self.couples.instances_in_group(o) {
+                            self.to_instance(
+                                inst,
+                                Message::CoupleUpdate { group: group.clone() },
+                                &mut out,
+                            );
+                        }
+                    }
+                    self.to_instance(
+                        from,
+                        Message::CoupleUpdate { group: vec![object] },
+                        &mut out,
+                    );
+                }
+            }
+            Message::Event { origin, event, seq } => {
+                out.extend(self.do_event(from, origin, event, seq));
+            }
+            Message::ExecuteDone { exec_id } => {
+                out.extend(self.do_execute_done(from, exec_id));
+            }
+            Message::CopyFrom { src, dst, mode, req_id } => {
+                out.extend(self.do_copy(from, src, dst, mode, req_id, None));
+            }
+            Message::RemoteCopy { src, dst, mode, req_id } => {
+                out.extend(self.do_copy(from, src, dst, mode, req_id, None));
+            }
+            Message::CopyTo { src, dst, snapshot, mode, req_id } => {
+                out.extend(self.do_copy(from, src, dst, mode, req_id, Some(snapshot)));
+            }
+            Message::StateReply { req_id, snapshot } => {
+                out.extend(self.do_state_reply(req_id, snapshot));
+            }
+            Message::StateApplied { req_id, overwritten, error } => {
+                out.extend(self.do_state_applied(req_id, overwritten, error));
+            }
+            Message::UndoState { object } => {
+                out.extend(self.do_undo(from, object, TransferKind::Undo));
+            }
+            Message::RedoState { object } => {
+                out.extend(self.do_undo(from, object, TransferKind::Redo));
+            }
+            Message::SetPermission { user, object, right } => {
+                if object.instance == from {
+                    self.access.set(user, object, right);
+                } else {
+                    self.to_instance(
+                        from,
+                        Message::PermissionDenied {
+                            what: format!("set-permission on {object} (not the owner)"),
+                        },
+                        &mut out,
+                    );
+                }
+            }
+            Message::CoSendCommand { to, command, payload } => {
+                out.extend(self.do_command(from, to, command, payload));
+            }
+            // Server-originated kinds arriving at the server are protocol
+            // misuse; answer with an error instead of panicking.
+            other => {
+                self.to_instance(
+                    from,
+                    Message::ErrorReply {
+                        context: other.kind_name().to_owned(),
+                        reason: "message kind is server-to-client only".to_owned(),
+                    },
+                    &mut out,
+                );
+            }
+        }
+        out
+    }
+
+    // ---- coupling ---------------------------------------------------------
+
+    fn check_objects_exist(&self, objs: &[&GlobalObjectId]) -> Result<(), String> {
+        for o in objs {
+            if !self.registry.contains(o.instance) {
+                return Err(format!("instance {} is not registered", o.instance));
+            }
+        }
+        Ok(())
+    }
+
+    fn do_couple(
+        &mut self,
+        from: InstanceId,
+        src: GlobalObjectId,
+        dst: GlobalObjectId,
+    ) -> Outgoing<E> {
+        let mut out = Vec::new();
+        if let Err(reason) = self.check_objects_exist(&[&src, &dst]) {
+            self.to_instance(from, Message::ErrorReply { context: "couple".into(), reason }, &mut out);
+            return out;
+        }
+        let user = self.registry.user_of(from).expect("registered");
+        for o in [&src, &dst] {
+            if !self.right_of(user, o).allows_write() {
+                self.to_instance(
+                    from,
+                    Message::PermissionDenied { what: format!("couple {o}") },
+                    &mut out,
+                );
+                return out;
+            }
+        }
+        self.couples.couple(src.clone(), dst);
+        // "The coupling information is replicated for each object": every
+        // instance owning a group member receives the full closure.
+        let group = self.couples.group_of(&src);
+        for inst in self.couples.instances_in_group(&src) {
+            self.to_instance(inst, Message::CoupleUpdate { group: group.clone() }, &mut out);
+        }
+        out
+    }
+
+    fn do_decouple(
+        &mut self,
+        from: InstanceId,
+        src: GlobalObjectId,
+        dst: GlobalObjectId,
+    ) -> Outgoing<E> {
+        let mut out = Vec::new();
+        if !self.couples.decouple(&src, &dst) {
+            self.to_instance(
+                from,
+                Message::ErrorReply {
+                    context: "decouple".into(),
+                    reason: format!("no couple link between {src} and {dst}"),
+                },
+                &mut out,
+            );
+            return out;
+        }
+        // The removal may have split the group; notify both halves (they
+        // may still be one group if a cycle keeps them connected).
+        let group_a = self.couples.group_of(&src);
+        let group_b = self.couples.group_of(&dst);
+        for inst in self.couples.instances_in_group(&src) {
+            self.to_instance(inst, Message::CoupleUpdate { group: group_a.clone() }, &mut out);
+        }
+        if group_b != group_a {
+            for inst in self.couples.instances_in_group(&dst) {
+                self.to_instance(inst, Message::CoupleUpdate { group: group_b.clone() }, &mut out);
+            }
+        }
+        out
+    }
+
+    // ---- multiple execution (§3.2) ----------------------------------------
+
+    fn do_event(
+        &mut self,
+        from: InstanceId,
+        origin: GlobalObjectId,
+        event: cosoft_wire::UiEvent,
+        seq: u64,
+    ) -> Outgoing<E> {
+        let mut out = Vec::new();
+        let user = self.registry.user_of(from).expect("registered");
+        if !self.right_of(user, &origin).allows_write() {
+            self.to_instance(from, Message::EventRejected { seq }, &mut out);
+            self.rejected_events += 1;
+            return out;
+        }
+        // Events inside a coupled complex object route through the
+        // enclosing object's couple links: resolve the coupled base and
+        // the event path relative to it.
+        let base = self.couples.coupled_base_of(&origin).unwrap_or_else(|| origin.clone());
+        let rel = origin.path.strip_prefix(&base.path).unwrap_or_else(ObjectPath::root);
+        let group = self.couples.group_of(&base);
+        let exec_id = self.next_exec;
+        if self.locks.try_lock_group(&group, exec_id).is_err() {
+            self.rejected_events += 1;
+            self.to_instance(from, Message::EventRejected { seq }, &mut out);
+            return out;
+        }
+        self.next_exec += 1;
+        self.granted_events += 1;
+
+        let mut owed: HashMap<InstanceId, usize> = HashMap::new();
+        let mut targets = Vec::with_capacity(group.len());
+        // Origin instance owes one done for its own callback execution.
+        *owed.entry(from).or_insert(0) += 1;
+        targets.push(origin.clone());
+        self.to_instance(from, Message::EventGranted { seq, exec_id }, &mut out);
+        for member in &group {
+            if *member == base {
+                continue;
+            }
+            *owed.entry(member.instance).or_insert(0) += 1;
+            let target = member.path.join(&rel);
+            targets.push(GlobalObjectId::new(member.instance, target.clone()));
+            self.to_instance(
+                member.instance,
+                Message::ExecuteEvent { exec_id, target, event: event.clone() },
+                &mut out,
+            );
+        }
+        self.execs.insert(exec_id, ExecState { targets, owed });
+        out
+    }
+
+    fn do_execute_done(&mut self, from: InstanceId, exec_id: u64) -> Outgoing<E> {
+        let mut out = Vec::new();
+        let Some(exec) = self.execs.get_mut(&exec_id) else {
+            return out;
+        };
+        match exec.owed.get_mut(&from) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => return out, // spurious done; ignore
+        }
+        if exec.owed.values().all(|&n| n == 0) {
+            let exec = self.execs.remove(&exec_id).expect("present");
+            self.finish_exec(exec_id, &exec.targets, &mut out);
+        }
+        out
+    }
+
+    fn finish_exec(&mut self, exec_id: u64, targets: &[GlobalObjectId], out: &mut Outgoing<E>) {
+        self.locks.unlock_exec(exec_id);
+        // Tell each involved instance which of its local objects to
+        // re-enable: the paths the event actually executed on.
+        let mut per_instance: HashMap<InstanceId, Vec<ObjectPath>> = HashMap::new();
+        for t in targets {
+            per_instance.entry(t.instance).or_default().push(t.path.clone());
+        }
+        for (inst, objects) in per_instance {
+            self.to_instance(inst, Message::GroupUnlocked { exec_id, objects }, out);
+        }
+    }
+
+    // ---- synchronization by state (§3.1) -----------------------------------
+
+    fn do_copy(
+        &mut self,
+        from: InstanceId,
+        src: GlobalObjectId,
+        dst: GlobalObjectId,
+        mode: CopyMode,
+        client_req: u64,
+        pushed_snapshot: Option<cosoft_wire::StateNode>,
+    ) -> Outgoing<E> {
+        let mut out = Vec::new();
+        if let Err(reason) = self.check_objects_exist(&[&src, &dst]) {
+            self.to_instance(from, Message::ErrorReply { context: "copy".into(), reason }, &mut out);
+            return out;
+        }
+        let user = self.registry.user_of(from).expect("registered");
+        if !self.right_of(user, &src).allows_read() {
+            self.to_instance(
+                from,
+                Message::PermissionDenied { what: format!("read state of {src}") },
+                &mut out,
+            );
+            return out;
+        }
+        if dst.instance != from && !self.right_of(user, &dst).allows_write() {
+            self.to_instance(
+                from,
+                Message::PermissionDenied { what: format!("write state of {dst}") },
+                &mut out,
+            );
+            return out;
+        }
+        let group_id = self.next_transfer_group;
+        self.next_transfer_group += 1;
+        self.transfer_groups.insert(
+            group_id,
+            TransferGroup { requester: from, client_req, outstanding: 0, failed: None },
+        );
+        match pushed_snapshot {
+            // CopyTo: the sender supplied the snapshot; apply directly.
+            Some(snapshot) => {
+                self.fan_out_apply(group_id, &dst, snapshot, mode, TransferKind::Copy, &mut out);
+            }
+            // CopyFrom / RemoteCopy: pull the state from the source first.
+            None => {
+                let req_id = self.next_transfer;
+                self.next_transfer += 1;
+                self.pending_pulls.insert(req_id, (dst, mode, group_id));
+                self.transfer_groups.get_mut(&group_id).expect("just inserted").outstanding += 1;
+                self.to_instance(
+                    src.instance,
+                    Message::StateRequest { req_id, path: src.path.clone() },
+                    &mut out,
+                );
+            }
+        }
+        out
+    }
+
+    /// Sends `ApplyState` for `dst` *and every object coupled with it*:
+    /// a state copy onto a coupled object must keep its whole group
+    /// consistent. Each leg gets its own transfer id so the overwritten
+    /// states land in the right history stacks.
+    fn fan_out_apply(
+        &mut self,
+        group_id: u64,
+        dst: &GlobalObjectId,
+        snapshot: cosoft_wire::StateNode,
+        mode: CopyMode,
+        kind: TransferKind,
+        out: &mut Outgoing<E>,
+    ) {
+        let targets = self.couples.group_of(dst);
+        let group = self.transfer_groups.get_mut(&group_id).expect("group exists");
+        group.outstanding += targets.len();
+        for target in targets {
+            let req_id = self.next_transfer;
+            self.next_transfer += 1;
+            self.transfers.insert(req_id, Transfer { dst: target.clone(), kind, group: group_id });
+            self.to_instance(
+                target.instance,
+                Message::ApplyState {
+                    req_id,
+                    path: target.path.clone(),
+                    snapshot: snapshot.clone(),
+                    mode,
+                },
+                out,
+            );
+        }
+    }
+
+    fn do_state_reply(
+        &mut self,
+        req_id: u64,
+        snapshot: Option<cosoft_wire::StateNode>,
+    ) -> Outgoing<E> {
+        let mut out = Vec::new();
+        let Some((dst, mode, group_id)) = self.pending_pulls.remove(&req_id) else {
+            return out;
+        };
+        if let Some(g) = self.transfer_groups.get_mut(&group_id) {
+            g.outstanding -= 1;
+        }
+        match snapshot {
+            Some(snapshot) => {
+                self.fan_out_apply(group_id, &dst, snapshot, mode, TransferKind::Copy, &mut out);
+                self.maybe_finish_group(group_id, &mut out);
+            }
+            None => {
+                if let Some(g) = self.transfer_groups.get_mut(&group_id) {
+                    g.failed = Some("source object does not exist".into());
+                }
+                self.maybe_finish_group(group_id, &mut out);
+            }
+        }
+        out
+    }
+
+    fn maybe_finish_group(&mut self, group_id: u64, out: &mut Outgoing<E>) {
+        let done = self
+            .transfer_groups
+            .get(&group_id)
+            .map(|g| g.outstanding == 0)
+            .unwrap_or(false);
+        if !done {
+            return;
+        }
+        let g = self.transfer_groups.remove(&group_id).expect("present");
+        match g.failed {
+            Some(reason) => self.to_instance(
+                g.requester,
+                Message::ErrorReply { context: "copy".into(), reason },
+                out,
+            ),
+            None => self.to_instance(
+                g.requester,
+                Message::StateApplied { req_id: g.client_req, overwritten: None, error: None },
+                out,
+            ),
+        }
+    }
+
+    fn do_state_applied(
+        &mut self,
+        req_id: u64,
+        overwritten: Option<cosoft_wire::StateNode>,
+        error: Option<String>,
+    ) -> Outgoing<E> {
+        let mut out = Vec::new();
+        let Some(t) = self.transfers.remove(&req_id) else {
+            return out;
+        };
+        if let Some(g) = self.transfer_groups.get_mut(&t.group) {
+            g.outstanding -= 1;
+            if let Some(reason) = error {
+                g.failed = Some(reason);
+            }
+        }
+        if let Some(prev) = overwritten {
+            match t.kind {
+                TransferKind::Copy => self.history.record_overwrite(t.dst.clone(), prev),
+                TransferKind::Undo => self.history.record_undone(t.dst.clone(), prev),
+                TransferKind::Redo => self.history.record_redone(t.dst.clone(), prev),
+            }
+        }
+        self.maybe_finish_group(t.group, &mut out);
+        out
+    }
+
+    fn do_undo(
+        &mut self,
+        from: InstanceId,
+        object: GlobalObjectId,
+        kind: TransferKind,
+    ) -> Outgoing<E> {
+        let mut out = Vec::new();
+        let user = self.registry.user_of(from).expect("registered");
+        if !self.right_of(user, &object).allows_write() {
+            self.to_instance(
+                from,
+                Message::PermissionDenied { what: format!("undo/redo on {object}") },
+                &mut out,
+            );
+            return out;
+        }
+        let popped = match kind {
+            TransferKind::Undo => self.history.pop_undo(&object),
+            TransferKind::Redo => self.history.pop_redo(&object),
+            TransferKind::Copy => None,
+        };
+        let Some(snapshot) = popped else {
+            self.to_instance(
+                from,
+                Message::ErrorReply {
+                    context: if kind == TransferKind::Undo { "undo" } else { "redo" }.into(),
+                    reason: "no historical state recorded".into(),
+                },
+                &mut out,
+            );
+            return out;
+        };
+        let group_id = self.next_transfer_group;
+        self.next_transfer_group += 1;
+        self.transfer_groups.insert(
+            group_id,
+            TransferGroup { requester: from, client_req: 0, outstanding: 0, failed: None },
+        );
+        // Undo/redo also fans out to the object's coupling group so the
+        // group stays consistent.
+        self.fan_out_apply(group_id, &object, snapshot, CopyMode::DestructiveMerge, kind, &mut out);
+        out
+    }
+
+    // ---- protocol extension (§3.4) ------------------------------------------
+
+    fn do_command(
+        &mut self,
+        from: InstanceId,
+        to: Target,
+        command: String,
+        payload: Vec<u8>,
+    ) -> Outgoing<E> {
+        let mut out = Vec::new();
+        let delivery =
+            |command: &str, payload: &[u8]| Message::CommandDelivery {
+                from,
+                command: command.to_owned(),
+                payload: payload.to_vec(),
+            };
+        match to {
+            Target::Instance(i) => {
+                if self.registry.contains(i) {
+                    self.to_instance(i, delivery(&command, &payload), &mut out);
+                } else {
+                    self.to_instance(
+                        from,
+                        Message::ErrorReply {
+                            context: "co-send-command".into(),
+                            reason: format!("instance {i} is not registered"),
+                        },
+                        &mut out,
+                    );
+                }
+            }
+            Target::Broadcast => {
+                for i in self.registry.ids() {
+                    if i != from {
+                        self.to_instance(i, delivery(&command, &payload), &mut out);
+                    }
+                }
+            }
+            Target::Group(object) => {
+                for i in self.couples.instances_in_group(&object) {
+                    if i != from {
+                        self.to_instance(i, delivery(&command, &payload), &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    // ---- termination ---------------------------------------------------------
+
+    fn deregister_instance(&mut self, id: InstanceId) -> Outgoing<E> {
+        let mut out = Vec::new();
+        // Auto-decouple: notify each surviving group of its new membership.
+        let affected = self.couples.remove_instance(id);
+        for survivors in affected {
+            let mut instances: Vec<InstanceId> = survivors.iter().map(|g| g.instance).collect();
+            instances.sort();
+            instances.dedup();
+            for inst in instances {
+                if inst != id {
+                    self.to_instance(
+                        inst,
+                        Message::CoupleUpdate { group: survivors.clone() },
+                        &mut out,
+                    );
+                }
+            }
+        }
+        // Settle pending executions that were waiting on the dead instance.
+        let exec_ids: Vec<u64> = self.execs.keys().copied().collect();
+        for exec_id in exec_ids {
+            let finished = {
+                let exec = self.execs.get_mut(&exec_id).expect("present");
+                exec.owed.remove(&id);
+                exec.owed.values().all(|&n| n == 0)
+            };
+            if finished {
+                let exec = self.execs.remove(&exec_id).expect("present");
+                let targets: Vec<GlobalObjectId> =
+                    exec.targets.iter().filter(|t| t.instance != id).cloned().collect();
+                self.finish_exec(exec_id, &targets, &mut out);
+            }
+        }
+        // Fail transfer legs touching the dead instance.
+        let dead_legs: Vec<u64> = self
+            .transfers
+            .iter()
+            .filter(|(_, t)| t.dst.instance == id)
+            .map(|(k, _)| *k)
+            .collect();
+        for req_id in dead_legs {
+            let t = self.transfers.remove(&req_id).expect("present");
+            if let Some(g) = self.transfer_groups.get_mut(&t.group) {
+                g.outstanding -= 1;
+                g.failed = Some("peer instance terminated".into());
+            }
+            self.maybe_finish_group(t.group, &mut out);
+        }
+        let dead_pulls: Vec<u64> = self
+            .pending_pulls
+            .iter()
+            .filter(|(_, (dst, _, _))| dst.instance == id)
+            .map(|(k, _)| *k)
+            .collect();
+        for req_id in dead_pulls {
+            let (_, _, group_id) = self.pending_pulls.remove(&req_id).expect("present");
+            if let Some(g) = self.transfer_groups.get_mut(&group_id) {
+                g.outstanding -= 1;
+                g.failed = Some("peer instance terminated".into());
+            }
+            self.maybe_finish_group(group_id, &mut out);
+        }
+        // Groups whose requester died just evaporate.
+        self.transfer_groups.retain(|_, g| g.requester != id);
+        self.registry.deregister(id);
+        out
+    }
+}

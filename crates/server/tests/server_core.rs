@@ -1,0 +1,483 @@
+//! State-machine tests of `ServerCore` driven directly (no transport):
+//! each test feeds messages in and asserts on the outgoing message sets,
+//! exercising the protocol flows of §3.1–§3.4.
+
+use cosoft_server::ServerCore;
+use cosoft_wire::{
+    AccessRight, AttrName, CopyMode, EventKind, GlobalObjectId, InstanceId, Message, ObjectPath,
+    StateNode, Target, UiEvent, UserId, Value, WidgetKind,
+};
+
+type Endpoint = u64;
+
+fn register(server: &mut ServerCore<Endpoint>, endpoint: Endpoint, user: u64) -> InstanceId {
+    let out = server.handle(
+        endpoint,
+        Message::Register { user: UserId(user), host: format!("ws{endpoint}"), app_name: "app".into() },
+    );
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].0, endpoint);
+    match &out[0].1 {
+        Message::Welcome { instance } => *instance,
+        other => panic!("expected Welcome, got {other:?}"),
+    }
+}
+
+fn gid(i: InstanceId, p: &str) -> GlobalObjectId {
+    GlobalObjectId::new(i, ObjectPath::parse(p).unwrap())
+}
+
+fn find<'a>(out: &'a [(Endpoint, Message)], endpoint: Endpoint, kind: &str) -> &'a Message {
+    out.iter()
+        .find(|(e, m)| *e == endpoint && m.kind_name() == kind)
+        .map(|(_, m)| m)
+        .unwrap_or_else(|| panic!("no {kind} sent to endpoint {endpoint}; got {out:?}"))
+}
+
+fn count_kind(out: &[(Endpoint, Message)], kind: &str) -> usize {
+    out.iter().filter(|(_, m)| m.kind_name() == kind).count()
+}
+
+#[test]
+fn register_assigns_distinct_instances() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 10, 1);
+    let b = register(&mut s, 11, 2);
+    assert_ne!(a, b);
+
+    let out = s.handle(10, Message::QueryInstances);
+    match find(&out, 10, "instance-list") {
+        Message::InstanceList { entries } => assert_eq!(entries.len(), 2),
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn unregistered_endpoint_is_rejected() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let out = s.handle(99, Message::QueryInstances);
+    assert_eq!(out.len(), 1);
+    assert!(matches!(out[0].1, Message::ErrorReply { .. }));
+}
+
+#[test]
+fn couple_broadcasts_full_closure_to_all_member_instances() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+    let c = register(&mut s, 3, 3);
+
+    let out = s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    assert_eq!(count_kind(&out, "couple-update"), 2);
+    match find(&out, 2, "couple-update") {
+        Message::CoupleUpdate { group } => assert_eq!(group.len(), 2),
+        _ => unreachable!(),
+    }
+
+    // Extending the group updates all three instances with the closure.
+    let out = s.handle(3, Message::Couple { src: gid(c, "z"), dst: gid(b, "y") });
+    assert_eq!(count_kind(&out, "couple-update"), 3);
+    match find(&out, 1, "couple-update") {
+        Message::CoupleUpdate { group } => assert_eq!(group.len(), 3),
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn remote_couple_by_third_party() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+    let _teacher = register(&mut s, 3, 9);
+
+    // The teacher (instance 3) couples objects living in instances 1 and 2.
+    let out = s.handle(3, Message::RemoteCouple { a: gid(a, "x"), b: gid(b, "y") });
+    assert_eq!(count_kind(&out, "couple-update"), 2);
+    assert!(s.couples().is_coupled(&gid(a, "x")));
+}
+
+#[test]
+fn decouple_splits_and_notifies_both_halves() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+    let c = register(&mut s, 3, 3);
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    s.handle(1, Message::Couple { src: gid(b, "y"), dst: gid(c, "z") });
+
+    let out = s.handle(1, Message::Decouple { src: gid(a, "x"), dst: gid(b, "y") });
+    // Instance a learns it is now a singleton; b and c learn their group.
+    match find(&out, 1, "couple-update") {
+        Message::CoupleUpdate { group } => assert_eq!(group.len(), 1),
+        _ => unreachable!(),
+    }
+    match find(&out, 3, "couple-update") {
+        Message::CoupleUpdate { group } => assert_eq!(group.len(), 2),
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn event_flow_grant_execute_done_unlock() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+    s.handle(1, Message::Couple { src: gid(a, "f.t"), dst: gid(b, "g.t") });
+
+    let event = UiEvent::new(
+        ObjectPath::parse("f.t").unwrap(),
+        EventKind::TextCommitted,
+        vec![Value::Text("hi".into())],
+    );
+    let out = s.handle(1, Message::Event { origin: gid(a, "f.t"), event, seq: 5 });
+    let exec_id = match find(&out, 1, "event-granted") {
+        Message::EventGranted { seq, exec_id } => {
+            assert_eq!(*seq, 5);
+            *exec_id
+        }
+        _ => unreachable!(),
+    };
+    match find(&out, 2, "execute-event") {
+        Message::ExecuteEvent { target, event, .. } => {
+            assert_eq!(target.to_string(), "g.t");
+            assert_eq!(event.kind, EventKind::TextCommitted);
+        }
+        _ => unreachable!(),
+    }
+    assert!(s.locks().is_locked(&gid(a, "f.t")));
+    assert!(s.locks().is_locked(&gid(b, "g.t")));
+
+    // While locked, another event on the same group is rejected.
+    let out2 = s.handle(
+        2,
+        Message::Event {
+            origin: gid(b, "g.t"),
+            event: UiEvent::simple(ObjectPath::parse("g.t").unwrap(), EventKind::TextCommitted),
+            seq: 9,
+        },
+    );
+    assert!(matches!(find(&out2, 2, "event-rejected"), Message::EventRejected { seq: 9 }));
+    assert_eq!(s.rejected_events(), 1);
+
+    // Both instances report done; the unlock notices flow.
+    let out3 = s.handle(1, Message::ExecuteDone { exec_id });
+    assert!(out3.is_empty(), "still waiting on instance 2");
+    let out4 = s.handle(2, Message::ExecuteDone { exec_id });
+    assert_eq!(count_kind(&out4, "group-unlocked"), 2);
+    assert!(!s.locks().is_locked(&gid(a, "f.t")));
+    assert_eq!(s.granted_events(), 1);
+}
+
+#[test]
+fn event_on_uncoupled_object_completes_alone() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let out = s.handle(
+        1,
+        Message::Event {
+            origin: gid(a, "solo"),
+            event: UiEvent::simple(ObjectPath::parse("solo").unwrap(), EventKind::Activate),
+            seq: 1,
+        },
+    );
+    let exec_id = match find(&out, 1, "event-granted") {
+        Message::EventGranted { exec_id, .. } => *exec_id,
+        _ => unreachable!(),
+    };
+    assert_eq!(count_kind(&out, "execute-event"), 0);
+    let out = s.handle(1, Message::ExecuteDone { exec_id });
+    assert_eq!(count_kind(&out, "group-unlocked"), 1);
+}
+
+#[test]
+fn copy_from_pulls_state_and_records_history() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+
+    // Instance a pulls the state of b's query form into its own form.
+    let out = s.handle(
+        1,
+        Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 77 },
+    );
+    let req_id = match find(&out, 2, "state-request") {
+        Message::StateRequest { req_id, path } => {
+            assert_eq!(path.to_string(), "q");
+            *req_id
+        }
+        _ => unreachable!(),
+    };
+
+    // b replies with its snapshot; the server forwards an ApplyState to a.
+    let snapshot = StateNode::new(WidgetKind::Form, "q")
+        .with_attr(AttrName::Title, Value::Text("Query".into()));
+    let out = s.handle(2, Message::StateReply { req_id, snapshot: Some(snapshot.clone()) });
+    let apply_req = match find(&out, 1, "apply-state") {
+        Message::ApplyState { req_id, snapshot: snap, mode, .. } => {
+            assert_eq!(snap, &snapshot);
+            assert_eq!(*mode, CopyMode::Strict);
+            *req_id
+        }
+        _ => unreachable!(),
+    };
+
+    // a applies it and reports the overwritten previous state.
+    let prev = StateNode::new(WidgetKind::Form, "q");
+    let out = s.handle(
+        1,
+        Message::StateApplied { req_id: apply_req, overwritten: Some(prev), error: None },
+    );
+    match find(&out, 1, "state-applied") {
+        Message::StateApplied { req_id, .. } => assert_eq!(*req_id, 77),
+        _ => unreachable!(),
+    }
+    assert_eq!(s.history().undo_depth(&gid(a, "q")), 1);
+}
+
+#[test]
+fn copy_to_pushes_snapshot_directly() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+    let snapshot = StateNode::new(WidgetKind::Label, "l")
+        .with_attr(AttrName::Text, Value::Text("shared".into()));
+    let out = s.handle(
+        1,
+        Message::CopyTo {
+            src: gid(a, "l"),
+            dst: gid(b, "l"),
+            snapshot: snapshot.clone(),
+            mode: CopyMode::FlexibleMatch,
+            req_id: 3,
+        },
+    );
+    match find(&out, 2, "apply-state") {
+        Message::ApplyState { snapshot: snap, .. } => assert_eq!(snap, &snapshot),
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn missing_source_fails_the_copy() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+    let out = s.handle(
+        1,
+        Message::CopyFrom { src: gid(b, "nope"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 1 },
+    );
+    let req_id = match find(&out, 2, "state-request") {
+        Message::StateRequest { req_id, .. } => *req_id,
+        _ => unreachable!(),
+    };
+    let out = s.handle(2, Message::StateReply { req_id, snapshot: None });
+    assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
+}
+
+#[test]
+fn undo_restores_and_redo_reapplies() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+
+    let v1 = StateNode::new(WidgetKind::Label, "l").with_attr(AttrName::Text, Value::Text("v1".into()));
+    let v2 = StateNode::new(WidgetKind::Label, "l").with_attr(AttrName::Text, Value::Text("v2".into()));
+
+    // Push v2 onto b, overwriting v1.
+    let out = s.handle(
+        1,
+        Message::CopyTo { src: gid(a, "l"), dst: gid(b, "l"), snapshot: v2.clone(), mode: CopyMode::Strict, req_id: 1 },
+    );
+    let req_id = match find(&out, 2, "apply-state") {
+        Message::ApplyState { req_id, .. } => *req_id,
+        _ => unreachable!(),
+    };
+    s.handle(2, Message::StateApplied { req_id, overwritten: Some(v1.clone()), error: None });
+    assert_eq!(s.history().undo_depth(&gid(b, "l")), 1);
+
+    // Undo: the server pushes v1 back to b.
+    let out = s.handle(2, Message::UndoState { object: gid(b, "l") });
+    let req_id = match find(&out, 2, "apply-state") {
+        Message::ApplyState { req_id, snapshot, mode, .. } => {
+            assert_eq!(snapshot, &v1);
+            assert_eq!(*mode, CopyMode::DestructiveMerge);
+            *req_id
+        }
+        _ => unreachable!(),
+    };
+    // The displaced v2 becomes redoable.
+    s.handle(2, Message::StateApplied { req_id, overwritten: Some(v2.clone()), error: None });
+    assert_eq!(s.history().redo_depth(&gid(b, "l")), 1);
+
+    // Redo: the server pushes v2 again.
+    let out = s.handle(2, Message::RedoState { object: gid(b, "l") });
+    match find(&out, 2, "apply-state") {
+        Message::ApplyState { snapshot, .. } => assert_eq!(snapshot, &v2),
+        _ => unreachable!(),
+    }
+
+    // Undo with empty history errors.
+    let out = s.handle(1, Message::UndoState { object: gid(a, "x") });
+    assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
+}
+
+#[test]
+fn permissions_deny_copy_and_couple() {
+    let mut s: ServerCore<Endpoint> = ServerCore::with_default_right(AccessRight::Denied);
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+
+    // User 1 may not read b's objects under a Denied default.
+    let out = s.handle(
+        1,
+        Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 1 },
+    );
+    assert!(matches!(find(&out, 1, "permission-denied"), Message::PermissionDenied { .. }));
+
+    let out = s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    assert!(matches!(find(&out, 1, "permission-denied"), Message::PermissionDenied { .. }));
+
+    // b grants read on its form; copy then passes permission checks.
+    s.handle(2, Message::SetPermission { user: UserId(1), object: gid(b, "q"), right: AccessRight::Read });
+    let out = s.handle(
+        1,
+        Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 2 },
+    );
+    assert_eq!(count_kind(&out, "state-request"), 1);
+
+    // Owners always have write on their own objects: coupling two of a's
+    // own objects is allowed even under a Denied default.
+    let out = s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(a, "y") });
+    assert_eq!(count_kind(&out, "couple-update"), 1);
+}
+
+#[test]
+fn only_owner_may_set_permissions() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let _b = register(&mut s, 2, 2);
+    let out = s.handle(
+        2,
+        Message::SetPermission { user: UserId(2), object: gid(a, "x"), right: AccessRight::Write },
+    );
+    assert!(matches!(find(&out, 2, "permission-denied"), Message::PermissionDenied { .. }));
+}
+
+#[test]
+fn co_send_command_routes_by_target() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+    let c = register(&mut s, 3, 3);
+
+    // Direct.
+    let out = s.handle(
+        1,
+        Message::CoSendCommand { to: Target::Instance(b), command: "ping".into(), payload: vec![1] },
+    );
+    match find(&out, 2, "command-delivery") {
+        Message::CommandDelivery { from, command, payload } => {
+            assert_eq!(*from, a);
+            assert_eq!(command, "ping");
+            assert_eq!(payload, &vec![1]);
+        }
+        _ => unreachable!(),
+    }
+
+    // Broadcast excludes the sender.
+    let out = s.handle(
+        1,
+        Message::CoSendCommand { to: Target::Broadcast, command: "x".into(), payload: vec![] },
+    );
+    assert_eq!(count_kind(&out, "command-delivery"), 2);
+    assert!(out.iter().all(|(e, _)| *e != 1));
+
+    // Group target follows the couple closure.
+    s.handle(1, Message::Couple { src: gid(a, "o"), dst: gid(c, "p") });
+    let out = s.handle(
+        1,
+        Message::CoSendCommand {
+            to: Target::Group(gid(a, "o")),
+            command: "g".into(),
+            payload: vec![],
+        },
+    );
+    assert_eq!(count_kind(&out, "command-delivery"), 1);
+    assert_eq!(out.iter().find(|(_, m)| m.kind_name() == "command-delivery").unwrap().0, 3);
+
+    // Unknown target instance errors.
+    let out = s.handle(
+        1,
+        Message::CoSendCommand {
+            to: Target::Instance(InstanceId(99)),
+            command: "x".into(),
+            payload: vec![],
+        },
+    );
+    assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
+}
+
+#[test]
+fn deregister_auto_decouples_and_notifies_survivors() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+    let c = register(&mut s, 3, 3);
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    s.handle(2, Message::Couple { src: gid(b, "y"), dst: gid(c, "z") });
+
+    let out = s.handle(2, Message::Deregister);
+    // a and c each learn their group shrank.
+    assert!(count_kind(&out, "couple-update") >= 2);
+    assert!(!s.couples().is_coupled(&gid(a, "x")) || s.couples().coupled_with(&gid(a, "x")).iter().all(|g| g.instance != b));
+    assert!(s.registry().info(b).is_none());
+}
+
+#[test]
+fn disconnect_mid_execution_releases_locks() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+
+    let out = s.handle(
+        1,
+        Message::Event {
+            origin: gid(a, "x"),
+            event: UiEvent::simple(ObjectPath::parse("x").unwrap(), EventKind::Activate),
+            seq: 1,
+        },
+    );
+    let exec_id = match find(&out, 1, "event-granted") {
+        Message::EventGranted { exec_id, .. } => *exec_id,
+        _ => unreachable!(),
+    };
+    // a finishes, but b crashes before replying.
+    s.handle(1, Message::ExecuteDone { exec_id });
+    assert!(s.locks().is_locked(&gid(a, "x")));
+    let out = s.disconnect(2);
+    // The execution settles and a's object unlocks.
+    assert!(count_kind(&out, "group-unlocked") >= 1);
+    assert!(!s.locks().is_locked(&gid(a, "x")));
+}
+
+#[test]
+fn list_coupled_reports_closure() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    let out = s.handle(1, Message::ListCoupled { object: gid(a, "x") });
+    match find(&out, 1, "coupled-set") {
+        Message::CoupledSet { coupled, .. } => assert_eq!(coupled, &vec![gid(b, "y")]),
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn server_to_client_kinds_are_rejected_as_misuse() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let _a = register(&mut s, 1, 1);
+    let out = s.handle(1, Message::Welcome { instance: InstanceId(9) });
+    assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
+}

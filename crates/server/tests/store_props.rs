@@ -1,0 +1,182 @@
+//! Property-based tests of the server's data structures against simple
+//! reference models: the lock table never double-grants; the history
+//! store behaves like a pair of stacks; the couple directory's closure
+//! matches a brute-force reachability computation.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+
+use cosoft_server::{CoupleDirectory, HistoryStore, LockTable};
+use cosoft_wire::{AttrName, GlobalObjectId, InstanceId, ObjectPath, StateNode, Value, WidgetKind};
+
+fn gid(i: u8) -> GlobalObjectId {
+    GlobalObjectId::new(
+        InstanceId(u64::from(i % 4)),
+        ObjectPath::parse(&format!("o{}", i / 4)).expect("valid"),
+    )
+}
+
+#[derive(Debug, Clone)]
+enum LockOp {
+    Lock(Vec<u8>, u64),
+    Unlock(u64),
+}
+
+fn arb_lock_op() -> impl Strategy<Value = LockOp> {
+    prop_oneof![
+        (prop::collection::vec(0u8..16, 1..5), 1u64..5).prop_map(|(g, e)| LockOp::Lock(g, e)),
+        (1u64..5).prop_map(LockOp::Unlock),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The lock table agrees with a reference `HashMap<object, exec>`
+    /// model under random lock/unlock schedules, and never grants a group
+    /// containing an object held by a different exec.
+    #[test]
+    fn lock_table_matches_reference_model(ops in prop::collection::vec(arb_lock_op(), 1..40)) {
+        let mut table = LockTable::new();
+        let mut model: HashMap<GlobalObjectId, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                LockOp::Lock(group, exec) => {
+                    let objs: Vec<GlobalObjectId> = group.iter().map(|&i| gid(i)).collect();
+                    let model_conflict =
+                        objs.iter().any(|o| model.get(o).map(|&e| e != exec).unwrap_or(false));
+                    match table.try_lock_group(&objs, exec) {
+                        Ok(()) => {
+                            prop_assert!(!model_conflict, "table granted over a held lock");
+                            for o in objs {
+                                model.insert(o, exec);
+                            }
+                        }
+                        Err(conflicting) => {
+                            prop_assert!(model_conflict, "table refused a free group");
+                            prop_assert!(
+                                model.get(&conflicting).map(|&e| e != exec).unwrap_or(false),
+                                "reported conflict object is not actually conflicting"
+                            );
+                        }
+                    }
+                }
+                LockOp::Unlock(exec) => {
+                    let mut released = table.unlock_exec(exec);
+                    released.sort();
+                    let mut expected: Vec<GlobalObjectId> = model
+                        .iter()
+                        .filter(|(_, &e)| e == exec)
+                        .map(|(o, _)| o.clone())
+                        .collect();
+                    expected.sort();
+                    prop_assert_eq!(released, expected);
+                    model.retain(|_, &mut e| e != exec);
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+    }
+
+    /// The couple directory's `group_of` equals brute-force undirected
+    /// reachability over the surviving links.
+    #[test]
+    fn closure_matches_brute_force(
+        links in prop::collection::vec((0u8..12, 0u8..12), 0..25),
+        removals in prop::collection::vec(any::<prop::sample::Index>(), 0..10),
+    ) {
+        let mut dir = CoupleDirectory::new();
+        let mut live: Vec<(GlobalObjectId, GlobalObjectId)> = Vec::new();
+        for (a, b) in &links {
+            if dir.couple(gid(*a), gid(*b)) {
+                live.push((gid(*a), gid(*b)));
+            }
+        }
+        for idx in removals {
+            if live.is_empty() {
+                break;
+            }
+            let (a, b) = live.remove(idx.index(live.len()));
+            prop_assert!(dir.decouple(&a, &b));
+        }
+        // Brute-force reachability.
+        let mut nodes: HashSet<GlobalObjectId> = HashSet::new();
+        for (a, b) in &live {
+            nodes.insert(a.clone());
+            nodes.insert(b.clone());
+        }
+        for probe in nodes {
+            let mut reach: HashSet<GlobalObjectId> = HashSet::new();
+            let mut stack = vec![probe.clone()];
+            while let Some(cur) = stack.pop() {
+                if !reach.insert(cur.clone()) {
+                    continue;
+                }
+                for (a, b) in &live {
+                    if *a == cur && !reach.contains(b) {
+                        stack.push(b.clone());
+                    }
+                    if *b == cur && !reach.contains(a) {
+                        stack.push(a.clone());
+                    }
+                }
+            }
+            let mut expected: Vec<GlobalObjectId> = reach.into_iter().collect();
+            expected.sort();
+            prop_assert_eq!(dir.group_of(&probe), expected);
+        }
+    }
+
+    /// The history store behaves like a pair of reference stacks under
+    /// random overwrite/undo/redo schedules.
+    #[test]
+    fn history_matches_stack_model(ops in prop::collection::vec(0u8..3, 1..40)) {
+        let object = gid(1);
+        let state = |i: usize| {
+            StateNode::new(WidgetKind::Label, "l")
+                .with_attr(AttrName::Text, Value::Text(format!("v{i}")))
+        };
+        let mut store = HistoryStore::new();
+        let mut undo_model: Vec<StateNode> = Vec::new();
+        let mut redo_model: Vec<StateNode> = Vec::new();
+        let mut counter = 0usize;
+        // `current` is the hypothetical live state being displaced.
+        let mut current = state(usize::MAX);
+        for op in ops {
+            match op {
+                0 => {
+                    // Fresh overwrite: current goes to undo, redo clears.
+                    counter += 1;
+                    let newer = state(counter);
+                    store.record_overwrite(object.clone(), current.clone());
+                    undo_model.push(current.clone());
+                    redo_model.clear();
+                    current = newer;
+                }
+                1 => {
+                    // Undo if possible.
+                    let popped = store.pop_undo(&object);
+                    prop_assert_eq!(popped.clone(), undo_model.pop());
+                    if let Some(restored) = popped {
+                        store.record_undone(object.clone(), current.clone());
+                        redo_model.push(current.clone());
+                        current = restored;
+                    }
+                }
+                _ => {
+                    // Redo if possible.
+                    let popped = store.pop_redo(&object);
+                    prop_assert_eq!(popped.clone(), redo_model.pop());
+                    if let Some(reapplied) = popped {
+                        store.record_redone(object.clone(), current.clone());
+                        undo_model.push(current.clone());
+                        current = reapplied;
+                    }
+                }
+            }
+            prop_assert_eq!(store.undo_depth(&object), undo_model.len());
+            prop_assert_eq!(store.redo_depth(&object), redo_model.len());
+        }
+    }
+}

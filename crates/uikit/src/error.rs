@@ -1,0 +1,123 @@
+use std::fmt;
+
+use cosoft_wire::{AttrName, EventKind, ObjectPath, WidgetKind};
+
+/// Error produced by toolkit operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UiError {
+    /// No widget exists at the given path.
+    UnknownPath {
+        /// The unresolved path.
+        path: ObjectPath,
+    },
+    /// A sibling with the same name already exists.
+    DuplicateName {
+        /// Parent path.
+        parent: ObjectPath,
+        /// Conflicting child name.
+        name: String,
+    },
+    /// Attempted to add a child to a non-container widget.
+    NotContainer {
+        /// The non-container widget's kind.
+        kind: WidgetKind,
+    },
+    /// The attribute is not defined for the widget kind.
+    InvalidAttr {
+        /// Widget kind.
+        kind: WidgetKind,
+        /// Offending attribute.
+        attr: AttrName,
+    },
+    /// The value's type does not match the attribute's declared type.
+    TypeMismatch {
+        /// The attribute being set.
+        attr: AttrName,
+        /// Expected value type name.
+        expected: &'static str,
+        /// Actual value type name.
+        actual: &'static str,
+    },
+    /// The event kind is not emitted by the widget kind.
+    InvalidEvent {
+        /// Widget kind.
+        kind: WidgetKind,
+        /// Offending event kind.
+        event: EventKind,
+    },
+    /// The event's parameter list is malformed.
+    BadEventParams {
+        /// The event kind.
+        event: EventKind,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The widget is disabled (locked by floor control) and cannot accept
+    /// user events.
+    Disabled {
+        /// Path of the locked widget.
+        path: ObjectPath,
+    },
+    /// A UI-spec source failed to parse.
+    SpecParse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The root widget was already created.
+    RootExists,
+}
+
+impl fmt::Display for UiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UiError::UnknownPath { path } => write!(f, "no widget at path {path}"),
+            UiError::DuplicateName { parent, name } => {
+                write!(f, "widget {parent} already has a child named {name:?}")
+            }
+            UiError::NotContainer { kind } => write!(f, "{kind} widgets cannot have children"),
+            UiError::InvalidAttr { kind, attr } => {
+                write!(f, "attribute {attr} is not defined for {kind} widgets")
+            }
+            UiError::TypeMismatch { attr, expected, actual } => {
+                write!(f, "attribute {attr} expects {expected}, got {actual}")
+            }
+            UiError::InvalidEvent { kind, event } => {
+                write!(f, "{kind} widgets do not emit {event} events")
+            }
+            UiError::BadEventParams { event, reason } => {
+                write!(f, "malformed parameters for {event}: {reason}")
+            }
+            UiError::Disabled { path } => write!(f, "widget {path} is disabled (locked)"),
+            UiError::SpecParse { line, reason } => {
+                write!(f, "ui-spec parse error at line {line}: {reason}")
+            }
+            UiError::RootExists => write!(f, "root widget already exists"),
+        }
+    }
+}
+
+impl std::error::Error for UiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = UiError::InvalidAttr { kind: WidgetKind::Button, attr: AttrName::Text };
+        assert!(e.to_string().contains("button"));
+        let e = UiError::TypeMismatch { attr: AttrName::Text, expected: "text", actual: "int" };
+        assert!(e.to_string().contains("expects text"));
+        let e = UiError::SpecParse { line: 3, reason: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UiError>();
+    }
+}

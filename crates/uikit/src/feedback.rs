@@ -1,0 +1,319 @@
+//! Syntactic built-in feedback of callback events.
+//!
+//! The toolkit distinguishes the *syntactic feedback* of an event (the
+//! immediate local attribute change a widget performs itself — the toggle
+//! flips, the text appears) from the *callbacks* an application attaches.
+//! This split is what makes the paper's lock-failure path implementable:
+//! "undo syntactic built-in feedback of the event e" (§3.2 algorithm).
+
+use cosoft_wire::{AttrName, EventKind, UiEvent, Value};
+
+use crate::tree::{WidgetId, WidgetTree};
+use crate::UiError;
+
+/// Record of attribute values overwritten by one event's syntactic
+/// feedback; applying it back restores the pre-event state.
+///
+/// Rollback restores the recorded previous values unconditionally; *when*
+/// a rollback is safe is the coupling runtime's decision (it tracks
+/// whether a remote re-execution touched the object since the echo — see
+/// the session's per-path remote-execution epochs).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FeedbackUndo {
+    /// `(attribute, value before feedback, value the feedback wrote)`.
+    changes: Vec<(AttrName, Option<Value>, Value)>,
+}
+
+impl FeedbackUndo {
+    /// Whether the event changed any attribute.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Restores the recorded previous values on `widget`.
+    ///
+    /// # Errors
+    ///
+    /// [`UiError::UnknownPath`] if the widget no longer exists.
+    pub fn rollback(self, tree: &mut WidgetTree, widget: WidgetId) -> Result<(), UiError> {
+        for (name, prev, _written) in self.changes.into_iter().rev() {
+            match prev {
+                Some(v) => {
+                    tree.set_attr_unchecked(widget, name, v)?;
+                }
+                None => {
+                    // The attribute did not exist before; best effort —
+                    // reset to the schema default if one is declared.
+                    let kind = tree.widget(widget)?.kind().clone();
+                    if let Some(default) = tree
+                        .schema_of(&kind)
+                        .and_then(|s| s.attr(&name).map(|a| a.default.clone()))
+                    {
+                        tree.set_attr_unchecked(widget, name, default)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Applies the syntactic feedback of `event` to `widget`, returning the
+/// undo record.
+///
+/// Feedback per event kind:
+///
+/// | event | feedback |
+/// |---|---|
+/// | `Toggled(b)` | `checked := b` |
+/// | `SelectionChanged(i)` | `selected := i` |
+/// | `TextCommitted(s)` | `text := s` |
+/// | `TextEdited(pos, s)` | insert `s` at `pos` (or delete one char when `s` is empty) |
+/// | `ValueChanged(x)` | `value := clamp(x, min, max)` |
+/// | `StrokeAdded(k)` | append `k` to `strokes` |
+/// | `CanvasCleared` | `strokes := []` |
+/// | `Activate`, `RowActivated`, `Custom` | none |
+///
+/// # Errors
+///
+/// [`UiError::BadEventParams`] when the parameter list does not match the
+/// event kind; [`UiError::UnknownPath`] for a dead widget.
+pub fn apply_feedback(
+    tree: &mut WidgetTree,
+    widget: WidgetId,
+    event: &UiEvent,
+) -> Result<FeedbackUndo, UiError> {
+    let mut undo = FeedbackUndo::default();
+    let mut set = |tree: &mut WidgetTree, name: AttrName, value: Value| -> Result<(), UiError> {
+        let prev = tree.set_attr_unchecked(widget, name.clone(), value.clone())?;
+        undo.changes.push((name, prev, value));
+        Ok(())
+    };
+
+    match &event.kind {
+        EventKind::Toggled => {
+            let b = param_bool(event, 0)?;
+            set(tree, AttrName::Checked, Value::Bool(b))?;
+        }
+        EventKind::SelectionChanged => {
+            let i = param_int(event, 0)?;
+            set(tree, AttrName::Selected, Value::Int(i))?;
+        }
+        EventKind::TextCommitted => {
+            let s = param_text(event, 0)?;
+            set(tree, AttrName::Text, Value::Text(s))?;
+        }
+        EventKind::TextEdited => {
+            let pos = param_int(event, 0)? as usize;
+            let insert = param_text(event, 1)?;
+            let current = tree
+                .attr(widget, &AttrName::Text)
+                .ok()
+                .and_then(|v| v.as_text().map(str::to_owned))
+                .unwrap_or_default();
+            let new_text = apply_edit(&current, pos, &insert);
+            set(tree, AttrName::Text, Value::Text(new_text))?;
+        }
+        EventKind::ValueChanged => {
+            let x = param_float(event, 0)?;
+            let min = tree.attr(widget, &AttrName::Min).ok().and_then(Value::as_float);
+            let max = tree.attr(widget, &AttrName::Max).ok().and_then(Value::as_float);
+            let mut clamped = x;
+            if let Some(min) = min {
+                clamped = clamped.max(min);
+            }
+            if let Some(max) = max {
+                clamped = clamped.min(max);
+            }
+            set(tree, AttrName::ValueNum, Value::Float(clamped))?;
+        }
+        EventKind::StrokeAdded => {
+            let stroke = match event.params.first() {
+                Some(Value::Stroke(pts)) => pts.clone(),
+                _ => {
+                    return Err(UiError::BadEventParams {
+                        event: event.kind.clone(),
+                        reason: "param 0 must be a stroke",
+                    })
+                }
+            };
+            let mut strokes = match tree.attr(widget, &AttrName::Strokes).ok() {
+                Some(Value::StrokeList(s)) => s.clone(),
+                _ => Vec::new(),
+            };
+            strokes.push(stroke);
+            set(tree, AttrName::Strokes, Value::StrokeList(strokes))?;
+        }
+        EventKind::CanvasCleared => {
+            set(tree, AttrName::Strokes, Value::StrokeList(Vec::new()))?;
+        }
+        EventKind::Activate | EventKind::RowActivated | EventKind::Custom(_) => {}
+    }
+    Ok(undo)
+}
+
+fn apply_edit(current: &str, pos: usize, insert: &str) -> String {
+    let chars: Vec<char> = current.chars().collect();
+    let pos = pos.min(chars.len());
+    let mut out: String = chars[..pos].iter().collect();
+    if insert.is_empty() {
+        // Deletion of the character at `pos`.
+        out.extend(chars.get(pos + 1..).unwrap_or(&[]));
+    } else {
+        out.push_str(insert);
+        out.extend(chars.get(pos..).unwrap_or(&[]));
+    }
+    out
+}
+
+fn param_bool(event: &UiEvent, i: usize) -> Result<bool, UiError> {
+    event.params.get(i).and_then(Value::as_bool).ok_or(UiError::BadEventParams {
+        event: event.kind.clone(),
+        reason: "expected bool parameter",
+    })
+}
+
+fn param_int(event: &UiEvent, i: usize) -> Result<i64, UiError> {
+    event.params.get(i).and_then(Value::as_int).ok_or(UiError::BadEventParams {
+        event: event.kind.clone(),
+        reason: "expected int parameter",
+    })
+}
+
+fn param_float(event: &UiEvent, i: usize) -> Result<f64, UiError> {
+    match event.params.get(i) {
+        Some(Value::Float(x)) => Ok(*x),
+        Some(Value::Int(n)) => Ok(*n as f64),
+        _ => Err(UiError::BadEventParams {
+            event: event.kind.clone(),
+            reason: "expected numeric parameter",
+        }),
+    }
+}
+
+fn param_text(event: &UiEvent, i: usize) -> Result<String, UiError> {
+    event
+        .params
+        .get(i)
+        .and_then(|v| v.as_text().map(str::to_owned))
+        .ok_or(UiError::BadEventParams {
+            event: event.kind.clone(),
+            reason: "expected text parameter",
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosoft_wire::{ObjectPath, WidgetKind};
+
+    fn setup() -> (WidgetTree, WidgetId) {
+        let mut t = WidgetTree::new();
+        let root = t.create_root(WidgetKind::Form, "root").unwrap();
+        (t, root)
+    }
+
+    fn ev(kind: EventKind, params: Vec<Value>) -> UiEvent {
+        UiEvent::new(ObjectPath::parse("root.w").unwrap(), kind, params)
+    }
+
+    #[test]
+    fn toggle_feedback_and_rollback() {
+        let (mut t, root) = setup();
+        let w = t.create(root, WidgetKind::ToggleButton, "w").unwrap();
+        let undo =
+            apply_feedback(&mut t, w, &ev(EventKind::Toggled, vec![Value::Bool(true)])).unwrap();
+        assert_eq!(t.attr(w, &AttrName::Checked).unwrap(), &Value::Bool(true));
+        undo.rollback(&mut t, w).unwrap();
+        assert_eq!(t.attr(w, &AttrName::Checked).unwrap(), &Value::Bool(false));
+    }
+
+    #[test]
+    fn text_commit_feedback() {
+        let (mut t, root) = setup();
+        let w = t.create(root, WidgetKind::TextField, "w").unwrap();
+        apply_feedback(&mut t, w, &ev(EventKind::TextCommitted, vec![Value::Text("abc".into())]))
+            .unwrap();
+        assert_eq!(t.attr(w, &AttrName::Text).unwrap(), &Value::Text("abc".into()));
+    }
+
+    #[test]
+    fn text_edit_insert_and_delete() {
+        let (mut t, root) = setup();
+        let w = t.create(root, WidgetKind::TextField, "w").unwrap();
+        t.set_attr(w, AttrName::Text, Value::Text("held".into())).unwrap();
+        // Insert "llo wor" at position 3 -> "helllo word"? Test simpler ops.
+        apply_feedback(
+            &mut t,
+            w,
+            &ev(EventKind::TextEdited, vec![Value::Int(2), Value::Text("X".into())]),
+        )
+        .unwrap();
+        assert_eq!(t.attr(w, &AttrName::Text).unwrap(), &Value::Text("heXld".into()));
+        // Delete the inserted char.
+        apply_feedback(
+            &mut t,
+            w,
+            &ev(EventKind::TextEdited, vec![Value::Int(2), Value::Text(String::new())]),
+        )
+        .unwrap();
+        assert_eq!(t.attr(w, &AttrName::Text).unwrap(), &Value::Text("held".into()));
+    }
+
+    #[test]
+    fn edit_positions_are_clamped() {
+        assert_eq!(apply_edit("ab", 99, "X"), "abX");
+        assert_eq!(apply_edit("ab", 99, ""), "ab");
+        assert_eq!(apply_edit("", 0, "a"), "a");
+    }
+
+    #[test]
+    fn value_changed_clamps_to_range() {
+        let (mut t, root) = setup();
+        let w = t.create(root, WidgetKind::Slider, "w").unwrap();
+        apply_feedback(&mut t, w, &ev(EventKind::ValueChanged, vec![Value::Float(7.0)])).unwrap();
+        assert_eq!(t.attr(w, &AttrName::ValueNum).unwrap(), &Value::Float(1.0));
+        apply_feedback(&mut t, w, &ev(EventKind::ValueChanged, vec![Value::Float(-3.0)])).unwrap();
+        assert_eq!(t.attr(w, &AttrName::ValueNum).unwrap(), &Value::Float(0.0));
+    }
+
+    #[test]
+    fn strokes_accumulate_and_clear() {
+        let (mut t, root) = setup();
+        let w = t.create(root, WidgetKind::Canvas, "w").unwrap();
+        let s1 = vec![(0, 0), (1, 1)];
+        let s2 = vec![(5, 5)];
+        apply_feedback(&mut t, w, &ev(EventKind::StrokeAdded, vec![Value::Stroke(s1.clone())]))
+            .unwrap();
+        let undo2 =
+            apply_feedback(&mut t, w, &ev(EventKind::StrokeAdded, vec![Value::Stroke(s2.clone())]))
+                .unwrap();
+        assert_eq!(
+            t.attr(w, &AttrName::Strokes).unwrap(),
+            &Value::StrokeList(vec![s1.clone(), s2])
+        );
+        undo2.rollback(&mut t, w).unwrap();
+        assert_eq!(t.attr(w, &AttrName::Strokes).unwrap(), &Value::StrokeList(vec![s1]));
+        apply_feedback(&mut t, w, &ev(EventKind::CanvasCleared, vec![])).unwrap();
+        assert_eq!(t.attr(w, &AttrName::Strokes).unwrap(), &Value::StrokeList(vec![]));
+    }
+
+    #[test]
+    fn activate_has_no_feedback() {
+        let (mut t, root) = setup();
+        let w = t.create(root, WidgetKind::Button, "w").unwrap();
+        let undo = apply_feedback(&mut t, w, &ev(EventKind::Activate, vec![])).unwrap();
+        assert!(undo.is_empty());
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let (mut t, root) = setup();
+        let w = t.create(root, WidgetKind::ToggleButton, "w").unwrap();
+        let err = apply_feedback(&mut t, w, &ev(EventKind::Toggled, vec![])).unwrap_err();
+        assert!(matches!(err, UiError::BadEventParams { .. }));
+        let err =
+            apply_feedback(&mut t, w, &ev(EventKind::Toggled, vec![Value::Int(1)])).unwrap_err();
+        assert!(matches!(err, UiError::BadEventParams { .. }));
+    }
+}

@@ -1,0 +1,107 @@
+//! Headless text rendering of widget trees.
+//!
+//! The coupling model never touches pixels, so the reproduction renders
+//! widget trees to indented text — enough for golden tests, demos and the
+//! classroom "stylized representation of the student's environment" (§4).
+
+use std::fmt::Write as _;
+
+use cosoft_wire::AttrName;
+
+use crate::tree::{WidgetId, WidgetTree};
+
+/// Renders the whole tree to indented text, showing non-default
+/// state-carrying attributes.
+///
+/// Returns an empty string when the tree has no root.
+pub fn render(tree: &WidgetTree) -> String {
+    match tree.root() {
+        Some(root) => render_from(tree, root),
+        None => String::new(),
+    }
+}
+
+/// Renders the subtree under `id`.
+pub fn render_from(tree: &WidgetTree, id: WidgetId) -> String {
+    let mut out = String::new();
+    render_rec(tree, id, 0, &mut out);
+    out
+}
+
+fn render_rec(tree: &WidgetTree, id: WidgetId, depth: usize, out: &mut String) {
+    let Ok(w) = tree.widget(id) else { return };
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = write!(out, "{} \"{}\"", w.kind(), w.name());
+    let interesting = [
+        AttrName::Title,
+        AttrName::Text,
+        AttrName::ValueNum,
+        AttrName::Items,
+        AttrName::Selected,
+        AttrName::Checked,
+        AttrName::Strokes,
+    ];
+    let defaults = tree.schema_of(w.kind());
+    for name in &interesting {
+        if let Some(v) = w.attrs().get(name) {
+            let is_default = defaults
+                .as_ref()
+                .and_then(|s| s.attr(name))
+                .map(|spec| &spec.default == v)
+                .unwrap_or(false);
+            if !is_default {
+                let _ = write!(out, " {name}={v}");
+            }
+        }
+    }
+    if !w.is_interactable() {
+        out.push_str(" [disabled]");
+    }
+    out.push('\n');
+    for &c in w.children() {
+        render_rec(tree, c, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::build_tree;
+    use cosoft_wire::{ObjectPath, WidgetKind};
+
+    #[test]
+    fn renders_nested_tree_with_state() {
+        let mut tree = build_tree(
+            r#"form f title="Demo" {
+                 textfield name text="Zhao"
+                 slider v value=0.25
+                 panel p {
+                   toggle t checked=true
+                 }
+               }"#,
+        )
+        .unwrap();
+        let id = tree.resolve(&ObjectPath::parse("f.name").unwrap()).unwrap();
+        tree.set_lock_disabled(id, true).unwrap();
+        let text = render(&tree);
+        let expected = "form \"f\" title=\"Demo\"\n  textfield \"name\" text=\"Zhao\" [disabled]\n  slider \"v\" value=0.25\n  panel \"p\"\n    toggle \"t\" checked=true\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn default_values_are_hidden() {
+        let tree = build_tree(r#"textfield f text="""#).unwrap();
+        assert_eq!(render(&tree), "textfield \"f\"\n");
+    }
+
+    #[test]
+    fn empty_tree_renders_empty() {
+        let tree = WidgetTree::new();
+        assert_eq!(render(&tree), "");
+        let mut tree = WidgetTree::new();
+        tree.create_root(WidgetKind::Form, "r").unwrap();
+        assert_eq!(render(&tree), "form \"r\"\n");
+    }
+}

@@ -1,0 +1,441 @@
+//! Declarative UI-spec language — the stand-in for CENTER's interactive
+//! builder ("an interactive builder for users who are not experienced
+//! programmers", §1).
+//!
+//! A spec describes a widget subtree:
+//!
+//! ```text
+//! # a query form
+//! form query title="Literature Query" {
+//!   label author_lbl text="Author:"
+//!   textfield author text="" width=30
+//!   menu op items=["substring", "exact", "like-one-of"] selected=0
+//!   button submit title="Search"
+//! }
+//! ```
+//!
+//! Attribute values: `"strings"`, integers, floats (contain `.`), `true` /
+//! `false`, `[` string lists `]` and `#rrggbb` colours. `#` starts a
+//! comment outside of a value position.
+
+use cosoft_wire::{AttrName, Value, WidgetKind};
+
+use crate::tree::{WidgetId, WidgetTree};
+use crate::UiError;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Color(u8, u8, u8),
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Eq,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, chars: src.char_indices().peekable(), line: 1 }
+    }
+
+    fn err(&self, reason: impl Into<String>) -> UiError {
+        UiError::SpecParse { line: self.line, reason: reason.into() }
+    }
+
+    fn next_token(&mut self) -> Result<Option<(Token, usize)>, UiError> {
+        loop {
+            match self.chars.peek().copied() {
+                None => return Ok(None),
+                Some((_, c)) if c == '\n' => {
+                    self.line += 1;
+                    self.chars.next();
+                }
+                Some((_, c)) if c.is_whitespace() => {
+                    self.chars.next();
+                }
+                Some((_, '#')) => {
+                    // Comment or colour literal: colour if followed by 6 hex digits.
+                    let (start, _) = self.chars.next().expect("peeked");
+                    let rest = &self.src[start + 1..];
+                    let hex: String = rest.chars().take(6).collect();
+                    if hex.len() == 6 && hex.chars().all(|c| c.is_ascii_hexdigit()) {
+                        for _ in 0..6 {
+                            self.chars.next();
+                        }
+                        let r = u8::from_str_radix(&hex[0..2], 16).expect("hex");
+                        let g = u8::from_str_radix(&hex[2..4], 16).expect("hex");
+                        let b = u8::from_str_radix(&hex[4..6], 16).expect("hex");
+                        return Ok(Some((Token::Color(r, g, b), self.line)));
+                    }
+                    // Comment until end of line.
+                    while let Some((_, c)) = self.chars.peek().copied() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.chars.next();
+                    }
+                }
+                Some((_, '{')) => {
+                    self.chars.next();
+                    return Ok(Some((Token::LBrace, self.line)));
+                }
+                Some((_, '}')) => {
+                    self.chars.next();
+                    return Ok(Some((Token::RBrace, self.line)));
+                }
+                Some((_, '[')) => {
+                    self.chars.next();
+                    return Ok(Some((Token::LBracket, self.line)));
+                }
+                Some((_, ']')) => {
+                    self.chars.next();
+                    return Ok(Some((Token::RBracket, self.line)));
+                }
+                Some((_, ',')) => {
+                    self.chars.next();
+                    return Ok(Some((Token::Comma, self.line)));
+                }
+                Some((_, '=')) => {
+                    self.chars.next();
+                    return Ok(Some((Token::Eq, self.line)));
+                }
+                Some((_, '"')) => {
+                    self.chars.next();
+                    let mut s = String::new();
+                    loop {
+                        match self.chars.next() {
+                            None => return Err(self.err("unterminated string")),
+                            Some((_, '"')) => break,
+                            Some((_, '\\')) => match self.chars.next() {
+                                Some((_, 'n')) => s.push('\n'),
+                                Some((_, 't')) => s.push('\t'),
+                                Some((_, c)) => s.push(c),
+                                None => return Err(self.err("unterminated escape")),
+                            },
+                            Some((_, '\n')) => return Err(self.err("newline in string")),
+                            Some((_, c)) => s.push(c),
+                        }
+                    }
+                    return Ok(Some((Token::Str(s), self.line)));
+                }
+                Some((_, c)) if c == '-' || c.is_ascii_digit() => {
+                    let mut s = String::new();
+                    s.push(c);
+                    self.chars.next();
+                    let mut is_float = false;
+                    while let Some((_, c)) = self.chars.peek().copied() {
+                        if c.is_ascii_digit() {
+                            s.push(c);
+                            self.chars.next();
+                        } else if c == '.' && !is_float {
+                            is_float = true;
+                            s.push(c);
+                            self.chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    return if is_float {
+                        s.parse::<f64>()
+                            .map(|f| Some((Token::Float(f), self.line)))
+                            .map_err(|_| self.err(format!("bad float literal {s:?}")))
+                    } else {
+                        s.parse::<i64>()
+                            .map(|i| Some((Token::Int(i), self.line)))
+                            .map_err(|_| self.err(format!("bad int literal {s:?}")))
+                    };
+                }
+                Some((_, c)) if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some((_, c)) = self.chars.peek().copied() {
+                        if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                            s.push(c);
+                            self.chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let tok = match s.as_str() {
+                        "true" => Token::Bool(true),
+                        "false" => Token::Bool(false),
+                        _ => Token::Ident(s),
+                    };
+                    return Ok(Some((tok, self.line)));
+                }
+                Some((_, c)) => return Err(self.err(format!("unexpected character {c:?}"))),
+            }
+        }
+    }
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Token, usize)>, UiError> {
+    let mut lexer = Lexer::new(src);
+    let mut out = Vec::new();
+    while let Some(t) = lexer.next_token()? {
+        out.push(t);
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.tokens.get(self.pos).or_else(|| self.tokens.last()).map(|t| t.1).unwrap_or(1)
+    }
+
+    fn err(&self, reason: impl Into<String>) -> UiError {
+        UiError::SpecParse { line: self.line(), reason: reason.into() }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.0)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.0.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, UiError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected {what}, got {other:?}"))),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, UiError> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(Value::Text(s)),
+            Some(Token::Int(i)) => Ok(Value::Int(i)),
+            Some(Token::Float(f)) => Ok(Value::Float(f)),
+            Some(Token::Bool(b)) => Ok(Value::Bool(b)),
+            Some(Token::Color(r, g, b)) => Ok(Value::Color(r, g, b)),
+            Some(Token::LBracket) => {
+                let mut items = Vec::new();
+                loop {
+                    match self.peek() {
+                        Some(Token::RBracket) => {
+                            self.next();
+                            break;
+                        }
+                        Some(Token::Str(_)) => {
+                            if let Some(Token::Str(s)) = self.next() {
+                                items.push(s);
+                            }
+                            if let Some(Token::Comma) = self.peek() {
+                                self.next();
+                            }
+                        }
+                        other => {
+                            return Err(self.err(format!("expected string in list, got {other:?}")))
+                        }
+                    }
+                }
+                Ok(Value::TextList(items))
+            }
+            other => Err(self.err(format!("expected attribute value, got {other:?}"))),
+        }
+    }
+
+    /// widget := kind name (attr '=' value)* ('{' widget* '}')?
+    fn parse_widget(
+        &mut self,
+        tree: &mut WidgetTree,
+        parent: Option<WidgetId>,
+    ) -> Result<WidgetId, UiError> {
+        let kind_name = self.expect_ident("widget kind")?;
+        let kind = WidgetKind::from_str_lossy(&kind_name);
+        let name = self.expect_ident("widget name")?;
+        let id = match parent {
+            Some(p) => tree.create(p, kind, &name)?,
+            None => tree.create_root(kind, &name)?,
+        };
+        // Attributes.
+        while let Some(Token::Ident(_)) = self.peek() {
+            // Lookahead: attribute only if followed by '='.
+            if self.tokens.get(self.pos + 1).map(|t| &t.0) != Some(&Token::Eq) {
+                break;
+            }
+            let attr_name = self.expect_ident("attribute name")?;
+            self.next(); // consume '='
+            let value = self.parse_value()?;
+            let attr = AttrName::from_str_lossy(&attr_name);
+            tree.set_attr(id, attr, value).map_err(|e| self.err(e.to_string()))?;
+        }
+        // Children.
+        if let Some(Token::LBrace) = self.peek() {
+            self.next();
+            loop {
+                match self.peek() {
+                    Some(Token::RBrace) => {
+                        self.next();
+                        break;
+                    }
+                    Some(Token::Ident(_)) => {
+                        self.parse_widget(tree, Some(id))?;
+                    }
+                    other => return Err(self.err(format!("expected widget or '}}', got {other:?}"))),
+                }
+            }
+        }
+        Ok(id)
+    }
+}
+
+/// Builds a complete widget tree from a spec whose single top-level widget
+/// becomes the root.
+///
+/// # Errors
+///
+/// [`UiError::SpecParse`] on syntax errors and on semantic errors
+/// (unknown attributes, type mismatches, duplicate names) with the
+/// offending line number.
+pub fn build_tree(src: &str) -> Result<WidgetTree, UiError> {
+    let mut tree = WidgetTree::new();
+    let mut parser = Parser { tokens: tokenize(src)?, pos: 0 };
+    parser.parse_widget(&mut tree, None)?;
+    if parser.peek().is_some() {
+        return Err(parser.err("trailing input after root widget"));
+    }
+    Ok(tree)
+}
+
+/// Builds a subtree from a spec under an existing parent widget.
+///
+/// # Errors
+///
+/// Same as [`build_tree`].
+pub fn build_subtree(
+    tree: &mut WidgetTree,
+    parent: WidgetId,
+    src: &str,
+) -> Result<WidgetId, UiError> {
+    let mut parser = Parser { tokens: tokenize(src)?, pos: 0 };
+    let id = parser.parse_widget(tree, Some(parent))?;
+    if parser.peek().is_some() {
+        return Err(parser.err("trailing input after widget"));
+    }
+    Ok(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosoft_wire::ObjectPath;
+
+    const QUERY_FORM: &str = r#"
+# a query form
+form query title="Literature Query" {
+  label author_lbl text="Author:"
+  textfield author text="" width=30
+  menu op items=["substring", "exact", "like-one-of"] selected=0
+  button submit title="Search"
+  slider relevance value=0.5 min=0.0 max=1.0
+  toggle private checked=true
+}
+"#;
+
+    #[test]
+    fn parses_full_form() {
+        let tree = build_tree(QUERY_FORM).unwrap();
+        assert_eq!(tree.len(), 7);
+        let op = tree.resolve(&ObjectPath::parse("query.op").unwrap()).unwrap();
+        assert_eq!(
+            tree.attr(op, &AttrName::Items).unwrap(),
+            &Value::TextList(vec!["substring".into(), "exact".into(), "like-one-of".into()])
+        );
+        assert_eq!(tree.attr(op, &AttrName::Selected).unwrap(), &Value::Int(0));
+        let slider = tree.resolve(&ObjectPath::parse("query.relevance").unwrap()).unwrap();
+        assert_eq!(tree.attr(slider, &AttrName::ValueNum).unwrap(), &Value::Float(0.5));
+        let toggle = tree.resolve(&ObjectPath::parse("query.private").unwrap()).unwrap();
+        assert_eq!(tree.attr(toggle, &AttrName::Checked).unwrap(), &Value::Bool(true));
+    }
+
+    #[test]
+    fn color_literals_parse() {
+        let tree = build_tree(r##"label l text="x" foreground=#ff0080"##).unwrap();
+        let id = tree.resolve(&ObjectPath::parse("l").unwrap()).unwrap();
+        assert_eq!(tree.attr(id, &AttrName::Foreground).unwrap(), &Value::Color(255, 0, 128));
+    }
+
+    #[test]
+    fn comments_and_escapes() {
+        let tree = build_tree("# heading\nlabel l text=\"a\\nb\" # trailing\n").unwrap();
+        let id = tree.resolve(&ObjectPath::parse("l").unwrap()).unwrap();
+        assert_eq!(tree.attr(id, &AttrName::Text).unwrap(), &Value::Text("a\nb".into()));
+    }
+
+    #[test]
+    fn negative_and_float_literals() {
+        let tree = build_tree(r#"slider s value=-0.5 min=-1.0 max=1.0"#).unwrap();
+        let id = tree.resolve(&ObjectPath::parse("s").unwrap()).unwrap();
+        assert_eq!(tree.attr(id, &AttrName::ValueNum).unwrap(), &Value::Float(-0.5));
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = build_tree("form f {\n  label l text=\n}").unwrap_err();
+        match err {
+            UiError::SpecParse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected SpecParse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(matches!(build_tree("label l text=\"oops"), Err(UiError::SpecParse { .. })));
+    }
+
+    #[test]
+    fn type_errors_surface_as_parse_errors() {
+        let err = build_tree(r#"textfield f text=42"#).unwrap_err();
+        assert!(matches!(err, UiError::SpecParse { .. }));
+        assert!(err.to_string().contains("expects text"));
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        assert!(build_tree("label a text=\"x\" label b").is_err());
+    }
+
+    #[test]
+    fn build_subtree_grafts_under_parent() {
+        let mut tree = build_tree("form root").unwrap();
+        let root = tree.root().unwrap();
+        build_subtree(&mut tree, root, "panel extras { button go title=\"Go\" }").unwrap();
+        assert!(tree.resolve(&ObjectPath::parse("root.extras.go").unwrap()).is_some());
+    }
+
+    #[test]
+    fn custom_widget_kinds_accepted() {
+        let tree = build_tree(r#"simview sim speed=2.0"#).unwrap();
+        let id = tree.resolve(&ObjectPath::parse("sim").unwrap()).unwrap();
+        assert_eq!(tree.attr(id, &AttrName::custom("speed")).unwrap(), &Value::Float(2.0));
+    }
+
+    #[test]
+    fn empty_list_parses() {
+        let tree = build_tree(r#"menu m items=[] selected=-1"#).unwrap();
+        let id = tree.resolve(&ObjectPath::parse("m").unwrap()).unwrap();
+        assert_eq!(tree.attr(id, &AttrName::Items).unwrap(), &Value::TextList(vec![]));
+    }
+}

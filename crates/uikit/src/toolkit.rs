@@ -1,0 +1,289 @@
+//! The toolkit facade: widget tree + callback registry + event delivery.
+//!
+//! Event processing is deliberately split into phases so the coupling
+//! runtime can interleave floor control (§3.2):
+//!
+//! 1. [`Toolkit::input`] — validate the event and apply its *syntactic
+//!    feedback* (the immediate local echo), returning an undo record;
+//! 2. the coupling layer asks the server for the floor;
+//! 3. on grant, [`Toolkit::run_callbacks`] executes the application
+//!    callbacks; on rejection, [`FeedbackUndo::rollback`] undoes the echo.
+//!
+//! [`Toolkit::deliver`] combines the phases for plain single-user use, and
+//! [`Toolkit::execute_remote`] implements the receiver side of multiple
+//! execution ("simulate the feedback of e; execute callbacks of the event
+//! e on object O′").
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cosoft_wire::{EventKind, ObjectPath, UiEvent};
+
+use crate::feedback::{apply_feedback, FeedbackUndo};
+use crate::tree::{WidgetId, WidgetTree};
+use crate::UiError;
+
+/// An application callback attached to a widget's event.
+pub type Callback = Box<dyn FnMut(&mut WidgetTree, &UiEvent) + Send>;
+
+/// Widget tree plus callback registry.
+#[derive(Default)]
+pub struct Toolkit {
+    tree: WidgetTree,
+    callbacks: HashMap<(ObjectPath, EventKind), Vec<Callback>>,
+    /// Count of callback executions, for tests and benchmarks.
+    executed: u64,
+}
+
+impl fmt::Debug for Toolkit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Toolkit")
+            .field("widgets", &self.tree.len())
+            .field("callback_slots", &self.callbacks.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl Toolkit {
+    /// Creates an empty toolkit.
+    pub fn new() -> Self {
+        Toolkit::default()
+    }
+
+    /// Creates a toolkit around an existing tree.
+    pub fn from_tree(tree: WidgetTree) -> Self {
+        Toolkit { tree, callbacks: HashMap::new(), executed: 0 }
+    }
+
+    /// The widget tree.
+    pub fn tree(&self) -> &WidgetTree {
+        &self.tree
+    }
+
+    /// Mutable access to the widget tree.
+    pub fn tree_mut(&mut self) -> &mut WidgetTree {
+        &mut self.tree
+    }
+
+    /// Number of callback executions so far.
+    pub fn executed_callbacks(&self) -> u64 {
+        self.executed
+    }
+
+    /// Attaches a callback to `(path, kind)`.
+    pub fn on<F>(&mut self, path: ObjectPath, kind: EventKind, callback: F)
+    where
+        F: FnMut(&mut WidgetTree, &UiEvent) + Send + 'static,
+    {
+        self.callbacks.entry((path, kind)).or_default().push(Box::new(callback));
+    }
+
+    /// Removes all callbacks attached to `(path, kind)`, returning how many
+    /// were removed.
+    pub fn off(&mut self, path: &ObjectPath, kind: &EventKind) -> usize {
+        self.callbacks.remove(&(path.clone(), kind.clone())).map(|v| v.len()).unwrap_or(0)
+    }
+
+    fn validate(&self, event: &UiEvent) -> Result<WidgetId, UiError> {
+        let id = self.tree.resolve_required(&event.path)?;
+        let w = self.tree.widget(id)?;
+        if let Some(schema) = self.tree.schema_of(w.kind()) {
+            if !schema.emits(&event.kind) {
+                return Err(UiError::InvalidEvent {
+                    kind: w.kind().clone(),
+                    event: event.kind.clone(),
+                });
+            }
+        }
+        Ok(id)
+    }
+
+    /// Phase 1 of user-event processing: validates the event against the
+    /// widget's schema and interactability, then applies the syntactic
+    /// feedback.
+    ///
+    /// # Errors
+    ///
+    /// [`UiError::Disabled`] if the widget is locked or disabled;
+    /// [`UiError::InvalidEvent`] / [`UiError::BadEventParams`] /
+    /// [`UiError::UnknownPath`] on malformed input.
+    pub fn input(&mut self, event: &UiEvent) -> Result<FeedbackUndo, UiError> {
+        let id = self.validate(event)?;
+        if !self.tree.widget(id)?.is_interactable() {
+            return Err(UiError::Disabled { path: event.path.clone() });
+        }
+        apply_feedback(&mut self.tree, id, event)
+    }
+
+    /// Phase 2: runs the application callbacks attached to the event.
+    ///
+    /// Callbacks registered for the exact `(path, kind)` run in
+    /// registration order with mutable access to the tree.
+    pub fn run_callbacks(&mut self, event: &UiEvent) {
+        let key = (event.path.clone(), event.kind.clone());
+        if let Some(mut cbs) = self.callbacks.remove(&key) {
+            for cb in cbs.iter_mut() {
+                cb(&mut self.tree, event);
+                self.executed += 1;
+            }
+            // Merge back, preserving callbacks added *during* execution.
+            self.callbacks.entry(key).or_default().splice(0..0, cbs);
+        }
+    }
+
+    /// Full local delivery: `input` + `run_callbacks` (single-user path,
+    /// or events on objects that are not coupled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Toolkit::input`] errors; callbacks do not run if the
+    /// feedback phase fails.
+    pub fn deliver(&mut self, event: &UiEvent) -> Result<FeedbackUndo, UiError> {
+        let undo = self.input(event)?;
+        self.run_callbacks(event);
+        Ok(undo)
+    }
+
+    /// Receiver side of multiple execution (§3.2): simulates the feedback
+    /// of the (re-targeted) event and executes its callbacks, bypassing
+    /// both the interactability check — the object is *expected* to be
+    /// disabled by floor control while remote execution happens — and the
+    /// schema's event-kind check, because the event may originate from a
+    /// *different but compatible* widget kind (§3.3 heterogeneous
+    /// coupling).
+    ///
+    /// # Errors
+    ///
+    /// [`UiError::UnknownPath`] or [`UiError::BadEventParams`].
+    pub fn execute_remote(&mut self, event: &UiEvent) -> Result<(), UiError> {
+        let id = self.tree.resolve_required(&event.path)?;
+        apply_feedback(&mut self.tree, id, event)?;
+        self.run_callbacks(event);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosoft_wire::{AttrName, Value, WidgetKind};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn setup() -> Toolkit {
+        let mut tk = Toolkit::new();
+        let root = tk.tree_mut().create_root(WidgetKind::Form, "root").unwrap();
+        tk.tree_mut().create(root, WidgetKind::Button, "btn").unwrap();
+        tk.tree_mut().create(root, WidgetKind::TextField, "field").unwrap();
+        tk
+    }
+
+    fn path(s: &str) -> ObjectPath {
+        ObjectPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn deliver_runs_feedback_then_callbacks() {
+        let mut tk = setup();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        tk.on(path("root.field"), EventKind::TextCommitted, move |tree, ev| {
+            // Feedback already applied when the callback runs.
+            let id = tree.resolve(&ev.path).unwrap();
+            assert_eq!(tree.attr(id, &AttrName::Text).unwrap(), &Value::Text("x".into()));
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        let ev = UiEvent::new(
+            path("root.field"),
+            EventKind::TextCommitted,
+            vec![Value::Text("x".into())],
+        );
+        tk.deliver(&ev).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(tk.executed_callbacks(), 1);
+    }
+
+    #[test]
+    fn input_on_disabled_widget_fails() {
+        let mut tk = setup();
+        let id = tk.tree().resolve(&path("root.btn")).unwrap();
+        tk.tree_mut().set_lock_disabled(id, true).unwrap();
+        let ev = UiEvent::simple(path("root.btn"), EventKind::Activate);
+        assert!(matches!(tk.input(&ev), Err(UiError::Disabled { .. })));
+        // But remote execution bypasses the check.
+        tk.execute_remote(&ev).unwrap();
+    }
+
+    #[test]
+    fn invalid_event_kind_rejected() {
+        let mut tk = setup();
+        let ev = UiEvent::new(path("root.btn"), EventKind::Toggled, vec![Value::Bool(true)]);
+        assert!(matches!(tk.input(&ev), Err(UiError::InvalidEvent { .. })));
+    }
+
+    #[test]
+    fn unknown_path_rejected() {
+        let mut tk = setup();
+        let ev = UiEvent::simple(path("root.nope"), EventKind::Activate);
+        assert!(matches!(tk.input(&ev), Err(UiError::UnknownPath { .. })));
+    }
+
+    #[test]
+    fn callbacks_only_fire_for_matching_slot() {
+        let mut tk = setup();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        tk.on(path("root.btn"), EventKind::Activate, move |_, _| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        tk.deliver(&UiEvent::simple(path("root.btn"), EventKind::Activate)).unwrap();
+        tk.deliver(&UiEvent::new(
+            path("root.field"),
+            EventKind::TextCommitted,
+            vec![Value::Text("y".into())],
+        ))
+        .unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn off_removes_callbacks() {
+        let mut tk = setup();
+        tk.on(path("root.btn"), EventKind::Activate, |_, _| {});
+        tk.on(path("root.btn"), EventKind::Activate, |_, _| {});
+        assert_eq!(tk.off(&path("root.btn"), &EventKind::Activate), 2);
+        assert_eq!(tk.off(&path("root.btn"), &EventKind::Activate), 0);
+    }
+
+    #[test]
+    fn rollback_undoes_feedback_after_rejection() {
+        let mut tk = setup();
+        let ev = UiEvent::new(
+            path("root.field"),
+            EventKind::TextCommitted,
+            vec![Value::Text("rejected".into())],
+        );
+        let undo = tk.input(&ev).unwrap();
+        let id = tk.tree().resolve(&path("root.field")).unwrap();
+        assert_eq!(tk.tree().attr(id, &AttrName::Text).unwrap(), &Value::Text("rejected".into()));
+        undo.rollback(tk.tree_mut(), id).unwrap();
+        assert_eq!(tk.tree().attr(id, &AttrName::Text).unwrap(), &Value::Text(String::new()));
+        assert_eq!(tk.executed_callbacks(), 0, "callbacks never ran");
+    }
+
+    #[test]
+    fn callback_can_mutate_other_widgets() {
+        let mut tk = setup();
+        // A classic dependent-object callback: button press writes a label.
+        let root = tk.tree().root().unwrap();
+        tk.tree_mut().create(root, WidgetKind::Label, "status").unwrap();
+        tk.on(path("root.btn"), EventKind::Activate, |tree, _| {
+            let id = tree.resolve(&ObjectPath::parse("root.status").unwrap()).unwrap();
+            tree.set_attr(id, AttrName::Text, Value::Text("pressed".into())).unwrap();
+        });
+        tk.deliver(&UiEvent::simple(path("root.btn"), EventKind::Activate)).unwrap();
+        let id = tk.tree().resolve(&path("root.status")).unwrap();
+        assert_eq!(tk.tree().attr(id, &AttrName::Text).unwrap(), &Value::Text("pressed".into()));
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of the UI-spec parser: generated specs for random
+//! widget trees parse back to the same structure and attribute values,
+//! and the parser never panics on arbitrary input.
+
+use proptest::prelude::*;
+
+use cosoft_uikit::spec::build_tree;
+use cosoft_uikit::WidgetTree;
+use cosoft_wire::{AttrName, Value, WidgetKind};
+
+#[derive(Debug, Clone)]
+struct SpecWidget {
+    kind: WidgetKind,
+    name: String,
+    attrs: Vec<(AttrName, Value)>,
+    children: Vec<SpecWidget>,
+}
+
+fn arb_leaf() -> impl Strategy<Value = SpecWidget> {
+    let kinds = prop_oneof![
+        Just(WidgetKind::TextField),
+        Just(WidgetKind::Label),
+        Just(WidgetKind::Slider),
+        Just(WidgetKind::ToggleButton),
+        Just(WidgetKind::Menu),
+        Just(WidgetKind::Button),
+    ];
+    (kinds, 0u32..10_000).prop_flat_map(|(kind, n)| {
+        let attrs: BoxedStrategy<Vec<(AttrName, Value)>> = match kind {
+            WidgetKind::TextField | WidgetKind::Label => "[a-zA-Z0-9 _:,\\.]{0,20}"
+                .prop_map(|s| vec![(AttrName::Text, Value::Text(s))])
+                .boxed(),
+            WidgetKind::Slider => (0..1_000i64)
+                .prop_map(|v| vec![(AttrName::ValueNum, Value::Float(v as f64 / 1_000.0))])
+                .boxed(),
+            WidgetKind::ToggleButton => any::<bool>()
+                .prop_map(|b| vec![(AttrName::Checked, Value::Bool(b))])
+                .boxed(),
+            WidgetKind::Menu => (prop::collection::vec("[a-z]{1,6}", 0..4), -1i64..4)
+                .prop_map(|(items, sel)| {
+                    vec![
+                        (AttrName::Items, Value::TextList(items)),
+                        (AttrName::Selected, Value::Int(sel)),
+                    ]
+                })
+                .boxed(),
+            _ => "[a-zA-Z ]{0,12}"
+                .prop_map(|s| vec![(AttrName::Title, Value::Text(s))])
+                .boxed(),
+        };
+        let kind2 = kind.clone();
+        attrs.prop_map(move |attrs| SpecWidget {
+            kind: kind2.clone(),
+            name: format!("w{n}"),
+            attrs,
+            children: Vec::new(),
+        })
+    })
+}
+
+fn arb_widget() -> impl Strategy<Value = SpecWidget> {
+    arb_leaf().prop_recursive(3, 20, 4, |inner| {
+        (0u32..10_000, prop::collection::vec(inner, 0..4)).prop_map(|(n, mut children)| {
+            let mut seen = std::collections::BTreeSet::new();
+            children.retain(|c| seen.insert(c.name.clone()));
+            SpecWidget {
+                kind: WidgetKind::Panel,
+                name: format!("p{n}"),
+                attrs: Vec::new(),
+                children,
+            }
+        })
+    })
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn value_literal(v: &Value) -> String {
+    match v {
+        Value::Text(s) => format!("\"{}\"", escape(s)),
+        Value::Int(i) => i.to_string(),
+        Value::Float(x) => {
+            // Ensure a '.' so the lexer reads a float.
+            let s = format!("{x}");
+            if s.contains('.') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Value::Bool(b) => b.to_string(),
+        Value::TextList(items) => {
+            let inner: Vec<String> = items.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        other => panic!("generator produced unsupported value {other:?}"),
+    }
+}
+
+fn emit(widget: &SpecWidget, out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(widget.kind.as_str());
+    out.push(' ');
+    out.push_str(&widget.name);
+    for (attr, value) in &widget.attrs {
+        out.push(' ');
+        out.push_str(attr.as_str());
+        out.push('=');
+        out.push_str(&value_literal(value));
+    }
+    if !widget.children.is_empty() {
+        out.push_str(" {\n");
+        for c in &widget.children {
+            emit(c, out, depth + 1);
+        }
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push('}');
+    }
+    out.push('\n');
+}
+
+fn check(tree: &WidgetTree, id: cosoft_uikit::WidgetId, spec: &SpecWidget) -> Result<(), TestCaseError> {
+    let w = tree.widget(id).expect("live widget");
+    prop_assert_eq!(w.kind(), &spec.kind);
+    prop_assert_eq!(w.name(), spec.name.as_str());
+    for (attr, value) in &spec.attrs {
+        prop_assert_eq!(w.attrs().get(attr), Some(value), "attr {} differs", attr);
+    }
+    prop_assert_eq!(w.children().len(), spec.children.len());
+    for (child_id, child_spec) in w.children().iter().zip(&spec.children) {
+        check(tree, *child_id, child_spec)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn generated_specs_round_trip(widget in arb_widget()) {
+        let mut src = String::new();
+        emit(&widget, &mut src, 0);
+        let tree = build_tree(&src).unwrap_or_else(|e| panic!("spec failed: {e}\n{src}"));
+        let root = tree.root().expect("root exists");
+        check(&tree, root, &widget)?;
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(src in "\\PC{0,200}") {
+        let _ = build_tree(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_speclike_garbage(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("form".to_owned()), Just("{".to_owned()), Just("}".to_owned()),
+                Just("=".to_owned()), Just("\"x".to_owned()), Just("[".to_owned()),
+                Just("]".to_owned()), Just("-".to_owned()), Just("3.5".to_owned()),
+                "[a-z]{1,5}".prop_map(|s| s),
+            ],
+            0..40,
+        )
+    ) {
+        let _ = build_tree(&tokens.join(" "));
+    }
+}

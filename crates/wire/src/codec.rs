@@ -1,0 +1,1105 @@
+//! Hand-rolled binary codec for the COSOFT protocol.
+//!
+//! Layout conventions:
+//!
+//! * unsigned integers are LEB128 varints; signed integers are zigzag-coded
+//!   varints; `f64` travels as its 8 little-endian IEEE-754 bytes,
+//! * strings and byte blobs are varint-length-prefixed,
+//! * tagged unions use a single tag byte,
+//! * a complete message on a stream transport is framed as
+//!   `u32-le length ‖ body` (see [`write_frame`] / [`read_frame`]).
+//!
+//! Every decoder enforces [`MAX_LEN`] on declared lengths so a corrupt or
+//! hostile frame cannot trigger huge allocations.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::message::InstanceInfo;
+use crate::{
+    AccessRight, AttrName, CopyMode, EventKind, GlobalObjectId, InstanceId, Message, ObjectPath,
+    StateNode, Target, UiEvent, UserId, Value, WidgetKind, WireError,
+};
+
+/// Maximum accepted declared length for any collection, string or frame.
+pub const MAX_LEN: u64 = 64 * 1024 * 1024;
+
+type Result<T> = std::result::Result<T, WireError>;
+
+// --------------------------------------------------------------------------
+// primitive writers
+// --------------------------------------------------------------------------
+
+/// Appends an unsigned LEB128 varint.
+pub fn put_uvarint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Appends a zigzag-coded signed varint.
+pub fn put_ivarint(buf: &mut BytesMut, v: i64) {
+    put_uvarint(buf, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    put_uvarint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
+    put_uvarint(buf, b.len() as u64);
+    buf.put_slice(b);
+}
+
+fn put_bool(buf: &mut BytesMut, b: bool) {
+    buf.put_u8(u8::from(b));
+}
+
+// --------------------------------------------------------------------------
+// primitive readers
+// --------------------------------------------------------------------------
+
+/// Reads an unsigned LEB128 varint.
+pub fn get_uvarint(buf: &mut Bytes) -> Result<u64> {
+    let mut shift = 0u32;
+    let mut out = 0u64;
+    loop {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof { expected: "varint" });
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(WireError::VarintOverflow);
+        }
+        out |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads a zigzag-coded signed varint.
+pub fn get_ivarint(buf: &mut Bytes) -> Result<i64> {
+    let u = get_uvarint(buf)?;
+    Ok(((u >> 1) as i64) ^ -((u & 1) as i64))
+}
+
+fn get_len(buf: &mut Bytes) -> Result<usize> {
+    let n = get_uvarint(buf)?;
+    if n > MAX_LEN {
+        return Err(WireError::LengthOverflow { declared: n, max: MAX_LEN });
+    }
+    Ok(n as usize)
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    let n = get_len(buf)?;
+    if buf.remaining() < n {
+        return Err(WireError::UnexpectedEof { expected: "string body" });
+    }
+    let raw = buf.split_to(n);
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError::InvalidUtf8)
+}
+
+fn get_blob(buf: &mut Bytes) -> Result<Vec<u8>> {
+    let n = get_len(buf)?;
+    if buf.remaining() < n {
+        return Err(WireError::UnexpectedEof { expected: "byte blob" });
+    }
+    Ok(buf.split_to(n).to_vec())
+}
+
+fn get_bool(buf: &mut Bytes) -> Result<bool> {
+    if !buf.has_remaining() {
+        return Err(WireError::UnexpectedEof { expected: "bool" });
+    }
+    Ok(buf.get_u8() != 0)
+}
+
+fn get_u8(buf: &mut Bytes, what: &'static str) -> Result<u8> {
+    if !buf.has_remaining() {
+        return Err(WireError::UnexpectedEof { expected: what });
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_f64(buf: &mut Bytes) -> Result<f64> {
+    if buf.remaining() < 8 {
+        return Err(WireError::UnexpectedEof { expected: "f64" });
+    }
+    Ok(f64::from_bits(buf.get_u64_le()))
+}
+
+// --------------------------------------------------------------------------
+// Value
+// --------------------------------------------------------------------------
+
+/// Encodes one attribute [`Value`].
+pub fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Bool(b) => {
+            buf.put_u8(0);
+            put_bool(buf, *b);
+        }
+        Value::Int(i) => {
+            buf.put_u8(1);
+            put_ivarint(buf, *i);
+        }
+        Value::Float(x) => {
+            buf.put_u8(2);
+            buf.put_u64_le(x.to_bits());
+        }
+        Value::Text(s) => {
+            buf.put_u8(3);
+            put_str(buf, s);
+        }
+        Value::TextList(v) => {
+            buf.put_u8(4);
+            put_uvarint(buf, v.len() as u64);
+            for s in v {
+                put_str(buf, s);
+            }
+        }
+        Value::IntList(v) => {
+            buf.put_u8(5);
+            put_uvarint(buf, v.len() as u64);
+            for i in v {
+                put_ivarint(buf, *i);
+            }
+        }
+        Value::Point(x, y) => {
+            buf.put_u8(6);
+            put_ivarint(buf, i64::from(*x));
+            put_ivarint(buf, i64::from(*y));
+        }
+        Value::Color(r, g, b) => {
+            buf.put_u8(7);
+            buf.put_u8(*r);
+            buf.put_u8(*g);
+            buf.put_u8(*b);
+        }
+        Value::Bytes(b) => {
+            buf.put_u8(8);
+            put_bytes(buf, b);
+        }
+        Value::Stroke(pts) => {
+            buf.put_u8(9);
+            put_uvarint(buf, pts.len() as u64);
+            for (x, y) in pts {
+                put_ivarint(buf, i64::from(*x));
+                put_ivarint(buf, i64::from(*y));
+            }
+        }
+        Value::StrokeList(strokes) => {
+            buf.put_u8(10);
+            put_uvarint(buf, strokes.len() as u64);
+            for pts in strokes {
+                put_uvarint(buf, pts.len() as u64);
+                for (x, y) in pts {
+                    put_ivarint(buf, i64::from(*x));
+                    put_ivarint(buf, i64::from(*y));
+                }
+            }
+        }
+    }
+}
+
+/// Decodes one attribute [`Value`].
+pub fn get_value(buf: &mut Bytes) -> Result<Value> {
+    let tag = get_u8(buf, "value tag")?;
+    Ok(match tag {
+        0 => Value::Bool(get_bool(buf)?),
+        1 => Value::Int(get_ivarint(buf)?),
+        2 => Value::Float(get_f64(buf)?),
+        3 => Value::Text(get_str(buf)?),
+        4 => {
+            let n = get_len(buf)?;
+            let mut v = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                v.push(get_str(buf)?);
+            }
+            Value::TextList(v)
+        }
+        5 => {
+            let n = get_len(buf)?;
+            let mut v = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                v.push(get_ivarint(buf)?);
+            }
+            Value::IntList(v)
+        }
+        6 => Value::Point(get_i32(buf)?, get_i32(buf)?),
+        7 => Value::Color(get_u8(buf, "color r")?, get_u8(buf, "color g")?, get_u8(buf, "color b")?),
+        8 => Value::Bytes(get_blob(buf)?),
+        9 => {
+            let n = get_len(buf)?;
+            let mut v = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                v.push((get_i32(buf)?, get_i32(buf)?));
+            }
+            Value::Stroke(v)
+        }
+        10 => {
+            let n = get_len(buf)?;
+            let mut strokes = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let m = get_len(buf)?;
+                let mut v = Vec::with_capacity(m.min(4096));
+                for _ in 0..m {
+                    v.push((get_i32(buf)?, get_i32(buf)?));
+                }
+                strokes.push(v);
+            }
+            Value::StrokeList(strokes)
+        }
+        other => return Err(WireError::InvalidTag { kind: "Value", tag: other }),
+    })
+}
+
+fn get_i32(buf: &mut Bytes) -> Result<i32> {
+    let v = get_ivarint(buf)?;
+    i32::try_from(v).map_err(|_| WireError::LengthOverflow { declared: v.unsigned_abs(), max: i32::MAX as u64 })
+}
+
+// --------------------------------------------------------------------------
+// names, paths, ids
+// --------------------------------------------------------------------------
+
+fn put_attr_name(buf: &mut BytesMut, n: &AttrName) {
+    put_str(buf, n.as_str());
+}
+
+fn get_attr_name(buf: &mut Bytes) -> Result<AttrName> {
+    Ok(AttrName::from_str_lossy(&get_str(buf)?))
+}
+
+fn put_kind(buf: &mut BytesMut, k: &WidgetKind) {
+    put_str(buf, k.as_str());
+}
+
+fn get_kind(buf: &mut Bytes) -> Result<WidgetKind> {
+    Ok(WidgetKind::from_str_lossy(&get_str(buf)?))
+}
+
+/// Encodes an [`ObjectPath`].
+pub fn put_path(buf: &mut BytesMut, p: &ObjectPath) {
+    put_uvarint(buf, p.segments().len() as u64);
+    for s in p.segments() {
+        put_str(buf, s);
+    }
+}
+
+/// Decodes an [`ObjectPath`].
+pub fn get_path(buf: &mut Bytes) -> Result<ObjectPath> {
+    let n = get_len(buf)?;
+    let mut segs = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        segs.push(get_str(buf)?);
+    }
+    ObjectPath::from_segments(segs)
+}
+
+fn put_gid(buf: &mut BytesMut, g: &GlobalObjectId) {
+    put_uvarint(buf, g.instance.0);
+    put_path(buf, &g.path);
+}
+
+fn get_gid(buf: &mut Bytes) -> Result<GlobalObjectId> {
+    let inst = InstanceId(get_uvarint(buf)?);
+    let path = get_path(buf)?;
+    Ok(GlobalObjectId::new(inst, path))
+}
+
+// --------------------------------------------------------------------------
+// state snapshots
+// --------------------------------------------------------------------------
+
+/// Encodes a [`StateNode`] snapshot tree.
+pub fn put_state(buf: &mut BytesMut, s: &StateNode) {
+    put_kind(buf, &s.kind);
+    put_str(buf, &s.name);
+    put_uvarint(buf, s.attrs.len() as u64);
+    for (k, v) in &s.attrs {
+        put_attr_name(buf, k);
+        put_value(buf, v);
+    }
+    put_bytes(buf, &s.semantic);
+    put_uvarint(buf, s.children.len() as u64);
+    for c in &s.children {
+        put_state(buf, c);
+    }
+}
+
+/// Decodes a [`StateNode`] snapshot tree.
+pub fn get_state(buf: &mut Bytes) -> Result<StateNode> {
+    let kind = get_kind(buf)?;
+    let name = get_str(buf)?;
+    let n_attrs = get_len(buf)?;
+    let mut node = StateNode::new(kind, &name);
+    for _ in 0..n_attrs {
+        let k = get_attr_name(buf)?;
+        let v = get_value(buf)?;
+        node.attrs.insert(k, v);
+    }
+    node.semantic = get_blob(buf)?;
+    let n_children = get_len(buf)?;
+    for _ in 0..n_children {
+        node.children.push(get_state(buf)?);
+    }
+    Ok(node)
+}
+
+// --------------------------------------------------------------------------
+// events
+// --------------------------------------------------------------------------
+
+fn put_event_kind(buf: &mut BytesMut, k: &EventKind) {
+    let (tag, custom): (u8, Option<&str>) = match k {
+        EventKind::Activate => (0, None),
+        EventKind::ValueChanged => (1, None),
+        EventKind::TextCommitted => (2, None),
+        EventKind::TextEdited => (3, None),
+        EventKind::SelectionChanged => (4, None),
+        EventKind::Toggled => (5, None),
+        EventKind::StrokeAdded => (6, None),
+        EventKind::CanvasCleared => (7, None),
+        EventKind::RowActivated => (8, None),
+        EventKind::Custom(s) => (255, Some(s)),
+    };
+    buf.put_u8(tag);
+    if let Some(s) = custom {
+        put_str(buf, s);
+    }
+}
+
+fn get_event_kind(buf: &mut Bytes) -> Result<EventKind> {
+    let tag = get_u8(buf, "event kind tag")?;
+    Ok(match tag {
+        0 => EventKind::Activate,
+        1 => EventKind::ValueChanged,
+        2 => EventKind::TextCommitted,
+        3 => EventKind::TextEdited,
+        4 => EventKind::SelectionChanged,
+        5 => EventKind::Toggled,
+        6 => EventKind::StrokeAdded,
+        7 => EventKind::CanvasCleared,
+        8 => EventKind::RowActivated,
+        255 => EventKind::Custom(get_str(buf)?),
+        other => return Err(WireError::InvalidTag { kind: "EventKind", tag: other }),
+    })
+}
+
+/// Encodes a [`UiEvent`].
+pub fn put_event(buf: &mut BytesMut, e: &UiEvent) {
+    put_path(buf, &e.path);
+    put_event_kind(buf, &e.kind);
+    put_uvarint(buf, e.params.len() as u64);
+    for p in &e.params {
+        put_value(buf, p);
+    }
+}
+
+/// Decodes a [`UiEvent`].
+pub fn get_event(buf: &mut Bytes) -> Result<UiEvent> {
+    let path = get_path(buf)?;
+    let kind = get_event_kind(buf)?;
+    let n = get_len(buf)?;
+    let mut params = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        params.push(get_value(buf)?);
+    }
+    Ok(UiEvent::new(path, kind, params))
+}
+
+// --------------------------------------------------------------------------
+// small enums / records
+// --------------------------------------------------------------------------
+
+fn put_copy_mode(buf: &mut BytesMut, m: CopyMode) {
+    buf.put_u8(match m {
+        CopyMode::Strict => 0,
+        CopyMode::DestructiveMerge => 1,
+        CopyMode::FlexibleMatch => 2,
+    });
+}
+
+fn get_copy_mode(buf: &mut Bytes) -> Result<CopyMode> {
+    match get_u8(buf, "copy mode")? {
+        0 => Ok(CopyMode::Strict),
+        1 => Ok(CopyMode::DestructiveMerge),
+        2 => Ok(CopyMode::FlexibleMatch),
+        other => Err(WireError::InvalidTag { kind: "CopyMode", tag: other }),
+    }
+}
+
+fn put_right(buf: &mut BytesMut, r: AccessRight) {
+    buf.put_u8(match r {
+        AccessRight::Denied => 0,
+        AccessRight::Read => 1,
+        AccessRight::Write => 2,
+    });
+}
+
+fn get_right(buf: &mut Bytes) -> Result<AccessRight> {
+    match get_u8(buf, "access right")? {
+        0 => Ok(AccessRight::Denied),
+        1 => Ok(AccessRight::Read),
+        2 => Ok(AccessRight::Write),
+        other => Err(WireError::InvalidTag { kind: "AccessRight", tag: other }),
+    }
+}
+
+fn put_target(buf: &mut BytesMut, t: &Target) {
+    match t {
+        Target::Instance(i) => {
+            buf.put_u8(0);
+            put_uvarint(buf, i.0);
+        }
+        Target::Broadcast => buf.put_u8(1),
+        Target::Group(g) => {
+            buf.put_u8(2);
+            put_gid(buf, g);
+        }
+    }
+}
+
+fn get_target(buf: &mut Bytes) -> Result<Target> {
+    match get_u8(buf, "target tag")? {
+        0 => Ok(Target::Instance(InstanceId(get_uvarint(buf)?))),
+        1 => Ok(Target::Broadcast),
+        2 => Ok(Target::Group(get_gid(buf)?)),
+        other => Err(WireError::InvalidTag { kind: "Target", tag: other }),
+    }
+}
+
+fn put_instance_info(buf: &mut BytesMut, i: &InstanceInfo) {
+    put_uvarint(buf, i.instance.0);
+    put_uvarint(buf, i.user.0);
+    put_str(buf, &i.host);
+    put_str(buf, &i.app_name);
+}
+
+fn get_instance_info(buf: &mut Bytes) -> Result<InstanceInfo> {
+    Ok(InstanceInfo {
+        instance: InstanceId(get_uvarint(buf)?),
+        user: UserId(get_uvarint(buf)?),
+        host: get_str(buf)?,
+        app_name: get_str(buf)?,
+    })
+}
+
+fn put_opt_state(buf: &mut BytesMut, s: &Option<StateNode>) {
+    match s {
+        None => buf.put_u8(0),
+        Some(s) => {
+            buf.put_u8(1);
+            put_state(buf, s);
+        }
+    }
+}
+
+fn get_opt_state(buf: &mut Bytes) -> Result<Option<StateNode>> {
+    match get_u8(buf, "option tag")? {
+        0 => Ok(None),
+        1 => Ok(Some(get_state(buf)?)),
+        other => Err(WireError::InvalidTag { kind: "Option<StateNode>", tag: other }),
+    }
+}
+
+fn put_opt_str(buf: &mut BytesMut, s: &Option<String>) {
+    match s {
+        None => buf.put_u8(0),
+        Some(s) => {
+            buf.put_u8(1);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_opt_str(buf: &mut Bytes) -> Result<Option<String>> {
+    match get_u8(buf, "option tag")? {
+        0 => Ok(None),
+        1 => Ok(Some(get_str(buf)?)),
+        other => Err(WireError::InvalidTag { kind: "Option<String>", tag: other }),
+    }
+}
+
+// --------------------------------------------------------------------------
+// messages
+// --------------------------------------------------------------------------
+
+/// Encodes a complete [`Message`] body (without stream framing).
+pub fn encode_message(m: &Message) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64);
+    put_message(&mut buf, m);
+    buf.to_vec()
+}
+
+/// Appends a [`Message`] body to `buf`.
+pub fn put_message(buf: &mut BytesMut, m: &Message) {
+    match m {
+        Message::Register { user, host, app_name } => {
+            buf.put_u8(0);
+            put_uvarint(buf, user.0);
+            put_str(buf, host);
+            put_str(buf, app_name);
+        }
+        Message::Deregister => buf.put_u8(1),
+        Message::QueryInstances => buf.put_u8(2),
+        Message::Welcome { instance } => {
+            buf.put_u8(3);
+            put_uvarint(buf, instance.0);
+        }
+        Message::InstanceList { entries } => {
+            buf.put_u8(4);
+            put_uvarint(buf, entries.len() as u64);
+            for e in entries {
+                put_instance_info(buf, e);
+            }
+        }
+        Message::Couple { src, dst } => {
+            buf.put_u8(5);
+            put_gid(buf, src);
+            put_gid(buf, dst);
+        }
+        Message::Decouple { src, dst } => {
+            buf.put_u8(6);
+            put_gid(buf, src);
+            put_gid(buf, dst);
+        }
+        Message::RemoteCouple { a, b } => {
+            buf.put_u8(7);
+            put_gid(buf, a);
+            put_gid(buf, b);
+        }
+        Message::RemoteDecouple { a, b } => {
+            buf.put_u8(8);
+            put_gid(buf, a);
+            put_gid(buf, b);
+        }
+        Message::CoupleUpdate { group } => {
+            buf.put_u8(9);
+            put_uvarint(buf, group.len() as u64);
+            for g in group {
+                put_gid(buf, g);
+            }
+        }
+        Message::ListCoupled { object } => {
+            buf.put_u8(10);
+            put_gid(buf, object);
+        }
+        Message::CoupledSet { object, coupled } => {
+            buf.put_u8(11);
+            put_gid(buf, object);
+            put_uvarint(buf, coupled.len() as u64);
+            for g in coupled {
+                put_gid(buf, g);
+            }
+        }
+        Message::Event { origin, event, seq } => {
+            buf.put_u8(12);
+            put_gid(buf, origin);
+            put_event(buf, event);
+            put_uvarint(buf, *seq);
+        }
+        Message::EventGranted { seq, exec_id } => {
+            buf.put_u8(13);
+            put_uvarint(buf, *seq);
+            put_uvarint(buf, *exec_id);
+        }
+        Message::EventRejected { seq } => {
+            buf.put_u8(14);
+            put_uvarint(buf, *seq);
+        }
+        Message::ExecuteEvent { exec_id, target, event } => {
+            buf.put_u8(15);
+            put_uvarint(buf, *exec_id);
+            put_path(buf, target);
+            put_event(buf, event);
+        }
+        Message::ExecuteDone { exec_id } => {
+            buf.put_u8(16);
+            put_uvarint(buf, *exec_id);
+        }
+        Message::GroupUnlocked { exec_id, objects } => {
+            buf.put_u8(17);
+            put_uvarint(buf, *exec_id);
+            put_uvarint(buf, objects.len() as u64);
+            for p in objects {
+                put_path(buf, p);
+            }
+        }
+        Message::CopyFrom { src, dst, mode, req_id } => {
+            buf.put_u8(18);
+            put_gid(buf, src);
+            put_gid(buf, dst);
+            put_copy_mode(buf, *mode);
+            put_uvarint(buf, *req_id);
+        }
+        Message::CopyTo { src, dst, snapshot, mode, req_id } => {
+            buf.put_u8(19);
+            put_gid(buf, src);
+            put_gid(buf, dst);
+            put_state(buf, snapshot);
+            put_copy_mode(buf, *mode);
+            put_uvarint(buf, *req_id);
+        }
+        Message::RemoteCopy { src, dst, mode, req_id } => {
+            buf.put_u8(20);
+            put_gid(buf, src);
+            put_gid(buf, dst);
+            put_copy_mode(buf, *mode);
+            put_uvarint(buf, *req_id);
+        }
+        Message::StateRequest { req_id, path } => {
+            buf.put_u8(21);
+            put_uvarint(buf, *req_id);
+            put_path(buf, path);
+        }
+        Message::StateReply { req_id, snapshot } => {
+            buf.put_u8(22);
+            put_uvarint(buf, *req_id);
+            put_opt_state(buf, snapshot);
+        }
+        Message::ApplyState { req_id, path, snapshot, mode } => {
+            buf.put_u8(23);
+            put_uvarint(buf, *req_id);
+            put_path(buf, path);
+            put_state(buf, snapshot);
+            put_copy_mode(buf, *mode);
+        }
+        Message::StateApplied { req_id, overwritten, error } => {
+            buf.put_u8(24);
+            put_uvarint(buf, *req_id);
+            put_opt_state(buf, overwritten);
+            put_opt_str(buf, error);
+        }
+        Message::UndoState { object } => {
+            buf.put_u8(25);
+            put_gid(buf, object);
+        }
+        Message::RedoState { object } => {
+            buf.put_u8(26);
+            put_gid(buf, object);
+        }
+        Message::SetPermission { user, object, right } => {
+            buf.put_u8(27);
+            put_uvarint(buf, user.0);
+            put_gid(buf, object);
+            put_right(buf, *right);
+        }
+        Message::PermissionDenied { what } => {
+            buf.put_u8(28);
+            put_str(buf, what);
+        }
+        Message::CoSendCommand { to, command, payload } => {
+            buf.put_u8(29);
+            put_target(buf, to);
+            put_str(buf, command);
+            put_bytes(buf, payload);
+        }
+        Message::CommandDelivery { from, command, payload } => {
+            buf.put_u8(30);
+            put_uvarint(buf, from.0);
+            put_str(buf, command);
+            put_bytes(buf, payload);
+        }
+        Message::ErrorReply { context, reason } => {
+            buf.put_u8(31);
+            put_str(buf, context);
+            put_str(buf, reason);
+        }
+        Message::ObjectDestroyed { object } => {
+            buf.put_u8(32);
+            put_gid(buf, object);
+        }
+    }
+}
+
+/// Decodes a complete [`Message`] body, rejecting trailing bytes.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on malformed input (truncation, bad tags,
+/// invalid UTF-8, over-long declared lengths, trailing bytes).
+pub fn decode_message(bytes: &[u8]) -> Result<Message> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    let m = get_message(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(WireError::TrailingBytes { remaining: buf.remaining() });
+    }
+    Ok(m)
+}
+
+/// Decodes one [`Message`] from `buf`, leaving any following bytes.
+pub fn get_message(buf: &mut Bytes) -> Result<Message> {
+    let tag = get_u8(buf, "message tag")?;
+    Ok(match tag {
+        0 => Message::Register {
+            user: UserId(get_uvarint(buf)?),
+            host: get_str(buf)?,
+            app_name: get_str(buf)?,
+        },
+        1 => Message::Deregister,
+        2 => Message::QueryInstances,
+        3 => Message::Welcome { instance: InstanceId(get_uvarint(buf)?) },
+        4 => {
+            let n = get_len(buf)?;
+            let mut entries = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                entries.push(get_instance_info(buf)?);
+            }
+            Message::InstanceList { entries }
+        }
+        5 => Message::Couple { src: get_gid(buf)?, dst: get_gid(buf)? },
+        6 => Message::Decouple { src: get_gid(buf)?, dst: get_gid(buf)? },
+        7 => Message::RemoteCouple { a: get_gid(buf)?, b: get_gid(buf)? },
+        8 => Message::RemoteDecouple { a: get_gid(buf)?, b: get_gid(buf)? },
+        9 => {
+            let n = get_len(buf)?;
+            let mut group = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                group.push(get_gid(buf)?);
+            }
+            Message::CoupleUpdate { group }
+        }
+        10 => Message::ListCoupled { object: get_gid(buf)? },
+        11 => {
+            let object = get_gid(buf)?;
+            let n = get_len(buf)?;
+            let mut coupled = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                coupled.push(get_gid(buf)?);
+            }
+            Message::CoupledSet { object, coupled }
+        }
+        12 => Message::Event {
+            origin: get_gid(buf)?,
+            event: get_event(buf)?,
+            seq: get_uvarint(buf)?,
+        },
+        13 => Message::EventGranted { seq: get_uvarint(buf)?, exec_id: get_uvarint(buf)? },
+        14 => Message::EventRejected { seq: get_uvarint(buf)? },
+        15 => Message::ExecuteEvent {
+            exec_id: get_uvarint(buf)?,
+            target: get_path(buf)?,
+            event: get_event(buf)?,
+        },
+        16 => Message::ExecuteDone { exec_id: get_uvarint(buf)? },
+        17 => {
+            let exec_id = get_uvarint(buf)?;
+            let n = get_len(buf)?;
+            let mut objects = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                objects.push(get_path(buf)?);
+            }
+            Message::GroupUnlocked { exec_id, objects }
+        }
+        18 => Message::CopyFrom {
+            src: get_gid(buf)?,
+            dst: get_gid(buf)?,
+            mode: get_copy_mode(buf)?,
+            req_id: get_uvarint(buf)?,
+        },
+        19 => Message::CopyTo {
+            src: get_gid(buf)?,
+            dst: get_gid(buf)?,
+            snapshot: get_state(buf)?,
+            mode: get_copy_mode(buf)?,
+            req_id: get_uvarint(buf)?,
+        },
+        20 => Message::RemoteCopy {
+            src: get_gid(buf)?,
+            dst: get_gid(buf)?,
+            mode: get_copy_mode(buf)?,
+            req_id: get_uvarint(buf)?,
+        },
+        21 => Message::StateRequest { req_id: get_uvarint(buf)?, path: get_path(buf)? },
+        22 => Message::StateReply { req_id: get_uvarint(buf)?, snapshot: get_opt_state(buf)? },
+        23 => Message::ApplyState {
+            req_id: get_uvarint(buf)?,
+            path: get_path(buf)?,
+            snapshot: get_state(buf)?,
+            mode: get_copy_mode(buf)?,
+        },
+        24 => Message::StateApplied {
+            req_id: get_uvarint(buf)?,
+            overwritten: get_opt_state(buf)?,
+            error: get_opt_str(buf)?,
+        },
+        25 => Message::UndoState { object: get_gid(buf)? },
+        26 => Message::RedoState { object: get_gid(buf)? },
+        27 => Message::SetPermission {
+            user: UserId(get_uvarint(buf)?),
+            object: get_gid(buf)?,
+            right: get_right(buf)?,
+        },
+        28 => Message::PermissionDenied { what: get_str(buf)? },
+        29 => Message::CoSendCommand {
+            to: get_target(buf)?,
+            command: get_str(buf)?,
+            payload: get_blob(buf)?,
+        },
+        30 => Message::CommandDelivery {
+            from: InstanceId(get_uvarint(buf)?),
+            command: get_str(buf)?,
+            payload: get_blob(buf)?,
+        },
+        31 => Message::ErrorReply { context: get_str(buf)?, reason: get_str(buf)? },
+        32 => Message::ObjectDestroyed { object: get_gid(buf)? },
+        other => return Err(WireError::InvalidTag { kind: "Message", tag: other }),
+    })
+}
+
+// --------------------------------------------------------------------------
+// stream framing
+// --------------------------------------------------------------------------
+
+/// Frames a message for a stream transport: `u32-le length ‖ body`.
+pub fn frame_message(m: &Message) -> Vec<u8> {
+    let body = encode_message(m);
+    let mut out = Vec::with_capacity(body.len() + 4);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Writes a framed message to a `Write` stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_frame<W: std::io::Write>(w: &mut W, m: &Message) -> std::io::Result<()> {
+    w.write_all(&frame_message(m))
+}
+
+/// Reads one framed message from a `Read` stream.
+///
+/// Returns `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Returns an `io::Error` on transport failure, truncated frames, frames
+/// larger than [`MAX_LEN`], or a malformed body (wrapped [`WireError`]).
+pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Option<Message>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as u64;
+    if len > MAX_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            WireError::LengthOverflow { declared: len, max: MAX_LEN },
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    decode_message(&body)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::InstanceInfo;
+
+    fn path(s: &str) -> ObjectPath {
+        ObjectPath::parse(s).unwrap()
+    }
+
+    fn gid(i: u64, p: &str) -> GlobalObjectId {
+        GlobalObjectId::new(InstanceId(i), path(p))
+    }
+
+    fn sample_state() -> StateNode {
+        let mut root = StateNode::new(WidgetKind::Form, "root");
+        root.attrs.insert(AttrName::Title, Value::Text("T".into()));
+        root.semantic = vec![1, 2, 3];
+        root.children.push(
+            StateNode::new(WidgetKind::Slider, "s")
+                .with_attr(AttrName::ValueNum, Value::Float(0.5))
+                .with_attr(AttrName::Min, Value::Float(0.0)),
+        );
+        root
+    }
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Register { user: UserId(9), host: "liveboard".into(), app_name: "cosoft-teacher".into() },
+            Message::Deregister,
+            Message::QueryInstances,
+            Message::Welcome { instance: InstanceId(4) },
+            Message::InstanceList {
+                entries: vec![InstanceInfo {
+                    instance: InstanceId(1),
+                    user: UserId(2),
+                    host: "ws1".into(),
+                    app_name: "student".into(),
+                }],
+            },
+            Message::Couple { src: gid(1, "a.b"), dst: gid(2, "c") },
+            Message::Decouple { src: gid(1, "a.b"), dst: gid(2, "c") },
+            Message::RemoteCouple { a: gid(3, "x"), b: gid(4, "y.z") },
+            Message::RemoteDecouple { a: gid(3, "x"), b: gid(4, "y.z") },
+            Message::CoupleUpdate { group: vec![gid(1, "a"), gid(2, "b")] },
+            Message::ListCoupled { object: gid(1, "a") },
+            Message::CoupledSet { object: gid(1, "a"), coupled: vec![gid(2, "b")] },
+            Message::Event {
+                origin: gid(1, "f.slider"),
+                event: UiEvent::new(path("f.slider"), EventKind::ValueChanged, vec![Value::Float(0.7)]),
+                seq: 42,
+            },
+            Message::EventGranted { seq: 42, exec_id: 7 },
+            Message::EventRejected { seq: 42 },
+            Message::ExecuteEvent {
+                exec_id: 7,
+                target: path("g.s2"),
+                event: UiEvent::simple(path("f.slider"), EventKind::Activate),
+            },
+            Message::ExecuteDone { exec_id: 7 },
+            Message::GroupUnlocked { exec_id: 7, objects: vec![path("g.s2"), path("f.slider")] },
+            Message::CopyFrom { src: gid(1, "a"), dst: gid(2, "b"), mode: CopyMode::Strict, req_id: 1 },
+            Message::CopyTo {
+                src: gid(1, "a"),
+                dst: gid(2, "b"),
+                snapshot: sample_state(),
+                mode: CopyMode::DestructiveMerge,
+                req_id: 2,
+            },
+            Message::RemoteCopy { src: gid(1, "a"), dst: gid(2, "b"), mode: CopyMode::FlexibleMatch, req_id: 3 },
+            Message::StateRequest { req_id: 3, path: path("a") },
+            Message::StateReply { req_id: 3, snapshot: Some(sample_state()) },
+            Message::StateReply { req_id: 4, snapshot: None },
+            Message::ApplyState { req_id: 3, path: path("b"), snapshot: sample_state(), mode: CopyMode::Strict },
+            Message::StateApplied { req_id: 3, overwritten: Some(sample_state()), error: None },
+            Message::StateApplied { req_id: 3, overwritten: None, error: Some("incompatible".into()) },
+            Message::UndoState { object: gid(2, "b") },
+            Message::RedoState { object: gid(2, "b") },
+            Message::SetPermission { user: UserId(2), object: gid(1, "a"), right: AccessRight::Read },
+            Message::PermissionDenied { what: "copy-from <inst#1, a>".into() },
+            Message::CoSendCommand { to: Target::Broadcast, command: "refresh".into(), payload: vec![9, 8] },
+            Message::CoSendCommand { to: Target::Instance(InstanceId(5)), command: "x".into(), payload: vec![] },
+            Message::CoSendCommand { to: Target::Group(gid(1, "a")), command: "y".into(), payload: vec![1] },
+            Message::CommandDelivery { from: InstanceId(1), command: "refresh".into(), payload: vec![9, 8] },
+            Message::ErrorReply { context: "couple".into(), reason: "unknown instance".into() },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for m in sample_messages() {
+            let bytes = encode_message(&m);
+            let back = decode_message(&bytes).unwrap_or_else(|e| panic!("{m:?}: {e}"));
+            assert_eq!(m, back, "round trip failed for {}", m.kind_name());
+        }
+    }
+
+    #[test]
+    fn framing_round_trips_multiple_messages() {
+        let msgs = sample_messages();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            write_frame(&mut stream, m).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(stream);
+        for m in &msgs {
+            let got = read_frame(&mut cursor).unwrap().expect("frame expected");
+            assert_eq!(&got, m);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF expected");
+    }
+
+    #[test]
+    fn truncated_body_errors() {
+        let m = Message::Welcome { instance: InstanceId(300) };
+        let bytes = encode_message(&m);
+        for cut in 0..bytes.len() {
+            let r = decode_message(&bytes[..cut]);
+            assert!(r.is_err(), "truncation at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_message(&Message::Deregister);
+        bytes.push(0);
+        assert!(matches!(decode_message(&bytes), Err(WireError::TrailingBytes { remaining: 1 })));
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(matches!(
+            decode_message(&[250]),
+            Err(WireError::InvalidTag { kind: "Message", .. })
+        ));
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut b = BytesMut::new();
+            put_uvarint(&mut b, v);
+            let mut r = b.freeze();
+            assert_eq!(get_uvarint(&mut r).unwrap(), v);
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -300, 300] {
+            let mut b = BytesMut::new();
+            put_ivarint(&mut b, v);
+            let mut r = b.freeze();
+            assert_eq!(get_ivarint(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 10 continuation bytes with high bits set → more than 64 bits.
+        let bytes = [0xffu8; 11];
+        let mut b = Bytes::copy_from_slice(&bytes);
+        assert!(matches!(get_uvarint(&mut b), Err(WireError::VarintOverflow)));
+    }
+
+    #[test]
+    fn nan_floats_round_trip_bitwise() {
+        let weird = f64::from_bits(0x7ff8_dead_beef_0001);
+        let mut b = BytesMut::new();
+        put_value(&mut b, &Value::Float(weird));
+        let mut r = b.freeze();
+        match get_value(&mut r).unwrap() {
+            Value::Float(x) => assert_eq!(x.to_bits(), weird.to_bits()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        // Value::Bytes with a declared length beyond MAX_LEN.
+        let mut b = BytesMut::new();
+        b.put_u8(8); // Bytes tag
+        put_uvarint(&mut b, MAX_LEN + 1);
+        let mut r = b.freeze();
+        assert!(matches!(get_value(&mut r), Err(WireError::LengthOverflow { .. })));
+    }
+
+    #[test]
+    fn deep_state_round_trips() {
+        let mut node = StateNode::new(WidgetKind::Label, "leaf");
+        for i in 0..50 {
+            node = StateNode::new(WidgetKind::Panel, &format!("p{i}")).with_child(node);
+        }
+        let mut b = BytesMut::new();
+        put_state(&mut b, &node);
+        let mut r = b.freeze();
+        assert_eq!(get_state(&mut r).unwrap(), node);
+    }
+}

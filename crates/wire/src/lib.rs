@@ -1,0 +1,51 @@
+//! Wire protocol for the COSOFT flexible UI-coupling system.
+//!
+//! This crate defines the *vocabulary* shared by every component of the
+//! reproduction of Zhao & Hoppe, "Supporting Flexible Communication in
+//! Heterogeneous Multi-User Environments" (ICDCS 1994):
+//!
+//! * identifiers — [`InstanceId`], [`UserId`], [`ObjectPath`] and the
+//!   globally unique [`GlobalObjectId`] `<instance-id, pathname>` of §3,
+//! * typed attribute values ([`Value`]) and attribute names ([`AttrName`]),
+//! * UI-state snapshots ([`StateNode`]) used by synchronization-by-state,
+//! * high-level callback events ([`UiEvent`]) used by
+//!   synchronization-by-action (multiple execution),
+//! * the client↔server [`Message`] set, and
+//! * a hand-rolled, deterministic binary codec ([`codec`]).
+//!
+//! The codec is written by hand (length-prefixed frames, varints, tagged
+//! unions) rather than derived, mirroring the era of the paper and keeping
+//! the protocol inspectable; `encode ∘ decode = id` is enforced by property
+//! tests.
+//!
+//! # Example
+//!
+//! ```
+//! use cosoft_wire::{Message, ObjectPath, GlobalObjectId, InstanceId, codec};
+//!
+//! # fn main() -> Result<(), cosoft_wire::WireError> {
+//! let msg = Message::Couple {
+//!     src: GlobalObjectId::new(InstanceId(1), ObjectPath::parse("root.panel.field")?),
+//!     dst: GlobalObjectId::new(InstanceId(2), ObjectPath::parse("root.entry")?),
+//! };
+//! let bytes = codec::encode_message(&msg);
+//! let back = codec::decode_message(&bytes)?;
+//! assert_eq!(msg, back);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod codec;
+mod error;
+mod event;
+mod id;
+mod message;
+mod state;
+mod value;
+
+pub use error::WireError;
+pub use event::{EventKind, UiEvent};
+pub use id::{GlobalObjectId, InstanceId, ObjectPath, UserId};
+pub use message::{AccessRight, CopyMode, InstanceInfo, Message, Target};
+pub use state::{AttrMap, StateNode};
+pub use value::{AttrName, Value, WidgetKind};

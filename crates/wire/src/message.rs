@@ -1,0 +1,452 @@
+use std::fmt;
+
+use crate::{GlobalObjectId, InstanceId, ObjectPath, StateNode, UiEvent, UserId};
+
+/// Access-right category of the server's three-valued permission tuples
+/// `(user, UI-state identifier, access right)` (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessRight {
+    /// No access: the user may neither read (copy) nor couple the state.
+    Denied,
+    /// Read access: the user's instances may copy the UI state.
+    Read,
+    /// Write access: the user's instances may couple with and modify the
+    /// state. Implies `Read`.
+    Write,
+}
+
+impl AccessRight {
+    /// Whether this right permits reading (state copy).
+    pub fn allows_read(self) -> bool {
+        matches!(self, AccessRight::Read | AccessRight::Write)
+    }
+
+    /// Whether this right permits writing (coupling, event re-execution).
+    pub fn allows_write(self) -> bool {
+        matches!(self, AccessRight::Write)
+    }
+}
+
+impl fmt::Display for AccessRight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessRight::Denied => "denied",
+            AccessRight::Read => "read",
+            AccessRight::Write => "write",
+        })
+    }
+}
+
+/// How a UI-state snapshot is applied to a destination object (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CopyMode {
+    /// Require structural compatibility; fail otherwise.
+    Strict,
+    /// Destructive merging: copy attribute values *and structure*,
+    /// destroying conflicting children of the destination and creating
+    /// missing ones.
+    DestructiveMerge,
+    /// Flexible matching: synchronize the identical substructure and
+    /// conserve differing substructures.
+    FlexibleMatch,
+}
+
+impl fmt::Display for CopyMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CopyMode::Strict => "strict",
+            CopyMode::DestructiveMerge => "destructive-merge",
+            CopyMode::FlexibleMatch => "flexible-match",
+        })
+    }
+}
+
+/// Routing target of a `CoSendCommand` application command (§3.4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Deliver to one instance.
+    Instance(InstanceId),
+    /// Deliver to every registered instance except the sender.
+    Broadcast,
+    /// Deliver to every instance owning an object coupled with the given
+    /// object (the coupling group of §3).
+    Group(GlobalObjectId),
+}
+
+/// Registration record of one application instance (§2.2: "application
+/// instance identifier, host name, and user name, etc.").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceInfo {
+    /// Server-assigned instance id.
+    pub instance: InstanceId,
+    /// Owning user.
+    pub user: UserId,
+    /// Host the instance runs on.
+    pub host: String,
+    /// Application name ("the trainer's application may differ
+    /// significantly from the students' version").
+    pub app_name: String,
+}
+
+/// A message of the COSOFT client↔server protocol.
+///
+/// The protocol is application-independent: it is defined entirely over UI
+/// objects, their states and their callback events, plus the
+/// `CoSendCommand` escape hatch for application-defined extensions (§3.4).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Message {
+    // ---- session management (client → server) -------------------------
+    /// Register a new application instance; the server assigns an
+    /// [`InstanceId`] and answers with [`Message::Welcome`].
+    Register {
+        /// The registering user.
+        user: UserId,
+        /// Host name of the workstation.
+        host: String,
+        /// Application name.
+        app_name: String,
+    },
+    /// Graceful instance termination; triggers automatic decoupling.
+    Deregister,
+    /// Ask for the registration records of all instances (used by the
+    /// classroom join UI to show the "stylized classroom situation").
+    QueryInstances,
+
+    // ---- session management (server → client) -------------------------
+    /// Registration accepted.
+    Welcome {
+        /// The id assigned to the newly registered instance.
+        instance: InstanceId,
+    },
+    /// Reply to [`Message::QueryInstances`].
+    InstanceList {
+        /// One record per live instance.
+        entries: Vec<InstanceInfo>,
+    },
+
+    // ---- coupling management -------------------------------------------
+    /// Create a couple link from `src` to `dst` (client → server).
+    Couple {
+        /// Source object of the directed couple link.
+        src: GlobalObjectId,
+        /// Destination object.
+        dst: GlobalObjectId,
+    },
+    /// Remove the couple link between `src` and `dst` (client → server).
+    Decouple {
+        /// Source object of the link to remove.
+        src: GlobalObjectId,
+        /// Destination object of the link to remove.
+        dst: GlobalObjectId,
+    },
+    /// Third-party coupling: couple objects in two *remote* instances
+    /// (§3.3 `RemoteCouple`), e.g. initiated from the teacher's control UI.
+    RemoteCouple {
+        /// First object.
+        a: GlobalObjectId,
+        /// Second object.
+        b: GlobalObjectId,
+    },
+    /// Third-party decoupling (§3.3 `RemoteDecouple`).
+    RemoteDecouple {
+        /// First object.
+        a: GlobalObjectId,
+        /// Second object.
+        b: GlobalObjectId,
+    },
+    /// Server → all group members: the membership of a coupling group
+    /// changed; "the coupling information is replicated for each object
+    /// (to be completely available locally)" (§3.2).
+    CoupleUpdate {
+        /// Complete transitive closure of the group, including local
+        /// members of the receiving instance.
+        group: Vec<GlobalObjectId>,
+    },
+    /// Ask the server for the coupled set `CO(o)` of an object.
+    ListCoupled {
+        /// The object whose group is queried.
+        object: GlobalObjectId,
+    },
+    /// Client → server: a UI object was destroyed; the server applies the
+    /// decoupling algorithm automatically (§3.2: "when a UI object is
+    /// destroyed or an application instance terminates").
+    ObjectDestroyed {
+        /// The destroyed object.
+        object: GlobalObjectId,
+    },
+    /// Reply to [`Message::ListCoupled`].
+    CoupledSet {
+        /// The queried object.
+        object: GlobalObjectId,
+        /// All objects transitively coupled with it (excluding itself).
+        coupled: Vec<GlobalObjectId>,
+    },
+
+    // ---- synchronization by multiple execution (§3.2) -------------------
+    /// Client → server: a callback event occurred on a coupled object.
+    Event {
+        /// The object the event occurred on.
+        origin: GlobalObjectId,
+        /// The event, packed with parameters.
+        event: UiEvent,
+        /// Client-chosen sequence number echoed in grant/reject replies.
+        seq: u64,
+    },
+    /// Server → origin: floor control granted; proceed with local callback
+    /// execution and reply [`Message::ExecuteDone`] when finished.
+    EventGranted {
+        /// Echo of the client sequence number.
+        seq: u64,
+        /// Server-assigned execution id shared by the whole group.
+        exec_id: u64,
+    },
+    /// Server → origin: a member of the group was already locked; "undo
+    /// syntactic built-in feedback of the event".
+    EventRejected {
+        /// Echo of the client sequence number.
+        seq: u64,
+    },
+    /// Server → other group members: disable the target object, simulate
+    /// the feedback of the event and execute its callbacks.
+    ExecuteEvent {
+        /// Server-assigned execution id.
+        exec_id: u64,
+        /// Local object the event is re-executed on.
+        target: ObjectPath,
+        /// The original event (its path is the *origin's* path; apply to
+        /// `target` via [`UiEvent::retarget`]).
+        event: UiEvent,
+    },
+    /// Client → server: re-execution of `exec_id` finished locally.
+    ExecuteDone {
+        /// The finished execution.
+        exec_id: u64,
+    },
+    /// Server → all group members: all re-executions finished; unlock and
+    /// re-enable the listed local objects.
+    GroupUnlocked {
+        /// The finished execution.
+        exec_id: u64,
+        /// Local objects to re-enable.
+        objects: Vec<ObjectPath>,
+    },
+
+    // ---- synchronization by UI state (§3.1) ------------------------------
+    /// Active synchronization: the requesting instance pulls the state of
+    /// `src` into its own object `dst` ("monitoring another person's
+    /// activities").
+    CopyFrom {
+        /// Remote source object.
+        src: GlobalObjectId,
+        /// Local destination object of the requester.
+        dst: GlobalObjectId,
+        /// How to reconcile structure differences.
+        mode: CopyMode,
+        /// Request id echoed through the state-transfer sub-protocol.
+        req_id: u64,
+    },
+    /// Passive synchronization: the sending instance pushes a snapshot of
+    /// its object `src` to remote object `dst` ("one person lets another
+    /// person see his or her work").
+    CopyTo {
+        /// Local source object of the sender.
+        src: GlobalObjectId,
+        /// Remote destination object.
+        dst: GlobalObjectId,
+        /// Snapshot of `src`'s relevant state (incl. semantic payloads).
+        snapshot: StateNode,
+        /// How to reconcile structure differences.
+        mode: CopyMode,
+        /// Request id.
+        req_id: u64,
+    },
+    /// Third-party copy (§3.1 `RemoteCopy`): copy `src` (in one remote
+    /// instance) to `dst` (in another) on behalf of the sender.
+    RemoteCopy {
+        /// Remote source object.
+        src: GlobalObjectId,
+        /// Remote destination object.
+        dst: GlobalObjectId,
+        /// How to reconcile structure differences.
+        mode: CopyMode,
+        /// Request id.
+        req_id: u64,
+    },
+    /// Server → source instance: produce a snapshot of the object at
+    /// `path` (relevant attributes + semantic `store` payloads).
+    StateRequest {
+        /// Server-side transfer id.
+        req_id: u64,
+        /// Local object to snapshot.
+        path: ObjectPath,
+    },
+    /// Source instance → server: the requested snapshot.
+    StateReply {
+        /// Echo of the transfer id.
+        req_id: u64,
+        /// The snapshot, or `None` if the object does not exist.
+        snapshot: Option<StateNode>,
+    },
+    /// Server → destination instance: apply `snapshot` to the object at
+    /// `path` using `mode`; reply with [`Message::StateApplied`].
+    ApplyState {
+        /// Server-side transfer id.
+        req_id: u64,
+        /// Local destination object.
+        path: ObjectPath,
+        /// Snapshot to apply.
+        snapshot: StateNode,
+        /// Reconciliation mode.
+        mode: CopyMode,
+    },
+    /// Destination instance → server: state applied; `overwritten` is the
+    /// destination's previous state, stored by the server as a historical
+    /// UI state for undo (§2.2).
+    StateApplied {
+        /// Echo of the transfer id.
+        req_id: u64,
+        /// Previous state of the destination object, if it existed and the
+        /// apply succeeded.
+        overwritten: Option<StateNode>,
+        /// Error description if the apply failed (e.g. strict-mode
+        /// incompatibility).
+        error: Option<String>,
+    },
+    /// Ask the server to restore the most recent overwritten state of an
+    /// object (undo of synchronization-by-state).
+    UndoState {
+        /// The object to restore.
+        object: GlobalObjectId,
+    },
+    /// Ask the server to re-apply an undone state (redo).
+    RedoState {
+        /// The object to restore.
+        object: GlobalObjectId,
+    },
+
+    // ---- access control ---------------------------------------------------
+    /// Declare an access-permission tuple (owner of the state → server).
+    SetPermission {
+        /// The user the right is granted to.
+        user: UserId,
+        /// The UI state (object) the right applies to.
+        object: GlobalObjectId,
+        /// The granted right.
+        right: AccessRight,
+    },
+    /// Server → client: an operation was refused by access control.
+    PermissionDenied {
+        /// Human-readable description of the refused operation.
+        what: String,
+    },
+
+    // ---- protocol extension (§3.4) -----------------------------------------
+    /// Application-defined command: "a symbolic name of a function together
+    /// with a packed message"; routed by the server without interpretation.
+    CoSendCommand {
+        /// Routing target.
+        to: Target,
+        /// Symbolic command name; the receiver looks up the corresponding
+        /// unpack-and-interpret function.
+        command: String,
+        /// Packed message.
+        payload: Vec<u8>,
+    },
+    /// Server → receiver: delivery of a `CoSendCommand`.
+    CommandDelivery {
+        /// Originating instance.
+        from: InstanceId,
+        /// Symbolic command name.
+        command: String,
+        /// Packed message.
+        payload: Vec<u8>,
+    },
+
+    // ---- errors -------------------------------------------------------------
+    /// Server → client: an operation failed.
+    ErrorReply {
+        /// What the client asked for.
+        context: String,
+        /// Why it failed.
+        reason: String,
+    },
+}
+
+impl Message {
+    /// Short variant name for logging and metrics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Message::Register { .. } => "register",
+            Message::Deregister => "deregister",
+            Message::QueryInstances => "query-instances",
+            Message::Welcome { .. } => "welcome",
+            Message::InstanceList { .. } => "instance-list",
+            Message::Couple { .. } => "couple",
+            Message::Decouple { .. } => "decouple",
+            Message::RemoteCouple { .. } => "remote-couple",
+            Message::RemoteDecouple { .. } => "remote-decouple",
+            Message::CoupleUpdate { .. } => "couple-update",
+            Message::ListCoupled { .. } => "list-coupled",
+            Message::ObjectDestroyed { .. } => "object-destroyed",
+            Message::CoupledSet { .. } => "coupled-set",
+            Message::Event { .. } => "event",
+            Message::EventGranted { .. } => "event-granted",
+            Message::EventRejected { .. } => "event-rejected",
+            Message::ExecuteEvent { .. } => "execute-event",
+            Message::ExecuteDone { .. } => "execute-done",
+            Message::GroupUnlocked { .. } => "group-unlocked",
+            Message::CopyFrom { .. } => "copy-from",
+            Message::CopyTo { .. } => "copy-to",
+            Message::RemoteCopy { .. } => "remote-copy",
+            Message::StateRequest { .. } => "state-request",
+            Message::StateReply { .. } => "state-reply",
+            Message::ApplyState { .. } => "apply-state",
+            Message::StateApplied { .. } => "state-applied",
+            Message::UndoState { .. } => "undo-state",
+            Message::RedoState { .. } => "redo-state",
+            Message::SetPermission { .. } => "set-permission",
+            Message::PermissionDenied { .. } => "permission-denied",
+            Message::CoSendCommand { .. } => "co-send-command",
+            Message::CommandDelivery { .. } => "command-delivery",
+            Message::ErrorReply { .. } => "error-reply",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_right_lattice() {
+        assert!(!AccessRight::Denied.allows_read());
+        assert!(!AccessRight::Denied.allows_write());
+        assert!(AccessRight::Read.allows_read());
+        assert!(!AccessRight::Read.allows_write());
+        assert!(AccessRight::Write.allows_read());
+        assert!(AccessRight::Write.allows_write());
+        assert!(AccessRight::Denied < AccessRight::Read);
+        assert!(AccessRight::Read < AccessRight::Write);
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        use std::collections::HashSet;
+        let msgs = [
+            Message::Deregister,
+            Message::QueryInstances,
+            Message::Welcome { instance: InstanceId(1) },
+            Message::ExecuteDone { exec_id: 1 },
+            Message::EventRejected { seq: 1 },
+        ];
+        let names: HashSet<&str> = msgs.iter().map(|m| m.kind_name()).collect();
+        assert_eq!(names.len(), msgs.len());
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(AccessRight::Write.to_string(), "write");
+        assert_eq!(CopyMode::FlexibleMatch.to_string(), "flexible-match");
+    }
+}

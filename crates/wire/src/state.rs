@@ -1,0 +1,168 @@
+use std::collections::BTreeMap;
+
+use crate::{AttrName, Value, WidgetKind};
+
+/// Ordered attribute map of one UI object.
+///
+/// A `BTreeMap` keeps wire encoding and diffing deterministic.
+pub type AttrMap = BTreeMap<AttrName, Value>;
+
+/// Snapshot of the state of a (possibly complex) UI object.
+///
+/// "The state of a UI object is the set of attribute–value pairs of this
+/// object" (§3); a complex object snapshot is the tree of its components.
+/// Snapshots are the payload of synchronization-by-state (`CopyFrom`,
+/// `CopyTo`, `RemoteCopy`) and of the server's historical-UI-state store.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StateNode {
+    /// Widget class of this node.
+    pub kind: WidgetKind,
+    /// The widget's own name (last pathname segment). The root node of a
+    /// snapshot keeps its name so destructive merging can recreate it.
+    pub name: String,
+    /// Attribute–value pairs. For snapshots taken for coupling purposes this
+    /// is restricted to the *relevant* attributes of the widget's type.
+    pub attrs: AttrMap,
+    /// Child component snapshots, in tree order.
+    pub children: Vec<StateNode>,
+    /// Opaque semantic payload produced by the application's `store`
+    /// function (§3.1 "synchronizing semantic state"), applied by its
+    /// `load` function on the receiving side. Empty when the object carries
+    /// no semantic data.
+    pub semantic: Vec<u8>,
+}
+
+impl StateNode {
+    /// Creates a leaf snapshot with no attributes.
+    pub fn new(kind: WidgetKind, name: &str) -> Self {
+        StateNode {
+            kind,
+            name: name.to_owned(),
+            attrs: AttrMap::new(),
+            children: Vec::new(),
+            semantic: Vec::new(),
+        }
+    }
+
+    /// Builder-style: sets one attribute.
+    pub fn with_attr(mut self, name: AttrName, value: Value) -> Self {
+        self.attrs.insert(name, value);
+        self
+    }
+
+    /// Builder-style: appends a child snapshot.
+    pub fn with_child(mut self, child: StateNode) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Total number of nodes in the snapshot tree (including `self`).
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(StateNode::node_count).sum::<usize>()
+    }
+
+    /// Depth of the snapshot tree (a leaf has depth 1).
+    pub fn tree_depth(&self) -> usize {
+        1 + self.children.iter().map(StateNode::tree_depth).max().unwrap_or(0)
+    }
+
+    /// Looks up a direct child by name.
+    pub fn child(&self, name: &str) -> Option<&StateNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Approximate in-memory/wire size in bytes, used by benchmarks to
+    /// report state-copy payload sizes.
+    pub fn approx_size(&self) -> usize {
+        let own: usize = self.name.len()
+            + self.semantic.len()
+            + self
+                .attrs
+                .iter()
+                .map(|(k, v)| k.as_str().len() + value_size(v))
+                .sum::<usize>()
+            + 8;
+        own + self.children.iter().map(StateNode::approx_size).sum::<usize>()
+    }
+
+    /// Iterates over all nodes in pre-order together with their relative
+    /// path segments from this root (the root itself has an empty path).
+    pub fn walk(&self) -> Vec<(Vec<&str>, &StateNode)> {
+        let mut out = Vec::new();
+        fn rec<'a>(node: &'a StateNode, path: &mut Vec<&'a str>, out: &mut Vec<(Vec<&'a str>, &'a StateNode)>) {
+            out.push((path.clone(), node));
+            for c in &node.children {
+                path.push(&c.name);
+                rec(c, path, out);
+                path.pop();
+            }
+        }
+        rec(self, &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+fn value_size(v: &Value) -> usize {
+    match v {
+        Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) => 8,
+        Value::Text(s) => s.len() + 2,
+        Value::TextList(v) => v.iter().map(|s| s.len() + 2).sum::<usize>() + 2,
+        Value::IntList(v) => v.len() * 8 + 2,
+        Value::Point(_, _) => 8,
+        Value::Color(_, _, _) => 3,
+        Value::Bytes(b) => b.len() + 2,
+        Value::Stroke(p) => p.len() * 8 + 2,
+        Value::StrokeList(s) => s.iter().map(|p| p.len() * 8 + 2).sum::<usize>() + 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StateNode {
+        StateNode::new(WidgetKind::Form, "root")
+            .with_attr(AttrName::Title, Value::Text("Query".into()))
+            .with_child(
+                StateNode::new(WidgetKind::TextField, "author")
+                    .with_attr(AttrName::Text, Value::Text("Hoppe".into())),
+            )
+            .with_child(
+                StateNode::new(WidgetKind::Menu, "operator")
+                    .with_attr(AttrName::Selected, Value::Int(1)),
+            )
+    }
+
+    #[test]
+    fn node_count_and_depth() {
+        let s = sample();
+        assert_eq!(s.node_count(), 3);
+        assert_eq!(s.tree_depth(), 2);
+        assert_eq!(StateNode::new(WidgetKind::Button, "b").tree_depth(), 1);
+    }
+
+    #[test]
+    fn child_lookup() {
+        let s = sample();
+        assert!(s.child("author").is_some());
+        assert!(s.child("missing").is_none());
+    }
+
+    #[test]
+    fn walk_visits_in_preorder() {
+        let s = sample();
+        let nodes = s.walk();
+        assert_eq!(nodes.len(), 3);
+        assert!(nodes[0].0.is_empty());
+        assert_eq!(nodes[1].0, vec!["author"]);
+        assert_eq!(nodes[2].0, vec!["operator"]);
+    }
+
+    #[test]
+    fn approx_size_grows_with_content() {
+        let small = StateNode::new(WidgetKind::Label, "l");
+        let big = small.clone().with_attr(AttrName::Text, Value::Text("x".repeat(100)));
+        assert!(big.approx_size() > small.approx_size() + 90);
+    }
+}

@@ -1,0 +1,526 @@
+use std::fmt;
+
+/// Typed value of a UI-object attribute.
+///
+/// Every attribute in the toolkit carries one of these variants; the wire
+/// codec encodes them as a tagged union. `Float` values compare by IEEE-754
+/// bit pattern so that `Value` can implement `Eq`/`Hash` (NaN payloads are
+/// preserved end-to-end by the codec).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Boolean attribute (e.g. `enabled`, `checked`).
+    Bool(bool),
+    /// Integer attribute (e.g. geometry, selection index).
+    Int(i64),
+    /// Floating-point attribute (e.g. a slider position).
+    Float(f64),
+    /// Text attribute (e.g. a text field's content).
+    Text(String),
+    /// List of strings (e.g. menu items).
+    TextList(Vec<String>),
+    /// List of integers (e.g. multi-selection indices).
+    IntList(Vec<i64>),
+    /// A 2-D point, used by canvas strokes and geometry.
+    Point(i32, i32),
+    /// An RGB colour.
+    Color(u8, u8, u8),
+    /// Opaque bytes (semantic payloads travelling with UI state).
+    Bytes(Vec<u8>),
+    /// A polyline stroke on a canvas: flattened `(x, y)` pairs.
+    Stroke(Vec<(i32, i32)>),
+    /// The full stroke set of a canvas widget.
+    StrokeList(Vec<Vec<(i32, i32)>>),
+}
+
+impl Value {
+    /// Returns the contained boolean, if this is `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained integer, if this is `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained float, if this is `Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained text, if this is `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained string list, if this is `TextList`.
+    pub fn as_text_list(&self) -> Option<&[String]> {
+        match self {
+            Value::TextList(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained integer list, if this is `IntList`.
+    pub fn as_int_list(&self) -> Option<&[i64]> {
+        match self {
+            Value::IntList(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained bytes, if this is `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// A short name for the variant, used in type-mismatch diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Text(_) => "text",
+            Value::TextList(_) => "text-list",
+            Value::IntList(_) => "int-list",
+            Value::Point(_, _) => "point",
+            Value::Color(_, _, _) => "color",
+            Value::Bytes(_) => "bytes",
+            Value::Stroke(_) => "stroke",
+            Value::StrokeList(_) => "stroke-list",
+        }
+    }
+
+    /// Returns `true` if `self` and `other` are the same variant.
+    pub fn same_type(&self, other: &Value) -> bool {
+        self.type_name() == other.type_name()
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Bool(a), Bool(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            // Bit-pattern equality: keeps Eq lawful and NaN round-trippable.
+            (Float(a), Float(b)) => a.to_bits() == b.to_bits(),
+            (Text(a), Text(b)) => a == b,
+            (TextList(a), TextList(b)) => a == b,
+            (IntList(a), IntList(b)) => a == b,
+            (Point(ax, ay), Point(bx, by)) => ax == bx && ay == by,
+            (Color(ar, ag, ab), Color(br, bg, bb)) => ar == br && ag == bg && ab == bb,
+            (Bytes(a), Bytes(b)) => a == b,
+            (Stroke(a), Stroke(b)) => a == b,
+            (StrokeList(a), StrokeList(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        use Value::*;
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Bool(b) => b.hash(state),
+            Int(i) => i.hash(state),
+            Float(x) => x.to_bits().hash(state),
+            Text(s) => s.hash(state),
+            TextList(v) => v.hash(state),
+            IntList(v) => v.hash(state),
+            Point(x, y) => {
+                x.hash(state);
+                y.hash(state);
+            }
+            Color(r, g, b) => {
+                r.hash(state);
+                g.hash(state);
+                b.hash(state);
+            }
+            Bytes(b) => b.hash(state),
+            Stroke(v) => v.hash(state),
+            StrokeList(v) => v.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s:?}"),
+            Value::TextList(v) => write!(f, "{v:?}"),
+            Value::IntList(v) => write!(f, "{v:?}"),
+            Value::Point(x, y) => write!(f, "({x}, {y})"),
+            Value::Color(r, g, b) => write!(f, "#{r:02x}{g:02x}{b:02x}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Value::Stroke(v) => write!(f, "<stroke of {} points>", v.len()),
+            Value::StrokeList(v) => write!(f, "<{} strokes>", v.len()),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+impl From<Vec<String>> for Value {
+    fn from(v: Vec<String>) -> Self {
+        Value::TextList(v)
+    }
+}
+
+/// Name of a UI-object attribute.
+///
+/// The common toolkit attributes are first-class variants (compact on the
+/// wire and cheap to compare); application-specific attributes use
+/// [`AttrName::Custom`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AttrName {
+    /// Window/form title or widget caption.
+    Title,
+    /// Textual content (text fields, labels).
+    Text,
+    /// Generic numeric value (sliders, spinners).
+    ValueNum,
+    /// Items of a list or menu.
+    Items,
+    /// Index of the selected item (-1 for none).
+    Selected,
+    /// Whether the widget accepts input.
+    Enabled,
+    /// Whether the widget is drawn.
+    Visible,
+    /// X position within the parent.
+    X,
+    /// Y position within the parent.
+    Y,
+    /// Widget width.
+    Width,
+    /// Widget height.
+    Height,
+    /// Foreground colour.
+    Foreground,
+    /// Background colour.
+    Background,
+    /// Font name.
+    Font,
+    /// Toggle state of check/toggle buttons.
+    Checked,
+    /// Minimum of a ranged widget.
+    Min,
+    /// Maximum of a ranged widget.
+    Max,
+    /// Strokes of a canvas (count stored as Int; stroke data in per-stroke
+    /// attributes is modelled as `Value::Stroke` entries of `Items`-like
+    /// custom attributes by the toolkit).
+    Strokes,
+    /// Application-specific attribute.
+    ///
+    /// The wire form of an attribute name is its canonical string, so a
+    /// `Custom` name equal to a builtin's canonical form (e.g. `"text"`)
+    /// decodes as the builtin variant. Construct through
+    /// [`AttrName::custom`] / [`AttrName::from_str_lossy`] to normalize.
+    Custom(String),
+}
+
+impl AttrName {
+    /// Creates an attribute name from an application-specific string,
+    /// normalizing names that collide with builtin attributes.
+    pub fn custom(name: &str) -> Self {
+        AttrName::from_str_lossy(name)
+    }
+
+    /// Canonical textual form used by the UI-spec parser and `Display`.
+    pub fn as_str(&self) -> &str {
+        match self {
+            AttrName::Title => "title",
+            AttrName::Text => "text",
+            AttrName::ValueNum => "value",
+            AttrName::Items => "items",
+            AttrName::Selected => "selected",
+            AttrName::Enabled => "enabled",
+            AttrName::Visible => "visible",
+            AttrName::X => "x",
+            AttrName::Y => "y",
+            AttrName::Width => "width",
+            AttrName::Height => "height",
+            AttrName::Foreground => "foreground",
+            AttrName::Background => "background",
+            AttrName::Font => "font",
+            AttrName::Checked => "checked",
+            AttrName::Min => "min",
+            AttrName::Max => "max",
+            AttrName::Strokes => "strokes",
+            AttrName::Custom(s) => s,
+        }
+    }
+
+    /// Parses a canonical attribute name; unknown names become `Custom`.
+    pub fn from_str_lossy(s: &str) -> Self {
+        match s {
+            "title" => AttrName::Title,
+            "text" => AttrName::Text,
+            "value" => AttrName::ValueNum,
+            "items" => AttrName::Items,
+            "selected" => AttrName::Selected,
+            "enabled" => AttrName::Enabled,
+            "visible" => AttrName::Visible,
+            "x" => AttrName::X,
+            "y" => AttrName::Y,
+            "width" => AttrName::Width,
+            "height" => AttrName::Height,
+            "foreground" => AttrName::Foreground,
+            "background" => AttrName::Background,
+            "font" => AttrName::Font,
+            "checked" => AttrName::Checked,
+            "min" => AttrName::Min,
+            "max" => AttrName::Max,
+            "strokes" => AttrName::Strokes,
+            other => AttrName::Custom(other.to_owned()),
+        }
+    }
+}
+
+impl fmt::Display for AttrName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Type of a primitive UI object (§3: "form, button, menu, etc.").
+///
+/// The set mirrors the CENTER/Motif widget classes the paper names plus the
+/// widgets its applications need (canvas for GroupDesign-style sketches,
+/// table for TORI result forms). `Custom` covers application-defined
+/// widget classes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WidgetKind {
+    /// Container form; the usual complex-object root.
+    Form,
+    /// Horizontal/vertical grouping container.
+    Panel,
+    /// Momentary push button.
+    Button,
+    /// Two-state toggle button.
+    ToggleButton,
+    /// Option menu (drop-down of items).
+    Menu,
+    /// Single-line text input field.
+    TextField,
+    /// Multi-line text area.
+    TextArea,
+    /// Static text label.
+    Label,
+    /// Scrollable list of items.
+    List,
+    /// Ranged slider / scale.
+    Slider,
+    /// Free-form drawing canvas.
+    Canvas,
+    /// Row/column table of textual cells.
+    Table,
+    /// Application-defined widget class.
+    Custom(String),
+}
+
+impl Default for WidgetKind {
+    fn default() -> Self {
+        WidgetKind::Form
+    }
+}
+
+impl WidgetKind {
+    /// Canonical textual form used by the UI-spec parser and `Display`.
+    pub fn as_str(&self) -> &str {
+        match self {
+            WidgetKind::Form => "form",
+            WidgetKind::Panel => "panel",
+            WidgetKind::Button => "button",
+            WidgetKind::ToggleButton => "toggle",
+            WidgetKind::Menu => "menu",
+            WidgetKind::TextField => "textfield",
+            WidgetKind::TextArea => "textarea",
+            WidgetKind::Label => "label",
+            WidgetKind::List => "list",
+            WidgetKind::Slider => "slider",
+            WidgetKind::Canvas => "canvas",
+            WidgetKind::Table => "table",
+            WidgetKind::Custom(s) => s,
+        }
+    }
+
+    /// Parses a canonical kind name; unknown names become `Custom`.
+    pub fn from_str_lossy(s: &str) -> Self {
+        match s {
+            "form" => WidgetKind::Form,
+            "panel" => WidgetKind::Panel,
+            "button" => WidgetKind::Button,
+            "toggle" => WidgetKind::ToggleButton,
+            "menu" => WidgetKind::Menu,
+            "textfield" => WidgetKind::TextField,
+            "textarea" => WidgetKind::TextArea,
+            "label" => WidgetKind::Label,
+            "list" => WidgetKind::List,
+            "slider" => WidgetKind::Slider,
+            "canvas" => WidgetKind::Canvas,
+            "table" => WidgetKind::Table,
+            other => WidgetKind::Custom(other.to_owned()),
+        }
+    }
+
+    /// Returns `true` if widgets of this kind may have children.
+    pub fn is_container(&self) -> bool {
+        matches!(self, WidgetKind::Form | WidgetKind::Panel | WidgetKind::Custom(_))
+    }
+}
+
+impl fmt::Display for WidgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_eq_is_bitwise() {
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_ne!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(Value::Float(1.5), Value::Float(1.5));
+    }
+
+    #[test]
+    fn accessors_return_none_on_mismatch() {
+        let v = Value::Int(3);
+        assert_eq!(v.as_int(), Some(3));
+        assert_eq!(v.as_bool(), None);
+        assert_eq!(v.as_text(), None);
+        assert!(Value::Text("x".into()).as_text().is_some());
+        assert!(Value::Bytes(vec![1]).as_bytes().is_some());
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Float(2.0).as_float(), Some(2.0));
+    }
+
+    #[test]
+    fn same_type_discriminates() {
+        assert!(Value::Int(1).same_type(&Value::Int(9)));
+        assert!(!Value::Int(1).same_type(&Value::Float(1.0)));
+    }
+
+    #[test]
+    fn attr_name_round_trips_via_str() {
+        let names = [
+            AttrName::Title,
+            AttrName::Text,
+            AttrName::ValueNum,
+            AttrName::Items,
+            AttrName::Selected,
+            AttrName::Enabled,
+            AttrName::Visible,
+            AttrName::X,
+            AttrName::Y,
+            AttrName::Width,
+            AttrName::Height,
+            AttrName::Foreground,
+            AttrName::Background,
+            AttrName::Font,
+            AttrName::Checked,
+            AttrName::Min,
+            AttrName::Max,
+            AttrName::Strokes,
+            AttrName::custom("sim_speed"),
+        ];
+        for n in names {
+            assert_eq!(AttrName::from_str_lossy(n.as_str()), n);
+        }
+    }
+
+    #[test]
+    fn widget_kind_round_trips_via_str() {
+        let kinds = [
+            WidgetKind::Form,
+            WidgetKind::Panel,
+            WidgetKind::Button,
+            WidgetKind::ToggleButton,
+            WidgetKind::Menu,
+            WidgetKind::TextField,
+            WidgetKind::TextArea,
+            WidgetKind::Label,
+            WidgetKind::List,
+            WidgetKind::Slider,
+            WidgetKind::Canvas,
+            WidgetKind::Table,
+            WidgetKind::Custom("simview".into()),
+        ];
+        for k in kinds {
+            assert_eq!(WidgetKind::from_str_lossy(k.as_str()), k);
+        }
+    }
+
+    #[test]
+    fn container_classification() {
+        assert!(WidgetKind::Form.is_container());
+        assert!(WidgetKind::Panel.is_container());
+        assert!(!WidgetKind::Button.is_container());
+        assert!(!WidgetKind::TextField.is_container());
+    }
+
+    #[test]
+    fn value_from_conversions() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(4i64), Value::Int(4));
+        assert_eq!(Value::from("hi"), Value::Text("hi".into()));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Color(255, 0, 16).to_string(), "#ff0010");
+        assert_eq!(Value::Point(3, -4).to_string(), "(3, -4)");
+        assert_eq!(Value::Text("a".into()).to_string(), "\"a\"");
+    }
+}

@@ -1,0 +1,162 @@
+//! Golden test vectors: exact wire bytes for representative messages.
+//! These pin the protocol encoding — any codec change that breaks
+//! cross-version compatibility fails here, loudly and on purpose.
+
+use cosoft_wire::{
+    codec, AccessRight, AttrName, CopyMode, EventKind, GlobalObjectId, InstanceId, Message,
+    ObjectPath, StateNode, Target, UiEvent, UserId, Value, WidgetKind,
+};
+
+fn gid(i: u64, p: &str) -> GlobalObjectId {
+    GlobalObjectId::new(InstanceId(i), ObjectPath::parse(p).expect("valid"))
+}
+
+#[test]
+fn golden_register() {
+    let m = Message::Register { user: UserId(7), host: "ws1".into(), app_name: "tori".into() };
+    assert_eq!(
+        codec::encode_message(&m),
+        vec![
+            0, // tag Register
+            7, // user varint
+            3, b'w', b's', b'1', // host
+            4, b't', b'o', b'r', b'i', // app_name
+        ]
+    );
+}
+
+#[test]
+fn golden_welcome_with_multibyte_varint() {
+    let m = Message::Welcome { instance: InstanceId(300) };
+    // 300 = 0b100101100 -> LEB128: 0xAC 0x02
+    assert_eq!(codec::encode_message(&m), vec![3, 0xac, 0x02]);
+}
+
+#[test]
+fn golden_couple() {
+    let m = Message::Couple { src: gid(1, "f.t"), dst: gid(2, "g") };
+    assert_eq!(
+        codec::encode_message(&m),
+        vec![
+            5, // tag Couple
+            1, // src instance
+            2, 1, b'f', 1, b't', // src path: 2 segments "f" "t"
+            2, // dst instance
+            1, 1, b'g', // dst path: 1 segment "g"
+        ]
+    );
+}
+
+#[test]
+fn golden_event_with_params() {
+    let m = Message::Event {
+        origin: gid(1, "f"),
+        event: UiEvent::new(
+            ObjectPath::parse("f").expect("valid"),
+            EventKind::ValueChanged,
+            vec![Value::Int(-3), Value::Bool(true)],
+        ),
+        seq: 9,
+    };
+    assert_eq!(
+        codec::encode_message(&m),
+        vec![
+            12, // tag Event
+            1, // origin instance
+            1, 1, b'f', // origin path
+            1, 1, b'f', // event path
+            1, // EventKind::ValueChanged
+            2, // 2 params
+            1, 5, // Value::Int tag, zigzag(-3)=5
+            0, 1, // Value::Bool tag, true
+            9, // seq
+        ]
+    );
+}
+
+#[test]
+fn golden_apply_state() {
+    let snapshot = StateNode::new(WidgetKind::Label, "l")
+        .with_attr(AttrName::Text, Value::Text("hi".into()));
+    let m = Message::ApplyState {
+        req_id: 4,
+        path: ObjectPath::parse("f.l").expect("valid"),
+        snapshot,
+        mode: CopyMode::FlexibleMatch,
+    };
+    assert_eq!(
+        codec::encode_message(&m),
+        vec![
+            23, // tag ApplyState
+            4,  // req_id
+            2, 1, b'f', 1, b'l', // path
+            5, b'l', b'a', b'b', b'e', b'l', // kind "label"
+            1, b'l', // name "l"
+            1, // 1 attr
+            4, b't', b'e', b'x', b't', // attr name "text"
+            3, 2, b'h', b'i', // Value::Text "hi"
+            0, // semantic: 0 bytes
+            0, // 0 children
+            2, // CopyMode::FlexibleMatch
+        ]
+    );
+}
+
+#[test]
+fn golden_co_send_command() {
+    let m = Message::CoSendCommand {
+        to: Target::Group(gid(3, "q")),
+        command: "rpc".into(),
+        payload: vec![0xde, 0xad],
+    };
+    assert_eq!(
+        codec::encode_message(&m),
+        vec![
+            29, // tag CoSendCommand
+            2, // Target::Group
+            3, 1, 1, b'q', // gid
+            3, b'r', b'p', b'c', // command
+            2, 0xde, 0xad, // payload
+        ]
+    );
+}
+
+#[test]
+fn golden_set_permission() {
+    let m = Message::SetPermission {
+        user: UserId(2),
+        object: gid(1, "f"),
+        right: AccessRight::Read,
+    };
+    assert_eq!(codec::encode_message(&m), vec![27, 2, 1, 1, 1, b'f', 1]);
+}
+
+#[test]
+fn golden_frame_layout() {
+    let m = Message::Deregister;
+    // Frame = u32-le length (1) + body (tag 1).
+    assert_eq!(codec::frame_message(&m), vec![1, 0, 0, 0, 1]);
+}
+
+#[test]
+fn golden_float_bits() {
+    let mut buf = bytes::BytesMut::new();
+    codec::put_value(&mut buf, &Value::Float(1.0));
+    // Tag 2 + IEEE-754 little-endian bits of 1.0.
+    assert_eq!(buf.to_vec(), vec![2, 0, 0, 0, 0, 0, 0, 0xf0, 0x3f]);
+}
+
+#[test]
+fn golden_stroke_list() {
+    let mut buf = bytes::BytesMut::new();
+    codec::put_value(&mut buf, &Value::StrokeList(vec![vec![(1, -1)], vec![]]));
+    assert_eq!(
+        buf.to_vec(),
+        vec![
+            10, // StrokeList tag
+            2,  // 2 strokes
+            1, 2, 1, // stroke 0: 1 point, zigzag(1)=2, zigzag(-1)=1
+            0, // stroke 1: 0 points
+        ]
+    );
+}

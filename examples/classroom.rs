@@ -1,0 +1,94 @@
+//! The COSOFT classroom scenario of §4: a teacher on the electronic
+//! blackboard, three students on workstations. Students work privately;
+//! one asks for help, the intelligent demon reports another; the teacher
+//! inspects the buffered requests and opens a joint session by remotely
+//! coupling the student's parameter panel to the blackboard — the
+//! simulation displays regenerate locally (indirect coupling).
+//!
+//! Run with `cargo run --example classroom`.
+
+use cosoft::apps::classroom::{
+    demon_check, display_curve, inbox, join_student, leave_student, request_help,
+    set_param_event, student_session, teacher_session,
+};
+use cosoft::core::harness::SimHarness;
+use cosoft::uikit::render;
+use cosoft::wire::{EventKind, ObjectPath, UiEvent, UserId, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut h = SimHarness::with_latency(7, 1_500);
+    let teacher = h.add_session(teacher_session(UserId(1)));
+    let anna = h.add_session(student_session(UserId(2), "anna"));
+    let ben = h.add_session(student_session(UserId(3), "ben"));
+    let cara = h.add_session(student_session(UserId(4), "cara"));
+    h.settle();
+
+    // Everyone works privately on the exercise first.
+    h.session_mut(anna).user_event(set_param_event("exercise", "amplitude", 2.0))?;
+    h.session_mut(ben).user_event(set_param_event("exercise", "amplitude", 0.5))?;
+    h.session_mut(cara).user_event(set_param_event("exercise", "frequency", 3.0))?;
+    h.settle();
+    println!("private phase done; no coupling yet, {} msgs", h.net.stats().messages_sent);
+
+    // Anna asks for help directly; Ben's demon notices repeated failures.
+    request_help(h.session_mut(anna), "my curve looks wrong");
+    h.settle();
+    let answer = ObjectPath::parse("exercise.answer")?;
+    let mut attempts = 0;
+    for wrong in ["1.3", "0.7"] {
+        h.session_mut(ben).user_event(UiEvent::new(
+            answer.clone(),
+            EventKind::TextCommitted,
+            vec![Value::Text(wrong.into())],
+        ))?;
+        demon_check(h.session_mut(ben), "2.0", &mut attempts, 2);
+    }
+    h.settle();
+
+    println!("\nteacher inbox:");
+    for msg in inbox(h.session(teacher)) {
+        println!("  • {msg}");
+    }
+
+    // The teacher opens a joint session with Anna: remote-couple the
+    // parameter panels. The classroom roster comes from the server.
+    h.session_mut(teacher).query_instances();
+    h.settle();
+    let ti = h.instance_of(teacher).expect("registered");
+    let ai = h.instance_of(anna).expect("registered");
+    join_student(h.session_mut(teacher), ti, ai);
+    h.settle();
+    println!("\njoint session with anna opened (RemoteCouple of the parameter panels)");
+
+    // The teacher demonstrates on the blackboard; Anna's display follows
+    // because the *parameters* are coupled — the curve itself never
+    // crosses the wire.
+    let bytes_before = h.net.stats().bytes_sent;
+    h.session_mut(teacher).user_event(set_param_event("board", "amplitude", 2.0))?;
+    h.session_mut(teacher).user_event(set_param_event("board", "frequency", 1.0))?;
+    h.settle();
+    let wire_cost = h.net.stats().bytes_sent - bytes_before;
+    let teacher_curve = display_curve(h.session(teacher).toolkit().tree(), "board");
+    let anna_curve = display_curve(h.session(anna).toolkit().tree(), "exercise");
+    println!(
+        "displays identical: {} | curve points: {} | bytes on wire: {} (indirect coupling)",
+        teacher_curve == anna_curve,
+        teacher_curve.len(),
+        wire_cost
+    );
+
+    // Ben stays uncoupled and unaffected.
+    let ben_curve = display_curve(h.session(ben).toolkit().tree(), "exercise");
+    println!("ben's private display untouched: {}", ben_curve != teacher_curve);
+
+    println!("\nblackboard:\n{}", render::render(h.session(teacher).toolkit().tree()));
+
+    // Close the joint session; Anna continues on her own.
+    leave_student(h.session_mut(teacher), ti, ai);
+    h.settle();
+    h.session_mut(anna).user_event(set_param_event("exercise", "amplitude", 4.0))?;
+    h.settle();
+    let after = display_curve(h.session(teacher).toolkit().tree(), "board");
+    println!("after decoupling, anna's work no longer reaches the board: {}", after == teacher_curve);
+    Ok(())
+}

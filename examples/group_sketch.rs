@@ -1,0 +1,70 @@
+//! GroupDesign-style shared sketching on COSOFT coupling, including the
+//! time-relaxed "keep modifications private until commitment" mode
+//! (decouple → draw → synchronize-by-state → re-couple).
+//!
+//! Run with `cargo run --example group_sketch`.
+
+use cosoft::apps::sketch::{
+    board_path, clear_event, commit_private_work, draw_event, go_private, join_board,
+    sketch_session, strokes,
+};
+use cosoft::core::harness::SimHarness;
+use cosoft::wire::UserId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut h = SimHarness::with_latency(5, 1_000);
+    let maya = h.add_session(sketch_session(UserId(1), "maya"));
+    let noel = h.add_session(sketch_session(UserId(2), "noel"));
+    h.settle();
+
+    // Maya starts drawing alone.
+    h.session_mut(maya).user_event(draw_event(vec![(10, 10), (100, 10), (100, 80)]))?;
+    h.settle();
+
+    // Noel joins late: the current picture transfers by state copy, then
+    // the canvases couple for live strokes.
+    let mayas_board = h.session(maya).gid(&board_path())?;
+    join_board(h.session_mut(noel), mayas_board.clone())?;
+    h.settle();
+    println!("noel joined with {} stroke(s) already on the board", strokes(h.session(noel)).len());
+
+    h.session_mut(noel).user_event(draw_event(vec![(50, 50), (60, 60)]))?;
+    h.settle();
+    println!(
+        "live sync: maya={} noel={} strokes",
+        strokes(h.session(maya)).len(),
+        strokes(h.session(noel)).len()
+    );
+
+    // Noel goes private to try something without disturbing the group.
+    go_private(h.session_mut(noel), mayas_board.clone())?;
+    h.settle();
+    for k in 0..3 {
+        h.session_mut(noel).user_event(draw_event(vec![(200 + k, 200), (210 + k, 220)]))?;
+    }
+    h.settle();
+    println!(
+        "private phase: maya={} noel={} strokes",
+        strokes(h.session(maya)).len(),
+        strokes(h.session(noel)).len()
+    );
+
+    // Commitment: one state copy publishes the whole private batch.
+    commit_private_work(h.session_mut(noel), mayas_board)?;
+    h.settle();
+    println!(
+        "after commitment: maya={} noel={} strokes",
+        strokes(h.session(maya)).len(),
+        strokes(h.session(noel)).len()
+    );
+
+    // A clear propagates to everyone while coupled.
+    h.session_mut(maya).user_event(clear_event())?;
+    h.settle();
+    println!(
+        "after clear: maya={} noel={} strokes",
+        strokes(h.session(maya)).len(),
+        strokes(h.session(noel)).len()
+    );
+    Ok(())
+}

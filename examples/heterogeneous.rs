@@ -1,0 +1,112 @@
+//! The paper's headline feature: coupling between **heterogeneous**
+//! application instances. A monitoring dashboard (labels and a table)
+//! couples with an editing tool (text fields and a slider) through
+//! declared correspondences; structurally different forms are
+//! reconciled by destructive merging and flexible matching.
+//!
+//! Run with `cargo run --example heterogeneous`.
+
+use cosoft::core::harness::SimHarness;
+use cosoft::core::session::Session;
+use cosoft::uikit::{render, spec, Toolkit};
+use cosoft::wire::{
+    AttrName, CopyMode, EventKind, ObjectPath, UiEvent, UserId, Value, WidgetKind,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut h = SimHarness::with_latency(3, 1_000);
+
+    // Two *different applications*: an editor and a read-only dashboard.
+    let editor_spec = r#"form editor title="Parameter Editor" {
+      textfield name text="reactor-7"
+      slider pressure value=0.4 min=0.0 max=1.0
+      textfield notes text=""
+    }"#;
+    let dashboard_spec = r#"form dash title="Operations Dashboard" {
+      label name text="(unknown)"
+      slider pressure value=0.0 min=0.0 max=1.0
+      label notes text=""
+    }"#;
+    let editor = h.add_session(Session::new(
+        Toolkit::from_tree(spec::build_tree(editor_spec)?),
+        UserId(1),
+        "editor-ws",
+        "param-editor",
+    ));
+    let dash = h.add_session(Session::new(
+        Toolkit::from_tree(spec::build_tree(dashboard_spec)?),
+        UserId(2),
+        "ops-wall",
+        "dashboard",
+    ));
+    h.settle();
+
+    // The dashboard declares that editor text fields may drive its
+    // labels: a correspondence relation on their relevant attributes
+    // (§3.3 "directly compatible ... if a correspondence relation is
+    // declared").
+    h.session_mut(dash).correspondences_mut().declare(
+        WidgetKind::TextField,
+        WidgetKind::Label,
+        vec![(AttrName::Text, AttrName::Text)],
+    );
+
+    // Couple field↔label and slider↔slider across the two applications.
+    for (src, dst) in [("editor.name", "dash.name"), ("editor.pressure", "dash.pressure"), ("editor.notes", "dash.notes")] {
+        let dst_gid = h.session(dash).gid(&ObjectPath::parse(dst)?)?;
+        h.session_mut(editor).couple(&ObjectPath::parse(src)?, dst_gid)?;
+    }
+    h.settle();
+
+    // Initial synchronization by state — across widget kinds.
+    let name_path = ObjectPath::parse("editor.name")?;
+    let dash_name = h.session(dash).gid(&ObjectPath::parse("dash.name")?)?;
+    h.session_mut(editor).copy_to(&name_path, dash_name, CopyMode::Strict)?;
+    h.settle();
+
+    // Live events: typing into the editor's field re-executes on the
+    // dashboard's *label*; dragging the slider re-executes on the
+    // dashboard's slider.
+    h.session_mut(editor).user_event(UiEvent::new(
+        ObjectPath::parse("editor.notes")?,
+        EventKind::TextCommitted,
+        vec![Value::Text("pressure rising".into())],
+    ))?;
+    h.session_mut(editor).user_event(UiEvent::new(
+        ObjectPath::parse("editor.pressure")?,
+        EventKind::ValueChanged,
+        vec![Value::Float(0.83)],
+    ))?;
+    h.settle();
+
+    println!("editor instance:\n{}", render::render(h.session(editor).toolkit().tree()));
+    println!("dashboard instance (different application!):\n{}", render::render(h.session(dash).toolkit().tree()));
+
+    // Structure reconciliation: push the whole editor form onto a third,
+    // structurally different console using flexible matching — shared
+    // components sync, console-only widgets survive, editor-only widgets
+    // are merged in.
+    let console_spec = r#"form editor title="Legacy Console" {
+      textfield name text="(stale)"
+      canvas scope
+    }"#;
+    let console = h.add_session(Session::new(
+        Toolkit::from_tree(spec::build_tree(console_spec)?),
+        UserId(3),
+        "legacy",
+        "console",
+    ));
+    h.settle();
+    let console_root = h.session(console).gid(&ObjectPath::parse("editor")?)?;
+    h.session_mut(editor).copy_to(&ObjectPath::parse("editor")?, console_root.clone(), CopyMode::FlexibleMatch)?;
+    h.settle();
+    println!("legacy console after FLEXIBLE MATCH (scope conserved, slider merged):\n{}",
+        render::render(h.session(console).toolkit().tree()));
+
+    // Destructive merging instead forces identical structure.
+    h.session_mut(editor).copy_to(&ObjectPath::parse("editor")?, console_root, CopyMode::DestructiveMerge)?;
+    h.settle();
+    println!("legacy console after DESTRUCTIVE MERGE (structure copied, scope destroyed):\n{}",
+        render::render(h.session(console).toolkit().tree()));
+    Ok(())
+}

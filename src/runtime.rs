@@ -1,0 +1,198 @@
+//! TCP runtime: glue that runs the sans-I/O server core and client
+//! sessions over real sockets (`cosoft-net`'s TCP transport).
+//!
+//! The deterministic simulation ([`cosoft_core::harness::SimHarness`]) is
+//! the primary habitat for tests and benchmarks; this module exists so
+//! the very same cores also run distributed across processes/threads —
+//! see `examples/tcp_demo.rs` and the `tcp_end_to_end` integration test.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cosoft_core::session::Session;
+use cosoft_net::tcp::{ConnId, NetEvent, TcpClient, TcpHost};
+use cosoft_server::ServerCore;
+
+/// A COSOFT server listening on TCP.
+///
+/// The accept/dispatch loop runs on a background thread until the value
+/// is dropped.
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl TcpServer {
+    /// Binds and starts serving (use `127.0.0.1:0` for an ephemeral
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(addr: &str) -> io::Result<TcpServer> {
+        let host = TcpHost::bind(addr)?;
+        let local = host.local_addr();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = shutdown.clone();
+        let thread = std::thread::Builder::new()
+            .name("cosoft-server".into())
+            .spawn(move || {
+                let mut core: ServerCore<ConnId> = ServerCore::new();
+                while !stop.load(Ordering::SeqCst) {
+                    let event =
+                        match host.events().recv_timeout(Duration::from_millis(50)) {
+                            Ok(e) => e,
+                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                        };
+                    let outgoing = match event {
+                        NetEvent::Connected(_) => Vec::new(),
+                        NetEvent::Message(conn, msg) => core.handle(conn, msg),
+                        NetEvent::Disconnected(conn) => core.disconnect(conn),
+                    };
+                    for (conn, msg) in outgoing {
+                        // A send failure means the peer vanished; the
+                        // Disconnected event will clean up.
+                        let _ = host.send(conn, &msg);
+                    }
+                }
+            })?;
+        Ok(TcpServer { addr: local, shutdown, thread: Some(thread) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+/// A client session bound to a TCP connection.
+///
+/// Wraps a [`Session`] and pumps its outbox/inbox over the socket.
+pub struct TcpSession {
+    session: Session,
+    client: TcpClient,
+}
+
+impl std::fmt::Debug for TcpSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpSession").field("session", &self.session).finish()
+    }
+}
+
+impl TcpSession {
+    /// Connects a session to a server and pumps until registration
+    /// completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures; times out with `TimedOut` if the
+    /// server does not answer the registration within 5 seconds.
+    pub fn connect(addr: SocketAddr, session: Session) -> io::Result<TcpSession> {
+        let client = TcpClient::connect(addr)?;
+        let mut s = TcpSession { session, client };
+        s.flush()?;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while s.session.instance().is_none() {
+            if Instant::now() > deadline {
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "registration timed out"));
+            }
+            s.pump_for(Duration::from_millis(20))?;
+        }
+        Ok(s)
+    }
+
+    /// The wrapped session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Mutable access to the wrapped session. Call [`TcpSession::flush`]
+    /// (or any pump) afterwards to push queued protocol messages out.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Sends everything queued in the session's outbox.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        for msg in self.session.drain_outbox() {
+            self.client.send(&msg)?;
+        }
+        Ok(())
+    }
+
+    /// Pumps incoming messages (and resulting outbox traffic) for at
+    /// least `window`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn pump_for(&mut self, window: Duration) -> io::Result<()> {
+        self.flush()?;
+        let deadline = Instant::now() + window;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(());
+            }
+            if let Some(msg) = self.client.recv_timeout(deadline - now) {
+                self.session.on_message(msg);
+                self.flush()?;
+            }
+        }
+    }
+
+    /// Pumps until `predicate` holds on the session or `timeout` elapses.
+    /// Returns whether the predicate held.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn pump_until<F>(&mut self, timeout: Duration, mut predicate: F) -> io::Result<bool>
+    where
+        F: FnMut(&Session) -> bool,
+    {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if predicate(&self.session) {
+                return Ok(true);
+            }
+            if Instant::now() >= deadline {
+                return Ok(false);
+            }
+            self.pump_for(Duration::from_millis(10))?;
+        }
+    }
+
+    /// Gracefully leaves the session and closes the socket.
+    pub fn close(mut self) {
+        self.session.leave();
+        let _ = self.flush();
+        std::thread::sleep(Duration::from_millis(20));
+        self.client.close();
+    }
+}

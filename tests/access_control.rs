@@ -1,0 +1,186 @@
+//! Access-control scenarios over the full stack: the server's
+//! three-valued permission tuples gating coupling, copying and events
+//! (§2.2), in classroom-shaped situations.
+
+use cosoft::core::harness::SimHarness;
+use cosoft::core::session::{Session, SessionEvent};
+use cosoft::uikit::{spec, Toolkit};
+use cosoft::wire::{
+    AccessRight, AttrName, CopyMode, EventKind, ObjectPath, UiEvent, UserId, Value,
+};
+
+const FORM: &str = r#"form f { textfield t text="" }"#;
+
+fn path(p: &str) -> ObjectPath {
+    ObjectPath::parse(p).expect("valid path")
+}
+
+fn session(user: u64) -> Session {
+    Session::new(
+        Toolkit::from_tree(spec::build_tree(FORM).expect("static")),
+        UserId(user),
+        &format!("ws{user}"),
+        "acl-test",
+    )
+}
+
+fn denied_count(s: &mut Session) -> usize {
+    s.take_events()
+        .into_iter()
+        .filter(|e| matches!(e, SessionEvent::PermissionDenied { .. }))
+        .count()
+}
+
+#[test]
+fn read_only_observer_can_copy_but_not_couple() {
+    let mut h = SimHarness::new(1);
+    let teacher = h.add_session(session(1));
+    let observer = h.add_session(session(2));
+    h.settle();
+
+    // The teacher allows observation only.
+    h.session_mut(teacher)
+        .set_permission(UserId(2), &path("f"), AccessRight::Read)
+        .expect("registered");
+    // But first lock everything else down.
+    h.session_mut(teacher)
+        .set_permission(UserId(2), &path("f.t"), AccessRight::Read)
+        .expect("registered");
+    h.settle();
+
+    // Observer may pull the teacher's state...
+    h.session_mut(teacher)
+        .user_event(UiEvent::new(
+            path("f.t"),
+            EventKind::TextCommitted,
+            vec![Value::Text("lecture notes".into())],
+        ))
+        .expect("local event");
+    h.settle();
+    let src = h.session(teacher).gid(&path("f.t")).expect("registered");
+    h.session_mut(observer).copy_from(src.clone(), &path("f.t"), CopyMode::Strict).expect("ok");
+    h.settle();
+    let tree = h.session(observer).toolkit().tree();
+    let id = tree.resolve(&path("f.t")).expect("widget");
+    assert_eq!(tree.attr(id, &AttrName::Text).expect("attr"), &Value::Text("lecture notes".into()));
+
+    // ...but may not couple with it (write).
+    h.session_mut(observer).couple(&path("f.t"), src).expect("registered");
+    h.settle();
+    assert_eq!(denied_count(h.session_mut(observer)), 1);
+    assert!(!h.session(observer).is_coupled(&path("f.t")));
+}
+
+#[test]
+fn rights_inherit_from_complex_objects() {
+    let mut h = SimHarness::new(2);
+    let owner = h.add_session(session(1));
+    let peer = h.add_session(session(2));
+    h.settle();
+
+    // Denying the form denies its components too (ancestor inheritance).
+    h.session_mut(owner)
+        .set_permission(UserId(2), &path("f"), AccessRight::Denied)
+        .expect("registered");
+    h.settle();
+
+    let field = h.session(owner).gid(&path("f.t")).expect("registered");
+    h.session_mut(peer).copy_from(field, &path("f.t"), CopyMode::Strict).expect("ok");
+    h.settle();
+    assert_eq!(denied_count(h.session_mut(peer)), 1);
+}
+
+#[test]
+fn event_on_foreign_object_checks_write_right() {
+    let mut h = SimHarness::new(3);
+    let owner = h.add_session(session(1));
+    let peer = h.add_session(session(2));
+    h.settle();
+
+    // Couple first (permissive default), then revoke.
+    let field = h.session(owner).gid(&path("f.t")).expect("registered");
+    h.session_mut(peer).couple(&path("f.t"), field).expect("registered");
+    h.settle();
+    assert!(h.session(peer).is_coupled(&path("f.t")));
+    h.session_mut(owner)
+        .set_permission(UserId(2), &path("f.t"), AccessRight::Read)
+        .expect("registered");
+    h.settle();
+
+    // The peer's events on its own object are fine (it owns the origin)…
+    h.session_mut(peer)
+        .user_event(UiEvent::new(
+            path("f.t"),
+            EventKind::TextCommitted,
+            vec![Value::Text("still allowed".into())],
+        ))
+        .expect("valid");
+    h.settle();
+    // …because write checks apply to the *origin* object, which the peer
+    // owns. The owner keeps full control of its own object as well.
+    h.session_mut(owner)
+        .user_event(UiEvent::new(
+            path("f.t"),
+            EventKind::TextCommitted,
+            vec![Value::Text("owner writes".into())],
+        ))
+        .expect("valid");
+    h.settle();
+    let tree = h.session(peer).toolkit().tree();
+    let id = tree.resolve(&path("f.t")).expect("widget");
+    assert_eq!(tree.attr(id, &AttrName::Text).expect("attr"), &Value::Text("owner writes".into()));
+}
+
+#[test]
+fn restrictive_server_default_denies_strangers() {
+    // A server configured with a Denied default (e.g. an exam setting).
+    let mut h = SimHarness::new(4);
+    h.server = cosoft::server::ServerCore::with_default_right(AccessRight::Denied);
+    let a = h.add_session(session(1));
+    let b = h.add_session(session(2));
+    h.settle();
+
+    let other = h.session(b).gid(&path("f.t")).expect("registered");
+    h.session_mut(a).couple(&path("f.t"), other.clone()).expect("registered");
+    h.settle();
+    assert_eq!(denied_count(h.session_mut(a)), 1);
+
+    // Explicit grant opens exactly that object.
+    h.session_mut(b)
+        .set_permission(UserId(1), &path("f.t"), AccessRight::Write)
+        .expect("registered");
+    h.settle();
+    h.session_mut(a).couple(&path("f.t"), other).expect("registered");
+    h.settle();
+    assert!(h.session(a).is_coupled(&path("f.t")));
+}
+
+#[test]
+fn remote_copy_needs_rights_on_both_ends() {
+    let mut h = SimHarness::new(5);
+    let third = h.add_session(session(9));
+    let src_node = h.add_session(session(1));
+    let dst_node = h.add_session(session(2));
+    h.settle();
+
+    // src denies reads to user 9.
+    h.session_mut(src_node)
+        .set_permission(UserId(9), &path("f.t"), AccessRight::Denied)
+        .expect("registered");
+    h.settle();
+
+    let src = h.session(src_node).gid(&path("f.t")).expect("registered");
+    let dst = h.session(dst_node).gid(&path("f.t")).expect("registered");
+    h.session_mut(third).remote_copy(src.clone(), dst.clone(), CopyMode::Strict);
+    h.settle();
+    assert_eq!(denied_count(h.session_mut(third)), 1);
+
+    // Granting read on src is enough (dst is writable by default).
+    h.session_mut(src_node)
+        .set_permission(UserId(9), &path("f.t"), AccessRight::Read)
+        .expect("registered");
+    h.settle();
+    h.session_mut(third).remote_copy(src, dst, CopyMode::Strict);
+    h.settle();
+    assert_eq!(denied_count(h.session_mut(third)), 0);
+}

@@ -1,0 +1,107 @@
+//! Cross-application coupling: instances of *different programs*
+//! (classroom vs TORI) share UI objects — the paper's definition of
+//! heterogeneity goes beyond differently-structured forms of one app.
+
+use std::sync::Arc;
+
+use cosoft::apps::{classroom, tori};
+use cosoft::core::harness::SimHarness;
+use cosoft::retrieval::sample_literature_db;
+use cosoft::wire::{AttrName, EventKind, ObjectPath, UiEvent, UserId, Value};
+
+fn path(p: &str) -> ObjectPath {
+    ObjectPath::parse(p).expect("valid")
+}
+
+#[test]
+fn classroom_discussion_drives_tori_query() {
+    // The teacher's discussion line is coupled to a librarian's TORI
+    // author field: whatever the class discusses becomes the search term.
+    let mut h = SimHarness::new(77);
+    let teacher = h.add_session(classroom::teacher_session(UserId(1)));
+    let librarian =
+        h.add_session(tori::tori_session(UserId(2), Arc::new(sample_literature_db(7, 300))));
+    h.settle();
+
+    let query_field = h
+        .session(librarian)
+        .gid(&path("tori.attr_author.value"))
+        .expect("registered");
+    h.session_mut(teacher)
+        .couple(&path("board.discussion"), query_field)
+        .expect("registered");
+    h.settle();
+
+    // The teacher types an author name into the discussion field.
+    h.session_mut(teacher)
+        .user_event(UiEvent::new(
+            path("board.discussion"),
+            EventKind::TextCommitted,
+            vec![Value::Text("Stefik".into())],
+        ))
+        .expect("valid event");
+    h.settle();
+
+    // The librarian's query field follows (both are text fields — same
+    // kind, different applications), and invoking the query works.
+    let tree = h.session(librarian).toolkit().tree();
+    let id = tree.resolve(&path("tori.attr_author.value")).expect("widget");
+    assert_eq!(tree.attr(id, &AttrName::Text).expect("attr"), &Value::Text("Stefik".into()));
+
+    h.session_mut(librarian).user_event(tori::events::invoke()).expect("valid event");
+    h.settle();
+    let rows = tori::result_rows(h.session(librarian));
+    assert!(!rows.is_empty());
+    assert!(rows.iter().all(|r| r.starts_with("Stefik")), "{rows:?}");
+}
+
+#[test]
+fn tori_status_mirrors_onto_classroom_board_label() {
+    // Reverse direction and cross-kind: the TORI status label (Label)
+    // couples onto the classroom topic label. Labels emit no events, so
+    // synchronization flows by state copy — the communication-oriented
+    // periodic mode.
+    let mut h = SimHarness::new(78);
+    let teacher = h.add_session(classroom::teacher_session(UserId(1)));
+    let librarian =
+        h.add_session(tori::tori_session(UserId(2), Arc::new(sample_literature_db(7, 300))));
+    h.settle();
+
+    h.session_mut(librarian).user_event(tori::events::invoke()).expect("valid event");
+    h.settle();
+
+    // Push the status over to the board.
+    let topic = h.session(teacher).gid(&path("board.topic")).expect("registered");
+    h.session_mut(librarian)
+        .copy_to(&path("tori.status"), topic, cosoft::wire::CopyMode::Strict)
+        .expect("registered");
+    h.settle();
+
+    let tree = h.session(teacher).toolkit().tree();
+    let id = tree.resolve(&path("board.topic")).expect("widget");
+    let text = tree.attr(id, &AttrName::Text).expect("attr").to_string();
+    assert!(text.contains("rows"), "board shows the query status: {text}");
+}
+
+#[test]
+fn sketch_board_couples_with_classroom_canvas_free_instance() {
+    // Two different apps can even share a canvas: the sketch pad and a
+    // second sketch instance embedded in another harness-registered app
+    // (here: another pad with a different host/app name suffices to show
+    // app identity does not matter to the protocol).
+    let mut h = SimHarness::new(79);
+    let pad = h.add_session(cosoft::apps::sketch::sketch_session(UserId(1), "alpha"));
+    let other = h.add_session(cosoft::apps::sketch::sketch_session(UserId(2), "beta"));
+    h.settle();
+
+    let remote = h.session(other).gid(&cosoft::apps::sketch::board_path()).expect("registered");
+    h.session_mut(pad)
+        .couple(&cosoft::apps::sketch::board_path(), remote)
+        .expect("registered");
+    h.settle();
+    h.session_mut(pad)
+        .user_event(cosoft::apps::sketch::draw_event(vec![(1, 1), (2, 2)]))
+        .expect("valid event");
+    h.settle();
+    assert_eq!(cosoft::apps::sketch::strokes(h.session(other)).len(), 1);
+}

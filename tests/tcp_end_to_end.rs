@@ -1,0 +1,135 @@
+//! End-to-end tests over real TCP sockets: the same server/session cores
+//! that run on the simulated network, here distributed across threads.
+
+use std::time::Duration;
+
+use cosoft::core::session::Session;
+use cosoft::runtime::{TcpServer, TcpSession};
+use cosoft::uikit::{spec, Toolkit};
+use cosoft::wire::{AttrName, CopyMode, EventKind, ObjectPath, UiEvent, UserId, Value};
+
+const FORM: &str = r#"form pad { textfield line text="" canvas board }"#;
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn make_session(user: u64) -> Session {
+    Session::new(
+        Toolkit::from_tree(spec::build_tree(FORM).expect("static spec")),
+        UserId(user),
+        &format!("host{user}"),
+        "tcp-test",
+    )
+}
+
+fn text_of(s: &Session, p: &ObjectPath) -> Option<String> {
+    let tree = s.toolkit().tree();
+    let id = tree.resolve(p)?;
+    tree.attr(id, &AttrName::Text).ok().and_then(|v| v.as_text().map(str::to_owned))
+}
+
+#[test]
+fn couple_and_sync_over_tcp() {
+    let server = TcpServer::spawn("127.0.0.1:0").expect("bind");
+    let mut a = TcpSession::connect(server.addr(), make_session(1)).expect("connect a");
+    let mut b = TcpSession::connect(server.addr(), make_session(2)).expect("connect b");
+    assert!(a.session().instance().is_some());
+    assert!(b.session().instance().is_some());
+
+    let line = ObjectPath::parse("pad.line").expect("static");
+    let remote = b.session().gid(&line).expect("registered");
+    a.session_mut().couple(&line, remote).expect("registered");
+    let p = line.clone();
+    assert!(a.pump_until(TIMEOUT, move |s| s.is_coupled(&p)).expect("pump"));
+    let p = line.clone();
+    assert!(b.pump_until(TIMEOUT, move |s| s.is_coupled(&p)).expect("pump"));
+
+    // Event replication across real sockets.
+    a.session_mut()
+        .user_event(UiEvent::new(
+            line.clone(),
+            EventKind::TextCommitted,
+            vec![Value::Text("over tcp".into())],
+        ))
+        .expect("valid event");
+    a.flush().expect("flush");
+    let p = line.clone();
+    assert!(b
+        .pump_until(TIMEOUT, move |s| text_of(s, &p).as_deref() == Some("over tcp"))
+        .expect("pump"));
+    // Complete the floor-control round so the lock releases.
+    a.pump_for(Duration::from_millis(200)).expect("pump");
+    b.pump_for(Duration::from_millis(100)).expect("pump");
+
+    // Both ends settled and re-enabled.
+    let id = a.session().toolkit().tree().resolve(&line).expect("widget");
+    assert!(a.session().toolkit().tree().widget(id).expect("widget").is_interactable());
+
+    a.close();
+    b.close();
+}
+
+#[test]
+fn state_copy_over_tcp() {
+    let server = TcpServer::spawn("127.0.0.1:0").expect("bind");
+    let mut a = TcpSession::connect(server.addr(), make_session(1)).expect("connect a");
+    let mut b = TcpSession::connect(server.addr(), make_session(2)).expect("connect b");
+
+    let line = ObjectPath::parse("pad.line").expect("static");
+    // Fill b's field locally (uncoupled → no traffic).
+    b.session_mut()
+        .user_event(UiEvent::new(
+            line.clone(),
+            EventKind::TextCommitted,
+            vec![Value::Text("pull me".into())],
+        ))
+        .expect("valid event");
+
+    // a pulls it with CopyFrom.
+    let src = b.session().gid(&line).expect("registered");
+    a.session_mut().copy_from(src, &line, CopyMode::Strict).expect("registered");
+    a.flush().expect("flush");
+    // b must serve the StateRequest.
+    b.pump_for(Duration::from_millis(300)).expect("pump");
+    let p = line.clone();
+    assert!(a
+        .pump_until(TIMEOUT, move |s| text_of(s, &p).as_deref() == Some("pull me"))
+        .expect("pump"));
+
+    a.close();
+    b.close();
+}
+
+#[test]
+fn crash_over_tcp_auto_decouples() {
+    let server = TcpServer::spawn("127.0.0.1:0").expect("bind");
+    let mut a = TcpSession::connect(server.addr(), make_session(1)).expect("connect a");
+    let b = TcpSession::connect(server.addr(), make_session(2)).expect("connect b");
+
+    let line = ObjectPath::parse("pad.line").expect("static");
+    let remote = b.session().gid(&line).expect("registered");
+    a.session_mut().couple(&line, remote).expect("registered");
+    let p = line.clone();
+    assert!(a.pump_until(TIMEOUT, move |s| s.is_coupled(&p)).expect("pump"));
+
+    // b vanishes without a goodbye; the server must decouple a.
+    drop(b);
+    let p = line.clone();
+    assert!(a.pump_until(TIMEOUT, move |s| !s.is_coupled(&p)).expect("pump"));
+
+    a.close();
+}
+
+#[test]
+fn server_survives_garbage_bytes() {
+    use std::io::Write;
+    let server = TcpServer::spawn("127.0.0.1:0").expect("bind");
+
+    // A hostile/broken client sends garbage framing.
+    let mut raw = std::net::TcpStream::connect(server.addr()).expect("connect");
+    raw.write_all(&[0xff; 64]).expect("write garbage");
+    drop(raw);
+
+    // A well-behaved client still works afterwards.
+    let a = TcpSession::connect(server.addr(), make_session(1)).expect("connect after garbage");
+    assert!(a.session().instance().is_some());
+    a.close();
+}
