@@ -167,9 +167,12 @@ pub fn demon_check(
         .tree()
         .resolve(&ObjectPath::parse("exercise.answer").expect("static path"))
         .and_then(|id| {
-            student.toolkit().tree().attr(id, &AttrName::Text).ok().and_then(|v| {
-                v.as_text().map(str::to_owned)
-            })
+            student
+                .toolkit()
+                .tree()
+                .attr(id, &AttrName::Text)
+                .ok()
+                .and_then(|v| v.as_text().map(str::to_owned))
         })
         .unwrap_or_default();
     if answer.is_empty() || answer == expected {
@@ -249,7 +252,7 @@ pub fn enable_describe(session: &mut Session) {
         // on a well-known label widget and flushed by `pump_describe`.
         let staging = ObjectPath::parse("__describe_reply").expect("static");
         let _ = staging; // staged below via the inbox-free convention:
-        // store the pending reply in a custom attribute of the root.
+                         // store the pending reply in a custom attribute of the root.
         if let Some(root) = toolkit.tree().root() {
             toolkit
                 .tree_mut()
@@ -301,10 +304,8 @@ pub fn update_roster(
     let me = teacher.instance();
     let students: Vec<&cosoft_wire::InstanceInfo> =
         entries.iter().filter(|e| Some(e.instance) != me).collect();
-    let items: Vec<String> = students
-        .iter()
-        .map(|e| format!("{}  {}  {}", e.instance, e.user, e.host))
-        .collect();
+    let items: Vec<String> =
+        students.iter().map(|e| format!("{}  {}  {}", e.instance, e.user, e.host)).collect();
     let tree = teacher.toolkit_mut().tree_mut();
     let roster_path = ObjectPath::parse("board.roster").expect("static");
     let id = match tree.resolve(&roster_path) {
@@ -471,11 +472,7 @@ mod tests {
 
         // Teacher asks the student for a stylized environment outline.
         let si = h.instance_of(s).unwrap();
-        h.session_mut(t).send_command(
-            cosoft_wire::Target::Instance(si),
-            DESCRIBE_CMD,
-            Vec::new(),
-        );
+        h.session_mut(t).send_command(cosoft_wire::Target::Instance(si), DESCRIBE_CMD, Vec::new());
         h.settle();
         assert!(pump_describe(h.session_mut(s)), "reply staged and flushed");
         h.settle();
@@ -532,9 +529,7 @@ mod tests {
         assert!(join_selected(h.session_mut(t), &roster, 0));
         assert!(!join_selected(h.session_mut(t), &roster, 99), "out of range pick");
         h.settle();
-        h.session_mut(s1)
-            .user_event(set_param_event("exercise", "amplitude", 3.5))
-            .unwrap();
+        h.session_mut(s1).user_event(set_param_event("exercise", "amplitude", 3.5)).unwrap();
         h.settle();
         let board = display_curve(h.session(t).toolkit().tree(), "board");
         assert!(board.iter().max().copied().unwrap() > 3_400);

@@ -28,22 +28,14 @@ pub const OPERATORS: [&str; 5] = ["substring", "equals", "prefix", "like-one-of"
 /// generates \[forms\] from high-level descriptions").
 pub fn query_form_spec(table: &Table) -> String {
     let mut out = String::from("form tori title=\"TORI Retrieval\" {\n");
-    let ops = OPERATORS
-        .iter()
-        .map(|o| format!("{o:?}"))
-        .collect::<Vec<_>>()
-        .join(", ");
+    let ops = OPERATORS.iter().map(|o| format!("{o:?}")).collect::<Vec<_>>().join(", ");
     for col in table.column_names() {
         out.push_str(&format!(
             "  panel attr_{col} {{\n    label name text=\"{col}\"\n    menu op items=[{ops}] selected=0\n    textfield value text=\"\"\n  }}\n"
         ));
     }
-    let views = table
-        .column_names()
-        .iter()
-        .map(|c| format!("\"{c}\""))
-        .collect::<Vec<_>>()
-        .join(", ");
+    let views =
+        table.column_names().iter().map(|c| format!("\"{c}\"")).collect::<Vec<_>>().join(", ");
     out.push_str(&format!(
         "  menu view items=[\"all\", {views}] selected=0\n  button invoke title=\"Run query\"\n  table results columns=[{views}] rows=[] selected=-1\n  label status text=\"\"\n}}\n"
     ));
@@ -51,8 +43,7 @@ pub fn query_form_spec(table: &Table) -> String {
 }
 
 fn attr_of(tree: &WidgetTree, path: &str, attr: &AttrName) -> Option<Value> {
-    tree.resolve(&ObjectPath::parse(path).ok()?)
-        .and_then(|id| tree.attr(id, attr).ok().cloned())
+    tree.resolve(&ObjectPath::parse(path).ok()?).and_then(|id| tree.attr(id, attr).ok().cloned())
 }
 
 /// Reads the query described by the form's widgets and builds the
@@ -77,9 +68,8 @@ fn build_query(tree: &WidgetTree, table: &Table) -> Result<Query, cosoft_retriev
         query = query.filter(Predicate::And(conjuncts));
     }
     // The view menu: entry 0 is "all"; entry k>0 projects to column k-1.
-    let view_idx = attr_of(tree, "tori.view", &AttrName::Selected)
-        .and_then(|v| v.as_int())
-        .unwrap_or(0);
+    let view_idx =
+        attr_of(tree, "tori.view", &AttrName::Selected).and_then(|v| v.as_int()).unwrap_or(0);
     if view_idx > 0 {
         if let Some(col) = table.column_names().get(view_idx as usize - 1) {
             query = query.select([(*col).to_owned()]);
@@ -119,8 +109,7 @@ pub fn evaluate_into_form(tree: &mut WidgetTree, table: &Table) {
 ///   attribute's value field.
 pub fn tori_session(user: UserId, table: Arc<Table>) -> Session {
     let tree = spec::build_tree(&query_form_spec(&table)).expect("generated spec is valid");
-    let mut session =
-        Session::new(Toolkit::from_tree(tree), user, &format!("tori-{user}"), "tori");
+    let mut session = Session::new(Toolkit::from_tree(tree), user, &format!("tori-{user}"), "tori");
     let eval_table = table.clone();
     session.toolkit_mut().on(
         ObjectPath::parse("tori.invoke").expect("static"),
@@ -352,9 +341,7 @@ mod tests {
             .toolkit()
             .tree()
             .resolve(&ObjectPath::parse("tori.status").unwrap())
-            .and_then(|id| {
-                h.session(n).toolkit().tree().attr(id, &AttrName::Text).ok().cloned()
-            })
+            .and_then(|id| h.session(n).toolkit().tree().attr(id, &AttrName::Text).ok().cloned())
             .unwrap();
         assert!(status.to_string().contains("error"), "{status}");
         assert!(result_rows(h.session(n)).is_empty());

@@ -124,7 +124,8 @@ pub fn run_ui_replicated(workload: &Workload, cfg: &ArchConfig) -> RunStats {
                 // values are redistributed through the centre (traffic
                 // only, the issuer does not wait).
                 stats.messages_sent += workload.users as u64;
-                stats.bytes_sent += sizes.event + (workload.users as u64 - 1) * sizes.display_update;
+                stats.bytes_sent +=
+                    sizes.event + (workload.users as u64 - 1) * sizes.display_update;
                 eff_issue + cfg.ui_service_us
             }
             ActionKind::Semantic => {
@@ -279,7 +280,10 @@ mod tests {
             user: 1,
             issue_us: 1_000,
             kind: ActionKind::Semantic,
-            event: UiEvent::simple(ObjectPath::parse("private.compute").unwrap(), EventKind::Activate),
+            event: UiEvent::simple(
+                ObjectPath::parse("private.compute").unwrap(),
+                EventKind::Activate,
+            ),
         });
         let stats = run_ui_replicated(&w, &cfg);
         let sem = stats.latencies_us(Some(ActionKind::Semantic));
@@ -298,7 +302,10 @@ mod tests {
             user: 1,
             issue_us: 1_000,
             kind: ActionKind::Semantic,
-            event: UiEvent::simple(ObjectPath::parse("private.compute").unwrap(), EventKind::Activate),
+            event: UiEvent::simple(
+                ObjectPath::parse("private.compute").unwrap(),
+                EventKind::Activate,
+            ),
         });
         let stats = run_fully_replicated(&w, &cfg);
         let sem = stats.latencies_us(Some(ActionKind::Semantic));
@@ -307,10 +314,7 @@ mod tests {
         // the UI-replicated centre where the second action waits ~200 ms.
         assert!(sem.iter().all(|&l| l <= 105_000), "{sem:?}");
         // And private actions produce zero traffic.
-        assert_eq!(
-            stats.messages_sent, 0,
-            "private work is invisible to the network in COSOFT"
-        );
+        assert_eq!(stats.messages_sent, 0, "private work is invisible to the network in COSOFT");
     }
 
     #[test]

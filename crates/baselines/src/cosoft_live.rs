@@ -33,7 +33,8 @@ fn rewrite_path(p: &cosoft_wire::ObjectPath) -> cosoft_wire::ObjectPath {
     // objects; the instance hosts the private ones under `work.private.*`.
     match p.segments().first().map(String::as_str) {
         Some("private") => {
-            let rel = p.strip_prefix(&cosoft_wire::ObjectPath::parse("private").expect("static"))
+            let rel = p
+                .strip_prefix(&cosoft_wire::ObjectPath::parse("private").expect("static"))
                 .expect("prefix checked");
             cosoft_wire::ObjectPath::parse("work.private").expect("static").join(&rel)
         }
@@ -105,13 +106,20 @@ mod tests {
         let stats = run_cosoft_live(&all_private, 1, 2_000);
         assert_eq!(stats.samples.len(), 15);
         assert_eq!(stats.messages_sent, 0, "private actions stay local");
-        assert!(stats.latencies_us(None).iter().all(|&l| l == 0), "local = instant in virtual time");
+        assert!(
+            stats.latencies_us(None).iter().all(|&l| l == 0),
+            "local = instant in virtual time"
+        );
 
         let all_shared = mixed_workload(3, 3, 5, 10_000, 0.2, 1.0);
         let stats = run_cosoft_live(&all_shared, 1, 2_000);
         assert!(stats.messages_sent > 0);
         // Shared actions pay at least the grant round trip (2 hops).
-        assert!(stats.latencies_us(None).iter().all(|&l| l >= 4_000), "{:?}", stats.latencies_us(None));
+        assert!(
+            stats.latencies_us(None).iter().all(|&l| l >= 4_000),
+            "{:?}",
+            stats.latencies_us(None)
+        );
     }
 
     #[test]

@@ -111,10 +111,7 @@ mod tests {
                 vec![Value::Text("x".into())],
             ),
         };
-        let w = crate::workload::Workload {
-            users: 2,
-            actions: vec![ev(0, 1_000), ev(1, 1_500)],
-        };
+        let w = crate::workload::Workload { users: 2, actions: vec![ev(0, 1_000), ev(1, 1_500)] };
         let stats = run_timestamp(&w, 2_000);
         assert_eq!(stats.rollbacks, 1);
         assert_eq!(stats.conflicts, 2);

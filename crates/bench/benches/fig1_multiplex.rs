@@ -2,9 +2,9 @@
 //! single application instance. Prints the paper-style scaling series,
 //! then criterion-benches the runner itself.
 
+use cosoft_baselines::{editing_workload, run_multiplex, ArchConfig};
 use cosoft_bench::figures::{fig1_rows, FIG1_HEADERS};
 use cosoft_bench::report::print_table;
-use cosoft_baselines::{editing_workload, run_multiplex, ArchConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {

@@ -2,9 +2,9 @@
 //! component serializes all semantic actions; a time-consuming one blocks
 //! everyone. Prints the blocking sweep, then benches the runner.
 
+use cosoft_baselines::{mixed_workload, run_ui_replicated, ArchConfig};
 use cosoft_bench::figures::{fig23_rows, FIG23_HEADERS};
 use cosoft_bench::report::print_table;
-use cosoft_baselines::{mixed_workload, run_ui_replicated, ArchConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {

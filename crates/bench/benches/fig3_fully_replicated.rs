@@ -2,11 +2,11 @@
 //! local; shared actions pay floor control and are re-executed by every
 //! replica. Benches both the analytic model and the live protocol.
 
-use cosoft_bench::report::print_table;
 use cosoft_baselines::{
     mixed_workload, run_cosoft_live, run_fully_replicated, ActionKind, ArchConfig,
 };
 use cosoft_bench::report::fmt_us;
+use cosoft_bench::report::print_table;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {

@@ -13,8 +13,13 @@ fn tree_of(n: usize) -> (WidgetTree, cosoft_uikit::WidgetId) {
     let snap = synthetic_form(n, 1.0, 1);
     let mut tree = WidgetTree::new();
     let root = tree.create_root(WidgetKind::Form, "root").expect("fresh tree");
-    cosoft_core::apply_destructive(&mut tree, root, &snap, &cosoft_core::CorrespondenceTable::new())
-        .expect("merge into empty form");
+    cosoft_core::apply_destructive(
+        &mut tree,
+        root,
+        &snap,
+        &cosoft_core::CorrespondenceTable::new(),
+    )
+    .expect("merge into empty form");
     (tree, root)
 }
 

@@ -5,9 +5,7 @@
 //! it near-linear.
 
 use cosoft_bench::figures::synthetic_form;
-use cosoft_core::{
-    apply_destructive, apply_flexible, check_s_compatible, CorrespondenceTable,
-};
+use cosoft_core::{apply_destructive, apply_flexible, check_s_compatible, CorrespondenceTable};
 use cosoft_uikit::WidgetTree;
 use cosoft_wire::WidgetKind;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -20,7 +18,9 @@ fn bench(c: &mut Criterion) {
         let a = synthetic_form(n, 1.0, 1);
         let b_ = synthetic_form(n, 1.0, 2);
         group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b_), |bench, (a, b_)| {
-            bench.iter(|| check_s_compatible(std::hint::black_box(a), b_, &corr).expect("compatible"))
+            bench.iter(|| {
+                check_s_compatible(std::hint::black_box(a), b_, &corr).expect("compatible")
+            })
         });
     }
     group.finish();

@@ -3,12 +3,12 @@
 //! fully replicated (model + live protocol) and timestamp ordering,
 //! alongside the paper's qualitative flexibility dimensions.
 
-use cosoft_bench::figures::{table1_rows, TABLE1_HEADERS};
-use cosoft_bench::report::print_table;
 use cosoft_baselines::{
     mixed_workload, run_fully_replicated, run_multiplex, run_timestamp, run_ui_replicated,
     ArchConfig,
 };
+use cosoft_bench::figures::{table1_rows, TABLE1_HEADERS};
+use cosoft_bench::report::print_table;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {

@@ -14,9 +14,7 @@ use cosoft_core::harness::SimHarness;
 use cosoft_core::session::Session;
 use cosoft_retrieval::{sample_literature_db, Predicate, Query};
 use cosoft_uikit::{spec, Toolkit};
-use cosoft_wire::{
-    AttrName, CopyMode, EventKind, ObjectPath, UiEvent, UserId, Value,
-};
+use cosoft_wire::{AttrName, CopyMode, EventKind, ObjectPath, UiEvent, UserId, Value};
 
 use crate::report::fmt_us;
 
@@ -207,11 +205,28 @@ pub fn table1_rows() -> Vec<Vec<String>> {
     vec![
         quant("multiplex (Fig 1)", &m, "no".into(), "no".into(), "no".into()),
         quant("UI-replicated (Fig 2)", &u, "partly".into(), "no".into(), "static".into()),
-        quant("fully replicated / COSOFT (Fig 3/4)", &f, "yes".into(), "yes".into(), "dynamic".into()),
-        quant("COSOFT live protocol (4 users)", &live, "yes".into(), "yes".into(), "dynamic".into()),
+        quant(
+            "fully replicated / COSOFT (Fig 3/4)",
+            &f,
+            "yes".into(),
+            "yes".into(),
+            "dynamic".into(),
+        ),
+        quant(
+            "COSOFT live protocol (4 users)",
+            &live,
+            "yes".into(),
+            "yes".into(),
+            "dynamic".into(),
+        ),
         {
-            let mut row =
-                quant("timestamp ordering (GROVE-like)", &ts.run, "yes".into(), "no".into(), "static".into());
+            let mut row = quant(
+                "timestamp ordering (GROVE-like)",
+                &ts.run,
+                "yes".into(),
+                "no".into(),
+                "static".into(),
+            );
             row[0] = format!("timestamp ordering ({} rollbacks)", ts.rollbacks);
             row
         },
@@ -419,7 +434,9 @@ pub fn l3_measure(k: usize, rows: usize) -> (u64, u64, usize) {
     // coupled forms; every instance evaluates locally.
     let mut h = SimHarness::with_latency(47, 2_000);
     let nodes: Vec<_> = (0..k)
-        .map(|u| h.add_session(cosoft_apps::tori::tori_session(UserId(u as u64 + 1), table.clone())))
+        .map(|u| {
+            h.add_session(cosoft_apps::tori::tori_session(UserId(u as u64 + 1), table.clone()))
+        })
         .collect();
     h.settle();
     let root = ObjectPath::parse("tori").expect("static");
@@ -429,9 +446,7 @@ pub fn l3_measure(k: usize, rows: usize) -> (u64, u64, usize) {
         h.settle();
     }
     h.net.reset_stats();
-    h.session_mut(nodes[0])
-        .user_event(cosoft_apps::tori::events::invoke())
-        .expect("valid");
+    h.session_mut(nodes[0]).user_event(cosoft_apps::tori::events::invoke()).expect("valid");
     h.settle();
     let multi_bytes = h.net.stats().bytes_sent;
 
@@ -538,14 +553,135 @@ pub fn l4_rows() -> Vec<Vec<String>> {
 }
 
 /// Column headers for [`l4_rows`].
-pub const L4_HEADERS: [&str; 6] = [
-    "chars",
-    "commit bytes",
-    "commit time",
-    "keystroke bytes",
-    "keystroke time",
-    "time ratio",
-];
+pub const L4_HEADERS: [&str; 6] =
+    ["chars", "commit bytes", "commit time", "keystroke bytes", "keystroke time", "time ratio"];
+
+// ---------------------------------------------------------------------------
+// Observability — server-core and transport counters
+// ---------------------------------------------------------------------------
+
+/// Column headers for [`server_stats_rows`] and [`transport_stats_rows`].
+pub const STATS_HEADERS: [&str; 2] = ["counter", "value"];
+
+/// Runs a mixed coupling workload (couple chain, contended events, one
+/// state copy) on the simulated network and reports the server core's
+/// observability counters.
+pub fn server_stats_rows() -> Vec<Vec<String>> {
+    let spec_src = r#"form f { textfield t text="" }"#;
+    let path = ObjectPath::parse("f.t").expect("static");
+    let mut h = SimHarness::with_latency(61, 2_000);
+    let nodes: Vec<_> = (0..8)
+        .map(|u| {
+            h.add_session(Session::new(
+                Toolkit::from_tree(spec::build_tree(spec_src).expect("static")),
+                UserId(u as u64 + 1),
+                "h",
+                "bench",
+            ))
+        })
+        .collect();
+    h.settle();
+    for w in nodes.windows(2) {
+        let dst = h.session(w[1]).gid(&path).expect("registered");
+        h.session_mut(w[0]).couple(&path, dst).expect("registered");
+        h.settle();
+    }
+    // One clean event round, then a contended round where every member
+    // of the group fires simultaneously.
+    h.session_mut(nodes[0])
+        .user_event(UiEvent::new(
+            path.clone(),
+            EventKind::TextCommitted,
+            vec![Value::Text("x".into())],
+        ))
+        .expect("valid");
+    h.settle();
+    for (i, &node) in nodes.iter().enumerate() {
+        let _ = h.session_mut(node).user_event(UiEvent::new(
+            path.clone(),
+            EventKind::TextCommitted,
+            vec![Value::Text(format!("c{i}"))],
+        ));
+    }
+    h.settle();
+    // One state transfer so the transfer counters move.
+    let dst = h.session(nodes[1]).gid(&path).expect("registered");
+    h.session_mut(nodes[0]).copy_to(&path, dst, CopyMode::Strict).expect("registered");
+    h.settle();
+
+    let s = h.server.stats();
+    vec![
+        vec!["events granted".into(), s.events_granted.to_string()],
+        vec!["events rejected".into(), s.events_rejected.to_string()],
+        vec!["lock conflicts".into(), s.lock_conflicts.to_string()],
+        vec!["permission denials".into(), s.permission_denials.to_string()],
+        vec!["messages out".into(), s.messages_out.to_string()],
+        vec!["max fan-out".into(), s.max_fanout.to_string()],
+        vec!["transfers started".into(), s.transfers_started.to_string()],
+        vec!["transfers completed".into(), s.transfers_completed.to_string()],
+        vec!["transfers failed".into(), s.transfers_failed.to_string()],
+        vec!["registered instances".into(), s.registered_instances.to_string()],
+        vec!["live transfer groups".into(), s.live_transfer_groups.to_string()],
+        vec!["held locks".into(), s.held_locks.to_string()],
+    ]
+}
+
+/// Runs a short live round over real loopback TCP (register four
+/// clients, broadcast a batch of commands) and reports the transport's
+/// counters — per-connection writer queues, coalesced writes, and the
+/// slow-consumer policy are all visible here.
+pub fn transport_stats_rows() -> Vec<Vec<String>> {
+    use cosoft_net::{ConnId, NetEvent, TcpClient, TcpHost};
+    use cosoft_server::ServerCore;
+    use cosoft_wire::{Message, Target};
+    use std::time::Duration;
+
+    let host = TcpHost::bind("127.0.0.1:0").expect("bind");
+    let stats = host.stats_handle();
+    let mut core: ServerCore<ConnId> = ServerCore::new();
+    let clients: Vec<TcpClient> =
+        (0..4).map(|_| TcpClient::connect(host.local_addr()).expect("connect")).collect();
+    for (i, c) in clients.iter().enumerate() {
+        c.send(&Message::Register {
+            user: UserId(i as u64 + 1),
+            host: "bench".into(),
+            app_name: "fig".into(),
+        })
+        .expect("register");
+    }
+    for round in 0..32u32 {
+        clients[0]
+            .send(&Message::CoSendCommand {
+                to: Target::Broadcast,
+                command: format!("round-{round}"),
+                payload: vec![0u8; 4 * 1024],
+            })
+            .expect("broadcast");
+    }
+    // Drain the dispatch loop until the wire goes quiet.
+    while let Ok(event) = host.events().recv_timeout(Duration::from_millis(200)) {
+        let outgoing = match event {
+            NetEvent::Connected(_) => Vec::new(),
+            NetEvent::Message(conn, msg) => core.handle(conn, msg),
+            NetEvent::Disconnected(conn) => core.disconnect(conn),
+        };
+        let _ = host.send_batch(&outgoing);
+    }
+
+    let t = stats.snapshot();
+    vec![
+        vec!["frames out".into(), t.frames_out.to_string()],
+        vec!["bytes out".into(), t.bytes_out.to_string()],
+        vec!["frames in".into(), t.frames_in.to_string()],
+        vec!["bytes in".into(), t.bytes_in.to_string()],
+        vec!["coalesced writes".into(), t.coalesced_writes.to_string()],
+        vec!["enqueue-full waits".into(), t.enqueue_full_waits.to_string()],
+        vec!["slow-consumer evictions".into(), t.slow_consumer_evictions.to_string()],
+        vec!["frames dropped".into(), t.frames_dropped.to_string()],
+        vec!["active connections".into(), t.active_connections.to_string()],
+        vec!["max queue depth".into(), t.max_queue_depth.to_string()],
+    ]
+}
 
 // ---------------------------------------------------------------------------
 // shared helpers for L5 / micro benches
@@ -569,8 +705,8 @@ pub fn synthetic_form(n: usize, match_fraction: f64, variant: u64) -> cosoft_wir
     for i in 0..n {
         let kind = kinds[i % kinds.len()].clone();
         let name = if i < shared { format!("shared{i}") } else { format!("v{variant}_{i}") };
-        let child = StateNode::new(kind, &name)
-            .with_attr(AttrName::custom("idx"), Value::Int(i as i64));
+        let child =
+            StateNode::new(kind, &name).with_attr(AttrName::custom("idx"), Value::Int(i as i64));
         current_panel.children.push(child);
         if current_panel.children.len() == 8 {
             root.children.push(current_panel);
@@ -596,8 +732,7 @@ mod tests {
         let small = run_multiplex(&editing_workload(17, 2, 50, 30_000, 0.1), &cfg());
         let big = run_multiplex(&editing_workload(17, 32, 50, 30_000, 0.1), &cfg());
         assert!(
-            big.mean_latency_us(Some(ActionKind::Ui))
-                > small.mean_latency_us(Some(ActionKind::Ui))
+            big.mean_latency_us(Some(ActionKind::Ui)) > small.mean_latency_us(Some(ActionKind::Ui))
         );
     }
 
@@ -677,6 +812,35 @@ mod tests {
         check_s_compatible(&a, &b, &CorrespondenceTable::new()).expect("same shape");
         let c = synthetic_form(53, 1.0, 3);
         assert!(check_s_compatible(&a, &c, &CorrespondenceTable::new()).is_err());
+    }
+
+    #[test]
+    fn server_stats_rows_report_real_activity() {
+        let rows = server_stats_rows();
+        let get = |name: &str| -> u64 {
+            rows.iter().find(|r| r[0] == name).expect("counter row")[1].parse().unwrap()
+        };
+        assert!(get("events granted") >= 2, "clean round + contention winner");
+        assert_eq!(get("events rejected"), 7, "seven losers in the contended round");
+        assert_eq!(get("transfers completed"), 1);
+        assert_eq!(get("registered instances"), 8);
+        assert_eq!(get("live transfer groups"), 0);
+        assert_eq!(get("held locks"), 0, "every round released its locks");
+        assert!(get("max fan-out") >= 7, "a granted event fans out to the whole chain");
+    }
+
+    #[test]
+    fn transport_stats_rows_report_real_traffic() {
+        let rows = transport_stats_rows();
+        let get = |name: &str| -> u64 {
+            rows.iter().find(|r| r[0] == name).expect("counter row")[1].parse().unwrap()
+        };
+        // 4 registrations + 32 broadcasts in; Welcomes + deliveries out.
+        assert_eq!(get("frames in"), 36);
+        assert!(get("frames out") >= 4 + 32 * 3, "welcomes plus broadcast fan-out");
+        assert!(get("bytes out") > 32 * 3 * 4096, "payload bytes actually left");
+        assert_eq!(get("slow-consumer evictions"), 0, "all consumers were healthy");
+        assert_eq!(get("active connections"), 4);
     }
 
     #[test]

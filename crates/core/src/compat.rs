@@ -78,12 +78,7 @@ impl CorrespondenceTable {
 
     /// Declares that `src` objects can be copied/coupled onto `dst`
     /// objects, mapping each source attribute to a destination attribute.
-    pub fn declare(
-        &mut self,
-        src: WidgetKind,
-        dst: WidgetKind,
-        pairs: Vec<(AttrName, AttrName)>,
-    ) {
+    pub fn declare(&mut self, src: WidgetKind, dst: WidgetKind, pairs: Vec<(AttrName, AttrName)>) {
         self.map.insert((src, dst), pairs);
     }
 
@@ -123,10 +118,7 @@ impl CorrespondenceTable {
         if src == dst {
             return Some(attr.clone());
         }
-        self.mapping(src, dst)?
-            .iter()
-            .find(|(s, _)| s == attr)
-            .map(|(_, d)| d.clone())
+        self.mapping(src, dst)?.iter().find(|(s, _)| s == attr).map(|(_, d)| d.clone())
     }
 }
 
@@ -405,9 +397,9 @@ fn merge_node(
             // reject creation; disambiguate like a user renaming on merge.
             let name_taken = {
                 let w = tree.widget(dst)?;
-                w.children().iter().any(|&c| {
-                    tree.widget(c).map(|cw| cw.name() == child.name).unwrap_or(false)
-                })
+                w.children()
+                    .iter()
+                    .any(|&c| tree.widget(c).map(|cw| cw.name() == child.name).unwrap_or(false))
             };
             if name_taken {
                 let mut renamed = child.clone();
@@ -602,9 +594,7 @@ mod tests {
 
     #[test]
     fn destructive_merge_makes_target_s_compatible() {
-        let snap = snap_of(
-            r#"form f { panel p { textfield deep text="v" } slider s value=0.2 }"#,
-        );
+        let snap = snap_of(r#"form f { panel p { textfield deep text="v" } slider s value=0.2 }"#);
         let mut tree = build_tree(r#"form g { label odd text="?" }"#).unwrap();
         let root = tree.root().unwrap();
         apply_destructive(&mut tree, root, &snap, &corr()).unwrap();
@@ -616,11 +606,7 @@ mod tests {
     fn cross_kind_apply_through_correspondence() {
         // TORI-style: couple a result label onto a query text field.
         let mut c = corr();
-        c.declare(
-            WidgetKind::TextField,
-            WidgetKind::Label,
-            vec![(AttrName::Text, AttrName::Text)],
-        );
+        c.declare(WidgetKind::TextField, WidgetKind::Label, vec![(AttrName::Text, AttrName::Text)]);
         let snap = snap_of(r#"textfield src text="result-42""#);
         let mut tree = build_tree(r#"label dst text="""#).unwrap();
         let root = tree.root().unwrap();

@@ -63,7 +63,12 @@ impl SemanticHooks {
     /// Fills the `semantic` payloads of a snapshot taken at `base`: for
     /// every node with registered hooks, the store function runs and its
     /// bytes are attached (invoked "in the dominating instance").
-    pub fn fill_snapshot(&mut self, tree: &WidgetTree, base: &ObjectPath, snapshot: &mut StateNode) {
+    pub fn fill_snapshot(
+        &mut self,
+        tree: &WidgetTree,
+        base: &ObjectPath,
+        snapshot: &mut StateNode,
+    ) {
         self.fill_rec(tree, base.clone(), snapshot);
     }
 
@@ -279,10 +284,7 @@ mod tests {
     fn kv_as_store_load_hooks() {
         use std::collections::BTreeMap;
         use std::sync::{Arc, Mutex};
-        let model = Arc::new(Mutex::new(BTreeMap::from([(
-            "score".to_owned(),
-            "42".to_owned(),
-        )])));
+        let model = Arc::new(Mutex::new(BTreeMap::from([("score".to_owned(), "42".to_owned())])));
         let mut hooks = SemanticHooks::new();
         let store_model = model.clone();
         let load_model = model.clone();

@@ -351,11 +351,7 @@ impl Session {
             .coupling
             .get(local)
             .map(|group| {
-                group
-                    .iter()
-                    .filter(|g| !(g.instance == me && g.path == *local))
-                    .cloned()
-                    .collect()
+                group.iter().filter(|g| !(g.instance == me && g.path == *local)).cloned().collect()
             })
             .unwrap_or_default();
         for peer in &peers {
@@ -453,11 +449,7 @@ impl Session {
 
     /// Sends an application-defined command (§3.4 `CoSendCommand`).
     pub fn send_command(&mut self, to: Target, command: &str, payload: Vec<u8>) {
-        self.outbox.push(Message::CoSendCommand {
-            to,
-            command: command.to_owned(),
-            payload,
-        });
+        self.outbox.push(Message::CoSendCommand { to, command: command.to_owned(), payload });
     }
 
     /// Registers the unpack-and-interpret function for a command name.
@@ -570,11 +562,9 @@ impl Session {
             Message::CommandDelivery { from, command, payload } => {
                 match self.command_handlers.get_mut(&command) {
                     Some(handler) => handler(&mut self.toolkit, from, &payload),
-                    None => self.events.push(SessionEvent::CommandReceived {
-                        from,
-                        command,
-                        payload,
-                    }),
+                    None => {
+                        self.events.push(SessionEvent::CommandReceived { from, command, payload })
+                    }
                 }
             }
             Message::InstanceList { entries } => {
@@ -633,8 +623,7 @@ impl Session {
                 .tree()
                 .resolve(&event.path)
                 .and_then(|id| {
-                    cosoft_uikit::feedback::apply_feedback(self.toolkit.tree_mut(), id, &event)
-                        .ok()
+                    cosoft_uikit::feedback::apply_feedback(self.toolkit.tree_mut(), id, &event).ok()
                 })
                 .unwrap_or_default();
             self.pending_events.insert(s, PendingEvent { event, undo, epoch });

@@ -183,7 +183,11 @@ fn objects_are_disabled_while_group_is_locked() {
     // User input on a locked object fails loudly.
     let err = h
         .session_mut(b)
-        .user_event(UiEvent::new(path("f.t"), EventKind::TextCommitted, vec![Value::Text("x".into())]))
+        .user_event(UiEvent::new(
+            path("f.t"),
+            EventKind::TextCommitted,
+            vec![Value::Text("x".into())],
+        ))
         .unwrap_err();
     assert!(matches!(err, cosoft_core::SessionError::Ui(cosoft_uikit::UiError::Disabled { .. })));
 
@@ -282,11 +286,7 @@ fn copy_from_pulls_remote_state_with_semantics() {
     // b has content and a semantic payload behind its form.
     type_text(&mut h, b, "f.t", "late-join-me");
     h.settle();
-    h.session_mut(b).hooks_mut().register(
-        path("f"),
-        |_| b"semantic-blob".to_vec(),
-        |_, _| {},
-    );
+    h.session_mut(b).hooks_mut().register(path("f"), |_| b"semantic-blob".to_vec(), |_, _| {});
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
     let loaded = Arc::new(AtomicBool::new(false));
@@ -500,9 +500,7 @@ fn permissions_gate_coupling() {
     h.settle();
 
     // b locks down its field for user 1.
-    h.session_mut(b)
-        .set_permission(UserId(1), &path("f.t"), AccessRight::Denied)
-        .unwrap();
+    h.session_mut(b).set_permission(UserId(1), &path("f.t"), AccessRight::Denied).unwrap();
     h.settle();
 
     let gb = h.session(b).gid(&path("f.t")).unwrap();
@@ -518,9 +516,7 @@ fn permissions_gate_coupling() {
     assert!(!h.session(a).is_coupled(&path("f.t")));
 
     // Granting write makes the same couple succeed.
-    h.session_mut(b)
-        .set_permission(UserId(1), &path("f.t"), AccessRight::Write)
-        .unwrap();
+    h.session_mut(b).set_permission(UserId(1), &path("f.t"), AccessRight::Write).unwrap();
     h.settle();
     h.session_mut(a).couple(&path("f.t"), gb).unwrap();
     h.settle();
@@ -555,10 +551,8 @@ fn same_instance_coupling_mirrors_two_widgets() {
     // "including the case of two objects coupled within the same
     // application instance" (§3.3).
     let mut h = SimHarness::new(1);
-    let a = h.add_session(session(
-        r#"form f { textfield left text="" textfield right text="" }"#,
-        1,
-    ));
+    let a =
+        h.add_session(session(r#"form f { textfield left text="" textfield right text="" }"#, 1));
     h.settle();
     let right = h.session(a).gid(&path("f.right")).unwrap();
     h.session_mut(a).couple(&path("f.left"), right).unwrap();

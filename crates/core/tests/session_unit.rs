@@ -1,8 +1,8 @@
 //! Session edge-path tests: pre-registration errors, event queries,
 //! outbox/event draining semantics, and misdirected server messages.
 
-use cosoft_core::session::{Session, SessionError, SessionEvent};
 use cosoft_core::harness::SimHarness;
+use cosoft_core::session::{Session, SessionError, SessionEvent};
 use cosoft_uikit::{spec, Toolkit};
 use cosoft_wire::{
     AccessRight, CopyMode, EventKind, GlobalObjectId, InstanceId, Message, ObjectPath, UiEvent,
@@ -68,9 +68,7 @@ fn welcome_sets_instance_and_emits_event() {
 fn uncoupled_event_on_unknown_widget_errors() {
     let mut s = fresh();
     s.on_message(Message::Welcome { instance: InstanceId(1) });
-    let err = s
-        .user_event(UiEvent::simple(path("f.missing"), EventKind::Activate))
-        .unwrap_err();
+    let err = s.user_event(UiEvent::simple(path("f.missing"), EventKind::Activate)).unwrap_err();
     assert!(matches!(err, SessionError::Ui(cosoft_uikit::UiError::UnknownPath { .. })));
 }
 
@@ -136,7 +134,7 @@ fn spurious_server_messages_are_ignored() {
     s.on_message(Message::Welcome { instance: InstanceId(1) });
     s.drain_outbox();
     s.take_events(); // drop the Registered notification
-    // Replies for unknown seq/exec ids must be no-ops.
+                     // Replies for unknown seq/exec ids must be no-ops.
     s.on_message(Message::EventGranted { seq: 99, exec_id: 5 });
     s.on_message(Message::EventRejected { seq: 98 });
     s.on_message(Message::GroupUnlocked { exec_id: 1, objects: vec![path("f.gone")] });

@@ -17,4 +17,4 @@ pub mod sim;
 pub mod tcp;
 
 pub use sim::{Delivery, FaultPlan, Latency, NetStats, NodeId, SimNet};
-pub use tcp::{ConnId, NetEvent, TcpClient, TcpHost};
+pub use tcp::{ConnId, NetEvent, TcpClient, TcpHost, TcpHostConfig, TcpStats, TcpStatsHandle};

@@ -205,8 +205,7 @@ impl SimNet {
         self.stats.bytes_sent += codec::encode_message(&msg).len() as u64;
         *self.stats.per_kind.entry(msg.kind_name()).or_insert(0) += 1;
 
-        if self.faults.drop_prob > 0.0 && self.rng.gen_bool(self.faults.drop_prob.clamp(0.0, 1.0))
-        {
+        if self.faults.drop_prob > 0.0 && self.rng.gen_bool(self.faults.drop_prob.clamp(0.0, 1.0)) {
             self.stats.dropped += 1;
             return;
         }

@@ -4,17 +4,29 @@
 //! The simulated network ([`crate::sim`]) carries all benchmarks; this
 //! transport exists so the same server/client logic also runs over real
 //! sockets (integration tests and the runnable examples use it).
+//!
+//! # Outbound path
+//!
+//! Each accepted connection owns a dedicated writer thread fed by a
+//! bounded queue, so [`TcpHost::send`] is a non-blocking enqueue and one
+//! stalled consumer cannot delay delivery to its peers. When a
+//! connection's queue stays full past [`TcpHostConfig::enqueue_timeout`]
+//! the connection is declared a slow consumer and forcibly disconnected
+//! (its reader surfaces the usual [`NetEvent::Disconnected`], which the
+//! server maps to the §3.2 auto-decoupling path). [`TcpHost::send_batch`]
+//! coalesces all frames of one server turn that target the same
+//! connection into a single socket write.
 
 use std::collections::HashMap;
-use std::io::{self, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{self, BufReader, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use cosoft_wire::{codec, Message};
+use crossbeam::channel::{bounded, unbounded, Receiver, SendTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 
 /// Identifier of one accepted connection on a [`TcpHost`].
@@ -28,18 +40,143 @@ pub enum NetEvent {
     Connected(ConnId),
     /// A complete message arrived from a client.
     Message(ConnId, Message),
-    /// A client disconnected (cleanly or on error).
+    /// A client disconnected (cleanly, on error, or evicted as a slow
+    /// consumer).
     Disconnected(ConnId),
+}
+
+/// Sizing and slow-consumer policy for a [`TcpHost`]'s outbound queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHostConfig {
+    /// Maximum writes queued per connection before an enqueue has to
+    /// wait (each queued entry is one coalesced batch of frames).
+    pub queue_capacity: usize,
+    /// How long an enqueue may wait on a full queue before the
+    /// connection is declared a slow consumer and evicted.
+    pub enqueue_timeout: Duration,
+}
+
+impl Default for TcpHostConfig {
+    fn default() -> Self {
+        TcpHostConfig { queue_capacity: 1024, enqueue_timeout: Duration::from_millis(200) }
+    }
+}
+
+/// Snapshot of a [`TcpHost`]'s transport counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpStats {
+    /// Frames written to sockets.
+    pub frames_out: u64,
+    /// Bytes written to sockets (including framing).
+    pub bytes_out: u64,
+    /// Frames decoded from sockets.
+    pub frames_in: u64,
+    /// Bytes read from sockets (including framing).
+    pub bytes_in: u64,
+    /// Socket writes that carried more than one queued batch.
+    pub coalesced_writes: u64,
+    /// Enqueues that found the connection's queue full and had to wait.
+    pub enqueue_full_waits: u64,
+    /// Connections forcibly disconnected by the slow-consumer policy.
+    pub slow_consumer_evictions: u64,
+    /// Frames dropped because their connection was already gone.
+    pub frames_dropped: u64,
+    /// Currently accepted connections.
+    pub active_connections: usize,
+    /// Deepest per-connection outbound queue right now.
+    pub max_queue_depth: usize,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    frames_out: AtomicU64,
+    bytes_out: AtomicU64,
+    frames_in: AtomicU64,
+    bytes_in: AtomicU64,
+    coalesced_writes: AtomicU64,
+    enqueue_full_waits: AtomicU64,
+    slow_consumer_evictions: AtomicU64,
+    frames_dropped: AtomicU64,
+}
+
+/// One coalesced write: the concatenated frame bytes plus how many
+/// frames they contain (for the `frames_out` counter).
+struct Batch {
+    bytes: Vec<u8>,
+    frames: u64,
+}
+
+struct ConnWriter {
+    queue: Sender<Batch>,
+    /// Control handle used to shut the socket down on eviction; the
+    /// writer thread owns its own clone for writing.
+    control: TcpStream,
+}
+
+type WriterMap = Arc<Mutex<HashMap<ConnId, ConnWriter>>>;
+
+/// Cloneable handle that can snapshot a host's [`TcpStats`] even after
+/// the host moved into a server thread.
+#[derive(Clone)]
+pub struct TcpStatsHandle {
+    counters: Arc<Counters>,
+    writers: WriterMap,
+}
+
+impl std::fmt::Debug for TcpStatsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpStatsHandle").finish_non_exhaustive()
+    }
+}
+
+impl TcpStatsHandle {
+    /// Current counter values.
+    pub fn snapshot(&self) -> TcpStats {
+        let (active, deepest) = {
+            let writers = self.writers.lock();
+            let deepest = writers.values().map(|w| w.queue.len()).max().unwrap_or(0);
+            (writers.len(), deepest)
+        };
+        TcpStats {
+            frames_out: self.counters.frames_out.load(Ordering::Relaxed),
+            bytes_out: self.counters.bytes_out.load(Ordering::Relaxed),
+            frames_in: self.counters.frames_in.load(Ordering::Relaxed),
+            bytes_in: self.counters.bytes_in.load(Ordering::Relaxed),
+            coalesced_writes: self.counters.coalesced_writes.load(Ordering::Relaxed),
+            enqueue_full_waits: self.counters.enqueue_full_waits.load(Ordering::Relaxed),
+            slow_consumer_evictions: self.counters.slow_consumer_evictions.load(Ordering::Relaxed),
+            frames_dropped: self.counters.frames_dropped.load(Ordering::Relaxed),
+            active_connections: active,
+            max_queue_depth: deepest,
+        }
+    }
+}
+
+/// `Read` adapter that counts bytes into the shared stats.
+struct CountingReader<R> {
+    inner: R,
+    counters: Arc<Counters>,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.counters.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
 }
 
 /// Accepting side of the TCP transport (used by the COSOFT server).
 ///
 /// Each accepted connection gets a reader thread that decodes frames into
-/// the shared event channel; writes go through a per-connection mutex.
+/// the shared event channel and a writer thread that drains the
+/// connection's bounded outbound queue.
 pub struct TcpHost {
     local_addr: SocketAddr,
+    config: TcpHostConfig,
     events: Receiver<NetEvent>,
-    writers: Arc<Mutex<HashMap<ConnId, TcpStream>>>,
+    writers: WriterMap,
+    counters: Arc<Counters>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
 }
@@ -50,23 +187,65 @@ impl std::fmt::Debug for TcpHost {
     }
 }
 
+fn writer_loop(queue: Receiver<Batch>, mut stream: TcpStream, counters: Arc<Counters>) {
+    // An eviction or host drop closes the queue; drain-and-exit.
+    while let Ok(first) = queue.recv() {
+        let mut bytes = first.bytes;
+        let mut frames = first.frames;
+        let mut batches = 1u64;
+        // Coalesce everything already queued into one socket write.
+        while bytes.len() < 256 * 1024 {
+            match queue.try_recv() {
+                Ok(next) => {
+                    bytes.extend_from_slice(&next.bytes);
+                    frames += next.frames;
+                    batches += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        if stream.write_all(&bytes).is_err() {
+            // Wake the reader thread so Disconnected surfaces.
+            stream.shutdown(std::net::Shutdown::Both).ok();
+            break;
+        }
+        counters.frames_out.fetch_add(frames, Ordering::Relaxed);
+        counters.bytes_out.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        if batches > 1 {
+            counters.coalesced_writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 impl TcpHost {
     /// Binds a listener (use port 0 for an ephemeral port) and starts the
-    /// accept loop.
+    /// accept loop, with the default slow-consumer policy.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn bind(addr: &str) -> io::Result<TcpHost> {
+        TcpHost::bind_with_config(addr, TcpHostConfig::default())
+    }
+
+    /// Binds with an explicit queue/slow-consumer configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_with_config(addr: &str, config: TcpHostConfig) -> io::Result<TcpHost> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let (tx, rx) = unbounded();
-        let writers: Arc<Mutex<HashMap<ConnId, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let writers: WriterMap = Arc::new(Mutex::new(HashMap::new()));
+        let counters = Arc::new(Counters::default());
         let shutdown = Arc::new(AtomicBool::new(false));
         let next_id = Arc::new(AtomicU64::new(1));
 
         let accept_writers = writers.clone();
+        let accept_counters = counters.clone();
         let accept_shutdown = shutdown.clone();
+        let queue_capacity = config.queue_capacity.max(1);
         let accept_thread = std::thread::Builder::new()
             .name("cosoft-accept".into())
             .spawn(move || {
@@ -77,30 +256,43 @@ impl TcpHost {
                     let Ok(stream) = stream else { continue };
                     let id = ConnId(next_id.fetch_add(1, Ordering::SeqCst));
                     stream.set_nodelay(true).ok();
-                    let reader = match stream.try_clone() {
-                        Ok(r) => r,
-                        Err(_) => continue,
+                    let (reader, writer) = match (stream.try_clone(), stream.try_clone()) {
+                        (Ok(r), Ok(w)) => (r, w),
+                        _ => continue,
                     };
-                    accept_writers.lock().insert(id, stream);
+                    let (queue_tx, queue_rx) = bounded(queue_capacity);
+                    let writer_counters = accept_counters.clone();
+                    if std::thread::Builder::new()
+                        .name(format!("cosoft-writer-{}", id.0))
+                        .spawn(move || writer_loop(queue_rx, writer, writer_counters))
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    accept_writers
+                        .lock()
+                        .insert(id, ConnWriter { queue: queue_tx, control: stream });
                     if tx.send(NetEvent::Connected(id)).is_err() {
                         break;
                     }
                     let conn_tx = tx.clone();
                     let conn_writers = accept_writers.clone();
+                    let conn_counters = accept_counters.clone();
                     std::thread::Builder::new()
                         .name(format!("cosoft-conn-{}", id.0))
                         .spawn(move || {
-                            let mut reader = BufReader::new(reader);
-                            loop {
-                                match codec::read_frame(&mut reader) {
-                                    Ok(Some(msg)) => {
-                                        if conn_tx.send(NetEvent::Message(id, msg)).is_err() {
-                                            break;
-                                        }
-                                    }
-                                    Ok(None) | Err(_) => break,
+                            let mut reader = BufReader::new(CountingReader {
+                                inner: reader,
+                                counters: conn_counters.clone(),
+                            });
+                            while let Ok(Some(msg)) = codec::read_frame(&mut reader) {
+                                conn_counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                                if conn_tx.send(NetEvent::Message(id, msg)).is_err() {
+                                    break;
                                 }
                             }
+                            // Dropping the entry closes the writer queue,
+                            // so the writer thread drains and exits.
                             conn_writers.lock().remove(&id);
                             let _ = conn_tx.send(NetEvent::Disconnected(id));
                         })
@@ -109,7 +301,15 @@ impl TcpHost {
             })
             .expect("spawn accept thread");
 
-        Ok(TcpHost { local_addr, events: rx, writers, shutdown, accept_thread: Some(accept_thread) })
+        Ok(TcpHost {
+            local_addr,
+            config,
+            events: rx,
+            writers,
+            counters,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -117,31 +317,125 @@ impl TcpHost {
         self.local_addr
     }
 
+    /// The active queue/slow-consumer configuration.
+    pub fn config(&self) -> TcpHostConfig {
+        self.config
+    }
+
     /// Receiver of connection events.
     pub fn events(&self) -> &Receiver<NetEvent> {
         &self.events
     }
 
-    /// Sends a message to one connection.
+    /// Current transport counters.
+    pub fn stats(&self) -> TcpStats {
+        self.stats_handle().snapshot()
+    }
+
+    /// A cloneable handle that can snapshot [`TcpStats`] after the host
+    /// moved into a server thread.
+    pub fn stats_handle(&self) -> TcpStatsHandle {
+        TcpStatsHandle { counters: self.counters.clone(), writers: self.writers.clone() }
+    }
+
+    /// Queued (not yet written) outbound batches for one connection.
+    pub fn queue_depth(&self, conn: ConnId) -> Option<usize> {
+        self.writers.lock().get(&conn).map(|w| w.queue.len())
+    }
+
+    /// Sends a message to one connection by enqueueing it on the
+    /// connection's writer; does not block on the socket.
     ///
     /// # Errors
     ///
-    /// `NotConnected` if the connection is gone; otherwise propagates
-    /// socket write errors.
+    /// `NotConnected` if the connection is gone; `TimedOut` if the
+    /// connection's queue stayed full past the enqueue timeout (the
+    /// connection is then evicted as a slow consumer).
     pub fn send(&self, conn: ConnId, msg: &Message) -> io::Result<()> {
-        let frame = codec::frame_message(msg);
-        let mut writers = self.writers.lock();
-        match writers.get_mut(&conn) {
-            Some(stream) => stream.write_all(&frame),
-            None => Err(io::Error::new(io::ErrorKind::NotConnected, "connection closed")),
+        self.enqueue(conn, Batch { bytes: codec::frame_message(msg), frames: 1 })
+    }
+
+    /// Sends a whole server turn, coalescing all frames that target the
+    /// same connection into a single queued write. Returns the
+    /// connections that could not be delivered to (gone or evicted);
+    /// their reader threads surface [`NetEvent::Disconnected`].
+    pub fn send_batch(&self, outgoing: &[(ConnId, Message)]) -> Vec<ConnId> {
+        let mut order: Vec<ConnId> = Vec::new();
+        let mut per_conn: HashMap<ConnId, Batch> = HashMap::new();
+        for (conn, msg) in outgoing {
+            let batch = per_conn.entry(*conn).or_insert_with(|| {
+                order.push(*conn);
+                Batch { bytes: Vec::new(), frames: 0 }
+            });
+            batch.bytes.extend_from_slice(&codec::frame_message(msg));
+            batch.frames += 1;
+        }
+        let mut failed = Vec::new();
+        for conn in order {
+            let batch = per_conn.remove(&conn).expect("grouped above");
+            if self.enqueue(conn, batch).is_err() {
+                failed.push(conn);
+            }
+        }
+        failed
+    }
+
+    fn enqueue(&self, conn: ConnId, batch: Batch) -> io::Result<()> {
+        // Hold the map lock only to clone the queue handle: the actual
+        // enqueue (which may wait) happens outside, so a full queue on
+        // one connection never blocks sends to its peers.
+        let queue = match self.writers.lock().get(&conn) {
+            Some(w) => w.queue.clone(),
+            None => {
+                self.counters.frames_dropped.fetch_add(batch.frames, Ordering::Relaxed);
+                return Err(io::Error::new(io::ErrorKind::NotConnected, "connection closed"));
+            }
+        };
+        let frames = batch.frames;
+        let batch = match queue.try_send(batch) {
+            Ok(()) => return Ok(()),
+            Err(TrySendError::Disconnected(b)) => {
+                self.counters.frames_dropped.fetch_add(frames, Ordering::Relaxed);
+                drop(b);
+                return Err(io::Error::new(io::ErrorKind::NotConnected, "connection closed"));
+            }
+            Err(TrySendError::Full(b)) => b,
+        };
+        self.counters.enqueue_full_waits.fetch_add(1, Ordering::Relaxed);
+        match queue.send_timeout(batch, self.config.enqueue_timeout) {
+            Ok(()) => Ok(()),
+            Err(SendTimeoutError::Disconnected(_)) => {
+                self.counters.frames_dropped.fetch_add(frames, Ordering::Relaxed);
+                Err(io::Error::new(io::ErrorKind::NotConnected, "connection closed"))
+            }
+            Err(SendTimeoutError::Timeout(_)) => {
+                self.counters.frames_dropped.fetch_add(frames, Ordering::Relaxed);
+                self.evict_slow_consumer(conn);
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "slow consumer: outbound queue stayed full past the enqueue timeout",
+                ))
+            }
+        }
+    }
+
+    /// Forcibly disconnects a consumer whose queue stayed full. The
+    /// reader thread surfaces the [`NetEvent::Disconnected`].
+    fn evict_slow_consumer(&self, conn: ConnId) {
+        if let Some(w) = self.writers.lock().remove(&conn) {
+            self.counters.slow_consumer_evictions.fetch_add(1, Ordering::Relaxed);
+            // Dropping `w.queue` closes the writer's channel; shutting
+            // the socket down unblocks both the writer (mid-write) and
+            // the reader (which then reports the disconnect).
+            w.control.shutdown(std::net::Shutdown::Both).ok();
         }
     }
 
     /// Closes one connection; its reader thread will surface a
     /// [`NetEvent::Disconnected`].
     pub fn disconnect(&self, conn: ConnId) {
-        if let Some(stream) = self.writers.lock().remove(&conn) {
-            stream.shutdown(std::net::Shutdown::Both).ok();
+        if let Some(w) = self.writers.lock().remove(&conn) {
+            w.control.shutdown(std::net::Shutdown::Both).ok();
         }
     }
 }
@@ -149,10 +443,21 @@ impl TcpHost {
 impl Drop for TcpHost {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a dummy connection.
-        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(100));
-        for (_, stream) in self.writers.lock().drain() {
-            stream.shutdown(std::net::Shutdown::Both).ok();
+        // Unblock the accept loop with a dummy connection. A wildcard
+        // bind address (0.0.0.0 / ::) is not reliably connectable, so
+        // aim the wake-up at the loopback of the same family instead.
+        let wake_ip = if self.local_addr.ip().is_unspecified() {
+            match self.local_addr.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            }
+        } else {
+            self.local_addr.ip()
+        };
+        let wake_addr = SocketAddr::new(wake_ip, self.local_addr.port());
+        let _ = TcpStream::connect_timeout(&wake_addr, Duration::from_millis(100));
+        for (_, w) in self.writers.lock().drain() {
+            w.control.shutdown(std::net::Shutdown::Both).ok();
         }
         if let Some(h) = self.accept_thread.take() {
             h.join().ok();
@@ -242,9 +547,18 @@ impl Drop for TcpClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cosoft_wire::{InstanceId, UserId};
+    use cosoft_wire::{InstanceId, Target, UserId};
+    use std::time::Instant;
 
     const TIMEOUT: Duration = Duration::from_secs(5);
+
+    fn big_payload_msg(kb: usize) -> Message {
+        Message::CommandDelivery {
+            from: InstanceId(1),
+            command: "blob".into(),
+            payload: vec![0xA5; kb * 1024],
+        }
+    }
 
     #[test]
     fn round_trip_over_real_sockets() {
@@ -276,6 +590,12 @@ mod tests {
             Message::Welcome { instance } => assert_eq!(instance, InstanceId(3)),
             other => panic!("expected Welcome, got {other:?}"),
         }
+
+        let stats = host.stats();
+        assert_eq!(stats.frames_in, 1);
+        assert!(stats.bytes_in > 0);
+        assert!(stats.bytes_out > 0);
+        assert_eq!(stats.active_connections, 1);
     }
 
     #[test]
@@ -318,5 +638,168 @@ mod tests {
         got.sort();
         assert_eq!(got.len(), 2);
         assert_ne!(got[0].0, got[1].0);
+    }
+
+    #[test]
+    fn send_batch_coalesces_per_connection() {
+        let host = TcpHost::bind("127.0.0.1:0").unwrap();
+        let client = TcpClient::connect(host.local_addr()).unwrap();
+        let conn = match host.events().recv_timeout(TIMEOUT).unwrap() {
+            NetEvent::Connected(c) => c,
+            other => panic!("expected Connected, got {other:?}"),
+        };
+        let outgoing: Vec<(ConnId, Message)> =
+            (1..=5).map(|i| (conn, Message::Welcome { instance: InstanceId(i) })).collect();
+        let failed = host.send_batch(&outgoing);
+        assert!(failed.is_empty());
+        // All five frames arrive, in order.
+        for i in 1..=5 {
+            match client.recv_timeout(TIMEOUT).unwrap() {
+                Message::Welcome { instance } => assert_eq!(instance, InstanceId(i)),
+                other => panic!("expected Welcome, got {other:?}"),
+            }
+        }
+        assert_eq!(host.stats().frames_out, 5);
+    }
+
+    /// Tentpole regression: a stalled consumer (socket accepted, never
+    /// reading) must not delay delivery to a healthy peer.
+    #[test]
+    fn stalled_consumer_does_not_delay_healthy_peer() {
+        let config = TcpHostConfig { queue_capacity: 8, enqueue_timeout: Duration::from_secs(2) };
+        let host = TcpHost::bind_with_config("127.0.0.1:0", config).unwrap();
+
+        // Stalled client: raw socket that never reads.
+        let stalled_socket = std::net::TcpStream::connect(host.local_addr()).unwrap();
+        let stalled = match host.events().recv_timeout(TIMEOUT).unwrap() {
+            NetEvent::Connected(c) => c,
+            other => panic!("expected Connected, got {other:?}"),
+        };
+        let healthy_client = TcpClient::connect(host.local_addr()).unwrap();
+        let healthy = match host.events().recv_timeout(TIMEOUT).unwrap() {
+            NetEvent::Connected(c) => c,
+            other => panic!("expected Connected, got {other:?}"),
+        };
+
+        // Fill the stalled connection's socket buffer and part of its
+        // queue: big frames, writer thread blocks in write_all, sends
+        // keep succeeding as long as the queue has room.
+        let blob = big_payload_msg(256);
+        let mut queued = 0;
+        for _ in 0..config.queue_capacity {
+            if host.send(stalled, &blob).is_err() {
+                break;
+            }
+            queued += 1;
+        }
+        assert!(queued >= 2, "expected several sends to enqueue, got {queued}");
+
+        // A send to the healthy peer must neither block nor be delayed
+        // behind the stalled connection's backlog.
+        let t0 = Instant::now();
+        host.send(healthy, &Message::Welcome { instance: InstanceId(9) }).unwrap();
+        let enqueue_elapsed = t0.elapsed();
+        assert!(
+            enqueue_elapsed < Duration::from_millis(100),
+            "send to healthy peer took {enqueue_elapsed:?}"
+        );
+        match healthy_client.recv_timeout(TIMEOUT) {
+            Some(Message::Welcome { instance }) => assert_eq!(instance, InstanceId(9)),
+            other => panic!("healthy peer did not receive its message: {other:?}"),
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "delivery to healthy peer was delayed by the stalled consumer"
+        );
+        drop(stalled_socket);
+    }
+
+    /// Tentpole regression: a consumer whose queue stays full past the
+    /// enqueue timeout is evicted and surfaced as Disconnected.
+    #[test]
+    fn slow_consumer_is_evicted() {
+        let config =
+            TcpHostConfig { queue_capacity: 2, enqueue_timeout: Duration::from_millis(100) };
+        let host = TcpHost::bind_with_config("127.0.0.1:0", config).unwrap();
+        let stalled_socket = std::net::TcpStream::connect(host.local_addr()).unwrap();
+        let stalled = match host.events().recv_timeout(TIMEOUT).unwrap() {
+            NetEvent::Connected(c) => c,
+            other => panic!("expected Connected, got {other:?}"),
+        };
+
+        let blob = big_payload_msg(512);
+        let mut evicted = false;
+        for _ in 0..64 {
+            match host.send(stalled, &blob) {
+                Ok(()) => continue,
+                Err(e) => {
+                    assert_eq!(e.kind(), io::ErrorKind::TimedOut, "unexpected error: {e}");
+                    evicted = true;
+                    break;
+                }
+            }
+        }
+        assert!(evicted, "slow consumer was never evicted");
+        match host.events().recv_timeout(TIMEOUT).unwrap() {
+            NetEvent::Disconnected(c) => assert_eq!(c, stalled),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+        let stats = host.stats();
+        assert_eq!(stats.slow_consumer_evictions, 1);
+        assert!(stats.enqueue_full_waits >= 1);
+        assert_eq!(stats.active_connections, 0);
+        // Further sends fail fast with NotConnected.
+        let err = host.send(stalled, &Message::QueryInstances).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotConnected);
+        drop(stalled_socket);
+    }
+
+    /// Shutdown regression: a host bound to the wildcard address must
+    /// still be able to wake (and join) its accept loop on drop.
+    #[test]
+    fn drop_unblocks_accept_loop_on_wildcard_bind() {
+        let host = TcpHost::bind("0.0.0.0:0").unwrap();
+        let t0 = Instant::now();
+        drop(host);
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "dropping a wildcard-bound host hung for {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn send_batch_reports_dead_connections() {
+        let host = TcpHost::bind("127.0.0.1:0").unwrap();
+        let client = TcpClient::connect(host.local_addr()).unwrap();
+        let conn = match host.events().recv_timeout(TIMEOUT).unwrap() {
+            NetEvent::Connected(c) => c,
+            other => panic!("expected Connected, got {other:?}"),
+        };
+        client.close();
+        match host.events().recv_timeout(TIMEOUT).unwrap() {
+            NetEvent::Disconnected(c) => assert_eq!(c, conn),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+        let failed = host.send_batch(&[
+            (
+                conn,
+                Message::CommandDelivery {
+                    from: InstanceId(1),
+                    command: "x".into(),
+                    payload: Vec::new(),
+                },
+            ),
+            (
+                conn,
+                Message::CoSendCommand {
+                    to: Target::Broadcast,
+                    command: "y".into(),
+                    payload: Vec::new(),
+                },
+            ),
+        ]);
+        assert_eq!(failed, vec![conn]);
+        assert_eq!(host.stats().frames_dropped, 2);
     }
 }

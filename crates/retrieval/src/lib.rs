@@ -208,10 +208,7 @@ impl Table {
     /// [`DbError::ArityMismatch`] or [`DbError::TypeMismatch`].
     pub fn insert(&mut self, row: Vec<Value>) -> Result<(), DbError> {
         if row.len() != self.columns.len() {
-            return Err(DbError::ArityMismatch {
-                expected: self.columns.len(),
-                actual: row.len(),
-            });
+            return Err(DbError::ArityMismatch { expected: self.columns.len(), actual: row.len() });
         }
         for ((name, ty), field) in self.columns.iter().zip(&row) {
             if field.column_type() != *ty {
@@ -279,10 +276,7 @@ impl Predicate {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Predicate::LikeOneOf(
-            column.to_owned(),
-            alternatives.into_iter().map(Into::into).collect(),
-        )
+        Predicate::LikeOneOf(column.to_owned(), alternatives.into_iter().map(Into::into).collect())
     }
 
     /// Parses an operator name as shown in a TORI operator menu plus its
@@ -468,12 +462,9 @@ impl Query {
                 }
                 v
             }
-            None => table
-                .column_names()
-                .iter()
-                .enumerate()
-                .map(|(i, n)| ((*n).to_owned(), i))
-                .collect(),
+            None => {
+                table.column_names().iter().enumerate().map(|(i, n)| ((*n).to_owned(), i)).collect()
+            }
         };
         let predicate = self.predicate.clone().unwrap_or(Predicate::True);
         let mut rows = Vec::new();
@@ -524,7 +515,15 @@ impl ResultSet {
 /// deterministically from `seed`.
 pub fn sample_literature_db(seed: u64, n: usize) -> Table {
     let authors = [
-        "Zhao", "Hoppe", "Stefik", "Ellis", "Gibbs", "Rein", "Patterson", "Dewan", "Greenberg",
+        "Zhao",
+        "Hoppe",
+        "Stefik",
+        "Ellis",
+        "Gibbs",
+        "Rein",
+        "Patterson",
+        "Dewan",
+        "Greenberg",
         "Lauwers",
     ];
     let topics = [
@@ -633,10 +632,8 @@ mod tests {
     #[test]
     fn prefix_and_eq() {
         let t = db();
-        let r = Query::new()
-            .filter(Predicate::Prefix("title".into(), "class".into()))
-            .run(&t)
-            .unwrap();
+        let r =
+            Query::new().filter(Predicate::Prefix("title".into(), "class".into())).run(&t).unwrap();
         assert_eq!(r.len(), 1);
         let r = Query::new().filter(Predicate::eq("year", Value::Int(1990))).run(&t).unwrap();
         assert_eq!(r.len(), 1);
@@ -656,11 +653,9 @@ mod tests {
     #[test]
     fn range_on_int_column() {
         let t = db();
-        let r =
-            Query::new().filter(Predicate::Range("year".into(), 1990, 1993)).run(&t).unwrap();
+        let r = Query::new().filter(Predicate::Range("year".into(), 1990, 1993)).run(&t).unwrap();
         assert_eq!(r.len(), 2);
-        let err =
-            Query::new().filter(Predicate::Range("author".into(), 0, 1)).run(&t).unwrap_err();
+        let err = Query::new().filter(Predicate::Range("author".into(), 0, 1)).run(&t).unwrap_err();
         assert!(matches!(err, DbError::PredicateType { .. }));
     }
 

@@ -46,9 +46,7 @@ fn reference_matches(p: &Predicate, name: &str, num: i64) -> bool {
             ("num", Value::Int(i)) => num == *i,
             _ => false,
         },
-        Predicate::Substring(_, needle) => {
-            name.to_lowercase().contains(&needle.to_lowercase())
-        }
+        Predicate::Substring(_, needle) => name.to_lowercase().contains(&needle.to_lowercase()),
         Predicate::Prefix(_, prefix) => name.to_lowercase().starts_with(&prefix.to_lowercase()),
         Predicate::LikeOneOf(col, alts) => {
             let cell = if col == "name" { name.to_lowercase() } else { num.to_string() };

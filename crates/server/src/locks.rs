@@ -16,9 +16,15 @@ pub type ExecId = u64;
 /// equivalent (no interleaving can occur between check and lock) and
 /// avoids the rollback traffic. The rollback path the paper describes
 /// survives at the protocol level as `EventRejected`.
+///
+/// Besides the object → holder map, the table keeps an `ExecId` →
+/// objects reverse index so releasing an exec's locks is O(group size)
+/// instead of a scan over every held lock in the server.
 #[derive(Debug, Clone, Default)]
 pub struct LockTable {
     held: HashMap<GlobalObjectId, ExecId>,
+    /// Reverse index: the objects each exec holds, in lock order.
+    by_exec: HashMap<ExecId, Vec<GlobalObjectId>>,
 }
 
 impl LockTable {
@@ -49,19 +55,19 @@ impl LockTable {
             }
         }
         for o in group {
-            self.held.insert(o.clone(), exec);
+            // Re-locking by the same exec is idempotent; only newly
+            // acquired objects enter the reverse index.
+            if self.held.insert(o.clone(), exec).is_none() {
+                self.by_exec.entry(exec).or_default().push(o.clone());
+            }
         }
         Ok(())
     }
 
     /// Releases every lock held by `exec`, returning the released objects.
+    /// O(number of objects the exec holds), via the reverse index.
     pub fn unlock_exec(&mut self, exec: ExecId) -> Vec<GlobalObjectId> {
-        let released: Vec<GlobalObjectId> = self
-            .held
-            .iter()
-            .filter(|(_, &e)| e == exec)
-            .map(|(o, _)| o.clone())
-            .collect();
+        let released = self.by_exec.remove(&exec).unwrap_or_default();
         for o in &released {
             self.held.remove(o);
         }
@@ -71,7 +77,14 @@ impl LockTable {
     /// Releases one object's lock regardless of holder (used when an
     /// object is destroyed mid-execution).
     pub fn force_unlock(&mut self, object: &GlobalObjectId) -> Option<ExecId> {
-        self.held.remove(object)
+        let exec = self.held.remove(object)?;
+        if let Some(objs) = self.by_exec.get_mut(&exec) {
+            objs.retain(|o| o != object);
+            if objs.is_empty() {
+                self.by_exec.remove(&exec);
+            }
+        }
+        Some(exec)
     }
 
     /// Whether `object` is currently locked.
@@ -93,6 +106,22 @@ impl LockTable {
     pub fn is_empty(&self) -> bool {
         self.held.is_empty()
     }
+
+    /// Checks that the reverse index and the holder map describe the
+    /// same relation (test support).
+    #[doc(hidden)]
+    pub fn assert_index_consistent(&self) {
+        let mut from_index: Vec<(GlobalObjectId, ExecId)> = self
+            .by_exec
+            .iter()
+            .flat_map(|(e, objs)| objs.iter().map(move |o| (o.clone(), *e)))
+            .collect();
+        let mut from_held: Vec<(GlobalObjectId, ExecId)> =
+            self.held.iter().map(|(o, e)| (o.clone(), *e)).collect();
+        from_index.sort();
+        from_held.sort();
+        assert_eq!(from_index, from_held, "lock table reverse index diverged from the holder map");
+    }
 }
 
 #[cfg(test)]
@@ -104,11 +133,32 @@ mod tests {
         GlobalObjectId::new(InstanceId(i), ObjectPath::parse(p).unwrap())
     }
 
+    /// Releases `exec`'s locks via the pre-index algorithm (scan every
+    /// held lock); the reverse index must be observably equivalent.
+    fn unlock_exec_by_scan(t: &LockTable, exec: ExecId) -> Vec<GlobalObjectId> {
+        let mut released: Vec<GlobalObjectId> =
+            t.held.iter().filter(|(_, &e)| e == exec).map(|(o, _)| o.clone()).collect();
+        released.sort();
+        released
+    }
+
+    /// Asserts that unlocking `exec` releases exactly what a full scan
+    /// would have, then performs the unlock.
+    fn checked_unlock(t: &mut LockTable, exec: ExecId) -> Vec<GlobalObjectId> {
+        let expected = unlock_exec_by_scan(t, exec);
+        let mut released = t.unlock_exec(exec);
+        released.sort();
+        assert_eq!(released, expected, "indexed unlock diverged from scan");
+        t.assert_index_consistent();
+        released
+    }
+
     #[test]
     fn lock_then_conflict_then_unlock() {
         let mut t = LockTable::new();
         let group = vec![gid(1, "a"), gid(2, "b")];
         t.try_lock_group(&group, 1).unwrap();
+        t.assert_index_consistent();
         assert!(t.is_locked(&gid(1, "a")));
         assert_eq!(t.holder(&gid(2, "b")), Some(1));
 
@@ -117,13 +167,14 @@ mod tests {
         assert_eq!(err, gid(2, "b"));
         // Atomicity: the non-conflicting member was NOT locked.
         assert!(!t.is_locked(&gid(3, "c")));
+        t.assert_index_consistent();
 
-        let mut released = t.unlock_exec(1);
-        released.sort();
+        let released = checked_unlock(&mut t, 1);
         assert_eq!(released, group);
         assert!(t.is_empty());
         // Now exec 2 can proceed.
         t.try_lock_group(&[gid(2, "b"), gid(3, "c")], 2).unwrap();
+        t.assert_index_consistent();
     }
 
     #[test]
@@ -131,8 +182,9 @@ mod tests {
         let mut t = LockTable::new();
         t.try_lock_group(&[gid(1, "a")], 7).unwrap();
         t.try_lock_group(&[gid(1, "a"), gid(1, "b")], 7).unwrap();
+        t.assert_index_consistent();
         assert_eq!(t.len(), 2);
-        assert_eq!(t.unlock_exec(7).len(), 2);
+        assert_eq!(checked_unlock(&mut t, 7).len(), 2);
     }
 
     #[test]
@@ -140,9 +192,13 @@ mod tests {
         let mut t = LockTable::new();
         t.try_lock_group(&[gid(1, "a"), gid(1, "b")], 3).unwrap();
         assert_eq!(t.force_unlock(&gid(1, "a")), Some(3));
+        t.assert_index_consistent();
         assert!(!t.is_locked(&gid(1, "a")));
         assert!(t.is_locked(&gid(1, "b")));
         assert_eq!(t.force_unlock(&gid(1, "a")), None);
+        // The indexed unlock of the remainder matches a scan.
+        assert_eq!(checked_unlock(&mut t, 3), vec![gid(1, "b")]);
+        assert!(t.is_empty());
     }
 
     #[test]
@@ -150,6 +206,8 @@ mod tests {
         let mut t = LockTable::new();
         t.try_lock_group(&[], 1).unwrap();
         assert!(t.is_empty());
+        t.assert_index_consistent();
+        assert!(t.unlock_exec(1).is_empty());
     }
 
     #[test]
@@ -157,8 +215,29 @@ mod tests {
         let mut t = LockTable::new();
         t.try_lock_group(&[gid(1, "a")], 1).unwrap();
         t.try_lock_group(&[gid(2, "a")], 2).unwrap();
+        t.assert_index_consistent();
         assert_eq!(t.len(), 2);
-        assert_eq!(t.unlock_exec(1), vec![gid(1, "a")]);
-        assert_eq!(t.unlock_exec(2), vec![gid(2, "a")]);
+        assert_eq!(checked_unlock(&mut t, 1), vec![gid(1, "a")]);
+        assert_eq!(checked_unlock(&mut t, 2), vec![gid(2, "a")]);
+    }
+
+    #[test]
+    fn unlock_of_unknown_exec_is_empty_and_leaves_index_clean() {
+        let mut t = LockTable::new();
+        t.try_lock_group(&[gid(1, "a")], 1).unwrap();
+        assert!(t.unlock_exec(99).is_empty());
+        t.assert_index_consistent();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn force_unlock_whole_group_empties_index() {
+        let mut t = LockTable::new();
+        t.try_lock_group(&[gid(1, "a"), gid(1, "b")], 5).unwrap();
+        t.force_unlock(&gid(1, "a"));
+        t.force_unlock(&gid(1, "b"));
+        t.assert_index_consistent();
+        assert!(t.is_empty());
+        assert!(t.unlock_exec(5).is_empty());
     }
 }

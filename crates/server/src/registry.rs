@@ -29,10 +29,21 @@ impl<E: Copy + Eq + std::hash::Hash> Registry<E> {
 
     /// Registers a new instance reachable at `endpoint`, assigning a fresh
     /// [`InstanceId`].
-    pub fn register(&mut self, endpoint: E, user: UserId, host: &str, app_name: &str) -> InstanceId {
+    pub fn register(
+        &mut self,
+        endpoint: E,
+        user: UserId,
+        host: &str,
+        app_name: &str,
+    ) -> InstanceId {
         let id = InstanceId(self.next);
         self.next += 1;
-        let info = InstanceInfo { instance: id, user, host: host.to_owned(), app_name: app_name.to_owned() };
+        let info = InstanceInfo {
+            instance: id,
+            user,
+            host: host.to_owned(),
+            app_name: app_name.to_owned(),
+        };
         self.by_instance.insert(id, (info, endpoint));
         self.by_endpoint.insert(endpoint, id);
         id

@@ -66,8 +66,51 @@ struct ExecState {
     owed: HashMap<InstanceId, usize>,
 }
 
+/// A pull-mode transfer waiting for the source's `StateReply`. Records
+/// *both* ends: the destination (so destination death fails the leg) and
+/// the source (so a source dying before it replies fails the leg too,
+/// instead of leaving the transfer group outstanding forever).
+#[derive(Debug, Clone)]
+struct PendingPull {
+    src: InstanceId,
+    dst: GlobalObjectId,
+    mode: CopyMode,
+    group: u64,
+}
+
 /// Outgoing messages produced by one [`ServerCore::handle`] call.
 pub type Outgoing<E> = Vec<(E, Message)>;
+
+/// Snapshot of the server's observability counters: floor control,
+/// locking, broadcast fan-out, and state-transfer liveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Events granted by floor control.
+    pub events_granted: u64,
+    /// Events rejected (permission or lock conflict).
+    pub events_rejected: u64,
+    /// Rejections caused specifically by a lock conflict.
+    pub lock_conflicts: u64,
+    /// `PermissionDenied` replies sent.
+    pub permission_denials: u64,
+    /// Total messages produced for delivery.
+    pub messages_out: u64,
+    /// Largest fan-out produced by a single incoming message.
+    pub max_fanout: usize,
+    /// State-transfer groups started (copies, undos, redos).
+    pub transfers_started: u64,
+    /// Transfer groups that completed successfully.
+    pub transfers_completed: u64,
+    /// Transfer groups that finished with an error (including peers
+    /// dying mid-transfer).
+    pub transfers_failed: u64,
+    /// Currently registered instances.
+    pub registered_instances: usize,
+    /// Transfer groups still in flight.
+    pub live_transfer_groups: usize,
+    /// Locks currently held.
+    pub held_locks: usize,
+}
 
 /// The sans-I/O COSOFT server state machine.
 #[derive(Debug)]
@@ -83,13 +126,24 @@ pub struct ServerCore<E> {
     transfers: HashMap<u64, Transfer>,
     transfer_groups: HashMap<u64, TransferGroup>,
     next_transfer_group: u64,
-    /// Pull-mode transfers awaiting a `StateReply`: destination + mode +
-    /// the owning transfer group.
-    pending_pulls: HashMap<u64, (GlobalObjectId, CopyMode, u64)>,
+    /// Pull-mode transfers awaiting a `StateReply`.
+    pending_pulls: HashMap<u64, PendingPull>,
     /// Floor-control rejections served so far (benchmark metric).
     rejected_events: u64,
     /// Events granted so far (benchmark metric).
     granted_events: u64,
+    /// Rejections caused by a lock conflict (subset of `rejected_events`).
+    lock_conflicts: u64,
+    /// `PermissionDenied` replies sent.
+    permission_denials: u64,
+    /// Total messages produced for delivery.
+    messages_out: u64,
+    /// Largest fan-out of a single incoming message.
+    max_fanout: usize,
+    /// Transfer groups started / completed / failed.
+    transfers_started: u64,
+    transfers_completed: u64,
+    transfers_failed: u64,
 }
 
 impl<E: Copy + Eq + Hash> Default for ServerCore<E> {
@@ -116,6 +170,13 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             pending_pulls: HashMap::new(),
             rejected_events: 0,
             granted_events: 0,
+            lock_conflicts: 0,
+            permission_denials: 0,
+            messages_out: 0,
+            max_fanout: 0,
+            transfers_started: 0,
+            transfers_completed: 0,
+            transfers_failed: 0,
         }
     }
 
@@ -156,6 +217,33 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         self.granted_events
     }
 
+    /// Snapshot of the server's observability counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            events_granted: self.granted_events,
+            events_rejected: self.rejected_events,
+            lock_conflicts: self.lock_conflicts,
+            permission_denials: self.permission_denials,
+            messages_out: self.messages_out,
+            max_fanout: self.max_fanout,
+            transfers_started: self.transfers_started,
+            transfers_completed: self.transfers_completed,
+            transfers_failed: self.transfers_failed,
+            registered_instances: self.registry.all().len(),
+            live_transfer_groups: self.transfer_groups.len(),
+            held_locks: self.locks.len(),
+        }
+    }
+
+    /// Accounts one incoming message's outgoing batch.
+    fn note_outgoing(&mut self, out: &Outgoing<E>) {
+        self.messages_out += out.len() as u64;
+        self.max_fanout = self.max_fanout.max(out.len());
+        self.permission_denials +=
+            out.iter().filter(|(_, m)| matches!(m, Message::PermissionDenied { .. })).count()
+                as u64;
+    }
+
     /// Effective right of `user` on `object`: the object's owner always
     /// has write access; otherwise the permission table decides.
     fn right_of(&self, user: UserId, object: &GlobalObjectId) -> AccessRight {
@@ -175,10 +263,12 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
     /// graceful `Deregister` (§3.2: decoupling "is applied automatically
     /// when ... an application instance terminates").
     pub fn disconnect(&mut self, endpoint: E) -> Outgoing<E> {
-        match self.registry.instance_at(endpoint) {
+        let out = match self.registry.instance_at(endpoint) {
             Some(id) => self.deregister_instance(id),
             None => Vec::new(),
-        }
+        };
+        self.note_outgoing(&out);
+        out
     }
 
     /// Processes one message from `endpoint`, returning the messages to
@@ -187,18 +277,24 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         // Registration is the only message legal before a Welcome.
         if let Message::Register { user, host, app_name } = &msg {
             let id = self.registry.register(endpoint, *user, host, app_name);
-            return vec![(endpoint, Message::Welcome { instance: id })];
+            let out = vec![(endpoint, Message::Welcome { instance: id })];
+            self.note_outgoing(&out);
+            return out;
         }
         let Some(from) = self.registry.instance_at(endpoint) else {
-            return vec![(
+            let out = vec![(
                 endpoint,
                 Message::ErrorReply {
                     context: msg.kind_name().to_owned(),
                     reason: "endpoint is not registered".to_owned(),
                 },
             )];
+            self.note_outgoing(&out);
+            return out;
         };
-        self.handle_registered(from, msg)
+        let out = self.handle_registered(from, msg);
+        self.note_outgoing(&out);
+        out
     }
 
     fn handle_registered(&mut self, from: InstanceId, msg: Message) -> Outgoing<E> {
@@ -251,11 +347,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
                             );
                         }
                     }
-                    self.to_instance(
-                        from,
-                        Message::CoupleUpdate { group: vec![object] },
-                        &mut out,
-                    );
+                    self.to_instance(from, Message::CoupleUpdate { group: vec![object] }, &mut out);
                 }
             }
             Message::Event { origin, event, seq } => {
@@ -336,7 +428,11 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
     ) -> Outgoing<E> {
         let mut out = Vec::new();
         if let Err(reason) = self.check_objects_exist(&[&src, &dst]) {
-            self.to_instance(from, Message::ErrorReply { context: "couple".into(), reason }, &mut out);
+            self.to_instance(
+                from,
+                Message::ErrorReply { context: "couple".into(), reason },
+                &mut out,
+            );
             return out;
         }
         let user = self.registry.user_of(from).expect("registered");
@@ -418,6 +514,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         let exec_id = self.next_exec;
         if self.locks.try_lock_group(&group, exec_id).is_err() {
             self.rejected_events += 1;
+            self.lock_conflicts += 1;
             self.to_instance(from, Message::EventRejected { seq }, &mut out);
             return out;
         }
@@ -489,7 +586,11 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
     ) -> Outgoing<E> {
         let mut out = Vec::new();
         if let Err(reason) = self.check_objects_exist(&[&src, &dst]) {
-            self.to_instance(from, Message::ErrorReply { context: "copy".into(), reason }, &mut out);
+            self.to_instance(
+                from,
+                Message::ErrorReply { context: "copy".into(), reason },
+                &mut out,
+            );
             return out;
         }
         let user = self.registry.user_of(from).expect("registered");
@@ -511,6 +612,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         }
         let group_id = self.next_transfer_group;
         self.next_transfer_group += 1;
+        self.transfers_started += 1;
         self.transfer_groups.insert(
             group_id,
             TransferGroup { requester: from, client_req, outstanding: 0, failed: None },
@@ -524,7 +626,8 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             None => {
                 let req_id = self.next_transfer;
                 self.next_transfer += 1;
-                self.pending_pulls.insert(req_id, (dst, mode, group_id));
+                self.pending_pulls
+                    .insert(req_id, PendingPull { src: src.instance, dst, mode, group: group_id });
                 self.transfer_groups.get_mut(&group_id).expect("just inserted").outstanding += 1;
                 self.to_instance(
                     src.instance,
@@ -575,7 +678,9 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         snapshot: Option<cosoft_wire::StateNode>,
     ) -> Outgoing<E> {
         let mut out = Vec::new();
-        let Some((dst, mode, group_id)) = self.pending_pulls.remove(&req_id) else {
+        let Some(PendingPull { dst, mode, group: group_id, .. }) =
+            self.pending_pulls.remove(&req_id)
+        else {
             return out;
         };
         if let Some(g) = self.transfer_groups.get_mut(&group_id) {
@@ -597,26 +702,28 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
     }
 
     fn maybe_finish_group(&mut self, group_id: u64, out: &mut Outgoing<E>) {
-        let done = self
-            .transfer_groups
-            .get(&group_id)
-            .map(|g| g.outstanding == 0)
-            .unwrap_or(false);
+        let done = self.transfer_groups.get(&group_id).map(|g| g.outstanding == 0).unwrap_or(false);
         if !done {
             return;
         }
         let g = self.transfer_groups.remove(&group_id).expect("present");
         match g.failed {
-            Some(reason) => self.to_instance(
-                g.requester,
-                Message::ErrorReply { context: "copy".into(), reason },
-                out,
-            ),
-            None => self.to_instance(
-                g.requester,
-                Message::StateApplied { req_id: g.client_req, overwritten: None, error: None },
-                out,
-            ),
+            Some(reason) => {
+                self.transfers_failed += 1;
+                self.to_instance(
+                    g.requester,
+                    Message::ErrorReply { context: "copy".into(), reason },
+                    out,
+                );
+            }
+            None => {
+                self.transfers_completed += 1;
+                self.to_instance(
+                    g.requester,
+                    Message::StateApplied { req_id: g.client_req, overwritten: None, error: None },
+                    out,
+                );
+            }
         }
     }
 
@@ -681,6 +788,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         };
         let group_id = self.next_transfer_group;
         self.next_transfer_group += 1;
+        self.transfers_started += 1;
         self.transfer_groups.insert(
             group_id,
             TransferGroup { requester: from, client_req: 0, outstanding: 0, failed: None },
@@ -701,12 +809,11 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         payload: Vec<u8>,
     ) -> Outgoing<E> {
         let mut out = Vec::new();
-        let delivery =
-            |command: &str, payload: &[u8]| Message::CommandDelivery {
-                from,
-                command: command.to_owned(),
-                payload: payload.to_vec(),
-            };
+        let delivery = |command: &str, payload: &[u8]| Message::CommandDelivery {
+            from,
+            command: command.to_owned(),
+            payload: payload.to_vec(),
+        };
         match to {
             Target::Instance(i) => {
                 if self.registry.contains(i) {
@@ -776,12 +883,8 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             }
         }
         // Fail transfer legs touching the dead instance.
-        let dead_legs: Vec<u64> = self
-            .transfers
-            .iter()
-            .filter(|(_, t)| t.dst.instance == id)
-            .map(|(k, _)| *k)
-            .collect();
+        let dead_legs: Vec<u64> =
+            self.transfers.iter().filter(|(_, t)| t.dst.instance == id).map(|(k, _)| *k).collect();
         for req_id in dead_legs {
             let t = self.transfers.remove(&req_id).expect("present");
             if let Some(g) = self.transfer_groups.get_mut(&t.group) {
@@ -790,22 +893,33 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             }
             self.maybe_finish_group(t.group, &mut out);
         }
+        // A pull leg dies with either end: the destination can no longer
+        // apply, and a source that dies before its `StateReply` would
+        // otherwise leave the transfer group outstanding forever (the
+        // requester would never see completion).
         let dead_pulls: Vec<u64> = self
             .pending_pulls
             .iter()
-            .filter(|(_, (dst, _, _))| dst.instance == id)
+            .filter(|(_, pull)| pull.dst.instance == id || pull.src == id)
             .map(|(k, _)| *k)
             .collect();
         for req_id in dead_pulls {
-            let (_, _, group_id) = self.pending_pulls.remove(&req_id).expect("present");
-            if let Some(g) = self.transfer_groups.get_mut(&group_id) {
+            let pull = self.pending_pulls.remove(&req_id).expect("present");
+            if let Some(g) = self.transfer_groups.get_mut(&pull.group) {
                 g.outstanding -= 1;
-                g.failed = Some("peer instance terminated".into());
+                g.failed = Some(if pull.src == id {
+                    "source instance terminated before replying".into()
+                } else {
+                    "peer instance terminated".into()
+                });
             }
-            self.maybe_finish_group(group_id, &mut out);
+            self.maybe_finish_group(pull.group, &mut out);
         }
-        // Groups whose requester died just evaporate.
+        // Groups whose requester died just evaporate (there is no one
+        // left to answer); they still count as failed transfers.
+        let before = self.transfer_groups.len();
         self.transfer_groups.retain(|_, g| g.requester != id);
+        self.transfers_failed += (before - self.transfer_groups.len()) as u64;
         self.registry.deregister(id);
         out
     }

@@ -13,7 +13,11 @@ type Endpoint = u64;
 fn register(server: &mut ServerCore<Endpoint>, endpoint: Endpoint, user: u64) -> InstanceId {
     let out = server.handle(
         endpoint,
-        Message::Register { user: UserId(user), host: format!("ws{endpoint}"), app_name: "app".into() },
+        Message::Register {
+            user: UserId(user),
+            host: format!("ws{endpoint}"),
+            app_name: "app".into(),
+        },
     );
     assert_eq!(out.len(), 1);
     assert_eq!(out[0].0, endpoint);
@@ -198,7 +202,12 @@ fn copy_from_pulls_state_and_records_history() {
     // Instance a pulls the state of b's query form into its own form.
     let out = s.handle(
         1,
-        Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 77 },
+        Message::CopyFrom {
+            src: gid(b, "q"),
+            dst: gid(a, "q"),
+            mode: CopyMode::Strict,
+            req_id: 77,
+        },
     );
     let req_id = match find(&out, 2, "state-request") {
         Message::StateRequest { req_id, path } => {
@@ -264,7 +273,12 @@ fn missing_source_fails_the_copy() {
     let b = register(&mut s, 2, 2);
     let out = s.handle(
         1,
-        Message::CopyFrom { src: gid(b, "nope"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 1 },
+        Message::CopyFrom {
+            src: gid(b, "nope"),
+            dst: gid(a, "q"),
+            mode: CopyMode::Strict,
+            req_id: 1,
+        },
     );
     let req_id = match find(&out, 2, "state-request") {
         Message::StateRequest { req_id, .. } => *req_id,
@@ -280,13 +294,21 @@ fn undo_restores_and_redo_reapplies() {
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
 
-    let v1 = StateNode::new(WidgetKind::Label, "l").with_attr(AttrName::Text, Value::Text("v1".into()));
-    let v2 = StateNode::new(WidgetKind::Label, "l").with_attr(AttrName::Text, Value::Text("v2".into()));
+    let v1 =
+        StateNode::new(WidgetKind::Label, "l").with_attr(AttrName::Text, Value::Text("v1".into()));
+    let v2 =
+        StateNode::new(WidgetKind::Label, "l").with_attr(AttrName::Text, Value::Text("v2".into()));
 
     // Push v2 onto b, overwriting v1.
     let out = s.handle(
         1,
-        Message::CopyTo { src: gid(a, "l"), dst: gid(b, "l"), snapshot: v2.clone(), mode: CopyMode::Strict, req_id: 1 },
+        Message::CopyTo {
+            src: gid(a, "l"),
+            dst: gid(b, "l"),
+            snapshot: v2.clone(),
+            mode: CopyMode::Strict,
+            req_id: 1,
+        },
     );
     let req_id = match find(&out, 2, "apply-state") {
         Message::ApplyState { req_id, .. } => *req_id,
@@ -338,7 +360,10 @@ fn permissions_deny_copy_and_couple() {
     assert!(matches!(find(&out, 1, "permission-denied"), Message::PermissionDenied { .. }));
 
     // b grants read on its form; copy then passes permission checks.
-    s.handle(2, Message::SetPermission { user: UserId(1), object: gid(b, "q"), right: AccessRight::Read });
+    s.handle(
+        2,
+        Message::SetPermission { user: UserId(1), object: gid(b, "q"), right: AccessRight::Read },
+    );
     let out = s.handle(
         1,
         Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 2 },
@@ -373,7 +398,11 @@ fn co_send_command_routes_by_target() {
     // Direct.
     let out = s.handle(
         1,
-        Message::CoSendCommand { to: Target::Instance(b), command: "ping".into(), payload: vec![1] },
+        Message::CoSendCommand {
+            to: Target::Instance(b),
+            command: "ping".into(),
+            payload: vec![1],
+        },
     );
     match find(&out, 2, "command-delivery") {
         Message::CommandDelivery { from, command, payload } => {
@@ -429,7 +458,10 @@ fn deregister_auto_decouples_and_notifies_survivors() {
     let out = s.handle(2, Message::Deregister);
     // a and c each learn their group shrank.
     assert!(count_kind(&out, "couple-update") >= 2);
-    assert!(!s.couples().is_coupled(&gid(a, "x")) || s.couples().coupled_with(&gid(a, "x")).iter().all(|g| g.instance != b));
+    assert!(
+        !s.couples().is_coupled(&gid(a, "x"))
+            || s.couples().coupled_with(&gid(a, "x")).iter().all(|g| g.instance != b)
+    );
     assert!(s.registry().info(b).is_none());
 }
 
@@ -480,4 +512,87 @@ fn server_to_client_kinds_are_rejected_as_misuse() {
     let _a = register(&mut s, 1, 1);
     let out = s.handle(1, Message::Welcome { instance: InstanceId(9) });
     assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
+}
+
+/// Liveness regression: a `CopyFrom` whose *source* dies before sending
+/// its `StateReply` must fail the transfer back to the requester instead
+/// of leaving the transfer group outstanding forever.
+#[test]
+fn copy_from_source_death_fails_transfer() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+
+    // a pulls state from b's object; the server asks b for a snapshot.
+    let out = s.handle(
+        1,
+        Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 9 },
+    );
+    assert!(matches!(find(&out, 2, "state-request"), Message::StateRequest { .. }));
+    assert_eq!(s.stats().live_transfer_groups, 1);
+
+    // b (the source) dies before replying.
+    let out = s.disconnect(2);
+    match find(&out, 1, "error-reply") {
+        Message::ErrorReply { context, reason } => {
+            assert_eq!(context, "copy");
+            assert!(reason.contains("source"), "reason should name the source: {reason}");
+        }
+        _ => unreachable!(),
+    }
+    // The transfer group is settled, not leaked.
+    assert_eq!(s.stats().live_transfer_groups, 0);
+    assert_eq!(s.stats().transfers_failed, 1);
+}
+
+/// Same flow via `RemoteCopy` issued by a third party: the requester is
+/// neither source nor destination, and still gets the failure.
+#[test]
+fn remote_copy_source_death_fails_transfer_to_third_party() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let _a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+    let c = register(&mut s, 3, 3);
+
+    let out = s.handle(
+        1,
+        Message::RemoteCopy {
+            src: gid(b, "src"),
+            dst: gid(c, "dst"),
+            mode: CopyMode::Strict,
+            req_id: 4,
+        },
+    );
+    assert!(matches!(find(&out, 2, "state-request"), Message::StateRequest { .. }));
+
+    let out = s.disconnect(2);
+    assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
+    assert_eq!(s.stats().live_transfer_groups, 0);
+}
+
+#[test]
+fn stats_track_floor_control_and_fanout() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") });
+
+    let event = UiEvent::new(
+        ObjectPath::parse("x").unwrap(),
+        EventKind::TextCommitted,
+        vec![Value::Text("v".into())],
+    );
+    s.handle(1, Message::Event { origin: gid(a, "x"), event: event.clone(), seq: 1 });
+    // A second event on the locked group is a lock-conflict rejection.
+    s.handle(2, Message::Event { origin: gid(b, "x"), event, seq: 2 });
+
+    let stats = s.stats();
+    assert_eq!(stats.events_granted, 1);
+    assert_eq!(stats.events_rejected, 1);
+    assert_eq!(stats.lock_conflicts, 1);
+    assert_eq!(stats.registered_instances, 2);
+    assert!(stats.held_locks >= 1);
+    // Couple broadcast reached both instances in one turn.
+    assert!(stats.max_fanout >= 2);
+    assert!(stats.messages_out >= 6);
 }

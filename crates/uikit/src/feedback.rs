@@ -45,9 +45,8 @@ impl FeedbackUndo {
                     // The attribute did not exist before; best effort —
                     // reset to the schema default if one is declared.
                     let kind = tree.widget(widget)?.kind().clone();
-                    if let Some(default) = tree
-                        .schema_of(&kind)
-                        .and_then(|s| s.attr(&name).map(|a| a.default.clone()))
+                    if let Some(default) =
+                        tree.schema_of(&kind).and_then(|s| s.attr(&name).map(|a| a.default.clone()))
                     {
                         tree.set_attr_unchecked(widget, name, default)?;
                     }
@@ -192,14 +191,9 @@ fn param_float(event: &UiEvent, i: usize) -> Result<f64, UiError> {
 }
 
 fn param_text(event: &UiEvent, i: usize) -> Result<String, UiError> {
-    event
-        .params
-        .get(i)
-        .and_then(|v| v.as_text().map(str::to_owned))
-        .ok_or(UiError::BadEventParams {
-            event: event.kind.clone(),
-            reason: "expected text parameter",
-        })
+    event.params.get(i).and_then(|v| v.as_text().map(str::to_owned)).ok_or(
+        UiError::BadEventParams { event: event.kind.clone(), reason: "expected text parameter" },
+    )
 }
 
 #[cfg(test)]

@@ -66,10 +66,9 @@ impl WidgetSchema {
     /// [`UiError::InvalidAttr`] if the attribute is not declared,
     /// [`UiError::TypeMismatch`] if the value has the wrong variant.
     pub fn validate(&self, name: &AttrName, value: &Value) -> Result<(), UiError> {
-        let spec = self.attr(name).ok_or_else(|| UiError::InvalidAttr {
-            kind: self.kind.clone(),
-            attr: name.clone(),
-        })?;
+        let spec = self
+            .attr(name)
+            .ok_or_else(|| UiError::InvalidAttr { kind: self.kind.clone(), attr: name.clone() })?;
         if !spec.default.same_type(value) {
             return Err(UiError::TypeMismatch {
                 attr: name.clone(),

@@ -58,7 +58,7 @@ impl<'a> Lexer<'a> {
         loop {
             match self.chars.peek().copied() {
                 None => return Ok(None),
-                Some((_, c)) if c == '\n' => {
+                Some((_, '\n')) => {
                     self.line += 1;
                     self.chars.next();
                 }
@@ -293,7 +293,9 @@ impl Parser {
                     Some(Token::Ident(_)) => {
                         self.parse_widget(tree, Some(id))?;
                     }
-                    other => return Err(self.err(format!("expected widget or '}}', got {other:?}"))),
+                    other => {
+                        return Err(self.err(format!("expected widget or '}}', got {other:?}")))
+                    }
                 }
             }
         }

@@ -166,7 +166,10 @@ impl WidgetTree {
         if !container {
             return Err(UiError::NotContainer { kind: parent_kind });
         }
-        if parent_widget.children.iter().any(|&c| self.nodes[c.0].alive && self.nodes[c.0].name == name)
+        if parent_widget
+            .children
+            .iter()
+            .any(|&c| self.nodes[c.0].alive && self.nodes[c.0].name == name)
         {
             return Err(UiError::DuplicateName {
                 parent: self.path_of(parent).expect("live parent has path"),
@@ -296,10 +299,9 @@ impl WidgetTree {
     /// the attribute is not present.
     pub fn attr(&self, id: WidgetId, name: &AttrName) -> Result<&Value, UiError> {
         let w = self.widget(id)?;
-        w.attrs.get(name).ok_or_else(|| UiError::InvalidAttr {
-            kind: w.kind.clone(),
-            attr: name.clone(),
-        })
+        w.attrs
+            .get(name)
+            .ok_or_else(|| UiError::InvalidAttr { kind: w.kind.clone(), attr: name.clone() })
     }
 
     /// Sets an attribute after schema validation, returning the previous

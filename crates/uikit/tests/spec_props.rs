@@ -33,9 +33,9 @@ fn arb_leaf() -> impl Strategy<Value = SpecWidget> {
             WidgetKind::Slider => (0..1_000i64)
                 .prop_map(|v| vec![(AttrName::ValueNum, Value::Float(v as f64 / 1_000.0))])
                 .boxed(),
-            WidgetKind::ToggleButton => any::<bool>()
-                .prop_map(|b| vec![(AttrName::Checked, Value::Bool(b))])
-                .boxed(),
+            WidgetKind::ToggleButton => {
+                any::<bool>().prop_map(|b| vec![(AttrName::Checked, Value::Bool(b))]).boxed()
+            }
             WidgetKind::Menu => (prop::collection::vec("[a-z]{1,6}", 0..4), -1i64..4)
                 .prop_map(|(items, sel)| {
                     vec![
@@ -44,9 +44,7 @@ fn arb_leaf() -> impl Strategy<Value = SpecWidget> {
                     ]
                 })
                 .boxed(),
-            _ => "[a-zA-Z ]{0,12}"
-                .prop_map(|s| vec![(AttrName::Title, Value::Text(s))])
-                .boxed(),
+            _ => "[a-zA-Z ]{0,12}".prop_map(|s| vec![(AttrName::Title, Value::Text(s))]).boxed(),
         };
         let kind2 = kind.clone();
         attrs.prop_map(move |attrs| SpecWidget {
@@ -125,7 +123,11 @@ fn emit(widget: &SpecWidget, out: &mut String, depth: usize) {
     out.push('\n');
 }
 
-fn check(tree: &WidgetTree, id: cosoft_uikit::WidgetId, spec: &SpecWidget) -> Result<(), TestCaseError> {
+fn check(
+    tree: &WidgetTree,
+    id: cosoft_uikit::WidgetId,
+    spec: &SpecWidget,
+) -> Result<(), TestCaseError> {
     let w = tree.widget(id).expect("live widget");
     prop_assert_eq!(w.kind(), &spec.kind);
     prop_assert_eq!(w.name(), spec.name.as_str());

@@ -236,7 +236,9 @@ pub fn get_value(buf: &mut Bytes) -> Result<Value> {
             Value::IntList(v)
         }
         6 => Value::Point(get_i32(buf)?, get_i32(buf)?),
-        7 => Value::Color(get_u8(buf, "color r")?, get_u8(buf, "color g")?, get_u8(buf, "color b")?),
+        7 => {
+            Value::Color(get_u8(buf, "color r")?, get_u8(buf, "color g")?, get_u8(buf, "color b")?)
+        }
         8 => Value::Bytes(get_blob(buf)?),
         9 => {
             let n = get_len(buf)?;
@@ -265,7 +267,8 @@ pub fn get_value(buf: &mut Bytes) -> Result<Value> {
 
 fn get_i32(buf: &mut Bytes) -> Result<i32> {
     let v = get_ivarint(buf)?;
-    i32::try_from(v).map_err(|_| WireError::LengthOverflow { declared: v.unsigned_abs(), max: i32::MAX as u64 })
+    i32::try_from(v)
+        .map_err(|_| WireError::LengthOverflow { declared: v.unsigned_abs(), max: i32::MAX as u64 })
 }
 
 // --------------------------------------------------------------------------
@@ -780,11 +783,9 @@ pub fn get_message(buf: &mut Bytes) -> Result<Message> {
             }
             Message::CoupledSet { object, coupled }
         }
-        12 => Message::Event {
-            origin: get_gid(buf)?,
-            event: get_event(buf)?,
-            seq: get_uvarint(buf)?,
-        },
+        12 => {
+            Message::Event { origin: get_gid(buf)?, event: get_event(buf)?, seq: get_uvarint(buf)? }
+        }
         13 => Message::EventGranted { seq: get_uvarint(buf)?, exec_id: get_uvarint(buf)? },
         14 => Message::EventRejected { seq: get_uvarint(buf)? },
         15 => Message::ExecuteEvent {
@@ -936,7 +937,11 @@ mod tests {
 
     fn sample_messages() -> Vec<Message> {
         vec![
-            Message::Register { user: UserId(9), host: "liveboard".into(), app_name: "cosoft-teacher".into() },
+            Message::Register {
+                user: UserId(9),
+                host: "liveboard".into(),
+                app_name: "cosoft-teacher".into(),
+            },
             Message::Deregister,
             Message::QueryInstances,
             Message::Welcome { instance: InstanceId(4) },
@@ -957,7 +962,11 @@ mod tests {
             Message::CoupledSet { object: gid(1, "a"), coupled: vec![gid(2, "b")] },
             Message::Event {
                 origin: gid(1, "f.slider"),
-                event: UiEvent::new(path("f.slider"), EventKind::ValueChanged, vec![Value::Float(0.7)]),
+                event: UiEvent::new(
+                    path("f.slider"),
+                    EventKind::ValueChanged,
+                    vec![Value::Float(0.7)],
+                ),
                 seq: 42,
             },
             Message::EventGranted { seq: 42, exec_id: 7 },
@@ -969,7 +978,12 @@ mod tests {
             },
             Message::ExecuteDone { exec_id: 7 },
             Message::GroupUnlocked { exec_id: 7, objects: vec![path("g.s2"), path("f.slider")] },
-            Message::CopyFrom { src: gid(1, "a"), dst: gid(2, "b"), mode: CopyMode::Strict, req_id: 1 },
+            Message::CopyFrom {
+                src: gid(1, "a"),
+                dst: gid(2, "b"),
+                mode: CopyMode::Strict,
+                req_id: 1,
+            },
             Message::CopyTo {
                 src: gid(1, "a"),
                 dst: gid(2, "b"),
@@ -977,21 +991,55 @@ mod tests {
                 mode: CopyMode::DestructiveMerge,
                 req_id: 2,
             },
-            Message::RemoteCopy { src: gid(1, "a"), dst: gid(2, "b"), mode: CopyMode::FlexibleMatch, req_id: 3 },
+            Message::RemoteCopy {
+                src: gid(1, "a"),
+                dst: gid(2, "b"),
+                mode: CopyMode::FlexibleMatch,
+                req_id: 3,
+            },
             Message::StateRequest { req_id: 3, path: path("a") },
             Message::StateReply { req_id: 3, snapshot: Some(sample_state()) },
             Message::StateReply { req_id: 4, snapshot: None },
-            Message::ApplyState { req_id: 3, path: path("b"), snapshot: sample_state(), mode: CopyMode::Strict },
+            Message::ApplyState {
+                req_id: 3,
+                path: path("b"),
+                snapshot: sample_state(),
+                mode: CopyMode::Strict,
+            },
             Message::StateApplied { req_id: 3, overwritten: Some(sample_state()), error: None },
-            Message::StateApplied { req_id: 3, overwritten: None, error: Some("incompatible".into()) },
+            Message::StateApplied {
+                req_id: 3,
+                overwritten: None,
+                error: Some("incompatible".into()),
+            },
             Message::UndoState { object: gid(2, "b") },
             Message::RedoState { object: gid(2, "b") },
-            Message::SetPermission { user: UserId(2), object: gid(1, "a"), right: AccessRight::Read },
+            Message::SetPermission {
+                user: UserId(2),
+                object: gid(1, "a"),
+                right: AccessRight::Read,
+            },
             Message::PermissionDenied { what: "copy-from <inst#1, a>".into() },
-            Message::CoSendCommand { to: Target::Broadcast, command: "refresh".into(), payload: vec![9, 8] },
-            Message::CoSendCommand { to: Target::Instance(InstanceId(5)), command: "x".into(), payload: vec![] },
-            Message::CoSendCommand { to: Target::Group(gid(1, "a")), command: "y".into(), payload: vec![1] },
-            Message::CommandDelivery { from: InstanceId(1), command: "refresh".into(), payload: vec![9, 8] },
+            Message::CoSendCommand {
+                to: Target::Broadcast,
+                command: "refresh".into(),
+                payload: vec![9, 8],
+            },
+            Message::CoSendCommand {
+                to: Target::Instance(InstanceId(5)),
+                command: "x".into(),
+                payload: vec![],
+            },
+            Message::CoSendCommand {
+                to: Target::Group(gid(1, "a")),
+                command: "y".into(),
+                payload: vec![1],
+            },
+            Message::CommandDelivery {
+                from: InstanceId(1),
+                command: "refresh".into(),
+                payload: vec![9, 8],
+            },
             Message::ErrorReply { context: "couple".into(), reason: "unknown instance".into() },
         ]
     }

@@ -76,11 +76,7 @@ impl StateNode {
     pub fn approx_size(&self) -> usize {
         let own: usize = self.name.len()
             + self.semantic.len()
-            + self
-                .attrs
-                .iter()
-                .map(|(k, v)| k.as_str().len() + value_size(v))
-                .sum::<usize>()
+            + self.attrs.iter().map(|(k, v)| k.as_str().len() + value_size(v)).sum::<usize>()
             + 8;
         own + self.children.iter().map(StateNode::approx_size).sum::<usize>()
     }
@@ -89,7 +85,11 @@ impl StateNode {
     /// path segments from this root (the root itself has an empty path).
     pub fn walk(&self) -> Vec<(Vec<&str>, &StateNode)> {
         let mut out = Vec::new();
-        fn rec<'a>(node: &'a StateNode, path: &mut Vec<&'a str>, out: &mut Vec<(Vec<&'a str>, &'a StateNode)>) {
+        fn rec<'a>(
+            node: &'a StateNode,
+            path: &mut Vec<&'a str>,
+            out: &mut Vec<(Vec<&'a str>, &'a StateNode)>,
+        ) {
             out.push((path.clone(), node));
             for c in &node.children {
                 path.push(&c.name);

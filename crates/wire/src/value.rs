@@ -335,9 +335,10 @@ impl fmt::Display for AttrName {
 /// widgets its applications need (canvas for GroupDesign-style sketches,
 /// table for TORI result forms). `Custom` covers application-defined
 /// widget classes.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum WidgetKind {
     /// Container form; the usual complex-object root.
+    #[default]
     Form,
     /// Horizontal/vertical grouping container.
     Panel,
@@ -363,12 +364,6 @@ pub enum WidgetKind {
     Table,
     /// Application-defined widget class.
     Custom(String),
-}
-
-impl Default for WidgetKind {
-    fn default() -> Self {
-        WidgetKind::Form
-    }
 }
 
 impl WidgetKind {

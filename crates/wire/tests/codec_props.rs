@@ -141,9 +141,13 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (arb_gid(), arb_gid()).prop_map(|(src, dst)| Message::Decouple { src, dst }),
         (arb_gid(), arb_gid()).prop_map(|(a, b)| Message::RemoteCouple { a, b }),
         prop::collection::vec(arb_gid(), 0..5).prop_map(|group| Message::CoupleUpdate { group }),
-        (arb_gid(), arb_event(), any::<u64>())
-            .prop_map(|(origin, event, seq)| Message::Event { origin, event, seq }),
-        (any::<u64>(), any::<u64>()).prop_map(|(seq, exec_id)| Message::EventGranted { seq, exec_id }),
+        (arb_gid(), arb_event(), any::<u64>()).prop_map(|(origin, event, seq)| Message::Event {
+            origin,
+            event,
+            seq
+        }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(seq, exec_id)| Message::EventGranted { seq, exec_id }),
         (any::<u64>(), arb_path(), arb_event())
             .prop_map(|(exec_id, target, event)| Message::ExecuteEvent { exec_id, target, event }),
         (any::<u64>(), prop::collection::vec(arb_path(), 0..4))
@@ -151,7 +155,13 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (arb_gid(), arb_gid(), arb_copy_mode(), any::<u64>())
             .prop_map(|(src, dst, mode, req_id)| Message::CopyFrom { src, dst, mode, req_id }),
         (arb_gid(), arb_gid(), arb_state(), arb_copy_mode(), any::<u64>()).prop_map(
-            |(src, dst, snapshot, mode, req_id)| Message::CopyTo { src, dst, snapshot, mode, req_id }
+            |(src, dst, snapshot, mode, req_id)| Message::CopyTo {
+                src,
+                dst,
+                snapshot,
+                mode,
+                req_id
+            }
         ),
         (any::<u64>(), prop::option::of(arb_state()))
             .prop_map(|(req_id, snapshot)| Message::StateReply { req_id, snapshot }),
@@ -161,12 +171,20 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (any::<u64>(), prop::option::of(arb_state()), prop::option::of("[a-z ]{0,20}")).prop_map(
             |(req_id, overwritten, error)| Message::StateApplied { req_id, overwritten, error }
         ),
-        (any::<u64>(), arb_gid(), prop_oneof![
-            Just(AccessRight::Denied),
-            Just(AccessRight::Read),
-            Just(AccessRight::Write)
-        ])
-            .prop_map(|(u, object, right)| Message::SetPermission { user: UserId(u), object, right }),
+        (
+            any::<u64>(),
+            arb_gid(),
+            prop_oneof![
+                Just(AccessRight::Denied),
+                Just(AccessRight::Read),
+                Just(AccessRight::Write)
+            ]
+        )
+            .prop_map(|(u, object, right)| Message::SetPermission {
+                user: UserId(u),
+                object,
+                right
+            }),
         (arb_target(), "[a-z\\-]{1,12}", prop::collection::vec(any::<u8>(), 0..64))
             .prop_map(|(to, command, payload)| Message::CoSendCommand { to, command, payload }),
         ("[a-z ]{0,16}", "[a-z ]{0,24}")

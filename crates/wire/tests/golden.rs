@@ -41,7 +41,7 @@ fn golden_couple() {
             5, // tag Couple
             1, // src instance
             2, 1, b'f', 1, b't', // src path: 2 segments "f" "t"
-            2, // dst instance
+            2,    // dst instance
             1, 1, b'g', // dst path: 1 segment "g"
         ]
     );
@@ -62,11 +62,11 @@ fn golden_event_with_params() {
         codec::encode_message(&m),
         vec![
             12, // tag Event
-            1, // origin instance
+            1,  // origin instance
             1, 1, b'f', // origin path
             1, 1, b'f', // event path
-            1, // EventKind::ValueChanged
-            2, // 2 params
+            1,    // EventKind::ValueChanged
+            2,    // 2 params
             1, 5, // Value::Int tag, zigzag(-3)=5
             0, 1, // Value::Bool tag, true
             9, // seq
@@ -76,8 +76,8 @@ fn golden_event_with_params() {
 
 #[test]
 fn golden_apply_state() {
-    let snapshot = StateNode::new(WidgetKind::Label, "l")
-        .with_attr(AttrName::Text, Value::Text("hi".into()));
+    let snapshot =
+        StateNode::new(WidgetKind::Label, "l").with_attr(AttrName::Text, Value::Text("hi".into()));
     let m = Message::ApplyState {
         req_id: 4,
         path: ObjectPath::parse("f.l").expect("valid"),
@@ -92,12 +92,12 @@ fn golden_apply_state() {
             2, 1, b'f', 1, b'l', // path
             5, b'l', b'a', b'b', b'e', b'l', // kind "label"
             1, b'l', // name "l"
-            1, // 1 attr
+            1,    // 1 attr
             4, b't', b'e', b'x', b't', // attr name "text"
             3, 2, b'h', b'i', // Value::Text "hi"
-            0, // semantic: 0 bytes
-            0, // 0 children
-            2, // CopyMode::FlexibleMatch
+            0,    // semantic: 0 bytes
+            0,    // 0 children
+            2,    // CopyMode::FlexibleMatch
         ]
     );
 }
@@ -113,7 +113,7 @@ fn golden_co_send_command() {
         codec::encode_message(&m),
         vec![
             29, // tag CoSendCommand
-            2, // Target::Group
+            2,  // Target::Group
             3, 1, 1, b'q', // gid
             3, b'r', b'p', b'c', // command
             2, 0xde, 0xad, // payload
@@ -123,11 +123,8 @@ fn golden_co_send_command() {
 
 #[test]
 fn golden_set_permission() {
-    let m = Message::SetPermission {
-        user: UserId(2),
-        object: gid(1, "f"),
-        right: AccessRight::Read,
-    };
+    let m =
+        Message::SetPermission { user: UserId(2), object: gid(1, "f"), right: AccessRight::Read };
     assert_eq!(codec::encode_message(&m), vec![27, 2, 1, 1, 1, b'f', 1]);
 }
 

@@ -8,8 +8,8 @@
 //! Run with `cargo run --example classroom`.
 
 use cosoft::apps::classroom::{
-    demon_check, display_curve, inbox, join_student, leave_student, request_help,
-    set_param_event, student_session, teacher_session,
+    demon_check, display_curve, inbox, join_student, leave_student, request_help, set_param_event,
+    student_session, teacher_session,
 };
 use cosoft::core::harness::SimHarness;
 use cosoft::uikit::render;
@@ -89,6 +89,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     h.session_mut(anna).user_event(set_param_event("exercise", "amplitude", 4.0))?;
     h.settle();
     let after = display_curve(h.session(teacher).toolkit().tree(), "board");
-    println!("after decoupling, anna's work no longer reaches the board: {}", after == teacher_curve);
+    println!(
+        "after decoupling, anna's work no longer reaches the board: {}",
+        after == teacher_curve
+    );
     Ok(())
 }

@@ -9,9 +9,7 @@
 use cosoft::core::harness::SimHarness;
 use cosoft::core::session::Session;
 use cosoft::uikit::{render, spec, Toolkit};
-use cosoft::wire::{
-    AttrName, CopyMode, EventKind, ObjectPath, UiEvent, UserId, Value, WidgetKind,
-};
+use cosoft::wire::{AttrName, CopyMode, EventKind, ObjectPath, UiEvent, UserId, Value, WidgetKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut h = SimHarness::with_latency(3, 1_000);
@@ -52,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Couple field↔label and slider↔slider across the two applications.
-    for (src, dst) in [("editor.name", "dash.name"), ("editor.pressure", "dash.pressure"), ("editor.notes", "dash.notes")] {
+    for (src, dst) in [
+        ("editor.name", "dash.name"),
+        ("editor.pressure", "dash.pressure"),
+        ("editor.notes", "dash.notes"),
+    ] {
         let dst_gid = h.session(dash).gid(&ObjectPath::parse(dst)?)?;
         h.session_mut(editor).couple(&ObjectPath::parse(src)?, dst_gid)?;
     }
@@ -80,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     h.settle();
 
     println!("editor instance:\n{}", render::render(h.session(editor).toolkit().tree()));
-    println!("dashboard instance (different application!):\n{}", render::render(h.session(dash).toolkit().tree()));
+    println!(
+        "dashboard instance (different application!):\n{}",
+        render::render(h.session(dash).toolkit().tree())
+    );
 
     // Structure reconciliation: push the whole editor form onto a third,
     // structurally different console using flexible matching — shared
@@ -98,15 +103,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ));
     h.settle();
     let console_root = h.session(console).gid(&ObjectPath::parse("editor")?)?;
-    h.session_mut(editor).copy_to(&ObjectPath::parse("editor")?, console_root.clone(), CopyMode::FlexibleMatch)?;
+    h.session_mut(editor).copy_to(
+        &ObjectPath::parse("editor")?,
+        console_root.clone(),
+        CopyMode::FlexibleMatch,
+    )?;
     h.settle();
-    println!("legacy console after FLEXIBLE MATCH (scope conserved, slider merged):\n{}",
-        render::render(h.session(console).toolkit().tree()));
+    println!(
+        "legacy console after FLEXIBLE MATCH (scope conserved, slider merged):\n{}",
+        render::render(h.session(console).toolkit().tree())
+    );
 
     // Destructive merging instead forces identical structure.
-    h.session_mut(editor).copy_to(&ObjectPath::parse("editor")?, console_root, CopyMode::DestructiveMerge)?;
+    h.session_mut(editor).copy_to(
+        &ObjectPath::parse("editor")?,
+        console_root,
+        CopyMode::DestructiveMerge,
+    )?;
     h.settle();
-    println!("legacy console after DESTRUCTIVE MERGE (structure copied, scope destroyed):\n{}",
-        render::render(h.session(console).toolkit().tree()));
+    println!(
+        "legacy console after DESTRUCTIVE MERGE (structure copied, scope destroyed):\n{}",
+        render::render(h.session(console).toolkit().tree())
+    );
     Ok(())
 }

@@ -41,8 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = ObjectPath::parse("pad.line")?;
     let bobs = bob.session().gid(&path)?;
     alice.session_mut().couple(&path, bobs)?;
-    alice.pump_until(Duration::from_secs(5), |s| s.is_coupled(&ObjectPath::parse("pad.line").expect("ok")))?;
-    bob.pump_until(Duration::from_secs(5), |s| s.is_coupled(&ObjectPath::parse("pad.line").expect("ok")))?;
+    alice.pump_until(Duration::from_secs(5), |s| {
+        s.is_coupled(&ObjectPath::parse("pad.line").expect("ok"))
+    })?;
+    bob.pump_until(Duration::from_secs(5), |s| {
+        s.is_coupled(&ObjectPath::parse("pad.line").expect("ok"))
+    })?;
     println!("coupled over TCP");
 
     // Alice types; the event crosses real sockets and re-executes at bob.
@@ -70,5 +74,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     alice.close();
     bob.close();
+
+    // Observability: what the round cost at both layers.
+    let core = server.server_stats();
+    println!(
+        "server core: {} granted / {} rejected, {} messages out (max fan-out {}), \
+         {} transfers completed",
+        core.events_granted,
+        core.events_rejected,
+        core.messages_out,
+        core.max_fanout,
+        core.transfers_completed
+    );
+    let net = server.net_stats();
+    println!(
+        "transport:   {} frames / {} bytes out, {} frames / {} bytes in, \
+         {} coalesced writes, {} slow-consumer evictions",
+        net.frames_out,
+        net.bytes_out,
+        net.frames_in,
+        net.bytes_in,
+        net.coalesced_writes,
+        net.slow_consumer_evictions
+    );
     Ok(())
 }

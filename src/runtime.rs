@@ -9,21 +9,28 @@
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cosoft_core::session::Session;
-use cosoft_net::tcp::{ConnId, NetEvent, TcpClient, TcpHost};
-use cosoft_server::ServerCore;
+use cosoft_net::tcp::{
+    ConnId, NetEvent, TcpClient, TcpHost, TcpHostConfig, TcpStats, TcpStatsHandle,
+};
+use cosoft_server::{ServerCore, ServerStats};
 
 /// A COSOFT server listening on TCP.
 ///
 /// The accept/dispatch loop runs on a background thread until the value
-/// is dropped.
+/// is dropped. Outbound delivery goes through the transport's
+/// per-connection writer queues, so one stalled client never delays the
+/// dispatch loop or its peers; consumers evicted by the slow-consumer
+/// policy surface as disconnects and take the §3.2 auto-decoupling path.
 pub struct TcpServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    stats: Arc<Mutex<ServerStats>>,
+    net_stats: TcpStatsHandle,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -35,45 +42,70 @@ impl std::fmt::Debug for TcpServer {
 
 impl TcpServer {
     /// Binds and starts serving (use `127.0.0.1:0` for an ephemeral
-    /// port).
+    /// port) with the default transport configuration.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn spawn(addr: &str) -> io::Result<TcpServer> {
-        let host = TcpHost::bind(addr)?;
+        TcpServer::spawn_with_config(addr, TcpHostConfig::default())
+    }
+
+    /// Binds and starts serving with an explicit outbound-queue and
+    /// slow-consumer configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn_with_config(addr: &str, config: TcpHostConfig) -> io::Result<TcpServer> {
+        let host = TcpHost::bind_with_config(addr, config)?;
         let local = host.local_addr();
+        let net_stats = host.stats_handle();
+        let stats = Arc::new(Mutex::new(ServerStats::default()));
         let shutdown = Arc::new(AtomicBool::new(false));
         let stop = shutdown.clone();
-        let thread = std::thread::Builder::new()
-            .name("cosoft-server".into())
-            .spawn(move || {
-                let mut core: ServerCore<ConnId> = ServerCore::new();
-                while !stop.load(Ordering::SeqCst) {
-                    let event =
-                        match host.events().recv_timeout(Duration::from_millis(50)) {
-                            Ok(e) => e,
-                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
-                        };
-                    let outgoing = match event {
-                        NetEvent::Connected(_) => Vec::new(),
-                        NetEvent::Message(conn, msg) => core.handle(conn, msg),
-                        NetEvent::Disconnected(conn) => core.disconnect(conn),
-                    };
-                    for (conn, msg) in outgoing {
-                        // A send failure means the peer vanished; the
-                        // Disconnected event will clean up.
-                        let _ = host.send(conn, &msg);
-                    }
+        let published = stats.clone();
+        let thread = std::thread::Builder::new().name("cosoft-server".into()).spawn(move || {
+            let mut core: ServerCore<ConnId> = ServerCore::new();
+            while !stop.load(Ordering::SeqCst) {
+                let event = match host.events().recv_timeout(Duration::from_millis(50)) {
+                    Ok(e) => e,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                };
+                let outgoing = match event {
+                    NetEvent::Connected(_) => Vec::new(),
+                    NetEvent::Message(conn, msg) => core.handle(conn, msg),
+                    NetEvent::Disconnected(conn) => core.disconnect(conn),
+                };
+                // One coalesced write per destination; failures mean
+                // the peer vanished or was evicted as a slow
+                // consumer — its Disconnected event will clean up.
+                let _ = host.send_batch(&outgoing);
+                if let Ok(mut s) = published.lock() {
+                    *s = core.stats();
                 }
-            })?;
-        Ok(TcpServer { addr: local, shutdown, thread: Some(thread) })
+            }
+        })?;
+        Ok(TcpServer { addr: local, shutdown, stats, net_stats, thread: Some(thread) })
     }
 
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Snapshot of the server core's observability counters (floor
+    /// control, fan-out, transfer liveness), as of the last handled
+    /// event.
+    pub fn server_stats(&self) -> ServerStats {
+        self.stats.lock().map(|s| *s).unwrap_or_default()
+    }
+
+    /// Snapshot of the transport counters (bytes/frames in and out,
+    /// queue depths, slow-consumer evictions).
+    pub fn net_stats(&self) -> TcpStats {
+        self.net_stats.snapshot()
     }
 }
 

@@ -23,13 +23,9 @@ fn classroom_discussion_drives_tori_query() {
         h.add_session(tori::tori_session(UserId(2), Arc::new(sample_literature_db(7, 300))));
     h.settle();
 
-    let query_field = h
-        .session(librarian)
-        .gid(&path("tori.attr_author.value"))
-        .expect("registered");
-    h.session_mut(teacher)
-        .couple(&path("board.discussion"), query_field)
-        .expect("registered");
+    let query_field =
+        h.session(librarian).gid(&path("tori.attr_author.value")).expect("registered");
+    h.session_mut(teacher).couple(&path("board.discussion"), query_field).expect("registered");
     h.settle();
 
     // The teacher types an author name into the discussion field.
@@ -95,9 +91,7 @@ fn sketch_board_couples_with_classroom_canvas_free_instance() {
     h.settle();
 
     let remote = h.session(other).gid(&cosoft::apps::sketch::board_path()).expect("registered");
-    h.session_mut(pad)
-        .couple(&cosoft::apps::sketch::board_path(), remote)
-        .expect("registered");
+    h.session_mut(pad).couple(&cosoft::apps::sketch::board_path(), remote).expect("registered");
     h.settle();
     h.session_mut(pad)
         .user_event(cosoft::apps::sketch::draw_event(vec![(1, 1), (2, 2)]))

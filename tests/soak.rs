@@ -8,9 +8,7 @@ use cosoft::core::harness::SimHarness;
 use cosoft::core::session::Session;
 use cosoft::net::sim::NodeId;
 use cosoft::uikit::{spec, Toolkit};
-use cosoft::wire::{
-    AccessRight, CopyMode, EventKind, ObjectPath, Target, UiEvent, UserId, Value,
-};
+use cosoft::wire::{AccessRight, CopyMode, EventKind, ObjectPath, Target, UiEvent, UserId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
