@@ -570,6 +570,10 @@ pub fn server_stats_rows() -> Vec<Vec<String>> {
     let spec_src = r#"form f { textfield t text="" }"#;
     let path = ObjectPath::parse("f.t").expect("static");
     let mut h = SimHarness::with_latency(61, 2_000);
+    // Grace configured up front so registrations mint resume tokens; the
+    // liveness episode at the end exercises quarantine + resume.
+    h.server
+        .set_liveness(cosoft_server::LivenessConfig { grace_us: 1_000_000, idle_timeout_us: 0 });
     let nodes: Vec<_> = (0..8)
         .map(|u| {
             h.add_session(Session::new(
@@ -608,6 +612,14 @@ pub fn server_stats_rows() -> Vec<Vec<String>> {
     let dst = h.session(nodes[1]).gid(&path).expect("registered");
     h.session_mut(nodes[0]).copy_to(&path, dst, CopyMode::Strict).expect("registered");
     h.settle();
+    // A liveness episode so the probe/quarantine/resume counters move:
+    // one ping, one silent drop, one rejoin within the grace period.
+    h.session_mut(nodes[0]).ping();
+    h.settle();
+    h.disconnect(nodes[7]);
+    h.settle();
+    h.reconnect(nodes[7]);
+    h.settle();
 
     let s = h.server.stats();
     vec![
@@ -623,6 +635,12 @@ pub fn server_stats_rows() -> Vec<Vec<String>> {
         vec!["registered instances".into(), s.registered_instances.to_string()],
         vec!["live transfer groups".into(), s.live_transfer_groups.to_string()],
         vec!["held locks".into(), s.held_locks.to_string()],
+        vec!["pings answered".into(), s.pings.to_string()],
+        vec!["quarantines".into(), s.quarantines.to_string()],
+        vec!["resumes".into(), s.resumes.to_string()],
+        vec!["rejoins rejected".into(), s.rejoins_rejected.to_string()],
+        vec!["quarantine expiries".into(), s.quarantine_expiries.to_string()],
+        vec!["quarantined instances".into(), s.quarantined_instances.to_string()],
     ]
 }
 
@@ -648,6 +666,18 @@ pub fn transport_stats_rows() -> Vec<Vec<String>> {
             app_name: "fig".into(),
         })
         .expect("register");
+    }
+    // Each connection has its own reader thread, so registrations race
+    // frames sent later on other connections; handle all four before
+    // broadcasting, or early broadcasts fan out to a partial roster.
+    while core.stats().registered_instances < clients.len() {
+        let event = host.events().recv_timeout(Duration::from_secs(5)).expect("registration");
+        let outgoing = match event {
+            NetEvent::Connected(_) => Vec::new(),
+            NetEvent::Message(conn, msg) => core.handle(conn, msg),
+            NetEvent::Disconnected(conn) => core.disconnect(conn),
+        };
+        let _ = host.send_batch(&outgoing);
     }
     for round in 0..32u32 {
         clients[0]
@@ -822,11 +852,15 @@ mod tests {
         };
         assert!(get("events granted") >= 2, "clean round + contention winner");
         assert_eq!(get("events rejected"), 7, "seven losers in the contended round");
-        assert_eq!(get("transfers completed"), 1);
+        assert_eq!(get("transfers completed"), 2, "explicit CopyTo + rejoin resync CopyFrom");
         assert_eq!(get("registered instances"), 8);
         assert_eq!(get("live transfer groups"), 0);
         assert_eq!(get("held locks"), 0, "every round released its locks");
         assert!(get("max fan-out") >= 7, "a granted event fans out to the whole chain");
+        assert_eq!(get("pings answered"), 1);
+        assert_eq!(get("quarantines"), 1, "the dropped instance was quarantined");
+        assert_eq!(get("resumes"), 1, "and resumed within the grace period");
+        assert_eq!(get("quarantined instances"), 0, "nobody left in quarantine");
     }
 
     #[test]

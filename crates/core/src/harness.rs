@@ -6,7 +6,7 @@
 //! architecture run on this harness; the virtual clock makes latency
 //! measurements reproducible.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cosoft_net::sim::{Latency, NodeId, SimNet};
 use cosoft_server::ServerCore;
@@ -28,6 +28,9 @@ pub struct SimHarness {
     /// Sessions keyed by node id; a `BTreeMap` keeps outbox flushing (and
     /// therefore the whole simulation) deterministic.
     sessions: BTreeMap<NodeId, Session>,
+    /// Nodes whose connection is currently severed: traffic in either
+    /// direction is silently lost until [`SimHarness::reconnect`].
+    offline: BTreeSet<NodeId>,
     next_node: u64,
 }
 
@@ -38,6 +41,7 @@ impl SimHarness {
             net: SimNet::new(seed),
             server: ServerCore::new(),
             sessions: BTreeMap::new(),
+            offline: BTreeSet::new(),
             next_node: 1,
         }
     }
@@ -80,10 +84,47 @@ impl SimHarness {
     /// observes the disconnect on the next pump.
     pub fn crash(&mut self, node: NodeId) {
         if self.sessions.remove(&node).is_some() {
+            self.offline.remove(&node);
             let out = self.server.disconnect(node);
             for (dst, msg) in out {
                 self.net.send(SERVER_NODE, dst, msg);
             }
+        }
+    }
+
+    /// Severs a session's connection without destroying the session (a
+    /// silently dropped link): the server observes the disconnect — and
+    /// quarantines the instance when a liveness grace period is
+    /// configured — while the client keeps its state and may later
+    /// [`SimHarness::reconnect`]. Traffic to and from the node is lost in
+    /// the meantime.
+    pub fn disconnect(&mut self, node: NodeId) {
+        if self.sessions.contains_key(&node) && self.offline.insert(node) {
+            let out = self.server.disconnect(node);
+            for (dst, msg) in out {
+                self.net.send(SERVER_NODE, dst, msg);
+            }
+        }
+    }
+
+    /// Restores a severed connection and starts the session's rejoin; the
+    /// queued `Rejoin` (or fallback `Register`) goes out on the next pump.
+    pub fn reconnect(&mut self, node: NodeId) {
+        if self.offline.remove(&node) {
+            if let Some(session) = self.sessions.get_mut(&node) {
+                session.begin_rejoin();
+            }
+        }
+    }
+
+    /// Advances the virtual clock to `at_us` and runs the server's
+    /// liveness tick: quarantines whose grace period has expired are
+    /// deregistered here, with the usual auto-decouple notifications.
+    pub fn tick_server(&mut self, at_us: u64) {
+        self.net.advance_to(at_us);
+        let out = self.server.tick(at_us);
+        for (dst, msg) in out {
+            self.net.send(SERVER_NODE, dst, msg);
         }
     }
 
@@ -94,7 +135,13 @@ impl SimHarness {
 
     fn flush_outboxes(&mut self) {
         for (&node, session) in self.sessions.iter_mut() {
-            for msg in session.drain_outbox() {
+            // A severed connection loses outgoing messages; the session
+            // regenerates what matters during its rejoin resync.
+            let msgs = session.drain_outbox();
+            if self.offline.contains(&node) {
+                continue;
+            }
+            for msg in msgs {
                 self.net.send(node, SERVER_NODE, msg);
             }
         }
@@ -122,6 +169,8 @@ impl SimHarness {
                     for (dst, msg) in out {
                         self.net.send(SERVER_NODE, dst, msg);
                     }
+                } else if self.offline.contains(&delivery.dst) {
+                    // In-flight messages to a severed connection are lost.
                 } else if let Some(session) = self.sessions.get_mut(&delivery.dst) {
                     session.on_message(delivery.msg);
                     for msg in session.drain_outbox() {

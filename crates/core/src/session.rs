@@ -31,6 +31,10 @@ use crate::semantic::SemanticHooks;
 pub enum SessionEvent {
     /// The server accepted registration and assigned this instance id.
     Registered(InstanceId),
+    /// A rejoin after a connection loss succeeded: the session kept (or
+    /// was reassigned) this instance id and queued its resynchronization
+    /// (couple re-assertion + state pulls).
+    Resumed(InstanceId),
     /// The coupling group of a local object changed; an empty `group`
     /// means the object is no longer coupled.
     CoupleChanged {
@@ -126,6 +130,20 @@ pub struct Session {
     corr: CorrespondenceTable,
     hooks: SemanticHooks,
     instance: Option<InstanceId>,
+    /// Registration credentials, kept so the session can re-register from
+    /// scratch when a resume token is rejected after a reconnect.
+    user: UserId,
+    host: String,
+    app_name: String,
+    /// Resume token from the server's last `SessionToken` (present only
+    /// when the server runs with a liveness grace period).
+    resume_token: Option<u64>,
+    /// Set between [`Session::begin_rejoin`] and the next `Welcome`.
+    rejoining: bool,
+    /// The instance id held before the rejoin started; group members
+    /// carrying it are *us* under a previous identity and must not be
+    /// used as resync sources.
+    stale_instance: Option<InstanceId>,
     /// Locally replicated coupling information: local object → full group
     /// ("the coupling information is replicated for each object (to be
     /// completely available locally)", §3.2).
@@ -169,6 +187,12 @@ impl Session {
             corr: CorrespondenceTable::new(),
             hooks: SemanticHooks::new(),
             instance: None,
+            user,
+            host: host.to_owned(),
+            app_name: app_name.to_owned(),
+            resume_token: None,
+            rejoining: false,
+            stale_instance: None,
             coupling: HashMap::new(),
             pending_events: HashMap::new(),
             pending_order: Vec::new(),
@@ -217,6 +241,52 @@ impl Session {
     /// Events re-executed locally on behalf of remote origins.
     pub fn remote_executions(&self) -> u64 {
         self.remote_executions
+    }
+
+    /// The resume token from the server's last `SessionToken`, if any.
+    pub fn resume_token(&self) -> Option<u64> {
+        self.resume_token
+    }
+
+    /// Whether a rejoin is in flight (between [`Session::begin_rejoin`]
+    /// and the server's `Welcome`).
+    pub fn is_rejoining(&self) -> bool {
+        self.rejoining
+    }
+
+    /// Queues a liveness probe; the server answers with a `Pong` carrying
+    /// the returned nonce.
+    pub fn ping(&mut self) -> u64 {
+        let nonce = self.next_req;
+        self.next_req += 1;
+        self.outbox.push(Message::Ping { nonce });
+        nonce
+    }
+
+    /// Starts session resumption after the transport reconnected.
+    ///
+    /// Optimistic echoes and in-flight floor-control requests are
+    /// abandoned — their grants or rejections were lost with the old
+    /// connection. If the server handed out a resume token, a
+    /// [`Message::Rejoin`] is queued to reclaim the old instance id,
+    /// couples, and access rights; otherwise the session falls back to a
+    /// fresh [`Message::Register`]. Either way, the next `Welcome`
+    /// triggers resynchronization: couples are re-asserted and each
+    /// coupled group's authoritative state is pulled via `CopyFrom`
+    /// (§3.1), after which [`SessionEvent::Resumed`] is reported.
+    pub fn begin_rejoin(&mut self) {
+        self.pending_events.clear();
+        self.pending_order.clear();
+        self.rejoining = true;
+        self.stale_instance = self.instance;
+        match self.resume_token {
+            Some(token) => self.outbox.push(Message::Rejoin { resume_token: token }),
+            None => self.outbox.push(Message::Register {
+                user: self.user,
+                host: self.host.clone(),
+                app_name: self.app_name.clone(),
+            }),
+        }
     }
 
     /// The global id of a local object.
@@ -503,7 +573,17 @@ impl Session {
         match msg {
             Message::Welcome { instance } => {
                 self.instance = Some(instance);
-                self.events.push(SessionEvent::Registered(instance));
+                if self.rejoining {
+                    self.rejoining = false;
+                    let stale = self.stale_instance.take();
+                    self.resync_after_rejoin(instance, stale);
+                    self.events.push(SessionEvent::Resumed(instance));
+                } else {
+                    self.events.push(SessionEvent::Registered(instance));
+                }
+            }
+            Message::SessionToken { resume_token } => {
+                self.resume_token = Some(resume_token);
             }
             Message::CoupleUpdate { group } => self.on_couple_update(group),
             Message::EventGranted { seq, exec_id } => {
@@ -577,7 +657,20 @@ impl Session {
                 self.events.push(SessionEvent::PermissionDenied { what });
             }
             Message::ErrorReply { context, reason } => {
-                self.events.push(SessionEvent::Error { context, reason });
+                // A rejected rejoin (token expired past the grace period)
+                // degrades to a fresh registration: the old identity is
+                // gone, but the session can still come back as a new
+                // instance and resync its couples from local knowledge.
+                if self.rejoining && context == "rejoin" {
+                    self.resume_token = None;
+                    self.outbox.push(Message::Register {
+                        user: self.user,
+                        host: self.host.clone(),
+                        app_name: self.app_name.clone(),
+                    });
+                } else {
+                    self.events.push(SessionEvent::Error { context, reason });
+                }
             }
             // Client-originated kinds arriving at a client are ignored.
             _ => {}
@@ -628,6 +721,44 @@ impl Session {
                 .unwrap_or_default();
             self.pending_events.insert(s, PendingEvent { event, undo, epoch });
             self.pending_order.push(s);
+        }
+    }
+
+    /// Resynchronizes after a successful rejoin (or fallback
+    /// re-registration): for every locally coupled object, re-assert the
+    /// couple links to the surviving remote members and pull one member's
+    /// authoritative state with a flexible-match `CopyFrom` — the same
+    /// §3.1 join procedure used for an initial join, replayed from the
+    /// locally replicated coupling information.
+    ///
+    /// Members carrying our own id (current or pre-rejoin) are skipped:
+    /// they are this very session, not a source of truth. Re-coupling is
+    /// idempotent on the server, so asserting links that survived
+    /// quarantine is harmless, while after a fallback re-registration it
+    /// is what rebuilds the groups under the new identity.
+    fn resync_after_rejoin(&mut self, me: InstanceId, stale: Option<InstanceId>) {
+        let mut entries: Vec<(ObjectPath, Vec<GlobalObjectId>)> =
+            self.coupling.iter().map(|(p, g)| (p.clone(), g.clone())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        for (local, group) in entries {
+            let peers: Vec<GlobalObjectId> = group
+                .into_iter()
+                .filter(|g| g.instance != me && Some(g.instance) != stale)
+                .collect();
+            let local_gid = GlobalObjectId::new(me, local.clone());
+            for peer in &peers {
+                self.outbox.push(Message::Couple { src: local_gid.clone(), dst: peer.clone() });
+            }
+            if let Some(source) = peers.first() {
+                let req_id = self.next_req;
+                self.next_req += 1;
+                self.outbox.push(Message::CopyFrom {
+                    src: source.clone(),
+                    dst: local_gid,
+                    mode: CopyMode::FlexibleMatch,
+                    req_id,
+                });
+            }
         }
     }
 

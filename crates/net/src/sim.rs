@@ -51,6 +51,28 @@ impl Latency {
     }
 }
 
+/// A scheduled link outage: every message to or from `node` sent while
+/// the virtual clock is inside `[from_us, to_us)` is silently dropped.
+/// This models a silently dead connection (the failure mode a liveness
+/// grace period exists for), as opposed to the memoryless loss of
+/// [`FaultPlan::drop_prob`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DownWindow {
+    /// The endpoint whose link is down.
+    pub node: NodeId,
+    /// Start of the outage (inclusive), virtual microseconds.
+    pub from_us: u64,
+    /// End of the outage (exclusive), virtual microseconds.
+    pub to_us: u64,
+}
+
+impl DownWindow {
+    /// Whether this window covers `node` at virtual time `at_us`.
+    pub fn covers(&self, node: NodeId, at_us: u64) -> bool {
+        self.node == node && self.from_us <= at_us && at_us < self.to_us
+    }
+}
+
 /// Fault-injection plan.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
@@ -58,6 +80,15 @@ pub struct FaultPlan {
     pub drop_prob: f64,
     /// Probability in `[0, 1]` that a message is delivered twice.
     pub dup_prob: f64,
+    /// Scheduled per-node outages (disconnect/reconnect schedules).
+    pub down: Vec<DownWindow>,
+}
+
+impl FaultPlan {
+    /// Whether `node`'s link is scheduled down at virtual time `at_us`.
+    pub fn is_down(&self, node: NodeId, at_us: u64) -> bool {
+        self.down.iter().any(|w| w.covers(node, at_us))
+    }
 }
 
 /// A message delivered by the simulator.
@@ -110,6 +141,9 @@ pub struct NetStats {
     pub bytes_sent: u64,
     /// Messages dropped by fault injection.
     pub dropped: u64,
+    /// Messages dropped because a scheduled [`DownWindow`] covered the
+    /// sender or receiver (counted separately from `dropped`).
+    pub link_down_dropped: u64,
     /// Extra deliveries produced by duplication.
     pub duplicated: u64,
     /// Per message-kind send counts.
@@ -205,6 +239,10 @@ impl SimNet {
         self.stats.bytes_sent += codec::encode_message(&msg).len() as u64;
         *self.stats.per_kind.entry(msg.kind_name()).or_insert(0) += 1;
 
+        if self.faults.is_down(src, self.now_us) || self.faults.is_down(dst, self.now_us) {
+            self.stats.link_down_dropped += 1;
+            return;
+        }
         if self.faults.drop_prob > 0.0 && self.rng.gen_bool(self.faults.drop_prob.clamp(0.0, 1.0)) {
             self.stats.dropped += 1;
             return;
@@ -344,7 +382,7 @@ mod tests {
     #[test]
     fn drop_faults_drop_messages() {
         let mut net = SimNet::new(3);
-        net.set_faults(FaultPlan { drop_prob: 1.0, dup_prob: 0.0 });
+        net.set_faults(FaultPlan { drop_prob: 1.0, ..FaultPlan::default() });
         net.send(NodeId(1), NodeId(2), msg());
         assert!(net.is_idle());
         assert_eq!(net.stats().dropped, 1);
@@ -352,9 +390,28 @@ mod tests {
     }
 
     #[test]
+    fn down_windows_drop_messages_in_both_directions() {
+        let mut net = SimNet::new(3);
+        net.set_faults(FaultPlan {
+            down: vec![DownWindow { node: NodeId(2), from_us: 100, to_us: 200 }],
+            ..FaultPlan::default()
+        });
+        net.send(NodeId(1), NodeId(2), msg()); // t=0: delivered
+        net.advance_to(100);
+        net.send(NodeId(1), NodeId(2), msg()); // to the down node: dropped
+        net.send(NodeId(2), NodeId(1), msg()); // from the down node: dropped
+        net.advance_to(200);
+        net.send(NodeId(1), NodeId(2), msg()); // window over: delivered
+        assert_eq!(net.pending(), 2);
+        assert_eq!(net.stats().link_down_dropped, 2);
+        assert_eq!(net.stats().dropped, 0);
+        assert_eq!(net.stats().messages_sent, 4);
+    }
+
+    #[test]
     fn dup_faults_duplicate_messages() {
         let mut net = SimNet::new(3);
-        net.set_faults(FaultPlan { drop_prob: 0.0, dup_prob: 1.0 });
+        net.set_faults(FaultPlan { dup_prob: 1.0, ..FaultPlan::default() });
         net.send(NodeId(1), NodeId(2), msg());
         assert_eq!(net.pending(), 2);
         assert_eq!(net.stats().duplicated, 1);

@@ -465,10 +465,78 @@ impl Drop for TcpHost {
     }
 }
 
+/// Connection lifecycle notification from a [`TcpClient`] running with a
+/// [`ReconnectPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// The connection dropped; the reconnect loop is running.
+    Disconnected,
+    /// A fresh connection replaced the dropped one after `attempts`
+    /// dial attempts. The application must resynchronize (the COSOFT
+    /// session layer does so by rejoining).
+    Reconnected {
+        /// Dial attempts this outage took (≥ 1).
+        attempts: u32,
+    },
+    /// The policy's attempt budget is exhausted; the client stays dead.
+    GaveUp,
+}
+
+/// Exponential-backoff policy for [`TcpClient::connect_with_reconnect`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconnectPolicy {
+    /// Dial attempts per outage before giving up.
+    pub max_attempts: u32,
+    /// Delay before the first redial; doubles per failed attempt.
+    pub base_delay: Duration,
+    /// Upper bound on the (pre-jitter) backoff delay.
+    pub max_delay: Duration,
+    /// Fraction in `[0, 1]` of random extra delay added on top of the
+    /// backoff, so a fleet of clients does not redial in lockstep.
+    pub jitter: f64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter: 0.2,
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// The sleep before dial attempt `attempt` (1-based): exponential
+    /// backoff capped at `max_delay`, plus up to `jitter` of random
+    /// extra delay.
+    fn delay_before(&self, attempt: u32) -> Duration {
+        let backoff = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        if self.jitter <= 0.0 {
+            return backoff;
+        }
+        // A throwaway `RandomState` is a seeded-by-the-OS hash — enough
+        // entropy to de-synchronize redials without pulling in an RNG.
+        use std::hash::{BuildHasher, Hasher};
+        let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+        h.write_u32(attempt);
+        let unit = (h.finish() % 1024) as f64 / 1024.0;
+        backoff.mul_f64(1.0 + self.jitter.clamp(0.0, 1.0) * unit)
+    }
+}
+
 /// Connecting side of the TCP transport (used by application instances).
 pub struct TcpClient {
-    stream: Mutex<TcpStream>,
+    stream: Arc<Mutex<TcpStream>>,
     incoming: Receiver<Message>,
+    events: Option<Receiver<ClientEvent>>,
+    closed: Arc<AtomicBool>,
+    reconnects: Arc<AtomicU64>,
+    reconnect_attempts: Arc<AtomicU64>,
     _reader: JoinHandle<()>,
 }
 
@@ -479,35 +547,156 @@ impl std::fmt::Debug for TcpClient {
 }
 
 impl TcpClient {
-    /// Connects to a [`TcpHost`] and starts the reader thread.
+    /// Connects to a [`TcpHost`] and starts the reader thread. The
+    /// connection is not revived when it drops; use
+    /// [`TcpClient::connect_with_reconnect`] for that.
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect(addr: SocketAddr) -> io::Result<TcpClient> {
+        Self::spawn(addr, None)
+    }
+
+    /// Connects to a [`TcpHost`] and keeps the connection alive: when it
+    /// drops, a reader-side loop redials `addr` with exponential backoff
+    /// and jitter per `policy`, swapping the fresh socket in under the
+    /// same client handle. Lifecycle transitions are surfaced through
+    /// [`TcpClient::events`]; on [`ClientEvent::Reconnected`] the
+    /// application must resynchronize (rejoin) — messages sent during
+    /// the outage were lost, not queued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures of the *initial* connection only.
+    pub fn connect_with_reconnect(
+        addr: SocketAddr,
+        policy: ReconnectPolicy,
+    ) -> io::Result<TcpClient> {
+        Self::spawn(addr, Some(policy))
+    }
+
+    fn spawn(addr: SocketAddr, policy: Option<ReconnectPolicy>) -> io::Result<TcpClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        let reader_stream = stream.try_clone()?;
+        let stream = Arc::new(Mutex::new(stream));
+        let closed = Arc::new(AtomicBool::new(false));
+        let reconnects = Arc::new(AtomicU64::new(0));
+        let reconnect_attempts = Arc::new(AtomicU64::new(0));
         let (tx, rx): (Sender<Message>, Receiver<Message>) = unbounded();
-        let reader = std::thread::Builder::new()
-            .name("cosoft-client-reader".into())
-            .spawn(move || {
-                let mut reader = BufReader::new(reader_stream);
-                while let Ok(Some(msg)) = codec::read_frame(&mut reader) {
-                    if tx.send(msg).is_err() {
+        let (event_tx, event_rx) = match policy {
+            Some(_) => {
+                let (t, r) = unbounded();
+                (Some(t), Some(r))
+            }
+            None => (None, None),
+        };
+        let reader = {
+            let stream = Arc::clone(&stream);
+            let closed = Arc::clone(&closed);
+            let reconnects = Arc::clone(&reconnects);
+            let reconnect_attempts = Arc::clone(&reconnect_attempts);
+            std::thread::Builder::new()
+                .name("cosoft-client-reader".into())
+                .spawn(move || {
+                    Self::reader_loop(
+                        addr,
+                        policy,
+                        &stream,
+                        &closed,
+                        &reconnects,
+                        &reconnect_attempts,
+                        &tx,
+                        event_tx.as_ref(),
+                    );
+                })
+                .expect("spawn client reader")
+        };
+        Ok(TcpClient {
+            stream,
+            incoming: rx,
+            events: event_rx,
+            closed,
+            reconnects,
+            reconnect_attempts,
+            _reader: reader,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn reader_loop(
+        addr: SocketAddr,
+        policy: Option<ReconnectPolicy>,
+        stream: &Mutex<TcpStream>,
+        closed: &AtomicBool,
+        reconnects: &AtomicU64,
+        reconnect_attempts: &AtomicU64,
+        tx: &Sender<Message>,
+        event_tx: Option<&Sender<ClientEvent>>,
+    ) {
+        loop {
+            let Ok(reader_stream) = stream.lock().try_clone() else {
+                return;
+            };
+            let mut reader = BufReader::new(reader_stream);
+            while let Ok(Some(msg)) = codec::read_frame(&mut reader) {
+                if tx.send(msg).is_err() {
+                    return;
+                }
+            }
+            // Read side ended: clean close, error, or eviction.
+            let Some(policy) = policy else {
+                return;
+            };
+            if closed.load(Ordering::SeqCst) {
+                return;
+            }
+            if let Some(events) = event_tx {
+                events.send(ClientEvent::Disconnected).ok();
+            }
+            let mut attempts = 0u32;
+            loop {
+                if attempts >= policy.max_attempts {
+                    if let Some(events) = event_tx {
+                        events.send(ClientEvent::GaveUp).ok();
+                    }
+                    return;
+                }
+                attempts += 1;
+                reconnect_attempts.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(policy.delay_before(attempts));
+                if closed.load(Ordering::SeqCst) {
+                    return;
+                }
+                match TcpStream::connect(addr) {
+                    Ok(fresh) => {
+                        fresh.set_nodelay(true).ok();
+                        *stream.lock() = fresh;
+                        // close() may have raced the swap: shut the fresh
+                        // socket down too rather than resurrecting a
+                        // client the application already closed.
+                        if closed.load(Ordering::SeqCst) {
+                            stream.lock().shutdown(std::net::Shutdown::Both).ok();
+                            return;
+                        }
+                        reconnects.fetch_add(1, Ordering::Relaxed);
+                        if let Some(events) = event_tx {
+                            events.send(ClientEvent::Reconnected { attempts }).ok();
+                        }
                         break;
                     }
+                    Err(_) => continue,
                 }
-            })
-            .expect("spawn client reader");
-        Ok(TcpClient { stream: Mutex::new(stream), incoming: rx, _reader: reader })
+            }
+        }
     }
 
     /// Sends a message to the server.
     ///
     /// # Errors
     ///
-    /// Propagates socket write errors.
+    /// Propagates socket write errors (including writes into a dropped
+    /// connection while the reconnect loop is still redialing).
     pub fn send(&self, msg: &Message) -> io::Result<()> {
         self.stream.lock().write_all(&codec::frame_message(msg))
     }
@@ -529,8 +718,33 @@ impl TcpClient {
         &self.incoming
     }
 
-    /// Shuts the connection down; the server sees a disconnect.
+    /// Lifecycle events, present when the client was created with
+    /// [`TcpClient::connect_with_reconnect`].
+    pub fn events(&self) -> Option<&Receiver<ClientEvent>> {
+        self.events.as_ref()
+    }
+
+    /// Successful reconnections performed by the reconnect loop.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Dial attempts made by the reconnect loop (successful or not).
+    pub fn reconnect_attempts(&self) -> u64 {
+        self.reconnect_attempts.load(Ordering::Relaxed)
+    }
+
+    /// Shuts the connection down; the server sees a disconnect and the
+    /// reconnect loop (if any) stops instead of redialing.
     pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.stream.lock().shutdown(std::net::Shutdown::Both).ok();
+    }
+
+    /// Kills the current connection *without* marking the client closed —
+    /// indistinguishable from a network failure, so a reconnect-enabled
+    /// client redials. Intended for fault-injection tests.
+    pub fn sever(&self) {
         self.stream.lock().shutdown(std::net::Shutdown::Both).ok();
     }
 }
@@ -540,6 +754,7 @@ impl Drop for TcpClient {
         // The reader thread holds a cloned file descriptor; an explicit
         // shutdown is required so dropping the client actually closes the
         // connection (and unblocks the reader).
+        self.closed.store(true, Ordering::SeqCst);
         self.stream.lock().shutdown(std::net::Shutdown::Both).ok();
     }
 }

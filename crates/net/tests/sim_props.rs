@@ -77,7 +77,7 @@ proptest! {
     #[test]
     fn fault_accounting(seed in any::<u64>(), n in 1usize..30) {
         let mut net = SimNet::new(seed);
-        net.set_faults(FaultPlan { drop_prob: 1.0, dup_prob: 0.0 });
+        net.set_faults(FaultPlan { drop_prob: 1.0, ..FaultPlan::default() });
         for i in 0..n {
             net.send(NodeId(1), NodeId(2), msg(i as u64));
         }
@@ -85,7 +85,7 @@ proptest! {
         prop_assert_eq!(net.stats().dropped, n as u64);
 
         let mut net = SimNet::new(seed);
-        net.set_faults(FaultPlan { drop_prob: 0.0, dup_prob: 1.0 });
+        net.set_faults(FaultPlan { dup_prob: 1.0, ..FaultPlan::default() });
         for i in 0..n {
             net.send(NodeId(1), NodeId(2), msg(i as u64));
         }
@@ -107,7 +107,7 @@ proptest! {
         let run = |seed: u64| {
             let mut net = SimNet::new(seed);
             net.set_latency(Latency::Uniform(10, 5_000));
-            net.set_faults(FaultPlan { drop_prob: 0.2, dup_prob: 0.2 });
+            net.set_faults(FaultPlan { drop_prob: 0.2, dup_prob: 0.2, ..FaultPlan::default() });
             for (i, (src, dst)) in sends.iter().enumerate() {
                 net.send(NodeId(*src), NodeId(*dst), msg(i as u64));
             }

@@ -22,4 +22,4 @@ pub use couple::CoupleDirectory;
 pub use history::HistoryStore;
 pub use locks::{ExecId, LockTable};
 pub use registry::Registry;
-pub use server::{Outgoing, ServerCore, ServerStats};
+pub use server::{LivenessConfig, Outgoing, ServerCore, ServerStats};

@@ -8,10 +8,14 @@ use cosoft_wire::{InstanceId, InstanceInfo, UserId};
 
 /// Registry of live application instances, generic over the transport
 /// endpoint key `E` (a simulated node id or a TCP connection id).
+///
+/// An instance's endpoint is optional: a quarantined instance (its
+/// connection dropped, its grace period still running) keeps its record
+/// but is bound to no endpoint until it rejoins or the grace expires.
 #[derive(Debug, Clone)]
 pub struct Registry<E> {
     next: u64,
-    by_instance: HashMap<InstanceId, (InstanceInfo, E)>,
+    by_instance: HashMap<InstanceId, (InstanceInfo, Option<E>)>,
     by_endpoint: HashMap<E, InstanceId>,
 }
 
@@ -44,7 +48,7 @@ impl<E: Copy + Eq + std::hash::Hash> Registry<E> {
             host: host.to_owned(),
             app_name: app_name.to_owned(),
         };
-        self.by_instance.insert(id, (info, endpoint));
+        self.by_instance.insert(id, (info, Some(endpoint)));
         self.by_endpoint.insert(endpoint, id);
         id
     }
@@ -52,8 +56,37 @@ impl<E: Copy + Eq + std::hash::Hash> Registry<E> {
     /// Removes an instance, returning its record.
     pub fn deregister(&mut self, id: InstanceId) -> Option<InstanceInfo> {
         let (info, endpoint) = self.by_instance.remove(&id)?;
-        self.by_endpoint.remove(&endpoint);
+        if let Some(endpoint) = endpoint {
+            self.by_endpoint.remove(&endpoint);
+        }
         Some(info)
+    }
+
+    /// Detaches an instance from its endpoint without removing its record
+    /// (quarantine). Returns the endpoint it was bound to, if any.
+    pub fn unbind(&mut self, id: InstanceId) -> Option<E> {
+        let endpoint = self.by_instance.get_mut(&id)?.1.take()?;
+        self.by_endpoint.remove(&endpoint);
+        Some(endpoint)
+    }
+
+    /// Re-attaches a quarantined instance to a new endpoint (rejoin).
+    /// Returns `false` if the instance is unknown.
+    pub fn rebind(&mut self, id: InstanceId, endpoint: E) -> bool {
+        let Some(slot) = self.by_instance.get_mut(&id) else {
+            return false;
+        };
+        if let Some(old) = slot.1.replace(endpoint) {
+            self.by_endpoint.remove(&old);
+        }
+        self.by_endpoint.insert(endpoint, id);
+        true
+    }
+
+    /// Whether an instance is currently bound to an endpoint (registered
+    /// and not quarantined).
+    pub fn is_bound(&self, id: InstanceId) -> bool {
+        self.by_instance.get(&id).map(|(_, e)| e.is_some()).unwrap_or(false)
     }
 
     /// Resolves the instance registered at an endpoint.
@@ -61,9 +94,10 @@ impl<E: Copy + Eq + std::hash::Hash> Registry<E> {
         self.by_endpoint.get(&endpoint).copied()
     }
 
-    /// Resolves the endpoint of an instance.
+    /// Resolves the endpoint of an instance (`None` when unknown or
+    /// quarantined).
     pub fn endpoint_of(&self, id: InstanceId) -> Option<E> {
-        self.by_instance.get(&id).map(|(_, e)| *e)
+        self.by_instance.get(&id).and_then(|(_, e)| *e)
     }
 
     /// The registration record of an instance.
@@ -141,6 +175,24 @@ mod tests {
         r.deregister(a);
         let b = r.register(10, UserId(1), "h", "app");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unbind_and_rebind_preserve_the_record() {
+        let mut r: Registry<u64> = Registry::new();
+        let a = r.register(10, UserId(1), "h", "app");
+        assert!(r.is_bound(a));
+        assert_eq!(r.unbind(a), Some(10));
+        assert!(!r.is_bound(a));
+        assert!(r.contains(a));
+        assert_eq!(r.instance_at(10), None);
+        assert_eq!(r.endpoint_of(a), None);
+        assert!(r.unbind(a).is_none(), "second unbind is a no-op");
+        assert!(r.rebind(a, 42));
+        assert!(r.is_bound(a));
+        assert_eq!(r.instance_at(42), Some(a));
+        assert_eq!(r.endpoint_of(a), Some(42));
+        assert!(!r.rebind(InstanceId(999), 50));
     }
 
     #[test]

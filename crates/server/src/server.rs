@@ -81,6 +81,28 @@ struct PendingPull {
 /// Outgoing messages produced by one [`ServerCore::handle`] call.
 pub type Outgoing<E> = Vec<(E, Message)>;
 
+/// Client-liveness policy: how long a silently dropped connection keeps
+/// its instance resumable, and when a silent-but-connected instance is
+/// presumed dead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LivenessConfig {
+    /// How long (virtual µs) a disconnected instance stays quarantined —
+    /// registered, coupled, resumable via its token — before the regular
+    /// §3.2 auto-decoupling deregistration runs. `0` disables quarantine:
+    /// a disconnect deregisters immediately (the pre-liveness behavior).
+    pub grace_us: u64,
+    /// Quarantine an instance whose connection has produced no traffic
+    /// (not even a [`Message::Ping`]) for this long. `0` disables the
+    /// idle check.
+    pub idle_timeout_us: u64,
+}
+
+/// A disconnected instance whose grace period is still running.
+#[derive(Debug, Clone, Copy)]
+struct Quarantined {
+    deadline_us: u64,
+}
+
 /// Snapshot of the server's observability counters: floor control,
 /// locking, broadcast fan-out, and state-transfer liveness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -104,12 +126,30 @@ pub struct ServerStats {
     /// Transfer groups that finished with an error (including peers
     /// dying mid-transfer).
     pub transfers_failed: u64,
-    /// Currently registered instances.
+    /// Currently registered instances (bound + quarantined).
     pub registered_instances: usize,
     /// Transfer groups still in flight.
     pub live_transfer_groups: usize,
+    /// Push legs (`ApplyState` awaiting `StateApplied`) still in flight.
+    pub live_transfer_legs: usize,
+    /// Pull legs (`StateRequest` awaiting `StateReply`) still in flight.
+    pub live_pending_pulls: usize,
+    /// Multiple-execution groups still awaiting `ExecuteDone`s.
+    pub live_execs: usize,
     /// Locks currently held.
     pub held_locks: usize,
+    /// `Ping` probes answered.
+    pub pings: u64,
+    /// Instances placed in quarantine after a disconnect or idle timeout.
+    pub quarantines: u64,
+    /// Quarantined instances successfully resumed via `Rejoin`.
+    pub resumes: u64,
+    /// `Rejoin` attempts refused (unknown or expired token).
+    pub rejoins_rejected: u64,
+    /// Quarantines that expired into a full deregistration.
+    pub quarantine_expiries: u64,
+    /// Instances currently quarantined.
+    pub quarantined_instances: usize,
 }
 
 /// The sans-I/O COSOFT server state machine.
@@ -144,6 +184,26 @@ pub struct ServerCore<E> {
     transfers_started: u64,
     transfers_completed: u64,
     transfers_failed: u64,
+    /// Liveness policy (grace period, idle timeout).
+    liveness: LivenessConfig,
+    /// Virtual clock, advanced by [`ServerCore::tick`].
+    now_us: u64,
+    /// Disconnected instances whose grace period is still running.
+    quarantined: HashMap<InstanceId, Quarantined>,
+    /// Resume token → instance (issued at registration, rotated on rejoin).
+    tokens: HashMap<u64, InstanceId>,
+    /// Instance → its current resume token.
+    token_of: HashMap<InstanceId, u64>,
+    /// Counter feeding deterministic token generation.
+    next_token_seq: u64,
+    /// Last time (virtual µs) each bound instance produced any traffic.
+    last_seen: HashMap<InstanceId, u64>,
+    /// Liveness counters.
+    pings: u64,
+    quarantines: u64,
+    resumes: u64,
+    rejoins_rejected: u64,
+    quarantine_expiries: u64,
 }
 
 impl<E: Copy + Eq + Hash> Default for ServerCore<E> {
@@ -177,6 +237,18 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             transfers_started: 0,
             transfers_completed: 0,
             transfers_failed: 0,
+            liveness: LivenessConfig::default(),
+            now_us: 0,
+            quarantined: HashMap::new(),
+            tokens: HashMap::new(),
+            token_of: HashMap::new(),
+            next_token_seq: 1,
+            last_seen: HashMap::new(),
+            pings: 0,
+            quarantines: 0,
+            resumes: 0,
+            rejoins_rejected: 0,
+            quarantine_expiries: 0,
         }
     }
 
@@ -185,6 +257,23 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         let mut s = Self::new();
         s.access = AccessTable::with_default(right);
         s
+    }
+
+    /// Creates a server with an explicit liveness policy.
+    pub fn with_liveness(liveness: LivenessConfig) -> Self {
+        let mut s = Self::new();
+        s.liveness = liveness;
+        s
+    }
+
+    /// Replaces the liveness policy.
+    pub fn set_liveness(&mut self, liveness: LivenessConfig) {
+        self.liveness = liveness;
+    }
+
+    /// The active liveness policy.
+    pub fn liveness(&self) -> LivenessConfig {
+        self.liveness
     }
 
     /// The registration records.
@@ -231,7 +320,16 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             transfers_failed: self.transfers_failed,
             registered_instances: self.registry.all().len(),
             live_transfer_groups: self.transfer_groups.len(),
+            live_transfer_legs: self.transfers.len(),
+            live_pending_pulls: self.pending_pulls.len(),
+            live_execs: self.execs.len(),
             held_locks: self.locks.len(),
+            pings: self.pings,
+            quarantines: self.quarantines,
+            resumes: self.resumes,
+            rejoins_rejected: self.rejoins_rejected,
+            quarantine_expiries: self.quarantine_expiries,
+            quarantined_instances: self.quarantined.len(),
         }
     }
 
@@ -259,11 +357,19 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         }
     }
 
-    /// Handles a transport-level disconnect of `endpoint` exactly like a
+    /// Handles a transport-level disconnect of `endpoint`.
+    ///
+    /// With the default zero grace period this behaves exactly like a
     /// graceful `Deregister` (§3.2: decoupling "is applied automatically
-    /// when ... an application instance terminates").
+    /// when ... an application instance terminates"). With a non-zero
+    /// grace period the instance is quarantined instead: its execution
+    /// and transfer participation is severed immediately (peers must not
+    /// block on a dead connection) but its registration record, couples,
+    /// and access rights survive until the grace expires, so a `Rejoin`
+    /// carrying its resume token can reclaim them.
     pub fn disconnect(&mut self, endpoint: E) -> Outgoing<E> {
         let out = match self.registry.instance_at(endpoint) {
+            Some(id) if self.liveness.grace_us > 0 => self.quarantine_instance(id),
             Some(id) => self.deregister_instance(id),
             None => Vec::new(),
         };
@@ -271,13 +377,119 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         out
     }
 
+    /// Advances the server's virtual clock, expiring quarantines whose
+    /// grace period has run out (each runs the regular deregistration
+    /// path, fanning out `CoupleUpdate`s) and quarantining bound
+    /// instances that have been silent past the idle timeout.
+    ///
+    /// Transports call this periodically; the deterministic simulation
+    /// calls it with the virtual clock.
+    pub fn tick(&mut self, now_us: u64) -> Outgoing<E> {
+        self.now_us = self.now_us.max(now_us);
+        let mut out = Vec::new();
+        let mut expired: Vec<InstanceId> = self
+            .quarantined
+            .iter()
+            .filter(|(_, q)| q.deadline_us <= self.now_us)
+            .map(|(id, _)| *id)
+            .collect();
+        expired.sort();
+        for id in expired {
+            self.quarantined.remove(&id);
+            self.quarantine_expiries += 1;
+            let dereg = self.deregister_instance(id);
+            out.extend(dereg);
+        }
+        if self.liveness.idle_timeout_us > 0 && self.liveness.grace_us > 0 {
+            let mut idle: Vec<InstanceId> = self
+                .last_seen
+                .iter()
+                .filter(|(id, seen)| {
+                    self.registry.is_bound(**id)
+                        && seen.saturating_add(self.liveness.idle_timeout_us) <= self.now_us
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            idle.sort();
+            for id in idle {
+                let q = self.quarantine_instance(id);
+                out.extend(q);
+            }
+        }
+        self.note_outgoing(&out);
+        out
+    }
+
+    /// Deterministic resume-token generation (SplitMix64 over a counter):
+    /// unique per issuance, reproducible in the simulation.
+    fn mint_token(&mut self, id: InstanceId) -> u64 {
+        let token = loop {
+            let mut z = self.next_token_seq.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            self.next_token_seq += 1;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            if !self.tokens.contains_key(&z) {
+                break z;
+            }
+        };
+        if let Some(old) = self.token_of.insert(id, token) {
+            self.tokens.remove(&old);
+        }
+        self.tokens.insert(token, id);
+        token
+    }
+
+    /// Handles a pre-registration `Rejoin`: a returning connection
+    /// presenting the resume token of a quarantined instance reclaims
+    /// that instance — id, couples, access rights — on its new endpoint.
+    fn do_rejoin(&mut self, endpoint: E, resume_token: u64) -> Outgoing<E> {
+        let resumable = self
+            .tokens
+            .get(&resume_token)
+            .copied()
+            .filter(|id| self.quarantined.contains_key(id))
+            .filter(|_| self.registry.instance_at(endpoint).is_none());
+        let Some(id) = resumable else {
+            self.rejoins_rejected += 1;
+            return vec![(
+                endpoint,
+                Message::ErrorReply {
+                    context: "rejoin".to_owned(),
+                    reason: "unknown or expired resume token".to_owned(),
+                },
+            )];
+        };
+        self.quarantined.remove(&id);
+        self.registry.rebind(id, endpoint);
+        self.last_seen.insert(id, self.now_us);
+        self.resumes += 1;
+        // Rotate the token: a resume credential is single-use.
+        let fresh = self.mint_token(id);
+        vec![
+            (endpoint, Message::Welcome { instance: id }),
+            (endpoint, Message::SessionToken { resume_token: fresh }),
+        ]
+    }
+
     /// Processes one message from `endpoint`, returning the messages to
     /// send in response (to any endpoints).
     pub fn handle(&mut self, endpoint: E, msg: Message) -> Outgoing<E> {
-        // Registration is the only message legal before a Welcome.
+        // Registration and rejoin are the only messages legal before a
+        // Welcome.
         if let Message::Register { user, host, app_name } = &msg {
             let id = self.registry.register(endpoint, *user, host, app_name);
-            let out = vec![(endpoint, Message::Welcome { instance: id })];
+            self.last_seen.insert(id, self.now_us);
+            let mut out = vec![(endpoint, Message::Welcome { instance: id })];
+            if self.liveness.grace_us > 0 {
+                let token = self.mint_token(id);
+                out.push((endpoint, Message::SessionToken { resume_token: token }));
+            }
+            self.note_outgoing(&out);
+            return out;
+        }
+        if let Message::Rejoin { resume_token } = &msg {
+            let out = self.do_rejoin(endpoint, *resume_token);
             self.note_outgoing(&out);
             return out;
         }
@@ -292,6 +504,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             self.note_outgoing(&out);
             return out;
         };
+        self.last_seen.insert(from, self.now_us);
         let out = self.handle_registered(from, msg);
         self.note_outgoing(&out);
         out
@@ -300,7 +513,15 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
     fn handle_registered(&mut self, from: InstanceId, msg: Message) -> Outgoing<E> {
         let mut out = Vec::new();
         match msg {
-            Message::Register { .. } => unreachable!("handled in handle()"),
+            Message::Register { .. } | Message::Rejoin { .. } => {
+                unreachable!("handled in handle()")
+            }
+            Message::Ping { nonce } => {
+                self.pings += 1;
+                self.to_instance(from, Message::Pong { nonce }, &mut out);
+            }
+            // Any traffic counts as liveness; a Pong needs no reply.
+            Message::Pong { .. } => {}
             Message::Deregister => {
                 out.extend(self.deregister_instance(from));
             }
@@ -531,6 +752,12 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             if *member == base {
                 continue;
             }
+            // A quarantined member can neither execute the event nor send
+            // `ExecuteDone`; skip it so the group's locks don't hang on a
+            // dead connection. It reconverges by state on rejoin.
+            if !self.registry.is_bound(member.instance) {
+                continue;
+            }
             *owed.entry(member.instance).or_insert(0) += 1;
             let target = member.path.join(&rel);
             targets.push(GlobalObjectId::new(member.instance, target.clone()));
@@ -621,9 +848,21 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             // CopyTo: the sender supplied the snapshot; apply directly.
             Some(snapshot) => {
                 self.fan_out_apply(group_id, &dst, snapshot, mode, TransferKind::Copy, &mut out);
+                // All destinations unreachable -> the group failed with
+                // zero legs outstanding; report instead of hanging.
+                self.maybe_finish_group(group_id, &mut out);
             }
             // CopyFrom / RemoteCopy: pull the state from the source first.
             None => {
+                // A quarantined source will never answer a `StateRequest`;
+                // fail the transfer now rather than after the grace period.
+                if !self.registry.is_bound(src.instance) {
+                    if let Some(g) = self.transfer_groups.get_mut(&group_id) {
+                        g.failed = Some("source instance is unreachable".into());
+                    }
+                    self.maybe_finish_group(group_id, &mut out);
+                    return out;
+                }
                 let req_id = self.next_transfer;
                 self.next_transfer += 1;
                 self.pending_pulls
@@ -652,8 +891,29 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         kind: TransferKind,
         out: &mut Outgoing<E>,
     ) {
-        let targets = self.couples.group_of(dst);
-        let group = self.transfer_groups.get_mut(&group_id).expect("group exists");
+        // The group can be gone (its requester died between the pull and
+        // the reply) or already failed (an earlier leg errored). Fanning
+        // out `ApplyState` then would create legs no one will collect.
+        match self.transfer_groups.get(&group_id) {
+            Some(g) if g.failed.is_none() => {}
+            _ => return,
+        }
+        // Quarantined destinations cannot receive state; they reconverge
+        // via their own `CopyFrom` resync on rejoin instead of holding
+        // the whole transfer group hostage.
+        let targets: Vec<GlobalObjectId> = self
+            .couples
+            .group_of(dst)
+            .into_iter()
+            .filter(|t| self.registry.is_bound(t.instance))
+            .collect();
+        let Some(group) = self.transfer_groups.get_mut(&group_id) else {
+            return;
+        };
+        if targets.is_empty() {
+            group.failed = Some("destination instance is unreachable".into());
+            return;
+        }
         group.outstanding += targets.len();
         for target in targets {
             let req_id = self.next_transfer;
@@ -796,6 +1056,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         // Undo/redo also fans out to the object's coupling group so the
         // group stays consistent.
         self.fan_out_apply(group_id, &object, snapshot, CopyMode::DestructiveMerge, kind, &mut out);
+        self.maybe_finish_group(group_id, &mut out);
         out
     }
 
@@ -816,14 +1077,16 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         };
         match to {
             Target::Instance(i) => {
-                if self.registry.contains(i) {
+                if self.registry.is_bound(i) {
                     self.to_instance(i, delivery(&command, &payload), &mut out);
                 } else {
+                    // Unknown or quarantined: either way the command cannot
+                    // be delivered right now, and commands are not queued.
                     self.to_instance(
                         from,
                         Message::ErrorReply {
                             context: "co-send-command".into(),
-                            reason: format!("instance {i} is not registered"),
+                            reason: format!("instance {i} is not reachable"),
                         },
                         &mut out,
                     );
@@ -849,24 +1112,14 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
 
     // ---- termination ---------------------------------------------------------
 
-    fn deregister_instance(&mut self, id: InstanceId) -> Outgoing<E> {
-        let mut out = Vec::new();
-        // Auto-decouple: notify each surviving group of its new membership.
-        let affected = self.couples.remove_instance(id);
-        for survivors in affected {
-            let mut instances: Vec<InstanceId> = survivors.iter().map(|g| g.instance).collect();
-            instances.sort();
-            instances.dedup();
-            for inst in instances {
-                if inst != id {
-                    self.to_instance(
-                        inst,
-                        Message::CoupleUpdate { group: survivors.clone() },
-                        &mut out,
-                    );
-                }
-            }
-        }
+    /// Severs an instance's participation in live protocol work: settles
+    /// executions waiting on it, fails transfer legs and pulls touching
+    /// it, and drops transfer groups it requested — *including their
+    /// orphaned legs*, so a late `StateReply`/`StateApplied` for a dead
+    /// requester finds nothing to act on instead of a dangling pull whose
+    /// group is gone. Shared by deregistration and quarantine: peers must
+    /// never block on a dead connection, whether or not it may return.
+    fn sever_instance_io(&mut self, id: InstanceId, out: &mut Outgoing<E>) {
         // Settle pending executions that were waiting on the dead instance.
         let exec_ids: Vec<u64> = self.execs.keys().copied().collect();
         for exec_id in exec_ids {
@@ -879,7 +1132,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
                 let exec = self.execs.remove(&exec_id).expect("present");
                 let targets: Vec<GlobalObjectId> =
                     exec.targets.iter().filter(|t| t.instance != id).cloned().collect();
-                self.finish_exec(exec_id, &targets, &mut out);
+                self.finish_exec(exec_id, &targets, out);
             }
         }
         // Fail transfer legs touching the dead instance.
@@ -891,7 +1144,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
                 g.outstanding -= 1;
                 g.failed = Some("peer instance terminated".into());
             }
-            self.maybe_finish_group(t.group, &mut out);
+            self.maybe_finish_group(t.group, out);
         }
         // A pull leg dies with either end: the destination can no longer
         // apply, and a source that dies before its `StateReply` would
@@ -913,13 +1166,67 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
                     "peer instance terminated".into()
                 });
             }
-            self.maybe_finish_group(pull.group, &mut out);
+            self.maybe_finish_group(pull.group, &mut *out);
         }
-        // Groups whose requester died just evaporate (there is no one
-        // left to answer); they still count as failed transfers.
-        let before = self.transfer_groups.len();
-        self.transfer_groups.retain(|_, g| g.requester != id);
-        self.transfers_failed += (before - self.transfer_groups.len()) as u64;
+        // Groups whose requester died evaporate (there is no one left to
+        // answer); they still count as failed transfers. Their remaining
+        // legs and pulls must go with them — a group-less leg would make
+        // a late `StateReply` resurrect state for a dead requester (and,
+        // before this purge existed, panic in `fan_out_apply`).
+        let dead_groups: Vec<u64> = self
+            .transfer_groups
+            .iter()
+            .filter(|(_, g)| g.requester == id)
+            .map(|(k, _)| *k)
+            .collect();
+        if !dead_groups.is_empty() {
+            self.transfers_failed += dead_groups.len() as u64;
+            for group_id in &dead_groups {
+                self.transfer_groups.remove(group_id);
+            }
+            self.transfers.retain(|_, t| !dead_groups.contains(&t.group));
+            self.pending_pulls.retain(|_, p| !dead_groups.contains(&p.group));
+        }
+    }
+
+    /// Places an instance in quarantine: live I/O is severed and the
+    /// endpoint unbound, but the registration record, couples, and
+    /// access rights survive until the grace period expires.
+    fn quarantine_instance(&mut self, id: InstanceId) -> Outgoing<E> {
+        let mut out = Vec::new();
+        self.sever_instance_io(id, &mut out);
+        self.registry.unbind(id);
+        self.last_seen.remove(&id);
+        let deadline_us = self.now_us.saturating_add(self.liveness.grace_us);
+        self.quarantined.insert(id, Quarantined { deadline_us });
+        self.quarantines += 1;
+        out
+    }
+
+    fn deregister_instance(&mut self, id: InstanceId) -> Outgoing<E> {
+        let mut out = Vec::new();
+        // Auto-decouple: notify each surviving group of its new membership.
+        let affected = self.couples.remove_instance(id);
+        for survivors in affected {
+            let mut instances: Vec<InstanceId> = survivors.iter().map(|g| g.instance).collect();
+            instances.sort();
+            instances.dedup();
+            for inst in instances {
+                if inst != id {
+                    self.to_instance(
+                        inst,
+                        Message::CoupleUpdate { group: survivors.clone() },
+                        &mut out,
+                    );
+                }
+            }
+        }
+        self.sever_instance_io(id, &mut out);
+        self.quarantined.remove(&id);
+        self.last_seen.remove(&id);
+        if let Some(token) = self.token_of.remove(&id) {
+            self.tokens.remove(&token);
+        }
         self.registry.deregister(id);
         out
     }

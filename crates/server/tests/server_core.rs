@@ -596,3 +596,343 @@ fn stats_track_floor_control_and_fanout() {
     assert!(stats.max_fanout >= 2);
     assert!(stats.messages_out >= 6);
 }
+
+// ---- failure handling & liveness (disconnect, quarantine, rejoin) --------
+
+fn register_with_token(
+    server: &mut ServerCore<Endpoint>,
+    endpoint: Endpoint,
+    user: u64,
+) -> (InstanceId, u64) {
+    let out = server.handle(
+        endpoint,
+        Message::Register {
+            user: UserId(user),
+            host: format!("ws{endpoint}"),
+            app_name: "app".into(),
+        },
+    );
+    let instance = match find(&out, endpoint, "welcome") {
+        Message::Welcome { instance } => *instance,
+        _ => unreachable!(),
+    };
+    let token = match find(&out, endpoint, "session-token") {
+        Message::SessionToken { resume_token } => *resume_token,
+        _ => unreachable!(),
+    };
+    (instance, token)
+}
+
+#[test]
+fn late_state_reply_after_requester_death_is_harmless() {
+    // Regression: a CopyFrom requester dying before the source's
+    // StateReply used to leave a pull leg whose transfer group was
+    // dropped, and the late reply panicked in the fan-out.
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+
+    let out = s.handle(
+        1,
+        Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 9 },
+    );
+    let req_id = match find(&out, 2, "state-request") {
+        Message::StateRequest { req_id, .. } => *req_id,
+        _ => unreachable!(),
+    };
+
+    // The requester's connection dies before b replies.
+    s.disconnect(1);
+    let stats = s.stats();
+    assert_eq!(stats.transfers_failed, 1);
+    assert_eq!(stats.live_transfer_groups, 0);
+    assert_eq!(stats.live_pending_pulls, 0);
+
+    // The late reply finds nothing to act on — and nobody to tell.
+    let snapshot = StateNode::new(WidgetKind::Form, "q");
+    let out = s.handle(2, Message::StateReply { req_id, snapshot: Some(snapshot) });
+    assert!(out.is_empty(), "late StateReply must be ignored, got {out:?}");
+    assert_eq!(s.stats().live_transfer_legs, 0);
+}
+
+#[test]
+fn remote_copy_requester_death_purges_orphaned_legs() {
+    // Third-party variant: the requester is neither source nor
+    // destination, so its death reaps the group by requester alone —
+    // the group's pull leg must go with it.
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let _a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+    let c = register(&mut s, 3, 3);
+
+    let out = s.handle(
+        1,
+        Message::RemoteCopy {
+            src: gid(b, "q"),
+            dst: gid(c, "q"),
+            mode: CopyMode::Strict,
+            req_id: 5,
+        },
+    );
+    let req_id = match find(&out, 2, "state-request") {
+        Message::StateRequest { req_id, .. } => *req_id,
+        _ => unreachable!(),
+    };
+
+    s.disconnect(1);
+    let stats = s.stats();
+    assert_eq!(stats.transfers_failed, 1);
+    assert_eq!(stats.live_transfer_groups, 0);
+    assert_eq!(stats.live_pending_pulls, 0, "orphaned pull leg must be purged");
+
+    let snapshot = StateNode::new(WidgetKind::Form, "q");
+    let out = s.handle(2, Message::StateReply { req_id, snapshot: Some(snapshot) });
+    assert!(out.is_empty(), "no ApplyState may be fanned out for a dead requester, got {out:?}");
+    assert_eq!(s.stats().live_transfer_legs, 0);
+}
+
+#[test]
+fn ping_is_answered_with_pong() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    register(&mut s, 1, 1);
+    let out = s.handle(1, Message::Ping { nonce: 42 });
+    match find(&out, 1, "pong") {
+        Message::Pong { nonce } => assert_eq!(*nonce, 42),
+        _ => unreachable!(),
+    }
+    assert_eq!(s.stats().pings, 1);
+}
+
+#[test]
+fn disconnect_with_grace_quarantines_and_rejoin_resumes() {
+    let mut s: ServerCore<Endpoint> = ServerCore::with_liveness(cosoft_server::LivenessConfig {
+        grace_us: 1_000,
+        idle_timeout_us: 0,
+    });
+    let (a, token_a) = register_with_token(&mut s, 1, 1);
+    let (b, _) = register_with_token(&mut s, 2, 2);
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+
+    // The connection drops silently: quarantined, not deregistered.
+    let out = s.disconnect(1);
+    assert_eq!(count_kind(&out, "couple-update"), 0, "couples must survive quarantine");
+    let stats = s.stats();
+    assert_eq!(stats.quarantines, 1);
+    assert_eq!(stats.quarantined_instances, 1);
+    assert_eq!(stats.registered_instances, 2);
+    assert!(s.couples().is_coupled(&gid(a, "x")));
+
+    // Rejoining from a fresh endpoint reclaims the same instance id and
+    // rotates the resume token.
+    let out = s.handle(7, Message::Rejoin { resume_token: token_a });
+    match find(&out, 7, "welcome") {
+        Message::Welcome { instance } => assert_eq!(*instance, a),
+        _ => unreachable!(),
+    }
+    let fresh = match find(&out, 7, "session-token") {
+        Message::SessionToken { resume_token } => *resume_token,
+        _ => unreachable!(),
+    };
+    assert_ne!(fresh, token_a, "resume tokens are single-use");
+    let stats = s.stats();
+    assert_eq!(stats.resumes, 1);
+    assert_eq!(stats.quarantined_instances, 0);
+    assert!(s.couples().is_coupled(&gid(a, "x")));
+
+    // The spent token no longer resolves.
+    let out = s.handle(8, Message::Rejoin { resume_token: token_a });
+    assert!(matches!(find(&out, 8, "error-reply"), Message::ErrorReply { .. }));
+    assert_eq!(s.stats().rejoins_rejected, 1);
+}
+
+#[test]
+fn grace_expiry_deregisters_and_decouples() {
+    let mut s: ServerCore<Endpoint> = ServerCore::with_liveness(cosoft_server::LivenessConfig {
+        grace_us: 1_000,
+        idle_timeout_us: 0,
+    });
+    let (a, token_a) = register_with_token(&mut s, 1, 1);
+    let (b, _) = register_with_token(&mut s, 2, 2);
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+
+    s.disconnect(1);
+    // Mid-grace: nothing happens yet.
+    let out = s.tick(500);
+    assert!(out.is_empty());
+    assert_eq!(s.stats().quarantined_instances, 1);
+
+    // Past the deadline: full deregistration with auto-decoupling.
+    let out = s.tick(1_600);
+    match find(&out, 2, "couple-update") {
+        Message::CoupleUpdate { group } => assert_eq!(group.len(), 1),
+        _ => unreachable!(),
+    }
+    let stats = s.stats();
+    assert_eq!(stats.quarantine_expiries, 1);
+    assert_eq!(stats.quarantined_instances, 0);
+    assert_eq!(stats.registered_instances, 1);
+
+    // The token died with the quarantine.
+    let out = s.handle(7, Message::Rejoin { resume_token: token_a });
+    assert!(matches!(find(&out, 7, "error-reply"), Message::ErrorReply { .. }));
+}
+
+#[test]
+fn copies_touching_a_quarantined_instance_fail_fast() {
+    let mut s: ServerCore<Endpoint> = ServerCore::with_liveness(cosoft_server::LivenessConfig {
+        grace_us: 60_000_000,
+        idle_timeout_us: 0,
+    });
+    let (a, _) = register_with_token(&mut s, 1, 1);
+    let (b, _) = register_with_token(&mut s, 2, 2);
+    s.disconnect(2);
+
+    // Pulling from a quarantined source fails immediately instead of
+    // waiting out the grace period.
+    let out = s.handle(
+        1,
+        Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 4 },
+    );
+    assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
+
+    // Pushing onto a quarantined destination likewise.
+    let out = s.handle(
+        1,
+        Message::CopyTo {
+            src: gid(a, "l"),
+            dst: gid(b, "l"),
+            snapshot: StateNode::new(WidgetKind::Label, "l"),
+            mode: CopyMode::Strict,
+            req_id: 5,
+        },
+    );
+    assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
+    let stats = s.stats();
+    assert_eq!(stats.live_transfer_groups, 0);
+    assert_eq!(stats.live_pending_pulls, 0);
+    assert_eq!(stats.live_transfer_legs, 0);
+}
+
+#[test]
+fn events_skip_quarantined_group_members() {
+    let mut s: ServerCore<Endpoint> = ServerCore::with_liveness(cosoft_server::LivenessConfig {
+        grace_us: 60_000_000,
+        idle_timeout_us: 0,
+    });
+    let (a, _) = register_with_token(&mut s, 1, 1);
+    let (b, _) = register_with_token(&mut s, 2, 2);
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") });
+    s.disconnect(2);
+
+    let event = UiEvent::new(
+        ObjectPath::parse("x").unwrap(),
+        EventKind::TextCommitted,
+        vec![Value::Text("v".into())],
+    );
+    let out = s.handle(1, Message::Event { origin: gid(a, "x"), event, seq: 1 });
+    assert_eq!(count_kind(&out, "execute-event"), 0, "no ExecuteEvent to a dead connection");
+    let exec_id = match find(&out, 1, "event-granted") {
+        Message::EventGranted { exec_id, .. } => *exec_id,
+        _ => unreachable!(),
+    };
+    // The origin's own done finishes the execution — it does not hang on
+    // the quarantined member.
+    let out = s.handle(1, Message::ExecuteDone { exec_id });
+    assert_eq!(count_kind(&out, "group-unlocked"), 1);
+    assert_eq!(s.stats().live_execs, 0);
+}
+
+#[test]
+fn idle_timeout_quarantines_silent_instances() {
+    let mut s: ServerCore<Endpoint> = ServerCore::with_liveness(cosoft_server::LivenessConfig {
+        grace_us: 10_000,
+        idle_timeout_us: 1_000,
+    });
+    let (_a, _) = register_with_token(&mut s, 1, 1);
+    let (b, token_b) = register_with_token(&mut s, 2, 2);
+
+    // Advance the clock, then only a is heard from.
+    s.tick(500);
+    s.handle(1, Message::Ping { nonce: 1 });
+
+    // At t=1400, b (last seen at 0) is past the idle cutoff; a (seen at
+    // 500) is not.
+    s.tick(1_400);
+    let stats = s.stats();
+    assert_eq!(stats.quarantines, 1);
+    assert_eq!(stats.quarantined_instances, 1);
+
+    // The silent client reconnects and resumes.
+    let out = s.handle(9, Message::Rejoin { resume_token: token_b });
+    match find(&out, 9, "welcome") {
+        Message::Welcome { instance } => assert_eq!(*instance, b),
+        _ => unreachable!(),
+    }
+    assert_eq!(s.stats().resumes, 1);
+}
+
+#[test]
+fn teardown_leaves_no_inflight_work() {
+    // Deterministic counterpart of the `no_leaks_after_all_instances_deregister`
+    // property: a mixed workload with partially answered requests is torn
+    // down by disconnecting everyone; nothing in-flight may survive.
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+    let c = register(&mut s, 3, 3);
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") });
+    s.handle(3, Message::Couple { src: gid(c, "x"), dst: gid(b, "x") });
+
+    // An event whose ExecuteDones never all arrive.
+    let event = UiEvent::new(
+        ObjectPath::parse("x").unwrap(),
+        EventKind::TextCommitted,
+        vec![Value::Text("v".into())],
+    );
+    let out = s.handle(1, Message::Event { origin: gid(a, "x"), event, seq: 1 });
+    let exec_id = match find(&out, 1, "event-granted") {
+        Message::EventGranted { exec_id, .. } => *exec_id,
+        _ => unreachable!(),
+    };
+    s.handle(1, Message::ExecuteDone { exec_id });
+
+    // A pull that is never answered, a push that is half-answered, and a
+    // third-party copy left dangling.
+    s.handle(
+        1,
+        Message::CopyFrom { src: gid(b, "x"), dst: gid(a, "x"), mode: CopyMode::Strict, req_id: 1 },
+    );
+    let out = s.handle(
+        1,
+        Message::CopyTo {
+            src: gid(a, "x"),
+            dst: gid(b, "x"),
+            snapshot: StateNode::new(WidgetKind::Label, "x"),
+            mode: CopyMode::Strict,
+            req_id: 2,
+        },
+    );
+    if let Message::ApplyState { req_id, .. } = find(&out, 2, "apply-state") {
+        s.handle(2, Message::StateApplied { req_id: *req_id, overwritten: None, error: None });
+    }
+    s.handle(
+        3,
+        Message::RemoteCopy {
+            src: gid(a, "x"),
+            dst: gid(b, "x"),
+            mode: CopyMode::Strict,
+            req_id: 3,
+        },
+    );
+
+    for endpoint in [1, 2, 3] {
+        s.disconnect(endpoint);
+    }
+    let stats = s.stats();
+    assert_eq!(stats.registered_instances, 0);
+    assert_eq!(stats.live_transfer_groups, 0);
+    assert_eq!(stats.live_transfer_legs, 0);
+    assert_eq!(stats.live_pending_pulls, 0);
+    assert_eq!(stats.live_execs, 0);
+    assert_eq!(stats.held_locks, 0);
+}

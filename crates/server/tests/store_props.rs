@@ -180,3 +180,205 @@ proptest! {
         }
     }
 }
+
+// ---- whole-core teardown invariant ---------------------------------------
+
+use cosoft_server::ServerCore;
+use cosoft_wire::{CopyMode, EventKind, Message, UiEvent, UserId};
+
+#[derive(Debug, Clone)]
+enum CoreOp {
+    Couple(u8, u8),
+    Event(u8),
+    CopyFrom(u8, u8),
+    CopyTo(u8, u8),
+    RemoteCopy(u8, u8, u8),
+    Disconnect(u8),
+    Reconnect(u8),
+    /// Answer up to N queued server→client messages.
+    Pump(u8),
+}
+
+fn arb_core_op() -> impl Strategy<Value = CoreOp> {
+    prop_oneof![
+        (0u8..4, 0u8..4).prop_map(|(a, b)| CoreOp::Couple(a, b)),
+        (0u8..4).prop_map(CoreOp::Event),
+        (0u8..4, 0u8..4).prop_map(|(a, b)| CoreOp::CopyFrom(a, b)),
+        (0u8..4, 0u8..4).prop_map(|(a, b)| CoreOp::CopyTo(a, b)),
+        (0u8..4, 0u8..4, 0u8..4).prop_map(|(a, b, c)| CoreOp::RemoteCopy(a, b, c)),
+        (0u8..4).prop_map(CoreOp::Disconnect),
+        (0u8..4).prop_map(CoreOp::Reconnect),
+        (1u8..6).prop_map(CoreOp::Pump),
+    ]
+}
+
+fn obj(i: InstanceId, name: &str) -> GlobalObjectId {
+    GlobalObjectId::new(i, ObjectPath::parse(name).expect("valid"))
+}
+
+fn snap() -> StateNode {
+    StateNode::new(WidgetKind::Label, "x").with_attr(AttrName::Text, Value::Text("s".into()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After every instance deregisters, no in-flight work survives:
+    /// transfer groups, push legs, pull legs, execution groups, and
+    /// locks are all empty — whatever the interleaving of transfers,
+    /// events, partially answered requests, and abrupt disconnects.
+    #[test]
+    fn no_leaks_after_all_instances_deregister(
+        ops in prop::collection::vec(arb_core_op(), 1..60),
+    ) {
+        let mut s: ServerCore<u64> = ServerCore::new();
+        // Four client slots; each holds its current endpoint + instance
+        // while connected.
+        let mut slots: [Option<(u64, InstanceId)>; 4] = [None, None, None, None];
+        let mut next_endpoint = 1u64;
+        // Server→client traffic awaiting a (possible) client reaction.
+        let mut inbox: Vec<(u64, Message)> = Vec::new();
+        let mut req = 100u64;
+
+        let register = |s: &mut ServerCore<u64>, next_endpoint: &mut u64| {
+            let e = *next_endpoint;
+            *next_endpoint += 1;
+            let out = s.handle(e, Message::Register {
+                user: UserId(7),
+                host: "h".into(),
+                app_name: "app".into(),
+            });
+            let instance = out
+                .iter()
+                .find_map(|(_, m)| match m {
+                    Message::Welcome { instance } => Some(*instance),
+                    _ => None,
+                })
+                .expect("welcome");
+            (e, instance)
+        };
+        for slot in &mut slots {
+            *slot = Some(register(&mut s, &mut next_endpoint));
+        }
+
+        for op in ops {
+            match op {
+                CoreOp::Couple(a, b) => {
+                    let (Some((ea, ia)), Some((_, ib))) =
+                        (slots[a as usize], slots[b as usize]) else { continue };
+                    inbox.extend(s.handle(ea, Message::Couple {
+                        src: obj(ia, "x"),
+                        dst: obj(ib, "y"),
+                    }));
+                }
+                CoreOp::Event(a) => {
+                    let Some((ea, ia)) = slots[a as usize] else { continue };
+                    let event = UiEvent::new(
+                        ObjectPath::parse("x").expect("valid"),
+                        EventKind::TextCommitted,
+                        vec![Value::Text("v".into())],
+                    );
+                    req += 1;
+                    inbox.extend(s.handle(ea, Message::Event {
+                        origin: obj(ia, "x"),
+                        event,
+                        seq: req,
+                    }));
+                }
+                CoreOp::CopyFrom(a, b) => {
+                    let (Some((ea, ia)), Some((_, ib))) =
+                        (slots[a as usize], slots[b as usize]) else { continue };
+                    req += 1;
+                    inbox.extend(s.handle(ea, Message::CopyFrom {
+                        src: obj(ib, "x"),
+                        dst: obj(ia, "x"),
+                        mode: CopyMode::Strict,
+                        req_id: req,
+                    }));
+                }
+                CoreOp::CopyTo(a, b) => {
+                    let (Some((ea, ia)), Some((_, ib))) =
+                        (slots[a as usize], slots[b as usize]) else { continue };
+                    req += 1;
+                    inbox.extend(s.handle(ea, Message::CopyTo {
+                        src: obj(ia, "x"),
+                        dst: obj(ib, "y"),
+                        snapshot: snap(),
+                        mode: CopyMode::Strict,
+                        req_id: req,
+                    }));
+                }
+                CoreOp::RemoteCopy(a, b, c) => {
+                    let (Some((ea, _)), Some((_, ib)), Some((_, ic))) =
+                        (slots[a as usize], slots[b as usize], slots[c as usize])
+                        else { continue };
+                    req += 1;
+                    inbox.extend(s.handle(ea, Message::RemoteCopy {
+                        src: obj(ib, "x"),
+                        dst: obj(ic, "y"),
+                        mode: CopyMode::Strict,
+                        req_id: req,
+                    }));
+                }
+                CoreOp::Disconnect(a) => {
+                    let Some((ea, _)) = slots[a as usize].take() else { continue };
+                    inbox.extend(s.disconnect(ea));
+                }
+                CoreOp::Reconnect(a) => {
+                    if slots[a as usize].is_none() {
+                        slots[a as usize] = Some(register(&mut s, &mut next_endpoint));
+                    }
+                }
+                CoreOp::Pump(n) => {
+                    for _ in 0..n {
+                        if inbox.is_empty() {
+                            break;
+                        }
+                        let (e, msg) = inbox.remove(0);
+                        if !slots.iter().flatten().any(|(se, _)| *se == e) {
+                            continue; // addressed to a dead connection
+                        }
+                        let reply = match msg {
+                            Message::StateRequest { req_id, .. } => {
+                                let snapshot = if req_id % 3 == 0 { None } else { Some(snap()) };
+                                Some(Message::StateReply { req_id, snapshot })
+                            }
+                            Message::ApplyState { req_id, .. } => Some(Message::StateApplied {
+                                req_id,
+                                overwritten: Some(snap()),
+                                error: if req_id % 5 == 0 {
+                                    Some("apply failed".into())
+                                } else {
+                                    None
+                                },
+                            }),
+                            Message::EventGranted { exec_id, .. }
+                            | Message::ExecuteEvent { exec_id, .. } => {
+                                Some(Message::ExecuteDone { exec_id })
+                            }
+                            _ => None,
+                        };
+                        if let Some(reply) = reply {
+                            inbox.extend(s.handle(e, reply));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Tear everything down; unanswered requests die with their
+        // instances.
+        for slot in &mut slots {
+            if let Some((e, _)) = slot.take() {
+                s.disconnect(e);
+            }
+        }
+        let stats = s.stats();
+        prop_assert_eq!(stats.registered_instances, 0);
+        prop_assert_eq!(stats.live_transfer_groups, 0);
+        prop_assert_eq!(stats.live_transfer_legs, 0);
+        prop_assert_eq!(stats.live_pending_pulls, 0);
+        prop_assert_eq!(stats.live_execs, 0);
+        prop_assert_eq!(stats.held_locks, 0);
+    }
+}

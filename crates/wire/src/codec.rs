@@ -723,6 +723,22 @@ pub fn put_message(buf: &mut BytesMut, m: &Message) {
             buf.put_u8(32);
             put_gid(buf, object);
         }
+        Message::Rejoin { resume_token } => {
+            buf.put_u8(33);
+            put_uvarint(buf, *resume_token);
+        }
+        Message::Ping { nonce } => {
+            buf.put_u8(34);
+            put_uvarint(buf, *nonce);
+        }
+        Message::Pong { nonce } => {
+            buf.put_u8(35);
+            put_uvarint(buf, *nonce);
+        }
+        Message::SessionToken { resume_token } => {
+            buf.put_u8(36);
+            put_uvarint(buf, *resume_token);
+        }
     }
 }
 
@@ -855,6 +871,10 @@ pub fn get_message(buf: &mut Bytes) -> Result<Message> {
         },
         31 => Message::ErrorReply { context: get_str(buf)?, reason: get_str(buf)? },
         32 => Message::ObjectDestroyed { object: get_gid(buf)? },
+        33 => Message::Rejoin { resume_token: get_uvarint(buf)? },
+        34 => Message::Ping { nonce: get_uvarint(buf)? },
+        35 => Message::Pong { nonce: get_uvarint(buf)? },
+        36 => Message::SessionToken { resume_token: get_uvarint(buf)? },
         other => return Err(WireError::InvalidTag { kind: "Message", tag: other }),
     })
 }
@@ -1041,6 +1061,10 @@ mod tests {
                 payload: vec![9, 8],
             },
             Message::ErrorReply { context: "couple".into(), reason: "unknown instance".into() },
+            Message::Rejoin { resume_token: 0xdead_beef },
+            Message::Ping { nonce: 17 },
+            Message::Pong { nonce: 17 },
+            Message::SessionToken { resume_token: u64::MAX },
         ]
     }
 

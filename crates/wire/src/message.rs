@@ -109,6 +109,27 @@ pub enum Message {
     },
     /// Graceful instance termination; triggers automatic decoupling.
     Deregister,
+    /// Reclaim a quarantined instance after a connection drop. Carries the
+    /// opaque token issued in [`Message::SessionToken`]; on success the
+    /// server re-binds the old [`InstanceId`] — with its couples and access
+    /// rights intact — to the new connection and answers with
+    /// [`Message::Welcome`] followed by a fresh [`Message::SessionToken`].
+    Rejoin {
+        /// Token proving ownership of the quarantined instance.
+        resume_token: u64,
+    },
+    /// Liveness probe. Either side may send it; the peer answers with
+    /// [`Message::Pong`] echoing the nonce. Any traffic counts as liveness,
+    /// so pings are only needed on otherwise-idle connections.
+    Ping {
+        /// Opaque nonce echoed in the reply.
+        nonce: u64,
+    },
+    /// Reply to [`Message::Ping`].
+    Pong {
+        /// Echo of the probe nonce.
+        nonce: u64,
+    },
     /// Ask for the registration records of all instances (used by the
     /// classroom join UI to show the "stylized classroom situation").
     QueryInstances,
@@ -123,6 +144,14 @@ pub enum Message {
     InstanceList {
         /// One record per live instance.
         entries: Vec<InstanceInfo>,
+    },
+    /// Resume credential for the instance this connection is bound to,
+    /// sent right after [`Message::Welcome`] (and re-issued, rotated, after
+    /// every successful [`Message::Rejoin`]). Presenting it within the
+    /// server's grace period reclaims the instance.
+    SessionToken {
+        /// The (rotating) resume token.
+        resume_token: u64,
     },
 
     // ---- coupling management -------------------------------------------
@@ -379,6 +408,10 @@ impl Message {
         match self {
             Message::Register { .. } => "register",
             Message::Deregister => "deregister",
+            Message::Rejoin { .. } => "rejoin",
+            Message::Ping { .. } => "ping",
+            Message::Pong { .. } => "pong",
+            Message::SessionToken { .. } => "session-token",
             Message::QueryInstances => "query-instances",
             Message::Welcome { .. } => "welcome",
             Message::InstanceList { .. } => "instance-list",

@@ -144,6 +144,18 @@ fn golden_float_bits() {
 }
 
 #[test]
+fn golden_liveness_messages() {
+    // 300 = LEB128 0xAC 0x02.
+    assert_eq!(codec::encode_message(&Message::Rejoin { resume_token: 300 }), vec![33, 0xac, 0x02]);
+    assert_eq!(codec::encode_message(&Message::Ping { nonce: 5 }), vec![34, 5]);
+    assert_eq!(codec::encode_message(&Message::Pong { nonce: 5 }), vec![35, 5]);
+    assert_eq!(
+        codec::encode_message(&Message::SessionToken { resume_token: 300 }),
+        vec![36, 0xac, 0x02]
+    );
+}
+
+#[test]
 fn golden_stroke_list() {
     let mut buf = bytes::BytesMut::new();
     codec::put_value(&mut buf, &Value::StrokeList(vec![vec![(1, -1)], vec![]]));

@@ -1,12 +1,16 @@
 //! The same coupling stack over real TCP sockets: a server thread plus
-//! two client sessions, coupling a text field end-to-end.
+//! two client sessions, coupling a text field end-to-end — then a
+//! simulated network failure under one client, which redials, rejoins
+//! under its resume token, and reconverges.
 //!
 //! Run with `cargo run --example tcp_demo`.
 
 use std::time::Duration;
 
 use cosoft::core::session::Session;
+use cosoft::net::tcp::{ReconnectPolicy, TcpHostConfig};
 use cosoft::runtime::{TcpServer, TcpSession};
+use cosoft::server::LivenessConfig;
 use cosoft::uikit::{spec, Toolkit};
 use cosoft::wire::{AttrName, EventKind, ObjectPath, UiEvent, UserId, Value};
 
@@ -17,7 +21,13 @@ fn field_text(s: &Session, path: &ObjectPath) -> String {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let server = TcpServer::spawn("127.0.0.1:0")?;
+    // A 10s quarantine grace period keeps a dropped client's instance
+    // id, couples, and access rights resumable while it redials.
+    let server = TcpServer::spawn_with_liveness(
+        "127.0.0.1:0",
+        TcpHostConfig::default(),
+        LivenessConfig { grace_us: 10_000_000, idle_timeout_us: 0 },
+    )?;
     println!("server listening on {}", server.addr());
 
     let form = r#"form pad { textfield line text="" }"#;
@@ -30,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
     };
     let mut alice = TcpSession::connect(server.addr(), make(1, "alice"))?;
-    let mut bob = TcpSession::connect(server.addr(), make(2, "bob"))?;
+    let mut bob = TcpSession::connect_with_reconnect(
+        server.addr(),
+        make(2, "bob"),
+        ReconnectPolicy::default(),
+    )?;
     println!(
         "registered over TCP: alice={:?} bob={:?}",
         alice.session().instance(),
@@ -72,6 +86,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("alice sees: {}", field_text(alice.session(), &path));
     println!("bob sees:   {}", field_text(bob.session(), &path));
 
+    // The network fails under bob; alice keeps editing meanwhile. Bob's
+    // client redials, rejoins under its resume token, and the session
+    // pulls the missed state with a CopyFrom resync.
+    let bob_instance = bob.session().instance();
+    bob.client().sever();
+    alice.session_mut().user_event(UiEvent::new(
+        path.clone(),
+        EventKind::TextCommitted,
+        vec![Value::Text("edited while bob was gone".into())],
+    ))?;
+    alice.flush()?;
+    let recovered = {
+        let p = path.clone();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut ok = false;
+        while std::time::Instant::now() < deadline && !ok {
+            alice.pump_for(Duration::from_millis(50))?;
+            bob.pump_for(Duration::from_millis(50))?;
+            let tree = bob.session().toolkit().tree();
+            ok = tree
+                .resolve(&p)
+                .and_then(|id| tree.attr(id, &AttrName::Text).ok())
+                .map(|v| v.as_text() == Some("edited while bob was gone"))
+                .unwrap_or(false);
+        }
+        ok
+    };
+    println!(
+        "reconnected: {recovered} (same instance: {}, {} redial(s))",
+        bob.session().instance() == bob_instance,
+        bob.client().reconnects()
+    );
+
     alice.close();
     bob.close();
 
@@ -85,6 +132,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         core.messages_out,
         core.max_fanout,
         core.transfers_completed
+    );
+    println!(
+        "liveness:    {} quarantine(s), {} resume(s), {} ping(s) answered, \
+         {} expiries",
+        core.quarantines, core.resumes, core.pings, core.quarantine_expiries
     );
     let net = server.net_stats();
     println!(

@@ -7,3 +7,9 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+# Failure-handling suites, run explicitly so a filtered `cargo test`
+# invocation can't silently skip them.
+cargo test -q -p cosoft-server --test server_core
+cargo test -q -p cosoft-server --test store_props no_leaks_after_all_instances_deregister
+cargo test -q -p cosoft-core --test reconnect_sim
+cargo test -q --test tcp_reconnect

@@ -15,9 +15,10 @@ use std::time::{Duration, Instant};
 
 use cosoft_core::session::Session;
 use cosoft_net::tcp::{
-    ConnId, NetEvent, TcpClient, TcpHost, TcpHostConfig, TcpStats, TcpStatsHandle,
+    ClientEvent, ConnId, NetEvent, ReconnectPolicy, TcpClient, TcpHost, TcpHostConfig, TcpStats,
+    TcpStatsHandle,
 };
-use cosoft_server::{ServerCore, ServerStats};
+use cosoft_server::{LivenessConfig, ServerCore, ServerStats};
 
 /// A COSOFT server listening on TCP.
 ///
@@ -58,6 +59,23 @@ impl TcpServer {
     ///
     /// Propagates bind failures.
     pub fn spawn_with_config(addr: &str, config: TcpHostConfig) -> io::Result<TcpServer> {
+        TcpServer::spawn_with_liveness(addr, config, LivenessConfig::default())
+    }
+
+    /// Binds and starts serving with a client-liveness policy: silently
+    /// dropped connections are quarantined for `liveness.grace_us`
+    /// microseconds (their instance id, couples, and access rights held
+    /// for a `Rejoin`) before the §3.2 auto-decoupling deregistration
+    /// runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn_with_liveness(
+        addr: &str,
+        config: TcpHostConfig,
+        liveness: LivenessConfig,
+    ) -> io::Result<TcpServer> {
         let host = TcpHost::bind_with_config(addr, config)?;
         let local = host.local_addr();
         let net_stats = host.stats_handle();
@@ -66,18 +84,23 @@ impl TcpServer {
         let stop = shutdown.clone();
         let published = stats.clone();
         let thread = std::thread::Builder::new().name("cosoft-server".into()).spawn(move || {
-            let mut core: ServerCore<ConnId> = ServerCore::new();
+            let mut core: ServerCore<ConnId> = ServerCore::with_liveness(liveness);
+            let start = Instant::now();
             while !stop.load(Ordering::SeqCst) {
                 let event = match host.events().recv_timeout(Duration::from_millis(50)) {
-                    Ok(e) => e,
-                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Ok(e) => Some(e),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
                     Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
                 };
-                let outgoing = match event {
-                    NetEvent::Connected(_) => Vec::new(),
-                    NetEvent::Message(conn, msg) => core.handle(conn, msg),
-                    NetEvent::Disconnected(conn) => core.disconnect(conn),
+                let mut outgoing = match event {
+                    None => Vec::new(),
+                    Some(NetEvent::Connected(_)) => Vec::new(),
+                    Some(NetEvent::Message(conn, msg)) => core.handle(conn, msg),
+                    Some(NetEvent::Disconnected(conn)) => core.disconnect(conn),
                 };
+                // Advance the liveness clock even on idle timeouts so
+                // quarantine grace periods expire without traffic.
+                outgoing.extend(core.tick(start.elapsed().as_micros() as u64));
                 // One coalesced write per destination; failures mean
                 // the peer vanished or was evicted as a slow
                 // consumer — its Disconnected event will clean up.
@@ -141,7 +164,27 @@ impl TcpSession {
     /// Propagates connection failures; times out with `TimedOut` if the
     /// server does not answer the registration within 5 seconds.
     pub fn connect(addr: SocketAddr, session: Session) -> io::Result<TcpSession> {
-        let client = TcpClient::connect(addr)?;
+        TcpSession::finish_connect(TcpClient::connect(addr)?, session)
+    }
+
+    /// Like [`TcpSession::connect`], but the underlying client redials
+    /// with exponential backoff when the connection drops. On each
+    /// successful reconnect the session automatically begins its rejoin
+    /// (resume token, couple re-assertion, `CopyFrom` resync) during the
+    /// next pump.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures of the initial connection and registration.
+    pub fn connect_with_reconnect(
+        addr: SocketAddr,
+        session: Session,
+        policy: ReconnectPolicy,
+    ) -> io::Result<TcpSession> {
+        TcpSession::finish_connect(TcpClient::connect_with_reconnect(addr, policy)?, session)
+    }
+
+    fn finish_connect(client: TcpClient, session: Session) -> io::Result<TcpSession> {
         let mut s = TcpSession { session, client };
         s.flush()?;
         let deadline = Instant::now() + Duration::from_secs(5);
@@ -157,6 +200,11 @@ impl TcpSession {
     /// The wrapped session.
     pub fn session(&self) -> &Session {
         &self.session
+    }
+
+    /// The underlying transport client (reconnect counters live here).
+    pub fn client(&self) -> &TcpClient {
+        &self.client
     }
 
     /// Mutable access to the wrapped session. Call [`TcpSession::flush`]
@@ -177,6 +225,39 @@ impl TcpSession {
         Ok(())
     }
 
+    /// Reacts to transport lifecycle events (reconnect-enabled clients
+    /// only): a completed reconnect starts the session's rejoin.
+    fn drain_client_events(&mut self) {
+        let Some(events) = self.client.events() else {
+            return;
+        };
+        let mut pending = Vec::new();
+        while let Ok(event) = events.try_recv() {
+            pending.push(event);
+        }
+        for event in pending {
+            if let ClientEvent::Reconnected { .. } = event {
+                self.session.begin_rejoin();
+            }
+        }
+    }
+
+    /// Flushes the outbox, tolerating send failures when the client can
+    /// reconnect: messages written into a dead connection are lost with
+    /// it (the rejoin resync regenerates what matters), so a redial in
+    /// progress must not abort the pump.
+    fn flush_for_pump(&mut self) -> io::Result<()> {
+        if self.client.events().is_none() {
+            return self.flush();
+        }
+        for msg in self.session.drain_outbox() {
+            if self.client.send(&msg).is_err() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
     /// Pumps incoming messages (and resulting outbox traffic) for at
     /// least `window`.
     ///
@@ -184,7 +265,8 @@ impl TcpSession {
     ///
     /// Propagates socket write errors.
     pub fn pump_for(&mut self, window: Duration) -> io::Result<()> {
-        self.flush()?;
+        self.drain_client_events();
+        self.flush_for_pump()?;
         let deadline = Instant::now() + window;
         loop {
             let now = Instant::now();
@@ -193,7 +275,14 @@ impl TcpSession {
             }
             if let Some(msg) = self.client.recv_timeout(deadline - now) {
                 self.session.on_message(msg);
-                self.flush()?;
+                self.drain_client_events();
+                self.flush_for_pump()?;
+            } else {
+                // recv_timeout returns on timeout *or* channel quiet
+                // after a drop; check for lifecycle transitions either
+                // way so a rejoin starts promptly.
+                self.drain_client_events();
+                self.flush_for_pump()?;
             }
         }
     }

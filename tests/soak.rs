@@ -64,7 +64,11 @@ fn thousand_step_soak_survives_everything() {
         .collect();
     h.settle();
 
-    for step in 0..1_000 {
+    // The scheduled CI soak job turns this up (e.g. 20_000); the default
+    // keeps the gating test suite fast.
+    let steps: u64 =
+        std::env::var("COSOFT_SOAK_STEPS").ok().and_then(|s| s.parse().ok()).unwrap_or(1_000);
+    for step in 0..steps {
         if alive.len() < 2 {
             break;
         }
