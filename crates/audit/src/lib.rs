@@ -1,0 +1,38 @@
+//! The COSOFT verification layer: workspace protocol lints and a
+//! bounded-exhaustive schedule explorer.
+//!
+//! The repository's correctness story has two weak points that ordinary
+//! unit tests do not cover:
+//!
+//! 1. **Cross-file protocol drift.** The [`cosoft_wire::Message`] enum,
+//!    its codec tag table, the golden byte-vector suite, and the server
+//!    dispatch in `crates/server/src/server.rs` must all enumerate the
+//!    same 37 message kinds. Nothing in the type system ties them
+//!    together across crates and test files, so a new variant can slip
+//!    in with no wire tag, no golden vector, or a silent `_ =>` drop in
+//!    the server. The [`lints`] module parses the actual sources and
+//!    fails the build when any leg of that square diverges.
+//!
+//! 2. **Interleaving-dependent lock-table corruption.** The floor
+//!    control algorithm (paper §4) holds locks across multi-client
+//!    round trips; whether an invariant violation is reachable depends
+//!    on the order clients act in. The [`explore`] module runs a
+//!    bounded-exhaustive DFS over every interleaving of a small client
+//!    population, checking the server-wide invariant pack after every
+//!    step (`crates/server/tests/lock_model.rs` is the concrete model).
+//!
+//! Both halves are pure: lints map source text to violations, the
+//! explorer maps a cloneable model to statistics or a counterexample
+//! trace. All I/O lives in the `cosoft-audit` binary, which `scripts/
+//! check.sh` and the CI `audit` job run against the real workspace.
+//!
+//! [`cosoft_wire::Message`]: ../cosoft_wire/enum.Message.html
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod explore;
+pub mod lints;
+
+pub use explore::{explore, ExploreError, ExploreLimits, ExploreStats, Model};
+pub use lints::{run_all_lints, Violation, WorkspaceSources};

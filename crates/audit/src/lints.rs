@@ -1,0 +1,768 @@
+//! Source-level protocol lints.
+//!
+//! Every lint is a pure function from source text to a list of
+//! [`Violation`]s, so the negative tests can feed doctored in-memory
+//! sources without touching the filesystem; only [`WorkspaceSources::
+//! load`] and the `cosoft-audit` binary do I/O.
+//!
+//! The lints enforce the four-way agreement that keeps the wire
+//! protocol coherent:
+//!
+//! * the `Message` enum declaration (`crates/wire/src/message.rs`),
+//! * the codec's encoder/decoder tag tables (`crates/wire/src/codec.rs`),
+//! * the golden byte-vector suite (`crates/wire/tests/golden.rs`),
+//! * the server dispatch (`crates/server/src/server.rs`),
+//!
+//! plus two hygiene rules: teardown-only lock APIs may only be called
+//! from sanctioned modules, and every crate root must carry the
+//! workspace lint headers (`#![forbid(unsafe_code)]`,
+//! `#![deny(missing_docs)]`).
+
+use std::fmt;
+use std::path::Path;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable rule identifier (e.g. `wire-tag-unique`).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// Human-readable description of the problem.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.rule, self.file, self.detail)
+    }
+}
+
+/// The source files the lints operate on, keyed by their workspace
+/// role. Construct directly for tests, or via [`WorkspaceSources::load`]
+/// for the real tree.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceSources {
+    /// Contents of `crates/wire/src/message.rs` (enum + `ALL_KINDS` +
+    /// `kind_name`).
+    pub message_rs: String,
+    /// Contents of `crates/wire/src/codec.rs` (`put_message` /
+    /// `get_message` tag tables).
+    pub codec_rs: String,
+    /// Contents of `crates/wire/tests/golden.rs` (golden vector table).
+    pub golden_rs: String,
+    /// Contents of `crates/server/src/server.rs` (message dispatch).
+    pub server_rs: String,
+    /// `(workspace-relative path, contents)` of every crate root
+    /// (`src/lib.rs` of each workspace member).
+    pub crate_roots: Vec<(String, String)>,
+    /// `(workspace-relative path, contents)` of every `.rs` file in the
+    /// workspace (restricted-call scan).
+    pub all_sources: Vec<(String, String)>,
+}
+
+impl WorkspaceSources {
+    /// Reads the workspace rooted at `root` from disk.
+    ///
+    /// # Errors
+    ///
+    /// Fails when one of the four protocol files is missing or any
+    /// source file is unreadable.
+    pub fn load(root: &Path) -> std::io::Result<WorkspaceSources> {
+        let read = |rel: &str| std::fs::read_to_string(root.join(rel));
+        let mut ws = WorkspaceSources {
+            message_rs: read("crates/wire/src/message.rs")?,
+            codec_rs: read("crates/wire/src/codec.rs")?,
+            golden_rs: read("crates/wire/tests/golden.rs")?,
+            server_rs: read("crates/server/src/server.rs")?,
+            crate_roots: Vec::new(),
+            all_sources: Vec::new(),
+        };
+        let mut files = Vec::new();
+        collect_rs_files(root, root, &mut files)?;
+        files.sort();
+        for rel in files {
+            let text = std::fs::read_to_string(root.join(&rel))?;
+            if rel.ends_with("src/lib.rs") {
+                ws.crate_roots.push((rel.clone(), text.clone()));
+            }
+            ws.all_sources.push((rel, text));
+        }
+        Ok(ws)
+    }
+}
+
+/// Recursively collects workspace-relative `.rs` paths, skipping build
+/// output and VCS metadata.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---- parsing helpers -------------------------------------------------------
+
+/// Strips a `//` line comment (doc comments included), ignoring `//`
+/// inside string literals.
+fn strip_line_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Extracts the brace-delimited body that follows the first occurrence
+/// of `marker` in `src` (string-literal- and comment-aware).
+fn body_after(src: &str, marker: &str) -> Option<String> {
+    let start = src.find(marker)?;
+    let rest = &src[start..];
+    let mut depth = 0usize;
+    let mut body = String::new();
+    let mut started = false;
+    for line in rest.lines() {
+        let code = strip_line_comment(line);
+        for c in code.chars() {
+            if c == '{' {
+                depth += 1;
+                started = true;
+            } else if c == '}' {
+                depth = depth.saturating_sub(1);
+            }
+        }
+        if started {
+            body.push_str(line);
+            body.push('\n');
+            if depth == 0 {
+                return Some(body);
+            }
+        }
+    }
+    None
+}
+
+/// Parses the variant names of `pub enum Message` in declaration order.
+pub fn message_variants(message_rs: &str) -> Vec<String> {
+    let Some(body) = body_after(message_rs, "pub enum Message") else {
+        return Vec::new();
+    };
+    let mut depth = 0usize;
+    let mut variants = Vec::new();
+    for line in body.lines() {
+        let code = strip_line_comment(line);
+        let trimmed = code.trim();
+        if depth == 1 && !trimmed.is_empty() && !trimmed.starts_with('#') {
+            let ident: String =
+                trimmed.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+            if ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                variants.push(ident);
+            }
+        }
+        for c in code.chars() {
+            if c == '{' {
+                depth += 1;
+            } else if c == '}' {
+                depth = depth.saturating_sub(1);
+            }
+        }
+    }
+    variants
+}
+
+/// Parses the `ALL_KINDS` string list from `message.rs`.
+pub fn all_kinds(message_rs: &str) -> Vec<String> {
+    let Some(start) = message_rs.find("ALL_KINDS") else {
+        return Vec::new();
+    };
+    let rest = &message_rs[start..];
+    let Some(end) = rest.find("];") else {
+        return Vec::new();
+    };
+    let slice = &rest[..end];
+    let mut kinds = Vec::new();
+    let mut remaining = slice;
+    while let Some(open) = remaining.find('"') {
+        let after = &remaining[open + 1..];
+        let Some(close) = after.find('"') else { break };
+        kinds.push(after[..close].to_owned());
+        remaining = &after[close + 1..];
+    }
+    kinds
+}
+
+/// Parses the `kind_name` match: `(variant, kind string)` pairs.
+pub fn kind_name_map(message_rs: &str) -> Vec<(String, String)> {
+    let Some(body) = body_after(message_rs, "pub fn kind_name") else {
+        return Vec::new();
+    };
+    let mut pairs = Vec::new();
+    for line in body.lines() {
+        let code = strip_line_comment(line);
+        let Some(vstart) = code.find("Message::") else { continue };
+        let ident: String = code[vstart + "Message::".len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        let Some(arrow) = code.find("=>") else { continue };
+        let after = &code[arrow + 2..];
+        let Some(open) = after.find('"') else { continue };
+        let lit = &after[open + 1..];
+        let Some(close) = lit.find('"') else { continue };
+        pairs.push((ident, lit[..close].to_owned()));
+    }
+    pairs
+}
+
+/// Finds the first integer literal passed to `put_u8(` within `segment`.
+fn first_literal_tag(segment: &str) -> Option<u32> {
+    let mut rest = segment;
+    while let Some(pos) = rest.find("put_u8(") {
+        let arg = &rest[pos + "put_u8(".len()..];
+        let end = arg.find(')')?;
+        if let Ok(tag) = arg[..end].trim().parse::<u32>() {
+            return Some(tag);
+        }
+        rest = &arg[end..];
+    }
+    None
+}
+
+/// Parses the encoder tag table from `put_message`: `(variant, tag)` in
+/// source order. A variant whose arm carries no literal tag is reported
+/// with tag `None`.
+pub fn encoder_tags(codec_rs: &str) -> Vec<(String, Option<u32>)> {
+    let Some(body) = body_after(codec_rs, "pub fn put_message") else {
+        return Vec::new();
+    };
+    let mut arms: Vec<(String, usize)> = Vec::new();
+    let mut search = 0usize;
+    while let Some(pos) = body[search..].find("Message::") {
+        let at = search + pos;
+        let ident: String = body[at + "Message::".len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !ident.is_empty() {
+            arms.push((ident, at));
+        }
+        search = at + "Message::".len();
+    }
+    let mut out = Vec::new();
+    for (i, (ident, at)) in arms.iter().enumerate() {
+        let end = arms.get(i + 1).map_or(body.len(), |(_, next)| *next);
+        out.push((ident.clone(), first_literal_tag(&body[*at..end])));
+    }
+    out
+}
+
+/// Parses the decoder tag table from `get_message`: `(tag, variant)` in
+/// source order.
+pub fn decoder_tags(codec_rs: &str) -> Vec<(u32, Option<String>)> {
+    let Some(body) = body_after(codec_rs, "pub fn get_message") else {
+        return Vec::new();
+    };
+    // Collect the byte offset and tag of every `N =>` arm.
+    let mut arms: Vec<(u32, usize)> = Vec::new();
+    let mut offset = 0usize;
+    for line in body.lines() {
+        let code = strip_line_comment(line);
+        let trimmed = code.trim_start();
+        let digits: String = trimmed.chars().take_while(char::is_ascii_digit).collect();
+        if !digits.is_empty() && trimmed[digits.len()..].trim_start().starts_with("=>") {
+            if let Ok(tag) = digits.parse::<u32>() {
+                arms.push((tag, offset));
+            }
+        }
+        offset += line.len() + 1;
+    }
+    let mut out = Vec::new();
+    for (i, (tag, at)) in arms.iter().enumerate() {
+        let end = arms.get(i + 1).map_or(body.len(), |(_, next)| *next);
+        let segment = &body[*at..end.min(body.len())];
+        let variant = segment.find("Message::").map(|pos| {
+            segment[pos + "Message::".len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect::<String>()
+        });
+        out.push((*tag, variant));
+    }
+    out
+}
+
+/// All `Message::Ident` references in a source text (deduplicated,
+/// order of first appearance). Honors a `use Message as X;` alias.
+fn message_refs(src: &str) -> Vec<String> {
+    let mut prefixes = vec!["Message::".to_owned()];
+    if let Some(pos) = src.find("use Message as ") {
+        let alias: String = src[pos + "use Message as ".len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !alias.is_empty() {
+            prefixes.push(format!("{alias}::"));
+        }
+    }
+    let mut seen = Vec::new();
+    for prefix in &prefixes {
+        let mut search = 0usize;
+        while let Some(pos) = src[search..].find(prefix.as_str()) {
+            let at = search + pos;
+            // Require a non-ident character before the prefix so `M::`
+            // does not match the tail of e.g. `COM::`.
+            let standalone = at == 0
+                || !src[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+            let ident: String = src[at + prefix.len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if standalone
+                && ident.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && !seen.contains(&ident)
+            {
+                seen.push(ident);
+            }
+            search = at + prefix.len();
+        }
+    }
+    seen
+}
+
+// ---- the lints -------------------------------------------------------------
+
+const MESSAGE_RS: &str = "crates/wire/src/message.rs";
+const CODEC_RS: &str = "crates/wire/src/codec.rs";
+const GOLDEN_RS: &str = "crates/wire/tests/golden.rs";
+const SERVER_RS: &str = "crates/server/src/server.rs";
+
+/// Message kinds the server dispatch is allowed to leave unhandled.
+/// Empty today: every variant must appear by name in `server.rs`
+/// (server-to-client-only kinds in the counted `unexpected` arm).
+pub const DISPATCH_ALLOWLIST: &[&str] = &[];
+
+/// Modules allowed to call `LockTable::force_unlock` (teardown-only
+/// API): the lock table itself (definition + unit tests) and the
+/// lock-table property suite.
+pub const FORCE_UNLOCK_SANCTIONED: &[&str] =
+    &["crates/server/src/locks.rs", "crates/server/tests/lock_props.rs"];
+
+/// Path prefixes allowed to call `LockTable::unlock_exec` (lock release
+/// is the server core's job; clients and tests drive it through
+/// messages). The lock-granularity benchmarks exercise the table
+/// directly and are sanctioned too.
+pub const UNLOCK_EXEC_SANCTIONED: &[&str] =
+    &["crates/server/src/", "crates/server/tests/", "crates/bench/benches/"];
+
+/// Rule `enum-vs-kinds`: the enum declaration, `kind_name`, and
+/// `ALL_KINDS` enumerate the same kinds.
+pub fn lint_enum_against_kinds(message_rs: &str) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let variants = message_variants(message_rs);
+    let kinds = all_kinds(message_rs);
+    let names = kind_name_map(message_rs);
+    if variants.is_empty() {
+        v.push(Violation {
+            rule: "enum-vs-kinds",
+            file: MESSAGE_RS.into(),
+            detail: "could not parse any variants of `pub enum Message`".into(),
+        });
+        return v;
+    }
+    for variant in &variants {
+        if !names.iter().any(|(n, _)| n == variant) {
+            v.push(Violation {
+                rule: "enum-vs-kinds",
+                file: MESSAGE_RS.into(),
+                detail: format!("variant `{variant}` has no `kind_name` arm"),
+            });
+        }
+    }
+    for (variant, kind) in &names {
+        if !variants.contains(variant) {
+            v.push(Violation {
+                rule: "enum-vs-kinds",
+                file: MESSAGE_RS.into(),
+                detail: format!("`kind_name` names unknown variant `{variant}`"),
+            });
+        }
+        if !kinds.contains(kind) {
+            v.push(Violation {
+                rule: "enum-vs-kinds",
+                file: MESSAGE_RS.into(),
+                detail: format!("kind `{kind}` (variant `{variant}`) missing from ALL_KINDS"),
+            });
+        }
+    }
+    for kind in &kinds {
+        if !names.iter().any(|(_, k)| k == kind) {
+            v.push(Violation {
+                rule: "enum-vs-kinds",
+                file: MESSAGE_RS.into(),
+                detail: format!("ALL_KINDS entry `{kind}` matches no `kind_name` arm"),
+            });
+        }
+    }
+    let mut sorted = kinds.clone();
+    sorted.sort();
+    sorted.dedup();
+    if sorted.len() != kinds.len() {
+        v.push(Violation {
+            rule: "enum-vs-kinds",
+            file: MESSAGE_RS.into(),
+            detail: "ALL_KINDS contains duplicate kind names".into(),
+        });
+    }
+    v
+}
+
+/// Rule `wire-tag`: every variant has exactly one literal encoder tag,
+/// tags are unique, and the decoder maps each tag back to the same
+/// variant.
+pub fn lint_wire_tags(message_rs: &str, codec_rs: &str) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let variants = message_variants(message_rs);
+    let enc = encoder_tags(codec_rs);
+    let dec = decoder_tags(codec_rs);
+    if enc.is_empty() {
+        v.push(Violation {
+            rule: "wire-tag",
+            file: CODEC_RS.into(),
+            detail: "could not parse any encoder arms in `put_message`".into(),
+        });
+        return v;
+    }
+    for variant in &variants {
+        match enc.iter().find(|(name, _)| name == variant) {
+            None => v.push(Violation {
+                rule: "wire-tag",
+                file: CODEC_RS.into(),
+                detail: format!("variant `{variant}` has no `put_message` arm"),
+            }),
+            Some((_, None)) => v.push(Violation {
+                rule: "wire-tag",
+                file: CODEC_RS.into(),
+                detail: format!("encoder arm for `{variant}` carries no literal tag byte"),
+            }),
+            Some((_, Some(tag))) => {
+                // Decoder must round-trip the same tag to the same variant.
+                match dec.iter().find(|(t, _)| t == tag) {
+                    None => v.push(Violation {
+                        rule: "wire-tag",
+                        file: CODEC_RS.into(),
+                        detail: format!("tag {tag} (`{variant}`) has no `get_message` arm"),
+                    }),
+                    Some((_, decoded)) if decoded.as_deref() != Some(variant.as_str()) => {
+                        v.push(Violation {
+                            rule: "wire-tag",
+                            file: CODEC_RS.into(),
+                            detail: format!(
+                                "tag {tag} encodes `{variant}` but decodes to `{}`",
+                                decoded.as_deref().unwrap_or("<nothing>")
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    let mut tags: Vec<u32> = enc.iter().filter_map(|(_, t)| *t).collect();
+    let n = tags.len();
+    tags.sort_unstable();
+    tags.dedup();
+    if tags.len() != n {
+        v.push(Violation {
+            rule: "wire-tag",
+            file: CODEC_RS.into(),
+            detail: "duplicate wire tag in `put_message`".into(),
+        });
+    }
+    for (name, _) in &enc {
+        if !variants.contains(name) {
+            v.push(Violation {
+                rule: "wire-tag",
+                file: CODEC_RS.into(),
+                detail: format!("encoder names unknown variant `{name}`"),
+            });
+        }
+    }
+    v
+}
+
+/// Rule `golden-coverage`: every variant is constructed somewhere in
+/// the golden-vector suite, and the suite names no stale variants. The
+/// suite's own `golden_table_is_complete` test enforces the per-entry
+/// byte equality; this lint guarantees the suite cannot silently lag
+/// the enum.
+pub fn lint_golden_coverage(message_rs: &str, golden_rs: &str) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let variants = message_variants(message_rs);
+    let refs = message_refs(golden_rs);
+    for variant in &variants {
+        if !refs.contains(variant) {
+            v.push(Violation {
+                rule: "golden-coverage",
+                file: GOLDEN_RS.into(),
+                detail: format!("variant `{variant}` has no golden byte vector"),
+            });
+        }
+    }
+    for name in &refs {
+        if name != "ALL_KINDS" && !variants.contains(name) {
+            v.push(Violation {
+                rule: "golden-coverage",
+                file: GOLDEN_RS.into(),
+                detail: format!("golden suite names unknown variant `{name}`"),
+            });
+        }
+    }
+    v
+}
+
+/// Rule `dispatch-coverage`: every variant is named in the server
+/// dispatch (or allowlisted), and the dispatch contains no wildcard or
+/// lowercase-binding match arms that would silently drop a message
+/// kind.
+pub fn lint_dispatch_coverage(message_rs: &str, server_rs: &str) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let variants = message_variants(message_rs);
+    let refs = message_refs(server_rs);
+    for variant in &variants {
+        if DISPATCH_ALLOWLIST.contains(&variant.as_str()) {
+            continue;
+        }
+        if !refs.contains(variant) {
+            v.push(Violation {
+                rule: "dispatch-coverage",
+                file: SERVER_RS.into(),
+                detail: format!("variant `{variant}` is not handled by name in the dispatch"),
+            });
+        }
+    }
+    for (lineno, line) in server_rs.lines().enumerate() {
+        let code = strip_line_comment(line);
+        let trimmed = code.trim_start();
+        let ident: String =
+            trimmed.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+        let after = trimmed[ident.len()..].trim_start();
+        let is_binding = !ident.is_empty()
+            && ident.chars().next().is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+            && after.starts_with("=>");
+        let is_wildcard = trimmed.starts_with("_ =>") || trimmed.starts_with("_ => ");
+        if is_binding || is_wildcard {
+            v.push(Violation {
+                rule: "dispatch-coverage",
+                file: SERVER_RS.into(),
+                detail: format!(
+                    "line {}: wildcard/binding match arm `{}` can silently drop a message kind",
+                    lineno + 1,
+                    trimmed.trim_end()
+                ),
+            });
+        }
+    }
+    v
+}
+
+/// Rule `restricted-call`: teardown-only lock APIs are called only from
+/// sanctioned modules. The audit crate's own sources are exempt (they
+/// mention the needles as data).
+pub fn lint_restricted_calls(all_sources: &[(String, String)]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let rules: &[(&str, &[&str])] =
+        &[(".force_unlock(", FORCE_UNLOCK_SANCTIONED), (".unlock_exec(", UNLOCK_EXEC_SANCTIONED)];
+    for (path, text) in all_sources {
+        if path.starts_with("crates/audit/") {
+            continue;
+        }
+        for (needle, sanctioned) in rules {
+            if text.contains(needle) && !sanctioned.iter().any(|s| path == s || path.starts_with(s))
+            {
+                v.push(Violation {
+                    rule: "restricted-call",
+                    file: path.clone(),
+                    detail: format!(
+                        "calls teardown-only API `{}` outside sanctioned modules",
+                        needle.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+    }
+    v
+}
+
+/// Rule `crate-header`: every crate root carries the workspace lint
+/// headers.
+pub fn lint_crate_headers(crate_roots: &[(String, String)]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    for (path, text) in crate_roots {
+        for header in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
+            if !text.contains(header) {
+                v.push(Violation {
+                    rule: "crate-header",
+                    file: path.clone(),
+                    detail: format!("crate root lacks `{header}`"),
+                });
+            }
+        }
+    }
+    v
+}
+
+/// Runs every lint over the workspace sources.
+pub fn run_all_lints(ws: &WorkspaceSources) -> Vec<Violation> {
+    let mut v = Vec::new();
+    v.extend(lint_enum_against_kinds(&ws.message_rs));
+    v.extend(lint_wire_tags(&ws.message_rs, &ws.codec_rs));
+    v.extend(lint_golden_coverage(&ws.message_rs, &ws.golden_rs));
+    v.extend(lint_dispatch_coverage(&ws.message_rs, &ws.server_rs));
+    v.extend(lint_restricted_calls(&ws.all_sources));
+    v.extend(lint_crate_headers(&ws.crate_roots));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENUM: &str = r#"
+/// Protocol messages.
+pub enum Message {
+    /// Join.
+    Register {
+        /// Who.
+        user: u64,
+    },
+    /// Leave.
+    Deregister,
+}
+
+impl Message {
+    pub const ALL_KINDS: &'static [&'static str] = &[
+        "register",
+        "deregister",
+    ];
+
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Message::Register { .. } => "register",
+            Message::Deregister => "deregister",
+        }
+    }
+}
+"#;
+
+    const CODEC: &str = r#"
+pub fn put_message(buf: &mut BytesMut, m: &Message) {
+    match m {
+        Message::Register { user } => {
+            buf.put_u8(0);
+            put_uvarint(buf, *user);
+        }
+        Message::Deregister => buf.put_u8(1),
+    }
+}
+
+pub fn get_message(buf: &mut Bytes) -> Result<Message> {
+    let tag = get_u8(buf, "message tag")?;
+    Ok(match tag {
+        0 => Message::Register { user: get_uvarint(buf)? },
+        1 => Message::Deregister,
+        other => return Err(DecodeError::UnknownTag(other)),
+    })
+}
+"#;
+
+    #[test]
+    fn parses_variants_kinds_and_names() {
+        assert_eq!(message_variants(ENUM), vec!["Register", "Deregister"]);
+        assert_eq!(all_kinds(ENUM), vec!["register", "deregister"]);
+        assert_eq!(
+            kind_name_map(ENUM),
+            vec![
+                ("Register".to_owned(), "register".to_owned()),
+                ("Deregister".to_owned(), "deregister".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_tag_tables() {
+        assert_eq!(
+            encoder_tags(CODEC),
+            vec![("Register".to_owned(), Some(0)), ("Deregister".to_owned(), Some(1))]
+        );
+        assert_eq!(
+            decoder_tags(CODEC),
+            vec![(0, Some("Register".to_owned())), (1, Some("Deregister".to_owned()))]
+        );
+    }
+
+    #[test]
+    fn consistent_sources_pass() {
+        assert!(lint_enum_against_kinds(ENUM).is_empty());
+        assert!(lint_wire_tags(ENUM, CODEC).is_empty());
+    }
+
+    #[test]
+    fn missing_kind_is_reported() {
+        let doctored = ENUM.replace("\n        \"deregister\",", "");
+        let v = lint_enum_against_kinds(&doctored);
+        assert!(v.iter().any(|v| v.detail.contains("missing from ALL_KINDS")), "got {v:?}");
+    }
+
+    #[test]
+    fn duplicate_tag_is_reported() {
+        let doctored = CODEC.replace("buf.put_u8(1),", "buf.put_u8(0),");
+        let v = lint_wire_tags(ENUM, &doctored);
+        assert!(v.iter().any(|v| v.detail.contains("duplicate wire tag")), "got {v:?}");
+    }
+
+    #[test]
+    fn decoder_mismatch_is_reported() {
+        let doctored = CODEC.replace("1 => Message::Deregister,", "");
+        let v = lint_wire_tags(ENUM, &doctored);
+        assert!(v.iter().any(|v| v.detail.contains("no `get_message` arm")), "got {v:?}");
+    }
+
+    #[test]
+    fn wildcard_arm_is_reported() {
+        let server = "match msg {\n    Message::Register { .. } => {}\n    Message::Deregister => {}\n    other => {}\n}\n";
+        let v = lint_dispatch_coverage(ENUM, server);
+        assert!(v.iter().any(|v| v.detail.contains("wildcard/binding")), "got {v:?}");
+    }
+
+    #[test]
+    fn comment_stripping_respects_strings() {
+        assert_eq!(strip_line_comment("let a = 1; // tail"), "let a = 1; ");
+        assert_eq!(strip_line_comment("let s = \"a//b\";"), "let s = \"a//b\";");
+    }
+}

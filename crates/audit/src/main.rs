@@ -1,0 +1,63 @@
+//! The `cosoft-audit` binary: runs every workspace protocol lint
+//! against the real source tree and exits non-zero on any violation.
+//!
+//! Usage: `cosoft-audit [workspace-root]` — with no argument the
+//! workspace root is found by walking up from the current directory to
+//! the first `Cargo.toml` containing a `[workspace]` section.
+//! `scripts/check.sh` and the CI `audit` job run it via
+//! `cargo run -p cosoft-audit`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cosoft_audit::{run_all_lints, WorkspaceSources};
+
+fn workspace_root() -> Option<PathBuf> {
+    if let Some(arg) = std::env::args().nth(1) {
+        return Some(PathBuf::from(arg));
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(root) = workspace_root() else {
+        eprintln!("cosoft-audit: no workspace root found (pass it as the first argument)");
+        return ExitCode::FAILURE;
+    };
+    let ws = match WorkspaceSources::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("cosoft-audit: failed to read workspace at {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let violations = run_all_lints(&ws);
+    if violations.is_empty() {
+        println!(
+            "cosoft-audit: OK ({} sources, {} crate roots clean)",
+            ws.all_sources.len(),
+            ws.crate_roots.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("cosoft-audit: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

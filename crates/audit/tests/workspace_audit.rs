@@ -1,0 +1,124 @@
+//! The audit gate, end to end: the real workspace must pass every
+//! lint, and doctored copies of it must fail — proving the lints
+//! actually bite on the sources they ship with, not just on toy
+//! fixtures.
+
+use std::path::Path;
+
+use cosoft_audit::lints::{
+    lint_crate_headers, lint_dispatch_coverage, lint_golden_coverage, lint_restricted_calls,
+    lint_wire_tags,
+};
+use cosoft_audit::{run_all_lints, WorkspaceSources};
+
+fn real_workspace() -> WorkspaceSources {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    WorkspaceSources::load(&root).expect("workspace readable")
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let ws = real_workspace();
+    let violations = run_all_lints(&ws);
+    assert!(
+        violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+/// The headline negative test: a `Message` variant added to the enum
+/// without touching the codec, the golden suite, or the server dispatch
+/// trips every leg of the four-way agreement.
+#[test]
+fn new_variant_without_support_fails_every_leg() {
+    let mut ws = real_workspace();
+    ws.message_rs = ws
+        .message_rs
+        .replace("pub enum Message {", "pub enum Message {\n    /// Doctored.\n    Gadget,");
+    let violations = run_all_lints(&ws);
+    for rule in ["enum-vs-kinds", "wire-tag", "golden-coverage", "dispatch-coverage"] {
+        assert!(
+            violations.iter().any(|v| v.rule == rule && v.detail.contains("Gadget")),
+            "rule {rule} did not flag the doctored variant: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn variant_without_golden_vector_fails() {
+    let ws = real_workspace();
+    // The golden table aliases `Message` as `M`; dropping the entry's
+    // constructor removes the variant's only reference.
+    let doctored = ws.golden_rs.replace("M::ExecuteDone", "M::ExecuteEvent");
+    let violations = lint_golden_coverage(&ws.message_rs, &doctored);
+    assert!(
+        violations.iter().any(|v| v.detail.contains("`ExecuteDone` has no golden byte vector")),
+        "got {violations:?}"
+    );
+}
+
+#[test]
+fn variant_without_dispatch_arm_fails() {
+    let ws = real_workspace();
+    let doctored = ws.server_rs.replace("Message::ExecuteDone", "Message::Event");
+    let violations = lint_dispatch_coverage(&ws.message_rs, &doctored);
+    assert!(
+        violations.iter().any(|v| v.detail.contains("`ExecuteDone` is not handled")),
+        "got {violations:?}"
+    );
+}
+
+#[test]
+fn wildcard_arm_in_dispatch_fails() {
+    let ws = real_workspace();
+    let mut doctored = ws.server_rs.clone();
+    doctored.push_str(
+        "\nfn doctored(m: u32) -> u32 {\n    match m {\n        other => other,\n    }\n}\n",
+    );
+    let violations = lint_dispatch_coverage(&ws.message_rs, &doctored);
+    assert!(violations.iter().any(|v| v.detail.contains("wildcard/binding")), "got {violations:?}");
+}
+
+#[test]
+fn retagged_encoder_fails() {
+    let ws = real_workspace();
+    // ExecuteDone's tag collides with Event's: duplicate tag plus an
+    // encode/decode disagreement.
+    let doctored = ws.codec_rs.replace("buf.put_u8(16);", "buf.put_u8(12);");
+    let violations = lint_wire_tags(&ws.message_rs, &doctored);
+    assert!(
+        violations.iter().any(|v| v.detail.contains("duplicate wire tag")),
+        "got {violations:?}"
+    );
+    assert!(violations.iter().any(|v| v.detail.contains("decodes to")), "got {violations:?}");
+}
+
+#[test]
+fn unsanctioned_force_unlock_fails() {
+    let mut ws = real_workspace();
+    ws.all_sources.push((
+        "crates/apps/src/doctored.rs".to_owned(),
+        "fn f(t: &mut LockTable, o: &GlobalObjectId) { t.force_unlock(o); }".to_owned(),
+    ));
+    let violations = lint_restricted_calls(&ws.all_sources);
+    assert!(
+        violations.iter().any(|v| v.file.contains("doctored") && v.detail.contains("force_unlock")),
+        "got {violations:?}"
+    );
+}
+
+#[test]
+fn stripped_crate_header_fails() {
+    let ws = real_workspace();
+    let doctored: Vec<(String, String)> = ws
+        .crate_roots
+        .iter()
+        .map(|(p, t)| (p.clone(), t.replace("#![forbid(unsafe_code)]", "")))
+        .collect();
+    let violations = lint_crate_headers(&doctored);
+    assert!(
+        violations.iter().any(|v| v.detail.contains("forbid(unsafe_code)")),
+        "got {violations:?}"
+    );
+}

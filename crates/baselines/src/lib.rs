@@ -15,6 +15,9 @@
 //! The benchmark harness (`cosoft-bench`) uses these runners to
 //! regenerate the paper's architecture figures and comparison table.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod arch;
 pub mod cosoft_live;
 pub mod stats;

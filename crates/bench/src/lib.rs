@@ -10,5 +10,8 @@
 //! `cargo run -p cosoft-bench --bin table1` / `--bin figures` for just
 //! the paper-style reports.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod figures;
 pub mod report;

@@ -48,6 +48,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod compat;
 pub mod harness;
 pub mod semantic;

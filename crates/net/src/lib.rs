@@ -13,6 +13,9 @@
 //! The server and client cores are written sans-I/O (they map an incoming
 //! message to outgoing messages) so both carriers drive identical logic.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod sim;
 pub mod tcp;
 

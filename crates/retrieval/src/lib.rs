@@ -32,6 +32,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use std::collections::BTreeSet;
 use std::fmt;
 

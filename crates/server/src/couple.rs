@@ -185,6 +185,40 @@ impl CoupleDirectory {
         self.links.len()
     }
 
+    /// Checks that the directed link set and the undirected adjacency are
+    /// two views of the same relation: every link appears as adjacency in
+    /// both directions, every adjacency edge is backed by a link, no
+    /// self-loops, no empty adjacency sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (src, dst) in &self.links {
+            if src == dst {
+                return Err(format!("self-link on {src}"));
+            }
+            let fwd = self.adj.get(src).is_some_and(|s| s.contains(dst));
+            let back = self.adj.get(dst).is_some_and(|s| s.contains(src));
+            if !fwd || !back {
+                return Err(format!("link {src} → {dst} missing from the adjacency"));
+            }
+        }
+        for (o, neighbors) in &self.adj {
+            if neighbors.is_empty() {
+                return Err(format!("empty adjacency set retained for {o}"));
+            }
+            for n in neighbors {
+                let linked = self.links.contains(&(o.clone(), n.clone()))
+                    || self.links.contains(&(n.clone(), o.clone()));
+                if !linked {
+                    return Err(format!("adjacency edge {o} ~ {n} not backed by any link"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Whether the directory has no links.
     pub fn is_empty(&self) -> bool {
         self.links.is_empty()

@@ -10,6 +10,9 @@
 //! endpoint key, so the same core runs on the deterministic simulated
 //! network and over real TCP (see `cosoft-net`).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 mod access;
 mod couple;
 mod history;

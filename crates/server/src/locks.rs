@@ -107,10 +107,23 @@ impl LockTable {
         self.held.is_empty()
     }
 
-    /// Checks that the reverse index and the holder map describe the
-    /// same relation (test support).
-    #[doc(hidden)]
-    pub fn assert_index_consistent(&self) {
+    /// Iterates over every held lock as `(object, holding exec)`.
+    pub fn held_locks(&self) -> impl Iterator<Item = (&GlobalObjectId, ExecId)> + '_ {
+        self.held.iter().map(|(o, e)| (o, *e))
+    }
+
+    /// Checks that the reverse index and the holder map describe the same
+    /// relation, returning a description of the first divergence.
+    ///
+    /// This is the lock table's contribution to the server-wide invariant
+    /// pack ([`crate::ServerCore::check_invariants`]); the schedule
+    /// explorer and the property tests run it after every operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the divergence between the
+    /// holder map and the reverse index, if any.
+    pub fn check_invariants(&self) -> Result<(), String> {
         let mut from_index: Vec<(GlobalObjectId, ExecId)> = self
             .by_exec
             .iter()
@@ -120,7 +133,29 @@ impl LockTable {
             self.held.iter().map(|(o, e)| (o.clone(), *e)).collect();
         from_index.sort();
         from_held.sort();
-        assert_eq!(from_index, from_held, "lock table reverse index diverged from the holder map");
+        if from_index != from_held {
+            return Err(format!(
+                "lock table reverse index diverged from the holder map: \
+                 index {from_index:?} vs held {from_held:?}"
+            ));
+        }
+        if let Some((exec, _)) = self.by_exec.iter().find(|(_, objs)| objs.is_empty()) {
+            return Err(format!("reverse index retains empty entry for exec {exec}"));
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper around [`LockTable::check_invariants`] (test
+    /// support).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the reverse index diverges from the holder map.
+    #[doc(hidden)]
+    pub fn assert_index_consistent(&self) {
+        if let Err(e) = self.check_invariants() {
+            panic!("{e}");
+        }
     }
 }
 

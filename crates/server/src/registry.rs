@@ -135,6 +135,42 @@ impl<E: Copy + Eq + std::hash::Hash> Registry<E> {
         self.by_instance.len()
     }
 
+    /// Checks that the endpoint index and the instance records describe
+    /// the same binding relation and that the id counter is ahead of every
+    /// issued id (ids are never reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (endpoint, id) in &self.by_endpoint {
+            match self.by_instance.get(id) {
+                Some((_, Some(bound))) if bound == endpoint => {}
+                Some((_, Some(_))) => {
+                    return Err(format!("endpoint index binds {id} to a different endpoint"));
+                }
+                Some((_, None)) => {
+                    return Err(format!("endpoint index binds quarantined instance {id}"));
+                }
+                None => return Err(format!("endpoint index binds unregistered instance {id}")),
+            }
+        }
+        for (id, (info, endpoint)) in &self.by_instance {
+            if info.instance != *id {
+                return Err(format!("record of {id} carries mismatched id {}", info.instance));
+            }
+            if let Some(e) = endpoint {
+                if self.by_endpoint.get(e) != Some(id) {
+                    return Err(format!("bound instance {id} missing from the endpoint index"));
+                }
+            }
+            if id.0 >= self.next {
+                return Err(format!("issued id {id} not below the id counter {}", self.next));
+            }
+        }
+        Ok(())
+    }
+
     /// Whether no instances are registered.
     pub fn is_empty(&self) -> bool {
         self.by_instance.is_empty()

@@ -150,10 +150,18 @@ pub struct ServerStats {
     pub quarantine_expiries: u64,
     /// Instances currently quarantined.
     pub quarantined_instances: usize,
+    /// Messages of a kind the server never accepts from clients
+    /// (server-to-client-only kinds arriving inbound); each one is
+    /// answered with an [`Message::ErrorReply`] rather than dropped.
+    pub unexpected_messages: u64,
 }
 
 /// The sans-I/O COSOFT server state machine.
-#[derive(Debug)]
+///
+/// `Clone` produces an independent snapshot of the entire database —
+/// the schedule-exploring model checker (`crates/server/tests/lock_model.rs`)
+/// forks the server state at every branching point of its search.
+#[derive(Debug, Clone)]
 pub struct ServerCore<E> {
     registry: Registry<E>,
     access: AccessTable,
@@ -204,6 +212,8 @@ pub struct ServerCore<E> {
     resumes: u64,
     rejoins_rejected: u64,
     quarantine_expiries: u64,
+    /// Inbound messages of a server-to-client-only kind.
+    unexpected_messages: u64,
 }
 
 impl<E: Copy + Eq + Hash> Default for ServerCore<E> {
@@ -249,6 +259,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             resumes: 0,
             rejoins_rejected: 0,
             quarantine_expiries: 0,
+            unexpected_messages: 0,
         }
     }
 
@@ -330,6 +341,132 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             rejoins_rejected: self.rejoins_rejected,
             quarantine_expiries: self.quarantine_expiries,
             quarantined_instances: self.quarantined.len(),
+            unexpected_messages: self.unexpected_messages,
+        }
+    }
+
+    /// The server-wide invariant pack (§2.2/§3.2), promoted from the lock
+    /// table's index check into a whole-database consistency audit. The
+    /// schedule-exploring checker (`crates/server/tests/lock_model.rs`)
+    /// runs it after every step of every explored interleaving; production
+    /// message paths run it under `debug_assertions`.
+    ///
+    /// Checked invariants:
+    ///
+    /// * registry endpoint index ↔ instance records agree, ids never
+    ///   reused ([`Registry::check_invariants`]);
+    /// * lock-table holder map ↔ reverse index agree
+    ///   ([`LockTable::check_invariants`]);
+    /// * couple links ↔ adjacency agree
+    ///   ([`CoupleDirectory::check_invariants`]);
+    /// * no lost or leaked locks: every held lock belongs to a live
+    ///   multiple-execution round, and every live round still holds at
+    ///   least one lock (its group cannot have been unlocked twice);
+    /// * no deadlock: locks are acquired atomically per group
+    ///   ([`LockTable::try_lock_group`]), so the wait-for graph has no
+    ///   edges between execs; what must hold instead is that every
+    ///   instance a live round is waiting on (`ExecuteDone` owed) is a
+    ///   bound, reachable instance — a round waiting on a dead or
+    ///   quarantined connection would hold its group's locks forever;
+    /// * transfer-liveness accounting: each transfer group's
+    ///   `outstanding` equals its live push legs plus pull legs, and no
+    ///   leg or pull references a dropped group (a late reply would
+    ///   otherwise resurrect state for a dead requester);
+    /// * liveness bookkeeping: quarantined instances are registered but
+    ///   unbound, resume tokens form a bijection with their instances,
+    ///   and traffic timestamps only exist for registered instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.registry.check_invariants()?;
+        self.locks.check_invariants()?;
+        self.couples.check_invariants()?;
+        // Lock ↔ exec liveness, both directions.
+        let mut holders: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for (object, exec) in self.locks.held_locks() {
+            if !self.execs.contains_key(&exec) {
+                return Err(format!("lock on {object} held by finished exec {exec}"));
+            }
+            holders.insert(exec);
+        }
+        for (exec_id, exec) in &self.execs {
+            if !holders.contains(exec_id) {
+                return Err(format!("live exec {exec_id} holds no locks (doubled unlock?)"));
+            }
+            for (inst, owed) in &exec.owed {
+                if *owed > 0 && !self.registry.is_bound(*inst) {
+                    return Err(format!(
+                        "exec {exec_id} waits on {owed} done(s) from unreachable instance {inst}"
+                    ));
+                }
+            }
+        }
+        // Transfer accounting: outstanding == live legs + live pulls.
+        let mut per_group: HashMap<u64, usize> = HashMap::new();
+        for (req_id, t) in &self.transfers {
+            if !self.transfer_groups.contains_key(&t.group) {
+                return Err(format!("push leg {req_id} references dropped group {}", t.group));
+            }
+            *per_group.entry(t.group).or_insert(0) += 1;
+        }
+        for (req_id, p) in &self.pending_pulls {
+            if !self.transfer_groups.contains_key(&p.group) {
+                return Err(format!("pull leg {req_id} references dropped group {}", p.group));
+            }
+            *per_group.entry(p.group).or_insert(0) += 1;
+        }
+        for (group_id, g) in &self.transfer_groups {
+            let live = per_group.get(group_id).copied().unwrap_or(0);
+            if g.outstanding != live {
+                return Err(format!(
+                    "group {group_id} outstanding={} but {live} live leg(s)",
+                    g.outstanding
+                ));
+            }
+            if !self.registry.contains(g.requester) {
+                return Err(format!(
+                    "group {group_id} awaited by unregistered instance {}",
+                    g.requester
+                ));
+            }
+        }
+        // Liveness bookkeeping.
+        for id in self.quarantined.keys() {
+            if !self.registry.contains(*id) {
+                return Err(format!("quarantined instance {id} is not registered"));
+            }
+            if self.registry.is_bound(*id) {
+                return Err(format!("quarantined instance {id} is still bound to an endpoint"));
+            }
+        }
+        for (token, id) in &self.tokens {
+            if self.token_of.get(id) != Some(token) {
+                return Err(format!("resume token of {id} diverged between the two maps"));
+            }
+        }
+        for (id, token) in &self.token_of {
+            if self.tokens.get(token) != Some(id) {
+                return Err(format!("resume token of {id} missing from the token index"));
+            }
+        }
+        for id in self.last_seen.keys() {
+            if !self.registry.contains(*id) {
+                return Err(format!("traffic timestamp retained for unregistered instance {id}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs [`ServerCore::check_invariants`] in debug builds, panicking on
+    /// violation; compiled out of release builds.
+    #[inline]
+    fn debug_check_invariants(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.check_invariants() {
+            panic!("server invariant violated: {e}");
         }
     }
 
@@ -374,6 +511,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             None => Vec::new(),
         };
         self.note_outgoing(&out);
+        self.debug_check_invariants();
         out
     }
 
@@ -417,6 +555,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             }
         }
         self.note_outgoing(&out);
+        self.debug_check_invariants();
         out
     }
 
@@ -475,6 +614,12 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
     /// Processes one message from `endpoint`, returning the messages to
     /// send in response (to any endpoints).
     pub fn handle(&mut self, endpoint: E, msg: Message) -> Outgoing<E> {
+        let out = self.handle_inner(endpoint, msg);
+        self.debug_check_invariants();
+        out
+    }
+
+    fn handle_inner(&mut self, endpoint: E, msg: Message) -> Outgoing<E> {
         // Registration and rejoin are the only messages legal before a
         // Welcome.
         if let Message::Register { user, host, app_name } = &msg {
@@ -615,12 +760,29 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
                 out.extend(self.do_command(from, to, command, payload));
             }
             // Server-originated kinds arriving at the server are protocol
-            // misuse; answer with an error instead of panicking.
-            other => {
+            // misuse; answer with an error instead of panicking. The
+            // variants are listed exhaustively — no wildcard — so adding a
+            // `Message` variant without deciding its dispatch here is a
+            // compile error (and a `cosoft-audit` lint failure).
+            unexpected @ (Message::Welcome { .. }
+            | Message::InstanceList { .. }
+            | Message::SessionToken { .. }
+            | Message::CoupleUpdate { .. }
+            | Message::CoupledSet { .. }
+            | Message::EventGranted { .. }
+            | Message::EventRejected { .. }
+            | Message::ExecuteEvent { .. }
+            | Message::GroupUnlocked { .. }
+            | Message::StateRequest { .. }
+            | Message::ApplyState { .. }
+            | Message::PermissionDenied { .. }
+            | Message::CommandDelivery { .. }
+            | Message::ErrorReply { .. }) => {
+                self.unexpected_messages += 1;
                 self.to_instance(
                     from,
                     Message::ErrorReply {
-                        context: other.kind_name().to_owned(),
+                        context: unexpected.kind_name().to_owned(),
                         reason: "message kind is server-to-client only".to_owned(),
                     },
                     &mut out,
@@ -778,7 +940,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         };
         match exec.owed.get_mut(&from) {
             Some(n) if *n > 0 => *n -= 1,
-            _ => return out, // spurious done; ignore
+            Some(_) | None => return out, // spurious done; ignore
         }
         if exec.owed.values().all(|&n| n == 0) {
             let exec = self.execs.remove(&exec_id).expect("present");
@@ -896,7 +1058,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         // out `ApplyState` then would create legs no one will collect.
         match self.transfer_groups.get(&group_id) {
             Some(g) if g.failed.is_none() => {}
-            _ => return,
+            Some(_) | None => return,
         }
         // Quarantined destinations cannot receive state; they reconverge
         // via their own `CopyFrom` resync on rejoin instead of holding

@@ -1,0 +1,150 @@
+//! Property-based tests of [`LockTable`]'s reverse index under random
+//! teardown-heavy operation sequences: lock, indexed unlock, forced
+//! single-object unlock (object destruction), and bulk teardown.
+//!
+//! Unlike `store_props.rs` (which models *grant* semantics), this suite
+//! targets the index bookkeeping the server-wide invariant pack depends
+//! on: after *every* operation the reverse index must describe exactly
+//! the holder map (`assert_index_consistent`), and every release path
+//! must agree with a naive full-scan reference model.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use cosoft_server::LockTable;
+use cosoft_wire::{GlobalObjectId, InstanceId, ObjectPath};
+
+fn gid(i: u8) -> GlobalObjectId {
+    GlobalObjectId::new(
+        InstanceId(u64::from(i % 4)),
+        ObjectPath::parse(&format!("o{}", i / 4)).expect("valid"),
+    )
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// `try_lock_group` over a small object group.
+    Lock(Vec<u8>, u64),
+    /// Indexed release of one exec's locks.
+    Unlock(u64),
+    /// Forced single-object release (object destroyed mid-execution).
+    ForceUnlock(u8),
+    /// Teardown: release every exec in some order.
+    TeardownAll,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (prop::collection::vec(0u8..16, 1..5), 1u64..6).prop_map(|(g, e)| Op::Lock(g, e)),
+        3 => (1u64..6).prop_map(Op::Unlock),
+        2 => (0u8..16).prop_map(Op::ForceUnlock),
+        1 => Just(Op::TeardownAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// After every operation the reverse index equals the holder map,
+    /// and every release path returns exactly what a naive scan of the
+    /// holder map predicts.
+    #[test]
+    fn index_survives_random_teardown_sequences(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let mut table = LockTable::new();
+        // Reference model: the holder map alone, no index.
+        let mut model: HashMap<GlobalObjectId, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Lock(group, exec) => {
+                    let group: Vec<GlobalObjectId> = group.into_iter().map(gid).collect();
+                    let conflict = group
+                        .iter()
+                        .find(|o| model.get(o).is_some_and(|&h| h != exec))
+                        .cloned();
+                    match table.try_lock_group(&group, exec) {
+                        Ok(()) => {
+                            prop_assert!(conflict.is_none());
+                            for o in group {
+                                model.insert(o, exec);
+                            }
+                        }
+                        Err(o) => {
+                            prop_assert_eq!(Some(o), conflict);
+                        }
+                    }
+                }
+                Op::Unlock(exec) => {
+                    let mut expected: Vec<GlobalObjectId> = model
+                        .iter()
+                        .filter(|(_, &h)| h == exec)
+                        .map(|(o, _)| o.clone())
+                        .collect();
+                    expected.sort();
+                    let mut released = table.unlock_exec(exec);
+                    released.sort();
+                    prop_assert_eq!(released, expected);
+                    model.retain(|_, &mut h| h != exec);
+                }
+                Op::ForceUnlock(i) => {
+                    let o = gid(i);
+                    prop_assert_eq!(table.force_unlock(&o), model.remove(&o));
+                }
+                Op::TeardownAll => {
+                    let mut execs: Vec<u64> = model.values().copied().collect();
+                    execs.sort_unstable();
+                    execs.dedup();
+                    for exec in execs {
+                        table.unlock_exec(exec);
+                        table.assert_index_consistent();
+                    }
+                    model.clear();
+                }
+            }
+            table.assert_index_consistent();
+            table.check_invariants().map_err(TestCaseError::fail)?;
+            prop_assert_eq!(table.len(), model.len());
+        }
+    }
+
+    /// `held_locks` always enumerates exactly the reference relation.
+    #[test]
+    fn held_locks_enumerates_the_relation(ops in prop::collection::vec(arb_op(), 1..40)) {
+        let mut table = LockTable::new();
+        let mut model: HashMap<GlobalObjectId, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Lock(group, exec) => {
+                    let group: Vec<GlobalObjectId> = group.into_iter().map(gid).collect();
+                    if table.try_lock_group(&group, exec).is_ok() {
+                        for o in group {
+                            model.insert(o, exec);
+                        }
+                    }
+                }
+                Op::Unlock(exec) => {
+                    table.unlock_exec(exec);
+                    model.retain(|_, &mut h| h != exec);
+                }
+                Op::ForceUnlock(i) => {
+                    let o = gid(i);
+                    table.force_unlock(&o);
+                    model.remove(&o);
+                }
+                Op::TeardownAll => {
+                    for exec in 0..8u64 {
+                        table.unlock_exec(exec);
+                    }
+                    model.clear();
+                }
+            }
+            let mut seen: Vec<(GlobalObjectId, u64)> =
+                table.held_locks().map(|(o, e)| (o.clone(), e)).collect();
+            seen.sort();
+            let mut expected: Vec<(GlobalObjectId, u64)> =
+                model.iter().map(|(o, &e)| (o.clone(), e)).collect();
+            expected.sort();
+            prop_assert_eq!(seen, expected);
+        }
+    }
+}

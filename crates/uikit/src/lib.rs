@@ -41,6 +41,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 mod error;
 pub mod feedback;
 pub mod render;

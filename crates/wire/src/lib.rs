@@ -35,6 +35,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod codec;
 mod error;
 mod event;

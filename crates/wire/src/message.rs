@@ -94,7 +94,6 @@ pub struct InstanceInfo {
 /// objects, their states and their callback events, plus the
 /// `CoSendCommand` escape hatch for application-defined extensions (§3.4).
 #[derive(Debug, Clone, PartialEq)]
-#[non_exhaustive]
 pub enum Message {
     // ---- session management (client → server) -------------------------
     /// Register a new application instance; the server assigns an
@@ -403,6 +402,55 @@ pub enum Message {
 }
 
 impl Message {
+    /// Every kind name in the protocol, in declaration order.
+    ///
+    /// This is the canonical variant list shared by the verification
+    /// layer: the `cosoft-audit` lint checks it against the enum
+    /// declaration and the codec's tag tables, and the golden-vector
+    /// suite (`crates/wire/tests/golden.rs`) asserts its vector table
+    /// covers exactly this list. Adding a `Message` variant without
+    /// extending this list (and the golden table, and the server
+    /// dispatch) fails the audit gate.
+    pub const ALL_KINDS: &'static [&'static str] = &[
+        "register",
+        "deregister",
+        "rejoin",
+        "ping",
+        "pong",
+        "query-instances",
+        "welcome",
+        "instance-list",
+        "session-token",
+        "couple",
+        "decouple",
+        "remote-couple",
+        "remote-decouple",
+        "couple-update",
+        "list-coupled",
+        "object-destroyed",
+        "coupled-set",
+        "event",
+        "event-granted",
+        "event-rejected",
+        "execute-event",
+        "execute-done",
+        "group-unlocked",
+        "copy-from",
+        "copy-to",
+        "remote-copy",
+        "state-request",
+        "state-reply",
+        "apply-state",
+        "state-applied",
+        "undo-state",
+        "redo-state",
+        "set-permission",
+        "permission-denied",
+        "co-send-command",
+        "command-delivery",
+        "error-reply",
+    ];
+
     /// Short variant name for logging and metrics.
     pub fn kind_name(&self) -> &'static str {
         match self {

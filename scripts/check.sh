@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Local mirror of the CI gate: formatting, lints, build, tests.
+# Local mirror of the CI gate: formatting, lints, build, tests, audit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -7,9 +7,15 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+# Protocol/source audit: Message enum vs codec tags vs golden vectors vs
+# server dispatch, restricted teardown APIs, crate lint headers.
+cargo run -q -p cosoft-audit
 # Failure-handling suites, run explicitly so a filtered `cargo test`
 # invocation can't silently skip them.
 cargo test -q -p cosoft-server --test server_core
 cargo test -q -p cosoft-server --test store_props no_leaks_after_all_instances_deregister
 cargo test -q -p cosoft-core --test reconnect_sim
 cargo test -q --test tcp_reconnect
+# Schedule-exploring checker: every interleaving of 3 clients over
+# overlapping couple groups, server invariants checked at every step.
+cargo test -q -p cosoft-server --test lock_model
