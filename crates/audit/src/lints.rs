@@ -9,7 +9,8 @@
 //! protocol coherent:
 //!
 //! * the `Message` enum declaration (`crates/wire/src/message.rs`),
-//! * the codec's encoder/decoder tag tables (`crates/wire/src/codec.rs`),
+//! * the codec's encoder/decoder tag tables and the shared-frame
+//!   `TAG_KIND_NAMES` table (`crates/wire/src/codec.rs`),
 //! * the golden byte-vector suite (`crates/wire/tests/golden.rs`),
 //! * the server dispatch (`crates/server/src/server.rs`),
 //!
@@ -516,6 +517,102 @@ pub fn lint_wire_tags(message_rs: &str, codec_rs: &str) -> Vec<Violation> {
     v
 }
 
+/// Parses the tag-indexed `TAG_KIND_NAMES` table from `codec.rs`, in
+/// table order (index = wire tag).
+pub fn tag_kind_names(codec_rs: &str) -> Vec<String> {
+    let Some(start) = codec_rs.find("TAG_KIND_NAMES") else {
+        return Vec::new();
+    };
+    let rest = &codec_rs[start..];
+    let Some(end) = rest.find("];") else {
+        return Vec::new();
+    };
+    let mut names = Vec::new();
+    for line in rest[..end].lines() {
+        let code = strip_line_comment(line);
+        let Some(open) = code.find('"') else { continue };
+        let lit = &code[open + 1..];
+        let Some(close) = lit.find('"') else { continue };
+        names.push(lit[..close].to_owned());
+    }
+    names
+}
+
+/// Rule `shared-frame-table`: the shared-frame encode table
+/// (`TAG_KIND_NAMES` in `codec.rs`, backing `SharedFrame::kind_name`)
+/// stays in sync with the protocol. Checked entry-by-entry against the
+/// *encoder's* tag assignments joined with `kind_name` — not
+/// positionally against `ALL_KINDS`, whose declaration order is not
+/// wire-tag order — plus set equality with the canonical kind list and
+/// a duplicate scan.
+pub fn lint_shared_frame_table(message_rs: &str, codec_rs: &str) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let table = tag_kind_names(codec_rs);
+    if table.is_empty() {
+        v.push(Violation {
+            rule: "shared-frame-table",
+            file: CODEC_RS.into(),
+            detail: "could not parse the `TAG_KIND_NAMES` table".into(),
+        });
+        return v;
+    }
+    let names = kind_name_map(message_rs);
+    for (variant, tag) in encoder_tags(codec_rs) {
+        let Some(tag) = tag else { continue }; // `wire-tag` reports missing tags
+        let Some((_, kind)) = names.iter().find(|(n, _)| *n == variant) else {
+            continue; // `enum-vs-kinds` reports missing kind_name arms
+        };
+        match table.get(tag as usize) {
+            Some(entry) if entry == kind => {}
+            Some(entry) => v.push(Violation {
+                rule: "shared-frame-table",
+                file: CODEC_RS.into(),
+                detail: format!(
+                    "TAG_KIND_NAMES[{tag}] is `{entry}` but the encoder assigns tag {tag} \
+                     to `{variant}` (kind `{kind}`)"
+                ),
+            }),
+            None => v.push(Violation {
+                rule: "shared-frame-table",
+                file: CODEC_RS.into(),
+                detail: format!(
+                    "TAG_KIND_NAMES has no entry for tag {tag} (`{variant}`, kind `{kind}`)"
+                ),
+            }),
+        }
+    }
+    let kinds = all_kinds(message_rs);
+    for kind in &kinds {
+        if !table.contains(kind) {
+            v.push(Violation {
+                rule: "shared-frame-table",
+                file: CODEC_RS.into(),
+                detail: format!("kind `{kind}` from ALL_KINDS is missing from TAG_KIND_NAMES"),
+            });
+        }
+    }
+    for entry in &table {
+        if !kinds.contains(entry) {
+            v.push(Violation {
+                rule: "shared-frame-table",
+                file: CODEC_RS.into(),
+                detail: format!("TAG_KIND_NAMES entry `{entry}` matches no ALL_KINDS kind"),
+            });
+        }
+    }
+    let mut sorted = table.clone();
+    sorted.sort();
+    sorted.dedup();
+    if sorted.len() != table.len() {
+        v.push(Violation {
+            rule: "shared-frame-table",
+            file: CODEC_RS.into(),
+            detail: "TAG_KIND_NAMES contains duplicate kind names".into(),
+        });
+    }
+    v
+}
+
 /// Rule `golden-coverage`: every variant is constructed somewhere in
 /// the golden-vector suite, and the suite names no stale variants. The
 /// suite's own `golden_table_is_complete` test enforces the per-entry
@@ -642,6 +739,7 @@ pub fn run_all_lints(ws: &WorkspaceSources) -> Vec<Violation> {
     let mut v = Vec::new();
     v.extend(lint_enum_against_kinds(&ws.message_rs));
     v.extend(lint_wire_tags(&ws.message_rs, &ws.codec_rs));
+    v.extend(lint_shared_frame_table(&ws.message_rs, &ws.codec_rs));
     v.extend(lint_golden_coverage(&ws.message_rs, &ws.golden_rs));
     v.extend(lint_dispatch_coverage(&ws.message_rs, &ws.server_rs));
     v.extend(lint_restricted_calls(&ws.all_sources));
@@ -758,6 +856,67 @@ pub fn get_message(buf: &mut Bytes) -> Result<Message> {
         let server = "match msg {\n    Message::Register { .. } => {}\n    Message::Deregister => {}\n    other => {}\n}\n";
         let v = lint_dispatch_coverage(ENUM, server);
         assert!(v.iter().any(|v| v.detail.contains("wildcard/binding")), "got {v:?}");
+    }
+
+    const TABLE: &str = r#"
+pub const TAG_KIND_NAMES: &[&str] = &[
+    "register",   // 0
+    "deregister", // 1
+];
+"#;
+
+    fn codec_with_table() -> String {
+        format!("{CODEC}{TABLE}")
+    }
+
+    #[test]
+    fn parses_tag_kind_names_in_order() {
+        assert_eq!(tag_kind_names(&codec_with_table()), vec!["register", "deregister"]);
+    }
+
+    #[test]
+    fn consistent_shared_frame_table_passes() {
+        assert!(lint_shared_frame_table(ENUM, &codec_with_table()).is_empty());
+    }
+
+    #[test]
+    fn missing_shared_frame_table_is_reported() {
+        let v = lint_shared_frame_table(ENUM, CODEC);
+        assert!(v.iter().any(|v| v.detail.contains("could not parse")), "got {v:?}");
+    }
+
+    #[test]
+    fn swapped_shared_frame_entries_are_reported() {
+        // Same *set* of kinds, wrong tag order: the set checks pass, so
+        // only the entry-by-entry comparison against the encoder's tag
+        // assignments can catch it.
+        let doctored = codec_with_table()
+            .replace("\"register\",   // 0", "\"deregister\", // 0")
+            .replace("\"deregister\", // 1", "\"register\",   // 1");
+        let v = lint_shared_frame_table(ENUM, &doctored);
+        assert!(v.iter().any(|v| v.detail.contains("but the encoder assigns tag")), "got {v:?}");
+    }
+
+    #[test]
+    fn truncated_shared_frame_table_is_reported() {
+        let doctored = codec_with_table().replace("    \"deregister\", // 1\n", "");
+        let v = lint_shared_frame_table(ENUM, &doctored);
+        assert!(v.iter().any(|v| v.detail.contains("no entry for tag 1")), "got {v:?}");
+        assert!(v.iter().any(|v| v.detail.contains("missing from TAG_KIND_NAMES")), "got {v:?}");
+    }
+
+    #[test]
+    fn duplicate_shared_frame_entry_is_reported() {
+        let doctored = codec_with_table().replace("\"deregister\", // 1", "\"register\", // 1");
+        let v = lint_shared_frame_table(ENUM, &doctored);
+        assert!(v.iter().any(|v| v.detail.contains("duplicate kind names")), "got {v:?}");
+    }
+
+    #[test]
+    fn stale_shared_frame_entry_is_reported() {
+        let doctored = codec_with_table().replace("\"deregister\"", "\"bygone\"");
+        let v = lint_shared_frame_table(ENUM, &doctored);
+        assert!(v.iter().any(|v| v.detail.contains("matches no ALL_KINDS kind")), "got {v:?}");
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Fan-out throughput benchmark for the encode-once delivery path.
+//!
+//! A sender broadcasts commands to groups of 2/8/32/128 peers through
+//! the sans-I/O [`ServerCore`]; every broadcast is encoded into exactly
+//! one [`cosoft_wire::SharedFrame`] and fanned out by reference. The
+//! series report messages/sec, bytes encoded vs. bytes delivered (the
+//! gap is what encode-once saves on the wire-encoding side), and the
+//! per-delivery clone+encode allocations the shared frame avoided.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cosoft_server::ServerCore;
+use cosoft_wire::{Message, Target, UserId};
+
+/// Group sizes every run reports, smallest to largest.
+pub const GROUP_SIZES: [usize; 4] = [2, 8, 32, 128];
+
+/// One measured series: a fixed fan-out width driven for `rounds`
+/// broadcasts.
+#[derive(Debug, Clone, Copy)]
+pub struct FanoutSample {
+    /// Receivers per broadcast.
+    pub group: usize,
+    /// Broadcasts driven through the core.
+    pub rounds: u64,
+    /// Wall-clock time for the measured loop, in microseconds.
+    pub elapsed_us: u128,
+    /// Per-endpoint deliveries produced (rounds × group).
+    pub deliveries: u64,
+    /// Delivered messages per wall-clock second.
+    pub messages_per_sec: f64,
+    /// Bytes serialized into shared frames (once per broadcast).
+    pub bytes_encoded: u64,
+    /// Bytes handed to the transport across all endpoints.
+    pub bytes_delivered: u64,
+    /// Clone-and-re-encode operations the shared frame made
+    /// unnecessary: every delivery beyond a frame's first previously
+    /// cost an owned `Message` clone plus a fresh encode buffer.
+    pub allocations_saved: u64,
+}
+
+/// Drives `rounds` broadcasts at each group size in `groups` and
+/// returns one sample per size.
+///
+/// # Panics
+///
+/// Panics if the server rejects a registration or a broadcast — both
+/// would be bugs in the benchmark setup, not load-dependent failures.
+pub fn run(groups: &[usize], rounds: u64, payload_len: usize) -> Vec<FanoutSample> {
+    groups.iter().map(|&group| run_one(group, rounds, payload_len)).collect()
+}
+
+fn run_one(group: usize, rounds: u64, payload_len: usize) -> FanoutSample {
+    let mut core: ServerCore<u64> = ServerCore::new();
+    // Endpoint 0 broadcasts to `group` peers.
+    for endpoint in 0..=(group as u64) {
+        let out = core.handle(
+            endpoint,
+            Message::Register {
+                user: UserId(endpoint + 1),
+                host: format!("bench-{endpoint}"),
+                app_name: "fanout".into(),
+            },
+        );
+        assert!(!out.is_empty(), "registration must be answered");
+    }
+    let payload = vec![0x5Au8; payload_len];
+    let before = core.stats();
+    let t0 = Instant::now();
+    for round in 0..rounds {
+        let out = core.handle(
+            0,
+            Message::CoSendCommand {
+                to: Target::Broadcast,
+                command: format!("r{round}"),
+                payload: payload.clone(),
+            },
+        );
+        // Hand the batch to a pretend transport: walk every
+        // per-endpoint frame exactly like `TcpHost::send_batch` would,
+        // without the sockets dominating the measurement.
+        let mut handed = 0usize;
+        for (endpoint, frame) in out.into_frames() {
+            handed += frame.len();
+            black_box(endpoint);
+        }
+        black_box(handed);
+    }
+    let elapsed = t0.elapsed();
+    let after = core.stats();
+
+    let deliveries = after.shared_deliveries - before.shared_deliveries;
+    let frames = after.shared_frames_encoded - before.shared_frames_encoded;
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    FanoutSample {
+        group,
+        rounds,
+        elapsed_us: elapsed.as_micros(),
+        deliveries,
+        messages_per_sec: deliveries as f64 / secs,
+        bytes_encoded: after.shared_bytes_encoded - before.shared_bytes_encoded,
+        bytes_delivered: after.shared_bytes_delivered - before.shared_bytes_delivered,
+        allocations_saved: deliveries - frames,
+    }
+}
+
+/// Renders the samples as the `BENCH_fanout.json` document.
+pub fn to_json(samples: &[FanoutSample], smoke: bool, payload_len: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"fanout\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"payload_bytes\": {payload_len},\n"));
+    out.push_str("  \"series\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"group\": {}, \"rounds\": {}, \"elapsed_us\": {}, \"deliveries\": {}, \
+             \"messages_per_sec\": {:.1}, \"bytes_encoded\": {}, \"bytes_delivered\": {}, \
+             \"allocations_saved\": {}}}{}\n",
+            s.group,
+            s.rounds,
+            s.elapsed_us,
+            s.deliveries,
+            s.messages_per_sec,
+            s.bytes_encoded,
+            s.bytes_delivered,
+            s.allocations_saved,
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_accounts_encode_once() {
+        let samples = run(&[2, 8], 4, 256);
+        assert_eq!(samples.len(), 2);
+        for s in &samples {
+            assert_eq!(s.deliveries, s.rounds * s.group as u64);
+            // One encode per broadcast, `group` deliveries out of it.
+            assert_eq!(s.bytes_delivered, s.bytes_encoded * s.group as u64);
+            assert_eq!(s.allocations_saved, s.rounds * (s.group as u64 - 1));
+        }
+    }
+
+    #[test]
+    fn json_lists_every_series() {
+        let samples = run(&[2], 2, 64);
+        let json = to_json(&samples, true, 64);
+        assert!(json.contains("\"group\": 2"));
+        assert!(json.contains("\"smoke\": true"));
+    }
+}

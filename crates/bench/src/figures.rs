@@ -673,11 +673,11 @@ pub fn transport_stats_rows() -> Vec<Vec<String>> {
     while core.stats().registered_instances < clients.len() {
         let event = host.events().recv_timeout(Duration::from_secs(5)).expect("registration");
         let outgoing = match event {
-            NetEvent::Connected(_) => Vec::new(),
+            NetEvent::Connected(_) => cosoft_server::Outgoing::new(),
             NetEvent::Message(conn, msg) => core.handle(conn, msg),
             NetEvent::Disconnected(conn) => core.disconnect(conn),
         };
-        let _ = host.send_batch(&outgoing);
+        let _ = host.send_batch(&outgoing.into_frames());
     }
     for round in 0..32u32 {
         clients[0]
@@ -691,11 +691,11 @@ pub fn transport_stats_rows() -> Vec<Vec<String>> {
     // Drain the dispatch loop until the wire goes quiet.
     while let Ok(event) = host.events().recv_timeout(Duration::from_millis(200)) {
         let outgoing = match event {
-            NetEvent::Connected(_) => Vec::new(),
+            NetEvent::Connected(_) => cosoft_server::Outgoing::new(),
             NetEvent::Message(conn, msg) => core.handle(conn, msg),
             NetEvent::Disconnected(conn) => core.disconnect(conn),
         };
-        let _ = host.send_batch(&outgoing);
+        let _ = host.send_batch(&outgoing.into_frames());
     }
 
     let t = stats.snapshot();

@@ -4,6 +4,8 @@
 //! * [`figures`] computes the paper-style series (virtual-time latencies,
 //!   wire bytes, rejection counts) shared by the criterion benches and
 //!   the printer binaries;
+//! * [`fanout`] measures the encode-once shared-frame broadcast path
+//!   (`--bin fanout` writes `BENCH_fanout.json`);
 //! * [`report`] renders plain-text tables.
 //!
 //! Run `cargo bench --workspace` for everything, or
@@ -13,5 +15,6 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod fanout;
 pub mod figures;
 pub mod report;

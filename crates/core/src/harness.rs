@@ -9,7 +9,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use cosoft_net::sim::{Latency, NodeId, SimNet};
-use cosoft_server::ServerCore;
+use cosoft_server::{Delivery, Outgoing, ServerCore};
 use cosoft_wire::InstanceId;
 
 use crate::session::Session;
@@ -86,8 +86,29 @@ impl SimHarness {
         if self.sessions.remove(&node).is_some() {
             self.offline.remove(&node);
             let out = self.server.disconnect(node);
-            for (dst, msg) in out {
-                self.net.send(SERVER_NODE, dst, msg);
+            self.deliver_server_out(out);
+        }
+    }
+
+    /// Puts a server batch on the simulated network. A shared frame is
+    /// decoded once and delivered (as the decoded message) to each of its
+    /// endpoints; its pre-encoded body length feeds the byte accounting,
+    /// so the simulation charges the wire cost without re-encoding.
+    fn deliver_server_out(&mut self, out: Outgoing<NodeId>) {
+        for item in out.into_items() {
+            match item {
+                Delivery::Unicast(dst, msg) => self.net.send(SERVER_NODE, dst, msg),
+                Delivery::Shared(dsts, frame) => {
+                    let body_len = frame.body().len();
+                    let msg = frame.decode().expect("server-encoded frame decodes");
+                    let mut dsts = dsts.into_iter();
+                    if let Some(last) = dsts.next_back() {
+                        for dst in dsts {
+                            self.net.send_encoded(SERVER_NODE, dst, msg.clone(), body_len);
+                        }
+                        self.net.send_encoded(SERVER_NODE, last, msg, body_len);
+                    }
+                }
             }
         }
     }
@@ -101,9 +122,7 @@ impl SimHarness {
     pub fn disconnect(&mut self, node: NodeId) {
         if self.sessions.contains_key(&node) && self.offline.insert(node) {
             let out = self.server.disconnect(node);
-            for (dst, msg) in out {
-                self.net.send(SERVER_NODE, dst, msg);
-            }
+            self.deliver_server_out(out);
         }
     }
 
@@ -123,9 +142,7 @@ impl SimHarness {
     pub fn tick_server(&mut self, at_us: u64) {
         self.net.advance_to(at_us);
         let out = self.server.tick(at_us);
-        for (dst, msg) in out {
-            self.net.send(SERVER_NODE, dst, msg);
-        }
+        self.deliver_server_out(out);
     }
 
     /// The instance id a session received, if registered.
@@ -166,9 +183,7 @@ impl SimHarness {
                 assert!(steps <= max_steps, "simulation exceeded {max_steps} deliveries");
                 if delivery.dst == SERVER_NODE {
                     let out = self.server.handle(delivery.src, delivery.msg);
-                    for (dst, msg) in out {
-                        self.net.send(SERVER_NODE, dst, msg);
-                    }
+                    self.deliver_server_out(out);
                 } else if self.offline.contains(&delivery.dst) {
                     // In-flight messages to a severed connection are lost.
                 } else if let Some(session) = self.sessions.get_mut(&delivery.dst) {

@@ -235,8 +235,18 @@ impl SimNet {
     /// Sends `msg` from `src` to `dst` with sampled latency, applying the
     /// fault plan. Accounts encoded size in the statistics.
     pub fn send(&mut self, src: NodeId, dst: NodeId, msg: Message) {
+        let body_len = codec::encode_message(&msg).len();
+        self.send_encoded(src, dst, msg, body_len);
+    }
+
+    /// Like [`SimNet::send`] for a message that is already encoded
+    /// elsewhere: `msg` is the decoded view used for delivery and
+    /// per-kind accounting, `body_len` the encoded body length (e.g. a
+    /// pre-encoded shared frame's payload), charged to `bytes_sent`
+    /// without re-encoding here.
+    pub fn send_encoded(&mut self, src: NodeId, dst: NodeId, msg: Message, body_len: usize) {
         self.stats.messages_sent += 1;
-        self.stats.bytes_sent += codec::encode_message(&msg).len() as u64;
+        self.stats.bytes_sent += body_len as u64;
         *self.stats.per_kind.entry(msg.kind_name()).or_insert(0) += 1;
 
         if self.faults.is_down(src, self.now_us) || self.faults.is_down(dst, self.now_us) {

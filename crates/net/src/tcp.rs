@@ -18,14 +18,15 @@
 //! connection into a single socket write.
 
 use std::collections::HashMap;
-use std::io::{self, BufReader, Read, Write};
+use std::io::{self, BufReader, IoSlice, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use cosoft_wire::{codec, Message};
+use bytes::Bytes;
+use cosoft_wire::{codec, Message, SharedFrame};
 use crossbeam::channel::{bounded, unbounded, Receiver, SendTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 
@@ -51,6 +52,12 @@ pub struct TcpHostConfig {
     /// Maximum writes queued per connection before an enqueue has to
     /// wait (each queued entry is one coalesced batch of frames).
     pub queue_capacity: usize,
+    /// Maximum outbound backlog per connection in *bytes* before an
+    /// enqueue has to wait. Byte accounting is what actually bounds
+    /// memory: entry counts alone let one connection pin gigabytes of
+    /// large frames. A single batch larger than the budget is still
+    /// admitted into an empty backlog so it cannot wedge itself.
+    pub queue_max_bytes: usize,
     /// How long an enqueue may wait on a full queue before the
     /// connection is declared a slow consumer and evicted.
     pub enqueue_timeout: Duration,
@@ -58,7 +65,11 @@ pub struct TcpHostConfig {
 
 impl Default for TcpHostConfig {
     fn default() -> Self {
-        TcpHostConfig { queue_capacity: 1024, enqueue_timeout: Duration::from_millis(200) }
+        TcpHostConfig {
+            queue_capacity: 1024,
+            queue_max_bytes: 8 * 1024 * 1024,
+            enqueue_timeout: Duration::from_millis(200),
+        }
     }
 }
 
@@ -85,6 +96,8 @@ pub struct TcpStats {
     pub active_connections: usize,
     /// Deepest per-connection outbound queue right now.
     pub max_queue_depth: usize,
+    /// Largest per-connection outbound backlog right now, in bytes.
+    pub max_queued_bytes: usize,
 }
 
 #[derive(Debug, Default)]
@@ -99,15 +112,24 @@ struct Counters {
     frames_dropped: AtomicU64,
 }
 
-/// One coalesced write: the concatenated frame bytes plus how many
-/// frames they contain (for the `frames_out` counter).
+/// One queued write: whole pre-encoded frames (cheap [`Bytes`] handles,
+/// shared with every other connection the same frame fans out to) plus
+/// frame/byte totals for the counters and the byte backpressure.
 struct Batch {
-    bytes: Vec<u8>,
+    /// Whole encoded frames, written with one vectored write — never
+    /// concatenated into a fresh allocation.
+    segments: Vec<Bytes>,
     frames: u64,
+    /// Total encoded length across `segments`.
+    bytes: usize,
 }
 
 struct ConnWriter {
     queue: Sender<Batch>,
+    /// Outbound backlog in bytes (reserved at enqueue, released once
+    /// written or dropped); this is what the backpressure budget
+    /// ([`TcpHostConfig::queue_max_bytes`]) is accounted against.
+    queued_bytes: Arc<AtomicUsize>,
     /// Control handle used to shut the socket down on eviction; the
     /// writer thread owns its own clone for writing.
     control: TcpStream,
@@ -132,10 +154,12 @@ impl std::fmt::Debug for TcpStatsHandle {
 impl TcpStatsHandle {
     /// Current counter values.
     pub fn snapshot(&self) -> TcpStats {
-        let (active, deepest) = {
+        let (active, deepest, deepest_bytes) = {
             let writers = self.writers.lock();
             let deepest = writers.values().map(|w| w.queue.len()).max().unwrap_or(0);
-            (writers.len(), deepest)
+            let deepest_bytes =
+                writers.values().map(|w| w.queued_bytes.load(Ordering::Relaxed)).max().unwrap_or(0);
+            (writers.len(), deepest, deepest_bytes)
         };
         TcpStats {
             frames_out: self.counters.frames_out.load(Ordering::Relaxed),
@@ -148,6 +172,7 @@ impl TcpStatsHandle {
             frames_dropped: self.counters.frames_dropped.load(Ordering::Relaxed),
             active_connections: active,
             max_queue_depth: deepest,
+            max_queued_bytes: deepest_bytes,
         }
     }
 }
@@ -187,33 +212,88 @@ impl std::fmt::Debug for TcpHost {
     }
 }
 
-fn writer_loop(queue: Receiver<Batch>, mut stream: TcpStream, counters: Arc<Counters>) {
+/// Writes whole frames with vectored I/O (up to 1024 segments per
+/// syscall), advancing across segment boundaries on partial writes —
+/// the frames are never concatenated into a fresh buffer.
+fn write_segments(stream: &mut TcpStream, segments: &[Bytes]) -> io::Result<()> {
+    let mut idx = 0usize; // first segment with unwritten bytes
+    let mut off = 0usize; // bytes of segment `idx` already written
+    while idx < segments.len() {
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity((segments.len() - idx).min(1024));
+        slices.push(IoSlice::new(&segments[idx][off..]));
+        for seg in segments.iter().skip(idx + 1).take(1023) {
+            slices.push(IoSlice::new(seg));
+        }
+        let mut n = stream.write_vectored(&slices)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::WriteZero, "socket write returned zero"));
+        }
+        while n > 0 {
+            let rem = segments[idx].len() - off;
+            if n >= rem {
+                n -= rem;
+                idx += 1;
+                off = 0;
+            } else {
+                off += n;
+                n = 0;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn writer_loop(
+    queue: Receiver<Batch>,
+    queued_bytes: Arc<AtomicUsize>,
+    mut stream: TcpStream,
+    counters: Arc<Counters>,
+) {
     // An eviction or host drop closes the queue; drain-and-exit.
     while let Ok(first) = queue.recv() {
-        let mut bytes = first.bytes;
+        let mut segments = first.segments;
         let mut frames = first.frames;
+        let mut bytes = first.bytes;
         let mut batches = 1u64;
-        // Coalesce everything already queued into one socket write.
-        while bytes.len() < 256 * 1024 {
+        // Coalesce everything already queued into one vectored write.
+        while bytes < 256 * 1024 {
             match queue.try_recv() {
                 Ok(next) => {
-                    bytes.extend_from_slice(&next.bytes);
+                    segments.extend(next.segments);
                     frames += next.frames;
+                    bytes += next.bytes;
                     batches += 1;
                 }
                 Err(_) => break,
             }
         }
-        if stream.write_all(&bytes).is_err() {
+        let result = write_segments(&mut stream, &segments);
+        queued_bytes.fetch_sub(bytes, Ordering::AcqRel);
+        if result.is_err() {
             // Wake the reader thread so Disconnected surfaces.
             stream.shutdown(std::net::Shutdown::Both).ok();
             break;
         }
         counters.frames_out.fetch_add(frames, Ordering::Relaxed);
-        counters.bytes_out.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        counters.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
         if batches > 1 {
             counters.coalesced_writes.fetch_add(1, Ordering::Relaxed);
         }
+    }
+    // Whatever is still queued when the writer exits — write error,
+    // eviction, host drop — will never reach the peer. Count it as
+    // dropped instead of discarding it silently.
+    let mut dropped_frames = 0u64;
+    let mut dropped_bytes = 0usize;
+    for batch in queue.try_iter() {
+        dropped_frames += batch.frames;
+        dropped_bytes += batch.bytes;
+    }
+    if dropped_frames > 0 {
+        counters.frames_dropped.fetch_add(dropped_frames, Ordering::Relaxed);
+    }
+    if dropped_bytes > 0 {
+        queued_bytes.fetch_sub(dropped_bytes, Ordering::AcqRel);
     }
 }
 
@@ -261,17 +341,21 @@ impl TcpHost {
                         _ => continue,
                     };
                     let (queue_tx, queue_rx) = bounded(queue_capacity);
+                    let queued_bytes = Arc::new(AtomicUsize::new(0));
                     let writer_counters = accept_counters.clone();
+                    let writer_queued_bytes = queued_bytes.clone();
                     if std::thread::Builder::new()
                         .name(format!("cosoft-writer-{}", id.0))
-                        .spawn(move || writer_loop(queue_rx, writer, writer_counters))
+                        .spawn(move || {
+                            writer_loop(queue_rx, writer_queued_bytes, writer, writer_counters)
+                        })
                         .is_err()
                     {
                         continue;
                     }
                     accept_writers
                         .lock()
-                        .insert(id, ConnWriter { queue: queue_tx, control: stream });
+                        .insert(id, ConnWriter { queue: queue_tx, queued_bytes, control: stream });
                     if tx.send(NetEvent::Connected(id)).is_err() {
                         break;
                     }
@@ -352,22 +436,38 @@ impl TcpHost {
     /// connection's queue stayed full past the enqueue timeout (the
     /// connection is then evicted as a slow consumer).
     pub fn send(&self, conn: ConnId, msg: &Message) -> io::Result<()> {
-        self.enqueue(conn, Batch { bytes: codec::frame_message(msg), frames: 1 })
+        self.send_frame(conn, &codec::frame_message_shared(msg))
     }
 
-    /// Sends a whole server turn, coalescing all frames that target the
-    /// same connection into a single queued write. Returns the
-    /// connections that could not be delivered to (gone or evicted);
-    /// their reader threads surface [`NetEvent::Disconnected`].
-    pub fn send_batch(&self, outgoing: &[(ConnId, Message)]) -> Vec<ConnId> {
+    /// Sends one pre-encoded frame to one connection. The frame buffer
+    /// is shared, not copied — fanning the same [`SharedFrame`] out to
+    /// many connections enqueues cheap handles to a single allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TcpHost::send`].
+    pub fn send_frame(&self, conn: ConnId, frame: &SharedFrame) -> io::Result<()> {
+        let bytes = frame.bytes().clone();
+        self.enqueue(conn, Batch { bytes: bytes.len(), segments: vec![bytes], frames: 1 })
+    }
+
+    /// Sends a whole server turn of pre-encoded frames, coalescing all
+    /// frames that target the same connection into a single queued
+    /// (vectored) write. A shared frame fanned out to many connections
+    /// lands here as cheap clones of one buffer — nothing is re-encoded
+    /// or concatenated per destination. Returns the connections that
+    /// could not be delivered to (gone or evicted); their reader
+    /// threads surface [`NetEvent::Disconnected`].
+    pub fn send_batch(&self, outgoing: &[(ConnId, SharedFrame)]) -> Vec<ConnId> {
         let mut order: Vec<ConnId> = Vec::new();
         let mut per_conn: HashMap<ConnId, Batch> = HashMap::new();
-        for (conn, msg) in outgoing {
+        for (conn, frame) in outgoing {
             let batch = per_conn.entry(*conn).or_insert_with(|| {
                 order.push(*conn);
-                Batch { bytes: Vec::new(), frames: 0 }
+                Batch { segments: Vec::new(), frames: 0, bytes: 0 }
             });
-            batch.bytes.extend_from_slice(&codec::frame_message(msg));
+            batch.segments.push(frame.bytes().clone());
+            batch.bytes += frame.len();
             batch.frames += 1;
         }
         let mut failed = Vec::new();
@@ -381,35 +481,72 @@ impl TcpHost {
     }
 
     fn enqueue(&self, conn: ConnId, batch: Batch) -> io::Result<()> {
-        // Hold the map lock only to clone the queue handle: the actual
+        // Hold the map lock only to clone the queue handles: the actual
         // enqueue (which may wait) happens outside, so a full queue on
         // one connection never blocks sends to its peers.
-        let queue = match self.writers.lock().get(&conn) {
-            Some(w) => w.queue.clone(),
+        let (queue, queued_bytes) = match self.writers.lock().get(&conn) {
+            Some(w) => (w.queue.clone(), w.queued_bytes.clone()),
             None => {
                 self.counters.frames_dropped.fetch_add(batch.frames, Ordering::Relaxed);
                 return Err(io::Error::new(io::ErrorKind::NotConnected, "connection closed"));
             }
         };
         let frames = batch.frames;
+        let bytes = batch.bytes;
+        // Reserve the batch's bytes against the connection's backlog
+        // budget; an oversized batch is admitted into an empty backlog
+        // so it cannot wedge itself.
+        let deadline = Instant::now() + self.config.enqueue_timeout;
+        let mut waited = false;
+        loop {
+            let cur = queued_bytes.load(Ordering::Acquire);
+            if cur == 0 || cur + bytes <= self.config.queue_max_bytes {
+                if queued_bytes
+                    .compare_exchange(cur, cur + bytes, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    break;
+                }
+                continue;
+            }
+            if !waited {
+                waited = true;
+                self.counters.enqueue_full_waits.fetch_add(1, Ordering::Relaxed);
+            }
+            if Instant::now() >= deadline {
+                self.counters.frames_dropped.fetch_add(frames, Ordering::Relaxed);
+                self.evict_slow_consumer(conn);
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "slow consumer: outbound backlog stayed over budget past the enqueue timeout",
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let release_reservation = || {
+            queued_bytes.fetch_sub(bytes, Ordering::AcqRel);
+            self.counters.frames_dropped.fetch_add(frames, Ordering::Relaxed);
+        };
         let batch = match queue.try_send(batch) {
             Ok(()) => return Ok(()),
             Err(TrySendError::Disconnected(b)) => {
-                self.counters.frames_dropped.fetch_add(frames, Ordering::Relaxed);
+                release_reservation();
                 drop(b);
                 return Err(io::Error::new(io::ErrorKind::NotConnected, "connection closed"));
             }
             Err(TrySendError::Full(b)) => b,
         };
-        self.counters.enqueue_full_waits.fetch_add(1, Ordering::Relaxed);
-        match queue.send_timeout(batch, self.config.enqueue_timeout) {
+        if !waited {
+            self.counters.enqueue_full_waits.fetch_add(1, Ordering::Relaxed);
+        }
+        match queue.send_timeout(batch, deadline.saturating_duration_since(Instant::now())) {
             Ok(()) => Ok(()),
             Err(SendTimeoutError::Disconnected(_)) => {
-                self.counters.frames_dropped.fetch_add(frames, Ordering::Relaxed);
+                release_reservation();
                 Err(io::Error::new(io::ErrorKind::NotConnected, "connection closed"))
             }
             Err(SendTimeoutError::Timeout(_)) => {
-                self.counters.frames_dropped.fetch_add(frames, Ordering::Relaxed);
+                release_reservation();
                 self.evict_slow_consumer(conn);
                 Err(io::Error::new(
                     io::ErrorKind::TimedOut,
@@ -529,15 +666,37 @@ impl ReconnectPolicy {
     }
 }
 
+/// Outbound frames a client may queue before [`TcpClient::send`] has to
+/// wait on the writer thread.
+const CLIENT_OUTBOX_CAPACITY: usize = 64;
+
+/// How long [`TcpClient::send`] may wait on a full outbox, and how long
+/// [`TcpClient::close`] waits for queued frames (e.g. a graceful
+/// `Deregister`) to flush before tearing the socket down.
+const CLIENT_FLUSH_TIMEOUT: Duration = Duration::from_millis(500);
+
 /// Connecting side of the TCP transport (used by application instances).
+///
+/// Writes go through a bounded outbox drained by a dedicated writer
+/// thread, so [`TcpClient::send`] never blocks on the socket and — the
+/// important part — never holds the stream lock across a write: a
+/// wedged write used to pin that lock and block `send`/`close`/`sever`
+/// (and the reconnect swap) indefinitely.
 pub struct TcpClient {
     stream: Arc<Mutex<TcpStream>>,
+    outbox: Sender<Bytes>,
+    /// Frames enqueued but not yet written (close drains these briefly).
+    pending_writes: Arc<AtomicUsize>,
+    /// Set by the writer on an unrecoverable write error (no reconnect
+    /// policy): later sends fail fast instead of queueing into a void.
+    broken: Arc<AtomicBool>,
     incoming: Receiver<Message>,
     events: Option<Receiver<ClientEvent>>,
     closed: Arc<AtomicBool>,
     reconnects: Arc<AtomicU64>,
     reconnect_attempts: Arc<AtomicU64>,
     _reader: JoinHandle<()>,
+    _writer: JoinHandle<()>,
 }
 
 impl std::fmt::Debug for TcpClient {
@@ -581,9 +740,13 @@ impl TcpClient {
         stream.set_nodelay(true).ok();
         let stream = Arc::new(Mutex::new(stream));
         let closed = Arc::new(AtomicBool::new(false));
+        let broken = Arc::new(AtomicBool::new(false));
+        let pending_writes = Arc::new(AtomicUsize::new(0));
         let reconnects = Arc::new(AtomicU64::new(0));
         let reconnect_attempts = Arc::new(AtomicU64::new(0));
         let (tx, rx): (Sender<Message>, Receiver<Message>) = unbounded();
+        let (outbox_tx, outbox_rx): (Sender<Bytes>, Receiver<Bytes>) =
+            bounded(CLIENT_OUTBOX_CAPACITY);
         let (event_tx, event_rx) = match policy {
             Some(_) => {
                 let (t, r) = unbounded();
@@ -612,15 +775,70 @@ impl TcpClient {
                 })
                 .expect("spawn client reader")
         };
+        let writer = {
+            let stream = Arc::clone(&stream);
+            let closed = Arc::clone(&closed);
+            let broken = Arc::clone(&broken);
+            let pending = Arc::clone(&pending_writes);
+            let has_reconnect = policy.is_some();
+            std::thread::Builder::new()
+                .name("cosoft-client-writer".into())
+                .spawn(move || {
+                    Self::writer_loop(outbox_rx, &stream, &closed, &broken, &pending, has_reconnect)
+                })
+                .expect("spawn client writer")
+        };
         Ok(TcpClient {
             stream,
+            outbox: outbox_tx,
+            pending_writes,
+            broken,
             incoming: rx,
             events: event_rx,
             closed,
             reconnects,
             reconnect_attempts,
             _reader: reader,
+            _writer: writer,
         })
+    }
+
+    fn writer_loop(
+        outbox: Receiver<Bytes>,
+        stream: &Mutex<TcpStream>,
+        closed: &AtomicBool,
+        broken: &AtomicBool,
+        pending: &AtomicUsize,
+        has_reconnect: bool,
+    ) {
+        while let Ok(frame) = outbox.recv() {
+            // Clone the fd under the lock, write on the clone with the
+            // lock released: a wedged socket write must never pin the
+            // stream mutex (close/sever and the reconnect swap need it).
+            let cloned = stream.lock().try_clone();
+            let result = match cloned {
+                Ok(mut s) => s.write_all(&frame),
+                Err(e) => Err(e),
+            };
+            pending.fetch_sub(1, Ordering::AcqRel);
+            if result.is_err() {
+                if closed.load(Ordering::SeqCst) {
+                    break;
+                }
+                if !has_reconnect {
+                    // No reconnect loop will revive the socket; fail
+                    // later sends fast instead of queueing into a void.
+                    broken.store(true, Ordering::SeqCst);
+                    break;
+                }
+                // With a reconnect policy the reader loop swaps a fresh
+                // stream in; this frame is lost (documented), later
+                // frames go to the new socket.
+            }
+        }
+        for _ in outbox.try_iter() {
+            pending.fetch_sub(1, Ordering::AcqRel);
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -691,14 +909,50 @@ impl TcpClient {
         }
     }
 
-    /// Sends a message to the server.
+    /// Sends a message to the server by enqueueing it on the client's
+    /// writer thread; does not block on the socket (a wedged write no
+    /// longer blocks further sends, pings, or `close`).
     ///
     /// # Errors
     ///
-    /// Propagates socket write errors (including writes into a dropped
-    /// connection while the reconnect loop is still redialing).
+    /// `NotConnected` once the client is closed, `BrokenPipe` after an
+    /// unrecoverable write error (no reconnect policy), `TimedOut` if
+    /// the outbox stayed full past the flush timeout. Write errors on a
+    /// reconnect-enabled client are not surfaced here: the frame is
+    /// lost and the reconnect loop revives the connection.
     pub fn send(&self, msg: &Message) -> io::Result<()> {
-        self.stream.lock().write_all(&codec::frame_message(msg))
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(io::Error::new(io::ErrorKind::NotConnected, "client closed"));
+        }
+        if self.broken.load(Ordering::SeqCst) {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "connection failed"));
+        }
+        let frame = codec::frame_message_shared(msg).into_bytes();
+        self.pending_writes.fetch_add(1, Ordering::AcqRel);
+        let undo_pending = |e: io::Error| {
+            self.pending_writes.fetch_sub(1, Ordering::AcqRel);
+            Err(e)
+        };
+        let frame = match self.outbox.try_send(frame) {
+            Ok(()) => return Ok(()),
+            Err(TrySendError::Disconnected(_)) => {
+                return undo_pending(io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    "client writer stopped",
+                ));
+            }
+            Err(TrySendError::Full(f)) => f,
+        };
+        match self.outbox.send_timeout(frame, CLIENT_FLUSH_TIMEOUT) {
+            Ok(()) => Ok(()),
+            Err(SendTimeoutError::Disconnected(_)) => {
+                undo_pending(io::Error::new(io::ErrorKind::NotConnected, "client writer stopped"))
+            }
+            Err(SendTimeoutError::Timeout(_)) => undo_pending(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "outbox stayed full past the flush timeout",
+            )),
+        }
     }
 
     /// Receives the next message, blocking up to `timeout`.
@@ -735,9 +989,23 @@ impl TcpClient {
     }
 
     /// Shuts the connection down; the server sees a disconnect and the
-    /// reconnect loop (if any) stops instead of redialing.
+    /// reconnect loop (if any) stops instead of redialing. Waits up to
+    /// the flush timeout for already-queued frames (e.g. a graceful
+    /// `Deregister`) to reach the socket — but no longer: a wedged
+    /// socket cannot hold `close` hostage.
     pub fn close(&self) {
-        self.closed.store(true, Ordering::SeqCst);
+        self.flush_and_shutdown();
+    }
+
+    fn flush_and_shutdown(&self) {
+        // Only the first closer drains; a repeated close (or the Drop
+        // that follows an explicit close) goes straight to shutdown.
+        if !self.closed.swap(true, Ordering::SeqCst) {
+            let deadline = Instant::now() + CLIENT_FLUSH_TIMEOUT;
+            while self.pending_writes.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
         self.stream.lock().shutdown(std::net::Shutdown::Both).ok();
     }
 
@@ -754,8 +1022,7 @@ impl Drop for TcpClient {
         // The reader thread holds a cloned file descriptor; an explicit
         // shutdown is required so dropping the client actually closes the
         // connection (and unblocks the reader).
-        self.closed.store(true, Ordering::SeqCst);
-        self.stream.lock().shutdown(std::net::Shutdown::Both).ok();
+        self.flush_and_shutdown();
     }
 }
 
@@ -863,8 +1130,11 @@ mod tests {
             NetEvent::Connected(c) => c,
             other => panic!("expected Connected, got {other:?}"),
         };
-        let outgoing: Vec<(ConnId, Message)> =
-            (1..=5).map(|i| (conn, Message::Welcome { instance: InstanceId(i) })).collect();
+        let outgoing: Vec<(ConnId, SharedFrame)> = (1..=5)
+            .map(|i| {
+                (conn, codec::frame_message_shared(&Message::Welcome { instance: InstanceId(i) }))
+            })
+            .collect();
         let failed = host.send_batch(&outgoing);
         assert!(failed.is_empty());
         // All five frames arrive, in order.
@@ -881,7 +1151,11 @@ mod tests {
     /// reading) must not delay delivery to a healthy peer.
     #[test]
     fn stalled_consumer_does_not_delay_healthy_peer() {
-        let config = TcpHostConfig { queue_capacity: 8, enqueue_timeout: Duration::from_secs(2) };
+        let config = TcpHostConfig {
+            queue_capacity: 8,
+            enqueue_timeout: Duration::from_secs(2),
+            ..TcpHostConfig::default()
+        };
         let host = TcpHost::bind_with_config("127.0.0.1:0", config).unwrap();
 
         // Stalled client: raw socket that never reads.
@@ -933,8 +1207,11 @@ mod tests {
     /// enqueue timeout is evicted and surfaced as Disconnected.
     #[test]
     fn slow_consumer_is_evicted() {
-        let config =
-            TcpHostConfig { queue_capacity: 2, enqueue_timeout: Duration::from_millis(100) };
+        let config = TcpHostConfig {
+            queue_capacity: 2,
+            enqueue_timeout: Duration::from_millis(100),
+            ..TcpHostConfig::default()
+        };
         let host = TcpHost::bind_with_config("127.0.0.1:0", config).unwrap();
         let stalled_socket = std::net::TcpStream::connect(host.local_addr()).unwrap();
         let stalled = match host.events().recv_timeout(TIMEOUT).unwrap() {
@@ -969,6 +1246,45 @@ mod tests {
         drop(stalled_socket);
     }
 
+    /// Satellite regression: a wedged socket write (peer never reads)
+    /// must not block later sends or `close`. The old `TcpClient::send`
+    /// held the stream lock across a blocking `write_all`, so one big
+    /// write into a full socket buffer pinned the lock and wedged every
+    /// later `send` (even a tiny `Ping`) and `close` indefinitely.
+    #[test]
+    fn wedged_client_write_does_not_block_ping_or_close() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpClient::connect(addr).unwrap();
+        let (peer, _) = listener.accept().unwrap();
+
+        // Overrun the kernel socket buffers so the writer thread wedges
+        // inside `write_all`, while staying below the outbox capacity so
+        // `send` itself keeps succeeding (frames queue behind the wedge).
+        let blob = big_payload_msg(256);
+        for _ in 0..48 {
+            client.send(&blob).unwrap();
+        }
+
+        // A liveness probe behind the wedged write must enqueue without
+        // blocking on the socket.
+        let t0 = Instant::now();
+        client.send(&Message::Ping { nonce: 7 }).unwrap();
+        let ping_elapsed = t0.elapsed();
+        assert!(ping_elapsed < Duration::from_millis(200), "Ping send took {ping_elapsed:?}");
+
+        // close() waits at most the flush timeout for the (never
+        // draining) backlog, then tears the socket down regardless.
+        let t1 = Instant::now();
+        client.close();
+        let close_elapsed = t1.elapsed();
+        assert!(
+            close_elapsed < CLIENT_FLUSH_TIMEOUT + Duration::from_secs(2),
+            "close took {close_elapsed:?}"
+        );
+        drop(peer);
+    }
+
     /// Shutdown regression: a host bound to the wildcard address must
     /// still be able to wake (and join) its accept loop on drop.
     #[test]
@@ -999,19 +1315,19 @@ mod tests {
         let failed = host.send_batch(&[
             (
                 conn,
-                Message::CommandDelivery {
+                codec::frame_message_shared(&Message::CommandDelivery {
                     from: InstanceId(1),
                     command: "x".into(),
                     payload: Vec::new(),
-                },
+                }),
             ),
             (
                 conn,
-                Message::CoSendCommand {
+                codec::frame_message_shared(&Message::CoSendCommand {
                     to: Target::Broadcast,
                     command: "y".into(),
                     payload: Vec::new(),
-                },
+                }),
             ),
         ]);
         assert_eq!(failed, vec![conn]);

@@ -25,4 +25,4 @@ pub use couple::CoupleDirectory;
 pub use history::HistoryStore;
 pub use locks::{ExecId, LockTable};
 pub use registry::Registry;
-pub use server::{LivenessConfig, Outgoing, ServerCore, ServerStats};
+pub use server::{Delivery, LivenessConfig, Outgoing, ServerCore, ServerStats};

@@ -15,8 +15,10 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+use bytes::Bytes;
 use cosoft_wire::{
-    AccessRight, CopyMode, GlobalObjectId, InstanceId, Message, ObjectPath, Target, UserId,
+    codec, AccessRight, CopyMode, GlobalObjectId, InstanceId, Message, ObjectPath, SharedFrame,
+    Target, UserId,
 };
 
 use crate::access::AccessTable;
@@ -78,8 +80,134 @@ struct PendingPull {
     group: u64,
 }
 
-/// Outgoing messages produced by one [`ServerCore::handle`] call.
-pub type Outgoing<E> = Vec<(E, Message)>;
+/// One delivery item produced by the server's outgoing path.
+///
+/// Unicast replies carry an owned [`Message`], encoded by whichever
+/// transport actually sends it. Broadcast fan-out instead carries one
+/// pre-encoded [`SharedFrame`] next to the full list of destination
+/// endpoints: the frame body is encoded exactly once and the cheaply
+/// clonable frame is delivered everywhere (§3.2's multiple execution
+/// makes broadcast the server's hottest path).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delivery<E> {
+    /// A message for exactly one endpoint, not yet encoded.
+    Unicast(E, Message),
+    /// One shared pre-encoded frame for every listed endpoint.
+    Shared(Vec<E>, SharedFrame),
+}
+
+/// Outgoing deliveries produced by one [`ServerCore::handle`] call.
+///
+/// Transport-facing consumers either walk [`Outgoing::items`] (or
+/// [`Outgoing::into_frames`]) to deliver shared frames without
+/// re-encoding, or flatten via [`Outgoing::into_messages`] when
+/// per-endpoint owned messages are more convenient (tests, the
+/// deterministic simulation's message-level introspection).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outgoing<E> {
+    items: Vec<Delivery<E>>,
+}
+
+impl<E> Default for Outgoing<E> {
+    fn default() -> Self {
+        Outgoing { items: Vec::new() }
+    }
+}
+
+impl<E> Outgoing<E> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues an owned message for one endpoint.
+    pub fn push_unicast(&mut self, endpoint: E, msg: Message) {
+        self.items.push(Delivery::Unicast(endpoint, msg));
+    }
+
+    /// Queues one pre-encoded frame for every endpoint in `endpoints`.
+    /// An empty endpoint list is dropped — there is nothing to deliver.
+    pub fn push_shared(&mut self, endpoints: Vec<E>, frame: SharedFrame) {
+        if !endpoints.is_empty() {
+            self.items.push(Delivery::Shared(endpoints, frame));
+        }
+    }
+
+    /// The queued delivery items, in production order.
+    pub fn items(&self) -> &[Delivery<E>] {
+        &self.items
+    }
+
+    /// Consumes the batch into its delivery items.
+    pub fn into_items(self) -> Vec<Delivery<E>> {
+        self.items
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of per-endpoint messages this batch delivers (a shared
+    /// frame counts once per destination endpoint).
+    pub fn message_count(&self) -> usize {
+        self.items
+            .iter()
+            .map(|d| match d {
+                Delivery::Unicast(..) => 1,
+                Delivery::Shared(endpoints, _) => endpoints.len(),
+            })
+            .sum()
+    }
+
+    /// Appends every item of `other`, preserving order.
+    pub fn extend(&mut self, other: Outgoing<E>) {
+        self.items.extend(other.items);
+    }
+
+    /// Flattens into per-endpoint owned messages. A shared frame is
+    /// decoded once and the message cloned per endpoint — the
+    /// compatibility path for consumers that want `(endpoint, Message)`
+    /// pairs; the TCP hot path uses [`Outgoing::into_frames`] instead.
+    pub fn into_messages(self) -> Vec<(E, Message)> {
+        let mut flat = Vec::with_capacity(self.items.len());
+        for item in self.items {
+            match item {
+                Delivery::Unicast(e, m) => flat.push((e, m)),
+                Delivery::Shared(endpoints, frame) => {
+                    let msg = frame.decode().expect("server-encoded frame decodes");
+                    let mut endpoints = endpoints.into_iter();
+                    if let Some(last) = endpoints.next_back() {
+                        for e in endpoints {
+                            flat.push((e, msg.clone()));
+                        }
+                        flat.push((last, msg));
+                    }
+                }
+            }
+        }
+        flat
+    }
+
+    /// Flattens into per-endpoint pre-encoded frames: unicast messages
+    /// are framed here (exactly once each), shared frames are cheaply
+    /// cloned per destination. The result is ready for a transport
+    /// `send_batch`.
+    pub fn into_frames(self) -> Vec<(E, SharedFrame)> {
+        let mut flat = Vec::with_capacity(self.items.len());
+        for item in self.items {
+            match item {
+                Delivery::Unicast(e, m) => flat.push((e, codec::frame_message_shared(&m))),
+                Delivery::Shared(endpoints, frame) => {
+                    for e in endpoints {
+                        flat.push((e, frame.clone()));
+                    }
+                }
+            }
+        }
+        flat
+    }
+}
 
 /// Client-liveness policy: how long a silently dropped connection keeps
 /// its instance resumable, and when a silent-but-connected instance is
@@ -154,6 +282,22 @@ pub struct ServerStats {
     /// (server-to-client-only kinds arriving inbound); each one is
     /// answered with an [`Message::ErrorReply`] rather than dropped.
     pub unexpected_messages: u64,
+    /// Shared frames encoded on the outgoing path — each counts one
+    /// encode regardless of how many endpoints it reaches.
+    pub shared_frames_encoded: u64,
+    /// Per-endpoint deliveries served by shared frames.
+    pub shared_deliveries: u64,
+    /// Bytes encoded into shared frames (counted once per frame).
+    pub shared_bytes_encoded: u64,
+    /// Bytes handed to transports via shared frames (counted once per
+    /// delivery); the gap to `shared_bytes_encoded` is what encode-once
+    /// saved over the old clone-and-re-encode fan-out.
+    pub shared_bytes_delivered: u64,
+    /// Heavy payloads (event bodies, state snapshots) serialized.
+    pub payload_encodes: u64,
+    /// Fan-out legs that spliced an already-serialized heavy payload
+    /// into their frame instead of re-encoding it.
+    pub payload_reuses: u64,
 }
 
 /// The sans-I/O COSOFT server state machine.
@@ -214,6 +358,13 @@ pub struct ServerCore<E> {
     quarantine_expiries: u64,
     /// Inbound messages of a server-to-client-only kind.
     unexpected_messages: u64,
+    /// Shared-frame delivery counters (see [`ServerStats`]).
+    shared_frames_encoded: u64,
+    shared_deliveries: u64,
+    shared_bytes_encoded: u64,
+    shared_bytes_delivered: u64,
+    payload_encodes: u64,
+    payload_reuses: u64,
 }
 
 impl<E: Copy + Eq + Hash> Default for ServerCore<E> {
@@ -260,6 +411,12 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             rejoins_rejected: 0,
             quarantine_expiries: 0,
             unexpected_messages: 0,
+            shared_frames_encoded: 0,
+            shared_deliveries: 0,
+            shared_bytes_encoded: 0,
+            shared_bytes_delivered: 0,
+            payload_encodes: 0,
+            payload_reuses: 0,
         }
     }
 
@@ -342,6 +499,12 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             quarantine_expiries: self.quarantine_expiries,
             quarantined_instances: self.quarantined.len(),
             unexpected_messages: self.unexpected_messages,
+            shared_frames_encoded: self.shared_frames_encoded,
+            shared_deliveries: self.shared_deliveries,
+            shared_bytes_encoded: self.shared_bytes_encoded,
+            shared_bytes_delivered: self.shared_bytes_delivered,
+            payload_encodes: self.payload_encodes,
+            payload_reuses: self.payload_reuses,
         }
     }
 
@@ -472,11 +635,24 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
 
     /// Accounts one incoming message's outgoing batch.
     fn note_outgoing(&mut self, out: &Outgoing<E>) {
-        self.messages_out += out.len() as u64;
-        self.max_fanout = self.max_fanout.max(out.len());
-        self.permission_denials +=
-            out.iter().filter(|(_, m)| matches!(m, Message::PermissionDenied { .. })).count()
-                as u64;
+        let n = out.message_count();
+        self.messages_out += n as u64;
+        self.max_fanout = self.max_fanout.max(n);
+        for item in out.items() {
+            match item {
+                Delivery::Unicast(_, m) => {
+                    if matches!(m, Message::PermissionDenied { .. }) {
+                        self.permission_denials += 1;
+                    }
+                }
+                Delivery::Shared(endpoints, frame) => {
+                    self.shared_frames_encoded += 1;
+                    self.shared_deliveries += endpoints.len() as u64;
+                    self.shared_bytes_encoded += frame.len() as u64;
+                    self.shared_bytes_delivered += (frame.len() * endpoints.len()) as u64;
+                }
+            }
+        }
     }
 
     /// Effective right of `user` on `object`: the object's owner always
@@ -490,7 +666,22 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
 
     fn to_instance(&self, id: InstanceId, msg: Message, out: &mut Outgoing<E>) {
         if let Some(e) = self.registry.endpoint_of(id) {
-            out.push((e, msg));
+            out.push_unicast(e, msg);
+        }
+    }
+
+    /// Delivers one identical message to a set of instances. With more
+    /// than one reachable endpoint the message is encoded exactly once
+    /// into a [`SharedFrame`] fanned out to all of them; with a single
+    /// receiver it stays an owned unicast message (pre-framing for one
+    /// destination buys nothing).
+    fn to_group(&self, instances: &[InstanceId], msg: Message, out: &mut Outgoing<E>) {
+        let mut endpoints: Vec<E> =
+            instances.iter().filter_map(|id| self.registry.endpoint_of(*id)).collect();
+        if endpoints.len() > 1 {
+            out.push_shared(endpoints, codec::frame_message_shared(&msg));
+        } else if let Some(endpoint) = endpoints.pop() {
+            out.push_unicast(endpoint, msg);
         }
     }
 
@@ -508,7 +699,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         let out = match self.registry.instance_at(endpoint) {
             Some(id) if self.liveness.grace_us > 0 => self.quarantine_instance(id),
             Some(id) => self.deregister_instance(id),
-            None => Vec::new(),
+            None => Outgoing::new(),
         };
         self.note_outgoing(&out);
         self.debug_check_invariants();
@@ -524,7 +715,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
     /// calls it with the virtual clock.
     pub fn tick(&mut self, now_us: u64) -> Outgoing<E> {
         self.now_us = self.now_us.max(now_us);
-        let mut out = Vec::new();
+        let mut out = Outgoing::new();
         let mut expired: Vec<InstanceId> = self
             .quarantined
             .iter()
@@ -589,15 +780,17 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             .copied()
             .filter(|id| self.quarantined.contains_key(id))
             .filter(|_| self.registry.instance_at(endpoint).is_none());
+        let mut out = Outgoing::new();
         let Some(id) = resumable else {
             self.rejoins_rejected += 1;
-            return vec![(
+            out.push_unicast(
                 endpoint,
                 Message::ErrorReply {
                     context: "rejoin".to_owned(),
                     reason: "unknown or expired resume token".to_owned(),
                 },
-            )];
+            );
+            return out;
         };
         self.quarantined.remove(&id);
         self.registry.rebind(id, endpoint);
@@ -605,10 +798,9 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         self.resumes += 1;
         // Rotate the token: a resume credential is single-use.
         let fresh = self.mint_token(id);
-        vec![
-            (endpoint, Message::Welcome { instance: id }),
-            (endpoint, Message::SessionToken { resume_token: fresh }),
-        ]
+        out.push_unicast(endpoint, Message::Welcome { instance: id });
+        out.push_unicast(endpoint, Message::SessionToken { resume_token: fresh });
+        out
     }
 
     /// Processes one message from `endpoint`, returning the messages to
@@ -619,16 +811,36 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         out
     }
 
+    /// [`ServerCore::handle`], flattened to per-endpoint owned messages.
+    ///
+    /// Convenience for tests and message-level consumers; the transport
+    /// hot path keeps the [`Outgoing`] batch so shared frames are never
+    /// re-encoded.
+    pub fn handle_flat(&mut self, endpoint: E, msg: Message) -> Vec<(E, Message)> {
+        self.handle(endpoint, msg).into_messages()
+    }
+
+    /// [`ServerCore::disconnect`], flattened like [`ServerCore::handle_flat`].
+    pub fn disconnect_flat(&mut self, endpoint: E) -> Vec<(E, Message)> {
+        self.disconnect(endpoint).into_messages()
+    }
+
+    /// [`ServerCore::tick`], flattened like [`ServerCore::handle_flat`].
+    pub fn tick_flat(&mut self, now_us: u64) -> Vec<(E, Message)> {
+        self.tick(now_us).into_messages()
+    }
+
     fn handle_inner(&mut self, endpoint: E, msg: Message) -> Outgoing<E> {
         // Registration and rejoin are the only messages legal before a
         // Welcome.
         if let Message::Register { user, host, app_name } = &msg {
             let id = self.registry.register(endpoint, *user, host, app_name);
             self.last_seen.insert(id, self.now_us);
-            let mut out = vec![(endpoint, Message::Welcome { instance: id })];
+            let mut out = Outgoing::new();
+            out.push_unicast(endpoint, Message::Welcome { instance: id });
             if self.liveness.grace_us > 0 {
                 let token = self.mint_token(id);
-                out.push((endpoint, Message::SessionToken { resume_token: token }));
+                out.push_unicast(endpoint, Message::SessionToken { resume_token: token });
             }
             self.note_outgoing(&out);
             return out;
@@ -639,13 +851,14 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             return out;
         }
         let Some(from) = self.registry.instance_at(endpoint) else {
-            let out = vec![(
+            let mut out = Outgoing::new();
+            out.push_unicast(
                 endpoint,
                 Message::ErrorReply {
                     context: msg.kind_name().to_owned(),
                     reason: "endpoint is not registered".to_owned(),
                 },
-            )];
+            );
             self.note_outgoing(&out);
             return out;
         };
@@ -656,7 +869,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
     }
 
     fn handle_registered(&mut self, from: InstanceId, msg: Message) -> Outgoing<E> {
-        let mut out = Vec::new();
+        let mut out = Outgoing::new();
         match msg {
             Message::Register { .. } | Message::Rejoin { .. } => {
                 unreachable!("handled in handle()")
@@ -696,22 +909,12 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
                 } else {
                     let survivors = self.couples.remove_object(&object);
                     self.history.forget(&object);
-                    let mut instances: Vec<InstanceId> =
-                        survivors.iter().map(|g| g.instance).collect();
-                    instances.push(from);
-                    instances.sort();
-                    instances.dedup();
                     // Each survivor (and the destroyer) learns the new
                     // grouping of the remaining objects.
                     for o in &survivors {
                         let group = self.couples.group_of(o);
-                        for inst in self.couples.instances_in_group(o) {
-                            self.to_instance(
-                                inst,
-                                Message::CoupleUpdate { group: group.clone() },
-                                &mut out,
-                            );
-                        }
+                        let members = self.couples.instances_in_group(o);
+                        self.to_group(&members, Message::CoupleUpdate { group }, &mut out);
                     }
                     self.to_instance(from, Message::CoupleUpdate { group: vec![object] }, &mut out);
                 }
@@ -809,7 +1012,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         src: GlobalObjectId,
         dst: GlobalObjectId,
     ) -> Outgoing<E> {
-        let mut out = Vec::new();
+        let mut out = Outgoing::new();
         if let Err(reason) = self.check_objects_exist(&[&src, &dst]) {
             self.to_instance(
                 from,
@@ -831,11 +1034,11 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         }
         self.couples.couple(src.clone(), dst);
         // "The coupling information is replicated for each object": every
-        // instance owning a group member receives the full closure.
+        // instance owning a group member receives the full closure —
+        // encoded once, delivered to all of them.
         let group = self.couples.group_of(&src);
-        for inst in self.couples.instances_in_group(&src) {
-            self.to_instance(inst, Message::CoupleUpdate { group: group.clone() }, &mut out);
-        }
+        let members = self.couples.instances_in_group(&src);
+        self.to_group(&members, Message::CoupleUpdate { group }, &mut out);
         out
     }
 
@@ -845,7 +1048,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         src: GlobalObjectId,
         dst: GlobalObjectId,
     ) -> Outgoing<E> {
-        let mut out = Vec::new();
+        let mut out = Outgoing::new();
         if !self.couples.decouple(&src, &dst) {
             self.to_instance(
                 from,
@@ -861,13 +1064,12 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         // may still be one group if a cycle keeps them connected).
         let group_a = self.couples.group_of(&src);
         let group_b = self.couples.group_of(&dst);
-        for inst in self.couples.instances_in_group(&src) {
-            self.to_instance(inst, Message::CoupleUpdate { group: group_a.clone() }, &mut out);
-        }
-        if group_b != group_a {
-            for inst in self.couples.instances_in_group(&dst) {
-                self.to_instance(inst, Message::CoupleUpdate { group: group_b.clone() }, &mut out);
-            }
+        let split = group_b != group_a;
+        let members_a = self.couples.instances_in_group(&src);
+        self.to_group(&members_a, Message::CoupleUpdate { group: group_a }, &mut out);
+        if split {
+            let members_b = self.couples.instances_in_group(&dst);
+            self.to_group(&members_b, Message::CoupleUpdate { group: group_b }, &mut out);
         }
         out
     }
@@ -881,7 +1083,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         event: cosoft_wire::UiEvent,
         seq: u64,
     ) -> Outgoing<E> {
-        let mut out = Vec::new();
+        let mut out = Outgoing::new();
         let user = self.registry.user_of(from).expect("registered");
         if !self.right_of(user, &origin).allows_write() {
             self.to_instance(from, Message::EventRejected { seq }, &mut out);
@@ -910,6 +1112,10 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         *owed.entry(from).or_insert(0) += 1;
         targets.push(origin.clone());
         self.to_instance(from, Message::EventGranted { seq, exec_id }, &mut out);
+        // The event body — the heavy part of `ExecuteEvent` — is encoded
+        // once (lazily, in case every other member is quarantined) and
+        // spliced behind each leg's tiny header (exec id + target path).
+        let mut event_bytes: Option<Bytes> = None;
         for member in &group {
             if *member == base {
                 continue;
@@ -917,24 +1123,27 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             // A quarantined member can neither execute the event nor send
             // `ExecuteDone`; skip it so the group's locks don't hang on a
             // dead connection. It reconverges by state on rejoin.
-            if !self.registry.is_bound(member.instance) {
+            let Some(endpoint) = self.registry.endpoint_of(member.instance) else {
                 continue;
-            }
+            };
             *owed.entry(member.instance).or_insert(0) += 1;
             let target = member.path.join(&rel);
             targets.push(GlobalObjectId::new(member.instance, target.clone()));
-            self.to_instance(
-                member.instance,
-                Message::ExecuteEvent { exec_id, target, event: event.clone() },
-                &mut out,
-            );
+            let payload = if let Some(b) = &event_bytes {
+                self.payload_reuses += 1;
+                b.clone()
+            } else {
+                self.payload_encodes += 1;
+                event_bytes.insert(codec::encode_event_shared(&event)).clone()
+            };
+            out.push_shared(vec![endpoint], codec::frame_execute_event(exec_id, &target, &payload));
         }
         self.execs.insert(exec_id, ExecState { targets, owed });
         out
     }
 
     fn do_execute_done(&mut self, from: InstanceId, exec_id: u64) -> Outgoing<E> {
-        let mut out = Vec::new();
+        let mut out = Outgoing::new();
         let Some(exec) = self.execs.get_mut(&exec_id) else {
             return out;
         };
@@ -973,7 +1182,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         client_req: u64,
         pushed_snapshot: Option<cosoft_wire::StateNode>,
     ) -> Outgoing<E> {
-        let mut out = Vec::new();
+        let mut out = Outgoing::new();
         if let Err(reason) = self.check_objects_exist(&[&src, &dst]) {
             self.to_instance(
                 from,
@@ -1077,20 +1286,23 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             return;
         }
         group.outstanding += targets.len();
+        // The snapshot — by far the heavy part of `ApplyState` — is
+        // serialized exactly once; each leg's frame splices the shared
+        // payload behind its own req-id and target path, instead of the
+        // old per-target `snapshot.clone()` + re-encode.
+        let snapshot_bytes = codec::encode_state_shared(&snapshot);
+        self.payload_encodes += 1;
+        self.payload_reuses += targets.len() as u64 - 1;
         for target in targets {
             let req_id = self.next_transfer;
             self.next_transfer += 1;
             self.transfers.insert(req_id, Transfer { dst: target.clone(), kind, group: group_id });
-            self.to_instance(
-                target.instance,
-                Message::ApplyState {
-                    req_id,
-                    path: target.path.clone(),
-                    snapshot: snapshot.clone(),
-                    mode,
-                },
-                out,
-            );
+            if let Some(endpoint) = self.registry.endpoint_of(target.instance) {
+                out.push_shared(
+                    vec![endpoint],
+                    codec::frame_apply_state(req_id, &target.path, &snapshot_bytes, mode),
+                );
+            }
         }
     }
 
@@ -1099,7 +1311,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         req_id: u64,
         snapshot: Option<cosoft_wire::StateNode>,
     ) -> Outgoing<E> {
-        let mut out = Vec::new();
+        let mut out = Outgoing::new();
         let Some(PendingPull { dst, mode, group: group_id, .. }) =
             self.pending_pulls.remove(&req_id)
         else {
@@ -1155,7 +1367,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         overwritten: Option<cosoft_wire::StateNode>,
         error: Option<String>,
     ) -> Outgoing<E> {
-        let mut out = Vec::new();
+        let mut out = Outgoing::new();
         let Some(t) = self.transfers.remove(&req_id) else {
             return out;
         };
@@ -1182,7 +1394,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         object: GlobalObjectId,
         kind: TransferKind,
     ) -> Outgoing<E> {
-        let mut out = Vec::new();
+        let mut out = Outgoing::new();
         let user = self.registry.user_of(from).expect("registered");
         if !self.right_of(user, &object).allows_write() {
             self.to_instance(
@@ -1231,7 +1443,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         command: String,
         payload: Vec<u8>,
     ) -> Outgoing<E> {
-        let mut out = Vec::new();
+        let mut out = Outgoing::new();
         let delivery = |command: &str, payload: &[u8]| Message::CommandDelivery {
             from,
             command: command.to_owned(),
@@ -1255,18 +1467,18 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
                 }
             }
             Target::Broadcast => {
-                for i in self.registry.ids() {
-                    if i != from {
-                        self.to_instance(i, delivery(&command, &payload), &mut out);
-                    }
-                }
+                let others: Vec<InstanceId> =
+                    self.registry.ids().into_iter().filter(|i| *i != from).collect();
+                self.to_group(&others, delivery(&command, &payload), &mut out);
             }
             Target::Group(object) => {
-                for i in self.couples.instances_in_group(&object) {
-                    if i != from {
-                        self.to_instance(i, delivery(&command, &payload), &mut out);
-                    }
-                }
+                let members: Vec<InstanceId> = self
+                    .couples
+                    .instances_in_group(&object)
+                    .into_iter()
+                    .filter(|i| *i != from)
+                    .collect();
+                self.to_group(&members, delivery(&command, &payload), &mut out);
             }
         }
         out
@@ -1355,7 +1567,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
     /// endpoint unbound, but the registration record, couples, and
     /// access rights survive until the grace period expires.
     fn quarantine_instance(&mut self, id: InstanceId) -> Outgoing<E> {
-        let mut out = Vec::new();
+        let mut out = Outgoing::new();
         self.sever_instance_io(id, &mut out);
         self.registry.unbind(id);
         self.last_seen.remove(&id);
@@ -1366,22 +1578,15 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
     }
 
     fn deregister_instance(&mut self, id: InstanceId) -> Outgoing<E> {
-        let mut out = Vec::new();
+        let mut out = Outgoing::new();
         // Auto-decouple: notify each surviving group of its new membership.
         let affected = self.couples.remove_instance(id);
         for survivors in affected {
             let mut instances: Vec<InstanceId> = survivors.iter().map(|g| g.instance).collect();
             instances.sort();
             instances.dedup();
-            for inst in instances {
-                if inst != id {
-                    self.to_instance(
-                        inst,
-                        Message::CoupleUpdate { group: survivors.clone() },
-                        &mut out,
-                    );
-                }
-            }
+            instances.retain(|i| *i != id);
+            self.to_group(&instances, Message::CoupleUpdate { group: survivors }, &mut out);
         }
         self.sever_instance_io(id, &mut out);
         self.quarantined.remove(&id);

@@ -72,7 +72,7 @@ impl LockModel {
         let mut server: ServerCore<Endpoint> = ServerCore::new();
         let mut clients = Vec::new();
         for e in 0..3u32 {
-            let out = server.handle(
+            let out = server.handle_flat(
                 e,
                 Message::Register {
                     user: UserId(u64::from(e) + 1),
@@ -97,8 +97,8 @@ impl LockModel {
         }
         let (i0, i1, i2) = (clients[0].instance, clients[1].instance, clients[2].instance);
         // Two overlapping groups, both passing through client 1.
-        server.handle(0, Message::Couple { src: gid(i0, "a"), dst: gid(i1, "a") });
-        server.handle(1, Message::Couple { src: gid(i1, "b"), dst: gid(i2, "b") });
+        server.handle_flat(0, Message::Couple { src: gid(i0, "a"), dst: gid(i1, "a") });
+        server.handle_flat(1, Message::Couple { src: gid(i1, "b"), dst: gid(i2, "b") });
         // Event plans: client 0 fights over group a, client 2 over
         // group b, client 1 over both (the overlap).
         let plans: [Vec<GlobalObjectId>; 3] =
@@ -171,7 +171,7 @@ impl Model for LockModel {
                 c.in_flight += 1;
                 let endpoint = c.endpoint;
                 let event = UiEvent::simple(origin.path.clone(), EventKind::Activate);
-                let out = self.server.handle(
+                let out = self.server.handle_flat(
                     endpoint,
                     Message::Event {
                         origin,
@@ -185,7 +185,7 @@ impl Model for LockModel {
                 let c = &mut self.clients[client];
                 let exec_id = c.owed.remove(0);
                 let endpoint = c.endpoint;
-                let out = self.server.handle(endpoint, Message::ExecuteDone { exec_id });
+                let out = self.server.handle_flat(endpoint, Message::ExecuteDone { exec_id });
                 self.deliver(out);
             }
             Action::Disconnect { client } => {
@@ -195,7 +195,7 @@ impl Model for LockModel {
                 c.owed.clear();
                 self.disconnects_left -= 1;
                 let endpoint = c.endpoint;
-                let out = self.server.disconnect(endpoint);
+                let out = self.server.disconnect_flat(endpoint);
                 self.deliver(out);
             }
         }
@@ -280,7 +280,7 @@ fn spurious_done_never_corrupts() {
     let mut model = LockModel::new(false, 1);
     // Submit one event, then fire a done for a bogus exec id.
     model.apply(&Action::Submit { client: 0 });
-    let out = model.server.handle(0, Message::ExecuteDone { exec_id: 999 });
+    let out = model.server.handle_flat(0, Message::ExecuteDone { exec_id: 999 });
     assert!(out.is_empty(), "spurious done must be ignored, got {out:?}");
     model.server.check_invariants().unwrap();
     // The real exec still completes normally afterwards.

@@ -11,7 +11,7 @@ use cosoft_wire::{
 type Endpoint = u64;
 
 fn register(server: &mut ServerCore<Endpoint>, endpoint: Endpoint, user: u64) -> InstanceId {
-    let out = server.handle(
+    let out = server.handle_flat(
         endpoint,
         Message::Register {
             user: UserId(user),
@@ -49,7 +49,7 @@ fn register_assigns_distinct_instances() {
     let b = register(&mut s, 11, 2);
     assert_ne!(a, b);
 
-    let out = s.handle(10, Message::QueryInstances);
+    let out = s.handle_flat(10, Message::QueryInstances);
     match find(&out, 10, "instance-list") {
         Message::InstanceList { entries } => assert_eq!(entries.len(), 2),
         _ => unreachable!(),
@@ -59,7 +59,7 @@ fn register_assigns_distinct_instances() {
 #[test]
 fn unregistered_endpoint_is_rejected() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
-    let out = s.handle(99, Message::QueryInstances);
+    let out = s.handle_flat(99, Message::QueryInstances);
     assert_eq!(out.len(), 1);
     assert!(matches!(out[0].1, Message::ErrorReply { .. }));
 }
@@ -71,7 +71,7 @@ fn couple_broadcasts_full_closure_to_all_member_instances() {
     let b = register(&mut s, 2, 2);
     let c = register(&mut s, 3, 3);
 
-    let out = s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    let out = s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
     assert_eq!(count_kind(&out, "couple-update"), 2);
     match find(&out, 2, "couple-update") {
         Message::CoupleUpdate { group } => assert_eq!(group.len(), 2),
@@ -79,7 +79,7 @@ fn couple_broadcasts_full_closure_to_all_member_instances() {
     }
 
     // Extending the group updates all three instances with the closure.
-    let out = s.handle(3, Message::Couple { src: gid(c, "z"), dst: gid(b, "y") });
+    let out = s.handle_flat(3, Message::Couple { src: gid(c, "z"), dst: gid(b, "y") });
     assert_eq!(count_kind(&out, "couple-update"), 3);
     match find(&out, 1, "couple-update") {
         Message::CoupleUpdate { group } => assert_eq!(group.len(), 3),
@@ -95,7 +95,7 @@ fn remote_couple_by_third_party() {
     let _teacher = register(&mut s, 3, 9);
 
     // The teacher (instance 3) couples objects living in instances 1 and 2.
-    let out = s.handle(3, Message::RemoteCouple { a: gid(a, "x"), b: gid(b, "y") });
+    let out = s.handle_flat(3, Message::RemoteCouple { a: gid(a, "x"), b: gid(b, "y") });
     assert_eq!(count_kind(&out, "couple-update"), 2);
     assert!(s.couples().is_coupled(&gid(a, "x")));
 }
@@ -106,10 +106,10 @@ fn decouple_splits_and_notifies_both_halves() {
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
     let c = register(&mut s, 3, 3);
-    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
-    s.handle(1, Message::Couple { src: gid(b, "y"), dst: gid(c, "z") });
+    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    s.handle_flat(1, Message::Couple { src: gid(b, "y"), dst: gid(c, "z") });
 
-    let out = s.handle(1, Message::Decouple { src: gid(a, "x"), dst: gid(b, "y") });
+    let out = s.handle_flat(1, Message::Decouple { src: gid(a, "x"), dst: gid(b, "y") });
     // Instance a learns it is now a singleton; b and c learn their group.
     match find(&out, 1, "couple-update") {
         Message::CoupleUpdate { group } => assert_eq!(group.len(), 1),
@@ -126,14 +126,14 @@ fn event_flow_grant_execute_done_unlock() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
-    s.handle(1, Message::Couple { src: gid(a, "f.t"), dst: gid(b, "g.t") });
+    s.handle_flat(1, Message::Couple { src: gid(a, "f.t"), dst: gid(b, "g.t") });
 
     let event = UiEvent::new(
         ObjectPath::parse("f.t").unwrap(),
         EventKind::TextCommitted,
         vec![Value::Text("hi".into())],
     );
-    let out = s.handle(1, Message::Event { origin: gid(a, "f.t"), event, seq: 5 });
+    let out = s.handle_flat(1, Message::Event { origin: gid(a, "f.t"), event, seq: 5 });
     let exec_id = match find(&out, 1, "event-granted") {
         Message::EventGranted { seq, exec_id } => {
             assert_eq!(*seq, 5);
@@ -152,7 +152,7 @@ fn event_flow_grant_execute_done_unlock() {
     assert!(s.locks().is_locked(&gid(b, "g.t")));
 
     // While locked, another event on the same group is rejected.
-    let out2 = s.handle(
+    let out2 = s.handle_flat(
         2,
         Message::Event {
             origin: gid(b, "g.t"),
@@ -164,9 +164,9 @@ fn event_flow_grant_execute_done_unlock() {
     assert_eq!(s.rejected_events(), 1);
 
     // Both instances report done; the unlock notices flow.
-    let out3 = s.handle(1, Message::ExecuteDone { exec_id });
+    let out3 = s.handle_flat(1, Message::ExecuteDone { exec_id });
     assert!(out3.is_empty(), "still waiting on instance 2");
-    let out4 = s.handle(2, Message::ExecuteDone { exec_id });
+    let out4 = s.handle_flat(2, Message::ExecuteDone { exec_id });
     assert_eq!(count_kind(&out4, "group-unlocked"), 2);
     assert!(!s.locks().is_locked(&gid(a, "f.t")));
     assert_eq!(s.granted_events(), 1);
@@ -176,7 +176,7 @@ fn event_flow_grant_execute_done_unlock() {
 fn event_on_uncoupled_object_completes_alone() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     let a = register(&mut s, 1, 1);
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::Event {
             origin: gid(a, "solo"),
@@ -189,7 +189,7 @@ fn event_on_uncoupled_object_completes_alone() {
         _ => unreachable!(),
     };
     assert_eq!(count_kind(&out, "execute-event"), 0);
-    let out = s.handle(1, Message::ExecuteDone { exec_id });
+    let out = s.handle_flat(1, Message::ExecuteDone { exec_id });
     assert_eq!(count_kind(&out, "group-unlocked"), 1);
 }
 
@@ -200,7 +200,7 @@ fn copy_from_pulls_state_and_records_history() {
     let b = register(&mut s, 2, 2);
 
     // Instance a pulls the state of b's query form into its own form.
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::CopyFrom {
             src: gid(b, "q"),
@@ -220,7 +220,7 @@ fn copy_from_pulls_state_and_records_history() {
     // b replies with its snapshot; the server forwards an ApplyState to a.
     let snapshot = StateNode::new(WidgetKind::Form, "q")
         .with_attr(AttrName::Title, Value::Text("Query".into()));
-    let out = s.handle(2, Message::StateReply { req_id, snapshot: Some(snapshot.clone()) });
+    let out = s.handle_flat(2, Message::StateReply { req_id, snapshot: Some(snapshot.clone()) });
     let apply_req = match find(&out, 1, "apply-state") {
         Message::ApplyState { req_id, snapshot: snap, mode, .. } => {
             assert_eq!(snap, &snapshot);
@@ -232,7 +232,7 @@ fn copy_from_pulls_state_and_records_history() {
 
     // a applies it and reports the overwritten previous state.
     let prev = StateNode::new(WidgetKind::Form, "q");
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::StateApplied { req_id: apply_req, overwritten: Some(prev), error: None },
     );
@@ -250,7 +250,7 @@ fn copy_to_pushes_snapshot_directly() {
     let b = register(&mut s, 2, 2);
     let snapshot = StateNode::new(WidgetKind::Label, "l")
         .with_attr(AttrName::Text, Value::Text("shared".into()));
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::CopyTo {
             src: gid(a, "l"),
@@ -271,7 +271,7 @@ fn missing_source_fails_the_copy() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::CopyFrom {
             src: gid(b, "nope"),
@@ -284,7 +284,7 @@ fn missing_source_fails_the_copy() {
         Message::StateRequest { req_id, .. } => *req_id,
         _ => unreachable!(),
     };
-    let out = s.handle(2, Message::StateReply { req_id, snapshot: None });
+    let out = s.handle_flat(2, Message::StateReply { req_id, snapshot: None });
     assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
 }
 
@@ -300,7 +300,7 @@ fn undo_restores_and_redo_reapplies() {
         StateNode::new(WidgetKind::Label, "l").with_attr(AttrName::Text, Value::Text("v2".into()));
 
     // Push v2 onto b, overwriting v1.
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::CopyTo {
             src: gid(a, "l"),
@@ -314,11 +314,11 @@ fn undo_restores_and_redo_reapplies() {
         Message::ApplyState { req_id, .. } => *req_id,
         _ => unreachable!(),
     };
-    s.handle(2, Message::StateApplied { req_id, overwritten: Some(v1.clone()), error: None });
+    s.handle_flat(2, Message::StateApplied { req_id, overwritten: Some(v1.clone()), error: None });
     assert_eq!(s.history().undo_depth(&gid(b, "l")), 1);
 
     // Undo: the server pushes v1 back to b.
-    let out = s.handle(2, Message::UndoState { object: gid(b, "l") });
+    let out = s.handle_flat(2, Message::UndoState { object: gid(b, "l") });
     let req_id = match find(&out, 2, "apply-state") {
         Message::ApplyState { req_id, snapshot, mode, .. } => {
             assert_eq!(snapshot, &v1);
@@ -328,18 +328,18 @@ fn undo_restores_and_redo_reapplies() {
         _ => unreachable!(),
     };
     // The displaced v2 becomes redoable.
-    s.handle(2, Message::StateApplied { req_id, overwritten: Some(v2.clone()), error: None });
+    s.handle_flat(2, Message::StateApplied { req_id, overwritten: Some(v2.clone()), error: None });
     assert_eq!(s.history().redo_depth(&gid(b, "l")), 1);
 
     // Redo: the server pushes v2 again.
-    let out = s.handle(2, Message::RedoState { object: gid(b, "l") });
+    let out = s.handle_flat(2, Message::RedoState { object: gid(b, "l") });
     match find(&out, 2, "apply-state") {
         Message::ApplyState { snapshot, .. } => assert_eq!(snapshot, &v2),
         _ => unreachable!(),
     }
 
     // Undo with empty history errors.
-    let out = s.handle(1, Message::UndoState { object: gid(a, "x") });
+    let out = s.handle_flat(1, Message::UndoState { object: gid(a, "x") });
     assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
 }
 
@@ -350,21 +350,21 @@ fn permissions_deny_copy_and_couple() {
     let b = register(&mut s, 2, 2);
 
     // User 1 may not read b's objects under a Denied default.
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 1 },
     );
     assert!(matches!(find(&out, 1, "permission-denied"), Message::PermissionDenied { .. }));
 
-    let out = s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    let out = s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
     assert!(matches!(find(&out, 1, "permission-denied"), Message::PermissionDenied { .. }));
 
     // b grants read on its form; copy then passes permission checks.
-    s.handle(
+    s.handle_flat(
         2,
         Message::SetPermission { user: UserId(1), object: gid(b, "q"), right: AccessRight::Read },
     );
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 2 },
     );
@@ -372,7 +372,7 @@ fn permissions_deny_copy_and_couple() {
 
     // Owners always have write on their own objects: coupling two of a's
     // own objects is allowed even under a Denied default.
-    let out = s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(a, "y") });
+    let out = s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(a, "y") });
     assert_eq!(count_kind(&out, "couple-update"), 1);
 }
 
@@ -381,7 +381,7 @@ fn only_owner_may_set_permissions() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     let a = register(&mut s, 1, 1);
     let _b = register(&mut s, 2, 2);
-    let out = s.handle(
+    let out = s.handle_flat(
         2,
         Message::SetPermission { user: UserId(2), object: gid(a, "x"), right: AccessRight::Write },
     );
@@ -396,7 +396,7 @@ fn co_send_command_routes_by_target() {
     let c = register(&mut s, 3, 3);
 
     // Direct.
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::CoSendCommand {
             to: Target::Instance(b),
@@ -414,7 +414,7 @@ fn co_send_command_routes_by_target() {
     }
 
     // Broadcast excludes the sender.
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::CoSendCommand { to: Target::Broadcast, command: "x".into(), payload: vec![] },
     );
@@ -422,8 +422,8 @@ fn co_send_command_routes_by_target() {
     assert!(out.iter().all(|(e, _)| *e != 1));
 
     // Group target follows the couple closure.
-    s.handle(1, Message::Couple { src: gid(a, "o"), dst: gid(c, "p") });
-    let out = s.handle(
+    s.handle_flat(1, Message::Couple { src: gid(a, "o"), dst: gid(c, "p") });
+    let out = s.handle_flat(
         1,
         Message::CoSendCommand {
             to: Target::Group(gid(a, "o")),
@@ -435,7 +435,7 @@ fn co_send_command_routes_by_target() {
     assert_eq!(out.iter().find(|(_, m)| m.kind_name() == "command-delivery").unwrap().0, 3);
 
     // Unknown target instance errors.
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::CoSendCommand {
             to: Target::Instance(InstanceId(99)),
@@ -452,10 +452,10 @@ fn deregister_auto_decouples_and_notifies_survivors() {
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
     let c = register(&mut s, 3, 3);
-    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
-    s.handle(2, Message::Couple { src: gid(b, "y"), dst: gid(c, "z") });
+    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    s.handle_flat(2, Message::Couple { src: gid(b, "y"), dst: gid(c, "z") });
 
-    let out = s.handle(2, Message::Deregister);
+    let out = s.handle_flat(2, Message::Deregister);
     // a and c each learn their group shrank.
     assert!(count_kind(&out, "couple-update") >= 2);
     assert!(
@@ -470,9 +470,9 @@ fn disconnect_mid_execution_releases_locks() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
-    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
 
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::Event {
             origin: gid(a, "x"),
@@ -485,9 +485,9 @@ fn disconnect_mid_execution_releases_locks() {
         _ => unreachable!(),
     };
     // a finishes, but b crashes before replying.
-    s.handle(1, Message::ExecuteDone { exec_id });
+    s.handle_flat(1, Message::ExecuteDone { exec_id });
     assert!(s.locks().is_locked(&gid(a, "x")));
-    let out = s.disconnect(2);
+    let out = s.disconnect_flat(2);
     // The execution settles and a's object unlocks.
     assert!(count_kind(&out, "group-unlocked") >= 1);
     assert!(!s.locks().is_locked(&gid(a, "x")));
@@ -498,8 +498,8 @@ fn list_coupled_reports_closure() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
-    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
-    let out = s.handle(1, Message::ListCoupled { object: gid(a, "x") });
+    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    let out = s.handle_flat(1, Message::ListCoupled { object: gid(a, "x") });
     match find(&out, 1, "coupled-set") {
         Message::CoupledSet { coupled, .. } => assert_eq!(coupled, &vec![gid(b, "y")]),
         _ => unreachable!(),
@@ -510,7 +510,7 @@ fn list_coupled_reports_closure() {
 fn server_to_client_kinds_are_rejected_as_misuse() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     let _a = register(&mut s, 1, 1);
-    let out = s.handle(1, Message::Welcome { instance: InstanceId(9) });
+    let out = s.handle_flat(1, Message::Welcome { instance: InstanceId(9) });
     assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
 }
 
@@ -524,7 +524,7 @@ fn copy_from_source_death_fails_transfer() {
     let b = register(&mut s, 2, 2);
 
     // a pulls state from b's object; the server asks b for a snapshot.
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 9 },
     );
@@ -532,7 +532,7 @@ fn copy_from_source_death_fails_transfer() {
     assert_eq!(s.stats().live_transfer_groups, 1);
 
     // b (the source) dies before replying.
-    let out = s.disconnect(2);
+    let out = s.disconnect_flat(2);
     match find(&out, 1, "error-reply") {
         Message::ErrorReply { context, reason } => {
             assert_eq!(context, "copy");
@@ -554,7 +554,7 @@ fn remote_copy_source_death_fails_transfer_to_third_party() {
     let b = register(&mut s, 2, 2);
     let c = register(&mut s, 3, 3);
 
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::RemoteCopy {
             src: gid(b, "src"),
@@ -565,7 +565,7 @@ fn remote_copy_source_death_fails_transfer_to_third_party() {
     );
     assert!(matches!(find(&out, 2, "state-request"), Message::StateRequest { .. }));
 
-    let out = s.disconnect(2);
+    let out = s.disconnect_flat(2);
     assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
     assert_eq!(s.stats().live_transfer_groups, 0);
 }
@@ -575,16 +575,16 @@ fn stats_track_floor_control_and_fanout() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
-    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") });
+    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") });
 
     let event = UiEvent::new(
         ObjectPath::parse("x").unwrap(),
         EventKind::TextCommitted,
         vec![Value::Text("v".into())],
     );
-    s.handle(1, Message::Event { origin: gid(a, "x"), event: event.clone(), seq: 1 });
+    s.handle_flat(1, Message::Event { origin: gid(a, "x"), event: event.clone(), seq: 1 });
     // A second event on the locked group is a lock-conflict rejection.
-    s.handle(2, Message::Event { origin: gid(b, "x"), event, seq: 2 });
+    s.handle_flat(2, Message::Event { origin: gid(b, "x"), event, seq: 2 });
 
     let stats = s.stats();
     assert_eq!(stats.events_granted, 1);
@@ -604,7 +604,7 @@ fn register_with_token(
     endpoint: Endpoint,
     user: u64,
 ) -> (InstanceId, u64) {
-    let out = server.handle(
+    let out = server.handle_flat(
         endpoint,
         Message::Register {
             user: UserId(user),
@@ -632,7 +632,7 @@ fn late_state_reply_after_requester_death_is_harmless() {
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
 
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 9 },
     );
@@ -642,7 +642,7 @@ fn late_state_reply_after_requester_death_is_harmless() {
     };
 
     // The requester's connection dies before b replies.
-    s.disconnect(1);
+    s.disconnect_flat(1);
     let stats = s.stats();
     assert_eq!(stats.transfers_failed, 1);
     assert_eq!(stats.live_transfer_groups, 0);
@@ -650,7 +650,7 @@ fn late_state_reply_after_requester_death_is_harmless() {
 
     // The late reply finds nothing to act on — and nobody to tell.
     let snapshot = StateNode::new(WidgetKind::Form, "q");
-    let out = s.handle(2, Message::StateReply { req_id, snapshot: Some(snapshot) });
+    let out = s.handle_flat(2, Message::StateReply { req_id, snapshot: Some(snapshot) });
     assert!(out.is_empty(), "late StateReply must be ignored, got {out:?}");
     assert_eq!(s.stats().live_transfer_legs, 0);
 }
@@ -665,7 +665,7 @@ fn remote_copy_requester_death_purges_orphaned_legs() {
     let b = register(&mut s, 2, 2);
     let c = register(&mut s, 3, 3);
 
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::RemoteCopy {
             src: gid(b, "q"),
@@ -679,14 +679,14 @@ fn remote_copy_requester_death_purges_orphaned_legs() {
         _ => unreachable!(),
     };
 
-    s.disconnect(1);
+    s.disconnect_flat(1);
     let stats = s.stats();
     assert_eq!(stats.transfers_failed, 1);
     assert_eq!(stats.live_transfer_groups, 0);
     assert_eq!(stats.live_pending_pulls, 0, "orphaned pull leg must be purged");
 
     let snapshot = StateNode::new(WidgetKind::Form, "q");
-    let out = s.handle(2, Message::StateReply { req_id, snapshot: Some(snapshot) });
+    let out = s.handle_flat(2, Message::StateReply { req_id, snapshot: Some(snapshot) });
     assert!(out.is_empty(), "no ApplyState may be fanned out for a dead requester, got {out:?}");
     assert_eq!(s.stats().live_transfer_legs, 0);
 }
@@ -695,7 +695,7 @@ fn remote_copy_requester_death_purges_orphaned_legs() {
 fn ping_is_answered_with_pong() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     register(&mut s, 1, 1);
-    let out = s.handle(1, Message::Ping { nonce: 42 });
+    let out = s.handle_flat(1, Message::Ping { nonce: 42 });
     match find(&out, 1, "pong") {
         Message::Pong { nonce } => assert_eq!(*nonce, 42),
         _ => unreachable!(),
@@ -711,10 +711,10 @@ fn disconnect_with_grace_quarantines_and_rejoin_resumes() {
     });
     let (a, token_a) = register_with_token(&mut s, 1, 1);
     let (b, _) = register_with_token(&mut s, 2, 2);
-    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
 
     // The connection drops silently: quarantined, not deregistered.
-    let out = s.disconnect(1);
+    let out = s.disconnect_flat(1);
     assert_eq!(count_kind(&out, "couple-update"), 0, "couples must survive quarantine");
     let stats = s.stats();
     assert_eq!(stats.quarantines, 1);
@@ -724,7 +724,7 @@ fn disconnect_with_grace_quarantines_and_rejoin_resumes() {
 
     // Rejoining from a fresh endpoint reclaims the same instance id and
     // rotates the resume token.
-    let out = s.handle(7, Message::Rejoin { resume_token: token_a });
+    let out = s.handle_flat(7, Message::Rejoin { resume_token: token_a });
     match find(&out, 7, "welcome") {
         Message::Welcome { instance } => assert_eq!(*instance, a),
         _ => unreachable!(),
@@ -740,7 +740,7 @@ fn disconnect_with_grace_quarantines_and_rejoin_resumes() {
     assert!(s.couples().is_coupled(&gid(a, "x")));
 
     // The spent token no longer resolves.
-    let out = s.handle(8, Message::Rejoin { resume_token: token_a });
+    let out = s.handle_flat(8, Message::Rejoin { resume_token: token_a });
     assert!(matches!(find(&out, 8, "error-reply"), Message::ErrorReply { .. }));
     assert_eq!(s.stats().rejoins_rejected, 1);
 }
@@ -753,16 +753,16 @@ fn grace_expiry_deregisters_and_decouples() {
     });
     let (a, token_a) = register_with_token(&mut s, 1, 1);
     let (b, _) = register_with_token(&mut s, 2, 2);
-    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
 
-    s.disconnect(1);
+    s.disconnect_flat(1);
     // Mid-grace: nothing happens yet.
-    let out = s.tick(500);
+    let out = s.tick_flat(500);
     assert!(out.is_empty());
     assert_eq!(s.stats().quarantined_instances, 1);
 
     // Past the deadline: full deregistration with auto-decoupling.
-    let out = s.tick(1_600);
+    let out = s.tick_flat(1_600);
     match find(&out, 2, "couple-update") {
         Message::CoupleUpdate { group } => assert_eq!(group.len(), 1),
         _ => unreachable!(),
@@ -773,7 +773,7 @@ fn grace_expiry_deregisters_and_decouples() {
     assert_eq!(stats.registered_instances, 1);
 
     // The token died with the quarantine.
-    let out = s.handle(7, Message::Rejoin { resume_token: token_a });
+    let out = s.handle_flat(7, Message::Rejoin { resume_token: token_a });
     assert!(matches!(find(&out, 7, "error-reply"), Message::ErrorReply { .. }));
 }
 
@@ -785,18 +785,18 @@ fn copies_touching_a_quarantined_instance_fail_fast() {
     });
     let (a, _) = register_with_token(&mut s, 1, 1);
     let (b, _) = register_with_token(&mut s, 2, 2);
-    s.disconnect(2);
+    s.disconnect_flat(2);
 
     // Pulling from a quarantined source fails immediately instead of
     // waiting out the grace period.
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 4 },
     );
     assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
 
     // Pushing onto a quarantined destination likewise.
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::CopyTo {
             src: gid(a, "l"),
@@ -821,15 +821,15 @@ fn events_skip_quarantined_group_members() {
     });
     let (a, _) = register_with_token(&mut s, 1, 1);
     let (b, _) = register_with_token(&mut s, 2, 2);
-    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") });
-    s.disconnect(2);
+    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") });
+    s.disconnect_flat(2);
 
     let event = UiEvent::new(
         ObjectPath::parse("x").unwrap(),
         EventKind::TextCommitted,
         vec![Value::Text("v".into())],
     );
-    let out = s.handle(1, Message::Event { origin: gid(a, "x"), event, seq: 1 });
+    let out = s.handle_flat(1, Message::Event { origin: gid(a, "x"), event, seq: 1 });
     assert_eq!(count_kind(&out, "execute-event"), 0, "no ExecuteEvent to a dead connection");
     let exec_id = match find(&out, 1, "event-granted") {
         Message::EventGranted { exec_id, .. } => *exec_id,
@@ -837,7 +837,7 @@ fn events_skip_quarantined_group_members() {
     };
     // The origin's own done finishes the execution — it does not hang on
     // the quarantined member.
-    let out = s.handle(1, Message::ExecuteDone { exec_id });
+    let out = s.handle_flat(1, Message::ExecuteDone { exec_id });
     assert_eq!(count_kind(&out, "group-unlocked"), 1);
     assert_eq!(s.stats().live_execs, 0);
 }
@@ -852,18 +852,18 @@ fn idle_timeout_quarantines_silent_instances() {
     let (b, token_b) = register_with_token(&mut s, 2, 2);
 
     // Advance the clock, then only a is heard from.
-    s.tick(500);
-    s.handle(1, Message::Ping { nonce: 1 });
+    s.tick_flat(500);
+    s.handle_flat(1, Message::Ping { nonce: 1 });
 
     // At t=1400, b (last seen at 0) is past the idle cutoff; a (seen at
     // 500) is not.
-    s.tick(1_400);
+    s.tick_flat(1_400);
     let stats = s.stats();
     assert_eq!(stats.quarantines, 1);
     assert_eq!(stats.quarantined_instances, 1);
 
     // The silent client reconnects and resumes.
-    let out = s.handle(9, Message::Rejoin { resume_token: token_b });
+    let out = s.handle_flat(9, Message::Rejoin { resume_token: token_b });
     match find(&out, 9, "welcome") {
         Message::Welcome { instance } => assert_eq!(*instance, b),
         _ => unreachable!(),
@@ -880,8 +880,8 @@ fn teardown_leaves_no_inflight_work() {
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
     let c = register(&mut s, 3, 3);
-    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") });
-    s.handle(3, Message::Couple { src: gid(c, "x"), dst: gid(b, "x") });
+    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") });
+    s.handle_flat(3, Message::Couple { src: gid(c, "x"), dst: gid(b, "x") });
 
     // An event whose ExecuteDones never all arrive.
     let event = UiEvent::new(
@@ -889,20 +889,20 @@ fn teardown_leaves_no_inflight_work() {
         EventKind::TextCommitted,
         vec![Value::Text("v".into())],
     );
-    let out = s.handle(1, Message::Event { origin: gid(a, "x"), event, seq: 1 });
+    let out = s.handle_flat(1, Message::Event { origin: gid(a, "x"), event, seq: 1 });
     let exec_id = match find(&out, 1, "event-granted") {
         Message::EventGranted { exec_id, .. } => *exec_id,
         _ => unreachable!(),
     };
-    s.handle(1, Message::ExecuteDone { exec_id });
+    s.handle_flat(1, Message::ExecuteDone { exec_id });
 
     // A pull that is never answered, a push that is half-answered, and a
     // third-party copy left dangling.
-    s.handle(
+    s.handle_flat(
         1,
         Message::CopyFrom { src: gid(b, "x"), dst: gid(a, "x"), mode: CopyMode::Strict, req_id: 1 },
     );
-    let out = s.handle(
+    let out = s.handle_flat(
         1,
         Message::CopyTo {
             src: gid(a, "x"),
@@ -913,9 +913,9 @@ fn teardown_leaves_no_inflight_work() {
         },
     );
     if let Message::ApplyState { req_id, .. } = find(&out, 2, "apply-state") {
-        s.handle(2, Message::StateApplied { req_id: *req_id, overwritten: None, error: None });
+        s.handle_flat(2, Message::StateApplied { req_id: *req_id, overwritten: None, error: None });
     }
-    s.handle(
+    s.handle_flat(
         3,
         Message::RemoteCopy {
             src: gid(a, "x"),
@@ -926,7 +926,7 @@ fn teardown_leaves_no_inflight_work() {
     );
 
     for endpoint in [1, 2, 3] {
-        s.disconnect(endpoint);
+        s.disconnect_flat(endpoint);
     }
     let stats = s.stats();
     assert_eq!(stats.registered_instances, 0);
@@ -935,4 +935,65 @@ fn teardown_leaves_no_inflight_work() {
     assert_eq!(stats.live_pending_pulls, 0);
     assert_eq!(stats.live_execs, 0);
     assert_eq!(stats.held_locks, 0);
+}
+
+/// Acceptance for the encode-once delivery path: a broadcast to N
+/// peers produces exactly one shared frame (one encode) listing all N
+/// endpoints, and the stats counters account the saved bytes.
+#[test]
+fn broadcast_fan_out_encodes_exactly_once() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    for e in 1..=5 {
+        register(&mut s, e, e);
+    }
+    let before = s.stats();
+    let out = s.handle(
+        1,
+        Message::CoSendCommand {
+            to: Target::Broadcast,
+            command: "go".into(),
+            payload: vec![0xAB; 512],
+        },
+    );
+    let shared: Vec<_> = out
+        .items()
+        .iter()
+        .filter_map(|d| match d {
+            cosoft_server::Delivery::Shared(endpoints, frame) => Some((endpoints, frame)),
+            cosoft_server::Delivery::Unicast(..) => None,
+        })
+        .collect();
+    assert_eq!(shared.len(), 1, "broadcast must produce one shared frame, got {out:?}");
+    let (endpoints, frame) = &shared[0];
+    assert_eq!(endpoints.len(), 4, "all peers of the sender share the frame");
+    assert_eq!(frame.kind_name(), Some("command-delivery"));
+
+    let after = s.stats();
+    assert_eq!(after.shared_frames_encoded - before.shared_frames_encoded, 1);
+    assert_eq!(after.shared_deliveries - before.shared_deliveries, 4);
+    let encoded = after.shared_bytes_encoded - before.shared_bytes_encoded;
+    let delivered = after.shared_bytes_delivered - before.shared_bytes_delivered;
+    assert_eq!(encoded, frame.len() as u64);
+    assert_eq!(delivered, 4 * encoded, "four deliveries out of one encode");
+}
+
+/// The event fan-out serializes the (potentially large) event body once
+/// and splices it into every per-member `ExecuteEvent` frame.
+#[test]
+fn event_fan_out_encodes_payload_once() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+    let c = register(&mut s, 3, 3);
+    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") });
+    s.handle_flat(1, Message::Couple { src: gid(b, "x"), dst: gid(c, "x") });
+
+    let before = s.stats();
+    let event = UiEvent::simple(ObjectPath::parse("x").unwrap(), EventKind::Activate);
+    let out = s.handle_flat(1, Message::Event { origin: gid(a, "x"), event, seq: 1 });
+    let legs = count_kind(&out, "execute-event");
+    assert!(legs >= 2, "expected a multi-member fan-out, got {out:?}");
+    let after = s.stats();
+    assert_eq!(after.payload_encodes - before.payload_encodes, 1);
+    assert_eq!(after.payload_reuses - before.payload_reuses, legs as u64 - 1);
 }

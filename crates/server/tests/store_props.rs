@@ -243,7 +243,7 @@ proptest! {
         let register = |s: &mut ServerCore<u64>, next_endpoint: &mut u64| {
             let e = *next_endpoint;
             *next_endpoint += 1;
-            let out = s.handle(e, Message::Register {
+            let out = s.handle_flat(e, Message::Register {
                 user: UserId(7),
                 host: "h".into(),
                 app_name: "app".into(),
@@ -266,7 +266,7 @@ proptest! {
                 CoreOp::Couple(a, b) => {
                     let (Some((ea, ia)), Some((_, ib))) =
                         (slots[a as usize], slots[b as usize]) else { continue };
-                    inbox.extend(s.handle(ea, Message::Couple {
+                    inbox.extend(s.handle_flat(ea, Message::Couple {
                         src: obj(ia, "x"),
                         dst: obj(ib, "y"),
                     }));
@@ -279,7 +279,7 @@ proptest! {
                         vec![Value::Text("v".into())],
                     );
                     req += 1;
-                    inbox.extend(s.handle(ea, Message::Event {
+                    inbox.extend(s.handle_flat(ea, Message::Event {
                         origin: obj(ia, "x"),
                         event,
                         seq: req,
@@ -289,7 +289,7 @@ proptest! {
                     let (Some((ea, ia)), Some((_, ib))) =
                         (slots[a as usize], slots[b as usize]) else { continue };
                     req += 1;
-                    inbox.extend(s.handle(ea, Message::CopyFrom {
+                    inbox.extend(s.handle_flat(ea, Message::CopyFrom {
                         src: obj(ib, "x"),
                         dst: obj(ia, "x"),
                         mode: CopyMode::Strict,
@@ -300,7 +300,7 @@ proptest! {
                     let (Some((ea, ia)), Some((_, ib))) =
                         (slots[a as usize], slots[b as usize]) else { continue };
                     req += 1;
-                    inbox.extend(s.handle(ea, Message::CopyTo {
+                    inbox.extend(s.handle_flat(ea, Message::CopyTo {
                         src: obj(ia, "x"),
                         dst: obj(ib, "y"),
                         snapshot: snap(),
@@ -313,7 +313,7 @@ proptest! {
                         (slots[a as usize], slots[b as usize], slots[c as usize])
                         else { continue };
                     req += 1;
-                    inbox.extend(s.handle(ea, Message::RemoteCopy {
+                    inbox.extend(s.handle_flat(ea, Message::RemoteCopy {
                         src: obj(ib, "x"),
                         dst: obj(ic, "y"),
                         mode: CopyMode::Strict,
@@ -322,7 +322,7 @@ proptest! {
                 }
                 CoreOp::Disconnect(a) => {
                     let Some((ea, _)) = slots[a as usize].take() else { continue };
-                    inbox.extend(s.disconnect(ea));
+                    inbox.extend(s.disconnect_flat(ea));
                 }
                 CoreOp::Reconnect(a) => {
                     if slots[a as usize].is_none() {
@@ -359,7 +359,7 @@ proptest! {
                             _ => None,
                         };
                         if let Some(reply) = reply {
-                            inbox.extend(s.handle(e, reply));
+                            inbox.extend(s.handle_flat(e, reply));
                         }
                     }
                 }
@@ -370,7 +370,7 @@ proptest! {
         // instances.
         for slot in &mut slots {
             if let Some((e, _)) = slot.take() {
-                s.disconnect(e);
+                s.disconnect_flat(e);
             }
         }
         let stats = s.stats();

@@ -892,6 +892,201 @@ pub fn frame_message(m: &Message) -> Vec<u8> {
     out
 }
 
+// --------------------------------------------------------------------------
+// shared frames (encode once, deliver everywhere)
+// --------------------------------------------------------------------------
+
+/// Kind name of every message wire tag, indexed by tag byte — the
+/// shared-frame encode table backing [`SharedFrame::kind_name`].
+///
+/// The order is *wire-tag order* (the tag bytes of [`put_message`] /
+/// [`get_message`]), which differs from the declaration order of
+/// [`Message::ALL_KINDS`]. The `cosoft-audit` shared-frame-table lint
+/// checks this table entry-by-entry against the encoder's tag table and
+/// the canonical kind list, so a new `Message` variant cannot land
+/// without extending it.
+pub const TAG_KIND_NAMES: &[&str] = &[
+    "register",          // 0
+    "deregister",        // 1
+    "query-instances",   // 2
+    "welcome",           // 3
+    "instance-list",     // 4
+    "couple",            // 5
+    "decouple",          // 6
+    "remote-couple",     // 7
+    "remote-decouple",   // 8
+    "couple-update",     // 9
+    "list-coupled",      // 10
+    "coupled-set",       // 11
+    "event",             // 12
+    "event-granted",     // 13
+    "event-rejected",    // 14
+    "execute-event",     // 15
+    "execute-done",      // 16
+    "group-unlocked",    // 17
+    "copy-from",         // 18
+    "copy-to",           // 19
+    "remote-copy",       // 20
+    "state-request",     // 21
+    "state-reply",       // 22
+    "apply-state",       // 23
+    "state-applied",     // 24
+    "undo-state",        // 25
+    "redo-state",        // 26
+    "set-permission",    // 27
+    "permission-denied", // 28
+    "co-send-command",   // 29
+    "command-delivery",  // 30
+    "error-reply",       // 31
+    "object-destroyed",  // 32
+    "rejoin",            // 33
+    "ping",              // 34
+    "pong",              // 35
+    "session-token",     // 36
+];
+
+/// A complete, already-framed wire message (`u32-le length ‖ body`)
+/// behind a refcounted [`Bytes`] buffer.
+///
+/// Cloning a `SharedFrame` copies a pointer and bumps a refcount, so a
+/// broadcast to N recipients encodes (and allocates) the frame exactly
+/// once and fans the same bytes out N times — the encode-once delivery
+/// path. The frame bytes are identical to [`frame_message`] output; the
+/// golden-vector suite pins that equivalence for every message kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedFrame {
+    bytes: Bytes,
+}
+
+impl SharedFrame {
+    /// Encodes and frames a message once; clones of the result share the
+    /// underlying buffer.
+    pub fn from_message(m: &Message) -> SharedFrame {
+        let mut buf = BytesMut::with_capacity(96);
+        buf.put_u32_le(0);
+        put_message(&mut buf, m);
+        seal_frame(buf)
+    }
+
+    /// The complete frame (`u32-le length ‖ body`) as a byte slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The complete frame as a shared [`Bytes`] handle.
+    pub fn bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+
+    /// Consumes the frame, returning the shared buffer.
+    pub fn into_bytes(self) -> Bytes {
+        self.bytes
+    }
+
+    /// Total frame size in bytes, including the 4-byte length header.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the frame is empty (never true for a framed message; kept
+    /// for the `len`/`is_empty` convention).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The message body (frame minus the length header).
+    pub fn body(&self) -> &[u8] {
+        &self.bytes[4..]
+    }
+
+    /// The message tag byte, if the frame has a body.
+    pub fn tag(&self) -> Option<u8> {
+        self.body().first().copied()
+    }
+
+    /// The kind name of the framed message, looked up in
+    /// [`TAG_KIND_NAMES`].
+    pub fn kind_name(&self) -> Option<&'static str> {
+        TAG_KIND_NAMES.get(usize::from(self.tag()?)).copied()
+    }
+
+    /// Decodes the framed message back into an owned [`Message`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the body is malformed (cannot happen
+    /// for frames built by this module's constructors).
+    pub fn decode(&self) -> Result<Message> {
+        decode_message(self.body())
+    }
+}
+
+/// Patches the length header of a frame built with a 4-byte placeholder
+/// and freezes it into a [`SharedFrame`].
+fn seal_frame(mut buf: BytesMut) -> SharedFrame {
+    let len = (buf.len() - 4) as u32;
+    buf[..4].copy_from_slice(&len.to_le_bytes());
+    SharedFrame { bytes: buf.freeze() }
+}
+
+/// Frames a message into a cheaply-clonable [`SharedFrame`]; the bytes
+/// are identical to [`frame_message`].
+pub fn frame_message_shared(m: &Message) -> SharedFrame {
+    SharedFrame::from_message(m)
+}
+
+/// Encodes a [`UiEvent`] once into a shared payload that
+/// [`frame_execute_event`] can splice into many per-target frames.
+pub fn encode_event_shared(e: &UiEvent) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    put_event(&mut buf, e);
+    buf.freeze()
+}
+
+/// Builds an `ExecuteEvent` frame around an already-encoded event
+/// payload ([`encode_event_shared`]). The event — the heavy part of a
+/// multiple-execution fan-out — is encoded once per broadcast instead of
+/// once per group member; the resulting bytes are identical to framing
+/// `Message::ExecuteEvent` whole.
+pub fn frame_execute_event(exec_id: u64, target: &ObjectPath, event: &Bytes) -> SharedFrame {
+    let mut buf = BytesMut::with_capacity(event.len() + 32);
+    buf.put_u32_le(0);
+    buf.put_u8(15); // ExecuteEvent wire tag
+    put_uvarint(&mut buf, exec_id);
+    put_path(&mut buf, target);
+    buf.extend_from_slice(event);
+    seal_frame(buf)
+}
+
+/// Encodes a [`StateNode`] snapshot once into a shared payload that
+/// [`frame_apply_state`] can splice into many per-leg frames.
+pub fn encode_state_shared(s: &StateNode) -> Bytes {
+    let mut buf = BytesMut::with_capacity(256);
+    put_state(&mut buf, s);
+    buf.freeze()
+}
+
+/// Builds an `ApplyState` frame around an already-encoded snapshot
+/// ([`encode_state_shared`]). A transfer fanning out to a coupling group
+/// encodes the snapshot once instead of deep-cloning and re-encoding it
+/// per leg; the resulting bytes are identical to framing
+/// `Message::ApplyState` whole.
+pub fn frame_apply_state(
+    req_id: u64,
+    path: &ObjectPath,
+    snapshot: &Bytes,
+    mode: CopyMode,
+) -> SharedFrame {
+    let mut buf = BytesMut::with_capacity(snapshot.len() + 32);
+    buf.put_u32_le(0);
+    buf.put_u8(23); // ApplyState wire tag
+    put_uvarint(&mut buf, req_id);
+    put_path(&mut buf, path);
+    buf.extend_from_slice(snapshot);
+    put_copy_mode(&mut buf, mode);
+    seal_frame(buf)
+}
+
 /// Writes a framed message to a `Write` stream.
 ///
 /// # Errors
@@ -1173,5 +1368,74 @@ mod tests {
         put_state(&mut b, &node);
         let mut r = b.freeze();
         assert_eq!(get_state(&mut r).unwrap(), node);
+    }
+
+    #[test]
+    fn shared_frames_are_byte_identical_to_owned_frames() {
+        for m in sample_messages() {
+            let shared = frame_message_shared(&m);
+            let owned = frame_message(&m);
+            assert_eq!(shared.as_slice(), &owned[..], "frame mismatch for {}", m.kind_name());
+            assert_eq!(shared.decode().unwrap(), m);
+            assert_eq!(shared.kind_name(), Some(m.kind_name()));
+            let clone = shared.clone();
+            assert_eq!(clone.bytes().as_ptr(), shared.bytes().as_ptr(), "clone must share");
+        }
+    }
+
+    #[test]
+    fn spliced_execute_event_frame_matches_whole_message() {
+        let event =
+            UiEvent::new(path("f.slider"), EventKind::ValueChanged, vec![Value::Float(0.7)]);
+        let payload = encode_event_shared(&event);
+        for exec_id in [0u64, 7, u64::MAX] {
+            let target = path("g.s2");
+            let spliced = frame_execute_event(exec_id, &target, &payload);
+            let whole = frame_message(&Message::ExecuteEvent {
+                exec_id,
+                target: target.clone(),
+                event: event.clone(),
+            });
+            assert_eq!(spliced.as_slice(), &whole[..], "exec_id={exec_id}");
+        }
+    }
+
+    #[test]
+    fn spliced_apply_state_frame_matches_whole_message() {
+        let snapshot = sample_state();
+        let payload = encode_state_shared(&snapshot);
+        for (req_id, mode) in [
+            (0u64, CopyMode::Strict),
+            (3, CopyMode::FlexibleMatch),
+            (u64::MAX, CopyMode::DestructiveMerge),
+        ] {
+            let p = path("b.c");
+            let spliced = frame_apply_state(req_id, &p, &payload, mode);
+            let whole = frame_message(&Message::ApplyState {
+                req_id,
+                path: p.clone(),
+                snapshot: snapshot.clone(),
+                mode,
+            });
+            assert_eq!(spliced.as_slice(), &whole[..], "req_id={req_id} mode={mode:?}");
+        }
+    }
+
+    #[test]
+    fn tag_kind_names_agrees_with_encoder() {
+        assert_eq!(TAG_KIND_NAMES.len(), Message::ALL_KINDS.len());
+        let tag_set: std::collections::BTreeSet<&str> = TAG_KIND_NAMES.iter().copied().collect();
+        let kind_set: std::collections::BTreeSet<&str> =
+            Message::ALL_KINDS.iter().copied().collect();
+        assert_eq!(tag_set, kind_set, "TAG_KIND_NAMES and ALL_KINDS must list the same names");
+        for m in sample_messages() {
+            let shared = frame_message_shared(&m);
+            let tag = shared.tag().expect("tag byte");
+            assert_eq!(
+                TAG_KIND_NAMES[usize::from(tag)],
+                m.kind_name(),
+                "tag {tag} maps to the wrong kind name"
+            );
+        }
     }
 }

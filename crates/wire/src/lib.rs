@@ -46,6 +46,7 @@ mod message;
 mod state;
 mod value;
 
+pub use codec::SharedFrame;
 pub use error::WireError;
 pub use event::{EventKind, UiEvent};
 pub use id::{GlobalObjectId, InstanceId, ObjectPath, UserId};

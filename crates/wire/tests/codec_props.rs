@@ -208,7 +208,7 @@ proptest! {
         codec::put_value(&mut buf, &v);
         let mut r = buf.freeze();
         prop_assert_eq!(codec::get_value(&mut r).unwrap(), v);
-        prop_assert!(!r.iter().next().is_some(), "no trailing bytes");
+        prop_assert!(r.iter().next().is_none(), "no trailing bytes");
     }
 
     #[test]
@@ -217,6 +217,43 @@ proptest! {
         codec::put_state(&mut buf, &s);
         let mut r = buf.freeze();
         prop_assert_eq!(codec::get_state(&mut r).unwrap(), s);
+    }
+
+    #[test]
+    fn shared_frame_matches_owned_framing(m in arb_message()) {
+        let frame = codec::frame_message_shared(&m);
+        prop_assert_eq!(frame.as_slice(), codec::frame_message(&m).as_slice());
+        prop_assert_eq!(frame.decode().unwrap(), m);
+    }
+
+    #[test]
+    fn spliced_execute_event_matches_whole_message(
+        exec_id in any::<u64>(),
+        target in arb_path(),
+        event in arb_event(),
+    ) {
+        // The fan-out path encodes the event payload once and splices it
+        // into per-target frames; the result must be indistinguishable
+        // from framing the whole ExecuteEvent message.
+        let payload = codec::encode_event_shared(&event);
+        let frame = codec::frame_execute_event(exec_id, &target, &payload);
+        let msg = Message::ExecuteEvent { exec_id, target, event };
+        prop_assert_eq!(frame.as_slice(), codec::frame_message(&msg).as_slice());
+        prop_assert_eq!(frame.decode().unwrap(), msg);
+    }
+
+    #[test]
+    fn spliced_apply_state_matches_whole_message(
+        req_id in any::<u64>(),
+        path in arb_path(),
+        snapshot in arb_state(),
+        mode in arb_copy_mode(),
+    ) {
+        let payload = codec::encode_state_shared(&snapshot);
+        let frame = codec::frame_apply_state(req_id, &path, &payload, mode);
+        let msg = Message::ApplyState { req_id, path, snapshot, mode };
+        prop_assert_eq!(frame.as_slice(), codec::frame_message(&msg).as_slice());
+        prop_assert_eq!(frame.decode().unwrap(), msg);
     }
 
     #[test]

@@ -239,6 +239,42 @@ fn golden_vectors_decode_back() {
     }
 }
 
+/// For every protocol kind, the shared (encode-once) framing is
+/// byte-identical to the owned framing: a peer cannot tell whether the
+/// server unicast-encoded its frame or fanned one shared encode out to
+/// the whole group.
+#[test]
+fn golden_shared_frames_are_byte_identical() {
+    for (m, bytes) in golden_table() {
+        let frame = codec::frame_message_shared(&m);
+        assert_eq!(
+            frame.as_slice(),
+            codec::frame_message(&m).as_slice(),
+            "shared and owned framings of {} diverged",
+            m.kind_name()
+        );
+        assert_eq!(frame.body(), &bytes[..], "shared frame body of {} drifted", m.kind_name());
+        assert_eq!(frame.tag(), Some(bytes[0]), "shared frame tag of {}", m.kind_name());
+        assert_eq!(
+            frame.decode().expect("shared frame decodes"),
+            m,
+            "shared frame of {} decoded to a different message",
+            m.kind_name()
+        );
+    }
+}
+
+/// `SharedFrame::kind_name` (driven by the tag-indexed
+/// `TAG_KIND_NAMES` table) agrees with `Message::kind_name` for every
+/// kind — the table the audit lint also checks.
+#[test]
+fn golden_shared_frame_kind_names_match() {
+    for (m, _) in golden_table() {
+        let frame = codec::frame_message_shared(&m);
+        assert_eq!(frame.kind_name(), Some(m.kind_name()));
+    }
+}
+
 /// Wire tags are unique: no two table entries share a first byte.
 #[test]
 fn golden_wire_tags_are_unique() {

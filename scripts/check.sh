@@ -19,3 +19,6 @@ cargo test -q --test tcp_reconnect
 # Schedule-exploring checker: every interleaving of 3 clients over
 # overlapping couple groups, server invariants checked at every step.
 cargo test -q -p cosoft-server --test lock_model
+# Fan-out throughput smoke: the encode-once broadcast bench must run
+# and emit every group-size series into BENCH_fanout.json.
+cargo run -q --release -p cosoft-bench --bin fanout -- --smoke

@@ -18,7 +18,7 @@ use cosoft_net::tcp::{
     ClientEvent, ConnId, NetEvent, ReconnectPolicy, TcpClient, TcpHost, TcpHostConfig, TcpStats,
     TcpStatsHandle,
 };
-use cosoft_server::{LivenessConfig, ServerCore, ServerStats};
+use cosoft_server::{LivenessConfig, Outgoing, ServerCore, ServerStats};
 
 /// A COSOFT server listening on TCP.
 ///
@@ -86,27 +86,50 @@ impl TcpServer {
         let thread = std::thread::Builder::new().name("cosoft-server".into()).spawn(move || {
             let mut core: ServerCore<ConnId> = ServerCore::with_liveness(liveness);
             let start = Instant::now();
+            let mut last_published = core.stats();
             while !stop.load(Ordering::SeqCst) {
-                let event = match host.events().recv_timeout(Duration::from_millis(50)) {
+                let first = match host.events().recv_timeout(Duration::from_millis(50)) {
                     Ok(e) => Some(e),
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
                     Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
                 };
-                let mut outgoing = match event {
-                    None => Vec::new(),
-                    Some(NetEvent::Connected(_)) => Vec::new(),
-                    Some(NetEvent::Message(conn, msg)) => core.handle(conn, msg),
-                    Some(NetEvent::Disconnected(conn)) => core.disconnect(conn),
-                };
+                // Drain every already-ready event before writing
+                // anything: one wakeup becomes one coalesced batch per
+                // destination instead of a write per event. The cap
+                // bounds how long a firehose can defer the first reply.
+                let mut outgoing = Outgoing::new();
+                let mut next = first;
+                let mut budget = 256usize;
+                while let Some(event) = next {
+                    match event {
+                        NetEvent::Connected(_) => {}
+                        NetEvent::Message(conn, msg) => outgoing.extend(core.handle(conn, msg)),
+                        NetEvent::Disconnected(conn) => outgoing.extend(core.disconnect(conn)),
+                    }
+                    budget -= 1;
+                    if budget == 0 {
+                        break;
+                    }
+                    next = host.events().try_recv().ok();
+                }
                 // Advance the liveness clock even on idle timeouts so
                 // quarantine grace periods expire without traffic.
                 outgoing.extend(core.tick(start.elapsed().as_micros() as u64));
-                // One coalesced write per destination; failures mean
-                // the peer vanished or was evicted as a slow
-                // consumer — its Disconnected event will clean up.
-                let _ = host.send_batch(&outgoing);
-                if let Ok(mut s) = published.lock() {
-                    *s = core.stats();
+                // One coalesced write per destination; broadcast frames
+                // stay pre-encoded all the way down. Failures mean the
+                // peer vanished or was evicted as a slow consumer — its
+                // Disconnected event will clean up.
+                let _ = host.send_batch(&outgoing.into_frames());
+                // Publish only after a change: the idle 50 ms timeout
+                // path used to clone the whole stats struct into the
+                // shared Mutex 20×/s, contending with every snapshot
+                // reader for nothing.
+                let current = core.stats();
+                if current != last_published {
+                    if let Ok(mut s) = published.lock() {
+                        *s = current;
+                    }
+                    last_published = current;
                 }
             }
         })?;

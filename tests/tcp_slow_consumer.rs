@@ -35,7 +35,11 @@ fn gid(i: InstanceId, p: &str) -> GlobalObjectId {
 /// timeout, and must eventually be evicted and auto-deregistered.
 #[test]
 fn stalled_client_is_evicted_and_does_not_starve_broadcasts() {
-    let config = TcpHostConfig { queue_capacity: 8, enqueue_timeout: Duration::from_millis(200) };
+    let config = TcpHostConfig {
+        queue_capacity: 8,
+        enqueue_timeout: Duration::from_millis(200),
+        ..TcpHostConfig::default()
+    };
     let server = TcpServer::spawn_with_config("127.0.0.1:0", config).expect("bind");
 
     let alice = TcpClient::connect(server.addr()).expect("connect alice");
@@ -119,6 +123,17 @@ fn stalled_client_is_evicted_and_does_not_starve_broadcasts() {
         );
         std::thread::sleep(Duration::from_millis(20));
     }
+
+    // Frames abandoned in the evicted connection's queue are counted,
+    // not silently discarded: the enqueue that timed out plus the
+    // full queue (that fullness is what triggered the eviction) all
+    // land in `frames_dropped`.
+    let net = server.net_stats();
+    assert!(
+        net.frames_dropped >= 8,
+        "drained queue of evicted consumer not accounted: frames_dropped={}",
+        net.frames_dropped
+    );
 
     // Observability counters moved: real traffic in and out.
     let net = server.net_stats();
