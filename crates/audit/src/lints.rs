@@ -14,10 +14,10 @@
 //! * the golden byte-vector suite (`crates/wire/tests/golden.rs`),
 //! * the server dispatch (`crates/server/src/server.rs`),
 //!
-//! plus two hygiene rules: teardown-only lock APIs may only be called
-//! from sanctioned modules, and every crate root must carry the
-//! workspace lint headers (`#![forbid(unsafe_code)]`,
-//! `#![deny(missing_docs)]`).
+//! plus two hygiene rules: restricted APIs (teardown-only lock calls,
+//! the shard-only `ServerCore` surface) may only be called from
+//! sanctioned modules, and every crate root must carry the workspace
+//! lint headers (`#![forbid(unsafe_code)]`, `#![deny(missing_docs)]`).
 
 use std::fmt;
 use std::path::Path;
@@ -381,6 +381,20 @@ pub const FORCE_UNLOCK_SANCTIONED: &[&str] =
 pub const UNLOCK_EXEC_SANCTIONED: &[&str] =
     &["crates/server/src/", "crates/server/tests/", "crates/bench/benches/"];
 
+/// Path prefixes allowed to call the shard-only `ServerCore` surface
+/// (`extract_component` / `absorb_component` / `deliver_command` /
+/// `take_route_events`): the core and router that define it, the server
+/// test suites that drive handoffs directly, and the runtime that owns
+/// the shard set. Everything else must go through `ShardRouter`, which
+/// keeps its routing maps consistent — a stray caller draining the
+/// route log or extracting a component silently desyncs the router.
+pub const SHARD_API_SANCTIONED: &[&str] = &[
+    "crates/server/src/server.rs",
+    "crates/server/src/shard.rs",
+    "crates/server/tests/",
+    "src/runtime.rs",
+];
+
 /// Rule `enum-vs-kinds`: the enum declaration, `kind_name`, and
 /// `ALL_KINDS` enumerate the same kinds.
 pub fn lint_enum_against_kinds(message_rs: &str) -> Vec<Violation> {
@@ -688,13 +702,19 @@ pub fn lint_dispatch_coverage(message_rs: &str, server_rs: &str) -> Vec<Violatio
     v
 }
 
-/// Rule `restricted-call`: teardown-only lock APIs are called only from
-/// sanctioned modules. The audit crate's own sources are exempt (they
-/// mention the needles as data).
+/// Rule `restricted-call`: teardown-only lock APIs and shard-only core
+/// APIs are called only from sanctioned modules. The audit crate's own
+/// sources are exempt (they mention the needles as data).
 pub fn lint_restricted_calls(all_sources: &[(String, String)]) -> Vec<Violation> {
     let mut v = Vec::new();
-    let rules: &[(&str, &[&str])] =
-        &[(".force_unlock(", FORCE_UNLOCK_SANCTIONED), (".unlock_exec(", UNLOCK_EXEC_SANCTIONED)];
+    let rules: &[(&str, &[&str])] = &[
+        (".force_unlock(", FORCE_UNLOCK_SANCTIONED),
+        (".unlock_exec(", UNLOCK_EXEC_SANCTIONED),
+        (".extract_component(", SHARD_API_SANCTIONED),
+        (".absorb_component(", SHARD_API_SANCTIONED),
+        (".deliver_command(", SHARD_API_SANCTIONED),
+        (".take_route_events(", SHARD_API_SANCTIONED),
+    ];
     for (path, text) in all_sources {
         if path.starts_with("crates/audit/") {
             continue;
@@ -706,7 +726,7 @@ pub fn lint_restricted_calls(all_sources: &[(String, String)]) -> Vec<Violation>
                     rule: "restricted-call",
                     file: path.clone(),
                     detail: format!(
-                        "calls teardown-only API `{}` outside sanctioned modules",
+                        "calls restricted API `{}` outside sanctioned modules",
                         needle.trim_start_matches('.').trim_end_matches('(')
                     ),
                 });

@@ -108,6 +108,28 @@ fn unsanctioned_force_unlock_fails() {
     );
 }
 
+/// The shard-only core surface is router business: a stray caller in an
+/// app crate extracting a component (or draining the route log) would
+/// silently desync the router's maps, so the lint must flag it — while
+/// the real `shard.rs` and runtime call sites stay sanctioned.
+#[test]
+fn unsanctioned_shard_api_call_fails() {
+    let mut ws = real_workspace();
+    ws.all_sources.push((
+        "crates/apps/src/doctored.rs".to_owned(),
+        "fn f(c: &mut ServerCore<u64>, seed: InstanceId) { let _ = c.extract_component(seed); \
+         let _ = c.take_route_events(); }"
+            .to_owned(),
+    ));
+    let violations = lint_restricted_calls(&ws.all_sources);
+    for api in ["extract_component", "take_route_events"] {
+        assert!(
+            violations.iter().any(|v| v.file.contains("doctored") && v.detail.contains(api)),
+            "lint missed unsanctioned `{api}` call: {violations:?}"
+        );
+    }
+}
+
 #[test]
 fn stripped_crate_header_fails() {
     let ws = real_workspace();

@@ -16,10 +16,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig2_ui_replicated_run");
     for semantic_ms in [1u64, 20, 100] {
-        let cfg = ArchConfig {
-            semantic_service_us: semantic_ms * 1_000,
-            ..ArchConfig::default()
-        };
+        let cfg = ArchConfig { semantic_service_us: semantic_ms * 1_000, ..ArchConfig::default() };
         let w = mixed_workload(23, 8, 50, 25_000, 0.2, 0.2);
         group.bench_with_input(BenchmarkId::from_parameter(semantic_ms), &w, |b, w| {
             b.iter(|| run_ui_replicated(std::hint::black_box(w), &cfg))

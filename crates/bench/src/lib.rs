@@ -6,6 +6,9 @@
 //!   the printer binaries;
 //! * [`fanout`] measures the encode-once shared-frame broadcast path
 //!   (`--bin fanout` writes `BENCH_fanout.json`);
+//! * [`shard`] measures aggregate delivery throughput of the
+//!   couple-component-sharded server, one thread per shard core
+//!   (`--bin shard` writes `BENCH_shard.json`);
 //! * [`report`] renders plain-text tables.
 //!
 //! Run `cargo bench --workspace` for everything, or
@@ -18,3 +21,4 @@
 pub mod fanout;
 pub mod figures;
 pub mod report;
+pub mod shard;

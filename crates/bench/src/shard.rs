@@ -1,0 +1,231 @@
+//! Shard-scaling benchmark: aggregate delivery throughput of the
+//! couple-component-sharded server.
+//!
+//! A fixed population of disjoint couple groups is spread over 1, 2, 4,
+//! and 8 [`ServerCore`] shards (the same interleaved-id cores the
+//! [`cosoft_server::ShardRouter`] and the threaded TCP runtime deploy),
+//! with **one OS thread per shard** driving group-targeted commands
+//! through its own core — the deployment shape sharding exists for.
+//! Because the groups are disjoint components, no cross-shard handoff
+//! ever runs; the series isolate pure brain-parallelism: the same total
+//! command load, divided across independently locked cores.
+//!
+//! On a multi-core box the aggregate messages/sec should scale with the
+//! shard count until cores run out; on a single core the series stay
+//! flat (the threads serialize) — `EXPERIMENTS.md` states the ≥4-core
+//! requirement for the headline 4-shard ratio.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cosoft_server::ServerCore;
+use cosoft_wire::{GlobalObjectId, InstanceId, Message, ObjectPath, Target, UserId};
+
+/// Shard counts every run reports, smallest to largest.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Disjoint couple groups driven per run (divisible by every entry of
+/// [`SHARD_COUNTS`], so each shard hosts a whole number of groups).
+pub const TOTAL_GROUPS: usize = 8;
+
+/// Members per couple group.
+pub const GROUP_SIZE: usize = 4;
+
+/// One measured series: the fixed workload on `shards` shard threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSample {
+    /// Shard cores (= driver threads) in this series.
+    pub shards: usize,
+    /// Disjoint couple groups, total across all shards.
+    pub groups: usize,
+    /// Members per group.
+    pub group_size: usize,
+    /// Command rounds driven per group.
+    pub rounds: u64,
+    /// Wall-clock time of the parallel phase, in microseconds.
+    pub elapsed_us: u128,
+    /// Per-endpoint deliveries produced across all shards.
+    pub deliveries: u64,
+    /// Aggregate delivered messages per wall-clock second.
+    pub messages_per_sec: f64,
+}
+
+/// Builds one shard's population: `groups_here` disjoint couple groups
+/// of `group_size` members each, registered and coupled on `core`.
+/// Returns one (sender endpoint, group object) pair per group.
+fn populate(
+    core: &mut ServerCore<u64>,
+    groups_here: usize,
+    group_size: usize,
+) -> Vec<(u64, GlobalObjectId)> {
+    let mut senders = Vec::new();
+    let mut endpoint = 0u64;
+    for g in 0..groups_here {
+        let mut members: Vec<(u64, InstanceId)> = Vec::new();
+        for m in 0..group_size {
+            let out = core.handle(
+                endpoint,
+                Message::Register {
+                    user: UserId(endpoint + 1),
+                    host: format!("bench-{endpoint}"),
+                    app_name: "shard".into(),
+                },
+            );
+            let instance = out
+                .into_messages()
+                .into_iter()
+                .find_map(|(_, msg)| match msg {
+                    Message::Welcome { instance } => Some(instance),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("registration of member {m} in group {g} failed"));
+            members.push((endpoint, instance));
+            endpoint += 1;
+        }
+        // Chain-couple the members; the transitive closure makes them
+        // one component, disjoint from every other group.
+        let path = ObjectPath::parse("obj").expect("static path parses");
+        for pair in members.windows(2) {
+            let (src_ep, src_inst) = pair[0];
+            let (_, dst_inst) = pair[1];
+            core.handle(
+                src_ep,
+                Message::Couple {
+                    src: GlobalObjectId::new(src_inst, path.clone()),
+                    dst: GlobalObjectId::new(dst_inst, path.clone()),
+                },
+            );
+        }
+        senders.push((members[0].0, GlobalObjectId::new(members[0].1, path)));
+    }
+    senders
+}
+
+/// Runs the fixed workload at each shard count in `shard_counts` and
+/// returns one sample per count.
+///
+/// # Panics
+///
+/// Panics if a registration fails or a shard thread dies — setup bugs,
+/// not load-dependent failures.
+pub fn run(shard_counts: &[usize], rounds: u64, payload_len: usize) -> Vec<ShardSample> {
+    shard_counts.iter().map(|&n| run_one(n, rounds, payload_len)).collect()
+}
+
+fn run_one(shards: usize, rounds: u64, payload_len: usize) -> ShardSample {
+    assert!(TOTAL_GROUPS.is_multiple_of(shards), "groups must divide evenly over shards");
+    let groups_here = TOTAL_GROUPS / shards;
+
+    // Build every shard's population before starting the clock: the
+    // measured phase is pure command delivery.
+    type ShardState = (ServerCore<u64>, Vec<(u64, GlobalObjectId)>);
+    let mut cores: Vec<ShardState> = (0..shards)
+        .map(|i| {
+            let mut core = ServerCore::with_shard_ids(i as u64, shards as u64);
+            let senders = populate(&mut core, groups_here, GROUP_SIZE);
+            (core, senders)
+        })
+        .collect();
+    let payload = vec![0x5Au8; payload_len];
+
+    let t0 = Instant::now();
+    let deliveries: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = cores
+            .iter_mut()
+            .map(|(core, senders)| {
+                let payload = payload.clone();
+                scope.spawn(move || {
+                    let mut delivered = 0u64;
+                    for round in 0..rounds {
+                        for (sender, object) in senders.iter() {
+                            let out = core.handle(
+                                *sender,
+                                Message::CoSendCommand {
+                                    to: Target::Group(object.clone()),
+                                    command: format!("r{round}"),
+                                    payload: payload.clone(),
+                                },
+                            );
+                            delivered += out.message_count() as u64;
+                            // Hand the batch to a pretend transport,
+                            // like the fanout bench does.
+                            for (endpoint, frame) in out.into_frames() {
+                                black_box(endpoint);
+                                black_box(frame.len());
+                            }
+                        }
+                    }
+                    delivered
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard thread panicked")).sum()
+    });
+    let elapsed = t0.elapsed();
+
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    ShardSample {
+        shards,
+        groups: TOTAL_GROUPS,
+        group_size: GROUP_SIZE,
+        rounds,
+        elapsed_us: elapsed.as_micros(),
+        deliveries,
+        messages_per_sec: deliveries as f64 / secs,
+    }
+}
+
+/// Renders the samples as the `BENCH_shard.json` document.
+pub fn to_json(samples: &[ShardSample], smoke: bool, payload_len: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"shard\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"payload_bytes\": {payload_len},\n"));
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    ));
+    out.push_str("  \"series\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"groups\": {}, \"group_size\": {}, \"rounds\": {}, \
+             \"elapsed_us\": {}, \"deliveries\": {}, \"messages_per_sec\": {:.1}}}{}\n",
+            s.shards,
+            s.groups,
+            s.group_size,
+            s.rounds,
+            s.elapsed_us,
+            s.deliveries,
+            s.messages_per_sec,
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_series_delivers_the_same_total() {
+        let samples = run(&[1, 2], 2, 64);
+        assert_eq!(samples.len(), 2);
+        // Same workload regardless of shard count: rounds × groups
+        // commands, each delivered to the group's other members.
+        let expected = 2 * (TOTAL_GROUPS as u64) * (GROUP_SIZE as u64 - 1);
+        for s in &samples {
+            assert_eq!(s.deliveries, expected, "sharding must not change delivery semantics");
+        }
+    }
+
+    #[test]
+    fn json_lists_every_series() {
+        let samples = run(&[1], 1, 32);
+        let json = to_json(&samples, true, 32);
+        assert!(json.contains("\"shards\": 1"));
+        assert!(json.contains("\"smoke\": true"));
+        assert!(json.contains("available_parallelism"));
+    }
+}

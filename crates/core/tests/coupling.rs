@@ -164,7 +164,7 @@ fn objects_are_disabled_while_group_is_locked() {
     // Event reaches server; grant+execute go out.
     while let Some(d) = h.net.step() {
         if d.dst == cosoft_core::SERVER_NODE {
-            let out = h.server.handle_flat(d.src, d.msg);
+            let out = h.server.handle(d.src, d.msg).into_messages();
             for (dst, msg) in out {
                 h.net.send(cosoft_core::SERVER_NODE, dst, msg);
             }

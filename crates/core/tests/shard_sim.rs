@@ -1,0 +1,220 @@
+//! End-to-end test of the sharded server over the simulated network:
+//! real [`Session`]s, the real wire protocol, and a [`ShardRouter`]
+//! with two [`ServerCore`] shards in place of the single brain. The
+//! clients must not be able to tell the difference — cross-shard
+//! couples merge components transparently, synchronization by multiple
+//! execution works across the migrated group, and a later decouple
+//! lets the lazy rebalancer spread components out again.
+
+use std::collections::BTreeMap;
+
+use cosoft_core::session::Session;
+use cosoft_net::sim::{NodeId, SimNet};
+use cosoft_server::{Delivery, Outgoing, ShardRouter};
+use cosoft_uikit::{spec, Toolkit};
+use cosoft_wire::{AttrName, EventKind, ObjectPath, UiEvent, UserId, Value};
+
+const SERVER_NODE: NodeId = NodeId(0);
+const FIELD_FORM: &str = r#"form f { textfield t text="" }"#;
+
+fn path(s: &str) -> ObjectPath {
+    ObjectPath::parse(s).unwrap()
+}
+
+fn session(user: u64) -> Session {
+    Session::new(
+        Toolkit::from_tree(spec::build_tree(FIELD_FORM).unwrap()),
+        UserId(user),
+        &format!("ws{user}"),
+        "shard-test",
+    )
+}
+
+/// A minimal sharded deployment: like `SimHarness`, but the server side
+/// is a 2-shard router. Kept local to this test on purpose — the main
+/// harness pins the single-core topology every other test measures
+/// against.
+struct ShardedSim {
+    net: SimNet,
+    router: ShardRouter<NodeId>,
+    sessions: BTreeMap<NodeId, Session>,
+    next_node: u64,
+}
+
+impl ShardedSim {
+    fn new(shards: usize) -> Self {
+        ShardedSim {
+            net: SimNet::new(7),
+            router: ShardRouter::new(shards),
+            sessions: BTreeMap::new(),
+            next_node: 1,
+        }
+    }
+
+    fn add_session(&mut self, s: Session) -> NodeId {
+        let node = NodeId(self.next_node);
+        self.next_node += 1;
+        self.sessions.insert(node, s);
+        node
+    }
+
+    fn deliver_router_out(&mut self, out: Outgoing<NodeId>) {
+        for item in out.into_items() {
+            match item {
+                Delivery::Unicast(dst, msg) => self.net.send(SERVER_NODE, dst, msg),
+                Delivery::Shared(dsts, frame) => {
+                    let body_len = frame.body().len();
+                    let msg = frame.decode().expect("router-encoded frame decodes");
+                    for dst in dsts {
+                        self.net.send_encoded(SERVER_NODE, dst, msg.clone(), body_len);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pumps to quiescence, checking the router's cross-shard invariant
+    /// pack after every single server step.
+    fn settle(&mut self) {
+        let mut steps = 0u64;
+        loop {
+            for (&node, s) in self.sessions.iter_mut() {
+                for msg in s.drain_outbox() {
+                    self.net.send(node, SERVER_NODE, msg);
+                }
+            }
+            if self.net.is_idle() {
+                return;
+            }
+            while let Some(delivery) = self.net.step() {
+                steps += 1;
+                assert!(steps <= 1_000_000, "sharded simulation runaway");
+                if delivery.dst == SERVER_NODE {
+                    let out = self.router.handle(delivery.src, delivery.msg);
+                    self.router.check_invariants().unwrap();
+                    self.deliver_router_out(out);
+                } else if let Some(s) = self.sessions.get_mut(&delivery.dst) {
+                    s.on_message(delivery.msg);
+                    for msg in s.drain_outbox() {
+                        self.net.send(delivery.dst, SERVER_NODE, msg);
+                    }
+                }
+            }
+        }
+    }
+
+    fn tick(&mut self, at_us: u64) {
+        self.net.advance_to(at_us);
+        let out = self.router.tick(at_us);
+        self.router.check_invariants().unwrap();
+        self.deliver_router_out(out);
+        self.settle();
+    }
+
+    fn text_of(&self, node: NodeId, p: &str) -> String {
+        let tree = self.sessions[&node].toolkit().tree();
+        let id = tree.resolve(&path(p)).unwrap();
+        tree.attr(id, &AttrName::Text).unwrap().as_text().unwrap().to_owned()
+    }
+
+    fn type_text(&mut self, node: NodeId, p: &str, text: &str) {
+        self.sessions
+            .get_mut(&node)
+            .unwrap()
+            .user_event(UiEvent::new(
+                path(p),
+                EventKind::TextCommitted,
+                vec![Value::Text(text.into())],
+            ))
+            .unwrap();
+    }
+}
+
+#[test]
+fn coupling_and_sync_work_transparently_across_shards() {
+    let mut sim = ShardedSim::new(2);
+    let a = sim.add_session(session(1));
+    let b = sim.add_session(session(2));
+    let c = sim.add_session(session(3));
+    let d = sim.add_session(session(4));
+    sim.settle();
+
+    // Round-robin placement split the four sessions over both shards.
+    let inst: Vec<_> = [a, b, c, d].iter().map(|n| sim.sessions[n].instance().unwrap()).collect();
+    assert_ne!(
+        sim.router.shard_of_instance(inst[0]),
+        sim.router.shard_of_instance(inst[1]),
+        "a and b must start on different shards for this test to bite"
+    );
+
+    // a couples to b: a cross-shard merge runs under the hood.
+    let gb = sim.sessions[&b].gid(&path("f.t")).unwrap();
+    sim.sessions.get_mut(&a).unwrap().couple(&path("f.t"), gb).unwrap();
+    sim.settle();
+    assert!(sim.router.router_stats().cross_shard_merges >= 1);
+    assert_eq!(sim.router.shard_of_instance(inst[0]), sim.router.shard_of_instance(inst[1]));
+    assert!(sim.sessions[&a].is_coupled(&path("f.t")));
+    assert!(sim.sessions[&b].is_coupled(&path("f.t")));
+
+    // Synchronization by multiple execution across the migrated group.
+    sim.type_text(a, "f.t", "over-the-shard");
+    sim.settle();
+    assert_eq!(sim.text_of(a, "f.t"), "over-the-shard");
+    assert_eq!(sim.text_of(b, "f.t"), "over-the-shard");
+    // And in the other direction, from the migrated member.
+    sim.type_text(b, "f.t", "echo-back");
+    sim.settle();
+    assert_eq!(sim.text_of(a, "f.t"), "echo-back");
+    assert_eq!(sim.text_of(b, "f.t"), "echo-back");
+
+    // c and d stayed untouched on their original shards and still work.
+    let gd = sim.sessions[&d].gid(&path("f.t")).unwrap();
+    sim.sessions.get_mut(&c).unwrap().couple(&path("f.t"), gd).unwrap();
+    sim.settle();
+    sim.type_text(c, "f.t", "second-group");
+    sim.settle();
+    assert_eq!(sim.text_of(d, "f.t"), "second-group");
+
+    // All locks drained everywhere; every shard's core is consistent.
+    for i in 0..sim.router.shard_count() {
+        assert!(sim.router.shard(i).locks().is_empty());
+    }
+    sim.router.check_invariants().unwrap();
+}
+
+#[test]
+fn decouple_splits_and_lazy_rebalance_moves_a_component_back() {
+    let mut sim = ShardedSim::new(2);
+    sim.router.set_rebalance_threshold(2);
+    let a = sim.add_session(session(1));
+    let b = sim.add_session(session(2));
+    sim.settle();
+    let inst_a = sim.sessions[&a].instance().unwrap();
+    let inst_b = sim.sessions[&b].instance().unwrap();
+
+    // Merge both onto one shard, leaving the other empty.
+    let gb = sim.sessions[&b].gid(&path("f.t")).unwrap();
+    sim.sessions.get_mut(&a).unwrap().couple(&path("f.t"), gb.clone()).unwrap();
+    sim.settle();
+    assert_eq!(sim.router.shard_of_instance(inst_a), sim.router.shard_of_instance(inst_b));
+
+    // Split the component again; the imbalance (2 vs 0) now crosses the
+    // threshold, so the next tick migrates one singleton back.
+    sim.sessions.get_mut(&a).unwrap().decouple(&path("f.t"), gb).unwrap();
+    sim.settle();
+    sim.tick(1_000);
+    assert!(sim.router.router_stats().rebalances >= 1, "lazy rebalance must have run");
+    assert_ne!(
+        sim.router.shard_of_instance(inst_a),
+        sim.router.shard_of_instance(inst_b),
+        "split components spread over both shards again"
+    );
+
+    // Both sessions remain fully operational after the rebalance.
+    sim.type_text(a, "f.t", "post-split-a");
+    sim.type_text(b, "f.t", "post-split-b");
+    sim.settle();
+    assert_eq!(sim.text_of(a, "f.t"), "post-split-a");
+    assert_eq!(sim.text_of(b, "f.t"), "post-split-b");
+    sim.router.check_invariants().unwrap();
+}

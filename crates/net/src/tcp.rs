@@ -92,6 +92,10 @@ pub struct TcpStats {
     pub slow_consumer_evictions: u64,
     /// Frames dropped because their connection was already gone.
     pub frames_dropped: u64,
+    /// Reader/writer threads the host failed to spawn; each failure
+    /// tears down just that connection instead of panicking the accept
+    /// loop.
+    pub thread_spawn_failures: u64,
     /// Currently accepted connections.
     pub active_connections: usize,
     /// Deepest per-connection outbound queue right now.
@@ -110,6 +114,7 @@ struct Counters {
     enqueue_full_waits: AtomicU64,
     slow_consumer_evictions: AtomicU64,
     frames_dropped: AtomicU64,
+    thread_spawn_failures: AtomicU64,
 }
 
 /// One queued write: whole pre-encoded frames (cheap [`Bytes`] handles,
@@ -170,6 +175,7 @@ impl TcpStatsHandle {
             enqueue_full_waits: self.counters.enqueue_full_waits.load(Ordering::Relaxed),
             slow_consumer_evictions: self.counters.slow_consumer_evictions.load(Ordering::Relaxed),
             frames_dropped: self.counters.frames_dropped.load(Ordering::Relaxed),
+            thread_spawn_failures: self.counters.thread_spawn_failures.load(Ordering::Relaxed),
             active_connections: active,
             max_queue_depth: deepest,
             max_queued_bytes: deepest_bytes,
@@ -326,9 +332,8 @@ impl TcpHost {
         let accept_counters = counters.clone();
         let accept_shutdown = shutdown.clone();
         let queue_capacity = config.queue_capacity.max(1);
-        let accept_thread = std::thread::Builder::new()
-            .name("cosoft-accept".into())
-            .spawn(move || {
+        let accept_thread =
+            std::thread::Builder::new().name("cosoft-accept".into()).spawn(move || {
                 for stream in listener.incoming() {
                     if accept_shutdown.load(Ordering::SeqCst) {
                         break;
@@ -351,6 +356,10 @@ impl TcpHost {
                         })
                         .is_err()
                     {
+                        // Thread exhaustion hits this one connection, not
+                        // the whole host: close the socket and move on.
+                        accept_counters.thread_spawn_failures.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
                         continue;
                     }
                     accept_writers
@@ -362,7 +371,7 @@ impl TcpHost {
                     let conn_tx = tx.clone();
                     let conn_writers = accept_writers.clone();
                     let conn_counters = accept_counters.clone();
-                    std::thread::Builder::new()
+                    let spawned = std::thread::Builder::new()
                         .name(format!("cosoft-conn-{}", id.0))
                         .spawn(move || {
                             let mut reader = BufReader::new(CountingReader {
@@ -379,11 +388,19 @@ impl TcpHost {
                             // so the writer thread drains and exits.
                             conn_writers.lock().remove(&id);
                             let _ = conn_tx.send(NetEvent::Disconnected(id));
-                        })
-                        .expect("spawn connection thread");
+                        });
+                    if spawned.is_err() {
+                        // `Connected` already went out, so surface the
+                        // teardown as a normal disconnect. Removing the
+                        // writer entry closes its queue and socket.
+                        accept_counters.thread_spawn_failures.fetch_add(1, Ordering::Relaxed);
+                        if let Some(w) = accept_writers.lock().remove(&id) {
+                            let _ = w.control.shutdown(std::net::Shutdown::Both);
+                        }
+                        let _ = tx.send(NetEvent::Disconnected(id));
+                    }
                 }
-            })
-            .expect("spawn accept thread");
+            })?;
 
         Ok(TcpHost {
             local_addr,
@@ -759,21 +776,27 @@ impl TcpClient {
             let closed = Arc::clone(&closed);
             let reconnects = Arc::clone(&reconnects);
             let reconnect_attempts = Arc::clone(&reconnect_attempts);
-            std::thread::Builder::new()
-                .name("cosoft-client-reader".into())
-                .spawn(move || {
-                    Self::reader_loop(
-                        addr,
-                        policy,
-                        &stream,
-                        &closed,
-                        &reconnects,
-                        &reconnect_attempts,
-                        &tx,
-                        event_tx.as_ref(),
-                    );
-                })
-                .expect("spawn client reader")
+            std::thread::Builder::new().name("cosoft-client-reader".into()).spawn(move || {
+                Self::reader_loop(
+                    addr,
+                    policy,
+                    &stream,
+                    &closed,
+                    &reconnects,
+                    &reconnect_attempts,
+                    &tx,
+                    event_tx.as_ref(),
+                );
+            })
+        };
+        let reader = match reader {
+            Ok(handle) => handle,
+            Err(e) => {
+                // Surface thread exhaustion as a connect failure; close
+                // the socket so the peer sees the dead connection.
+                let _ = stream.lock().shutdown(std::net::Shutdown::Both);
+                return Err(e);
+            }
         };
         let writer = {
             let stream = Arc::clone(&stream);
@@ -781,12 +804,20 @@ impl TcpClient {
             let broken = Arc::clone(&broken);
             let pending = Arc::clone(&pending_writes);
             let has_reconnect = policy.is_some();
-            std::thread::Builder::new()
-                .name("cosoft-client-writer".into())
-                .spawn(move || {
-                    Self::writer_loop(outbox_rx, &stream, &closed, &broken, &pending, has_reconnect)
-                })
-                .expect("spawn client writer")
+            std::thread::Builder::new().name("cosoft-client-writer".into()).spawn(move || {
+                Self::writer_loop(outbox_rx, &stream, &closed, &broken, &pending, has_reconnect)
+            })
+        };
+        let writer = match writer {
+            Ok(handle) => handle,
+            Err(e) => {
+                // The reader is already running: mark the client closed
+                // and shut the socket down so it exits instead of
+                // leaking, then report the failure to the caller.
+                closed.store(true, Ordering::SeqCst);
+                let _ = stream.lock().shutdown(std::net::Shutdown::Both);
+                return Err(e);
+            }
         };
         Ok(TcpClient {
             stream,

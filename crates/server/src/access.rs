@@ -84,6 +84,31 @@ impl AccessTable {
         self.right_of(user, object).allows_write()
     }
 
+    /// Removes and returns every tuple granting a right on an object
+    /// owned by an instance in `members`, for migration to another shard.
+    /// Rights live with the object they protect: operations on an object
+    /// are always evaluated on the shard hosting its component.
+    pub fn extract_instances(
+        &mut self,
+        members: &std::collections::HashSet<cosoft_wire::InstanceId>,
+    ) -> Vec<(UserId, GlobalObjectId, AccessRight)> {
+        let keys: Vec<(UserId, GlobalObjectId)> =
+            self.tuples.keys().filter(|(_, o)| members.contains(&o.instance)).cloned().collect();
+        keys.into_iter()
+            .map(|k| {
+                let right = self.tuples.remove(&k).expect("key just listed");
+                (k.0, k.1, right)
+            })
+            .collect()
+    }
+
+    /// Re-installs tuples extracted from another shard's table.
+    pub fn adopt(&mut self, tuples: Vec<(UserId, GlobalObjectId, AccessRight)>) {
+        for (user, object, right) in tuples {
+            self.tuples.insert((user, object), right);
+        }
+    }
+
     /// Number of explicit tuples.
     pub fn len(&self) -> usize {
         self.tuples.len()

@@ -185,6 +185,73 @@ impl CoupleDirectory {
         self.links.len()
     }
 
+    /// The couple-component of `instance` at instance granularity: every
+    /// instance reachable from it through couple links between any of
+    /// their objects, including `instance` itself, sorted. An instance
+    /// with no coupled objects forms a singleton component.
+    ///
+    /// This is the shard key: disjoint components share no locks, history
+    /// entries, or fan-out legs, so a shard boundary between them is
+    /// invisible to the protocol.
+    pub fn instance_component(&self, instance: InstanceId) -> Vec<InstanceId> {
+        let mut by_instance: HashMap<InstanceId, BTreeSet<InstanceId>> = HashMap::new();
+        for (o, neighbors) in &self.adj {
+            let entry = by_instance.entry(o.instance).or_default();
+            entry.extend(neighbors.iter().map(|n| n.instance));
+        }
+        let mut seen: BTreeSet<InstanceId> = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(instance);
+        queue.push_back(instance);
+        while let Some(cur) = queue.pop_front() {
+            if let Some(neighbors) = by_instance.get(&cur) {
+                for n in neighbors {
+                    if seen.insert(*n) {
+                        queue.push_back(*n);
+                    }
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// The set of instances owning at least one coupled object, sorted.
+    pub fn instances(&self) -> Vec<InstanceId> {
+        let mut v: Vec<InstanceId> = self.adj.keys().map(|o| o.instance).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Removes and returns every directed link whose endpoints both
+    /// belong to instances in `members`, for migration to another shard.
+    /// Callers pass a closed couple-component, so no link can straddle
+    /// the boundary; a straddling link would indicate the set was not a
+    /// component and is left in place.
+    pub fn extract_instance_links(
+        &mut self,
+        members: &std::collections::HashSet<InstanceId>,
+    ) -> Vec<(GlobalObjectId, GlobalObjectId)> {
+        let doomed: Vec<(GlobalObjectId, GlobalObjectId)> = self
+            .links
+            .iter()
+            .filter(|(s, d)| members.contains(&s.instance) && members.contains(&d.instance))
+            .cloned()
+            .collect();
+        for (s, d) in &doomed {
+            self.links.remove(&(s.clone(), d.clone()));
+            self.remove_adj(s, d);
+        }
+        doomed
+    }
+
+    /// Re-creates links extracted from another shard's directory.
+    pub fn adopt_links(&mut self, links: Vec<(GlobalObjectId, GlobalObjectId)>) {
+        for (s, d) in links {
+            self.couple(s, d);
+        }
+    }
+
     /// Checks that the directed link set and the undirected adjacency are
     /// two views of the same relation: every link appears as adjacency in
     /// both directions, every adjacency edge is backed by a link, no

@@ -93,6 +93,43 @@ impl HistoryStore {
         self.undo.remove(object);
         self.redo.remove(object);
     }
+
+    /// Removes and returns the undo/redo stacks of every object owned by
+    /// an instance in `members`, for migration to another shard.
+    pub fn extract_instances(
+        &mut self,
+        members: &std::collections::HashSet<cosoft_wire::InstanceId>,
+    ) -> Vec<(GlobalObjectId, Vec<StateNode>, Vec<StateNode>)> {
+        let mut objects: Vec<GlobalObjectId> = self
+            .undo
+            .keys()
+            .chain(self.redo.keys())
+            .filter(|o| members.contains(&o.instance))
+            .cloned()
+            .collect();
+        objects.sort();
+        objects.dedup();
+        objects
+            .into_iter()
+            .map(|o| {
+                let undo = self.undo.remove(&o).unwrap_or_default();
+                let redo = self.redo.remove(&o).unwrap_or_default();
+                (o, undo, redo)
+            })
+            .collect()
+    }
+
+    /// Re-installs stacks extracted from another shard's store.
+    pub fn adopt(&mut self, entries: Vec<(GlobalObjectId, Vec<StateNode>, Vec<StateNode>)>) {
+        for (object, undo, redo) in entries {
+            if !undo.is_empty() {
+                self.undo.insert(object.clone(), undo);
+            }
+            if !redo.is_empty() {
+                self.redo.insert(object, redo);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

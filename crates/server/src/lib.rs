@@ -19,10 +19,14 @@ mod history;
 mod locks;
 mod registry;
 mod server;
+mod shard;
 
 pub use access::AccessTable;
 pub use couple::CoupleDirectory;
 pub use history::HistoryStore;
 pub use locks::{ExecId, LockTable};
 pub use registry::Registry;
-pub use server::{Delivery, LivenessConfig, Outgoing, ServerCore, ServerStats};
+pub use server::{
+    ComponentSlice, Delivery, LivenessConfig, Outgoing, RouteEvent, ServerCore, ServerStats,
+};
+pub use shard::{merge_refs, RouterStats, ShardRouter};

@@ -15,13 +15,14 @@ use cosoft_wire::{InstanceId, InstanceInfo, UserId};
 #[derive(Debug, Clone)]
 pub struct Registry<E> {
     next: u64,
+    stride: u64,
     by_instance: HashMap<InstanceId, (InstanceInfo, Option<E>)>,
     by_endpoint: HashMap<E, InstanceId>,
 }
 
 impl<E> Default for Registry<E> {
     fn default() -> Self {
-        Registry { next: 1, by_instance: HashMap::new(), by_endpoint: HashMap::new() }
+        Registry { next: 1, stride: 1, by_instance: HashMap::new(), by_endpoint: HashMap::new() }
     }
 }
 
@@ -29,6 +30,13 @@ impl<E: Copy + Eq + std::hash::Hash> Registry<E> {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Registry::default()
+    }
+
+    /// Creates an empty registry whose ids stay in the residue class of
+    /// `first` modulo `stride`. Shard `i` of `n` uses `first = i + 1`,
+    /// `stride = n`, so ids minted by different shards never collide.
+    pub fn with_id_stride(first: u64, stride: u64) -> Self {
+        Registry { next: first.max(1), stride: stride.max(1), ..Registry::default() }
     }
 
     /// Registers a new instance reachable at `endpoint`, assigning a fresh
@@ -41,7 +49,7 @@ impl<E: Copy + Eq + std::hash::Hash> Registry<E> {
         app_name: &str,
     ) -> InstanceId {
         let id = InstanceId(self.next);
-        self.next += 1;
+        self.next += self.stride;
         let info = InstanceInfo {
             instance: id,
             user,
@@ -51,6 +59,33 @@ impl<E: Copy + Eq + std::hash::Hash> Registry<E> {
         self.by_instance.insert(id, (info, Some(endpoint)));
         self.by_endpoint.insert(endpoint, id);
         id
+    }
+
+    /// Removes an instance's full record — registration info plus its
+    /// optional endpoint binding — for migration to another shard's
+    /// registry. Unlike [`Registry::deregister`], the endpoint binding is
+    /// returned rather than discarded.
+    pub fn extract(&mut self, id: InstanceId) -> Option<(InstanceInfo, Option<E>)> {
+        let (info, endpoint) = self.by_instance.remove(&id)?;
+        if let Some(endpoint) = endpoint {
+            self.by_endpoint.remove(&endpoint);
+        }
+        Some((info, endpoint))
+    }
+
+    /// Inserts a record extracted from another shard's registry. The id
+    /// counter is advanced past the adopted id in stride steps, so it
+    /// stays in this registry's residue class while never re-issuing the
+    /// adopted id.
+    pub fn adopt(&mut self, info: InstanceInfo, endpoint: Option<E>) {
+        let id = info.instance;
+        while self.next <= id.0 {
+            self.next += self.stride;
+        }
+        if let Some(e) = endpoint {
+            self.by_endpoint.insert(e, id);
+        }
+        self.by_instance.insert(id, (info, endpoint));
     }
 
     /// Removes an instance, returning its record.
@@ -229,6 +264,43 @@ mod tests {
         assert_eq!(r.instance_at(42), Some(a));
         assert_eq!(r.endpoint_of(a), Some(42));
         assert!(!r.rebind(InstanceId(999), 50));
+    }
+
+    #[test]
+    fn strided_registries_never_collide() {
+        let mut a: Registry<u64> = Registry::with_id_stride(1, 2);
+        let mut b: Registry<u64> = Registry::with_id_stride(2, 2);
+        let mut ids = Vec::new();
+        for e in 0..4u64 {
+            ids.push(a.register(e, UserId(1), "h", "app"));
+            ids.push(b.register(e + 100, UserId(2), "h", "app"));
+        }
+        let unique: std::collections::HashSet<_> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len());
+    }
+
+    #[test]
+    fn adopt_bumps_counter_within_stride_class() {
+        let mut a: Registry<u64> = Registry::with_id_stride(1, 2);
+        let mut b: Registry<u64> = Registry::with_id_stride(2, 2);
+        let foreign = b.register(100, UserId(2), "h", "app");
+        for e in 0..3u64 {
+            b.register(e + 200, UserId(2), "h", "app");
+        }
+        let high = b.register(300, UserId(2), "h", "app");
+        let (info, endpoint) = b.extract(high).unwrap();
+        assert_eq!(endpoint, Some(300));
+        a.adopt(info, endpoint);
+        assert!(a.contains(high));
+        assert_eq!(a.instance_at(300), Some(high));
+        a.check_invariants().unwrap();
+        b.check_invariants().unwrap();
+        // Ids minted after adoption stay odd (stride class 1 mod 2) and
+        // above the adopted id.
+        let fresh = a.register(50, UserId(1), "h", "app");
+        assert_eq!(fresh.0 % 2, 1);
+        assert!(fresh.0 > high.0);
+        assert_ne!(fresh, foreign);
     }
 
     #[test]

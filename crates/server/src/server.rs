@@ -298,6 +298,179 @@ pub struct ServerStats {
     /// Fan-out legs that spliced an already-serialized heavy payload
     /// into their frame instead of re-encoding it.
     pub payload_reuses: u64,
+    /// `tick` calls whose `now_us` was earlier than the stored virtual
+    /// clock. The clock is clamped (it never rewinds — a rewind would
+    /// re-arm quarantine grace periods and idle timeouts), and each
+    /// regression is counted here so a misbehaving time source is
+    /// observable instead of silent.
+    pub clock_regressions: u64,
+}
+
+/// Aggregates counters across shard cores: sums everything except
+/// gauges that only make sense as a maximum.
+impl ServerStats {
+    /// Merges another core's counters into this snapshot (used by the
+    /// shard router to expose one aggregate [`ServerStats`]).
+    pub fn merge(&mut self, other: &ServerStats) {
+        let ServerStats {
+            events_granted,
+            events_rejected,
+            lock_conflicts,
+            permission_denials,
+            messages_out,
+            max_fanout,
+            transfers_started,
+            transfers_completed,
+            transfers_failed,
+            registered_instances,
+            live_transfer_groups,
+            live_transfer_legs,
+            live_pending_pulls,
+            live_execs,
+            held_locks,
+            pings,
+            quarantines,
+            resumes,
+            rejoins_rejected,
+            quarantine_expiries,
+            quarantined_instances,
+            unexpected_messages,
+            shared_frames_encoded,
+            shared_deliveries,
+            shared_bytes_encoded,
+            shared_bytes_delivered,
+            payload_encodes,
+            payload_reuses,
+            clock_regressions,
+        } = other;
+        self.events_granted += events_granted;
+        self.events_rejected += events_rejected;
+        self.lock_conflicts += lock_conflicts;
+        self.permission_denials += permission_denials;
+        self.messages_out += messages_out;
+        self.max_fanout = self.max_fanout.max(*max_fanout);
+        self.transfers_started += transfers_started;
+        self.transfers_completed += transfers_completed;
+        self.transfers_failed += transfers_failed;
+        self.registered_instances += registered_instances;
+        self.live_transfer_groups += live_transfer_groups;
+        self.live_transfer_legs += live_transfer_legs;
+        self.live_pending_pulls += live_pending_pulls;
+        self.live_execs += live_execs;
+        self.held_locks += held_locks;
+        self.pings += pings;
+        self.quarantines += quarantines;
+        self.resumes += resumes;
+        self.rejoins_rejected += rejoins_rejected;
+        self.quarantine_expiries += quarantine_expiries;
+        self.quarantined_instances += quarantined_instances;
+        self.unexpected_messages += unexpected_messages;
+        self.shared_frames_encoded += shared_frames_encoded;
+        self.shared_deliveries += shared_deliveries;
+        self.shared_bytes_encoded += shared_bytes_encoded;
+        self.shared_bytes_delivered += shared_bytes_delivered;
+        self.payload_encodes += payload_encodes;
+        self.payload_reuses += payload_reuses;
+        self.clock_regressions += clock_regressions;
+    }
+}
+
+/// A routing-relevant lifecycle change, recorded by the core for its
+/// router (when enabled via [`ServerCore::enable_route_log`]) so the
+/// instance→shard, endpoint→shard, and token→shard maps stay exactly in
+/// sync with the registries without the router sniffing outgoing
+/// traffic.
+///
+/// Shard migrations ([`ServerCore::extract_component`] /
+/// [`ServerCore::absorb_component`]) deliberately record nothing: the
+/// router rebinds routes itself from the migrated slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteEvent<E> {
+    /// An instance became bound to an endpoint (register or rejoin).
+    Bound {
+        /// The instance that gained an endpoint.
+        instance: InstanceId,
+        /// Its endpoint.
+        endpoint: E,
+    },
+    /// An instance lost its endpoint but kept its record (quarantine).
+    Unbound {
+        /// The instance that lost its endpoint.
+        instance: InstanceId,
+        /// The endpoint it was bound to.
+        endpoint: E,
+    },
+    /// An instance left the registry entirely.
+    Deregistered {
+        /// The departed instance.
+        instance: InstanceId,
+        /// The endpoint it was bound to, if it was not quarantined.
+        endpoint: Option<E>,
+    },
+    /// A resume token was issued (registration or rotation on rejoin).
+    TokenIssued {
+        /// The token value.
+        token: u64,
+        /// The instance it resumes.
+        instance: InstanceId,
+    },
+    /// A resume token stopped being honored (rotation or deregistration).
+    TokenRetired {
+        /// The retired token value.
+        token: u64,
+    },
+}
+
+/// Everything one couple-component owns inside a [`ServerCore`],
+/// extracted for migration to another shard: registration records,
+/// liveness bookkeeping, couple links, history stacks, access tuples,
+/// and the protocol state (executions with their locks, transfer groups
+/// with their legs and pulls) that lives entirely inside the component.
+///
+/// Produced by [`ServerCore::extract_component`] and consumed by
+/// [`ServerCore::absorb_component`]; opaque to everything in between.
+#[derive(Debug, Clone)]
+pub struct ComponentSlice<E> {
+    records: Vec<(cosoft_wire::InstanceInfo, Option<E>)>,
+    last_seen: Vec<(InstanceId, u64)>,
+    quarantined: Vec<(InstanceId, u64)>,
+    tokens: Vec<(u64, InstanceId)>,
+    links: Vec<(GlobalObjectId, GlobalObjectId)>,
+    history: Vec<(GlobalObjectId, Vec<cosoft_wire::StateNode>, Vec<cosoft_wire::StateNode>)>,
+    access: Vec<(UserId, GlobalObjectId, AccessRight)>,
+    execs: Vec<(u64, ExecState, Vec<GlobalObjectId>)>,
+    transfer_groups: Vec<(u64, TransferGroup)>,
+    transfers: Vec<(u64, Transfer)>,
+    pulls: Vec<(u64, PendingPull)>,
+}
+
+impl<E: Copy> ComponentSlice<E> {
+    /// The migrated instances, in extraction order.
+    pub fn instances(&self) -> Vec<InstanceId> {
+        self.records.iter().map(|(info, _)| info.instance).collect()
+    }
+
+    /// The migrated instances that are bound to an endpoint, with their
+    /// endpoints (quarantined members migrate without one).
+    pub fn bound_endpoints(&self) -> Vec<(InstanceId, E)> {
+        self.records.iter().filter_map(|(info, e)| e.map(|e| (info.instance, e))).collect()
+    }
+
+    /// The resume tokens travelling with the slice (quarantined members
+    /// keep their credential across the migration).
+    pub fn resume_tokens(&self) -> Vec<u64> {
+        self.tokens.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// Whether the slice carries no instances at all.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of migrated instances.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
 }
 
 /// The sans-I/O COSOFT server state machine.
@@ -365,6 +538,18 @@ pub struct ServerCore<E> {
     shared_bytes_delivered: u64,
     payload_encodes: u64,
     payload_reuses: u64,
+    /// `tick` calls that presented a clock earlier than `now_us`.
+    clock_regressions: u64,
+    /// Increment applied to every id counter (exec, transfer, transfer
+    /// group, token seq). Shard `i` of `n` starts its counters at `i + 1`
+    /// with stride `n`, so ids minted by different shards never collide.
+    id_stride: u64,
+    /// Routing-relevant lifecycle changes since the last
+    /// [`ServerCore::take_route_events`], recorded only when enabled.
+    route_log: Vec<RouteEvent<E>>,
+    /// Whether lifecycle changes are recorded (routers only; leaving it
+    /// off keeps standalone cores from accumulating an undrained log).
+    route_log_enabled: bool,
 }
 
 impl<E: Copy + Eq + Hash> Default for ServerCore<E> {
@@ -417,7 +602,30 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             shared_bytes_delivered: 0,
             payload_encodes: 0,
             payload_reuses: 0,
+            clock_regressions: 0,
+            id_stride: 1,
+            route_log: Vec::new(),
+            route_log_enabled: false,
         }
+    }
+
+    /// Creates shard `index` of `stride` shards: every id this core mints
+    /// (instance, exec, transfer, transfer group, resume-token sequence)
+    /// stays in the residue class `index + 1` modulo `stride`, so ids
+    /// from different shards never collide and a migrated component's
+    /// ids can be adopted verbatim. The resume tokens themselves stay
+    /// globally unique because SplitMix64 is a bijection on `u64`.
+    pub fn with_shard_ids(index: u64, stride: u64) -> Self {
+        let stride = stride.max(1);
+        let first = index.min(stride - 1) + 1;
+        let mut s = Self::new();
+        s.registry = Registry::with_id_stride(first, stride);
+        s.next_exec = first;
+        s.next_transfer = first;
+        s.next_transfer_group = first;
+        s.next_token_seq = first;
+        s.id_stride = stride;
+        s
     }
 
     /// Creates a server with an explicit default access right.
@@ -505,7 +713,67 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             shared_bytes_delivered: self.shared_bytes_delivered,
             payload_encodes: self.payload_encodes,
             payload_reuses: self.payload_reuses,
+            clock_regressions: self.clock_regressions,
         }
+    }
+
+    /// Turns on the route log: lifecycle changes ([`RouteEvent`]) are
+    /// recorded for the owning router to drain via
+    /// [`ServerCore::take_route_events`].
+    pub fn enable_route_log(&mut self) {
+        self.route_log_enabled = true;
+    }
+
+    /// Drains the recorded routing-relevant lifecycle changes, in order.
+    pub fn take_route_events(&mut self) -> Vec<RouteEvent<E>> {
+        std::mem::take(&mut self.route_log)
+    }
+
+    #[inline]
+    fn route_event(&mut self, event: RouteEvent<E>) {
+        if self.route_log_enabled {
+            self.route_log.push(event);
+        }
+    }
+
+    /// Refreshes the liveness timestamp of the instance bound to
+    /// `endpoint`, as if it had produced traffic. Routers call this when
+    /// they answer a message on the core's behalf (merged instance
+    /// queries, cross-shard command delivery), so the sender is not
+    /// idle-quarantined despite being active.
+    pub fn touch(&mut self, endpoint: E) {
+        if let Some(id) = self.registry.instance_at(endpoint) {
+            self.last_seen.insert(id, self.now_us);
+        }
+    }
+
+    /// Whether this core issued (and still honors) `token` as a resume
+    /// credential.
+    pub fn owns_resume_token(&self, token: u64) -> bool {
+        self.tokens.contains_key(&token)
+    }
+
+    /// Number of live resume tokens (router invariant checks).
+    pub fn token_count(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// The couple-component of `id` at instance granularity — the shard
+    /// key. Empty when `id` is not registered here; always includes `id`
+    /// itself otherwise (an uncoupled instance is a singleton component).
+    pub fn component_of(&self, id: InstanceId) -> Vec<InstanceId> {
+        if !self.registry.contains(id) {
+            return Vec::new();
+        }
+        let mut members = self.couples.instance_component(id);
+        // The BFS only sees instances with coupled objects; keep the
+        // component closed over membership regardless.
+        members.retain(|m| self.registry.contains(*m));
+        if !members.contains(&id) {
+            members.push(id);
+            members.sort();
+        }
+        members
     }
 
     /// The server-wide invariant pack (§2.2/§3.2), promoted from the lock
@@ -714,7 +982,14 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
     /// Transports call this periodically; the deterministic simulation
     /// calls it with the virtual clock.
     pub fn tick(&mut self, now_us: u64) -> Outgoing<E> {
-        self.now_us = self.now_us.max(now_us);
+        if now_us < self.now_us {
+            // Clamp: a rewinding clock (NTP step, suspend/resume, a
+            // misbehaving caller) must not re-arm grace periods that
+            // already ran down. Count it so the regression is visible.
+            self.clock_regressions += 1;
+        } else {
+            self.now_us = now_us;
+        }
         let mut out = Outgoing::new();
         let mut expired: Vec<InstanceId> = self
             .quarantined
@@ -755,7 +1030,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
     fn mint_token(&mut self, id: InstanceId) -> u64 {
         let token = loop {
             let mut z = self.next_token_seq.wrapping_add(0x9e37_79b9_7f4a_7c15);
-            self.next_token_seq += 1;
+            self.next_token_seq += self.id_stride;
             z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
             z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
             z ^= z >> 31;
@@ -765,8 +1040,10 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         };
         if let Some(old) = self.token_of.insert(id, token) {
             self.tokens.remove(&old);
+            self.route_event(RouteEvent::TokenRetired { token: old });
         }
         self.tokens.insert(token, id);
+        self.route_event(RouteEvent::TokenIssued { token, instance: id });
         token
     }
 
@@ -794,6 +1071,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         };
         self.quarantined.remove(&id);
         self.registry.rebind(id, endpoint);
+        self.route_event(RouteEvent::Bound { instance: id, endpoint });
         self.last_seen.insert(id, self.now_us);
         self.resumes += 1;
         // Rotate the token: a resume credential is single-use.
@@ -811,30 +1089,12 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         out
     }
 
-    /// [`ServerCore::handle`], flattened to per-endpoint owned messages.
-    ///
-    /// Convenience for tests and message-level consumers; the transport
-    /// hot path keeps the [`Outgoing`] batch so shared frames are never
-    /// re-encoded.
-    pub fn handle_flat(&mut self, endpoint: E, msg: Message) -> Vec<(E, Message)> {
-        self.handle(endpoint, msg).into_messages()
-    }
-
-    /// [`ServerCore::disconnect`], flattened like [`ServerCore::handle_flat`].
-    pub fn disconnect_flat(&mut self, endpoint: E) -> Vec<(E, Message)> {
-        self.disconnect(endpoint).into_messages()
-    }
-
-    /// [`ServerCore::tick`], flattened like [`ServerCore::handle_flat`].
-    pub fn tick_flat(&mut self, now_us: u64) -> Vec<(E, Message)> {
-        self.tick(now_us).into_messages()
-    }
-
     fn handle_inner(&mut self, endpoint: E, msg: Message) -> Outgoing<E> {
         // Registration and rejoin are the only messages legal before a
         // Welcome.
         if let Message::Register { user, host, app_name } = &msg {
             let id = self.registry.register(endpoint, *user, host, app_name);
+            self.route_event(RouteEvent::Bound { instance: id, endpoint });
             self.last_seen.insert(id, self.now_us);
             let mut out = Outgoing::new();
             out.push_unicast(endpoint, Message::Welcome { instance: id });
@@ -1103,7 +1363,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             self.to_instance(from, Message::EventRejected { seq }, &mut out);
             return out;
         }
-        self.next_exec += 1;
+        self.next_exec += self.id_stride;
         self.granted_events += 1;
 
         let mut owed: HashMap<InstanceId, usize> = HashMap::new();
@@ -1209,7 +1469,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             return out;
         }
         let group_id = self.next_transfer_group;
-        self.next_transfer_group += 1;
+        self.next_transfer_group += self.id_stride;
         self.transfers_started += 1;
         self.transfer_groups.insert(
             group_id,
@@ -1235,7 +1495,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
                     return out;
                 }
                 let req_id = self.next_transfer;
-                self.next_transfer += 1;
+                self.next_transfer += self.id_stride;
                 self.pending_pulls
                     .insert(req_id, PendingPull { src: src.instance, dst, mode, group: group_id });
                 self.transfer_groups.get_mut(&group_id).expect("just inserted").outstanding += 1;
@@ -1295,7 +1555,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         self.payload_reuses += targets.len() as u64 - 1;
         for target in targets {
             let req_id = self.next_transfer;
-            self.next_transfer += 1;
+            self.next_transfer += self.id_stride;
             self.transfers.insert(req_id, Transfer { dst: target.clone(), kind, group: group_id });
             if let Some(endpoint) = self.registry.endpoint_of(target.instance) {
                 out.push_shared(
@@ -1421,7 +1681,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             return out;
         };
         let group_id = self.next_transfer_group;
-        self.next_transfer_group += 1;
+        self.next_transfer_group += self.id_stride;
         self.transfers_started += 1;
         self.transfer_groups.insert(
             group_id,
@@ -1443,6 +1703,54 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         command: String,
         payload: Vec<u8>,
     ) -> Outgoing<E> {
+        match self.command_out(from, to, &command, &payload) {
+            Ok(out) => out,
+            Err(reason) => {
+                let mut out = Outgoing::new();
+                self.to_instance(
+                    from,
+                    Message::ErrorReply { context: "co-send-command".into(), reason },
+                    &mut out,
+                );
+                out
+            }
+        }
+    }
+
+    /// Delivers a §3.4 application command on this core's local members
+    /// on behalf of `from`, which may be registered on *another* shard:
+    /// the shard router fans `Target::Broadcast` to every shard and
+    /// routes `Target::Instance`/`Target::Group` to the shard hosting
+    /// the target, without migrating the sender's component for a
+    /// fire-and-forget delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns the reason an instance-targeted command was undeliverable
+    /// (unknown here, or quarantined); the caller owns the sender's
+    /// endpoint and builds the `ErrorReply`.
+    pub fn deliver_command(
+        &mut self,
+        from: InstanceId,
+        to: Target,
+        command: &str,
+        payload: &[u8],
+    ) -> Result<Outgoing<E>, String> {
+        let result = self.command_out(from, to, command, payload);
+        if let Ok(out) = &result {
+            self.note_outgoing(out);
+        }
+        self.debug_check_invariants();
+        result
+    }
+
+    fn command_out(
+        &mut self,
+        from: InstanceId,
+        to: Target,
+        command: &str,
+        payload: &[u8],
+    ) -> Result<Outgoing<E>, String> {
         let mut out = Outgoing::new();
         let delivery = |command: &str, payload: &[u8]| Message::CommandDelivery {
             from,
@@ -1452,24 +1760,17 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         match to {
             Target::Instance(i) => {
                 if self.registry.is_bound(i) {
-                    self.to_instance(i, delivery(&command, &payload), &mut out);
+                    self.to_instance(i, delivery(command, payload), &mut out);
                 } else {
                     // Unknown or quarantined: either way the command cannot
                     // be delivered right now, and commands are not queued.
-                    self.to_instance(
-                        from,
-                        Message::ErrorReply {
-                            context: "co-send-command".into(),
-                            reason: format!("instance {i} is not reachable"),
-                        },
-                        &mut out,
-                    );
+                    return Err(format!("instance {i} is not reachable"));
                 }
             }
             Target::Broadcast => {
                 let others: Vec<InstanceId> =
                     self.registry.ids().into_iter().filter(|i| *i != from).collect();
-                self.to_group(&others, delivery(&command, &payload), &mut out);
+                self.to_group(&others, delivery(command, payload), &mut out);
             }
             Target::Group(object) => {
                 let members: Vec<InstanceId> = self
@@ -1478,10 +1779,10 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
                     .into_iter()
                     .filter(|i| *i != from)
                     .collect();
-                self.to_group(&members, delivery(&command, &payload), &mut out);
+                self.to_group(&members, delivery(command, payload), &mut out);
             }
         }
-        out
+        Ok(out)
     }
 
     // ---- termination ---------------------------------------------------------
@@ -1569,7 +1870,9 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
     fn quarantine_instance(&mut self, id: InstanceId) -> Outgoing<E> {
         let mut out = Outgoing::new();
         self.sever_instance_io(id, &mut out);
-        self.registry.unbind(id);
+        if let Some(endpoint) = self.registry.unbind(id) {
+            self.route_event(RouteEvent::Unbound { instance: id, endpoint });
+        }
         self.last_seen.remove(&id);
         let deadline_us = self.now_us.saturating_add(self.liveness.grace_us);
         self.quarantined.insert(id, Quarantined { deadline_us });
@@ -1593,8 +1896,258 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         self.last_seen.remove(&id);
         if let Some(token) = self.token_of.remove(&id) {
             self.tokens.remove(&token);
+            self.route_event(RouteEvent::TokenRetired { token });
         }
+        let endpoint = self.registry.endpoint_of(id);
         self.registry.deregister(id);
+        self.route_event(RouteEvent::Deregistered { instance: id, endpoint });
         out
+    }
+
+    // ---- shard migration ------------------------------------------------------
+
+    /// Extracts the couple-component of `seed` — registration records,
+    /// liveness bookkeeping, couple links, history, access tuples, and
+    /// all protocol state living entirely inside the component — for
+    /// absorption by another shard ([`ServerCore::absorb_component`]).
+    ///
+    /// Protocol state that *straddles* the component boundary cannot
+    /// migrate (its two halves would land on different shards):
+    ///
+    /// * a multiple-execution round whose submitter sits outside the
+    ///   locked group's component sheds the far side's owed replies,
+    ///   finishing the round if nothing else is outstanding — the same
+    ///   sever semantics a far-side death would apply;
+    /// * a transfer group with legs on both sides is failed outright and
+    ///   its requester told, exactly like a peer dying mid-transfer.
+    ///
+    /// The returned [`Outgoing`] carries those settlement messages
+    /// (`GroupUnlocked`, `ErrorReply`); deliver it like any handle
+    /// output. Extraction records no [`RouteEvent`]s — the router
+    /// rebinds routes itself from the returned slice.
+    ///
+    /// An unregistered `seed` yields an empty slice.
+    pub fn extract_component(&mut self, seed: InstanceId) -> (ComponentSlice<E>, Outgoing<E>) {
+        let members_vec = self.component_of(seed);
+        let members: std::collections::HashSet<InstanceId> = members_vec.iter().copied().collect();
+        let mut out = Outgoing::new();
+        if members.is_empty() {
+            let slice = ComponentSlice {
+                records: Vec::new(),
+                last_seen: Vec::new(),
+                quarantined: Vec::new(),
+                tokens: Vec::new(),
+                links: Vec::new(),
+                history: Vec::new(),
+                access: Vec::new(),
+                execs: Vec::new(),
+                transfer_groups: Vec::new(),
+                transfers: Vec::new(),
+                pulls: Vec::new(),
+            };
+            return (slice, out);
+        }
+        // Snapshot which objects each live execution round has locked:
+        // the locked group's side of the boundary is the round's home.
+        let mut lock_objects: HashMap<u64, Vec<GlobalObjectId>> = HashMap::new();
+        for (object, exec) in self.locks.held_locks() {
+            lock_objects.entry(exec).or_default().push(object.clone());
+        }
+        let mut exec_ids: Vec<u64> = self.execs.keys().copied().collect();
+        exec_ids.sort();
+        let mut inside_execs: Vec<u64> = Vec::new();
+        for exec_id in exec_ids {
+            let home_inside = lock_objects
+                .get(&exec_id)
+                .and_then(|objs| objs.first())
+                .map(|o| members.contains(&o.instance))
+                .unwrap_or(false);
+            let straddles = {
+                let exec = self.execs.get(&exec_id).expect("listed");
+                exec.owed.keys().any(|i| members.contains(i) != home_inside)
+                    || exec.targets.iter().any(|t| members.contains(&t.instance) != home_inside)
+            };
+            if straddles {
+                let finished = {
+                    let exec = self.execs.get_mut(&exec_id).expect("listed");
+                    exec.owed.retain(|i, _| members.contains(i) == home_inside);
+                    exec.targets.retain(|t| members.contains(&t.instance) == home_inside);
+                    exec.owed.values().all(|&n| n == 0)
+                };
+                if finished {
+                    let exec = self.execs.remove(&exec_id).expect("listed");
+                    self.finish_exec(exec_id, &exec.targets, &mut out);
+                    continue;
+                }
+            }
+            if home_inside {
+                inside_execs.push(exec_id);
+            }
+        }
+        // Transfer groups: wholly inside migrates, wholly outside stays,
+        // straddling fails sever-style.
+        let mut group_ids: Vec<u64> = self.transfer_groups.keys().copied().collect();
+        group_ids.sort();
+        let mut inside_groups: Vec<u64> = Vec::new();
+        for gid in group_ids {
+            let (requester, req_inside) = {
+                let g = self.transfer_groups.get(&gid).expect("listed");
+                (g.requester, members.contains(&g.requester))
+            };
+            let uniform = self
+                .transfers
+                .values()
+                .filter(|t| t.group == gid)
+                .all(|t| members.contains(&t.dst.instance) == req_inside)
+                && self.pending_pulls.values().filter(|p| p.group == gid).all(|p| {
+                    members.contains(&p.dst.instance) == req_inside
+                        && members.contains(&p.src) == req_inside
+                });
+            if uniform {
+                if req_inside {
+                    inside_groups.push(gid);
+                }
+                continue;
+            }
+            self.transfers_failed += 1;
+            self.transfer_groups.remove(&gid);
+            self.transfers.retain(|_, t| t.group != gid);
+            self.pending_pulls.retain(|_, p| p.group != gid);
+            self.to_instance(
+                requester,
+                Message::ErrorReply {
+                    context: "copy".into(),
+                    reason: "transfer interrupted by a shard migration".into(),
+                },
+                &mut out,
+            );
+        }
+        // Lift the component's state out of every store.
+        let mut records = Vec::with_capacity(members_vec.len());
+        for id in &members_vec {
+            if let Some(rec) = self.registry.extract(*id) {
+                records.push(rec);
+            }
+        }
+        let last_seen = members_vec
+            .iter()
+            .filter_map(|id| self.last_seen.remove(id).map(|t| (*id, t)))
+            .collect();
+        let quarantined = members_vec
+            .iter()
+            .filter_map(|id| self.quarantined.remove(id).map(|q| (*id, q.deadline_us)))
+            .collect();
+        let tokens = members_vec
+            .iter()
+            .filter_map(|id| {
+                self.token_of.remove(id).map(|tok| {
+                    self.tokens.remove(&tok);
+                    (tok, *id)
+                })
+            })
+            .collect();
+        let links = self.couples.extract_instance_links(&members);
+        let history = self.history.extract_instances(&members);
+        let access = self.access.extract_instances(&members);
+        let execs = inside_execs
+            .into_iter()
+            .filter_map(|eid| {
+                self.execs.remove(&eid).map(|ex| {
+                    let objs = lock_objects.remove(&eid).unwrap_or_default();
+                    self.locks.unlock_exec(eid);
+                    (eid, ex, objs)
+                })
+            })
+            .collect();
+        let transfer_groups = inside_groups
+            .iter()
+            .filter_map(|gid| self.transfer_groups.remove(gid).map(|g| (*gid, g)))
+            .collect();
+        let leg_ids: Vec<u64> = self
+            .transfers
+            .iter()
+            .filter(|(_, t)| inside_groups.contains(&t.group))
+            .map(|(k, _)| *k)
+            .collect();
+        let transfers =
+            leg_ids.into_iter().map(|k| (k, self.transfers.remove(&k).expect("listed"))).collect();
+        let pull_ids: Vec<u64> = self
+            .pending_pulls
+            .iter()
+            .filter(|(_, p)| inside_groups.contains(&p.group))
+            .map(|(k, _)| *k)
+            .collect();
+        let pulls = pull_ids
+            .into_iter()
+            .map(|k| (k, self.pending_pulls.remove(&k).expect("listed")))
+            .collect();
+        self.note_outgoing(&out);
+        let slice = ComponentSlice {
+            records,
+            last_seen,
+            quarantined,
+            tokens,
+            links,
+            history,
+            access,
+            execs,
+            transfer_groups,
+            transfers,
+            pulls,
+        };
+        self.debug_check_invariants();
+        (slice, out)
+    }
+
+    /// Installs a component extracted from another shard. Ids never
+    /// collide (each shard mints ids in its own residue class, and the
+    /// registry bumps its counter past adopted ids), so adoption is a
+    /// plain insertion into every store.
+    pub fn absorb_component(&mut self, slice: ComponentSlice<E>) {
+        let ComponentSlice {
+            records,
+            last_seen,
+            quarantined,
+            tokens,
+            links,
+            history,
+            access,
+            execs,
+            transfer_groups,
+            transfers,
+            pulls,
+        } = slice;
+        for (info, endpoint) in records {
+            self.registry.adopt(info, endpoint);
+        }
+        for (id, t) in last_seen {
+            self.last_seen.insert(id, t);
+        }
+        for (id, deadline_us) in quarantined {
+            self.quarantined.insert(id, Quarantined { deadline_us });
+        }
+        for (token, id) in tokens {
+            self.tokens.insert(token, id);
+            self.token_of.insert(id, token);
+        }
+        self.couples.adopt_links(links);
+        self.history.adopt(history);
+        self.access.adopt(access);
+        for (exec_id, exec, objects) in execs {
+            // Cannot conflict: the objects arrive with the component that
+            // locked them, and no other component can reference them.
+            let _ = self.locks.try_lock_group(&objects, exec_id);
+            self.execs.insert(exec_id, exec);
+        }
+        for (gid, g) in transfer_groups {
+            self.transfer_groups.insert(gid, g);
+        }
+        for (req_id, t) in transfers {
+            self.transfers.insert(req_id, t);
+        }
+        for (req_id, p) in pulls {
+            self.pending_pulls.insert(req_id, p);
+        }
+        self.debug_check_invariants();
     }
 }

@@ -11,14 +11,16 @@ use cosoft_wire::{
 type Endpoint = u64;
 
 fn register(server: &mut ServerCore<Endpoint>, endpoint: Endpoint, user: u64) -> InstanceId {
-    let out = server.handle_flat(
-        endpoint,
-        Message::Register {
-            user: UserId(user),
-            host: format!("ws{endpoint}"),
-            app_name: "app".into(),
-        },
-    );
+    let out = server
+        .handle(
+            endpoint,
+            Message::Register {
+                user: UserId(user),
+                host: format!("ws{endpoint}"),
+                app_name: "app".into(),
+            },
+        )
+        .into_messages();
     assert_eq!(out.len(), 1);
     assert_eq!(out[0].0, endpoint);
     match &out[0].1 {
@@ -49,7 +51,7 @@ fn register_assigns_distinct_instances() {
     let b = register(&mut s, 11, 2);
     assert_ne!(a, b);
 
-    let out = s.handle_flat(10, Message::QueryInstances);
+    let out = s.handle(10, Message::QueryInstances).into_messages();
     match find(&out, 10, "instance-list") {
         Message::InstanceList { entries } => assert_eq!(entries.len(), 2),
         _ => unreachable!(),
@@ -59,7 +61,7 @@ fn register_assigns_distinct_instances() {
 #[test]
 fn unregistered_endpoint_is_rejected() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
-    let out = s.handle_flat(99, Message::QueryInstances);
+    let out = s.handle(99, Message::QueryInstances).into_messages();
     assert_eq!(out.len(), 1);
     assert!(matches!(out[0].1, Message::ErrorReply { .. }));
 }
@@ -71,7 +73,7 @@ fn couple_broadcasts_full_closure_to_all_member_instances() {
     let b = register(&mut s, 2, 2);
     let c = register(&mut s, 3, 3);
 
-    let out = s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    let out = s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") }).into_messages();
     assert_eq!(count_kind(&out, "couple-update"), 2);
     match find(&out, 2, "couple-update") {
         Message::CoupleUpdate { group } => assert_eq!(group.len(), 2),
@@ -79,7 +81,7 @@ fn couple_broadcasts_full_closure_to_all_member_instances() {
     }
 
     // Extending the group updates all three instances with the closure.
-    let out = s.handle_flat(3, Message::Couple { src: gid(c, "z"), dst: gid(b, "y") });
+    let out = s.handle(3, Message::Couple { src: gid(c, "z"), dst: gid(b, "y") }).into_messages();
     assert_eq!(count_kind(&out, "couple-update"), 3);
     match find(&out, 1, "couple-update") {
         Message::CoupleUpdate { group } => assert_eq!(group.len(), 3),
@@ -95,7 +97,7 @@ fn remote_couple_by_third_party() {
     let _teacher = register(&mut s, 3, 9);
 
     // The teacher (instance 3) couples objects living in instances 1 and 2.
-    let out = s.handle_flat(3, Message::RemoteCouple { a: gid(a, "x"), b: gid(b, "y") });
+    let out = s.handle(3, Message::RemoteCouple { a: gid(a, "x"), b: gid(b, "y") }).into_messages();
     assert_eq!(count_kind(&out, "couple-update"), 2);
     assert!(s.couples().is_coupled(&gid(a, "x")));
 }
@@ -106,10 +108,10 @@ fn decouple_splits_and_notifies_both_halves() {
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
     let c = register(&mut s, 3, 3);
-    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
-    s.handle_flat(1, Message::Couple { src: gid(b, "y"), dst: gid(c, "z") });
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") }).into_messages();
+    s.handle(1, Message::Couple { src: gid(b, "y"), dst: gid(c, "z") }).into_messages();
 
-    let out = s.handle_flat(1, Message::Decouple { src: gid(a, "x"), dst: gid(b, "y") });
+    let out = s.handle(1, Message::Decouple { src: gid(a, "x"), dst: gid(b, "y") }).into_messages();
     // Instance a learns it is now a singleton; b and c learn their group.
     match find(&out, 1, "couple-update") {
         Message::CoupleUpdate { group } => assert_eq!(group.len(), 1),
@@ -126,14 +128,14 @@ fn event_flow_grant_execute_done_unlock() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
-    s.handle_flat(1, Message::Couple { src: gid(a, "f.t"), dst: gid(b, "g.t") });
+    s.handle(1, Message::Couple { src: gid(a, "f.t"), dst: gid(b, "g.t") }).into_messages();
 
     let event = UiEvent::new(
         ObjectPath::parse("f.t").unwrap(),
         EventKind::TextCommitted,
         vec![Value::Text("hi".into())],
     );
-    let out = s.handle_flat(1, Message::Event { origin: gid(a, "f.t"), event, seq: 5 });
+    let out = s.handle(1, Message::Event { origin: gid(a, "f.t"), event, seq: 5 }).into_messages();
     let exec_id = match find(&out, 1, "event-granted") {
         Message::EventGranted { seq, exec_id } => {
             assert_eq!(*seq, 5);
@@ -152,21 +154,23 @@ fn event_flow_grant_execute_done_unlock() {
     assert!(s.locks().is_locked(&gid(b, "g.t")));
 
     // While locked, another event on the same group is rejected.
-    let out2 = s.handle_flat(
-        2,
-        Message::Event {
-            origin: gid(b, "g.t"),
-            event: UiEvent::simple(ObjectPath::parse("g.t").unwrap(), EventKind::TextCommitted),
-            seq: 9,
-        },
-    );
+    let out2 = s
+        .handle(
+            2,
+            Message::Event {
+                origin: gid(b, "g.t"),
+                event: UiEvent::simple(ObjectPath::parse("g.t").unwrap(), EventKind::TextCommitted),
+                seq: 9,
+            },
+        )
+        .into_messages();
     assert!(matches!(find(&out2, 2, "event-rejected"), Message::EventRejected { seq: 9 }));
     assert_eq!(s.rejected_events(), 1);
 
     // Both instances report done; the unlock notices flow.
-    let out3 = s.handle_flat(1, Message::ExecuteDone { exec_id });
+    let out3 = s.handle(1, Message::ExecuteDone { exec_id }).into_messages();
     assert!(out3.is_empty(), "still waiting on instance 2");
-    let out4 = s.handle_flat(2, Message::ExecuteDone { exec_id });
+    let out4 = s.handle(2, Message::ExecuteDone { exec_id }).into_messages();
     assert_eq!(count_kind(&out4, "group-unlocked"), 2);
     assert!(!s.locks().is_locked(&gid(a, "f.t")));
     assert_eq!(s.granted_events(), 1);
@@ -176,20 +180,22 @@ fn event_flow_grant_execute_done_unlock() {
 fn event_on_uncoupled_object_completes_alone() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     let a = register(&mut s, 1, 1);
-    let out = s.handle_flat(
-        1,
-        Message::Event {
-            origin: gid(a, "solo"),
-            event: UiEvent::simple(ObjectPath::parse("solo").unwrap(), EventKind::Activate),
-            seq: 1,
-        },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::Event {
+                origin: gid(a, "solo"),
+                event: UiEvent::simple(ObjectPath::parse("solo").unwrap(), EventKind::Activate),
+                seq: 1,
+            },
+        )
+        .into_messages();
     let exec_id = match find(&out, 1, "event-granted") {
         Message::EventGranted { exec_id, .. } => *exec_id,
         _ => unreachable!(),
     };
     assert_eq!(count_kind(&out, "execute-event"), 0);
-    let out = s.handle_flat(1, Message::ExecuteDone { exec_id });
+    let out = s.handle(1, Message::ExecuteDone { exec_id }).into_messages();
     assert_eq!(count_kind(&out, "group-unlocked"), 1);
 }
 
@@ -200,15 +206,17 @@ fn copy_from_pulls_state_and_records_history() {
     let b = register(&mut s, 2, 2);
 
     // Instance a pulls the state of b's query form into its own form.
-    let out = s.handle_flat(
-        1,
-        Message::CopyFrom {
-            src: gid(b, "q"),
-            dst: gid(a, "q"),
-            mode: CopyMode::Strict,
-            req_id: 77,
-        },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::CopyFrom {
+                src: gid(b, "q"),
+                dst: gid(a, "q"),
+                mode: CopyMode::Strict,
+                req_id: 77,
+            },
+        )
+        .into_messages();
     let req_id = match find(&out, 2, "state-request") {
         Message::StateRequest { req_id, path } => {
             assert_eq!(path.to_string(), "q");
@@ -220,7 +228,9 @@ fn copy_from_pulls_state_and_records_history() {
     // b replies with its snapshot; the server forwards an ApplyState to a.
     let snapshot = StateNode::new(WidgetKind::Form, "q")
         .with_attr(AttrName::Title, Value::Text("Query".into()));
-    let out = s.handle_flat(2, Message::StateReply { req_id, snapshot: Some(snapshot.clone()) });
+    let out = s
+        .handle(2, Message::StateReply { req_id, snapshot: Some(snapshot.clone()) })
+        .into_messages();
     let apply_req = match find(&out, 1, "apply-state") {
         Message::ApplyState { req_id, snapshot: snap, mode, .. } => {
             assert_eq!(snap, &snapshot);
@@ -232,10 +242,12 @@ fn copy_from_pulls_state_and_records_history() {
 
     // a applies it and reports the overwritten previous state.
     let prev = StateNode::new(WidgetKind::Form, "q");
-    let out = s.handle_flat(
-        1,
-        Message::StateApplied { req_id: apply_req, overwritten: Some(prev), error: None },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::StateApplied { req_id: apply_req, overwritten: Some(prev), error: None },
+        )
+        .into_messages();
     match find(&out, 1, "state-applied") {
         Message::StateApplied { req_id, .. } => assert_eq!(*req_id, 77),
         _ => unreachable!(),
@@ -250,16 +262,18 @@ fn copy_to_pushes_snapshot_directly() {
     let b = register(&mut s, 2, 2);
     let snapshot = StateNode::new(WidgetKind::Label, "l")
         .with_attr(AttrName::Text, Value::Text("shared".into()));
-    let out = s.handle_flat(
-        1,
-        Message::CopyTo {
-            src: gid(a, "l"),
-            dst: gid(b, "l"),
-            snapshot: snapshot.clone(),
-            mode: CopyMode::FlexibleMatch,
-            req_id: 3,
-        },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::CopyTo {
+                src: gid(a, "l"),
+                dst: gid(b, "l"),
+                snapshot: snapshot.clone(),
+                mode: CopyMode::FlexibleMatch,
+                req_id: 3,
+            },
+        )
+        .into_messages();
     match find(&out, 2, "apply-state") {
         Message::ApplyState { snapshot: snap, .. } => assert_eq!(snap, &snapshot),
         _ => unreachable!(),
@@ -271,20 +285,22 @@ fn missing_source_fails_the_copy() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
-    let out = s.handle_flat(
-        1,
-        Message::CopyFrom {
-            src: gid(b, "nope"),
-            dst: gid(a, "q"),
-            mode: CopyMode::Strict,
-            req_id: 1,
-        },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::CopyFrom {
+                src: gid(b, "nope"),
+                dst: gid(a, "q"),
+                mode: CopyMode::Strict,
+                req_id: 1,
+            },
+        )
+        .into_messages();
     let req_id = match find(&out, 2, "state-request") {
         Message::StateRequest { req_id, .. } => *req_id,
         _ => unreachable!(),
     };
-    let out = s.handle_flat(2, Message::StateReply { req_id, snapshot: None });
+    let out = s.handle(2, Message::StateReply { req_id, snapshot: None }).into_messages();
     assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
 }
 
@@ -300,25 +316,28 @@ fn undo_restores_and_redo_reapplies() {
         StateNode::new(WidgetKind::Label, "l").with_attr(AttrName::Text, Value::Text("v2".into()));
 
     // Push v2 onto b, overwriting v1.
-    let out = s.handle_flat(
-        1,
-        Message::CopyTo {
-            src: gid(a, "l"),
-            dst: gid(b, "l"),
-            snapshot: v2.clone(),
-            mode: CopyMode::Strict,
-            req_id: 1,
-        },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::CopyTo {
+                src: gid(a, "l"),
+                dst: gid(b, "l"),
+                snapshot: v2.clone(),
+                mode: CopyMode::Strict,
+                req_id: 1,
+            },
+        )
+        .into_messages();
     let req_id = match find(&out, 2, "apply-state") {
         Message::ApplyState { req_id, .. } => *req_id,
         _ => unreachable!(),
     };
-    s.handle_flat(2, Message::StateApplied { req_id, overwritten: Some(v1.clone()), error: None });
+    s.handle(2, Message::StateApplied { req_id, overwritten: Some(v1.clone()), error: None })
+        .into_messages();
     assert_eq!(s.history().undo_depth(&gid(b, "l")), 1);
 
     // Undo: the server pushes v1 back to b.
-    let out = s.handle_flat(2, Message::UndoState { object: gid(b, "l") });
+    let out = s.handle(2, Message::UndoState { object: gid(b, "l") }).into_messages();
     let req_id = match find(&out, 2, "apply-state") {
         Message::ApplyState { req_id, snapshot, mode, .. } => {
             assert_eq!(snapshot, &v1);
@@ -328,18 +347,19 @@ fn undo_restores_and_redo_reapplies() {
         _ => unreachable!(),
     };
     // The displaced v2 becomes redoable.
-    s.handle_flat(2, Message::StateApplied { req_id, overwritten: Some(v2.clone()), error: None });
+    s.handle(2, Message::StateApplied { req_id, overwritten: Some(v2.clone()), error: None })
+        .into_messages();
     assert_eq!(s.history().redo_depth(&gid(b, "l")), 1);
 
     // Redo: the server pushes v2 again.
-    let out = s.handle_flat(2, Message::RedoState { object: gid(b, "l") });
+    let out = s.handle(2, Message::RedoState { object: gid(b, "l") }).into_messages();
     match find(&out, 2, "apply-state") {
         Message::ApplyState { snapshot, .. } => assert_eq!(snapshot, &v2),
         _ => unreachable!(),
     }
 
     // Undo with empty history errors.
-    let out = s.handle_flat(1, Message::UndoState { object: gid(a, "x") });
+    let out = s.handle(1, Message::UndoState { object: gid(a, "x") }).into_messages();
     assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
 }
 
@@ -350,29 +370,44 @@ fn permissions_deny_copy_and_couple() {
     let b = register(&mut s, 2, 2);
 
     // User 1 may not read b's objects under a Denied default.
-    let out = s.handle_flat(
-        1,
-        Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 1 },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::CopyFrom {
+                src: gid(b, "q"),
+                dst: gid(a, "q"),
+                mode: CopyMode::Strict,
+                req_id: 1,
+            },
+        )
+        .into_messages();
     assert!(matches!(find(&out, 1, "permission-denied"), Message::PermissionDenied { .. }));
 
-    let out = s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    let out = s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") }).into_messages();
     assert!(matches!(find(&out, 1, "permission-denied"), Message::PermissionDenied { .. }));
 
     // b grants read on its form; copy then passes permission checks.
-    s.handle_flat(
+    s.handle(
         2,
         Message::SetPermission { user: UserId(1), object: gid(b, "q"), right: AccessRight::Read },
-    );
-    let out = s.handle_flat(
-        1,
-        Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 2 },
-    );
+    )
+    .into_messages();
+    let out = s
+        .handle(
+            1,
+            Message::CopyFrom {
+                src: gid(b, "q"),
+                dst: gid(a, "q"),
+                mode: CopyMode::Strict,
+                req_id: 2,
+            },
+        )
+        .into_messages();
     assert_eq!(count_kind(&out, "state-request"), 1);
 
     // Owners always have write on their own objects: coupling two of a's
     // own objects is allowed even under a Denied default.
-    let out = s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(a, "y") });
+    let out = s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(a, "y") }).into_messages();
     assert_eq!(count_kind(&out, "couple-update"), 1);
 }
 
@@ -381,10 +416,16 @@ fn only_owner_may_set_permissions() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     let a = register(&mut s, 1, 1);
     let _b = register(&mut s, 2, 2);
-    let out = s.handle_flat(
-        2,
-        Message::SetPermission { user: UserId(2), object: gid(a, "x"), right: AccessRight::Write },
-    );
+    let out = s
+        .handle(
+            2,
+            Message::SetPermission {
+                user: UserId(2),
+                object: gid(a, "x"),
+                right: AccessRight::Write,
+            },
+        )
+        .into_messages();
     assert!(matches!(find(&out, 2, "permission-denied"), Message::PermissionDenied { .. }));
 }
 
@@ -396,14 +437,16 @@ fn co_send_command_routes_by_target() {
     let c = register(&mut s, 3, 3);
 
     // Direct.
-    let out = s.handle_flat(
-        1,
-        Message::CoSendCommand {
-            to: Target::Instance(b),
-            command: "ping".into(),
-            payload: vec![1],
-        },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::CoSendCommand {
+                to: Target::Instance(b),
+                command: "ping".into(),
+                payload: vec![1],
+            },
+        )
+        .into_messages();
     match find(&out, 2, "command-delivery") {
         Message::CommandDelivery { from, command, payload } => {
             assert_eq!(*from, a);
@@ -414,35 +457,41 @@ fn co_send_command_routes_by_target() {
     }
 
     // Broadcast excludes the sender.
-    let out = s.handle_flat(
-        1,
-        Message::CoSendCommand { to: Target::Broadcast, command: "x".into(), payload: vec![] },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::CoSendCommand { to: Target::Broadcast, command: "x".into(), payload: vec![] },
+        )
+        .into_messages();
     assert_eq!(count_kind(&out, "command-delivery"), 2);
     assert!(out.iter().all(|(e, _)| *e != 1));
 
     // Group target follows the couple closure.
-    s.handle_flat(1, Message::Couple { src: gid(a, "o"), dst: gid(c, "p") });
-    let out = s.handle_flat(
-        1,
-        Message::CoSendCommand {
-            to: Target::Group(gid(a, "o")),
-            command: "g".into(),
-            payload: vec![],
-        },
-    );
+    s.handle(1, Message::Couple { src: gid(a, "o"), dst: gid(c, "p") }).into_messages();
+    let out = s
+        .handle(
+            1,
+            Message::CoSendCommand {
+                to: Target::Group(gid(a, "o")),
+                command: "g".into(),
+                payload: vec![],
+            },
+        )
+        .into_messages();
     assert_eq!(count_kind(&out, "command-delivery"), 1);
     assert_eq!(out.iter().find(|(_, m)| m.kind_name() == "command-delivery").unwrap().0, 3);
 
     // Unknown target instance errors.
-    let out = s.handle_flat(
-        1,
-        Message::CoSendCommand {
-            to: Target::Instance(InstanceId(99)),
-            command: "x".into(),
-            payload: vec![],
-        },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::CoSendCommand {
+                to: Target::Instance(InstanceId(99)),
+                command: "x".into(),
+                payload: vec![],
+            },
+        )
+        .into_messages();
     assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
 }
 
@@ -452,10 +501,10 @@ fn deregister_auto_decouples_and_notifies_survivors() {
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
     let c = register(&mut s, 3, 3);
-    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
-    s.handle_flat(2, Message::Couple { src: gid(b, "y"), dst: gid(c, "z") });
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") }).into_messages();
+    s.handle(2, Message::Couple { src: gid(b, "y"), dst: gid(c, "z") }).into_messages();
 
-    let out = s.handle_flat(2, Message::Deregister);
+    let out = s.handle(2, Message::Deregister).into_messages();
     // a and c each learn their group shrank.
     assert!(count_kind(&out, "couple-update") >= 2);
     assert!(
@@ -470,24 +519,26 @@ fn disconnect_mid_execution_releases_locks() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
-    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") }).into_messages();
 
-    let out = s.handle_flat(
-        1,
-        Message::Event {
-            origin: gid(a, "x"),
-            event: UiEvent::simple(ObjectPath::parse("x").unwrap(), EventKind::Activate),
-            seq: 1,
-        },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::Event {
+                origin: gid(a, "x"),
+                event: UiEvent::simple(ObjectPath::parse("x").unwrap(), EventKind::Activate),
+                seq: 1,
+            },
+        )
+        .into_messages();
     let exec_id = match find(&out, 1, "event-granted") {
         Message::EventGranted { exec_id, .. } => *exec_id,
         _ => unreachable!(),
     };
     // a finishes, but b crashes before replying.
-    s.handle_flat(1, Message::ExecuteDone { exec_id });
+    s.handle(1, Message::ExecuteDone { exec_id }).into_messages();
     assert!(s.locks().is_locked(&gid(a, "x")));
-    let out = s.disconnect_flat(2);
+    let out = s.disconnect(2).into_messages();
     // The execution settles and a's object unlocks.
     assert!(count_kind(&out, "group-unlocked") >= 1);
     assert!(!s.locks().is_locked(&gid(a, "x")));
@@ -498,8 +549,8 @@ fn list_coupled_reports_closure() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
-    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
-    let out = s.handle_flat(1, Message::ListCoupled { object: gid(a, "x") });
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") }).into_messages();
+    let out = s.handle(1, Message::ListCoupled { object: gid(a, "x") }).into_messages();
     match find(&out, 1, "coupled-set") {
         Message::CoupledSet { coupled, .. } => assert_eq!(coupled, &vec![gid(b, "y")]),
         _ => unreachable!(),
@@ -510,7 +561,7 @@ fn list_coupled_reports_closure() {
 fn server_to_client_kinds_are_rejected_as_misuse() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     let _a = register(&mut s, 1, 1);
-    let out = s.handle_flat(1, Message::Welcome { instance: InstanceId(9) });
+    let out = s.handle(1, Message::Welcome { instance: InstanceId(9) }).into_messages();
     assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
 }
 
@@ -524,15 +575,22 @@ fn copy_from_source_death_fails_transfer() {
     let b = register(&mut s, 2, 2);
 
     // a pulls state from b's object; the server asks b for a snapshot.
-    let out = s.handle_flat(
-        1,
-        Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 9 },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::CopyFrom {
+                src: gid(b, "q"),
+                dst: gid(a, "q"),
+                mode: CopyMode::Strict,
+                req_id: 9,
+            },
+        )
+        .into_messages();
     assert!(matches!(find(&out, 2, "state-request"), Message::StateRequest { .. }));
     assert_eq!(s.stats().live_transfer_groups, 1);
 
     // b (the source) dies before replying.
-    let out = s.disconnect_flat(2);
+    let out = s.disconnect(2).into_messages();
     match find(&out, 1, "error-reply") {
         Message::ErrorReply { context, reason } => {
             assert_eq!(context, "copy");
@@ -554,18 +612,20 @@ fn remote_copy_source_death_fails_transfer_to_third_party() {
     let b = register(&mut s, 2, 2);
     let c = register(&mut s, 3, 3);
 
-    let out = s.handle_flat(
-        1,
-        Message::RemoteCopy {
-            src: gid(b, "src"),
-            dst: gid(c, "dst"),
-            mode: CopyMode::Strict,
-            req_id: 4,
-        },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::RemoteCopy {
+                src: gid(b, "src"),
+                dst: gid(c, "dst"),
+                mode: CopyMode::Strict,
+                req_id: 4,
+            },
+        )
+        .into_messages();
     assert!(matches!(find(&out, 2, "state-request"), Message::StateRequest { .. }));
 
-    let out = s.disconnect_flat(2);
+    let out = s.disconnect(2).into_messages();
     assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
     assert_eq!(s.stats().live_transfer_groups, 0);
 }
@@ -575,16 +635,17 @@ fn stats_track_floor_control_and_fanout() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
-    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") });
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") }).into_messages();
 
     let event = UiEvent::new(
         ObjectPath::parse("x").unwrap(),
         EventKind::TextCommitted,
         vec![Value::Text("v".into())],
     );
-    s.handle_flat(1, Message::Event { origin: gid(a, "x"), event: event.clone(), seq: 1 });
+    s.handle(1, Message::Event { origin: gid(a, "x"), event: event.clone(), seq: 1 })
+        .into_messages();
     // A second event on the locked group is a lock-conflict rejection.
-    s.handle_flat(2, Message::Event { origin: gid(b, "x"), event, seq: 2 });
+    s.handle(2, Message::Event { origin: gid(b, "x"), event, seq: 2 }).into_messages();
 
     let stats = s.stats();
     assert_eq!(stats.events_granted, 1);
@@ -604,14 +665,16 @@ fn register_with_token(
     endpoint: Endpoint,
     user: u64,
 ) -> (InstanceId, u64) {
-    let out = server.handle_flat(
-        endpoint,
-        Message::Register {
-            user: UserId(user),
-            host: format!("ws{endpoint}"),
-            app_name: "app".into(),
-        },
-    );
+    let out = server
+        .handle(
+            endpoint,
+            Message::Register {
+                user: UserId(user),
+                host: format!("ws{endpoint}"),
+                app_name: "app".into(),
+            },
+        )
+        .into_messages();
     let instance = match find(&out, endpoint, "welcome") {
         Message::Welcome { instance } => *instance,
         _ => unreachable!(),
@@ -632,17 +695,24 @@ fn late_state_reply_after_requester_death_is_harmless() {
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
 
-    let out = s.handle_flat(
-        1,
-        Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 9 },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::CopyFrom {
+                src: gid(b, "q"),
+                dst: gid(a, "q"),
+                mode: CopyMode::Strict,
+                req_id: 9,
+            },
+        )
+        .into_messages();
     let req_id = match find(&out, 2, "state-request") {
         Message::StateRequest { req_id, .. } => *req_id,
         _ => unreachable!(),
     };
 
     // The requester's connection dies before b replies.
-    s.disconnect_flat(1);
+    s.disconnect(1).into_messages();
     let stats = s.stats();
     assert_eq!(stats.transfers_failed, 1);
     assert_eq!(stats.live_transfer_groups, 0);
@@ -650,7 +720,7 @@ fn late_state_reply_after_requester_death_is_harmless() {
 
     // The late reply finds nothing to act on — and nobody to tell.
     let snapshot = StateNode::new(WidgetKind::Form, "q");
-    let out = s.handle_flat(2, Message::StateReply { req_id, snapshot: Some(snapshot) });
+    let out = s.handle(2, Message::StateReply { req_id, snapshot: Some(snapshot) }).into_messages();
     assert!(out.is_empty(), "late StateReply must be ignored, got {out:?}");
     assert_eq!(s.stats().live_transfer_legs, 0);
 }
@@ -665,28 +735,30 @@ fn remote_copy_requester_death_purges_orphaned_legs() {
     let b = register(&mut s, 2, 2);
     let c = register(&mut s, 3, 3);
 
-    let out = s.handle_flat(
-        1,
-        Message::RemoteCopy {
-            src: gid(b, "q"),
-            dst: gid(c, "q"),
-            mode: CopyMode::Strict,
-            req_id: 5,
-        },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::RemoteCopy {
+                src: gid(b, "q"),
+                dst: gid(c, "q"),
+                mode: CopyMode::Strict,
+                req_id: 5,
+            },
+        )
+        .into_messages();
     let req_id = match find(&out, 2, "state-request") {
         Message::StateRequest { req_id, .. } => *req_id,
         _ => unreachable!(),
     };
 
-    s.disconnect_flat(1);
+    s.disconnect(1).into_messages();
     let stats = s.stats();
     assert_eq!(stats.transfers_failed, 1);
     assert_eq!(stats.live_transfer_groups, 0);
     assert_eq!(stats.live_pending_pulls, 0, "orphaned pull leg must be purged");
 
     let snapshot = StateNode::new(WidgetKind::Form, "q");
-    let out = s.handle_flat(2, Message::StateReply { req_id, snapshot: Some(snapshot) });
+    let out = s.handle(2, Message::StateReply { req_id, snapshot: Some(snapshot) }).into_messages();
     assert!(out.is_empty(), "no ApplyState may be fanned out for a dead requester, got {out:?}");
     assert_eq!(s.stats().live_transfer_legs, 0);
 }
@@ -695,7 +767,7 @@ fn remote_copy_requester_death_purges_orphaned_legs() {
 fn ping_is_answered_with_pong() {
     let mut s: ServerCore<Endpoint> = ServerCore::new();
     register(&mut s, 1, 1);
-    let out = s.handle_flat(1, Message::Ping { nonce: 42 });
+    let out = s.handle(1, Message::Ping { nonce: 42 }).into_messages();
     match find(&out, 1, "pong") {
         Message::Pong { nonce } => assert_eq!(*nonce, 42),
         _ => unreachable!(),
@@ -711,10 +783,10 @@ fn disconnect_with_grace_quarantines_and_rejoin_resumes() {
     });
     let (a, token_a) = register_with_token(&mut s, 1, 1);
     let (b, _) = register_with_token(&mut s, 2, 2);
-    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") }).into_messages();
 
     // The connection drops silently: quarantined, not deregistered.
-    let out = s.disconnect_flat(1);
+    let out = s.disconnect(1).into_messages();
     assert_eq!(count_kind(&out, "couple-update"), 0, "couples must survive quarantine");
     let stats = s.stats();
     assert_eq!(stats.quarantines, 1);
@@ -724,7 +796,7 @@ fn disconnect_with_grace_quarantines_and_rejoin_resumes() {
 
     // Rejoining from a fresh endpoint reclaims the same instance id and
     // rotates the resume token.
-    let out = s.handle_flat(7, Message::Rejoin { resume_token: token_a });
+    let out = s.handle(7, Message::Rejoin { resume_token: token_a }).into_messages();
     match find(&out, 7, "welcome") {
         Message::Welcome { instance } => assert_eq!(*instance, a),
         _ => unreachable!(),
@@ -740,7 +812,7 @@ fn disconnect_with_grace_quarantines_and_rejoin_resumes() {
     assert!(s.couples().is_coupled(&gid(a, "x")));
 
     // The spent token no longer resolves.
-    let out = s.handle_flat(8, Message::Rejoin { resume_token: token_a });
+    let out = s.handle(8, Message::Rejoin { resume_token: token_a }).into_messages();
     assert!(matches!(find(&out, 8, "error-reply"), Message::ErrorReply { .. }));
     assert_eq!(s.stats().rejoins_rejected, 1);
 }
@@ -753,16 +825,16 @@ fn grace_expiry_deregisters_and_decouples() {
     });
     let (a, token_a) = register_with_token(&mut s, 1, 1);
     let (b, _) = register_with_token(&mut s, 2, 2);
-    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") });
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") }).into_messages();
 
-    s.disconnect_flat(1);
+    s.disconnect(1).into_messages();
     // Mid-grace: nothing happens yet.
-    let out = s.tick_flat(500);
+    let out = s.tick(500).into_messages();
     assert!(out.is_empty());
     assert_eq!(s.stats().quarantined_instances, 1);
 
     // Past the deadline: full deregistration with auto-decoupling.
-    let out = s.tick_flat(1_600);
+    let out = s.tick(1_600).into_messages();
     match find(&out, 2, "couple-update") {
         Message::CoupleUpdate { group } => assert_eq!(group.len(), 1),
         _ => unreachable!(),
@@ -773,7 +845,7 @@ fn grace_expiry_deregisters_and_decouples() {
     assert_eq!(stats.registered_instances, 1);
 
     // The token died with the quarantine.
-    let out = s.handle_flat(7, Message::Rejoin { resume_token: token_a });
+    let out = s.handle(7, Message::Rejoin { resume_token: token_a }).into_messages();
     assert!(matches!(find(&out, 7, "error-reply"), Message::ErrorReply { .. }));
 }
 
@@ -785,27 +857,36 @@ fn copies_touching_a_quarantined_instance_fail_fast() {
     });
     let (a, _) = register_with_token(&mut s, 1, 1);
     let (b, _) = register_with_token(&mut s, 2, 2);
-    s.disconnect_flat(2);
+    s.disconnect(2).into_messages();
 
     // Pulling from a quarantined source fails immediately instead of
     // waiting out the grace period.
-    let out = s.handle_flat(
-        1,
-        Message::CopyFrom { src: gid(b, "q"), dst: gid(a, "q"), mode: CopyMode::Strict, req_id: 4 },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::CopyFrom {
+                src: gid(b, "q"),
+                dst: gid(a, "q"),
+                mode: CopyMode::Strict,
+                req_id: 4,
+            },
+        )
+        .into_messages();
     assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
 
     // Pushing onto a quarantined destination likewise.
-    let out = s.handle_flat(
-        1,
-        Message::CopyTo {
-            src: gid(a, "l"),
-            dst: gid(b, "l"),
-            snapshot: StateNode::new(WidgetKind::Label, "l"),
-            mode: CopyMode::Strict,
-            req_id: 5,
-        },
-    );
+    let out = s
+        .handle(
+            1,
+            Message::CopyTo {
+                src: gid(a, "l"),
+                dst: gid(b, "l"),
+                snapshot: StateNode::new(WidgetKind::Label, "l"),
+                mode: CopyMode::Strict,
+                req_id: 5,
+            },
+        )
+        .into_messages();
     assert!(matches!(find(&out, 1, "error-reply"), Message::ErrorReply { .. }));
     let stats = s.stats();
     assert_eq!(stats.live_transfer_groups, 0);
@@ -821,15 +902,15 @@ fn events_skip_quarantined_group_members() {
     });
     let (a, _) = register_with_token(&mut s, 1, 1);
     let (b, _) = register_with_token(&mut s, 2, 2);
-    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") });
-    s.disconnect_flat(2);
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") }).into_messages();
+    s.disconnect(2).into_messages();
 
     let event = UiEvent::new(
         ObjectPath::parse("x").unwrap(),
         EventKind::TextCommitted,
         vec![Value::Text("v".into())],
     );
-    let out = s.handle_flat(1, Message::Event { origin: gid(a, "x"), event, seq: 1 });
+    let out = s.handle(1, Message::Event { origin: gid(a, "x"), event, seq: 1 }).into_messages();
     assert_eq!(count_kind(&out, "execute-event"), 0, "no ExecuteEvent to a dead connection");
     let exec_id = match find(&out, 1, "event-granted") {
         Message::EventGranted { exec_id, .. } => *exec_id,
@@ -837,7 +918,7 @@ fn events_skip_quarantined_group_members() {
     };
     // The origin's own done finishes the execution — it does not hang on
     // the quarantined member.
-    let out = s.handle_flat(1, Message::ExecuteDone { exec_id });
+    let out = s.handle(1, Message::ExecuteDone { exec_id }).into_messages();
     assert_eq!(count_kind(&out, "group-unlocked"), 1);
     assert_eq!(s.stats().live_execs, 0);
 }
@@ -852,18 +933,18 @@ fn idle_timeout_quarantines_silent_instances() {
     let (b, token_b) = register_with_token(&mut s, 2, 2);
 
     // Advance the clock, then only a is heard from.
-    s.tick_flat(500);
-    s.handle_flat(1, Message::Ping { nonce: 1 });
+    s.tick(500).into_messages();
+    s.handle(1, Message::Ping { nonce: 1 }).into_messages();
 
     // At t=1400, b (last seen at 0) is past the idle cutoff; a (seen at
     // 500) is not.
-    s.tick_flat(1_400);
+    s.tick(1_400).into_messages();
     let stats = s.stats();
     assert_eq!(stats.quarantines, 1);
     assert_eq!(stats.quarantined_instances, 1);
 
     // The silent client reconnects and resumes.
-    let out = s.handle_flat(9, Message::Rejoin { resume_token: token_b });
+    let out = s.handle(9, Message::Rejoin { resume_token: token_b }).into_messages();
     match find(&out, 9, "welcome") {
         Message::Welcome { instance } => assert_eq!(*instance, b),
         _ => unreachable!(),
@@ -880,8 +961,8 @@ fn teardown_leaves_no_inflight_work() {
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
     let c = register(&mut s, 3, 3);
-    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") });
-    s.handle_flat(3, Message::Couple { src: gid(c, "x"), dst: gid(b, "x") });
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") }).into_messages();
+    s.handle(3, Message::Couple { src: gid(c, "x"), dst: gid(b, "x") }).into_messages();
 
     // An event whose ExecuteDones never all arrive.
     let event = UiEvent::new(
@@ -889,33 +970,37 @@ fn teardown_leaves_no_inflight_work() {
         EventKind::TextCommitted,
         vec![Value::Text("v".into())],
     );
-    let out = s.handle_flat(1, Message::Event { origin: gid(a, "x"), event, seq: 1 });
+    let out = s.handle(1, Message::Event { origin: gid(a, "x"), event, seq: 1 }).into_messages();
     let exec_id = match find(&out, 1, "event-granted") {
         Message::EventGranted { exec_id, .. } => *exec_id,
         _ => unreachable!(),
     };
-    s.handle_flat(1, Message::ExecuteDone { exec_id });
+    s.handle(1, Message::ExecuteDone { exec_id }).into_messages();
 
     // A pull that is never answered, a push that is half-answered, and a
     // third-party copy left dangling.
-    s.handle_flat(
+    s.handle(
         1,
         Message::CopyFrom { src: gid(b, "x"), dst: gid(a, "x"), mode: CopyMode::Strict, req_id: 1 },
-    );
-    let out = s.handle_flat(
-        1,
-        Message::CopyTo {
-            src: gid(a, "x"),
-            dst: gid(b, "x"),
-            snapshot: StateNode::new(WidgetKind::Label, "x"),
-            mode: CopyMode::Strict,
-            req_id: 2,
-        },
-    );
+    )
+    .into_messages();
+    let out = s
+        .handle(
+            1,
+            Message::CopyTo {
+                src: gid(a, "x"),
+                dst: gid(b, "x"),
+                snapshot: StateNode::new(WidgetKind::Label, "x"),
+                mode: CopyMode::Strict,
+                req_id: 2,
+            },
+        )
+        .into_messages();
     if let Message::ApplyState { req_id, .. } = find(&out, 2, "apply-state") {
-        s.handle_flat(2, Message::StateApplied { req_id: *req_id, overwritten: None, error: None });
+        s.handle(2, Message::StateApplied { req_id: *req_id, overwritten: None, error: None })
+            .into_messages();
     }
-    s.handle_flat(
+    s.handle(
         3,
         Message::RemoteCopy {
             src: gid(a, "x"),
@@ -923,10 +1008,11 @@ fn teardown_leaves_no_inflight_work() {
             mode: CopyMode::Strict,
             req_id: 3,
         },
-    );
+    )
+    .into_messages();
 
     for endpoint in [1, 2, 3] {
-        s.disconnect_flat(endpoint);
+        s.disconnect(endpoint).into_messages();
     }
     let stats = s.stats();
     assert_eq!(stats.registered_instances, 0);
@@ -985,15 +1071,54 @@ fn event_fan_out_encodes_payload_once() {
     let a = register(&mut s, 1, 1);
     let b = register(&mut s, 2, 2);
     let c = register(&mut s, 3, 3);
-    s.handle_flat(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") });
-    s.handle_flat(1, Message::Couple { src: gid(b, "x"), dst: gid(c, "x") });
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "x") }).into_messages();
+    s.handle(1, Message::Couple { src: gid(b, "x"), dst: gid(c, "x") }).into_messages();
 
     let before = s.stats();
     let event = UiEvent::simple(ObjectPath::parse("x").unwrap(), EventKind::Activate);
-    let out = s.handle_flat(1, Message::Event { origin: gid(a, "x"), event, seq: 1 });
+    let out = s.handle(1, Message::Event { origin: gid(a, "x"), event, seq: 1 }).into_messages();
     let legs = count_kind(&out, "execute-event");
     assert!(legs >= 2, "expected a multi-member fan-out, got {out:?}");
     let after = s.stats();
     assert_eq!(after.payload_encodes - before.payload_encodes, 1);
     assert_eq!(after.payload_reuses - before.payload_reuses, legs as u64 - 1);
+}
+
+/// A rewinding wall clock (NTP step, suspend/resume, a misbehaving
+/// caller) is clamped and counted, and must not re-arm or shorten grace
+/// periods measured against the pre-rewind clock.
+#[test]
+fn backwards_tick_is_clamped_and_counted() {
+    let mut s: ServerCore<Endpoint> = ServerCore::with_liveness(cosoft_server::LivenessConfig {
+        grace_us: 1_000,
+        idle_timeout_us: 0,
+    });
+    // With liveness on, Register yields Welcome + SessionToken.
+    let out = s
+        .handle(
+            1,
+            Message::Register { user: UserId(1), host: "ws1".into(), app_name: "app".into() },
+        )
+        .into_messages();
+    let a = match find(&out, 1, "welcome") {
+        Message::Welcome { instance } => *instance,
+        _ => unreachable!(),
+    };
+    s.tick(5_000).into_messages();
+    assert_eq!(s.stats().clock_regressions, 0);
+
+    // The clock rewinds hard. The regression is counted but the virtual
+    // clock holds at 5_000 — the next disconnect quarantines relative
+    // to the clamped time, not the rewound one.
+    s.tick(0).into_messages();
+    assert_eq!(s.stats().clock_regressions, 1);
+    s.disconnect(1).into_messages();
+
+    // Had the rewind taken, the grace deadline would be 1_000 and this
+    // tick would already expire the quarantine. Clamped, it is 6_000.
+    s.tick(5_999).into_messages();
+    assert!(s.registry().contains(a), "rewind must not shorten the grace period");
+    s.tick(6_000).into_messages();
+    assert!(!s.registry().contains(a), "grace still runs out on the clamped clock");
+    assert_eq!(s.stats().clock_regressions, 1, "forward ticks are not regressions");
 }

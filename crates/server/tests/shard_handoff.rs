@@ -1,0 +1,233 @@
+//! Failure modes of the two-phase cross-shard component handoff:
+//! the requester dying mid-merge, both components mutating during the
+//! freeze window, and idempotent re-merges. These drive the router's
+//! `begin_handoff`/`complete_handoff` phases separately — exactly what
+//! the message-driven path runs back to back — so every test holds the
+//! freeze open while something inconvenient happens.
+
+use cosoft_server::{LivenessConfig, ShardRouter};
+use cosoft_wire::{EventKind, GlobalObjectId, InstanceId, Message, ObjectPath, UiEvent, UserId};
+
+type Endpoint = u32;
+
+fn gid(i: InstanceId, p: &str) -> GlobalObjectId {
+    GlobalObjectId::new(i, ObjectPath::parse(p).unwrap())
+}
+
+/// Registers `n` clients on a fresh 2-shard router (round-robin: even
+/// endpoints on shard 0, odd on shard 1) and returns their instances.
+fn registered(n: u32) -> (ShardRouter<Endpoint>, Vec<InstanceId>) {
+    registered_on(ShardRouter::new(2), n)
+}
+
+fn registered_on(
+    mut router: ShardRouter<Endpoint>,
+    n: u32,
+) -> (ShardRouter<Endpoint>, Vec<InstanceId>) {
+    let mut instances = Vec::new();
+    for e in 0..n {
+        let out = router
+            .handle(
+                e,
+                Message::Register {
+                    user: UserId(u64::from(e) + 1),
+                    host: format!("ws{e}"),
+                    app_name: "handoff".into(),
+                },
+            )
+            .into_messages();
+        let welcome = out.iter().find_map(|(_, m)| match m {
+            Message::Welcome { instance } => Some(*instance),
+            _ => None,
+        });
+        instances.push(welcome.expect("registration yields Welcome"));
+        router.check_invariants().unwrap();
+    }
+    (router, instances)
+}
+
+/// A cross-shard `Couple` runs the merge transparently: afterwards both
+/// instances live on one shard, the registries stay disjoint, and the
+/// sender gets its normal `CoupleUpdate` — no client-visible shard
+/// seams.
+#[test]
+fn cross_shard_couple_merges_components() {
+    let (mut router, inst) = registered(2);
+    assert_ne!(
+        router.shard_of_instance(inst[0]),
+        router.shard_of_instance(inst[1]),
+        "round-robin must have split the two instances"
+    );
+    let out = router
+        .handle(0, Message::Couple { src: gid(inst[0], "a"), dst: gid(inst[1], "a") })
+        .into_messages();
+    assert!(
+        out.iter().any(|(_, m)| matches!(m, Message::CoupleUpdate { .. })),
+        "couple must fan out CoupleUpdate, got {out:?}"
+    );
+    assert!(
+        !out.iter().any(|(_, m)| matches!(m, Message::ErrorReply { .. })),
+        "merge must be invisible, got {out:?}"
+    );
+    assert_eq!(router.shard_of_instance(inst[0]), router.shard_of_instance(inst[1]));
+    assert_eq!(router.router_stats().cross_shard_merges, 1);
+    assert_eq!(router.router_stats().handoffs_completed, 1);
+    assert!(router.router_stats().instances_migrated >= 1);
+    router.check_invariants().unwrap();
+}
+
+/// The requester dies mid-merge: its component is frozen by phase one,
+/// the disconnect lands during the freeze (buffered), and phase two
+/// must first migrate the component and then replay the disconnect on
+/// the *new* home shard — quarantining the instance there, not losing
+/// the disconnect or stranding a half-moved component.
+#[test]
+fn requester_dies_mid_merge() {
+    // A grace window so the replayed disconnect quarantines instead of
+    // deregistering outright (default grace is 0).
+    let liveness = LivenessConfig { grace_us: 1_000_000, idle_timeout_us: 0 };
+    let (mut router, inst) = registered_on(ShardRouter::with_liveness(2, liveness), 2);
+    // Pre-couple on one shard so the component being frozen holds both
+    // the requester and its peer.
+    router
+        .handle(0, Message::Couple { src: gid(inst[0], "a"), dst: gid(inst[1], "a") })
+        .into_messages();
+    let home = router.shard_of_instance(inst[0]).unwrap();
+    let away = 1 - home;
+
+    let handoff = router.begin_handoff(inst[0], away).expect("freeze the merged component");
+    // The requester's connection drops while its component is frozen.
+    let out = router.disconnect(0).into_messages();
+    assert!(out.is_empty(), "frozen disconnect must be buffered, got {out:?}");
+    assert_eq!(router.router_stats().buffered_while_frozen, 1);
+    // The instance is still live on the source shard: the disconnect
+    // must not have leaked past the freeze.
+    assert_eq!(router.shard_of_instance(inst[0]), Some(home));
+    router.check_invariants().unwrap();
+
+    router.complete_handoff(handoff);
+    // Both members migrated, and the buffered disconnect ran on the new
+    // home: instance 0 is quarantined there (still registered, no
+    // endpoint binding), its peer still bound.
+    assert_eq!(router.shard_of_instance(inst[0]), Some(away));
+    assert_eq!(router.shard_of_instance(inst[1]), Some(away));
+    assert!(router.shard(away).registry().contains(inst[0]));
+    assert!(!router.shard(away).registry().is_bound(inst[0]));
+    assert!(router.shard(away).registry().is_bound(inst[1]));
+    router.check_invariants().unwrap();
+}
+
+/// Both components mutate during the freeze: the frozen side's event
+/// submission is buffered and replayed after migration (the lock round
+/// completes on the new shard), while the target side's couple mutates
+/// its component freely. `complete_handoff` migrates the component *as
+/// it is at phase two*, not as it was at phase one.
+#[test]
+fn both_components_mutate_during_freeze() {
+    let (mut router, inst) = registered(4);
+    // inst[1] and inst[3] share shard 1; inst[0] and inst[2] shard 0.
+    let source = router.shard_of_instance(inst[1]).unwrap();
+    let target = 1 - source;
+
+    let handoff = router.begin_handoff(inst[1], target).expect("freeze instance 1's component");
+
+    // Frozen-side mutation: instance 1 submits an event mid-freeze.
+    let origin = gid(inst[1], "a");
+    let event = UiEvent::simple(origin.path.clone(), EventKind::Activate);
+    let out = router.handle(1, Message::Event { origin, event, seq: 7 }).into_messages();
+    assert!(out.is_empty(), "frozen event must be buffered, got {out:?}");
+
+    // Target-side mutation: the two instances already there couple into
+    // one component while the handoff is open.
+    let out = router
+        .handle(0, Message::Couple { src: gid(inst[0], "x"), dst: gid(inst[2], "x") })
+        .into_messages();
+    assert!(out.iter().any(|(_, m)| matches!(m, Message::CoupleUpdate { .. })));
+    router.check_invariants().unwrap();
+
+    // Phase two: migration plus replay. The buffered event's grant
+    // comes back from the new home shard.
+    let out = router.complete_handoff(handoff).into_messages();
+    assert_eq!(router.shard_of_instance(inst[1]), Some(target));
+    let exec_id = out
+        .iter()
+        .find_map(|(e, m)| match m {
+            Message::EventGranted { exec_id, .. } if *e == 1 => Some(*exec_id),
+            _ => None,
+        })
+        .expect("buffered event must be granted after migration");
+    assert!(router.shard(target).locks().is_locked(&gid(inst[1], "a")));
+    router.check_invariants().unwrap();
+
+    // The replayed lock round resolves normally on the new shard.
+    router.handle(1, Message::ExecuteDone { exec_id }).into_messages();
+    assert!(router.shard(target).locks().is_empty());
+    router.check_invariants().unwrap();
+}
+
+/// Re-merging an already-merged component is an idempotent no-op: the
+/// second `Couple` finds everything colocated (no second handoff), and
+/// explicitly freezing toward the component's own shard is rejected
+/// without touching any state.
+#[test]
+fn re_merge_is_idempotent() {
+    let (mut router, inst) = registered(2);
+    router
+        .handle(0, Message::Couple { src: gid(inst[0], "a"), dst: gid(inst[1], "a") })
+        .into_messages();
+    let merged_stats = router.router_stats();
+    assert_eq!(merged_stats.handoffs_completed, 1);
+    let home = router.shard_of_instance(inst[0]).unwrap();
+
+    // Same couple again: already colocated, no cross-shard machinery.
+    router
+        .handle(0, Message::Couple { src: gid(inst[0], "a"), dst: gid(inst[1], "a") })
+        .into_messages();
+    assert_eq!(router.router_stats().handoffs_started, merged_stats.handoffs_started);
+    assert_eq!(router.router_stats().handoffs_completed, merged_stats.handoffs_completed);
+
+    // An explicit handoff toward the current home is refused outright.
+    assert!(router.begin_handoff(inst[0], home).is_err());
+    // Completing a stale handoff id is a silent no-op.
+    let out = router.complete_handoff(9_999).into_messages();
+    assert!(out.is_empty());
+    assert_eq!(router.shard_of_instance(inst[0]), Some(home));
+    router.check_invariants().unwrap();
+}
+
+/// The component's seed can vanish mid-freeze (quarantine expiry
+/// deregisters it between the phases): phase two must notice and skip
+/// the migration instead of extracting a ghost.
+#[test]
+fn seed_vanishing_mid_freeze_skips_migration() {
+    let liveness = LivenessConfig { grace_us: 1_000, idle_timeout_us: 0 };
+    let mut router: ShardRouter<Endpoint> = ShardRouter::with_liveness(2, liveness);
+    let out = router
+        .handle(
+            0,
+            Message::Register { user: UserId(1), host: "ws0".into(), app_name: "handoff".into() },
+        )
+        .into_messages();
+    let instance = out
+        .iter()
+        .find_map(|(_, m)| match m {
+            Message::Welcome { instance } => Some(*instance),
+            _ => None,
+        })
+        .unwrap();
+    let source = router.shard_of_instance(instance).unwrap();
+
+    // Quarantine first (unbinds the endpoint), then freeze: the handoff
+    // has no endpoint to buffer, only the registry slice to move.
+    router.disconnect(0).into_messages();
+    let handoff = router.begin_handoff(instance, 1 - source).expect("freeze quarantined seed");
+    // The grace period expires while the handoff is open.
+    router.tick(2_000).into_messages();
+    assert_eq!(router.shard_of_instance(instance), None, "quarantine expiry deregisters");
+
+    let before = router.router_stats().handoffs_completed;
+    let out = router.complete_handoff(handoff).into_messages();
+    assert!(out.is_empty());
+    assert_eq!(router.router_stats().handoffs_completed, before, "nothing left to migrate");
+    router.check_invariants().unwrap();
+}

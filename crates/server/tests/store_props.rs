@@ -243,11 +243,11 @@ proptest! {
         let register = |s: &mut ServerCore<u64>, next_endpoint: &mut u64| {
             let e = *next_endpoint;
             *next_endpoint += 1;
-            let out = s.handle_flat(e, Message::Register {
+            let out = s.handle(e, Message::Register {
                 user: UserId(7),
                 host: "h".into(),
                 app_name: "app".into(),
-            });
+            }).into_messages();
             let instance = out
                 .iter()
                 .find_map(|(_, m)| match m {
@@ -266,10 +266,10 @@ proptest! {
                 CoreOp::Couple(a, b) => {
                     let (Some((ea, ia)), Some((_, ib))) =
                         (slots[a as usize], slots[b as usize]) else { continue };
-                    inbox.extend(s.handle_flat(ea, Message::Couple {
+                    inbox.extend(s.handle(ea, Message::Couple {
                         src: obj(ia, "x"),
                         dst: obj(ib, "y"),
-                    }));
+                    }).into_messages());
                 }
                 CoreOp::Event(a) => {
                     let Some((ea, ia)) = slots[a as usize] else { continue };
@@ -279,50 +279,50 @@ proptest! {
                         vec![Value::Text("v".into())],
                     );
                     req += 1;
-                    inbox.extend(s.handle_flat(ea, Message::Event {
+                    inbox.extend(s.handle(ea, Message::Event {
                         origin: obj(ia, "x"),
                         event,
                         seq: req,
-                    }));
+                    }).into_messages());
                 }
                 CoreOp::CopyFrom(a, b) => {
                     let (Some((ea, ia)), Some((_, ib))) =
                         (slots[a as usize], slots[b as usize]) else { continue };
                     req += 1;
-                    inbox.extend(s.handle_flat(ea, Message::CopyFrom {
+                    inbox.extend(s.handle(ea, Message::CopyFrom {
                         src: obj(ib, "x"),
                         dst: obj(ia, "x"),
                         mode: CopyMode::Strict,
                         req_id: req,
-                    }));
+                    }).into_messages());
                 }
                 CoreOp::CopyTo(a, b) => {
                     let (Some((ea, ia)), Some((_, ib))) =
                         (slots[a as usize], slots[b as usize]) else { continue };
                     req += 1;
-                    inbox.extend(s.handle_flat(ea, Message::CopyTo {
+                    inbox.extend(s.handle(ea, Message::CopyTo {
                         src: obj(ia, "x"),
                         dst: obj(ib, "y"),
                         snapshot: snap(),
                         mode: CopyMode::Strict,
                         req_id: req,
-                    }));
+                    }).into_messages());
                 }
                 CoreOp::RemoteCopy(a, b, c) => {
                     let (Some((ea, _)), Some((_, ib)), Some((_, ic))) =
                         (slots[a as usize], slots[b as usize], slots[c as usize])
                         else { continue };
                     req += 1;
-                    inbox.extend(s.handle_flat(ea, Message::RemoteCopy {
+                    inbox.extend(s.handle(ea, Message::RemoteCopy {
                         src: obj(ib, "x"),
                         dst: obj(ic, "y"),
                         mode: CopyMode::Strict,
                         req_id: req,
-                    }));
+                    }).into_messages());
                 }
                 CoreOp::Disconnect(a) => {
                     let Some((ea, _)) = slots[a as usize].take() else { continue };
-                    inbox.extend(s.disconnect_flat(ea));
+                    inbox.extend(s.disconnect(ea).into_messages());
                 }
                 CoreOp::Reconnect(a) => {
                     if slots[a as usize].is_none() {
@@ -359,7 +359,7 @@ proptest! {
                             _ => None,
                         };
                         if let Some(reply) = reply {
-                            inbox.extend(s.handle_flat(e, reply));
+                            inbox.extend(s.handle(e, reply).into_messages());
                         }
                     }
                 }
@@ -370,7 +370,7 @@ proptest! {
         // instances.
         for slot in &mut slots {
             if let Some((e, _)) = slot.take() {
-                s.disconnect_flat(e);
+                s.disconnect(e).into_messages();
             }
         }
         let stats = s.stats();

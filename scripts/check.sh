@@ -17,8 +17,16 @@ cargo test -q -p cosoft-server --test store_props no_leaks_after_all_instances_d
 cargo test -q -p cosoft-core --test reconnect_sim
 cargo test -q --test tcp_reconnect
 # Schedule-exploring checker: every interleaving of 3 clients over
-# overlapping couple groups, server invariants checked at every step.
+# overlapping couple groups — and, since the shard refactor, the same
+# explorer driving merge/split/disconnect schedules across 2 shards —
+# with invariants checked at every step.
 cargo test -q -p cosoft-server --test lock_model
+# Shard handoff failure modes (requester death mid-merge, mutation
+# during freeze, idempotent re-merge) plus the sharded end-to-end sim.
+cargo test -q -p cosoft-server --test shard_handoff
+cargo test -q -p cosoft-core --test shard_sim
 # Fan-out throughput smoke: the encode-once broadcast bench must run
 # and emit every group-size series into BENCH_fanout.json.
 cargo run -q --release -p cosoft-bench --bin fanout -- --smoke
+# Shard-scaling smoke: every shard-count series into BENCH_shard.json.
+cargo run -q --release -p cosoft-bench --bin shard -- --smoke

@@ -18,7 +18,7 @@ use cosoft_net::tcp::{
     ClientEvent, ConnId, NetEvent, ReconnectPolicy, TcpClient, TcpHost, TcpHostConfig, TcpStats,
     TcpStatsHandle,
 };
-use cosoft_server::{LivenessConfig, Outgoing, ServerCore, ServerStats};
+use cosoft_server::{LivenessConfig, Outgoing, RouterStats, ServerStats, ShardRouter};
 
 /// A COSOFT server listening on TCP.
 ///
@@ -30,7 +30,7 @@ use cosoft_server::{LivenessConfig, Outgoing, ServerCore, ServerStats};
 pub struct TcpServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    stats: Arc<Mutex<ServerStats>>,
+    stats: Arc<Mutex<(ServerStats, RouterStats)>>,
     net_stats: TcpStatsHandle,
     thread: Option<JoinHandle<()>>,
 }
@@ -76,17 +76,37 @@ impl TcpServer {
         config: TcpHostConfig,
         liveness: LivenessConfig,
     ) -> io::Result<TcpServer> {
+        TcpServer::spawn_sharded(addr, config, liveness, 1)
+    }
+
+    /// Binds and starts serving with the server brain split into
+    /// `shards` [`cosoft_server::ServerCore`]s keyed by couple-component,
+    /// behind a [`ShardRouter`]. Disjoint components never contend on a
+    /// shared lock table or history store; a cross-shard `Couple` runs
+    /// the router's two-phase component handoff transparently. With
+    /// `shards == 1` this is exactly the classic single-core server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn_sharded(
+        addr: &str,
+        config: TcpHostConfig,
+        liveness: LivenessConfig,
+        shards: usize,
+    ) -> io::Result<TcpServer> {
         let host = TcpHost::bind_with_config(addr, config)?;
         let local = host.local_addr();
         let net_stats = host.stats_handle();
-        let stats = Arc::new(Mutex::new(ServerStats::default()));
+        let stats = Arc::new(Mutex::new((ServerStats::default(), RouterStats::default())));
         let shutdown = Arc::new(AtomicBool::new(false));
         let stop = shutdown.clone();
         let published = stats.clone();
         let thread = std::thread::Builder::new().name("cosoft-server".into()).spawn(move || {
-            let mut core: ServerCore<ConnId> = ServerCore::with_liveness(liveness);
+            let mut router: ShardRouter<ConnId> = ShardRouter::with_liveness(shards, liveness);
             let start = Instant::now();
-            let mut last_published = core.stats();
+            let mut last_published = (router.stats(), router.router_stats());
+            let mut published_at = Instant::now();
             while !stop.load(Ordering::SeqCst) {
                 let first = match host.events().recv_timeout(Duration::from_millis(50)) {
                     Ok(e) => Some(e),
@@ -103,8 +123,8 @@ impl TcpServer {
                 while let Some(event) = next {
                     match event {
                         NetEvent::Connected(_) => {}
-                        NetEvent::Message(conn, msg) => outgoing.extend(core.handle(conn, msg)),
-                        NetEvent::Disconnected(conn) => outgoing.extend(core.disconnect(conn)),
+                        NetEvent::Message(conn, msg) => outgoing.extend(router.handle(conn, msg)),
+                        NetEvent::Disconnected(conn) => outgoing.extend(router.disconnect(conn)),
                     }
                     budget -= 1;
                     if budget == 0 {
@@ -114,23 +134,31 @@ impl TcpServer {
                 }
                 // Advance the liveness clock even on idle timeouts so
                 // quarantine grace periods expire without traffic.
-                outgoing.extend(core.tick(start.elapsed().as_micros() as u64));
+                outgoing.extend(router.tick(start.elapsed().as_micros() as u64));
                 // One coalesced write per destination; broadcast frames
                 // stay pre-encoded all the way down. Failures mean the
                 // peer vanished or was evicted as a slow consumer — its
                 // Disconnected event will clean up.
                 let _ = host.send_batch(&outgoing.into_frames());
-                // Publish only after a change: the idle 50 ms timeout
-                // path used to clone the whole stats struct into the
-                // shared Mutex 20×/s, contending with every snapshot
-                // reader for nothing.
-                let current = core.stats();
-                if current != last_published {
+                // Publish after a change, but also at least once a
+                // second: pure publish-on-change left snapshot readers
+                // staring at stale counters whenever the last handled
+                // event raced a snapshot, and on idle streaks after a
+                // burst.
+                let current = (router.stats(), router.router_stats());
+                let stale = published_at.elapsed() >= Duration::from_secs(1);
+                if current != last_published || stale {
                     if let Ok(mut s) = published.lock() {
                         *s = current;
                     }
                     last_published = current;
+                    published_at = Instant::now();
                 }
+            }
+            // Final forced publish: without it, counters from the last
+            // dispatch turn before shutdown were silently dropped.
+            if let Ok(mut s) = published.lock() {
+                *s = (router.stats(), router.router_stats());
             }
         })?;
         Ok(TcpServer { addr: local, shutdown, stats, net_stats, thread: Some(thread) })
@@ -142,10 +170,16 @@ impl TcpServer {
     }
 
     /// Snapshot of the server core's observability counters (floor
-    /// control, fan-out, transfer liveness), as of the last handled
-    /// event.
+    /// control, fan-out, transfer liveness), summed across shards and
+    /// re-published at least once a second and on shutdown.
     pub fn server_stats(&self) -> ServerStats {
-        self.stats.lock().map(|s| *s).unwrap_or_default()
+        self.stats.lock().map(|s| s.0).unwrap_or_default()
+    }
+
+    /// Snapshot of the shard router's counters (handoffs, cross-shard
+    /// commands, rebalances). All zero on a single-shard server.
+    pub fn router_stats(&self) -> RouterStats {
+        self.stats.lock().map(|s| s.1).unwrap_or_default()
     }
 
     /// Snapshot of the transport counters (bytes/frames in and out,
