@@ -1,0 +1,318 @@
+//! Connection-scaling benchmark: delivery throughput and client-observed
+//! latency of the readiness-driven TCP host as the connection count grows.
+//!
+//! The whole point of the poll-pool transport is that connections add
+//! *state*, not *threads*: a fixed 2-thread I/O pool must carry 100,
+//! 1 000, and 5 000 concurrent sockets. Each series connects `conns` raw
+//! `std::net::TcpStream` clients (no `TcpClient` — that would add two OS
+//! threads per client and measure the clients, not the host), registers
+//! them, chain-couples them into groups of [`GROUP_SIZE`], then drives
+//! `rounds` of group fan-out: the leader CoSends a payload whose first 8
+//! bytes are a send-time microsecond stamp, and every follower records
+//! `receive_time − send_time` when the delivery arrives.
+//!
+//! The latency column is therefore *enqueue-to-wire as observed at the
+//! receiving socket*: it includes server dispatch and the follower's
+//! read, so it upper-bounds the pure outbox-to-syscall interval. What
+//! the series demonstrate is the shape: the p99 must stay bounded as the
+//! connection count grows 50×, while the I/O thread count stays fixed.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use cosoft::net::TcpHostConfig;
+use cosoft::runtime::TcpServer;
+use cosoft::wire::{codec, GlobalObjectId, InstanceId, Message, ObjectPath, Target, UserId};
+
+/// Connection counts every run reports, smallest to largest.
+pub const CONN_COUNTS: [usize; 3] = [100, 1000, 5000];
+
+/// Members per couple group (one leader + three followers).
+pub const GROUP_SIZE: usize = 4;
+
+/// Poll threads the host runs in every series — fixed on purpose; the
+/// series vary only the connection count.
+pub const IO_THREADS: usize = 2;
+
+/// Client driver threads (shared across all groups of a series).
+const WORKERS: usize = 4;
+
+/// CoSend payload bytes (first 8 carry the send-time stamp).
+const PAYLOAD_LEN: usize = 64;
+
+/// Per-socket read timeout — a wedged series fails instead of hanging.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One measured series: `rounds` of group fan-out over `conns`
+/// concurrent connections.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnscaleSample {
+    /// Concurrent client connections in this series.
+    pub conns: usize,
+    /// Disjoint couple groups ( = `conns` / [`GROUP_SIZE`]).
+    pub groups: usize,
+    /// Members per group.
+    pub group_size: usize,
+    /// Host poll threads (fixed across the series).
+    pub io_threads: usize,
+    /// Fan-out rounds driven per group.
+    pub rounds: u64,
+    /// Wall-clock time of the measured phase, in microseconds.
+    pub elapsed_us: u128,
+    /// Follower deliveries observed across all groups and rounds.
+    pub deliveries: u64,
+    /// Deliveries per wall-clock second.
+    pub deliveries_per_sec: f64,
+    /// Median send-to-delivery latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile send-to-delivery latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// One group's client endpoints: the leader's stream first, then the
+/// followers, plus the group object the leader targets.
+struct Group {
+    streams: Vec<BufReader<TcpStream>>,
+    target: GlobalObjectId,
+}
+
+/// Soft `RLIMIT_NOFILE` from /proc — the bench holds ~2 fds per
+/// connection (client end + host end, same process).
+pub fn max_open_files() -> Option<usize> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+/// File descriptors a series of `conns` connections needs, with headroom.
+pub fn fd_budget(conns: usize) -> usize {
+    conns * 2 + 512
+}
+
+fn connect_retrying(addr: std::net::SocketAddr) -> TcpStream {
+    let mut last_err = None;
+    for _ in 0..50 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(e) => {
+                last_err = Some(e);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    panic!("could not connect to bench host: {last_err:?}");
+}
+
+fn read_until<T>(
+    reader: &mut BufReader<TcpStream>,
+    what: &str,
+    pick: impl Fn(Message) -> Option<T>,
+) -> T {
+    loop {
+        match codec::read_frame(reader) {
+            Ok(Some(msg)) => {
+                if let Some(v) = pick(msg) {
+                    return v;
+                }
+            }
+            Ok(None) => panic!("connection closed while waiting for {what}"),
+            Err(e) => panic!("read failed while waiting for {what}: {e}"),
+        }
+    }
+}
+
+/// Runs the fan-out workload at each connection count and returns one
+/// sample per count.
+///
+/// # Panics
+///
+/// Panics if a connect, registration, or delivery fails — setup or
+/// transport bugs, not load-dependent outcomes.
+pub fn run(conn_counts: &[usize], rounds: u64) -> Vec<ConnscaleSample> {
+    conn_counts.iter().map(|&n| run_one(n, rounds)).collect()
+}
+
+fn run_one(conns: usize, rounds: u64) -> ConnscaleSample {
+    assert!(conns.is_multiple_of(GROUP_SIZE), "conns must divide into whole groups");
+    let config = TcpHostConfig {
+        queue_capacity: 4096,
+        queue_max_bytes: 64 * 1024 * 1024,
+        enqueue_timeout: Duration::from_secs(10),
+        io_threads: IO_THREADS,
+    };
+    let server = TcpServer::spawn_with_config("127.0.0.1:0", config).expect("bind bench host");
+    let addr = server.addr();
+
+    // Population (unmeasured): connect, register, collect Welcomes.
+    let mut clients: Vec<BufReader<TcpStream>> = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let stream = connect_retrying(addr);
+        stream.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+        stream.set_nodelay(true).ok();
+        let frame = codec::frame_message(&Message::Register {
+            user: UserId(i as u64 + 1),
+            host: format!("connscale-{i}"),
+            app_name: "connscale".into(),
+        });
+        (&stream).write_all(&frame).expect("write Register");
+        clients.push(BufReader::new(stream));
+    }
+    let mut instances: Vec<InstanceId> = Vec::with_capacity(conns);
+    for reader in &mut clients {
+        instances.push(read_until(reader, "Welcome", |m| match m {
+            Message::Welcome { instance } => Some(instance),
+            _ => None,
+        }));
+    }
+
+    // Chain-couple each group, every frame written from the leader's
+    // connection so the later fan-out (same connection) is ordered
+    // behind the coupling.
+    let path = ObjectPath::parse("obj").expect("static path parses");
+    let gid = |inst: InstanceId| GlobalObjectId::new(inst, path.clone());
+    let mut groups: Vec<Group> = Vec::with_capacity(conns / GROUP_SIZE);
+    let mut iter = clients.into_iter();
+    for group_start in (0..conns).step_by(GROUP_SIZE) {
+        let streams: Vec<_> = (&mut iter).take(GROUP_SIZE).collect();
+        for m in group_start..group_start + GROUP_SIZE - 1 {
+            let frame = codec::frame_message(&Message::Couple {
+                src: gid(instances[m]),
+                dst: gid(instances[m + 1]),
+            });
+            streams[0].get_ref().write_all(&frame).expect("write Couple");
+        }
+        groups.push(Group { streams, target: gid(instances[group_start]) });
+    }
+
+    // Measured phase: WORKERS threads share the groups; each round
+    // writes every owned leader's CoSend first, then collects every
+    // follower's delivery, stamping latencies off a common epoch.
+    let epoch = Instant::now();
+    let per_worker = groups.len().div_ceil(WORKERS);
+    let t0 = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .chunks_mut(per_worker)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(chunk.len() * rounds as usize * 3);
+                    for _round in 0..rounds {
+                        for group in chunk.iter_mut() {
+                            let mut payload = vec![0u8; PAYLOAD_LEN];
+                            let sent_us = epoch.elapsed().as_micros() as u64;
+                            payload[..8].copy_from_slice(&sent_us.to_le_bytes());
+                            let frame = codec::frame_message(&Message::CoSendCommand {
+                                to: Target::Group(group.target.clone()),
+                                command: "cs".into(),
+                                payload,
+                            });
+                            group.streams[0].get_ref().write_all(&frame).expect("write CoSend");
+                        }
+                        for group in chunk.iter_mut() {
+                            for follower in &mut group.streams[1..] {
+                                let payload =
+                                    read_until(follower, "CommandDelivery", |m| match m {
+                                        Message::CommandDelivery { payload, .. } => Some(payload),
+                                        _ => None,
+                                    });
+                                let sent_us =
+                                    u64::from_le_bytes(payload[..8].try_into().expect("stamp"));
+                                let now_us = epoch.elapsed().as_micros() as u64;
+                                lats.push(now_us.saturating_sub(sent_us));
+                            }
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("bench worker panicked")).collect()
+    });
+    let elapsed = t0.elapsed();
+    drop(groups);
+    drop(server);
+
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len());
+        latencies[idx - 1]
+    };
+    let deliveries = latencies.len() as u64;
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    ConnscaleSample {
+        conns,
+        groups: conns / GROUP_SIZE,
+        group_size: GROUP_SIZE,
+        io_threads: IO_THREADS,
+        rounds,
+        elapsed_us: elapsed.as_micros(),
+        deliveries,
+        deliveries_per_sec: deliveries as f64 / secs,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+    }
+}
+
+/// Renders the samples as the `BENCH_connscale.json` document.
+pub fn to_json(samples: &[ConnscaleSample], smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"connscale\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"io_threads\": {IO_THREADS},\n"));
+    out.push_str(&format!("  \"payload_bytes\": {PAYLOAD_LEN},\n"));
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    ));
+    out.push_str("  \"series\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"conns\": {}, \"groups\": {}, \"group_size\": {}, \"io_threads\": {}, \
+             \"rounds\": {}, \"elapsed_us\": {}, \"deliveries\": {}, \
+             \"deliveries_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}}}{}\n",
+            s.conns,
+            s.groups,
+            s.group_size,
+            s.io_threads,
+            s.rounds,
+            s.elapsed_us,
+            s.deliveries,
+            s.deliveries_per_sec,
+            s.p50_us,
+            s.p99_us,
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_series_delivers_every_follower_frame() {
+        let samples = run(&[8], 2);
+        assert_eq!(samples.len(), 1);
+        let s = &samples[0];
+        // 2 groups × 3 followers × 2 rounds.
+        assert_eq!(s.deliveries, 12);
+        assert!(s.p99_us >= s.p50_us);
+        assert!(s.deliveries_per_sec > 0.0);
+    }
+
+    #[test]
+    fn json_lists_every_series() {
+        let samples = run(&[8], 1);
+        let json = to_json(&samples, true);
+        assert!(json.contains("\"conns\": 8"));
+        assert!(json.contains("\"smoke\": true"));
+        assert!(json.contains("\"io_threads\": 2"));
+        assert!(json.contains("p99_us"));
+    }
+}

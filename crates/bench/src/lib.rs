@@ -9,6 +9,9 @@
 //! * [`shard`] measures aggregate delivery throughput of the
 //!   couple-component-sharded server, one thread per shard core
 //!   (`--bin shard` writes `BENCH_shard.json`);
+//! * [`connscale`] measures delivery throughput and latency of the
+//!   readiness-driven TCP host at 100/1k/5k concurrent connections on a
+//!   fixed poll pool (`--bin connscale` writes `BENCH_connscale.json`);
 //! * [`report`] renders plain-text tables.
 //!
 //! Run `cargo bench --workspace` for everything, or
@@ -18,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod connscale;
 pub mod fanout;
 pub mod figures;
 pub mod report;

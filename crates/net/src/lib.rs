@@ -6,9 +6,11 @@
 //!   virtual microsecond clock, seeded latency models and fault injection.
 //!   All benchmarks and most tests run here, replacing the paper's 1994
 //!   LAN with a reproducible substrate.
-//! * [`tcp`] — real sockets (`std::net`, thread-per-connection, crossbeam
-//!   channels) so the same server and client logic also runs end-to-end
-//!   over TCP.
+//! * [`tcp`] — real sockets (`std::net`, crossbeam channels) so the same
+//!   server and client logic also runs end-to-end over TCP. The host is
+//!   readiness-driven: a fixed pool of poll threads owns every accepted
+//!   socket (the internal `poll` module), so connection count adds
+//!   state, not threads.
 //!
 //! The server and client cores are written sans-I/O (they map an incoming
 //! message to outgoing messages) so both carriers drive identical logic.
@@ -16,8 +18,11 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub(crate) mod poll;
 pub mod sim;
 pub mod tcp;
 
 pub use sim::{Delivery, FaultPlan, Latency, NetStats, NodeId, SimNet};
-pub use tcp::{ConnId, NetEvent, TcpClient, TcpHost, TcpHostConfig, TcpStats, TcpStatsHandle};
+pub use tcp::{
+    ConnId, NetEvent, RecvError, TcpClient, TcpHost, TcpHostConfig, TcpStats, TcpStatsHandle,
+};

@@ -1,24 +1,30 @@
 //! Real TCP transport: length-prefixed COSOFT frames over `std::net`
-//! sockets, thread-per-connection, delivered through crossbeam channels.
+//! sockets, delivered through crossbeam channels.
 //!
 //! The simulated network ([`crate::sim`]) carries all benchmarks; this
 //! transport exists so the same server/client logic also runs over real
 //! sockets (integration tests and the runnable examples use it).
 //!
-//! # Outbound path
+//! # Host I/O model
 //!
-//! Each accepted connection owns a dedicated writer thread fed by a
-//! bounded queue, so [`TcpHost::send`] is a non-blocking enqueue and one
-//! stalled consumer cannot delay delivery to its peers. When a
-//! connection's queue stays full past [`TcpHostConfig::enqueue_timeout`]
-//! the connection is declared a slow consumer and forcibly disconnected
-//! (its reader surfaces the usual [`NetEvent::Disconnected`], which the
-//! server maps to the §3.2 auto-decoupling path). [`TcpHost::send_batch`]
-//! coalesces all frames of one server turn that target the same
-//! connection into a single socket write.
+//! The host is readiness-driven (see [`crate::poll`]): a fixed pool of
+//! poll threads ([`TcpHostConfig::io_threads`]) owns every accepted
+//! socket in nonblocking mode, so connection count adds *state*, not
+//! threads. Each connection has a ring-buffer outbox flushed on
+//! writability; [`TcpHost::send`] is a non-blocking enqueue plus a
+//! wakeup of the owning poll thread, and one stalled consumer cannot
+//! delay delivery to its peers. When a connection's backlog stays over
+//! budget past [`TcpHostConfig::enqueue_timeout`] the connection is
+//! declared a slow consumer and forcibly disconnected (surfacing the
+//! usual [`NetEvent::Disconnected`], which the server maps to the §3.2
+//! auto-decoupling path). Blocked enqueues park on a condvar signaled
+//! as the poll thread drains bytes — there is no sleep-polling anywhere
+//! on the path. [`TcpHost::send_batch`] coalesces all frames of one
+//! server turn that target the same connection into a single queued
+//! (vectored) write.
 
 use std::collections::HashMap;
-use std::io::{self, BufReader, IoSlice, Read, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -27,8 +33,12 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use cosoft_wire::{codec, Message, SharedFrame};
-use crossbeam::channel::{bounded, unbounded, Receiver, SendTimeoutError, Sender, TrySendError};
+use crossbeam::channel::{
+    bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError,
+};
 use parking_lot::Mutex;
+
+use crate::poll::{Cmd, ConnMap, ConnShared, Gate, OutBatch, Outbox, PollThread, PollWaker};
 
 /// Identifier of one accepted connection on a [`TcpHost`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -61,6 +71,11 @@ pub struct TcpHostConfig {
     /// How long an enqueue may wait on a full queue before the
     /// connection is declared a slow consumer and evicted.
     pub enqueue_timeout: Duration,
+    /// Size of the poll-thread pool that owns every accepted socket.
+    /// This is the host's *total* I/O thread count (plus one accept
+    /// thread) regardless of connection count; connections are assigned
+    /// round-robin at accept. Values below 1 are treated as 1.
+    pub io_threads: usize,
 }
 
 impl Default for TcpHostConfig {
@@ -69,6 +84,7 @@ impl Default for TcpHostConfig {
             queue_capacity: 1024,
             queue_max_bytes: 8 * 1024 * 1024,
             enqueue_timeout: Duration::from_millis(200),
+            io_threads: 1,
         }
     }
 }
@@ -92,10 +108,17 @@ pub struct TcpStats {
     pub slow_consumer_evictions: u64,
     /// Frames dropped because their connection was already gone.
     pub frames_dropped: u64,
-    /// Reader/writer threads the host failed to spawn; each failure
-    /// tears down just that connection instead of panicking the accept
-    /// loop.
+    /// Threads the host failed to spawn. The poll pool is spawned at
+    /// bind (where failure is a bind error), so this stays 0 on the
+    /// host today; the field is kept so stats consumers survive the
+    /// thread-per-connection → poll-pool transition unchanged.
     pub thread_spawn_failures: u64,
+    /// Socket-option calls (`set_nodelay`, `set_nonblocking`) that
+    /// failed. Nodelay failures are tolerated (the connection is merely
+    /// slower); nonblocking failures close the connection, since the
+    /// poll loop cannot safely own a blocking socket. Either way the
+    /// misbehaving platform is visible here instead of just slow.
+    pub sockopt_failures: u64,
     /// Currently accepted connections.
     pub active_connections: usize,
     /// Deepest per-connection outbound queue right now.
@@ -105,49 +128,25 @@ pub struct TcpStats {
 }
 
 #[derive(Debug, Default)]
-struct Counters {
-    frames_out: AtomicU64,
-    bytes_out: AtomicU64,
-    frames_in: AtomicU64,
-    bytes_in: AtomicU64,
-    coalesced_writes: AtomicU64,
-    enqueue_full_waits: AtomicU64,
-    slow_consumer_evictions: AtomicU64,
-    frames_dropped: AtomicU64,
-    thread_spawn_failures: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) frames_out: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
+    pub(crate) frames_in: AtomicU64,
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) coalesced_writes: AtomicU64,
+    pub(crate) enqueue_full_waits: AtomicU64,
+    pub(crate) slow_consumer_evictions: AtomicU64,
+    pub(crate) frames_dropped: AtomicU64,
+    pub(crate) thread_spawn_failures: AtomicU64,
+    pub(crate) sockopt_failures: AtomicU64,
 }
-
-/// One queued write: whole pre-encoded frames (cheap [`Bytes`] handles,
-/// shared with every other connection the same frame fans out to) plus
-/// frame/byte totals for the counters and the byte backpressure.
-struct Batch {
-    /// Whole encoded frames, written with one vectored write — never
-    /// concatenated into a fresh allocation.
-    segments: Vec<Bytes>,
-    frames: u64,
-    /// Total encoded length across `segments`.
-    bytes: usize,
-}
-
-struct ConnWriter {
-    queue: Sender<Batch>,
-    /// Outbound backlog in bytes (reserved at enqueue, released once
-    /// written or dropped); this is what the backpressure budget
-    /// ([`TcpHostConfig::queue_max_bytes`]) is accounted against.
-    queued_bytes: Arc<AtomicUsize>,
-    /// Control handle used to shut the socket down on eviction; the
-    /// writer thread owns its own clone for writing.
-    control: TcpStream,
-}
-
-type WriterMap = Arc<Mutex<HashMap<ConnId, ConnWriter>>>;
 
 /// Cloneable handle that can snapshot a host's [`TcpStats`] even after
 /// the host moved into a server thread.
 #[derive(Clone)]
 pub struct TcpStatsHandle {
     counters: Arc<Counters>,
-    writers: WriterMap,
+    conns: ConnMap,
 }
 
 impl std::fmt::Debug for TcpStatsHandle {
@@ -160,11 +159,11 @@ impl TcpStatsHandle {
     /// Current counter values.
     pub fn snapshot(&self) -> TcpStats {
         let (active, deepest, deepest_bytes) = {
-            let writers = self.writers.lock();
-            let deepest = writers.values().map(|w| w.queue.len()).max().unwrap_or(0);
+            let conns = self.conns.lock();
+            let deepest = conns.values().map(|c| c.outbox.lock().batches.len()).max().unwrap_or(0);
             let deepest_bytes =
-                writers.values().map(|w| w.queued_bytes.load(Ordering::Relaxed)).max().unwrap_or(0);
-            (writers.len(), deepest, deepest_bytes)
+                conns.values().map(|c| c.queued_bytes.load(Ordering::Relaxed)).max().unwrap_or(0);
+            (conns.len(), deepest, deepest_bytes)
         };
         TcpStats {
             frames_out: self.counters.frames_out.load(Ordering::Relaxed),
@@ -176,6 +175,7 @@ impl TcpStatsHandle {
             slow_consumer_evictions: self.counters.slow_consumer_evictions.load(Ordering::Relaxed),
             frames_dropped: self.counters.frames_dropped.load(Ordering::Relaxed),
             thread_spawn_failures: self.counters.thread_spawn_failures.load(Ordering::Relaxed),
+            sockopt_failures: self.counters.sockopt_failures.load(Ordering::Relaxed),
             active_connections: active,
             max_queue_depth: deepest,
             max_queued_bytes: deepest_bytes,
@@ -183,123 +183,32 @@ impl TcpStatsHandle {
     }
 }
 
-/// `Read` adapter that counts bytes into the shared stats.
-struct CountingReader<R> {
-    inner: R,
-    counters: Arc<Counters>,
-}
-
-impl<R: Read> Read for CountingReader<R> {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        let n = self.inner.read(buf)?;
-        self.counters.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
-        Ok(n)
-    }
+/// One poll thread of the host's fixed I/O pool, as seen from the host
+/// handle: a command channel, a wake token, and the join handle.
+struct PollHandle {
+    cmds: Sender<Cmd>,
+    waker: Arc<PollWaker>,
+    thread: Option<JoinHandle<()>>,
 }
 
 /// Accepting side of the TCP transport (used by the COSOFT server).
 ///
-/// Each accepted connection gets a reader thread that decodes frames into
-/// the shared event channel and a writer thread that drains the
-/// connection's bounded outbound queue.
+/// One accept thread hands sockets to a fixed pool of poll threads that
+/// own all per-connection I/O; see the module docs for the model.
 pub struct TcpHost {
     local_addr: SocketAddr,
     config: TcpHostConfig,
     events: Receiver<NetEvent>,
-    writers: WriterMap,
+    conns: ConnMap,
     counters: Arc<Counters>,
     shutdown: Arc<AtomicBool>,
+    pool: Vec<PollHandle>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for TcpHost {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpHost").field("local_addr", &self.local_addr).finish()
-    }
-}
-
-/// Writes whole frames with vectored I/O (up to 1024 segments per
-/// syscall), advancing across segment boundaries on partial writes —
-/// the frames are never concatenated into a fresh buffer.
-fn write_segments(stream: &mut TcpStream, segments: &[Bytes]) -> io::Result<()> {
-    let mut idx = 0usize; // first segment with unwritten bytes
-    let mut off = 0usize; // bytes of segment `idx` already written
-    while idx < segments.len() {
-        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity((segments.len() - idx).min(1024));
-        slices.push(IoSlice::new(&segments[idx][off..]));
-        for seg in segments.iter().skip(idx + 1).take(1023) {
-            slices.push(IoSlice::new(seg));
-        }
-        let mut n = stream.write_vectored(&slices)?;
-        if n == 0 {
-            return Err(io::Error::new(io::ErrorKind::WriteZero, "socket write returned zero"));
-        }
-        while n > 0 {
-            let rem = segments[idx].len() - off;
-            if n >= rem {
-                n -= rem;
-                idx += 1;
-                off = 0;
-            } else {
-                off += n;
-                n = 0;
-            }
-        }
-    }
-    Ok(())
-}
-
-fn writer_loop(
-    queue: Receiver<Batch>,
-    queued_bytes: Arc<AtomicUsize>,
-    mut stream: TcpStream,
-    counters: Arc<Counters>,
-) {
-    // An eviction or host drop closes the queue; drain-and-exit.
-    while let Ok(first) = queue.recv() {
-        let mut segments = first.segments;
-        let mut frames = first.frames;
-        let mut bytes = first.bytes;
-        let mut batches = 1u64;
-        // Coalesce everything already queued into one vectored write.
-        while bytes < 256 * 1024 {
-            match queue.try_recv() {
-                Ok(next) => {
-                    segments.extend(next.segments);
-                    frames += next.frames;
-                    bytes += next.bytes;
-                    batches += 1;
-                }
-                Err(_) => break,
-            }
-        }
-        let result = write_segments(&mut stream, &segments);
-        queued_bytes.fetch_sub(bytes, Ordering::AcqRel);
-        if result.is_err() {
-            // Wake the reader thread so Disconnected surfaces.
-            stream.shutdown(std::net::Shutdown::Both).ok();
-            break;
-        }
-        counters.frames_out.fetch_add(frames, Ordering::Relaxed);
-        counters.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
-        if batches > 1 {
-            counters.coalesced_writes.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-    // Whatever is still queued when the writer exits — write error,
-    // eviction, host drop — will never reach the peer. Count it as
-    // dropped instead of discarding it silently.
-    let mut dropped_frames = 0u64;
-    let mut dropped_bytes = 0usize;
-    for batch in queue.try_iter() {
-        dropped_frames += batch.frames;
-        dropped_bytes += batch.bytes;
-    }
-    if dropped_frames > 0 {
-        counters.frames_dropped.fetch_add(dropped_frames, Ordering::Relaxed);
-    }
-    if dropped_bytes > 0 {
-        queued_bytes.fetch_sub(dropped_bytes, Ordering::AcqRel);
     }
 }
 
@@ -314,24 +223,55 @@ impl TcpHost {
         TcpHost::bind_with_config(addr, TcpHostConfig::default())
     }
 
-    /// Binds with an explicit queue/slow-consumer configuration.
+    /// Binds with an explicit queue/slow-consumer/pool configuration.
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind failures, including failure to spawn the accept
+    /// thread or the poll pool.
     pub fn bind_with_config(addr: &str, config: TcpHostConfig) -> io::Result<TcpHost> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let (tx, rx) = unbounded();
-        let writers: WriterMap = Arc::new(Mutex::new(HashMap::new()));
+        let conns: ConnMap = Arc::new(Mutex::new(HashMap::new()));
         let counters = Arc::new(Counters::default());
         let shutdown = Arc::new(AtomicBool::new(false));
         let next_id = Arc::new(AtomicU64::new(1));
 
-        let accept_writers = writers.clone();
+        // The fixed I/O pool, spawned up front: a pool-spawn failure is
+        // a bind error, not a per-connection casualty.
+        let pool_size = config.io_threads.max(1);
+        let mut pool: Vec<PollHandle> = Vec::with_capacity(pool_size);
+        for i in 0..pool_size {
+            let (cmd_tx, cmd_rx) = unbounded();
+            let waker = Arc::new(PollWaker::default());
+            let thread_body =
+                PollThread::new(cmd_rx, waker.clone(), tx.clone(), conns.clone(), counters.clone());
+            let spawned = std::thread::Builder::new()
+                .name(format!("cosoft-poll-{i}"))
+                .spawn(move || thread_body.run());
+            match spawned {
+                Ok(handle) => {
+                    pool.push(PollHandle { cmds: cmd_tx, waker, thread: Some(handle) });
+                }
+                Err(e) => {
+                    for h in &mut pool {
+                        let _ = h.cmds.send(Cmd::Shutdown);
+                        h.waker.wake();
+                        if let Some(t) = h.thread.take() {
+                            t.join().ok();
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        let accept_conns = conns.clone();
         let accept_counters = counters.clone();
         let accept_shutdown = shutdown.clone();
-        let queue_capacity = config.queue_capacity.max(1);
+        let accept_pool: Vec<(Sender<Cmd>, Arc<PollWaker>)> =
+            pool.iter().map(|h| (h.cmds.clone(), h.waker.clone())).collect();
         let accept_thread =
             std::thread::Builder::new().name("cosoft-accept".into()).spawn(move || {
                 for stream in listener.incoming() {
@@ -340,65 +280,43 @@ impl TcpHost {
                     }
                     let Ok(stream) = stream else { continue };
                     let id = ConnId(next_id.fetch_add(1, Ordering::SeqCst));
-                    stream.set_nodelay(true).ok();
-                    let (reader, writer) = match (stream.try_clone(), stream.try_clone()) {
-                        (Ok(r), Ok(w)) => (r, w),
-                        _ => continue,
-                    };
-                    let (queue_tx, queue_rx) = bounded(queue_capacity);
-                    let queued_bytes = Arc::new(AtomicUsize::new(0));
-                    let writer_counters = accept_counters.clone();
-                    let writer_queued_bytes = queued_bytes.clone();
-                    if std::thread::Builder::new()
-                        .name(format!("cosoft-writer-{}", id.0))
-                        .spawn(move || {
-                            writer_loop(queue_rx, writer_queued_bytes, writer, writer_counters)
-                        })
-                        .is_err()
-                    {
-                        // Thread exhaustion hits this one connection, not
-                        // the whole host: close the socket and move on.
-                        accept_counters.thread_spawn_failures.fetch_add(1, Ordering::Relaxed);
+                    if stream.set_nodelay(true).is_err() {
+                        // Tolerated: the connection works, just slower.
+                        accept_counters.sockopt_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        // Not tolerated: the poll loop cannot own a
+                        // blocking socket without stalling its peers.
+                        accept_counters.sockopt_failures.fetch_add(1, Ordering::Relaxed);
                         let _ = stream.shutdown(std::net::Shutdown::Both);
                         continue;
                     }
-                    accept_writers
-                        .lock()
-                        .insert(id, ConnWriter { queue: queue_tx, queued_bytes, control: stream });
+                    let Ok(control) = stream.try_clone() else {
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        continue;
+                    };
+                    let outbox = Arc::new(Mutex::new(Outbox::default()));
+                    let queued_bytes = Arc::new(AtomicUsize::new(0));
+                    let gate = Arc::new(Gate::default());
+                    let thread = (id.0 as usize) % accept_pool.len();
+                    accept_conns.lock().insert(
+                        id,
+                        ConnShared {
+                            outbox: outbox.clone(),
+                            queued_bytes: queued_bytes.clone(),
+                            gate: gate.clone(),
+                            control,
+                            thread,
+                        },
+                    );
                     if tx.send(NetEvent::Connected(id)).is_err() {
                         break;
                     }
-                    let conn_tx = tx.clone();
-                    let conn_writers = accept_writers.clone();
-                    let conn_counters = accept_counters.clone();
-                    let spawned = std::thread::Builder::new()
-                        .name(format!("cosoft-conn-{}", id.0))
-                        .spawn(move || {
-                            let mut reader = BufReader::new(CountingReader {
-                                inner: reader,
-                                counters: conn_counters.clone(),
-                            });
-                            while let Ok(Some(msg)) = codec::read_frame(&mut reader) {
-                                conn_counters.frames_in.fetch_add(1, Ordering::Relaxed);
-                                if conn_tx.send(NetEvent::Message(id, msg)).is_err() {
-                                    break;
-                                }
-                            }
-                            // Dropping the entry closes the writer queue,
-                            // so the writer thread drains and exits.
-                            conn_writers.lock().remove(&id);
-                            let _ = conn_tx.send(NetEvent::Disconnected(id));
-                        });
-                    if spawned.is_err() {
-                        // `Connected` already went out, so surface the
-                        // teardown as a normal disconnect. Removing the
-                        // writer entry closes its queue and socket.
-                        accept_counters.thread_spawn_failures.fetch_add(1, Ordering::Relaxed);
-                        if let Some(w) = accept_writers.lock().remove(&id) {
-                            let _ = w.control.shutdown(std::net::Shutdown::Both);
-                        }
-                        let _ = tx.send(NetEvent::Disconnected(id));
+                    let (cmds, waker) = &accept_pool[thread];
+                    if cmds.send(Cmd::Register(id, stream, outbox, queued_bytes, gate)).is_err() {
+                        break;
                     }
+                    waker.wake();
                 }
             })?;
 
@@ -406,9 +324,10 @@ impl TcpHost {
             local_addr,
             config,
             events: rx,
-            writers,
+            conns,
             counters,
             shutdown,
+            pool,
             accept_thread: Some(accept_thread),
         })
     }
@@ -436,22 +355,24 @@ impl TcpHost {
     /// A cloneable handle that can snapshot [`TcpStats`] after the host
     /// moved into a server thread.
     pub fn stats_handle(&self) -> TcpStatsHandle {
-        TcpStatsHandle { counters: self.counters.clone(), writers: self.writers.clone() }
+        TcpStatsHandle { counters: self.counters.clone(), conns: self.conns.clone() }
     }
 
-    /// Queued (not yet written) outbound batches for one connection.
+    /// Queued (not yet fully written) outbound batches for one
+    /// connection.
     pub fn queue_depth(&self, conn: ConnId) -> Option<usize> {
-        self.writers.lock().get(&conn).map(|w| w.queue.len())
+        self.conns.lock().get(&conn).map(|c| c.outbox.lock().batches.len())
     }
 
     /// Sends a message to one connection by enqueueing it on the
-    /// connection's writer; does not block on the socket.
+    /// connection's outbox and waking the owning poll thread; does not
+    /// block on the socket.
     ///
     /// # Errors
     ///
     /// `NotConnected` if the connection is gone; `TimedOut` if the
-    /// connection's queue stayed full past the enqueue timeout (the
-    /// connection is then evicted as a slow consumer).
+    /// connection's backlog stayed over budget past the enqueue timeout
+    /// (the connection is then evicted as a slow consumer).
     pub fn send(&self, conn: ConnId, msg: &Message) -> io::Result<()> {
         self.send_frame(conn, &codec::frame_message_shared(msg))
     }
@@ -465,7 +386,7 @@ impl TcpHost {
     /// Same as [`TcpHost::send`].
     pub fn send_frame(&self, conn: ConnId, frame: &SharedFrame) -> io::Result<()> {
         let bytes = frame.bytes().clone();
-        self.enqueue(conn, Batch { bytes: bytes.len(), segments: vec![bytes], frames: 1 })
+        self.enqueue(conn, OutBatch { bytes: bytes.len(), segments: vec![bytes], frames: 1 })
     }
 
     /// Sends a whole server turn of pre-encoded frames, coalescing all
@@ -473,15 +394,15 @@ impl TcpHost {
     /// (vectored) write. A shared frame fanned out to many connections
     /// lands here as cheap clones of one buffer — nothing is re-encoded
     /// or concatenated per destination. Returns the connections that
-    /// could not be delivered to (gone or evicted); their reader
-    /// threads surface [`NetEvent::Disconnected`].
+    /// could not be delivered to (gone or evicted); the poll loop
+    /// surfaces [`NetEvent::Disconnected`] for them.
     pub fn send_batch(&self, outgoing: &[(ConnId, SharedFrame)]) -> Vec<ConnId> {
         let mut order: Vec<ConnId> = Vec::new();
-        let mut per_conn: HashMap<ConnId, Batch> = HashMap::new();
+        let mut per_conn: HashMap<ConnId, OutBatch> = HashMap::new();
         for (conn, frame) in outgoing {
             let batch = per_conn.entry(*conn).or_insert_with(|| {
                 order.push(*conn);
-                Batch { segments: Vec::new(), frames: 0, bytes: 0 }
+                OutBatch { segments: Vec::new(), frames: 0, bytes: 0 }
             });
             batch.segments.push(frame.bytes().clone());
             batch.bytes += frame.len();
@@ -497,12 +418,12 @@ impl TcpHost {
         failed
     }
 
-    fn enqueue(&self, conn: ConnId, batch: Batch) -> io::Result<()> {
-        // Hold the map lock only to clone the queue handles: the actual
-        // enqueue (which may wait) happens outside, so a full queue on
-        // one connection never blocks sends to its peers.
-        let (queue, queued_bytes) = match self.writers.lock().get(&conn) {
-            Some(w) => (w.queue.clone(), w.queued_bytes.clone()),
+    fn enqueue(&self, conn: ConnId, batch: OutBatch) -> io::Result<()> {
+        // Hold the map lock only to clone the connection's handles: the
+        // admission wait happens outside, so a full backlog on one
+        // connection never blocks sends to its peers.
+        let (outbox, queued_bytes, gate, thread) = match self.conns.lock().get(&conn) {
+            Some(c) => (c.outbox.clone(), c.queued_bytes.clone(), c.gate.clone(), c.thread),
             None => {
                 self.counters.frames_dropped.fetch_add(batch.frames, Ordering::Relaxed);
                 return Err(io::Error::new(io::ErrorKind::NotConnected, "connection closed"));
@@ -510,27 +431,38 @@ impl TcpHost {
         };
         let frames = batch.frames;
         let bytes = batch.bytes;
-        // Reserve the batch's bytes against the connection's backlog
-        // budget; an oversized batch is admitted into an empty backlog
-        // so it cannot wedge itself.
         let deadline = Instant::now() + self.config.enqueue_timeout;
         let mut waited = false;
+        let mut batch = Some(batch);
         loop {
-            let cur = queued_bytes.load(Ordering::Acquire);
-            if cur == 0 || cur + bytes <= self.config.queue_max_bytes {
-                if queued_bytes
-                    .compare_exchange(cur, cur + bytes, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-                {
-                    break;
+            // Capture the gate generation *before* checking admission:
+            // a drain that lands in between bumps it, so the wait below
+            // returns immediately instead of losing the wakeup.
+            let seen = gate.generation();
+            {
+                let mut ob = outbox.lock();
+                if ob.closed {
+                    self.counters.frames_dropped.fetch_add(frames, Ordering::Relaxed);
+                    return Err(io::Error::new(io::ErrorKind::NotConnected, "connection closed"));
                 }
-                continue;
+                let cur = queued_bytes.load(Ordering::Acquire);
+                let empty = ob.batches.is_empty();
+                let bytes_ok = empty || cur + bytes <= self.config.queue_max_bytes;
+                let cap_ok = ob.batches.len() < self.config.queue_capacity.max(1);
+                if bytes_ok && cap_ok {
+                    queued_bytes.fetch_add(bytes, Ordering::AcqRel);
+                    ob.batches.push_back(batch.take().expect("admitted exactly once"));
+                    drop(ob);
+                    self.pool[thread].waker.wake();
+                    return Ok(());
+                }
             }
             if !waited {
                 waited = true;
                 self.counters.enqueue_full_waits.fetch_add(1, Ordering::Relaxed);
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 self.counters.frames_dropped.fetch_add(frames, Ordering::Relaxed);
                 self.evict_slow_consumer(conn);
                 return Err(io::Error::new(
@@ -538,58 +470,28 @@ impl TcpHost {
                     "slow consumer: outbound backlog stayed over budget past the enqueue timeout",
                 ));
             }
-            std::thread::sleep(Duration::from_millis(1));
-        }
-        let release_reservation = || {
-            queued_bytes.fetch_sub(bytes, Ordering::AcqRel);
-            self.counters.frames_dropped.fetch_add(frames, Ordering::Relaxed);
-        };
-        let batch = match queue.try_send(batch) {
-            Ok(()) => return Ok(()),
-            Err(TrySendError::Disconnected(b)) => {
-                release_reservation();
-                drop(b);
-                return Err(io::Error::new(io::ErrorKind::NotConnected, "connection closed"));
-            }
-            Err(TrySendError::Full(b)) => b,
-        };
-        if !waited {
-            self.counters.enqueue_full_waits.fetch_add(1, Ordering::Relaxed);
-        }
-        match queue.send_timeout(batch, deadline.saturating_duration_since(Instant::now())) {
-            Ok(()) => Ok(()),
-            Err(SendTimeoutError::Disconnected(_)) => {
-                release_reservation();
-                Err(io::Error::new(io::ErrorKind::NotConnected, "connection closed"))
-            }
-            Err(SendTimeoutError::Timeout(_)) => {
-                release_reservation();
-                self.evict_slow_consumer(conn);
-                Err(io::Error::new(
-                    io::ErrorKind::TimedOut,
-                    "slow consumer: outbound queue stayed full past the enqueue timeout",
-                ))
-            }
+            gate.wait(seen, deadline - now);
         }
     }
 
-    /// Forcibly disconnects a consumer whose queue stayed full. The
-    /// reader thread surfaces the [`NetEvent::Disconnected`].
+    /// Forcibly disconnects a consumer whose backlog stayed over budget.
+    /// The owning poll thread surfaces the [`NetEvent::Disconnected`].
     fn evict_slow_consumer(&self, conn: ConnId) {
-        if let Some(w) = self.writers.lock().remove(&conn) {
+        if let Some(c) = self.conns.lock().remove(&conn) {
             self.counters.slow_consumer_evictions.fetch_add(1, Ordering::Relaxed);
-            // Dropping `w.queue` closes the writer's channel; shutting
-            // the socket down unblocks both the writer (mid-write) and
-            // the reader (which then reports the disconnect).
-            w.control.shutdown(std::net::Shutdown::Both).ok();
+            c.control.shutdown(std::net::Shutdown::Both).ok();
+            let _ = self.pool[c.thread].cmds.send(Cmd::Close(conn));
+            self.pool[c.thread].waker.wake();
         }
     }
 
-    /// Closes one connection; its reader thread will surface a
+    /// Closes one connection; the owning poll thread will surface a
     /// [`NetEvent::Disconnected`].
     pub fn disconnect(&self, conn: ConnId) {
-        if let Some(w) = self.writers.lock().remove(&conn) {
-            w.control.shutdown(std::net::Shutdown::Both).ok();
+        if let Some(c) = self.conns.lock().remove(&conn) {
+            c.control.shutdown(std::net::Shutdown::Both).ok();
+            let _ = self.pool[c.thread].cmds.send(Cmd::Close(conn));
+            self.pool[c.thread].waker.wake();
         }
     }
 }
@@ -610,11 +512,20 @@ impl Drop for TcpHost {
         };
         let wake_addr = SocketAddr::new(wake_ip, self.local_addr.port());
         let _ = TcpStream::connect_timeout(&wake_addr, Duration::from_millis(100));
-        for (_, w) in self.writers.lock().drain() {
-            w.control.shutdown(std::net::Shutdown::Both).ok();
-        }
         if let Some(h) = self.accept_thread.take() {
             h.join().ok();
+        }
+        // With the accept thread joined, no further registrations can
+        // race the pool shutdown; each poll thread tears its
+        // connections down (counting unwritten frames as dropped).
+        for h in &mut self.pool {
+            let _ = h.cmds.send(Cmd::Shutdown);
+            h.waker.wake();
+        }
+        for h in &mut self.pool {
+            if let Some(t) = h.thread.take() {
+                t.join().ok();
+            }
         }
     }
 }
@@ -635,6 +546,34 @@ pub enum ClientEvent {
     /// The policy's attempt budget is exhausted; the client stays dead.
     GaveUp,
 }
+
+/// Why a [`TcpClient::recv_within`] call returned without a message.
+///
+/// The old `recv_timeout` collapsed both cases to `None`, which forced
+/// callers to guess "quiet or dead?" with heuristics; this distinction
+/// lets them stop guessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived within the timeout; as far as the client
+    /// knows the connection is still alive (or being revived by the
+    /// reconnect loop).
+    Timeout,
+    /// The connection is gone for good — closed, failed without a
+    /// reconnect policy, or the reconnect loop gave up. No message will
+    /// ever arrive again.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout => f.write_str("receive timed out"),
+            RecvError::Disconnected => f.write_str("connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
 
 /// Exponential-backoff policy for [`TcpClient::connect_with_reconnect`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -704,6 +643,9 @@ pub struct TcpClient {
     outbox: Sender<Bytes>,
     /// Frames enqueued but not yet written (close drains these briefly).
     pending_writes: Arc<AtomicUsize>,
+    /// Signaled by the writer thread as `pending_writes` drains, so
+    /// `close` can wait for the flush without sleep-polling.
+    flushed: Arc<Gate>,
     /// Set by the writer on an unrecoverable write error (no reconnect
     /// policy): later sends fail fast instead of queueing into a void.
     broken: Arc<AtomicBool>,
@@ -712,6 +654,7 @@ pub struct TcpClient {
     closed: Arc<AtomicBool>,
     reconnects: Arc<AtomicU64>,
     reconnect_attempts: Arc<AtomicU64>,
+    sockopt_failures: Arc<AtomicU64>,
     _reader: JoinHandle<()>,
     _writer: JoinHandle<()>,
 }
@@ -754,11 +697,15 @@ impl TcpClient {
 
     fn spawn(addr: SocketAddr, policy: Option<ReconnectPolicy>) -> io::Result<TcpClient> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
+        let sockopt_failures = Arc::new(AtomicU64::new(0));
+        if stream.set_nodelay(true).is_err() {
+            sockopt_failures.fetch_add(1, Ordering::Relaxed);
+        }
         let stream = Arc::new(Mutex::new(stream));
         let closed = Arc::new(AtomicBool::new(false));
         let broken = Arc::new(AtomicBool::new(false));
         let pending_writes = Arc::new(AtomicUsize::new(0));
+        let flushed = Arc::new(Gate::default());
         let reconnects = Arc::new(AtomicU64::new(0));
         let reconnect_attempts = Arc::new(AtomicU64::new(0));
         let (tx, rx): (Sender<Message>, Receiver<Message>) = unbounded();
@@ -776,6 +723,7 @@ impl TcpClient {
             let closed = Arc::clone(&closed);
             let reconnects = Arc::clone(&reconnects);
             let reconnect_attempts = Arc::clone(&reconnect_attempts);
+            let sockopt_failures = Arc::clone(&sockopt_failures);
             std::thread::Builder::new().name("cosoft-client-reader".into()).spawn(move || {
                 Self::reader_loop(
                     addr,
@@ -784,6 +732,7 @@ impl TcpClient {
                     &closed,
                     &reconnects,
                     &reconnect_attempts,
+                    &sockopt_failures,
                     &tx,
                     event_tx.as_ref(),
                 );
@@ -803,9 +752,18 @@ impl TcpClient {
             let closed = Arc::clone(&closed);
             let broken = Arc::clone(&broken);
             let pending = Arc::clone(&pending_writes);
+            let flushed = Arc::clone(&flushed);
             let has_reconnect = policy.is_some();
             std::thread::Builder::new().name("cosoft-client-writer".into()).spawn(move || {
-                Self::writer_loop(outbox_rx, &stream, &closed, &broken, &pending, has_reconnect)
+                Self::writer_loop(
+                    outbox_rx,
+                    &stream,
+                    &closed,
+                    &broken,
+                    &pending,
+                    &flushed,
+                    has_reconnect,
+                )
             })
         };
         let writer = match writer {
@@ -823,12 +781,14 @@ impl TcpClient {
             stream,
             outbox: outbox_tx,
             pending_writes,
+            flushed,
             broken,
             incoming: rx,
             events: event_rx,
             closed,
             reconnects,
             reconnect_attempts,
+            sockopt_failures,
             _reader: reader,
             _writer: writer,
         })
@@ -840,6 +800,7 @@ impl TcpClient {
         closed: &AtomicBool,
         broken: &AtomicBool,
         pending: &AtomicUsize,
+        flushed: &Gate,
         has_reconnect: bool,
     ) {
         while let Ok(frame) = outbox.recv() {
@@ -852,6 +813,7 @@ impl TcpClient {
                 Err(e) => Err(e),
             };
             pending.fetch_sub(1, Ordering::AcqRel);
+            flushed.notify();
             if result.is_err() {
                 if closed.load(Ordering::SeqCst) {
                     break;
@@ -870,6 +832,7 @@ impl TcpClient {
         for _ in outbox.try_iter() {
             pending.fetch_sub(1, Ordering::AcqRel);
         }
+        flushed.notify();
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -880,6 +843,7 @@ impl TcpClient {
         closed: &AtomicBool,
         reconnects: &AtomicU64,
         reconnect_attempts: &AtomicU64,
+        sockopt_failures: &AtomicU64,
         tx: &Sender<Message>,
         event_tx: Option<&Sender<ClientEvent>>,
     ) {
@@ -919,7 +883,9 @@ impl TcpClient {
                 }
                 match TcpStream::connect(addr) {
                     Ok(fresh) => {
-                        fresh.set_nodelay(true).ok();
+                        if fresh.set_nodelay(true).is_err() {
+                            sockopt_failures.fetch_add(1, Ordering::Relaxed);
+                        }
                         *stream.lock() = fresh;
                         // close() may have raced the swap: shut the fresh
                         // socket down too rather than resurrecting a
@@ -988,9 +954,26 @@ impl TcpClient {
 
     /// Receives the next message, blocking up to `timeout`.
     ///
-    /// Returns `None` on timeout or when the connection closed.
+    /// Returns `None` on timeout or when the connection closed; use
+    /// [`TcpClient::recv_within`] to tell the two cases apart.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
-        self.incoming.recv_timeout(timeout).ok()
+        self.recv_within(timeout).ok()
+    }
+
+    /// Receives the next message, blocking up to `timeout`, and — unlike
+    /// [`TcpClient::recv_timeout`] — says *why* there was no message:
+    /// [`RecvError::Timeout`] means "quiet but alive", while
+    /// [`RecvError::Disconnected`] means the connection is gone for good
+    /// and waiting longer is pointless.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] when no message arrived.
+    pub fn recv_within(&self, timeout: Duration) -> Result<Message, RecvError> {
+        self.incoming.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RecvError::Timeout,
+            RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
     }
 
     /// Non-blocking receive.
@@ -1019,6 +1002,14 @@ impl TcpClient {
         self.reconnect_attempts.load(Ordering::Relaxed)
     }
 
+    /// Socket-option calls (`set_nodelay`) that failed on this client's
+    /// connections, including reconnect swaps. Nonzero means the
+    /// platform is misbehaving (latency will suffer), not that the
+    /// connection is broken.
+    pub fn sockopt_failures(&self) -> u64 {
+        self.sockopt_failures.load(Ordering::Relaxed)
+    }
+
     /// Shuts the connection down; the server sees a disconnect and the
     /// reconnect loop (if any) stops instead of redialing. Waits up to
     /// the flush timeout for already-queued frames (e.g. a graceful
@@ -1033,8 +1024,19 @@ impl TcpClient {
         // that follows an explicit close) goes straight to shutdown.
         if !self.closed.swap(true, Ordering::SeqCst) {
             let deadline = Instant::now() + CLIENT_FLUSH_TIMEOUT;
-            while self.pending_writes.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
-                std::thread::sleep(Duration::from_millis(1));
+            loop {
+                // Generation before the check, so a drain landing right
+                // after the check still wakes the wait (no lost signal,
+                // no sleep-poll).
+                let seen = self.flushed.generation();
+                if self.pending_writes.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                self.flushed.wait(seen, deadline - now);
             }
         }
         self.stream.lock().shutdown(std::net::Shutdown::Both).ok();
@@ -1109,6 +1111,10 @@ mod tests {
         assert!(stats.bytes_in > 0);
         assert!(stats.bytes_out > 0);
         assert_eq!(stats.active_connections, 1);
+        // Loopback sockets accept both options; a nonzero count here
+        // would mean the counters misfire on the healthy path.
+        assert_eq!(stats.sockopt_failures, 0);
+        assert_eq!(client.sockopt_failures(), 0);
     }
 
     #[test]
@@ -1202,8 +1208,8 @@ mod tests {
         };
 
         // Fill the stalled connection's socket buffer and part of its
-        // queue: big frames, writer thread blocks in write_all, sends
-        // keep succeeding as long as the queue has room.
+        // outbox: big frames wedge in the kernel buffer, sends keep
+        // succeeding as long as the outbox has room.
         let blob = big_payload_msg(256);
         let mut queued = 0;
         for _ in 0..config.queue_capacity {
@@ -1234,8 +1240,8 @@ mod tests {
         drop(stalled_socket);
     }
 
-    /// Tentpole regression: a consumer whose queue stays full past the
-    /// enqueue timeout is evicted and surfaced as Disconnected.
+    /// Tentpole regression: a consumer whose backlog stays over budget
+    /// past the enqueue timeout is evicted and surfaced as Disconnected.
     #[test]
     fn slow_consumer_is_evicted() {
         let config = TcpHostConfig {
@@ -1275,6 +1281,99 @@ mod tests {
         let err = host.send(stalled, &Message::QueryInstances).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotConnected);
         drop(stalled_socket);
+    }
+
+    /// Satellite regression (backpressure wakeup): an enqueue blocked on
+    /// a full byte budget must wake *when the poll thread drains bytes*,
+    /// not by polling a sleep loop or waiting out its timeout. The
+    /// consumer starts reading shortly after the backlog fills; with a
+    /// 5 s enqueue timeout, the whole burst completing fast proves every
+    /// blocked enqueue was woken by the drain.
+    #[test]
+    fn blocked_enqueue_wakes_on_drain_not_timeout() {
+        const ROUNDS: usize = 40;
+        let config = TcpHostConfig {
+            queue_capacity: 4,
+            queue_max_bytes: 512 * 1024,
+            enqueue_timeout: Duration::from_secs(5),
+            ..TcpHostConfig::default()
+        };
+        let host = TcpHost::bind_with_config("127.0.0.1:0", config).unwrap();
+        let socket = std::net::TcpStream::connect(host.local_addr()).unwrap();
+        let conn = match host.events().recv_timeout(TIMEOUT).unwrap() {
+            NetEvent::Connected(c) => c,
+            other => panic!("expected Connected, got {other:?}"),
+        };
+
+        // Late-starting consumer: the backlog fills first (kernel buffer
+        // + byte budget << ROUNDS × 256 KiB), then drains steadily.
+        let drainer = std::thread::spawn(move || {
+            use std::io::Read;
+            std::thread::sleep(Duration::from_millis(150));
+            let mut socket = socket;
+            let mut sink = vec![0u8; 64 * 1024];
+            let mut total = 0usize;
+            while total < ROUNDS * (256 * 1024) {
+                match socket.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => total += n,
+                }
+            }
+            socket
+        });
+
+        let blob = big_payload_msg(256);
+        let t0 = Instant::now();
+        for round in 0..ROUNDS {
+            host.send(conn, &blob).unwrap_or_else(|e| panic!("send {round} failed: {e}"));
+        }
+        let elapsed = t0.elapsed();
+
+        let stats = host.stats();
+        assert!(stats.enqueue_full_waits >= 1, "the backlog never filled; test proves nothing");
+        assert_eq!(stats.slow_consumer_evictions, 0, "drained consumer was evicted");
+        // 40 × 256 KiB over loopback drains in well under a second once
+        // the consumer starts; a sleep-poll adds ~1 ms per wait and
+        // still passes, but waiting out even one 5 s timeout cannot.
+        assert!(
+            elapsed < Duration::from_secs(4),
+            "blocked enqueues did not wake on drain (burst took {elapsed:?})"
+        );
+        let socket = drainer.join().unwrap();
+        drop(socket);
+    }
+
+    /// Satellite regression (recv distinction): `recv_within` reports
+    /// "quiet but alive" and "gone for good" differently, so callers no
+    /// longer need the timeout-or-channel-quiet guessing the collapsed
+    /// `recv_timeout` forced on them.
+    #[test]
+    fn recv_within_distinguishes_timeout_from_disconnect() {
+        let host = TcpHost::bind("127.0.0.1:0").unwrap();
+        let client = TcpClient::connect(host.local_addr()).unwrap();
+        let conn = match host.events().recv_timeout(TIMEOUT).unwrap() {
+            NetEvent::Connected(c) => c,
+            other => panic!("expected Connected, got {other:?}"),
+        };
+
+        // Quiet but alive: a short wait times out.
+        assert_eq!(client.recv_within(Duration::from_millis(50)), Err(RecvError::Timeout));
+
+        // Messages still come through as Ok.
+        host.send(conn, &Message::Welcome { instance: InstanceId(1) }).unwrap();
+        match client.recv_within(TIMEOUT) {
+            Ok(Message::Welcome { instance }) => assert_eq!(instance, InstanceId(1)),
+            other => panic!("expected Welcome, got {other:?}"),
+        }
+
+        // Gone for good: the host hangs up, and (with no reconnect
+        // policy) the client reports Disconnected, not Timeout.
+        host.disconnect(conn);
+        assert_eq!(client.recv_within(TIMEOUT), Err(RecvError::Disconnected));
+        // And it keeps saying so without waiting out the timeout.
+        let t0 = Instant::now();
+        assert_eq!(client.recv_within(TIMEOUT), Err(RecvError::Disconnected));
+        assert!(t0.elapsed() < Duration::from_secs(1));
     }
 
     /// Satellite regression: a wedged socket write (peer never reads)
@@ -1363,5 +1462,37 @@ mod tests {
         ]);
         assert_eq!(failed, vec![conn]);
         assert_eq!(host.stats().frames_dropped, 2);
+    }
+
+    /// The pool really is fixed-size: traffic over many connections with
+    /// `io_threads: 2` flows correctly (round-robin assignment puts
+    /// neighbours on different poll threads).
+    #[test]
+    fn small_pool_carries_many_connections() {
+        let config = TcpHostConfig { io_threads: 2, ..TcpHostConfig::default() };
+        let host = TcpHost::bind_with_config("127.0.0.1:0", config).unwrap();
+        let clients: Vec<TcpClient> =
+            (0..8).map(|_| TcpClient::connect(host.local_addr()).unwrap()).collect();
+        let mut conns = Vec::new();
+        for _ in 0..clients.len() {
+            match host.events().recv_timeout(TIMEOUT).unwrap() {
+                NetEvent::Connected(c) => conns.push(c),
+                other => panic!("expected Connected, got {other:?}"),
+            }
+        }
+        for (i, conn) in conns.iter().enumerate() {
+            host.send(*conn, &Message::Welcome { instance: InstanceId(i as u64 + 1) }).unwrap();
+        }
+        // Each client got exactly its own frame.
+        let mut seen = Vec::new();
+        for client in &clients {
+            match client.recv_timeout(TIMEOUT) {
+                Some(Message::Welcome { instance }) => seen.push(instance.0),
+                other => panic!("expected Welcome, got {other:?}"),
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (1..=8).collect::<Vec<u64>>());
+        assert_eq!(host.stats().active_connections, 8);
     }
 }

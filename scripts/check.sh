@@ -30,3 +30,10 @@ cargo test -q -p cosoft-core --test shard_sim
 cargo run -q --release -p cosoft-bench --bin fanout -- --smoke
 # Shard-scaling smoke: every shard-count series into BENCH_shard.json.
 cargo run -q --release -p cosoft-bench --bin shard -- --smoke
+# Connection scale: the readiness-driven host must carry ≥1k concurrent
+# sockets on its fixed poll pool (gate), and the scaling bench must emit
+# every conn-count series into BENCH_connscale.json (smoke). Both want
+# ~2 fds per connection, so raise the soft nofile limit if we can.
+ulimit -n 16384 2>/dev/null || true
+cargo test -q --release --test tcp_connscale
+cargo run -q --release -p cosoft-bench --bin connscale -- --smoke

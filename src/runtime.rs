@@ -7,7 +7,7 @@
 //! see `examples/tcp_demo.rs` and the `tcp_end_to_end` integration test.
 
 use std::io;
-use std::net::SocketAddr;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -15,8 +15,8 @@ use std::time::{Duration, Instant};
 
 use cosoft_core::session::Session;
 use cosoft_net::tcp::{
-    ClientEvent, ConnId, NetEvent, ReconnectPolicy, TcpClient, TcpHost, TcpHostConfig, TcpStats,
-    TcpStatsHandle,
+    ClientEvent, ConnId, NetEvent, ReconnectPolicy, RecvError, TcpClient, TcpHost, TcpHostConfig,
+    TcpStats, TcpStatsHandle,
 };
 use cosoft_server::{LivenessConfig, Outgoing, RouterStats, ServerStats, ShardRouter};
 
@@ -102,13 +102,30 @@ impl TcpServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let stop = shutdown.clone();
         let published = stats.clone();
+        // The dispatch loop is event-driven: the transport's poll
+        // threads push into the event channel and the recv below wakes
+        // immediately. The timeout is only a liveness *tick* — it must
+        // fire often enough for quarantine grace / idle deadlines to
+        // expire without traffic (a quarter of the shortest deadline),
+        // and otherwise just paces the once-a-second stats heartbeat.
+        // Shutdown does not wait for it either: `Drop` wakes the loop
+        // with a dummy connection.
+        let tick = {
+            let mut t = Duration::from_secs(1);
+            for us in [liveness.grace_us, liveness.idle_timeout_us] {
+                if us > 0 {
+                    t = t.min(Duration::from_micros(us / 4).max(Duration::from_millis(5)));
+                }
+            }
+            t
+        };
         let thread = std::thread::Builder::new().name("cosoft-server".into()).spawn(move || {
             let mut router: ShardRouter<ConnId> = ShardRouter::with_liveness(shards, liveness);
             let start = Instant::now();
             let mut last_published = (router.stats(), router.router_stats());
             let mut published_at = Instant::now();
             while !stop.load(Ordering::SeqCst) {
-                let first = match host.events().recv_timeout(Duration::from_millis(50)) {
+                let first = match host.events().recv_timeout(tick) {
                     Ok(e) => Some(e),
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
                     Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
@@ -192,6 +209,21 @@ impl TcpServer {
 impl Drop for TcpServer {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the dispatch loop right away instead of letting shutdown
+        // wait out the liveness tick: a dummy connection surfaces as a
+        // Connected event (handled as a no-op) and the loop re-checks
+        // the flag. Wildcard binds are not reliably connectable, so aim
+        // at the loopback of the same family.
+        let wake_ip = if self.addr.ip().is_unspecified() {
+            match self.addr.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            }
+        } else {
+            self.addr.ip()
+        };
+        let wake_addr = SocketAddr::new(wake_ip, self.addr.port());
+        let _ = TcpStream::connect_timeout(&wake_addr, Duration::from_millis(100));
         if let Some(t) = self.thread.take() {
             t.join().ok();
         }
@@ -330,16 +362,33 @@ impl TcpSession {
             if now >= deadline {
                 return Ok(());
             }
-            if let Some(msg) = self.client.recv_timeout(deadline - now) {
-                self.session.on_message(msg);
-                self.drain_client_events();
-                self.flush_for_pump()?;
-            } else {
-                // recv_timeout returns on timeout *or* channel quiet
-                // after a drop; check for lifecycle transitions either
-                // way so a rejoin starts promptly.
-                self.drain_client_events();
-                self.flush_for_pump()?;
+            match self.client.recv_within(deadline - now) {
+                Ok(msg) => {
+                    self.session.on_message(msg);
+                    self.drain_client_events();
+                    self.flush_for_pump()?;
+                }
+                Err(RecvError::Timeout) => {
+                    // Quiet but alive: check for lifecycle transitions
+                    // so a rejoin starts promptly.
+                    self.drain_client_events();
+                    self.flush_for_pump()?;
+                }
+                Err(RecvError::Disconnected) => {
+                    // Gone for good (closed, or the reconnect loop gave
+                    // up): nothing will ever arrive again. Drain the
+                    // last lifecycle events and sit out the remainder of
+                    // the window instead of hot-spinning on the dead
+                    // receiver, which is what the collapsed recv_timeout
+                    // used to force here.
+                    self.drain_client_events();
+                    self.flush_for_pump()?;
+                    let now = Instant::now();
+                    if now < deadline {
+                        std::thread::sleep(deadline - now);
+                    }
+                    return Ok(());
+                }
             }
         }
     }
@@ -367,10 +416,14 @@ impl TcpSession {
     }
 
     /// Gracefully leaves the session and closes the socket.
+    ///
+    /// Deterministic handshake, no timing guesswork: `flush` enqueues
+    /// the session's goodbye (`Deregister`), and [`TcpClient::close`]
+    /// waits — on the writer thread's flush signal, not a sleep — until
+    /// those frames reached the socket before shutting it down.
     pub fn close(mut self) {
         self.session.leave();
         let _ = self.flush();
-        std::thread::sleep(Duration::from_millis(20));
         self.client.close();
     }
 }
