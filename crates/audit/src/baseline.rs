@@ -1,0 +1,130 @@
+//! The committed panic-freedom baseline (`audit-baseline.toml`).
+//!
+//! The ratchet rule counts unannotated panic sites per ratcheted crate
+//! and compares them against this file. The comparison is exact in both
+//! directions: a count above the baseline is a regression, a count
+//! below it is a stale baseline (the PR that removed the panics must
+//! also lower the number, so the improvement is locked in and cannot
+//! silently regress back up to the old line).
+//!
+//! The file format is the small TOML subset the audit needs — one
+//! `[unannotated-panics]` table of `crate = integer` entries plus `#`
+//! comments — parsed here by hand because the workspace builds without
+//! a TOML dependency.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Workspace-relative path of the baseline file.
+pub const BASELINE_PATH: &str = "audit-baseline.toml";
+
+/// Parsed baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Allowed unannotated panic-site count per crate name.
+    pub unannotated_panics: BTreeMap<String, u64>,
+}
+
+/// A baseline file that failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line of the problem.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} line {}: {}", BASELINE_PATH, self.line, self.message)
+    }
+}
+
+impl Baseline {
+    /// Parses the baseline file text.
+    ///
+    /// # Errors
+    ///
+    /// Unknown sections, non-integer values, and lines that are neither
+    /// a section header, a `key = value` entry, a comment, nor blank.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut baseline = Baseline::default();
+        let mut section = String::new();
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = (i + 1) as u32;
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            };
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_owned();
+                if section != "unannotated-panics" {
+                    return Err(BaselineError {
+                        line: lineno,
+                        message: format!("unknown section `[{section}]`"),
+                    });
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            if section != "unannotated-panics" {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: "entry outside the `[unannotated-panics]` section".into(),
+                });
+            }
+            let key = key.trim().trim_matches('"').to_owned();
+            let value: u64 = value.trim().parse().map_err(|_| BaselineError {
+                line: lineno,
+                message: format!("value for `{key}` is not a non-negative integer"),
+            })?;
+            if baseline.unannotated_panics.insert(key.clone(), value).is_some() {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: format!("duplicate entry for `{key}`"),
+                });
+            }
+        }
+        Ok(baseline)
+    }
+
+    /// The baseline count for `crate_name` (absent means zero: a crate
+    /// not listed has no panic allowance).
+    pub fn allowance(&self, crate_name: &str) -> u64 {
+        self.unannotated_panics.get(crate_name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_counts_and_comments() {
+        let b = Baseline::parse(
+            "# header comment\n[unannotated-panics]\ncosoft-net = 3 # trailing\ncosoft-server = 12\n",
+        )
+        .expect("parses");
+        assert_eq!(b.allowance("cosoft-net"), 3);
+        assert_eq!(b.allowance("cosoft-server"), 12);
+        assert_eq!(b.allowance("cosoft-wire"), 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Baseline::parse("[other-section]\n").is_err());
+        assert!(Baseline::parse("[unannotated-panics]\ncosoft-net = many\n").is_err());
+        assert!(Baseline::parse("cosoft-net = 3\n").is_err());
+        assert!(Baseline::parse("[unannotated-panics]\nwhat is this\n").is_err());
+        assert!(Baseline::parse("[unannotated-panics]\na = 1\na = 2\n").is_err());
+    }
+}

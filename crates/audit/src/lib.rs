@@ -1,8 +1,8 @@
-//! The COSOFT verification layer: workspace protocol lints and a
-//! bounded-exhaustive schedule explorer.
+//! The COSOFT verification layer: workspace protocol lints, AST-based
+//! source analyses, and a bounded-exhaustive schedule explorer.
 //!
-//! The repository's correctness story has two weak points that ordinary
-//! unit tests do not cover:
+//! The repository's correctness story has three weak points that
+//! ordinary unit tests do not cover:
 //!
 //! 1. **Cross-file protocol drift.** The [`cosoft_wire::Message`] enum,
 //!    its codec tag table, the golden byte-vector suite, and the server
@@ -10,10 +10,22 @@
 //!    same 37 message kinds. Nothing in the type system ties them
 //!    together across crates and test files, so a new variant can slip
 //!    in with no wire tag, no golden vector, or a silent `_ =>` drop in
-//!    the server. The [`lints`] module parses the actual sources and
-//!    fails the build when any leg of that square diverges.
+//!    the server. The [`lints`] module checks the literal wire tables
+//!    textually; the [`rules`] module checks the syntactic legs
+//!    (dispatch arms, restricted calls, crate headers) on a parsed AST.
 //!
-//! 2. **Interleaving-dependent lock-table corruption.** The floor
+//! 2. **Runtime failure modes no test happens to hit.** A stray
+//!    `unwrap` in the poll loop, a blocking call reachable from
+//!    `PollThread::run`, or two mutexes acquired in opposite orders
+//!    only bite under production interleavings. The [`ast`] module
+//!    parses the whole workspace (hand-rolled lexer + item parser — no
+//!    external syntax crate), and [`rules`] runs a panic-freedom
+//!    ratchet against the committed `audit-baseline.toml`, a
+//!    blocking-call lint over the call graph of the poll loop, and a
+//!    lock-order cycle analysis over the static mutex-acquisition
+//!    graph.
+//!
+//! 3. **Interleaving-dependent lock-table corruption.** The floor
 //!    control algorithm (paper §4) holds locks across multi-client
 //!    round trips; whether an invariant violation is reachable depends
 //!    on the order clients act in. The [`explore`] module runs a
@@ -21,18 +33,22 @@
 //!    population, checking the server-wide invariant pack after every
 //!    step (`crates/server/tests/lock_model.rs` is the concrete model).
 //!
-//! Both halves are pure: lints map source text to violations, the
-//! explorer maps a cloneable model to statistics or a counterexample
-//! trace. All I/O lives in the `cosoft-audit` binary, which `scripts/
-//! check.sh` and the CI `audit` job run against the real workspace.
+//! All halves are pure: lints and rules map source text to violations,
+//! the explorer maps a cloneable model to statistics or a
+//! counterexample trace. All I/O lives in the `cosoft-audit` binary,
+//! which `scripts/check.sh` and the CI `audit` job run against the
+//! real workspace.
 //!
 //! [`cosoft_wire::Message`]: ../cosoft_wire/enum.Message.html
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod ast;
+pub mod baseline;
 pub mod explore;
 pub mod lints;
+pub mod rules;
 
 pub use explore::{explore, ExploreError, ExploreLimits, ExploreStats, Model};
 pub use lints::{run_all_lints, Violation, WorkspaceSources};

@@ -11,13 +11,16 @@
 //! * the `Message` enum declaration (`crates/wire/src/message.rs`),
 //! * the codec's encoder/decoder tag tables and the shared-frame
 //!   `TAG_KIND_NAMES` table (`crates/wire/src/codec.rs`),
-//! * the golden byte-vector suite (`crates/wire/tests/golden.rs`),
-//! * the server dispatch (`crates/server/src/server.rs`),
+//! * the golden byte-vector suite (`crates/wire/tests/golden.rs`).
 //!
-//! plus two hygiene rules: restricted APIs (teardown-only lock calls,
-//! the shard-only `ServerCore` surface) may only be called from
-//! sanctioned modules, and every crate root must carry the workspace
-//! lint headers (`#![forbid(unsafe_code)]`, `#![deny(missing_docs)]`).
+//! The former text ports of the dispatch-coverage, restricted-call,
+//! and crate-header rules now live in [`crate::rules`], rebuilt on the
+//! parsed AST (see `rules::dispatch`, `rules::restricted`,
+//! `rules::headers`) — token-level matching removed the false-positive
+//! class where commented-out or string-literal code tripped the scan.
+//! The wire-table lints here remain textual on purpose: their inputs
+//! (`ALL_KINDS`, tag tables, golden vectors) are string/const tables
+//! whose *literal* contents are exactly what is being compared.
 
 use std::fmt;
 use std::path::Path;
@@ -361,39 +364,6 @@ fn message_refs(src: &str) -> Vec<String> {
 const MESSAGE_RS: &str = "crates/wire/src/message.rs";
 const CODEC_RS: &str = "crates/wire/src/codec.rs";
 const GOLDEN_RS: &str = "crates/wire/tests/golden.rs";
-const SERVER_RS: &str = "crates/server/src/server.rs";
-
-/// Message kinds the server dispatch is allowed to leave unhandled.
-/// Empty today: every variant must appear by name in `server.rs`
-/// (server-to-client-only kinds in the counted `unexpected` arm).
-pub const DISPATCH_ALLOWLIST: &[&str] = &[];
-
-/// Modules allowed to call `LockTable::force_unlock` (teardown-only
-/// API): the lock table itself (definition + unit tests) and the
-/// lock-table property suite.
-pub const FORCE_UNLOCK_SANCTIONED: &[&str] =
-    &["crates/server/src/locks.rs", "crates/server/tests/lock_props.rs"];
-
-/// Path prefixes allowed to call `LockTable::unlock_exec` (lock release
-/// is the server core's job; clients and tests drive it through
-/// messages). The lock-granularity benchmarks exercise the table
-/// directly and are sanctioned too.
-pub const UNLOCK_EXEC_SANCTIONED: &[&str] =
-    &["crates/server/src/", "crates/server/tests/", "crates/bench/benches/"];
-
-/// Path prefixes allowed to call the shard-only `ServerCore` surface
-/// (`extract_component` / `absorb_component` / `deliver_command` /
-/// `take_route_events`): the core and router that define it, the server
-/// test suites that drive handoffs directly, and the runtime that owns
-/// the shard set. Everything else must go through `ShardRouter`, which
-/// keeps its routing maps consistent — a stray caller draining the
-/// route log or extracting a component silently desyncs the router.
-pub const SHARD_API_SANCTIONED: &[&str] = &[
-    "crates/server/src/server.rs",
-    "crates/server/src/shard.rs",
-    "crates/server/tests/",
-    "src/runtime.rs",
-];
 
 /// Rule `enum-vs-kinds`: the enum declaration, `kind_name`, and
 /// `ALL_KINDS` enumerate the same kinds.
@@ -657,113 +627,16 @@ pub fn lint_golden_coverage(message_rs: &str, golden_rs: &str) -> Vec<Violation>
     v
 }
 
-/// Rule `dispatch-coverage`: every variant is named in the server
-/// dispatch (or allowlisted), and the dispatch contains no wildcard or
-/// lowercase-binding match arms that would silently drop a message
-/// kind.
-pub fn lint_dispatch_coverage(message_rs: &str, server_rs: &str) -> Vec<Violation> {
-    let mut v = Vec::new();
-    let variants = message_variants(message_rs);
-    let refs = message_refs(server_rs);
-    for variant in &variants {
-        if DISPATCH_ALLOWLIST.contains(&variant.as_str()) {
-            continue;
-        }
-        if !refs.contains(variant) {
-            v.push(Violation {
-                rule: "dispatch-coverage",
-                file: SERVER_RS.into(),
-                detail: format!("variant `{variant}` is not handled by name in the dispatch"),
-            });
-        }
-    }
-    for (lineno, line) in server_rs.lines().enumerate() {
-        let code = strip_line_comment(line);
-        let trimmed = code.trim_start();
-        let ident: String =
-            trimmed.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
-        let after = trimmed[ident.len()..].trim_start();
-        let is_binding = !ident.is_empty()
-            && ident.chars().next().is_some_and(|c| c.is_ascii_lowercase() || c == '_')
-            && after.starts_with("=>");
-        let is_wildcard = trimmed.starts_with("_ =>") || trimmed.starts_with("_ => ");
-        if is_binding || is_wildcard {
-            v.push(Violation {
-                rule: "dispatch-coverage",
-                file: SERVER_RS.into(),
-                detail: format!(
-                    "line {}: wildcard/binding match arm `{}` can silently drop a message kind",
-                    lineno + 1,
-                    trimmed.trim_end()
-                ),
-            });
-        }
-    }
-    v
-}
-
-/// Rule `restricted-call`: teardown-only lock APIs and shard-only core
-/// APIs are called only from sanctioned modules. The audit crate's own
-/// sources are exempt (they mention the needles as data).
-pub fn lint_restricted_calls(all_sources: &[(String, String)]) -> Vec<Violation> {
-    let mut v = Vec::new();
-    let rules: &[(&str, &[&str])] = &[
-        (".force_unlock(", FORCE_UNLOCK_SANCTIONED),
-        (".unlock_exec(", UNLOCK_EXEC_SANCTIONED),
-        (".extract_component(", SHARD_API_SANCTIONED),
-        (".absorb_component(", SHARD_API_SANCTIONED),
-        (".deliver_command(", SHARD_API_SANCTIONED),
-        (".take_route_events(", SHARD_API_SANCTIONED),
-    ];
-    for (path, text) in all_sources {
-        if path.starts_with("crates/audit/") {
-            continue;
-        }
-        for (needle, sanctioned) in rules {
-            if text.contains(needle) && !sanctioned.iter().any(|s| path == s || path.starts_with(s))
-            {
-                v.push(Violation {
-                    rule: "restricted-call",
-                    file: path.clone(),
-                    detail: format!(
-                        "calls restricted API `{}` outside sanctioned modules",
-                        needle.trim_start_matches('.').trim_end_matches('(')
-                    ),
-                });
-            }
-        }
-    }
-    v
-}
-
-/// Rule `crate-header`: every crate root carries the workspace lint
-/// headers.
-pub fn lint_crate_headers(crate_roots: &[(String, String)]) -> Vec<Violation> {
-    let mut v = Vec::new();
-    for (path, text) in crate_roots {
-        for header in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
-            if !text.contains(header) {
-                v.push(Violation {
-                    rule: "crate-header",
-                    file: path.clone(),
-                    detail: format!("crate root lacks `{header}`"),
-                });
-            }
-        }
-    }
-    v
-}
-
-/// Runs every lint over the workspace sources.
+/// Runs every text lint over the workspace sources. The AST rules
+/// (panic ratchet, blocking calls, lock order, and the ported
+/// dispatch/restricted/header checks) run separately via
+/// [`crate::rules::run_ast_rules`].
 pub fn run_all_lints(ws: &WorkspaceSources) -> Vec<Violation> {
     let mut v = Vec::new();
     v.extend(lint_enum_against_kinds(&ws.message_rs));
     v.extend(lint_wire_tags(&ws.message_rs, &ws.codec_rs));
     v.extend(lint_shared_frame_table(&ws.message_rs, &ws.codec_rs));
     v.extend(lint_golden_coverage(&ws.message_rs, &ws.golden_rs));
-    v.extend(lint_dispatch_coverage(&ws.message_rs, &ws.server_rs));
-    v.extend(lint_restricted_calls(&ws.all_sources));
-    v.extend(lint_crate_headers(&ws.crate_roots));
     v
 }
 
@@ -869,13 +742,6 @@ pub fn get_message(buf: &mut Bytes) -> Result<Message> {
         let doctored = CODEC.replace("1 => Message::Deregister,", "");
         let v = lint_wire_tags(ENUM, &doctored);
         assert!(v.iter().any(|v| v.detail.contains("no `get_message` arm")), "got {v:?}");
-    }
-
-    #[test]
-    fn wildcard_arm_is_reported() {
-        let server = "match msg {\n    Message::Register { .. } => {}\n    Message::Deregister => {}\n    other => {}\n}\n";
-        let v = lint_dispatch_coverage(ENUM, server);
-        assert!(v.iter().any(|v| v.detail.contains("wildcard/binding")), "got {v:?}");
     }
 
     const TABLE: &str = r#"

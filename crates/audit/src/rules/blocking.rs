@@ -1,0 +1,426 @@
+//! Rule `blocking-call` / `lock-across-write`: the poll-loop
+//! invariants from the readiness-driven net layer (DESIGN.md §9),
+//! checked mechanically instead of by review.
+//!
+//! A fixed pool of poll threads owns every socket; if one of them
+//! blocks, every connection on that thread stalls. The rule walks the
+//! static call graph reachable from `PollThread::run` (over the
+//! non-test code of `crates/net/src/`) and rejects:
+//!
+//! * `std::thread::sleep` — the poll loop must park on its waker, not
+//!   sleep-poll (`Condvar::wait_timeout` is fine: it is bounded and
+//!   wakeable);
+//! * blocking channel `recv` — the loop drains commands with
+//!   `try_recv`; an unbounded `recv` deadlocks teardown;
+//! * mutex guards held across socket writes (`write`/`write_all`/
+//!   `write_vectored`) — a slow peer would turn a shared lock into a
+//!   transport-wide stall. The one deliberate case (the outbox guard
+//!   across a vectored flush, where the write buffers borrow the
+//!   guard) carries an `// audit: lock-across-write — <reason>`
+//!   annotation.
+//!
+//! Call edges are resolved statically: `self.method()` through the
+//! impl owner, `Type::method` / `Self::method` paths, free functions,
+//! and field/parameter receivers through [`TypeEnv`]. Receivers the
+//! environment cannot see (locals, iterator chains) contribute no
+//! edge — the lint is deliberately underapproximate about *edges* but
+//! exact about the deny-listed *calls* it finds in reachable bodies.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::ast::{shallow_sites, split_statements, AstWorkspace, Delim, FnDef, Site, Tree};
+use crate::lints::Violation;
+use crate::rules::{callee_keys, parse_annotations, FnKey, TypeEnv};
+
+/// Path prefix of the sources the rule covers.
+const NET_SRC: &str = "crates/net/src/";
+
+/// The root of the walk: `PollThread::run`.
+const ROOT: (&str, &str) = ("PollThread", "run");
+
+/// Socket-write method names a held lock must not span.
+const WRITE_METHODS: &[&str] = &["write", "write_all", "write_vectored"];
+
+/// One function in the call-graph table.
+struct FnNode<'a> {
+    file: &'a str,
+    def: &'a FnDef,
+}
+
+/// Rule `blocking-call`: see the module docs.
+pub fn lint_blocking(ws: &AstWorkspace) -> Vec<Violation> {
+    let net_files: Vec<_> = ws.files.iter().filter(|f| f.path.starts_with(NET_SRC)).collect();
+    let env = TypeEnv::from_files(net_files.iter().copied());
+
+    // Function table over non-test net code.
+    let mut nodes: Vec<FnNode<'_>> = Vec::new();
+    let mut by_key: HashMap<FnKey, Vec<usize>> = HashMap::new();
+    for file in &net_files {
+        for def in file.fns.iter().filter(|f| !f.in_test) {
+            let idx = nodes.len();
+            nodes.push(FnNode { file: &file.path, def });
+            by_key.entry((def.owner.clone(), def.name.clone())).or_default().push(idx);
+        }
+    }
+    let resolve = |site: &Site, caller: &FnDef| -> Vec<usize> {
+        let keys: Vec<FnKey> = callee_keys(site, caller, &env);
+        keys.iter().flat_map(|k| by_key.get(k).into_iter().flatten().copied()).collect()
+    };
+
+    // Reachability from PollThread::run.
+    let Some(roots) = by_key.get(&(Some(ROOT.0.to_owned()), ROOT.1.to_owned())) else {
+        return Vec::new();
+    };
+    let mut reachable: HashSet<usize> = HashSet::new();
+    let mut queue: VecDeque<usize> = roots.iter().copied().collect();
+    while let Some(idx) = queue.pop_front() {
+        if !reachable.insert(idx) {
+            continue;
+        }
+        for site in crate::ast::sites_in(&nodes[idx].def.body) {
+            for callee in resolve(&site, nodes[idx].def) {
+                if !reachable.contains(&callee) {
+                    queue.push_back(callee);
+                }
+            }
+        }
+    }
+
+    // Transitive does-this-function-write summaries (fixpoint).
+    let mut writes: Vec<bool> = nodes
+        .iter()
+        .map(|n| {
+            crate::ast::sites_in(&n.def.body).iter().any(
+                |s| matches!(s, Site::Method { name, .. } if WRITE_METHODS.contains(&name.as_str())),
+            )
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for idx in 0..nodes.len() {
+            if writes[idx] {
+                continue;
+            }
+            let hit = crate::ast::sites_in(&nodes[idx].def.body)
+                .iter()
+                .any(|s| resolve(s, nodes[idx].def).iter().any(|c| writes[*c]));
+            if hit {
+                writes[idx] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Per-file lock-across-write annotations.
+    let mut annotated: HashMap<&str, Vec<u32>> = HashMap::new();
+    for file in &net_files {
+        let (anns, _) = parse_annotations(&file.comments);
+        annotated.insert(
+            file.path.as_str(),
+            anns.iter().filter(|a| a.key == "lock-across-write").map(|a| a.line).collect(),
+        );
+    }
+
+    let mut violations = Vec::new();
+    let mut ordered: Vec<usize> = reachable.iter().copied().collect();
+    ordered.sort_unstable();
+    for idx in ordered {
+        let node = &nodes[idx];
+        let label = match &node.def.owner {
+            Some(o) => format!("{o}::{}", node.def.name),
+            None => node.def.name.clone(),
+        };
+        for site in crate::ast::sites_in(&node.def.body) {
+            match &site {
+                Site::Call { path, .. }
+                    if path.ends_with(&["thread".to_owned(), "sleep".to_owned()])
+                        || path.as_slice() == ["sleep".to_owned()] =>
+                {
+                    violations.push(Violation {
+                        rule: "blocking-call",
+                        file: node.file.to_owned(),
+                        detail: format!(
+                            "line {}: `{}` calls std::thread::sleep, reachable from \
+                             PollThread::run — park on the waker instead",
+                            site.line(),
+                            label
+                        ),
+                    });
+                }
+                Site::Method { name, .. } if name == "recv" => {
+                    violations.push(Violation {
+                        rule: "blocking-call",
+                        file: node.file.to_owned(),
+                        detail: format!(
+                            "line {}: `{}` calls blocking `recv()`, reachable from \
+                             PollThread::run — use try_recv/recv_timeout",
+                            site.line(),
+                            label
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+        scan_lock_across_write(
+            &node.def.body,
+            node,
+            &label,
+            &mut Vec::new(),
+            &resolve,
+            &writes,
+            annotated.get(node.file).map(Vec::as_slice).unwrap_or(&[]),
+            &mut violations,
+        );
+    }
+    violations.sort_by(|a, b| (&a.file, &a.detail).cmp(&(&b.file, &b.detail)));
+    violations.dedup();
+    violations
+}
+
+/// A mutex guard bound by `let` and still live in the current scope.
+#[derive(Clone)]
+struct Guard {
+    name: String,
+    line: u32,
+}
+
+/// Scans a block statement-by-statement, tracking live guards, and
+/// reports socket writes (direct or via a transitively-writing callee)
+/// performed while any guard is held.
+#[allow(clippy::too_many_arguments)]
+fn scan_lock_across_write(
+    trees: &[Tree],
+    node: &FnNode<'_>,
+    label: &str,
+    active: &mut Vec<Guard>,
+    resolve: &dyn Fn(&Site, &FnDef) -> Vec<usize>,
+    writes: &[bool],
+    annotated: &[u32],
+    out: &mut Vec<Violation>,
+) {
+    for stmt in split_statements(trees) {
+        // `drop(guard)` releases.
+        if let [Tree::Ident(d, _), Tree::Group(Delim::Paren, args, _)] = stmt {
+            if d == "drop" {
+                if let [Tree::Ident(name, _)] = args.as_slice() {
+                    active.retain(|g| &g.name != name);
+                    continue;
+                }
+            }
+        }
+        let shallow = shallow_sites(stmt);
+        let let_bound = super::let_bound_name(stmt);
+        // Locks acquired earlier in this same statement count too
+        // (`x.lock().write_all(..)` holds the guard during the write).
+        let mut stmt_locks: Vec<Guard> = Vec::new();
+        for site in &shallow {
+            match site {
+                Site::Method { name, .. } if name == "lock" => {
+                    stmt_locks.push(Guard { name: String::new(), line: site.line() });
+                }
+                Site::Method { name, .. } if WRITE_METHODS.contains(&name.as_str()) => {
+                    report_if_held(site.line(), active, &stmt_locks, label, node, annotated, out);
+                }
+                _ => {
+                    let writes_transitively = resolve(site, node.def).iter().any(|c| writes[*c]);
+                    if writes_transitively {
+                        report_if_held(
+                            site.line(),
+                            active,
+                            &stmt_locks,
+                            label,
+                            node,
+                            annotated,
+                            out,
+                        );
+                    }
+                }
+            }
+        }
+        if let (Some(name), Some(first)) = (let_bound, stmt_locks.first()) {
+            active.push(Guard { name, line: first.line });
+        }
+        // Recurse into nested blocks (loop/if/match bodies) with the
+        // guards currently live; guards bound inside stay inside.
+        for t in stmt {
+            if let Tree::Group(Delim::Brace, inner, _) = t {
+                let mut scoped = active.clone();
+                scan_lock_across_write(
+                    inner,
+                    node,
+                    label,
+                    &mut scoped,
+                    resolve,
+                    writes,
+                    annotated,
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Emits a `lock-across-write` violation when any guard is live, unless
+/// the guard acquisition or the write carries an annotation.
+fn report_if_held(
+    line: u32,
+    active: &[Guard],
+    stmt_locks: &[Guard],
+    label: &str,
+    node: &FnNode<'_>,
+    annotated: &[u32],
+    out: &mut Vec<Violation>,
+) {
+    let Some(guard) = active.first().or_else(|| stmt_locks.first()) else { return };
+    let suppressed = [line, line.saturating_sub(1), guard.line, guard.line.saturating_sub(1)]
+        .iter()
+        .any(|l| annotated.contains(l));
+    if suppressed {
+        return;
+    }
+    out.push(Violation {
+        rule: "lock-across-write",
+        file: node.file.to_owned(),
+        detail: format!(
+            "line {line}: `{label}` performs a socket write while holding the lock acquired at \
+             line {} — release the guard first, or annotate \
+             `// audit: lock-across-write — <reason>`",
+            guard.line
+        ),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(src: &str) -> AstWorkspace {
+        AstWorkspace::parse(&[("crates/net/src/poll.rs".to_owned(), src.to_owned())])
+            .expect("parses")
+    }
+
+    const CLEAN_LOOP: &str = "
+struct PollThread { cmds: Receiver<Cmd> }
+impl PollThread {
+    fn run(&mut self) {
+        loop {
+            match self.cmds.try_recv() { _other => {} }
+            self.sweep();
+        }
+    }
+    fn sweep(&mut self) {}
+}
+";
+
+    #[test]
+    fn clean_loop_passes() {
+        assert!(lint_blocking(&ws(CLEAN_LOOP)).is_empty());
+    }
+
+    #[test]
+    fn sleep_reachable_from_run_is_flagged() {
+        let src = "
+impl PollThread {
+    fn run(&mut self) { self.backoff(); }
+    fn backoff(&mut self) { std::thread::sleep(Duration::from_millis(1)); }
+}
+";
+        let v = lint_blocking(&ws(src));
+        assert!(
+            v.iter().any(|v| v.rule == "blocking-call" && v.detail.contains("thread::sleep")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn sleep_unreachable_is_ignored() {
+        let src = "
+impl PollThread {
+    fn run(&mut self) {}
+}
+fn reconnect_backoff() { std::thread::sleep(Duration::from_millis(1)); }
+";
+        assert!(lint_blocking(&ws(src)).is_empty());
+    }
+
+    #[test]
+    fn blocking_recv_is_flagged_try_recv_is_not() {
+        let src = "
+impl PollThread {
+    fn run(&mut self) { let _ = self.cmds.recv(); let _ = self.cmds.try_recv(); }
+}
+";
+        let v = lint_blocking(&ws(src));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].detail.contains("recv()"));
+    }
+
+    #[test]
+    fn lock_held_across_write_is_flagged() {
+        let src = "
+struct PollThread { conn: PollConn }
+struct PollConn { outbox: Arc<Mutex<Outbox>>, stream: TcpStream }
+impl PollThread {
+    fn run(&mut self) { self.flush(); }
+    fn flush(&mut self) {
+        let ob = self.conn.outbox.lock();
+        loop {
+            let _ = self.conn.stream.write_vectored(&[]);
+        }
+    }
+}
+";
+        let v = lint_blocking(&ws(src));
+        assert!(v.iter().any(|v| v.rule == "lock-across-write"), "{v:?}");
+    }
+
+    #[test]
+    fn annotation_or_drop_suppresses() {
+        let annotated = "
+struct PollThread { conn: PollConn }
+struct PollConn { outbox: Arc<Mutex<Outbox>>, stream: TcpStream }
+impl PollThread {
+    fn run(&mut self) { self.flush(); }
+    fn flush(&mut self) {
+        // audit: lock-across-write — slices borrow the guard
+        let ob = self.conn.outbox.lock();
+        let _ = self.conn.stream.write_vectored(&[]);
+    }
+}
+";
+        assert!(lint_blocking(&ws(annotated)).is_empty());
+        let dropped = "
+struct PollThread { conn: PollConn }
+struct PollConn { outbox: Arc<Mutex<Outbox>>, stream: TcpStream }
+impl PollThread {
+    fn run(&mut self) {
+        let ob = self.conn.outbox.lock();
+        drop(ob);
+        let _ = self.conn.stream.write_vectored(&[]);
+    }
+}
+";
+        assert!(lint_blocking(&ws(dropped)).is_empty());
+    }
+
+    #[test]
+    fn write_via_transitive_callee_is_flagged() {
+        let src = "
+struct PollThread { conn: PollConn }
+struct PollConn { outbox: Arc<Mutex<Outbox>>, stream: TcpStream }
+impl PollThread {
+    fn run(&mut self) {
+        let ob = self.conn.outbox.lock();
+        self.emit();
+    }
+    fn emit(&mut self) { let _ = self.conn.stream.write_all(&[]); }
+}
+";
+        let v = lint_blocking(&ws(src));
+        assert!(v.iter().any(|v| v.rule == "lock-across-write"), "{v:?}");
+    }
+}

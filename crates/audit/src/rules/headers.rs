@@ -1,0 +1,78 @@
+//! Rule `crate-header` (AST port): every crate root carries the
+//! workspace lint headers `#![forbid(unsafe_code)]` and
+//! `#![deny(missing_docs)]`.
+//!
+//! Unlike the text-lint predecessor, which did a substring search, this
+//! port checks the file's actual inner attributes — a header mentioned
+//! in a doc comment or commented out no longer satisfies the rule.
+
+use crate::ast::AstWorkspace;
+use crate::lints::Violation;
+
+/// The inner attributes (normalized token text) every crate root must
+/// carry.
+pub const REQUIRED_HEADERS: &[&str] = &["forbid(unsafe_code)", "deny(missing_docs)"];
+
+/// Rule `crate-header`: see the module docs. Applies to every
+/// `src/lib.rs` in the workspace.
+pub fn lint_crate_headers(ws: &AstWorkspace) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for file in &ws.files {
+        if !file.path.ends_with("src/lib.rs") {
+            continue;
+        }
+        for header in REQUIRED_HEADERS {
+            if !file.inner_attrs.iter().any(|a| a == header) {
+                violations.push(Violation {
+                    rule: "crate-header",
+                    file: file.path.clone(),
+                    detail: format!("crate root lacks `#![{header}]`"),
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> AstWorkspace {
+        let sources: Vec<(String, String)> =
+            files.iter().map(|(p, t)| ((*p).to_owned(), (*t).to_owned())).collect();
+        AstWorkspace::parse(&sources).expect("parses")
+    }
+
+    #[test]
+    fn present_headers_pass() {
+        let w = ws(&[(
+            "crates/net/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n",
+        )]);
+        assert!(lint_crate_headers(&w).is_empty());
+    }
+
+    #[test]
+    fn missing_header_is_flagged() {
+        let w = ws(&[("crates/net/src/lib.rs", "//! Docs.\n#![forbid(unsafe_code)]\n")]);
+        let v = lint_crate_headers(&w);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("missing_docs"));
+    }
+
+    #[test]
+    fn commented_out_header_does_not_count() {
+        let w = ws(&[(
+            "crates/net/src/lib.rs",
+            "//! Mentions #![forbid(unsafe_code)] in docs.\n// #![deny(missing_docs)]\n",
+        )]);
+        assert_eq!(lint_crate_headers(&w).len(), 2);
+    }
+
+    #[test]
+    fn non_roots_are_ignored() {
+        let w = ws(&[("crates/net/src/tcp.rs", "fn f() {}\n")]);
+        assert!(lint_crate_headers(&w).is_empty());
+    }
+}

@@ -1,0 +1,350 @@
+//! Rule `lock-order`: a whole-program static deadlock check over the
+//! mutexes of `cosoft-server` and `cosoft-net`.
+//!
+//! The PR 3 schedule explorer finds deadlocks dynamically, but only in
+//! the interleavings the model drives. This rule complements it with a
+//! static over-approximation: every `.lock()` site is assigned a lock
+//! *identity*, the acquisition graph "identity A held while identity B
+//! is acquired" is extracted (intra-procedurally via guard scopes,
+//! inter-procedurally via per-function transitive lock sets), and a
+//! cycle in that graph fails the audit.
+//!
+//! Lock identity is the receiver's *type* where the [`TypeEnv`] can
+//! resolve it (`self.conns.lock()` on a `ConnMap` field →
+//! `Mutex<HashMap<ConnId,ConnShared>>` after alias expansion and
+//! `Arc` stripping) — so every clone of a shared mutex is one node —
+//! and the receiver *expression text* otherwise (`c.outbox` on a
+//! closure binding). Unresolved receivers therefore split rather than
+//! merge: two different locals never collapse into one node, which
+//! keeps alias-driven false cycles out at the cost of possibly missing
+//! an ordering between locks the environment cannot see.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::ast::{shallow_sites, split_statements, AstWorkspace, Delim, FnDef, Site, Tree};
+use crate::lints::Violation;
+use crate::rules::{callee_keys, FnKey, TypeEnv};
+
+/// Path prefixes the rule covers.
+const COVERED: &[&str] = &["crates/server/src/", "crates/net/src/"];
+
+/// One function in the table.
+struct FnNode<'a> {
+    file: &'a str,
+    def: &'a FnDef,
+}
+
+/// One acquisition edge: while `from` was held, `to` was acquired at
+/// `witness` (`file:line`).
+type EdgeMap = BTreeMap<String, BTreeMap<String, String>>;
+
+/// Rule `lock-order`: see the module docs.
+pub fn lint_lock_order(ws: &AstWorkspace) -> Vec<Violation> {
+    let files: Vec<_> =
+        ws.files.iter().filter(|f| COVERED.iter().any(|p| f.path.starts_with(p))).collect();
+    let env = TypeEnv::from_files(files.iter().copied());
+    let mut nodes: Vec<FnNode<'_>> = Vec::new();
+    let mut by_key: HashMap<FnKey, Vec<usize>> = HashMap::new();
+    for file in &files {
+        for def in file.fns.iter().filter(|f| !f.in_test) {
+            let idx = nodes.len();
+            nodes.push(FnNode { file: &file.path, def });
+            by_key.entry((def.owner.clone(), def.name.clone())).or_default().push(idx);
+        }
+    }
+    let resolve = |site: &Site, caller: &FnDef| -> Vec<usize> {
+        callee_keys(site, caller, &env)
+            .iter()
+            .flat_map(|k| by_key.get(k).into_iter().flatten().copied())
+            .collect()
+    };
+    let identity = |site: &Site, caller: &FnDef| -> Option<String> {
+        let Site::Method { name, recv, .. } = site else { return None };
+        if name != "lock" || recv.is_empty() {
+            return None;
+        }
+        Some(match env.resolve_chain(recv, caller) {
+            Some(ty) => ty,
+            None => recv.join("."),
+        })
+    };
+
+    // Per-function transitive lock sets (fixpoint over call edges).
+    let mut lock_sets: Vec<BTreeSet<String>> = nodes
+        .iter()
+        .map(|n| {
+            crate::ast::sites_in(&n.def.body).iter().filter_map(|s| identity(s, n.def)).collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for idx in 0..nodes.len() {
+            let mut gained: Vec<String> = Vec::new();
+            for site in crate::ast::sites_in(&nodes[idx].def.body) {
+                for callee in resolve(&site, nodes[idx].def) {
+                    if callee == idx {
+                        continue;
+                    }
+                    for id in &lock_sets[callee] {
+                        if !lock_sets[idx].contains(id) {
+                            gained.push(id.clone());
+                        }
+                    }
+                }
+            }
+            for id in gained {
+                changed |= lock_sets[idx].insert(id);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Acquisition edges via guard-scope scanning.
+    let mut edges: EdgeMap = BTreeMap::new();
+    for node in &nodes {
+        scan_edges(
+            &node.def.body,
+            node,
+            &mut Vec::new(),
+            &identity,
+            &resolve,
+            &lock_sets,
+            &mut edges,
+        );
+    }
+
+    // Cycle detection (DFS with colors).
+    let mut violations = Vec::new();
+    if let Some(cycle) = find_cycle(&edges) {
+        let mut path = Vec::new();
+        for window in cycle.windows(2) {
+            let witness = &edges[&window[0]][&window[1]];
+            path.push(format!("`{}` → `{}` ({witness})", window[0], window[1]));
+        }
+        violations.push(Violation {
+            rule: "lock-order",
+            file: edges[&cycle[0]][&cycle[1]].split(':').next().unwrap_or_default().to_owned(),
+            detail: format!(
+                "mutex-acquisition cycle — a schedule acquiring these locks concurrently can \
+                 deadlock: {}",
+                path.join(", ")
+            ),
+        });
+    }
+    violations
+}
+
+/// A live lock guard: identity plus acquisition line.
+#[derive(Clone)]
+struct Held {
+    name: Option<String>,
+    id: String,
+    line: u32,
+}
+
+/// Scans a block statement-by-statement recording acquisition edges.
+fn scan_edges(
+    trees: &[Tree],
+    node: &FnNode<'_>,
+    active: &mut Vec<Held>,
+    identity: &dyn Fn(&Site, &FnDef) -> Option<String>,
+    resolve: &dyn Fn(&Site, &FnDef) -> Vec<usize>,
+    lock_sets: &[BTreeSet<String>],
+    edges: &mut EdgeMap,
+) {
+    for stmt in split_statements(trees) {
+        if let [Tree::Ident(d, _), Tree::Group(Delim::Paren, args, _)] = stmt {
+            if d == "drop" {
+                if let [Tree::Ident(name, _)] = args.as_slice() {
+                    active.retain(|g| g.name.as_deref() != Some(name));
+                    continue;
+                }
+            }
+        }
+        let let_bound = super::let_bound_name(stmt);
+        let mut stmt_locks: Vec<Held> = Vec::new();
+        for site in shallow_sites(stmt) {
+            if let Some(id) = identity(&site, node.def) {
+                let witness = format!("{}:{}", node.file, site.line());
+                for held in active.iter().chain(stmt_locks.iter()) {
+                    if held.id != id {
+                        edges
+                            .entry(held.id.clone())
+                            .or_default()
+                            .entry(id.clone())
+                            .or_insert(witness.clone());
+                    }
+                }
+                stmt_locks.push(Held { name: None, id, line: site.line() });
+            } else {
+                // A call made while locks are held: edges to everything
+                // the callee may acquire transitively.
+                for callee in resolve(&site, node.def) {
+                    for id in &lock_sets[callee] {
+                        let witness = format!("{}:{}", node.file, site.line());
+                        for held in active.iter().chain(stmt_locks.iter()) {
+                            if &held.id != id {
+                                edges
+                                    .entry(held.id.clone())
+                                    .or_default()
+                                    .entry(id.clone())
+                                    .or_insert(witness.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let (Some(name), Some(first)) = (let_bound, stmt_locks.first()) {
+            active.push(Held { name: Some(name), id: first.id.clone(), line: first.line });
+        }
+        for t in stmt {
+            if let Tree::Group(Delim::Brace, inner, _) = t {
+                let mut scoped = active.clone();
+                scan_edges(inner, node, &mut scoped, identity, resolve, lock_sets, edges);
+            }
+        }
+    }
+}
+
+/// Finds one cycle in the edge map, returned as a node path whose first
+/// and last elements are equal (`[A, B, A]`), or `None` if acyclic.
+fn find_cycle(edges: &EdgeMap) -> Option<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    fn dfs(
+        node: &str,
+        edges: &EdgeMap,
+        colors: &mut BTreeMap<String, Color>,
+        stack: &mut Vec<String>,
+    ) -> Option<Vec<String>> {
+        colors.insert(node.to_owned(), Color::Gray);
+        stack.push(node.to_owned());
+        if let Some(succ) = edges.get(node) {
+            for next in succ.keys() {
+                match colors.get(next.as_str()).copied().unwrap_or(Color::White) {
+                    Color::Gray => {
+                        let start = stack.iter().position(|n| n == next).unwrap_or(0);
+                        let mut cycle: Vec<String> = stack[start..].to_vec();
+                        cycle.push(next.clone());
+                        return Some(cycle);
+                    }
+                    Color::White => {
+                        if let Some(cycle) = dfs(next, edges, colors, stack) {
+                            return Some(cycle);
+                        }
+                    }
+                    Color::Black => {}
+                }
+            }
+        }
+        stack.pop();
+        colors.insert(node.to_owned(), Color::Black);
+        None
+    }
+    let mut colors = BTreeMap::new();
+    for node in edges.keys() {
+        if colors.get(node.as_str()).copied().unwrap_or(Color::White) == Color::White {
+            if let Some(cycle) = dfs(node, edges, &mut colors, &mut Vec::new()) {
+                return Some(cycle);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(src: &str) -> AstWorkspace {
+        AstWorkspace::parse(&[("crates/net/src/tcp.rs".to_owned(), src.to_owned())])
+            .expect("parses")
+    }
+
+    const STRUCTS: &str = "
+struct Host { a: Mutex<First>, b: Mutex<Second> }
+";
+
+    #[test]
+    fn consistent_order_passes() {
+        let src = format!(
+            "{STRUCTS}
+impl Host {{
+    fn one(&self) {{ let g = self.a.lock(); self.b.lock(); }}
+    fn two(&self) {{ let g = self.a.lock(); self.b.lock(); }}
+}}
+"
+        );
+        assert!(lint_lock_order(&ws(&src)).is_empty());
+    }
+
+    #[test]
+    fn two_lock_cycle_is_flagged() {
+        let src = format!(
+            "{STRUCTS}
+impl Host {{
+    fn one(&self) {{ let g = self.a.lock(); self.b.lock(); }}
+    fn two(&self) {{ let g = self.b.lock(); self.a.lock(); }}
+}}
+"
+        );
+        let v = lint_lock_order(&ws(&src));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].rule == "lock-order" && v[0].detail.contains("cycle"), "{v:?}");
+        assert!(v[0].detail.contains("Mutex<First>"), "{v:?}");
+    }
+
+    #[test]
+    fn interprocedural_cycle_is_flagged() {
+        let src = format!(
+            "{STRUCTS}
+impl Host {{
+    fn one(&self) {{ let g = self.a.lock(); self.deep_b(); }}
+    fn deep_b(&self) {{ self.b.lock(); }}
+    fn two(&self) {{ let g = self.b.lock(); self.deep_a(); }}
+    fn deep_a(&self) {{ self.a.lock(); }}
+}}
+"
+        );
+        let v = lint_lock_order(&ws(&src));
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn drop_releases_and_same_identity_does_not_self_edge() {
+        let src = format!(
+            "{STRUCTS}
+impl Host {{
+    fn one(&self) {{ let g = self.a.lock(); drop(g); self.b.lock(); }}
+    fn two(&self) {{ let g = self.b.lock(); self.a.lock(); }}
+}}
+"
+        );
+        assert!(lint_lock_order(&ws(&src)).is_empty());
+    }
+
+    #[test]
+    fn unresolved_receivers_do_not_alias() {
+        // Two different locals named differently must be distinct nodes;
+        // identical chains on clones of the same Arc'd mutex resolve by
+        // type when fields are visible.
+        let src = "
+struct Host { conns: Arc<Mutex<Conns>> }
+impl Host {
+    fn snapshot(&self) {
+        let conns = self.conns.lock();
+        for c in conns.values() { c.outbox.lock(); }
+    }
+}
+";
+        let v = lint_lock_order(&ws(src));
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Rule `panic-ratchet`: panic-freedom over the hot crates.
+//!
+//! The server/net/wire crates are the components that must never die
+//! (the paper's central coordinator), so every potential panic in their
+//! non-test code is accounted for: an `unwrap`/`expect` call, a
+//! `panic!`/`unreachable!`/`todo!`/`unimplemented!` macro, or a direct
+//! index expression either carries an `// audit: infallible — <reason>`
+//! annotation, or counts against the committed
+//! [`audit-baseline.toml`](crate::baseline). The baseline may only
+//! shrink: a count above it is a regression, a count below it is a
+//! stale baseline that must be lowered so the improvement locks in.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{sites_in, AstFile, AstWorkspace, Site};
+use crate::baseline::{Baseline, BASELINE_PATH};
+use crate::lints::Violation;
+use crate::rules::{in_ranges, parse_annotations, ratcheted_crate, test_line_ranges};
+
+/// One unannotated potential-panic site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicSite {
+    /// Ratcheted crate the site belongs to.
+    pub crate_name: &'static str,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// What the site is (`unwrap`, `expect`, `panic!`, `index`, ...).
+    pub what: String,
+}
+
+/// Panic-site classification for one extracted [`Site`].
+fn classify(site: &Site) -> Option<String> {
+    match site {
+        Site::Method { name, .. } if name == "unwrap" || name == "expect" => Some(name.clone()),
+        Site::MacroUse { name, .. }
+            if matches!(name.as_str(), "panic" | "unreachable" | "todo" | "unimplemented") =>
+        {
+            Some(format!("{name}!"))
+        }
+        Site::Index { .. } => Some("index".into()),
+        _ => None,
+    }
+}
+
+/// All unannotated panic sites in the non-test code of the ratcheted
+/// crates, in path/line order. This is what the ratchet counts; the
+/// `--panic-counts` flag of the binary prints it.
+pub fn unannotated_panic_sites(ws: &AstWorkspace) -> Vec<PanicSite> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let Some(crate_name) = ratcheted_crate(&file.path) else { continue };
+        let (annotations, _) = parse_annotations(&file.comments);
+        let suppressed: Vec<u32> =
+            annotations.iter().filter(|a| a.key == "infallible").map(|a| a.line).collect();
+        for f in file.fns.iter().filter(|f| !f.in_test) {
+            for site in sites_in(&f.body) {
+                let Some(what) = classify(&site) else { continue };
+                let line = site.line();
+                if suppressed.contains(&line) || suppressed.contains(&(line.saturating_sub(1))) {
+                    continue;
+                }
+                out.push(PanicSite { crate_name, file: file.path.clone(), line, what });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out.dedup();
+    out
+}
+
+/// Annotation-hygiene pass for one file: malformed annotations, and
+/// `infallible` annotations that suppress no panic site. Annotations
+/// inside test code are ignored entirely.
+fn annotation_violations(file: &AstFile) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let test_ranges = test_line_ranges(file);
+    let (annotations, malformed) = parse_annotations(&file.comments);
+    for (line, problem) in malformed {
+        if in_ranges(&test_ranges, line) {
+            continue;
+        }
+        v.push(Violation {
+            rule: "audit-annotation",
+            file: file.path.clone(),
+            detail: format!("line {line}: {problem}"),
+        });
+    }
+    // A non-test `infallible` annotation must sit on a panic site's
+    // line or the line directly above one.
+    let mut panic_lines = Vec::new();
+    for f in file.fns.iter().filter(|f| !f.in_test) {
+        for site in sites_in(&f.body) {
+            if classify(&site).is_some() {
+                panic_lines.push(site.line());
+            }
+        }
+    }
+    for ann in annotations.iter().filter(|a| a.key == "infallible") {
+        if in_ranges(&test_ranges, ann.line) {
+            continue;
+        }
+        if !panic_lines.iter().any(|&l| l == ann.line || l == ann.line + 1) {
+            v.push(Violation {
+                rule: "audit-annotation",
+                file: file.path.clone(),
+                detail: format!(
+                    "line {}: `audit: infallible` annotation suppresses no panic site (dangling)",
+                    ann.line
+                ),
+            });
+        }
+    }
+    v
+}
+
+/// Rule `panic-ratchet` (plus `audit-annotation` hygiene): compares the
+/// per-crate unannotated panic counts against the committed baseline.
+pub fn lint_panic_ratchet(ws: &AstWorkspace, baseline: &Baseline) -> Vec<Violation> {
+    let mut v = Vec::new();
+    for file in &ws.files {
+        if ratcheted_crate(&file.path).is_some() {
+            v.extend(annotation_violations(file));
+        }
+    }
+    let sites = unannotated_panic_sites(ws);
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (crate_name, _) in super::RATCHETED_CRATES {
+        counts.insert(crate_name, 0);
+    }
+    for site in &sites {
+        *counts.entry(site.crate_name).or_insert(0) += 1;
+    }
+    for (crate_name, actual) in &counts {
+        let allowed = baseline.allowance(crate_name);
+        if *actual > allowed {
+            let worst: Vec<String> = sites
+                .iter()
+                .filter(|s| s.crate_name == *crate_name)
+                .rev()
+                .take(8)
+                .map(|s| format!("{}:{} ({})", s.file, s.line, s.what))
+                .collect();
+            v.push(Violation {
+                rule: "panic-ratchet",
+                file: BASELINE_PATH.into(),
+                detail: format!(
+                    "{crate_name} has {actual} unannotated panic site(s), baseline allows \
+                     {allowed} — annotate them `// audit: infallible — <reason>` or remove them \
+                     (the baseline only shrinks); recent sites: {}",
+                    worst.join(", ")
+                ),
+            });
+        } else if *actual < allowed {
+            v.push(Violation {
+                rule: "panic-ratchet",
+                file: BASELINE_PATH.into(),
+                detail: format!(
+                    "stale baseline: {crate_name} has {actual} unannotated panic site(s) but the \
+                     baseline still allows {allowed} — lower it to {actual} so the improvement \
+                     cannot regress"
+                ),
+            });
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> AstWorkspace {
+        let sources: Vec<(String, String)> =
+            files.iter().map(|(p, t)| ((*p).to_owned(), (*t).to_owned())).collect();
+        AstWorkspace::parse(&sources).expect("parses")
+    }
+
+    fn baseline(net: u64) -> Baseline {
+        let mut b = Baseline::default();
+        b.unannotated_panics.insert("cosoft-net".into(), net);
+        b
+    }
+
+    #[test]
+    fn counts_unannotated_sites() {
+        let w = ws(&[(
+            "crates/net/src/x.rs",
+            "fn f(v: Vec<u8>) {\n    let a = v.first().unwrap();\n    let b = v[0];\n    panic!(\"boom\");\n}\n",
+        )]);
+        let sites = unannotated_panic_sites(&w);
+        assert_eq!(sites.len(), 3);
+        assert!(lint_panic_ratchet(&w, &baseline(3)).is_empty());
+    }
+
+    #[test]
+    fn growth_rejected_shrink_demanded() {
+        let w = ws(&[("crates/net/src/x.rs", "fn f(v: Vec<u8>) { v.first().unwrap(); }\n")]);
+        let grow = lint_panic_ratchet(&w, &baseline(0));
+        assert!(grow
+            .iter()
+            .any(|v| v.rule == "panic-ratchet" && v.detail.contains("baseline allows 0")));
+        let stale = lint_panic_ratchet(&w, &baseline(5));
+        assert!(stale
+            .iter()
+            .any(|v| v.rule == "panic-ratchet" && v.detail.contains("stale baseline")));
+        assert!(lint_panic_ratchet(&w, &baseline(1)).is_empty());
+    }
+
+    #[test]
+    fn annotations_suppress_and_must_be_wellformed() {
+        let annotated = ws(&[(
+            "crates/net/src/x.rs",
+            "fn f(v: Vec<u8>) {\n    // audit: infallible — checked non-empty by caller\n    v.first().unwrap();\n}\n",
+        )]);
+        assert!(unannotated_panic_sites(&annotated).is_empty());
+        assert!(lint_panic_ratchet(&annotated, &baseline(0)).is_empty());
+
+        let missing_reason = ws(&[(
+            "crates/net/src/x.rs",
+            "fn f(v: Vec<u8>) {\n    // audit: infallible\n    v.first().unwrap();\n}\n",
+        )]);
+        let v = lint_panic_ratchet(&missing_reason, &baseline(1));
+        assert!(v.iter().any(|v| v.rule == "audit-annotation" && v.detail.contains("missing")));
+
+        let dangling = ws(&[(
+            "crates/net/src/x.rs",
+            "// audit: infallible — suppresses nothing\nfn f() {}\n",
+        )]);
+        let v = lint_panic_ratchet(&dangling, &baseline(0));
+        assert!(v.iter().any(|v| v.rule == "audit-annotation" && v.detail.contains("dangling")));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let w = ws(&[(
+            "crates/net/src/x.rs",
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    // audit: infallible\n    #[test]\n    fn t() { Some(1).unwrap(); let v = [0]; v[0]; panic!(\"x\"); }\n}\n",
+        )]);
+        assert!(unannotated_panic_sites(&w).is_empty());
+        assert!(lint_panic_ratchet(&w, &Baseline::default()).is_empty());
+    }
+
+    #[test]
+    fn non_ratcheted_paths_do_not_count() {
+        let w = ws(&[
+            ("crates/net/tests/e2e.rs", "fn t() { Some(1).unwrap(); }\n"),
+            ("crates/core/src/sim.rs", "fn f() { Some(1).unwrap(); }\n"),
+        ]);
+        assert!(unannotated_panic_sites(&w).is_empty());
+    }
+}

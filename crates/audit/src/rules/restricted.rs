@@ -1,0 +1,140 @@
+//! Rule `restricted-call` (AST port): teardown-only lock APIs and the
+//! shard-only `ServerCore` surface may only be called from sanctioned
+//! modules.
+//!
+//! The text-lint predecessor matched needles like `.force_unlock(`
+//! anywhere in a file, so a code example in a doc comment or a string
+//! literal tripped it. This port matches actual method-call and
+//! UFCS-path sites extracted from the token stream, so only real calls
+//! count — and it reports the offending line.
+
+use crate::ast::{sites_in, AstWorkspace, Site};
+use crate::lints::Violation;
+
+/// Modules allowed to call `LockTable::force_unlock` (teardown-only
+/// API): the lock table itself (definition + unit tests) and the
+/// lock-table property suite.
+pub const FORCE_UNLOCK_SANCTIONED: &[&str] =
+    &["crates/server/src/locks.rs", "crates/server/tests/lock_props.rs"];
+
+/// Path prefixes allowed to call `LockTable::unlock_exec` (lock release
+/// is the server core's job; clients and tests drive it through
+/// messages). The lock-granularity benchmarks exercise the table
+/// directly and are sanctioned too.
+pub const UNLOCK_EXEC_SANCTIONED: &[&str] =
+    &["crates/server/src/", "crates/server/tests/", "crates/bench/benches/"];
+
+/// Path prefixes allowed to call the shard-only `ServerCore` surface
+/// (`extract_component` / `absorb_component` / `deliver_command` /
+/// `take_route_events`): the core and router that define it, the server
+/// test suites that drive handoffs directly, and the runtime that owns
+/// the shard set. Everything else must go through `ShardRouter`, which
+/// keeps its routing maps consistent — a stray caller draining the
+/// route log or extracting a component silently desyncs the router.
+pub const SHARD_API_SANCTIONED: &[&str] = &[
+    "crates/server/src/server.rs",
+    "crates/server/src/shard.rs",
+    "crates/server/tests/",
+    "src/runtime.rs",
+];
+
+/// `(method name, sanctioned paths)` for every restricted API.
+const RESTRICTED: &[(&str, &[&str])] = &[
+    ("force_unlock", FORCE_UNLOCK_SANCTIONED),
+    ("unlock_exec", UNLOCK_EXEC_SANCTIONED),
+    ("extract_component", SHARD_API_SANCTIONED),
+    ("absorb_component", SHARD_API_SANCTIONED),
+    ("deliver_command", SHARD_API_SANCTIONED),
+    ("take_route_events", SHARD_API_SANCTIONED),
+];
+
+/// Rule `restricted-call`: see the module docs. The audit crate's own
+/// sources are exempt (they mention the names as data).
+pub fn lint_restricted_calls(ws: &AstWorkspace) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for file in &ws.files {
+        if file.path.starts_with("crates/audit/") {
+            continue;
+        }
+        for f in &file.fns {
+            for site in sites_in(&f.body) {
+                let called = match &site {
+                    Site::Method { name, .. } => Some(name.as_str()),
+                    Site::Call { path, .. } => path.last().map(String::as_str),
+                    _ => None,
+                };
+                let Some(called) = called else { continue };
+                for (name, sanctioned) in RESTRICTED {
+                    if called == *name
+                        && !sanctioned.iter().any(|s| file.path == *s || file.path.starts_with(s))
+                    {
+                        violations.push(Violation {
+                            rule: "restricted-call",
+                            file: file.path.clone(),
+                            detail: format!(
+                                "line {}: calls restricted API `{name}` outside sanctioned \
+                                 modules",
+                                site.line()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> AstWorkspace {
+        let sources: Vec<(String, String)> =
+            files.iter().map(|(p, t)| ((*p).to_owned(), (*t).to_owned())).collect();
+        AstWorkspace::parse(&sources).expect("parses")
+    }
+
+    #[test]
+    fn unsanctioned_call_is_flagged() {
+        let w = ws(&[(
+            "crates/core/src/session.rs",
+            "fn f(t: &mut LockTable) { t.force_unlock(1); }\n",
+        )]);
+        let v = lint_restricted_calls(&w);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("force_unlock"));
+    }
+
+    #[test]
+    fn sanctioned_and_ufcs_calls() {
+        let ok = ws(&[(
+            "crates/server/src/locks.rs",
+            "fn f(t: &mut LockTable) { t.force_unlock(1); LockTable::force_unlock(t, 2); }\n",
+        )]);
+        assert!(lint_restricted_calls(&ok).is_empty());
+        let bad = ws(&[(
+            "crates/core/src/session.rs",
+            "fn f(t: &mut LockTable) { LockTable::force_unlock(t, 2); }\n",
+        )]);
+        assert_eq!(lint_restricted_calls(&bad).len(), 1);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trip() {
+        let w = ws(&[(
+            "crates/core/src/session.rs",
+            "/// Call `.force_unlock(exec)` only at teardown.\nfn f() { let s = \"x.force_unlock(1)\"; }\n",
+        )]);
+        assert!(lint_restricted_calls(&w).is_empty());
+    }
+
+    #[test]
+    fn audit_crate_is_exempt() {
+        let w = ws(&[(
+            "crates/audit/src/rules/restricted.rs",
+            "fn f(t: &mut LockTable) { t.force_unlock(1); }\n",
+        )]);
+        assert!(lint_restricted_calls(&w).is_empty());
+    }
+}

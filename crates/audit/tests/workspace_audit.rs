@@ -1,42 +1,349 @@
 //! The audit gate, end to end: the real workspace must pass every
-//! lint, and doctored copies of it must fail — proving the lints
-//! actually bite on the sources they ship with, not just on toy
-//! fixtures.
+//! lint — textual and AST — and doctored copies of it must fail,
+//! proving the rules bite on the sources they ship with, not just on
+//! toy fixtures. One test per doctored failure class from the AST
+//! pass: a fresh unwrap (panic ratchet), a sleep reachable from the
+//! poll loop (blocking-call), a two-lock cycle (lock-order), a
+//! restricted call, a stripped crate header, and a wildcard dispatch
+//! arm — plus the ratchet mechanics around `audit-baseline.toml`.
 
 use std::path::Path;
 
-use cosoft_audit::lints::{
-    lint_crate_headers, lint_dispatch_coverage, lint_golden_coverage, lint_restricted_calls,
-    lint_wire_tags,
-};
+use cosoft_audit::ast::AstWorkspace;
+use cosoft_audit::baseline::{Baseline, BASELINE_PATH};
+use cosoft_audit::lints::{lint_golden_coverage, lint_wire_tags};
+use cosoft_audit::rules::blocking::lint_blocking;
+use cosoft_audit::rules::dispatch::lint_dispatch_coverage;
+use cosoft_audit::rules::headers::lint_crate_headers;
+use cosoft_audit::rules::lock_order::lint_lock_order;
+use cosoft_audit::rules::restricted::lint_restricted_calls;
+use cosoft_audit::rules::run_ast_rules;
 use cosoft_audit::{run_all_lints, WorkspaceSources};
 
-fn real_workspace() -> WorkspaceSources {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    WorkspaceSources::load(&root).expect("workspace readable")
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
+
+fn real_workspace() -> WorkspaceSources {
+    WorkspaceSources::load(&workspace_root()).expect("workspace readable")
+}
+
+fn real_baseline() -> Baseline {
+    let text = std::fs::read_to_string(workspace_root().join(BASELINE_PATH))
+        .expect("committed baseline readable");
+    Baseline::parse(&text).expect("committed baseline parses")
+}
+
+fn parse(sources: &[(String, String)]) -> AstWorkspace {
+    match AstWorkspace::parse(sources) {
+        Ok(ws) => ws,
+        Err(errors) => panic!("workspace sources failed to parse: {errors:?}"),
+    }
+}
+
+/// Applies a textual doctoring to one file of the source list,
+/// asserting the needle was actually present.
+fn doctor(sources: &mut [(String, String)], path: &str, from: &str, to: &str) {
+    let (_, text) =
+        sources.iter_mut().find(|(p, _)| p == path).unwrap_or_else(|| panic!("no {path}"));
+    assert!(text.contains(from), "doctoring needle `{from}` not found in {path}");
+    *text = text.replace(from, to);
+}
+
+// ------------------------------------------------------------------
+// the real tree passes
+// ------------------------------------------------------------------
 
 #[test]
 fn real_workspace_is_clean() {
     let ws = real_workspace();
-    let violations = run_all_lints(&ws);
+    let ast = parse(&ws.all_sources);
+    let mut violations = run_all_lints(&ws);
+    violations.extend(run_ast_rules(&ast, &real_baseline()));
     assert!(
         violations.is_empty(),
-        "workspace has lint violations:\n{}",
+        "workspace has audit violations:\n{}",
         violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
     );
 }
 
-/// The headline negative test: a `Message` variant added to the enum
-/// without touching the codec, the golden suite, or the server dispatch
-/// trips every leg of the four-way agreement.
+// ------------------------------------------------------------------
+// panic-freedom ratchet
+// ------------------------------------------------------------------
+
+/// A fresh unwrap in non-test code of a ratcheted crate pushes the
+/// count past the committed baseline and names the site.
+#[test]
+fn fresh_unwrap_fails_the_ratchet() {
+    let ws = real_workspace();
+    let mut sources = ws.all_sources.clone();
+    sources.push((
+        "crates/net/src/doctored.rs".to_owned(),
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n".to_owned(),
+    ));
+    let violations = run_ast_rules(&parse(&sources), &real_baseline());
+    assert!(
+        violations.iter().any(|v| v.rule == "panic-ratchet"
+            && v.detail.contains("cosoft-net")
+            && v.detail.contains("doctored.rs:2")),
+        "ratchet did not flag the fresh unwrap: {violations:?}"
+    );
+}
+
+/// A baseline entry above the live count is stale and must be lowered:
+/// the ratchet is exact in both directions.
+#[test]
+fn stale_baseline_entry_is_rejected() {
+    let ws = real_workspace();
+    let baseline = Baseline::parse(
+        "[unannotated-panics]\ncosoft-net = 5\ncosoft-server = 0\ncosoft-wire = 0\n",
+    )
+    .expect("parses");
+    let violations = run_ast_rules(&parse(&ws.all_sources), &baseline);
+    assert!(
+        violations.iter().any(|v| v.rule == "panic-ratchet" && v.detail.contains("lower")),
+        "stale baseline was not rejected: {violations:?}"
+    );
+}
+
+/// `// audit: infallible` without a reason is itself a violation, and
+/// an annotation with no panic site under it is dangling.
+#[test]
+fn malformed_and_dangling_annotations_are_rejected() {
+    let ws = real_workspace();
+    let mut sources = ws.all_sources.clone();
+    sources.push((
+        "crates/net/src/doctored.rs".to_owned(),
+        "pub fn f(x: Option<u32>) -> u32 {\n    // audit: infallible\n    x.unwrap()\n}\n\
+         pub fn g() -> u32 {\n    // audit: infallible — nothing here can panic\n    7\n}\n"
+            .to_owned(),
+    ));
+    let violations = run_ast_rules(&parse(&sources), &real_baseline());
+    assert!(
+        violations.iter().any(|v| v.rule == "audit-annotation" && v.detail.contains("reason")),
+        "missing-reason annotation was not rejected: {violations:?}"
+    );
+    assert!(
+        violations.iter().any(|v| v.rule == "audit-annotation" && v.detail.contains("no panic")),
+        "dangling annotation was not rejected: {violations:?}"
+    );
+}
+
+/// Unwraps (and annotations) inside `#[cfg(test)]` code are invisible
+/// to the ratchet.
+#[test]
+fn test_code_is_exempt_from_the_ratchet() {
+    let ws = real_workspace();
+    let mut sources = ws.all_sources.clone();
+    sources.push((
+        "crates/net/src/doctored.rs".to_owned(),
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        // audit: infallible\n        \
+         None::<u32>.unwrap();\n    }\n}\n"
+            .to_owned(),
+    ));
+    let violations = run_ast_rules(&parse(&sources), &real_baseline());
+    assert!(
+        !violations.iter().any(|v| v.file.contains("doctored")),
+        "test-only code tripped the ratchet: {violations:?}"
+    );
+}
+
+// ------------------------------------------------------------------
+// blocking-call analysis
+// ------------------------------------------------------------------
+
+/// A `thread::sleep` doctored into the poll loop is reachable from
+/// `PollThread::run` and rejected.
+#[test]
+fn sleep_reachable_from_poll_loop_fails() {
+    let ws = real_workspace();
+    let mut sources = ws.all_sources.clone();
+    doctor(
+        &mut sources,
+        "crates/net/src/poll.rs",
+        "let mut park = MIN_PARK;",
+        "let mut park = MIN_PARK;\n        std::thread::sleep(std::time::Duration::from_millis(1));",
+    );
+    let violations = lint_blocking(&parse(&sources));
+    assert!(
+        violations.iter().any(|v| v.rule == "blocking-call" && v.detail.contains("sleep")),
+        "sleep in the poll loop was not flagged: {violations:?}"
+    );
+}
+
+/// Stripping the sanction annotation from `flush` exposes the lock
+/// held across the socket write.
+#[test]
+fn unannotated_lock_across_write_fails() {
+    let ws = real_workspace();
+    let mut sources = ws.all_sources.clone();
+    doctor(
+        &mut sources,
+        "crates/net/src/poll.rs",
+        "// audit: lock-across-write —",
+        "// (annotation stripped) —",
+    );
+    let violations = lint_blocking(&parse(&sources));
+    assert!(
+        violations.iter().any(|v| v.rule == "lock-across-write" && v.detail.contains("flush")),
+        "lock held across the socket write was not flagged: {violations:?}"
+    );
+}
+
+// ------------------------------------------------------------------
+// lock-order analysis
+// ------------------------------------------------------------------
+
+/// Two functions acquiring two mutexes in opposite orders form a cycle
+/// in the static acquisition graph.
+#[test]
+fn two_lock_cycle_fails() {
+    let ws = real_workspace();
+    let mut sources = ws.all_sources.clone();
+    sources.push((
+        "crates/net/src/doctored.rs".to_owned(),
+        "struct D {\n    a: Mutex<u32>,\n    b: Mutex<u64>,\n}\n\
+         impl D {\n\
+         \x20   fn one_way(&self) {\n        let g = self.a.lock();\n        let h = self.b.lock();\n    }\n\
+         \x20   fn other_way(&self) {\n        let h = self.b.lock();\n        let g = self.a.lock();\n    }\n\
+         }\n"
+            .to_owned(),
+    ));
+    let violations = lint_lock_order(&parse(&sources));
+    assert!(
+        violations.iter().any(|v| v.rule == "lock-order" && v.detail.contains("cycle")),
+        "opposite-order acquisitions were not flagged: {violations:?}"
+    );
+}
+
+// ------------------------------------------------------------------
+// restricted calls, headers, dispatch (AST ports)
+// ------------------------------------------------------------------
+
+#[test]
+fn unsanctioned_force_unlock_fails() {
+    let ws = real_workspace();
+    let mut sources = ws.all_sources.clone();
+    sources.push((
+        "crates/apps/src/doctored.rs".to_owned(),
+        "fn f(t: &mut LockTable, o: &GlobalObjectId) {\n    t.force_unlock(o);\n}\n".to_owned(),
+    ));
+    let violations = lint_restricted_calls(&parse(&sources));
+    assert!(
+        violations.iter().any(|v| v.file.contains("doctored") && v.detail.contains("force_unlock")),
+        "got {violations:?}"
+    );
+}
+
+/// The shard-only core surface is router business: a stray caller in an
+/// app crate extracting a component (or draining the route log) would
+/// silently desync the router's maps — while the real `shard.rs` and
+/// runtime call sites stay sanctioned.
+#[test]
+fn unsanctioned_shard_api_call_fails() {
+    let ws = real_workspace();
+    let mut sources = ws.all_sources.clone();
+    sources.push((
+        "crates/apps/src/doctored.rs".to_owned(),
+        "fn f(c: &mut ServerCore<u64>, seed: InstanceId) {\n    let _ = c.extract_component(seed);\n\
+         \x20   let _ = c.take_route_events();\n}\n"
+            .to_owned(),
+    ));
+    let violations = lint_restricted_calls(&parse(&sources));
+    for api in ["extract_component", "take_route_events"] {
+        assert!(
+            violations.iter().any(|v| v.file.contains("doctored") && v.detail.contains(api)),
+            "lint missed unsanctioned `{api}` call: {violations:?}"
+        );
+    }
+}
+
+/// A restricted call that only appears in a comment or a string literal
+/// is no longer a violation — the headline false-positive class of the
+/// text-scraping predecessor.
+#[test]
+fn restricted_call_in_comment_or_string_is_ignored() {
+    let ws = real_workspace();
+    let mut sources = ws.all_sources.clone();
+    sources.push((
+        "crates/apps/src/doctored.rs".to_owned(),
+        "// Documentation can say t.force_unlock(o) freely.\n\
+         fn f() -> &'static str {\n    \"even .force_unlock( in a string is fine\"\n}\n"
+            .to_owned(),
+    ));
+    let violations = lint_restricted_calls(&parse(&sources));
+    assert!(
+        !violations.iter().any(|v| v.file.contains("doctored")),
+        "comment/string mention was flagged: {violations:?}"
+    );
+}
+
+#[test]
+fn stripped_crate_header_fails() {
+    let ws = real_workspace();
+    let mut sources = ws.all_sources.clone();
+    doctor(&mut sources, "crates/net/src/lib.rs", "#![forbid(unsafe_code)]", "");
+    let violations = lint_crate_headers(&parse(&sources));
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.file == "crates/net/src/lib.rs" && v.detail.contains("forbid(unsafe_code)")),
+        "got {violations:?}"
+    );
+}
+
+#[test]
+fn variant_without_dispatch_arm_fails() {
+    let ws = real_workspace();
+    let mut sources = ws.all_sources.clone();
+    doctor(&mut sources, "crates/server/src/server.rs", "Message::ExecuteDone", "Message::Event");
+    let violations = lint_dispatch_coverage(&parse(&sources));
+    assert!(
+        violations.iter().any(|v| v.detail.contains("`ExecuteDone` is not handled")),
+        "got {violations:?}"
+    );
+}
+
+/// A wildcard arm in a match that dispatches on `Message` can silently
+/// swallow a kind; a wildcard in a match over any other type is fine.
+#[test]
+fn wildcard_arm_in_message_dispatch_fails() {
+    let ws = real_workspace();
+    let mut sources = ws.all_sources.clone();
+    let doctored = "\nfn doctored(m: Message) -> u32 {\n    match m {\n        \
+                    Message::Ping { .. } => 1,\n        _ => 0,\n    }\n}\n";
+    let (_, server) = sources
+        .iter_mut()
+        .find(|(p, _)| p == "crates/server/src/server.rs")
+        .expect("server.rs present");
+    server.push_str(doctored);
+    let violations = lint_dispatch_coverage(&parse(&sources));
+    assert!(
+        violations.iter().any(|v| v.detail.contains("wildcard arm `_ =>`")),
+        "got {violations:?}"
+    );
+}
+
+// ------------------------------------------------------------------
+// surviving text lints (wire tables are literal data, not syntax)
+// ------------------------------------------------------------------
+
 #[test]
 fn new_variant_without_support_fails_every_leg() {
     let mut ws = real_workspace();
-    ws.message_rs = ws
+    let doctored = ws
         .message_rs
         .replace("pub enum Message {", "pub enum Message {\n    /// Doctored.\n    Gadget,");
-    let violations = run_all_lints(&ws);
+    ws.message_rs = doctored.clone();
+    let mut sources = ws.all_sources.clone();
+    doctor(
+        &mut sources,
+        "crates/wire/src/message.rs",
+        "pub enum Message {",
+        "pub enum Message {\n    /// Doctored.\n    Gadget,",
+    );
+    let mut violations = run_all_lints(&ws);
+    violations.extend(lint_dispatch_coverage(&parse(&sources)));
     for rule in ["enum-vs-kinds", "wire-tag", "golden-coverage", "dispatch-coverage"] {
         assert!(
             violations.iter().any(|v| v.rule == rule && v.detail.contains("Gadget")),
@@ -59,28 +366,6 @@ fn variant_without_golden_vector_fails() {
 }
 
 #[test]
-fn variant_without_dispatch_arm_fails() {
-    let ws = real_workspace();
-    let doctored = ws.server_rs.replace("Message::ExecuteDone", "Message::Event");
-    let violations = lint_dispatch_coverage(&ws.message_rs, &doctored);
-    assert!(
-        violations.iter().any(|v| v.detail.contains("`ExecuteDone` is not handled")),
-        "got {violations:?}"
-    );
-}
-
-#[test]
-fn wildcard_arm_in_dispatch_fails() {
-    let ws = real_workspace();
-    let mut doctored = ws.server_rs.clone();
-    doctored.push_str(
-        "\nfn doctored(m: u32) -> u32 {\n    match m {\n        other => other,\n    }\n}\n",
-    );
-    let violations = lint_dispatch_coverage(&ws.message_rs, &doctored);
-    assert!(violations.iter().any(|v| v.detail.contains("wildcard/binding")), "got {violations:?}");
-}
-
-#[test]
 fn retagged_encoder_fails() {
     let ws = real_workspace();
     // ExecuteDone's tag collides with Event's: duplicate tag plus an
@@ -92,55 +377,4 @@ fn retagged_encoder_fails() {
         "got {violations:?}"
     );
     assert!(violations.iter().any(|v| v.detail.contains("decodes to")), "got {violations:?}");
-}
-
-#[test]
-fn unsanctioned_force_unlock_fails() {
-    let mut ws = real_workspace();
-    ws.all_sources.push((
-        "crates/apps/src/doctored.rs".to_owned(),
-        "fn f(t: &mut LockTable, o: &GlobalObjectId) { t.force_unlock(o); }".to_owned(),
-    ));
-    let violations = lint_restricted_calls(&ws.all_sources);
-    assert!(
-        violations.iter().any(|v| v.file.contains("doctored") && v.detail.contains("force_unlock")),
-        "got {violations:?}"
-    );
-}
-
-/// The shard-only core surface is router business: a stray caller in an
-/// app crate extracting a component (or draining the route log) would
-/// silently desync the router's maps, so the lint must flag it — while
-/// the real `shard.rs` and runtime call sites stay sanctioned.
-#[test]
-fn unsanctioned_shard_api_call_fails() {
-    let mut ws = real_workspace();
-    ws.all_sources.push((
-        "crates/apps/src/doctored.rs".to_owned(),
-        "fn f(c: &mut ServerCore<u64>, seed: InstanceId) { let _ = c.extract_component(seed); \
-         let _ = c.take_route_events(); }"
-            .to_owned(),
-    ));
-    let violations = lint_restricted_calls(&ws.all_sources);
-    for api in ["extract_component", "take_route_events"] {
-        assert!(
-            violations.iter().any(|v| v.file.contains("doctored") && v.detail.contains(api)),
-            "lint missed unsanctioned `{api}` call: {violations:?}"
-        );
-    }
-}
-
-#[test]
-fn stripped_crate_header_fails() {
-    let ws = real_workspace();
-    let doctored: Vec<(String, String)> = ws
-        .crate_roots
-        .iter()
-        .map(|(p, t)| (p.clone(), t.replace("#![forbid(unsafe_code)]", "")))
-        .collect();
-    let violations = lint_crate_headers(&doctored);
-    assert!(
-        violations.iter().any(|v| v.detail.contains("forbid(unsafe_code)")),
-        "got {violations:?}"
-    );
 }

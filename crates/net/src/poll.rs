@@ -211,13 +211,11 @@ impl FrameReader {
     /// Next complete message, `Ok(None)` if more bytes are needed, an
     /// error on an oversized or malformed frame (the connection dies).
     fn next(&mut self) -> io::Result<Option<Message>> {
-        let avail = self.buf.len() - self.pos;
-        if avail < 4 {
+        let rest = self.buf.get(self.pos..).unwrap_or(&[]);
+        let [b0, b1, b2, b3, ..] = rest else {
             return Ok(None);
-        }
-        let len_bytes: [u8; 4] =
-            self.buf[self.pos..self.pos + 4].try_into().expect("4 bytes checked");
-        let len = u32::from_le_bytes(len_bytes) as u64;
+        };
+        let len = u32::from_le_bytes([*b0, *b1, *b2, *b3]) as u64;
         if len > codec::MAX_LEN {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -225,10 +223,9 @@ impl FrameReader {
             ));
         }
         let len = len as usize;
-        if avail < 4 + len {
+        let Some(body) = rest.get(4..4 + len) else {
             return Ok(None);
-        }
-        let body = &self.buf[self.pos + 4..self.pos + 4 + len];
+        };
         let msg = codec::decode_message(body)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         self.pos += 4 + len;
@@ -344,32 +341,31 @@ impl PollThread {
     }
 
     /// Write phase then (backoff-gated) read phase for one connection.
-    /// An `Err` means the connection is dead and must be torn down.
+    /// An `Err` means the connection is dead and must be torn down. A
+    /// connection missing from the live map (torn down earlier in the
+    /// same sweep pass) is counted in `stale_sweeps` and skipped rather
+    /// than treated as a poll-thread invariant.
     fn sweep_one(&mut self, id: ConnId, scratch: &mut [u8]) -> io::Result<bool> {
-        let mut progressed = false;
-        let wrote = {
-            let conn = self.conns.get_mut(&id).expect("swept from live key set");
-            Self::flush(conn, &self.counters)?
+        let Some(conn) = self.conns.get_mut(&id) else {
+            self.counters.stale_sweeps.fetch_add(1, Ordering::Relaxed);
+            return Ok(false);
         };
+        let mut progressed = false;
+        let wrote = Self::flush(conn, &self.counters)?;
         if wrote {
             progressed = true;
             // A write usually provokes a reply; probe eagerly again.
-            let conn = self.conns.get_mut(&id).expect("swept from live key set");
             conn.skip = 0;
             conn.skip_limit = 0;
         }
-        let due = {
-            let conn = self.conns.get_mut(&id).expect("swept from live key set");
-            if conn.skip > 0 {
-                conn.skip -= 1;
-                false
-            } else {
-                true
-            }
+        let due = if conn.skip > 0 {
+            conn.skip -= 1;
+            false
+        } else {
+            true
         };
         if due {
-            let read_any = self.read_ready(id, scratch)?;
-            let conn = self.conns.get_mut(&id).expect("swept from live key set");
+            let read_any = Self::read_ready(conn, id, &self.counters, &self.events, scratch)?;
             if read_any {
                 progressed = true;
                 conn.skip_limit = 0;
@@ -387,6 +383,7 @@ impl PollThread {
     fn flush(conn: &mut PollConn, counters: &Counters) -> io::Result<bool> {
         let mut wrote_any = false;
         loop {
+            // audit: lock-across-write — per-connection outbox lock held over the nonblocking write so head accounting stays atomic with the bytes the socket took; only enqueuers contend
             let mut ob = conn.outbox.lock();
             if ob.batches.is_empty() {
                 return Ok(wrote_any);
@@ -397,7 +394,7 @@ impl PollThread {
                     let first_seg = if bi == 0 { ob.head_seg } else { 0 };
                     for (si, seg) in batch.segments.iter().enumerate().skip(first_seg) {
                         let off = if bi == 0 && si == ob.head_seg { ob.head_off } else { 0 };
-                        slices.push(IoSlice::new(&seg[off..]));
+                        slices.push(IoSlice::new(seg.get(off..).unwrap_or(&[])));
                         if slices.len() >= MAX_IOV {
                             break 'gather;
                         }
@@ -423,8 +420,22 @@ impl PollThread {
             let mut batches_touched = 1u64;
             while remaining > 0 {
                 let (seg_len, seg_count, batch_frames) = {
-                    let batch = ob.batches.front().expect("bytes written from queued batches");
-                    (batch.segments[ob.head_seg].len(), batch.segments.len(), batch.frames)
+                    // The socket cannot have taken more bytes than were
+                    // queued; if the accounting ever disagrees, drop the
+                    // connection instead of the whole poll thread.
+                    let Some(batch) = ob.batches.front() else {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "outbox accounting underflow: wrote past queued batches",
+                        ));
+                    };
+                    let Some(seg) = batch.segments.get(ob.head_seg) else {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "outbox accounting underflow: head segment out of range",
+                        ));
+                    };
+                    (seg.len(), batch.segments.len(), batch.frames)
                 };
                 let take = remaining.min(seg_len - ob.head_off);
                 ob.head_off += take;
@@ -455,11 +466,16 @@ impl PollThread {
     /// Reads until `WouldBlock` (bounded per sweep), pushing complete
     /// messages into the event channel. Returns whether bytes arrived;
     /// `Err` on EOF, transport error, or a malformed frame.
-    fn read_ready(&mut self, id: ConnId, scratch: &mut [u8]) -> io::Result<bool> {
+    fn read_ready(
+        conn: &mut PollConn,
+        id: ConnId,
+        counters: &Counters,
+        events: &Sender<NetEvent>,
+        scratch: &mut [u8],
+    ) -> io::Result<bool> {
         let mut read_any = false;
         let mut budget = MAX_READ_PER_SWEEP;
         loop {
-            let conn = self.conns.get_mut(&id).expect("read from live key set");
             let n = match conn.stream.read(scratch) {
                 Ok(0) => {
                     return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed"));
@@ -470,12 +486,13 @@ impl PollThread {
                 Err(e) => return Err(e),
             };
             read_any = true;
-            self.counters.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+            counters.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+            // audit: infallible — read(2) returns at most scratch.len() bytes
             conn.frames.push(&scratch[..n]);
             while let Some(msg) = conn.frames.next()? {
-                self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                counters.frames_in.fetch_add(1, Ordering::Relaxed);
                 // Host gone; the shutdown command will arrive shortly.
-                let _ = self.events.send(NetEvent::Message(id, msg));
+                let _ = events.send(NetEvent::Message(id, msg));
             }
             budget = budget.saturating_sub(n);
             if budget == 0 || n < scratch.len() {

@@ -108,6 +108,11 @@ pub struct TcpStats {
     pub slow_consumer_evictions: u64,
     /// Frames dropped because their connection was already gone.
     pub frames_dropped: u64,
+    /// Sweep passes that found their connection already torn down. A
+    /// connection can be removed between the sweep-list snapshot and its
+    /// own sweep; those are counted here and skipped, never treated as a
+    /// poll-thread invariant violation.
+    pub stale_sweeps: u64,
     /// Threads the host failed to spawn. The poll pool is spawned at
     /// bind (where failure is a bind error), so this stays 0 on the
     /// host today; the field is kept so stats consumers survive the
@@ -137,6 +142,7 @@ pub(crate) struct Counters {
     pub(crate) enqueue_full_waits: AtomicU64,
     pub(crate) slow_consumer_evictions: AtomicU64,
     pub(crate) frames_dropped: AtomicU64,
+    pub(crate) stale_sweeps: AtomicU64,
     pub(crate) thread_spawn_failures: AtomicU64,
     pub(crate) sockopt_failures: AtomicU64,
 }
@@ -174,6 +180,7 @@ impl TcpStatsHandle {
             enqueue_full_waits: self.counters.enqueue_full_waits.load(Ordering::Relaxed),
             slow_consumer_evictions: self.counters.slow_consumer_evictions.load(Ordering::Relaxed),
             frames_dropped: self.counters.frames_dropped.load(Ordering::Relaxed),
+            stale_sweeps: self.counters.stale_sweeps.load(Ordering::Relaxed),
             thread_spawn_failures: self.counters.thread_spawn_failures.load(Ordering::Relaxed),
             sockopt_failures: self.counters.sockopt_failures.load(Ordering::Relaxed),
             active_connections: active,
@@ -312,6 +319,7 @@ impl TcpHost {
                     if tx.send(NetEvent::Connected(id)).is_err() {
                         break;
                     }
+                    // audit: infallible — thread is id % accept_pool.len()
                     let (cmds, waker) = &accept_pool[thread];
                     if cmds.send(Cmd::Register(id, stream, outbox, queued_bytes, gate)).is_err() {
                         break;
@@ -410,7 +418,12 @@ impl TcpHost {
         }
         let mut failed = Vec::new();
         for conn in order {
-            let batch = per_conn.remove(&conn).expect("grouped above");
+            // Grouped above; a missing entry is reported as a failed
+            // send rather than a host panic.
+            let Some(batch) = per_conn.remove(&conn) else {
+                failed.push(conn);
+                continue;
+            };
             if self.enqueue(conn, batch).is_err() {
                 failed.push(conn);
             }
@@ -450,10 +463,21 @@ impl TcpHost {
                 let bytes_ok = empty || cur + bytes <= self.config.queue_max_bytes;
                 let cap_ok = ob.batches.len() < self.config.queue_capacity.max(1);
                 if bytes_ok && cap_ok {
+                    // Admission happens exactly once; a double-take is
+                    // reported to the caller instead of panicking with
+                    // the outbox lock held.
+                    let Some(admitted) = batch.take() else {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            "batch admitted twice",
+                        ));
+                    };
                     queued_bytes.fetch_add(bytes, Ordering::AcqRel);
-                    ob.batches.push_back(batch.take().expect("admitted exactly once"));
+                    ob.batches.push_back(admitted);
                     drop(ob);
-                    self.pool[thread].waker.wake();
+                    if let Some(t) = self.pool.get(thread) {
+                        t.waker.wake();
+                    }
                     return Ok(());
                 }
             }
@@ -480,8 +504,10 @@ impl TcpHost {
         if let Some(c) = self.conns.lock().remove(&conn) {
             self.counters.slow_consumer_evictions.fetch_add(1, Ordering::Relaxed);
             c.control.shutdown(std::net::Shutdown::Both).ok();
-            let _ = self.pool[c.thread].cmds.send(Cmd::Close(conn));
-            self.pool[c.thread].waker.wake();
+            if let Some(t) = self.pool.get(c.thread) {
+                let _ = t.cmds.send(Cmd::Close(conn));
+                t.waker.wake();
+            }
         }
     }
 
@@ -490,8 +516,10 @@ impl TcpHost {
     pub fn disconnect(&self, conn: ConnId) {
         if let Some(c) = self.conns.lock().remove(&conn) {
             c.control.shutdown(std::net::Shutdown::Both).ok();
-            let _ = self.pool[c.thread].cmds.send(Cmd::Close(conn));
-            self.pool[c.thread].waker.wake();
+            if let Some(t) = self.pool.get(c.thread) {
+                let _ = t.cmds.send(Cmd::Close(conn));
+                t.waker.wake();
+            }
         }
     }
 }

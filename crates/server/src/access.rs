@@ -95,10 +95,7 @@ impl AccessTable {
         let keys: Vec<(UserId, GlobalObjectId)> =
             self.tuples.keys().filter(|(_, o)| members.contains(&o.instance)).cloned().collect();
         keys.into_iter()
-            .map(|k| {
-                let right = self.tuples.remove(&k).expect("key just listed");
-                (k.0, k.1, right)
-            })
+            .filter_map(|k| self.tuples.remove(&k).map(|right| (k.0, k.1, right)))
             .collect()
     }
 

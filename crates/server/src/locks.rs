@@ -154,6 +154,7 @@ impl LockTable {
     #[doc(hidden)]
     pub fn assert_index_consistent(&self) {
         if let Err(e) = self.check_invariants() {
+            // audit: infallible — documented panicking test-support wrapper; production code calls check_invariants
             panic!("{e}");
         }
     }

@@ -175,6 +175,7 @@ impl<E> Outgoing<E> {
             match item {
                 Delivery::Unicast(e, m) => flat.push((e, m)),
                 Delivery::Shared(endpoints, frame) => {
+                    // audit: infallible — frames here are built by frame_message_shared from valid messages
                     let msg = frame.decode().expect("server-encoded frame decodes");
                     let mut endpoints = endpoints.into_iter();
                     if let Some(last) = endpoints.next_back() {
@@ -897,6 +898,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
     fn debug_check_invariants(&self) {
         #[cfg(debug_assertions)]
         if let Err(e) = self.check_invariants() {
+            // audit: infallible — deliberate debug-build assert, compiled out of release binaries
             panic!("server invariant violated: {e}");
         }
     }
@@ -1132,6 +1134,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         let mut out = Outgoing::new();
         match msg {
             Message::Register { .. } | Message::Rejoin { .. } => {
+                // audit: infallible — handle() dispatches Register/Rejoin before reaching here
                 unreachable!("handled in handle()")
             }
             Message::Ping { nonce } => {
@@ -1281,7 +1284,10 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             );
             return out;
         }
-        let user = self.registry.user_of(from).expect("registered");
+        let Some(user) = self.registry.user_of(from) else {
+            // Caller races a deregistration: nothing to authorize.
+            return out;
+        };
         for o in [&src, &dst] {
             if !self.right_of(user, o).allows_write() {
                 self.to_instance(
@@ -1344,7 +1350,10 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         seq: u64,
     ) -> Outgoing<E> {
         let mut out = Outgoing::new();
-        let user = self.registry.user_of(from).expect("registered");
+        let Some(user) = self.registry.user_of(from) else {
+            // Caller races a deregistration: nothing to authorize.
+            return out;
+        };
         if !self.right_of(user, &origin).allows_write() {
             self.to_instance(from, Message::EventRejected { seq }, &mut out);
             self.rejected_events += 1;
@@ -1412,8 +1421,9 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             Some(_) | None => return out, // spurious done; ignore
         }
         if exec.owed.values().all(|&n| n == 0) {
-            let exec = self.execs.remove(&exec_id).expect("present");
-            self.finish_exec(exec_id, &exec.targets, &mut out);
+            if let Some(exec) = self.execs.remove(&exec_id) {
+                self.finish_exec(exec_id, &exec.targets, &mut out);
+            }
         }
         out
     }
@@ -1451,7 +1461,10 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             );
             return out;
         }
-        let user = self.registry.user_of(from).expect("registered");
+        let Some(user) = self.registry.user_of(from) else {
+            // Caller races a deregistration: nothing to authorize.
+            return out;
+        };
         if !self.right_of(user, &src).allows_read() {
             self.to_instance(
                 from,
@@ -1498,7 +1511,9 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
                 self.next_transfer += self.id_stride;
                 self.pending_pulls
                     .insert(req_id, PendingPull { src: src.instance, dst, mode, group: group_id });
-                self.transfer_groups.get_mut(&group_id).expect("just inserted").outstanding += 1;
+                if let Some(g) = self.transfer_groups.get_mut(&group_id) {
+                    g.outstanding += 1;
+                }
                 self.to_instance(
                     src.instance,
                     Message::StateRequest { req_id, path: src.path.clone() },
@@ -1600,7 +1615,9 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         if !done {
             return;
         }
-        let g = self.transfer_groups.remove(&group_id).expect("present");
+        let Some(g) = self.transfer_groups.remove(&group_id) else {
+            return;
+        };
         match g.failed {
             Some(reason) => {
                 self.transfers_failed += 1;
@@ -1655,7 +1672,10 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         kind: TransferKind,
     ) -> Outgoing<E> {
         let mut out = Outgoing::new();
-        let user = self.registry.user_of(from).expect("registered");
+        let Some(user) = self.registry.user_of(from) else {
+            // Caller races a deregistration: nothing to authorize.
+            return out;
+        };
         if !self.right_of(user, &object).allows_write() {
             self.to_instance(
                 from,
@@ -1799,22 +1819,23 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         let exec_ids: Vec<u64> = self.execs.keys().copied().collect();
         for exec_id in exec_ids {
             let finished = {
-                let exec = self.execs.get_mut(&exec_id).expect("present");
+                let Some(exec) = self.execs.get_mut(&exec_id) else { continue };
                 exec.owed.remove(&id);
                 exec.owed.values().all(|&n| n == 0)
             };
             if finished {
-                let exec = self.execs.remove(&exec_id).expect("present");
-                let targets: Vec<GlobalObjectId> =
-                    exec.targets.iter().filter(|t| t.instance != id).cloned().collect();
-                self.finish_exec(exec_id, &targets, out);
+                if let Some(exec) = self.execs.remove(&exec_id) {
+                    let targets: Vec<GlobalObjectId> =
+                        exec.targets.iter().filter(|t| t.instance != id).cloned().collect();
+                    self.finish_exec(exec_id, &targets, out);
+                }
             }
         }
         // Fail transfer legs touching the dead instance.
         let dead_legs: Vec<u64> =
             self.transfers.iter().filter(|(_, t)| t.dst.instance == id).map(|(k, _)| *k).collect();
         for req_id in dead_legs {
-            let t = self.transfers.remove(&req_id).expect("present");
+            let Some(t) = self.transfers.remove(&req_id) else { continue };
             if let Some(g) = self.transfer_groups.get_mut(&t.group) {
                 g.outstanding -= 1;
                 g.failed = Some("peer instance terminated".into());
@@ -1832,7 +1853,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             .map(|(k, _)| *k)
             .collect();
         for req_id in dead_pulls {
-            let pull = self.pending_pulls.remove(&req_id).expect("present");
+            let Some(pull) = self.pending_pulls.remove(&req_id) else { continue };
             if let Some(g) = self.transfer_groups.get_mut(&pull.group) {
                 g.outstanding -= 1;
                 g.failed = Some(if pull.src == id {
@@ -1963,20 +1984,21 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
                 .map(|o| members.contains(&o.instance))
                 .unwrap_or(false);
             let straddles = {
-                let exec = self.execs.get(&exec_id).expect("listed");
+                let Some(exec) = self.execs.get(&exec_id) else { continue };
                 exec.owed.keys().any(|i| members.contains(i) != home_inside)
                     || exec.targets.iter().any(|t| members.contains(&t.instance) != home_inside)
             };
             if straddles {
                 let finished = {
-                    let exec = self.execs.get_mut(&exec_id).expect("listed");
+                    let Some(exec) = self.execs.get_mut(&exec_id) else { continue };
                     exec.owed.retain(|i, _| members.contains(i) == home_inside);
                     exec.targets.retain(|t| members.contains(&t.instance) == home_inside);
                     exec.owed.values().all(|&n| n == 0)
                 };
                 if finished {
-                    let exec = self.execs.remove(&exec_id).expect("listed");
-                    self.finish_exec(exec_id, &exec.targets, &mut out);
+                    if let Some(exec) = self.execs.remove(&exec_id) {
+                        self.finish_exec(exec_id, &exec.targets, &mut out);
+                    }
                     continue;
                 }
             }
@@ -1990,9 +2012,12 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         group_ids.sort();
         let mut inside_groups: Vec<u64> = Vec::new();
         for gid in group_ids {
-            let (requester, req_inside) = {
-                let g = self.transfer_groups.get(&gid).expect("listed");
-                (g.requester, members.contains(&g.requester))
+            let Some((requester, req_inside)) = self
+                .transfer_groups
+                .get(&gid)
+                .map(|g| (g.requester, members.contains(&g.requester)))
+            else {
+                continue;
             };
             let uniform = self
                 .transfers
@@ -2070,7 +2095,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             .map(|(k, _)| *k)
             .collect();
         let transfers =
-            leg_ids.into_iter().map(|k| (k, self.transfers.remove(&k).expect("listed"))).collect();
+            leg_ids.into_iter().filter_map(|k| self.transfers.remove(&k).map(|t| (k, t))).collect();
         let pull_ids: Vec<u64> = self
             .pending_pulls
             .iter()
@@ -2079,7 +2104,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             .collect();
         let pulls = pull_ids
             .into_iter()
-            .map(|k| (k, self.pending_pulls.remove(&k).expect("listed")))
+            .filter_map(|k| self.pending_pulls.remove(&k).map(|p| (k, p)))
             .collect();
         self.note_outgoing(&out);
         let slice = ComponentSlice {

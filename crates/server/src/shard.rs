@@ -158,7 +158,22 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
 
     /// Read access to one shard core (tests, invariant checks).
     pub fn shard(&self, index: usize) -> &ServerCore<E> {
+        // audit: infallible — indexing accessor; callers pass index < shard_count() by contract
         &self.shards[index]
+    }
+
+    /// The shard core at a routed index. Indexes stored in the routing
+    /// maps are always in range: they are only ever written from live
+    /// shard positions and the shard vector never shrinks.
+    fn core(&self, index: usize) -> &ServerCore<E> {
+        // audit: infallible — routing maps only hold indexes < shards.len() and shards never shrinks
+        &self.shards[index]
+    }
+
+    /// Mutable twin of [`ShardRouter::core`], same invariant.
+    fn core_mut(&mut self, index: usize) -> &mut ServerCore<E> {
+        // audit: infallible — routing maps only hold indexes < shards.len() and shards never shrinks
+        &mut self.shards[index]
     }
 
     /// The shard currently hosting `instance`, if it is registered.
@@ -192,13 +207,13 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
     /// Forwards to one shard and keeps the routing maps exactly in sync
     /// from the core's route log.
     fn forward(&mut self, shard: usize, endpoint: E, msg: Message) -> Outgoing<E> {
-        let out = self.shards[shard].handle(endpoint, msg);
+        let out = self.core_mut(shard).handle(endpoint, msg);
         self.apply_route_events(shard);
         out
     }
 
     fn apply_route_events(&mut self, shard: usize) {
-        for event in self.shards[shard].take_route_events() {
+        for event in self.core_mut(shard).take_route_events() {
             match event {
                 RouteEvent::Bound { instance, endpoint } => {
                     self.instance_shard.insert(instance, shard);
@@ -270,8 +285,8 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
                     Some(owner) if owner != s0 => {
                         // Read-only cross-shard query: answer from the
                         // owner's directory without moving anything.
-                        self.shards[s0].touch(endpoint);
-                        let coupled = self.shards[owner].couples().coupled_with(&object);
+                        self.core_mut(s0).touch(endpoint);
+                        let coupled = self.core(owner).couples().coupled_with(&object);
                         let mut out = Outgoing::new();
                         out.push_unicast(endpoint, Message::CoupledSet { object, coupled });
                         self.stats.router_replies += 1;
@@ -312,7 +327,7 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
             }
             if let Some(&s) = self.instance_shard.get(&r) {
                 if s != sender_shard {
-                    involved.push((s, r, self.shards[s].component_of(r).len()));
+                    involved.push((s, r, self.core(s).component_of(r).len()));
                 }
             }
         }
@@ -320,9 +335,9 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
             return self.forward(sender_shard, endpoint, msg);
         }
         self.stats.cross_shard_merges += 1;
-        let sender_inst = self.shards[sender_shard].registry().instance_at(endpoint);
+        let sender_inst = self.core(sender_shard).registry().instance_at(endpoint);
         let sender_size =
-            sender_inst.map(|i| self.shards[sender_shard].component_of(i).len()).unwrap_or(0);
+            sender_inst.map(|i| self.core(sender_shard).component_of(i).len()).unwrap_or(0);
         let mut target = sender_shard;
         let mut best = sender_size;
         for (s, _, size) in &involved {
@@ -360,7 +375,7 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
         let Some(&s0) = self.endpoint_shard.get(&endpoint) else {
             return self.forward(0, endpoint, Message::QueryInstances);
         };
-        self.shards[s0].touch(endpoint);
+        self.core_mut(s0).touch(endpoint);
         let mut entries: Vec<cosoft_wire::InstanceInfo> =
             self.shards.iter().flat_map(|s| s.registry().all()).collect();
         entries.sort_by_key(|i| i.instance);
@@ -385,15 +400,15 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
         let Some(&s0) = self.endpoint_shard.get(&endpoint) else {
             return self.forward(0, endpoint, rebuild(to, command, payload));
         };
-        let Some(from) = self.shards[s0].registry().instance_at(endpoint) else {
+        let Some(from) = self.core(s0).registry().instance_at(endpoint) else {
             return self.forward(s0, endpoint, rebuild(to, command, payload));
         };
         match to {
             Target::Instance(i) => match self.instance_shard.get(&i).copied() {
                 Some(owner) if owner != s0 => {
-                    self.shards[s0].touch(endpoint);
+                    self.core_mut(s0).touch(endpoint);
                     self.stats.cross_shard_commands += 1;
-                    match self.shards[owner].deliver_command(
+                    match self.core_mut(owner).deliver_command(
                         from,
                         Target::Instance(i),
                         &command,
@@ -424,9 +439,12 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
                         continue;
                     }
                     self.stats.cross_shard_commands += 1;
-                    if let Ok(o) =
-                        self.shards[s].deliver_command(from, Target::Broadcast, &command, &payload)
-                    {
+                    if let Ok(o) = self.core_mut(s).deliver_command(
+                        from,
+                        Target::Broadcast,
+                        &command,
+                        &payload,
+                    ) {
                         out.extend(o);
                     }
                 }
@@ -434,9 +452,9 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
             }
             Target::Group(object) => match self.instance_shard.get(&object.instance).copied() {
                 Some(owner) if owner != s0 => {
-                    self.shards[s0].touch(endpoint);
+                    self.core_mut(s0).touch(endpoint);
                     self.stats.cross_shard_commands += 1;
-                    self.shards[owner]
+                    self.core_mut(owner)
                         .deliver_command(from, Target::Group(object), &command, &payload)
                         .unwrap_or_else(|_| Outgoing::new())
                 }
@@ -456,7 +474,7 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
             return Outgoing::new();
         }
         let shard = self.endpoint_shard.get(&endpoint).copied().unwrap_or(0);
-        let out = self.shards[shard].disconnect(endpoint);
+        let out = self.core_mut(shard).disconnect(endpoint);
         self.apply_route_events(shard);
         out
     }
@@ -467,7 +485,7 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
     pub fn tick(&mut self, now_us: u64) -> Outgoing<E> {
         let mut out = Outgoing::new();
         for shard in 0..self.shards.len() {
-            out.extend(self.shards[shard].tick(now_us));
+            out.extend(self.core_mut(shard).tick(now_us));
             self.apply_route_events(shard);
         }
         self.maybe_rebalance(&mut out);
@@ -496,10 +514,10 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
         if source == target {
             return Err(format!("component of {seed} already lives on shard {target}"));
         }
-        let members = self.shards[source].component_of(seed);
+        let members = self.core(source).component_of(seed);
         let mut frozen_endpoints = Vec::new();
         for m in &members {
-            if let Some(e) = self.shards[source].registry().endpoint_of(*m) {
+            if let Some(e) = self.core(source).registry().endpoint_of(*m) {
                 if self.frozen.contains_key(&e) {
                     // Roll back this handoff's marks before bailing.
                     for fe in &frozen_endpoints {
@@ -538,8 +556,8 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
             }
         }
         let mut out = Outgoing::new();
-        if self.shards[h.source].registry().contains(h.seed) {
-            let (slice, side) = self.shards[h.source].extract_component(h.seed);
+        if self.core(h.source).registry().contains(h.seed) {
+            let (slice, side) = self.core_mut(h.source).extract_component(h.seed);
             out.extend(side);
             self.stats.instances_migrated += slice.len() as u64;
             for inst in slice.instances() {
@@ -551,7 +569,7 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
             for token in slice.resume_tokens() {
                 self.token_shard.insert(token, h.target);
             }
-            self.shards[h.target].absorb_component(slice);
+            self.core_mut(h.target).absorb_component(slice);
             self.stats.handoffs_completed += 1;
         }
         for b in h.buffered {
@@ -573,26 +591,29 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
             return;
         }
         let lens: Vec<usize> = self.shards.iter().map(|s| s.registry().len()).collect();
-        let (mut max_i, mut min_i) = (0, 0);
-        for (i, len) in lens.iter().enumerate() {
-            if *len > lens[max_i] {
+        let (mut max_i, mut max_len) = (0, 0);
+        let (mut min_i, mut min_len) = (0, usize::MAX);
+        for (i, &len) in lens.iter().enumerate() {
+            if len > max_len {
                 max_i = i;
+                max_len = len;
             }
-            if *len < lens[min_i] {
+            if len < min_len {
                 min_i = i;
+                min_len = len;
             }
         }
-        let gap = lens[max_i] - lens[min_i];
+        let gap = max_len.saturating_sub(min_len);
         if gap < self.rebalance_threshold {
             return;
         }
         let mut seen: HashSet<InstanceId> = HashSet::new();
         let mut best: Option<(usize, InstanceId)> = None;
-        for id in self.shards[max_i].registry().ids() {
+        for id in self.core(max_i).registry().ids() {
             if seen.contains(&id) {
                 continue;
             }
-            let component = self.shards[max_i].component_of(id);
+            let component = self.core(max_i).component_of(id);
             seen.extend(component.iter().copied());
             let size = component.len();
             if size <= gap / 2 && best.is_none_or(|(b, _)| size > b) {
@@ -650,7 +671,7 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
             token_total += shard.token_count();
         }
         for (&id, &s) in &self.instance_shard {
-            if s >= self.shards.len() || !self.shards[s].registry().contains(id) {
+            if self.shards.get(s).is_none_or(|sh| !sh.registry().contains(id)) {
                 return Err(format!("route for instance {id} points at shard {s} which lacks it"));
             }
         }
@@ -669,7 +690,7 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
             return Err("endpoint routing map disagrees with the shard registries".into());
         }
         for (&token, &s) in &self.token_shard {
-            if s >= self.shards.len() || !self.shards[s].owns_resume_token(token) {
+            if self.shards.get(s).is_none_or(|sh| !sh.owns_resume_token(token)) {
                 return Err(format!(
                     "route for token {token:#x} points at shard {s} which lacks it"
                 ));

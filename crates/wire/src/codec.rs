@@ -994,9 +994,11 @@ impl SharedFrame {
         self.bytes.is_empty()
     }
 
-    /// The message body (frame minus the length header).
+    /// The message body (frame minus the length header). Frames built
+    /// by [`SharedFrame::from_message`] always carry the 4-byte header;
+    /// a shorter buffer yields an empty body rather than a panic.
     pub fn body(&self) -> &[u8] {
-        &self.bytes[4..]
+        self.bytes.get(4..).unwrap_or(&[])
     }
 
     /// The message tag byte, if the frame has a body.
@@ -1025,6 +1027,7 @@ impl SharedFrame {
 /// and freezes it into a [`SharedFrame`].
 fn seal_frame(mut buf: BytesMut) -> SharedFrame {
     let len = (buf.len() - 4) as u32;
+    // audit: infallible — callers seed the buffer with a 4-byte length placeholder
     buf[..4].copy_from_slice(&len.to_le_bytes());
     SharedFrame { bytes: buf.freeze() }
 }

@@ -107,11 +107,7 @@ impl ObjectPath {
 
     /// Returns the parent path, or `None` for the root path.
     pub fn parent(&self) -> Option<Self> {
-        if self.segments.is_empty() {
-            None
-        } else {
-            Some(ObjectPath { segments: self.segments[..self.segments.len() - 1].to_vec() })
-        }
+        self.segments.split_last().map(|(_, parent)| ObjectPath { segments: parent.to_vec() })
     }
 
     /// Returns the final segment (the widget's own name), or `None` for root.
@@ -139,18 +135,18 @@ impl ObjectPath {
     /// Used by the coupling layer: an event inside a coupled complex object
     /// must be routed through the couple link of the enclosing object.
     pub fn is_prefix_of(&self, other: &ObjectPath) -> bool {
-        other.segments.len() >= self.segments.len()
-            && other.segments[..self.segments.len()] == self.segments[..]
+        other.segments.get(..self.segments.len()) == Some(self.segments.as_slice())
     }
 
     /// Strips `prefix` from the front of `self`, returning the relative
     /// remainder, or `None` if `prefix` is not a prefix of `self`.
     pub fn strip_prefix(&self, prefix: &ObjectPath) -> Option<ObjectPath> {
-        if prefix.is_prefix_of(self) {
-            Some(ObjectPath { segments: self.segments[prefix.segments.len()..].to_vec() })
-        } else {
-            None
+        if !prefix.is_prefix_of(self) {
+            return None;
         }
+        self.segments
+            .get(prefix.segments.len()..)
+            .map(|rest| ObjectPath { segments: rest.to_vec() })
     }
 
     /// Joins a relative path onto `self`.

@@ -7,8 +7,11 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
-# Protocol/source audit: Message enum vs codec tags vs golden vectors vs
-# server dispatch, restricted teardown APIs, crate lint headers.
+# Protocol/source audit. Text lints: Message enum vs codec tags vs
+# golden vectors. AST rules over the parsed workspace: panic-freedom
+# ratchet against audit-baseline.toml, blocking calls reachable from
+# the poll loop, lock-order cycles, restricted teardown APIs, crate
+# lint headers, dispatch coverage.
 cargo run -q -p cosoft-audit
 # Failure-handling suites, run explicitly so a filtered `cargo test`
 # invocation can't silently skip them.
