@@ -11,7 +11,7 @@ use std::path::Path;
 
 use cosoft_audit::ast::AstWorkspace;
 use cosoft_audit::baseline::{Baseline, BASELINE_PATH};
-use cosoft_audit::lints::{lint_golden_coverage, lint_wire_tags};
+use cosoft_audit::lints::{lint_fault_injection_gating, lint_golden_coverage, lint_wire_tags};
 use cosoft_audit::rules::blocking::lint_blocking;
 use cosoft_audit::rules::dispatch::lint_dispatch_coverage;
 use cosoft_audit::rules::headers::lint_crate_headers;
@@ -362,6 +362,68 @@ fn variant_without_golden_vector_fails() {
     assert!(
         violations.iter().any(|v| v.detail.contains("`ExecuteDone` has no golden byte vector")),
         "got {violations:?}"
+    );
+}
+
+// ------------------------------------------------------------------
+// fault-injection feature gating (manifest lint)
+// ------------------------------------------------------------------
+
+/// Turning the chaos feature into a default feature of `cosoft-net`
+/// would silently ship the injector in release builds.
+#[test]
+fn default_fault_injection_feature_fails() {
+    let ws = real_workspace();
+    let mut manifests = ws.manifests.clone();
+    doctor(
+        &mut manifests,
+        "crates/net/Cargo.toml",
+        "fault-injection = []",
+        "default = [\"fault-injection\"]\nfault-injection = []",
+    );
+    let violations = lint_fault_injection_gating(&manifests);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == "fault-injection-gating"
+                && v.detail.contains("default features reach")),
+        "default-feature doctoring was not flagged: {violations:?}"
+    );
+}
+
+/// A release-facing dependency declaration that force-enables the
+/// feature is just as bad as a default feature.
+#[test]
+fn dependency_forcing_fault_injection_fails() {
+    let ws = real_workspace();
+    let mut manifests = ws.manifests.clone();
+    manifests.push((
+        "crates/apps/Cargo.toml.doctored/Cargo.toml".to_owned(),
+        "[dependencies]\ncosoft-net = { path = \"../net\", features = [\"fault-injection\"] }\n"
+            .to_owned(),
+    ));
+    let violations = lint_fault_injection_gating(&manifests);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == "fault-injection-gating" && v.detail.contains("unconditionally")),
+        "forced dependency feature was not flagged: {violations:?}"
+    );
+}
+
+/// Deleting the feature declaration must fail too, or the other legs
+/// of the lint would pass vacuously forever after a rename.
+#[test]
+fn removed_fault_injection_declaration_fails() {
+    let ws = real_workspace();
+    let mut manifests = ws.manifests.clone();
+    doctor(&mut manifests, "crates/net/Cargo.toml", "fault-injection = []", "");
+    let violations = lint_fault_injection_gating(&manifests);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == "fault-injection-gating" && v.detail.contains("no longer declared")),
+        "removed declaration was not flagged: {violations:?}"
     );
 }
 

@@ -140,6 +140,7 @@ fn run_one(conns: usize, rounds: u64) -> ConnscaleSample {
         queue_max_bytes: 64 * 1024 * 1024,
         enqueue_timeout: Duration::from_secs(10),
         io_threads: IO_THREADS,
+        ..TcpHostConfig::default()
     };
     let server = TcpServer::spawn_with_config("127.0.0.1:0", config).expect("bind bench host");
     let addr = server.addr();

@@ -572,8 +572,11 @@ pub fn server_stats_rows() -> Vec<Vec<String>> {
     let mut h = SimHarness::with_latency(61, 2_000);
     // Grace configured up front so registrations mint resume tokens; the
     // liveness episode at the end exercises quarantine + resume.
-    h.server
-        .set_liveness(cosoft_server::LivenessConfig { grace_us: 1_000_000, idle_timeout_us: 0 });
+    h.server.set_liveness(cosoft_server::LivenessConfig {
+        grace_us: 1_000_000,
+        idle_timeout_us: 0,
+        max_quarantined: 0,
+    });
     let nodes: Vec<_> = (0..8)
         .map(|u| {
             h.add_session(Session::new(

@@ -12,6 +12,9 @@
 //! * [`connscale`] measures delivery throughput and latency of the
 //!   readiness-driven TCP host at 100/1k/5k concurrent connections on a
 //!   fixed poll pool (`--bin connscale` writes `BENCH_connscale.json`);
+//! * [`overload`] measures goodput isolation under admission control —
+//!   well-behaved senders against a 1×/4×/16× flooder on the virtual
+//!   clock (`--bin overload` writes `BENCH_overload.json`);
 //! * [`report`] renders plain-text tables.
 //!
 //! Run `cargo bench --workspace` for everything, or
@@ -24,5 +27,6 @@
 pub mod connscale;
 pub mod fanout;
 pub mod figures;
+pub mod overload;
 pub mod report;
 pub mod shard;

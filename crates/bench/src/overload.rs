@@ -1,0 +1,300 @@
+//! Overload-control benchmark: goodput isolation under admission
+//! control (`cosoft_server::OverloadConfig`).
+//!
+//! One couple group of well-behaved senders shares a sharded server
+//! with a single flooder. The well-behaved side offers a fixed,
+//! in-budget command rate every window; the flooder offers `1×`, `4×`
+//! and `16×` the well-behaved rate. Everything runs on the virtual
+//! clock (`ShardRouter::tick`), so the series are deterministic: the
+//! numbers measure the admission layer, not the host machine.
+//!
+//! The claim under test (DESIGN.md §10): per-endpoint budgets isolate
+//! the well-behaved group — their goodput at `16×` stays within 90% of
+//! the `1×` baseline — while the flooder is first answered with
+//! `Busy { retry_after_ms }` and only escalated to the §3.2
+//! auto-decoupling eviction on sustained abuse, in that order.
+
+use cosoft_server::{LivenessConfig, OverloadConfig, ShardRouter};
+use cosoft_wire::{GlobalObjectId, InstanceId, Message, ObjectPath, Target, UserId};
+
+/// Flooder offered-load multipliers every run reports.
+pub const MULTIPLIERS: [u32; 3] = [1, 4, 16];
+
+/// Members of the well-behaved couple group.
+pub const GROUP_SIZE: usize = 4;
+
+/// Virtual length of one admission window, in microseconds.
+pub const WINDOW_US: u64 = 10_000;
+
+/// Well-behaved commands offered per window (the `1×` rate). Half the
+/// control budget: a polite client never brushes the limit.
+pub const GOOD_PER_WINDOW: u32 = 32;
+
+/// Per-endpoint control-class budget per window.
+pub const CONTROL_BUDGET: u32 = 64;
+
+/// Shed windows tolerated before the flooder is escalated to eviction.
+pub const STRIKES_BEFORE_EVICT: u32 = 3;
+
+/// One measured series: the fixed well-behaved workload against a
+/// flooder at `multiplier` times the polite rate.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadSample {
+    /// Flooder offered load as a multiple of [`GOOD_PER_WINDOW`].
+    pub multiplier: u32,
+    /// Admission windows simulated.
+    pub windows: u64,
+    /// Commands offered by the well-behaved group sender, total.
+    pub offered_good: u64,
+    /// Messages offered by the flooder, total.
+    pub offered_flood: u64,
+    /// `CommandDelivery` fan-outs reaching well-behaved group members.
+    pub deliveries: u64,
+    /// Deliveries per *virtual* second (windows × [`WINDOW_US`]).
+    pub deliveries_per_vsec: f64,
+    /// Messages shed by admission control (all classes).
+    pub sheds: u64,
+    /// Shed fraction of the flooder's offered load.
+    pub shed_rate: f64,
+    /// `Busy { retry_after_ms }` replies sent.
+    pub busy_replies: u64,
+    /// Overload escalations to the §3.2 auto-decoupling eviction.
+    pub evictions: u64,
+    /// First window in which the flooder saw a `Busy` reply, if any.
+    pub first_busy_window: Option<u64>,
+    /// First window in which an overload eviction ran, if any.
+    pub first_evict_window: Option<u64>,
+}
+
+impl OverloadSample {
+    /// Whether the escalation order held: the flooder was told `Busy`
+    /// no later than it was evicted (vacuously true with no eviction).
+    pub fn busy_before_evict(&self) -> bool {
+        match (self.first_busy_window, self.first_evict_window) {
+            (Some(busy), Some(evict)) => busy <= evict,
+            (_, None) => true,
+            (None, Some(_)) => false,
+        }
+    }
+}
+
+fn overload_config() -> OverloadConfig {
+    OverloadConfig {
+        window_us: WINDOW_US,
+        control_budget: CONTROL_BUDGET,
+        bulk_budget: 8,
+        max_window_bytes: 0,
+        retry_after_ms: 50,
+        strikes_before_evict: STRIKES_BEFORE_EVICT,
+    }
+}
+
+/// Registers and chain-couples the well-behaved group, returning the
+/// group sender's endpoint and group object, plus registers the flooder
+/// and returns its endpoint.
+fn populate(router: &mut ShardRouter<u64>) -> ((u64, GlobalObjectId), u64) {
+    let mut members: Vec<(u64, InstanceId)> = Vec::new();
+    for endpoint in 0..GROUP_SIZE as u64 {
+        let out = router.handle(
+            endpoint,
+            Message::Register {
+                user: UserId(endpoint + 1),
+                host: format!("bench-{endpoint}"),
+                app_name: "overload".into(),
+            },
+        );
+        let instance = out
+            .into_messages()
+            .into_iter()
+            .find_map(|(_, msg)| match msg {
+                Message::Welcome { instance } => Some(instance),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("registration of member {endpoint} failed"));
+        members.push((endpoint, instance));
+    }
+    let path = ObjectPath::parse("obj").expect("static path parses");
+    for pair in members.windows(2) {
+        let (src_ep, src_inst) = pair[0];
+        let (_, dst_inst) = pair[1];
+        router.handle(
+            src_ep,
+            Message::Couple {
+                src: GlobalObjectId::new(src_inst, path.clone()),
+                dst: GlobalObjectId::new(dst_inst, path.clone()),
+            },
+        );
+    }
+    let flooder = GROUP_SIZE as u64;
+    router.handle(
+        flooder,
+        Message::Register {
+            user: UserId(flooder + 1),
+            host: "bench-flooder".into(),
+            app_name: "overload".into(),
+        },
+    );
+    ((members[0].0, GlobalObjectId::new(members[0].1, path)), flooder)
+}
+
+/// Runs the fixed workload at each multiplier and returns one sample
+/// per entry.
+///
+/// # Panics
+///
+/// Panics if group registration fails — a setup bug, not load.
+pub fn run(multipliers: &[u32], windows: u64) -> Vec<OverloadSample> {
+    multipliers.iter().map(|&m| run_one(m, windows)).collect()
+}
+
+fn run_one(multiplier: u32, windows: u64) -> OverloadSample {
+    // Two shards so the admission path runs behind the router exactly
+    // as the TCP runtime deploys it.
+    let mut router: ShardRouter<u64> = ShardRouter::with_liveness(2, LivenessConfig::default());
+    // Populate with admission open, then arm the budgets: setup traffic
+    // (registrations, couples) is not part of the offered load.
+    let ((sender, group), flooder) = populate(&mut router);
+    router.set_overload(overload_config());
+
+    let flood_per_window = u64::from(GOOD_PER_WINDOW) * u64::from(multiplier);
+    let mut deliveries = 0u64;
+    let mut first_busy_window = None;
+    let mut first_evict_window = None;
+
+    for window in 0..windows {
+        let now_us = window * WINDOW_US;
+        router.tick(now_us);
+        for i in 0..GOOD_PER_WINDOW {
+            let out = router.handle(
+                sender,
+                Message::CoSendCommand {
+                    to: Target::Group(group.clone()),
+                    command: format!("w{window}c{i}"),
+                    payload: vec![0x5A; 64],
+                },
+            );
+            deliveries += out
+                .into_messages()
+                .iter()
+                .filter(|(_, msg)| matches!(msg, Message::CommandDelivery { .. }))
+                .count() as u64;
+        }
+        for _ in 0..flood_per_window {
+            let out = router.handle(flooder, Message::QueryInstances);
+            if first_busy_window.is_none()
+                && out
+                    .into_messages()
+                    .iter()
+                    .any(|(ep, msg)| *ep == flooder && matches!(msg, Message::Busy { .. }))
+            {
+                first_busy_window = Some(window);
+            }
+        }
+        if first_evict_window.is_none() && router.stats().overload_evictions > 0 {
+            first_evict_window = Some(window);
+        }
+    }
+
+    let stats = router.stats();
+    let offered_good = windows * u64::from(GOOD_PER_WINDOW);
+    let offered_flood = windows * flood_per_window;
+    let sheds = stats.overload_sheds_control + stats.overload_sheds_bulk;
+    let virtual_secs = (windows * WINDOW_US) as f64 / 1e6;
+    OverloadSample {
+        multiplier,
+        windows,
+        offered_good,
+        offered_flood,
+        deliveries,
+        deliveries_per_vsec: deliveries as f64 / virtual_secs.max(1e-9),
+        sheds,
+        shed_rate: if offered_flood == 0 { 0.0 } else { sheds as f64 / offered_flood as f64 },
+        busy_replies: stats.busy_replies,
+        evictions: stats.overload_evictions,
+        first_busy_window,
+        first_evict_window,
+    }
+}
+
+/// Renders the samples as the `BENCH_overload.json` document.
+pub fn to_json(samples: &[OverloadSample], smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"overload\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"window_us\": {WINDOW_US},\n"));
+    out.push_str(&format!("  \"control_budget\": {CONTROL_BUDGET},\n"));
+    out.push_str(&format!("  \"good_per_window\": {GOOD_PER_WINDOW},\n"));
+    out.push_str("  \"series\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"multiplier\": {}, \"windows\": {}, \"offered_good\": {}, \
+             \"offered_flood\": {}, \"deliveries\": {}, \"deliveries_per_vsec\": {:.1}, \
+             \"sheds\": {}, \"shed_rate\": {:.4}, \"busy_replies\": {}, \"evictions\": {}, \
+             \"busy_before_evict\": {}}}{}\n",
+            s.multiplier,
+            s.windows,
+            s.offered_good,
+            s.offered_flood,
+            s.deliveries,
+            s.deliveries_per_vsec,
+            s.sheds,
+            s.shed_rate,
+            s.busy_replies,
+            s.evictions,
+            s.busy_before_evict(),
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polite_flooder_is_never_shed() {
+        let s = &run(&[1], 20)[0];
+        assert_eq!(s.sheds, 0, "an in-budget flooder must not be shed");
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.busy_replies, 0);
+    }
+
+    #[test]
+    fn goodput_is_isolated_from_the_flooder() {
+        let samples = run(&MULTIPLIERS, 30);
+        let baseline = samples[0].deliveries_per_vsec;
+        assert!(baseline > 0.0);
+        for s in &samples {
+            assert!(
+                s.deliveries_per_vsec >= 0.9 * baseline,
+                "well-behaved goodput at {}x fell to {:.0}/s against baseline {:.0}/s",
+                s.multiplier,
+                s.deliveries_per_vsec,
+                baseline
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_flooder_is_shed_and_told_busy_before_eviction() {
+        let s = &run(&[16], 30)[0];
+        assert!(s.sheds > 0, "a 16x flooder must be shed");
+        assert!(s.shed_rate > 0.5, "most of a 16x flood must be shed, got {}", s.shed_rate);
+        assert!(s.busy_replies > 0, "shed traffic must be answered with Busy");
+        assert!(s.evictions > 0, "sustained 16x abuse must escalate to eviction");
+        assert!(s.busy_before_evict(), "Busy must precede the eviction");
+        assert!(s.first_evict_window.expect("evicted") >= u64::from(STRIKES_BEFORE_EVICT));
+    }
+
+    #[test]
+    fn json_lists_every_series() {
+        let samples = run(&[1, 4], 5);
+        let json = to_json(&samples, true);
+        assert!(json.contains("\"multiplier\": 1"));
+        assert!(json.contains("\"multiplier\": 4"));
+        assert!(json.contains("\"smoke\": true"));
+        assert!(json.contains("busy_before_evict"));
+    }
+}

@@ -42,7 +42,11 @@ const FIELD_FORM: &str = r#"form f { textfield t text="" }"#;
 #[test]
 fn reconnect_within_grace_resumes_and_resyncs() {
     let mut h = SimHarness::new(7);
-    h.server.set_liveness(LivenessConfig { grace_us: 1_000_000, idle_timeout_us: 0 });
+    h.server.set_liveness(LivenessConfig {
+        grace_us: 1_000_000,
+        idle_timeout_us: 0,
+        max_quarantined: 0,
+    });
     let a = h.add_session(session(FIELD_FORM, 1));
     let b = h.add_session(session(FIELD_FORM, 2));
     h.settle();
@@ -91,7 +95,11 @@ fn reconnect_within_grace_resumes_and_resyncs() {
 #[test]
 fn grace_expiry_deregisters_and_invalidates_the_token() {
     let mut h = SimHarness::new(7);
-    h.server.set_liveness(LivenessConfig { grace_us: 1_000_000, idle_timeout_us: 0 });
+    h.server.set_liveness(LivenessConfig {
+        grace_us: 1_000_000,
+        idle_timeout_us: 0,
+        max_quarantined: 0,
+    });
     let a = h.add_session(session(FIELD_FORM, 1));
     let b = h.add_session(session(FIELD_FORM, 2));
     h.settle();
@@ -132,7 +140,11 @@ fn grace_expiry_deregisters_and_invalidates_the_token() {
 #[test]
 fn fault_schedule_outage_triggers_idle_quarantine_then_resume() {
     let mut h = SimHarness::new(7);
-    h.server.set_liveness(LivenessConfig { grace_us: 100_000, idle_timeout_us: 5_000 });
+    h.server.set_liveness(LivenessConfig {
+        grace_us: 100_000,
+        idle_timeout_us: 5_000,
+        max_quarantined: 0,
+    });
     let a = h.add_session(session(FIELD_FORM, 1));
     let b = h.add_session(session(FIELD_FORM, 2));
     h.settle();

@@ -18,10 +18,23 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+/// Deterministic fault injection for the TCP transport (scripted and
+/// seeded-random partial writes, short reads, `WouldBlock` storms,
+/// injected socket errors). The module is always compiled so the poll
+/// pool needs no `cfg` plumbing, but its constructors — and
+/// [`tcp::TcpHost::bind_with_faults`] — only exist behind the
+/// non-default `fault-injection` cargo feature: a release build has no
+/// way to instrument a host.
+#[cfg(feature = "fault-injection")]
+pub mod fault;
+#[cfg(not(feature = "fault-injection"))]
+pub(crate) mod fault;
 pub(crate) mod poll;
 pub mod sim;
 pub mod tcp;
 
+#[cfg(feature = "fault-injection")]
+pub use fault::{FaultInjector, ReadFault, WriteFault};
 pub use sim::{Delivery, FaultPlan, Latency, NetStats, NodeId, SimNet};
 pub use tcp::{
     ConnId, NetEvent, RecvError, TcpClient, TcpHost, TcpHostConfig, TcpStats, TcpStatsHandle,

@@ -25,13 +25,14 @@ use std::io::{self, IoSlice, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use cosoft_wire::{codec, Message};
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 
+use crate::fault::{FaultInjector, ReadDecision, WriteDecision};
 use crate::tcp::{ConnId, Counters, NetEvent};
 
 /// Most segments gathered into one vectored write (IOV_MAX headroom).
@@ -260,6 +261,11 @@ struct PollConn {
     /// Current read-backoff ceiling; doubles while the connection stays
     /// quiet, resets to 0 on any traffic.
     skip_limit: u32,
+    /// When the connection must have produced its first complete frame;
+    /// `None` once it has (or when the host runs without a handshake
+    /// deadline). Expiry tears the connection down, so a dialer that
+    /// never speaks the protocol cannot hold a socket open forever.
+    handshake_deadline: Option<Instant>,
 }
 
 /// One thread of the readiness pool: owns its connections' sockets,
@@ -271,6 +277,13 @@ pub(crate) struct PollThread {
     events: Sender<NetEvent>,
     conns_shared: ConnMap,
     counters: Arc<Counters>,
+    /// Freshly registered connections must produce a first complete
+    /// frame within this long; `None` disables the deadline.
+    handshake_timeout: Option<Duration>,
+    /// Fault injector for chaos tests; `None` (the only possibility
+    /// without the `fault-injection` feature) means every I/O operation
+    /// passes straight through to the kernel.
+    faults: Option<Arc<FaultInjector>>,
     conns: HashMap<ConnId, PollConn>,
 }
 
@@ -281,8 +294,19 @@ impl PollThread {
         events: Sender<NetEvent>,
         conns_shared: ConnMap,
         counters: Arc<Counters>,
+        handshake_timeout: Option<Duration>,
+        faults: Option<Arc<FaultInjector>>,
     ) -> PollThread {
-        PollThread { cmds, waker, events, conns_shared, counters, conns: HashMap::new() }
+        PollThread {
+            cmds,
+            waker,
+            events,
+            conns_shared,
+            counters,
+            handshake_timeout,
+            faults,
+            conns: HashMap::new(),
+        }
     }
 
     /// The loop. Exits on `Cmd::Shutdown` or when the host drops its
@@ -304,6 +328,9 @@ impl PollThread {
                                 frames: FrameReader::default(),
                                 skip: 0,
                                 skip_limit: 0,
+                                handshake_deadline: self
+                                    .handshake_timeout
+                                    .map(|t| Instant::now() + t),
                             },
                         );
                     }
@@ -350,8 +377,18 @@ impl PollThread {
             self.counters.stale_sweeps.fetch_add(1, Ordering::Relaxed);
             return Ok(false);
         };
+        if let Some(deadline) = conn.handshake_deadline {
+            if Instant::now() >= deadline {
+                self.counters.handshake_timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "no complete frame within the handshake deadline",
+                ));
+            }
+        }
+        let faults = self.faults.as_deref();
         let mut progressed = false;
-        let wrote = Self::flush(conn, &self.counters)?;
+        let wrote = Self::flush(conn, id, &self.counters, faults)?;
         if wrote {
             progressed = true;
             // A write usually provokes a reply; probe eagerly again.
@@ -365,7 +402,8 @@ impl PollThread {
             true
         };
         if due {
-            let read_any = Self::read_ready(conn, id, &self.counters, &self.events, scratch)?;
+            let read_any =
+                Self::read_ready(conn, id, &self.counters, &self.events, scratch, faults)?;
             if read_any {
                 progressed = true;
                 conn.skip_limit = 0;
@@ -379,8 +417,16 @@ impl PollThread {
 
     /// Flushes as much of the outbox as the socket accepts with vectored
     /// writes, releasing backpressure bytes and signaling the gate.
-    /// Returns whether any bytes moved.
-    fn flush(conn: &mut PollConn, counters: &Counters) -> io::Result<bool> {
+    /// Returns whether any bytes moved. With a fault injector attached,
+    /// every write attempt first consults it: the gather may be cut
+    /// short (partial write), skipped for a sweep (`WouldBlock`), or
+    /// turned into a connection-fatal error.
+    fn flush(
+        conn: &mut PollConn,
+        id: ConnId,
+        counters: &Counters,
+        faults: Option<&FaultInjector>,
+    ) -> io::Result<bool> {
         let mut wrote_any = false;
         loop {
             // audit: lock-across-write — per-connection outbox lock held over the nonblocking write so head accounting stays atomic with the bytes the socket took; only enqueuers contend
@@ -388,14 +434,26 @@ impl PollThread {
             if ob.batches.is_empty() {
                 return Ok(wrote_any);
             }
+            let limit = match faults.map_or(WriteDecision::Pass, |f| f.on_write(id)) {
+                WriteDecision::Pass => usize::MAX,
+                WriteDecision::Truncate(n) => n,
+                WriteDecision::Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok(wrote_any);
+                }
+                WriteDecision::Err(e) => return Err(e),
+            };
             let n = {
                 let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_IOV);
+                let mut gathered = 0usize;
                 'gather: for (bi, batch) in ob.batches.iter().enumerate() {
                     let first_seg = if bi == 0 { ob.head_seg } else { 0 };
                     for (si, seg) in batch.segments.iter().enumerate().skip(first_seg) {
                         let off = if bi == 0 && si == ob.head_seg { ob.head_off } else { 0 };
-                        slices.push(IoSlice::new(seg.get(off..).unwrap_or(&[])));
-                        if slices.len() >= MAX_IOV {
+                        let avail = seg.get(off..).unwrap_or(&[]);
+                        let take = avail.len().min(limit - gathered);
+                        slices.push(IoSlice::new(avail.get(..take).unwrap_or(avail)));
+                        gathered += take;
+                        if gathered >= limit || slices.len() >= MAX_IOV {
                             break 'gather;
                         }
                     }
@@ -465,18 +523,33 @@ impl PollThread {
 
     /// Reads until `WouldBlock` (bounded per sweep), pushing complete
     /// messages into the event channel. Returns whether bytes arrived;
-    /// `Err` on EOF, transport error, or a malformed frame.
+    /// `Err` on EOF, transport error, or a malformed frame. With a
+    /// fault injector attached, every read attempt first consults it:
+    /// the read buffer may be shortened (forcing incremental frame
+    /// reassembly), the probe skipped (`WouldBlock`), or the read turned
+    /// into a connection-fatal error.
     fn read_ready(
         conn: &mut PollConn,
         id: ConnId,
         counters: &Counters,
         events: &Sender<NetEvent>,
         scratch: &mut [u8],
+        faults: Option<&FaultInjector>,
     ) -> io::Result<bool> {
         let mut read_any = false;
         let mut budget = MAX_READ_PER_SWEEP;
         loop {
-            let n = match conn.stream.read(scratch) {
+            let cap = match faults.map_or(ReadDecision::Pass, |f| f.on_read(id)) {
+                ReadDecision::Pass => scratch.len(),
+                ReadDecision::Short(n) => n.min(scratch.len()),
+                ReadDecision::Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok(read_any);
+                }
+                ReadDecision::Err(e) => return Err(e),
+            };
+            let buf = scratch.get_mut(..cap).unwrap_or(&mut []);
+            let cap = buf.len();
+            let n = match conn.stream.read(buf) {
                 Ok(0) => {
                     return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed"));
                 }
@@ -487,15 +560,19 @@ impl PollThread {
             };
             read_any = true;
             counters.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
-            // audit: infallible — read(2) returns at most scratch.len() bytes
-            conn.frames.push(&scratch[..n]);
+            // read(2) returns at most buf.len() bytes, so the fallback
+            // slice is unreachable.
+            conn.frames.push(scratch.get(..n).unwrap_or(&[]));
             while let Some(msg) = conn.frames.next()? {
                 counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                // First complete frame: the peer speaks the protocol,
+                // the handshake deadline (if any) is met.
+                conn.handshake_deadline = None;
                 // Host gone; the shutdown command will arrive shortly.
                 let _ = events.send(NetEvent::Message(id, msg));
             }
             budget = budget.saturating_sub(n);
-            if budget == 0 || n < scratch.len() {
+            if budget == 0 || n < cap {
                 // Short read: the socket is (almost certainly) drained;
                 // anything left is picked up next sweep.
                 return Ok(read_any);

@@ -76,6 +76,25 @@ pub struct TcpHostConfig {
     /// thread) regardless of connection count; connections are assigned
     /// round-robin at accept. Values below 1 are treated as 1.
     pub io_threads: usize,
+    /// Most concurrently accepted connections; further dials are
+    /// refused at accept (the socket is shut down before it ever
+    /// reaches the poll pool, counted in
+    /// [`TcpStats::connections_refused`]). `0` means unlimited.
+    pub max_connections: usize,
+    /// Accept-rate token bucket: at most this many accepts in a burst,
+    /// refilled at [`TcpHostConfig::accept_refill_per_sec`]. A dial
+    /// flood is refused at accept instead of fanning out into poll-pool
+    /// state. `0` disables rate limiting.
+    pub accept_burst: u32,
+    /// Tokens per second returned to the accept bucket. Ignored (and
+    /// irrelevant) while `accept_burst` is `0`.
+    pub accept_refill_per_sec: u32,
+    /// How long a freshly accepted connection may take to produce its
+    /// first complete frame before it is torn down (counted in
+    /// [`TcpStats::handshake_timeouts`]), so a dialer that connects and
+    /// never speaks the protocol cannot hold a socket open forever.
+    /// `Duration::ZERO` disables the deadline.
+    pub handshake_timeout: Duration,
 }
 
 impl Default for TcpHostConfig {
@@ -85,6 +104,10 @@ impl Default for TcpHostConfig {
             queue_max_bytes: 8 * 1024 * 1024,
             enqueue_timeout: Duration::from_millis(200),
             io_threads: 1,
+            max_connections: 0,
+            accept_burst: 0,
+            accept_refill_per_sec: 0,
+            handshake_timeout: Duration::ZERO,
         }
     }
 }
@@ -124,6 +147,13 @@ pub struct TcpStats {
     /// poll loop cannot safely own a blocking socket. Either way the
     /// misbehaving platform is visible here instead of just slow.
     pub sockopt_failures: u64,
+    /// Dials refused at accept by the admission policy
+    /// ([`TcpHostConfig::max_connections`] or the accept-rate bucket).
+    /// Refused sockets never surface a [`NetEvent::Connected`].
+    pub connections_refused: u64,
+    /// Connections torn down because no complete frame arrived within
+    /// [`TcpHostConfig::handshake_timeout`].
+    pub handshake_timeouts: u64,
     /// Currently accepted connections.
     pub active_connections: usize,
     /// Deepest per-connection outbound queue right now.
@@ -145,6 +175,8 @@ pub(crate) struct Counters {
     pub(crate) stale_sweeps: AtomicU64,
     pub(crate) thread_spawn_failures: AtomicU64,
     pub(crate) sockopt_failures: AtomicU64,
+    pub(crate) connections_refused: AtomicU64,
+    pub(crate) handshake_timeouts: AtomicU64,
 }
 
 /// Cloneable handle that can snapshot a host's [`TcpStats`] even after
@@ -183,6 +215,8 @@ impl TcpStatsHandle {
             stale_sweeps: self.counters.stale_sweeps.load(Ordering::Relaxed),
             thread_spawn_failures: self.counters.thread_spawn_failures.load(Ordering::Relaxed),
             sockopt_failures: self.counters.sockopt_failures.load(Ordering::Relaxed),
+            connections_refused: self.counters.connections_refused.load(Ordering::Relaxed),
+            handshake_timeouts: self.counters.handshake_timeouts.load(Ordering::Relaxed),
             active_connections: active,
             max_queue_depth: deepest,
             max_queued_bytes: deepest_bytes,
@@ -237,6 +271,31 @@ impl TcpHost {
     /// Propagates bind failures, including failure to spawn the accept
     /// thread or the poll pool.
     pub fn bind_with_config(addr: &str, config: TcpHostConfig) -> io::Result<TcpHost> {
+        TcpHost::bind_inner(addr, config, None)
+    }
+
+    /// Binds a host whose every socket read and write first consults a
+    /// [`crate::fault::FaultInjector`] — the entry point for the chaos
+    /// tests. Only exists behind the non-default `fault-injection`
+    /// feature; release builds have no way to instrument a host.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TcpHost::bind_with_config`].
+    #[cfg(feature = "fault-injection")]
+    pub fn bind_with_faults(
+        addr: &str,
+        config: TcpHostConfig,
+        faults: Arc<crate::fault::FaultInjector>,
+    ) -> io::Result<TcpHost> {
+        TcpHost::bind_inner(addr, config, Some(faults))
+    }
+
+    fn bind_inner(
+        addr: &str,
+        config: TcpHostConfig,
+        faults: Option<Arc<crate::fault::FaultInjector>>,
+    ) -> io::Result<TcpHost> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let (tx, rx) = unbounded();
@@ -248,12 +307,21 @@ impl TcpHost {
         // The fixed I/O pool, spawned up front: a pool-spawn failure is
         // a bind error, not a per-connection casualty.
         let pool_size = config.io_threads.max(1);
+        let handshake_timeout =
+            if config.handshake_timeout.is_zero() { None } else { Some(config.handshake_timeout) };
         let mut pool: Vec<PollHandle> = Vec::with_capacity(pool_size);
         for i in 0..pool_size {
             let (cmd_tx, cmd_rx) = unbounded();
             let waker = Arc::new(PollWaker::default());
-            let thread_body =
-                PollThread::new(cmd_rx, waker.clone(), tx.clone(), conns.clone(), counters.clone());
+            let thread_body = PollThread::new(
+                cmd_rx,
+                waker.clone(),
+                tx.clone(),
+                conns.clone(),
+                counters.clone(),
+                handshake_timeout,
+                faults.clone(),
+            );
             let spawned = std::thread::Builder::new()
                 .name(format!("cosoft-poll-{i}"))
                 .spawn(move || thread_body.run());
@@ -281,11 +349,39 @@ impl TcpHost {
             pool.iter().map(|h| (h.cmds.clone(), h.waker.clone())).collect();
         let accept_thread =
             std::thread::Builder::new().name("cosoft-accept".into()).spawn(move || {
+                // Accept-rate token bucket: starts full, refills
+                // continuously. Fractional tokens carry across accepts
+                // so the long-run rate is exactly `accept_refill_per_sec`.
+                let mut allowance = f64::from(config.accept_burst);
+                let mut last_refill = Instant::now();
                 for stream in listener.incoming() {
                     if accept_shutdown.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    // Admission control runs before the socket reaches
+                    // the poll pool: a refused dial costs one accept and
+                    // one shutdown, never poll-pool state or events.
+                    if config.max_connections > 0
+                        && accept_conns.lock().len() >= config.max_connections
+                    {
+                        accept_counters.connections_refused.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        continue;
+                    }
+                    if config.accept_burst > 0 {
+                        let now = Instant::now();
+                        let refill = now.duration_since(last_refill).as_secs_f64()
+                            * f64::from(config.accept_refill_per_sec);
+                        allowance = (allowance + refill).min(f64::from(config.accept_burst));
+                        last_refill = now;
+                        if allowance < 1.0 {
+                            accept_counters.connections_refused.fetch_add(1, Ordering::Relaxed);
+                            let _ = stream.shutdown(std::net::Shutdown::Both);
+                            continue;
+                        }
+                        allowance -= 1.0;
+                    }
                     let id = ConnId(next_id.fetch_add(1, Ordering::SeqCst));
                     if stream.set_nodelay(true).is_err() {
                         // Tolerated: the connection works, just slower.
@@ -615,6 +711,11 @@ pub struct ReconnectPolicy {
     /// Fraction in `[0, 1]` of random extra delay added on top of the
     /// backoff, so a fleet of clients does not redial in lockstep.
     pub jitter: f64,
+    /// Seed for the jitter stream. `None` (the default) draws from
+    /// OS-seeded entropy — right for production fleets; `Some(seed)`
+    /// makes every redial delay a pure function of `(seed, attempt)` —
+    /// right for tests and reproducible chaos runs.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for ReconnectPolicy {
@@ -624,6 +725,7 @@ impl Default for ReconnectPolicy {
             base_delay: Duration::from_millis(50),
             max_delay: Duration::from_secs(2),
             jitter: 0.2,
+            jitter_seed: None,
         }
     }
 }
@@ -640,12 +742,27 @@ impl ReconnectPolicy {
         if self.jitter <= 0.0 {
             return backoff;
         }
-        // A throwaway `RandomState` is a seeded-by-the-OS hash — enough
-        // entropy to de-synchronize redials without pulling in an RNG.
-        use std::hash::{BuildHasher, Hasher};
-        let mut h = std::collections::hash_map::RandomState::new().build_hasher();
-        h.write_u32(attempt);
-        let unit = (h.finish() % 1024) as f64 / 1024.0;
+        let unit = match self.jitter_seed {
+            // SplitMix64 over (seed, attempt): deterministic, and
+            // distinct seeds decorrelate a fleet of seeded clients.
+            Some(seed) => {
+                let mut z =
+                    seed.wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) % 1024
+            }
+            // A throwaway `RandomState` is a seeded-by-the-OS hash —
+            // enough entropy to de-synchronize redials without pulling
+            // in an RNG.
+            None => {
+                use std::hash::{BuildHasher, Hasher};
+                let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+                h.write_u32(attempt);
+                h.finish() % 1024
+            }
+        } as f64
+            / 1024.0;
         backoff.mul_f64(1.0 + self.jitter.clamp(0.0, 1.0) * unit)
     }
 }
@@ -683,6 +800,10 @@ pub struct TcpClient {
     reconnects: Arc<AtomicU64>,
     reconnect_attempts: Arc<AtomicU64>,
     sockopt_failures: Arc<AtomicU64>,
+    /// Latest `Busy { retry_after_ms }` seen from the server; the
+    /// reconnect loop treats it as a backoff floor and clears it once a
+    /// redial succeeds.
+    busy_advice_ms: Arc<AtomicU64>,
     _reader: JoinHandle<()>,
     _writer: JoinHandle<()>,
 }
@@ -736,6 +857,7 @@ impl TcpClient {
         let flushed = Arc::new(Gate::default());
         let reconnects = Arc::new(AtomicU64::new(0));
         let reconnect_attempts = Arc::new(AtomicU64::new(0));
+        let busy_advice_ms = Arc::new(AtomicU64::new(0));
         let (tx, rx): (Sender<Message>, Receiver<Message>) = unbounded();
         let (outbox_tx, outbox_rx): (Sender<Bytes>, Receiver<Bytes>) =
             bounded(CLIENT_OUTBOX_CAPACITY);
@@ -752,6 +874,7 @@ impl TcpClient {
             let reconnects = Arc::clone(&reconnects);
             let reconnect_attempts = Arc::clone(&reconnect_attempts);
             let sockopt_failures = Arc::clone(&sockopt_failures);
+            let busy_advice_ms = Arc::clone(&busy_advice_ms);
             std::thread::Builder::new().name("cosoft-client-reader".into()).spawn(move || {
                 Self::reader_loop(
                     addr,
@@ -761,6 +884,7 @@ impl TcpClient {
                     &reconnects,
                     &reconnect_attempts,
                     &sockopt_failures,
+                    &busy_advice_ms,
                     &tx,
                     event_tx.as_ref(),
                 );
@@ -817,6 +941,7 @@ impl TcpClient {
             reconnects,
             reconnect_attempts,
             sockopt_failures,
+            busy_advice_ms,
             _reader: reader,
             _writer: writer,
         })
@@ -872,6 +997,7 @@ impl TcpClient {
         reconnects: &AtomicU64,
         reconnect_attempts: &AtomicU64,
         sockopt_failures: &AtomicU64,
+        busy_advice_ms: &AtomicU64,
         tx: &Sender<Message>,
         event_tx: Option<&Sender<ClientEvent>>,
     ) {
@@ -881,6 +1007,13 @@ impl TcpClient {
             };
             let mut reader = BufReader::new(reader_stream);
             while let Ok(Some(msg)) = codec::read_frame(&mut reader) {
+                // An overloaded server's `Busy` carries backoff advice;
+                // remember the latest so a redial after an eviction does
+                // not dial straight back into the shed window. The
+                // message still reaches the application unchanged.
+                if let Message::Busy { retry_after_ms } = &msg {
+                    busy_advice_ms.store(*retry_after_ms, Ordering::Relaxed);
+                }
                 if tx.send(msg).is_err() {
                     return;
                 }
@@ -905,7 +1038,10 @@ impl TcpClient {
                 }
                 attempts += 1;
                 reconnect_attempts.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(policy.delay_before(attempts));
+                // The server's retry advice is a floor under the
+                // policy's own backoff, never a shortcut below it.
+                let advice = Duration::from_millis(busy_advice_ms.load(Ordering::Relaxed));
+                std::thread::sleep(policy.delay_before(attempts).max(advice));
                 if closed.load(Ordering::SeqCst) {
                     return;
                 }
@@ -923,6 +1059,9 @@ impl TcpClient {
                             return;
                         }
                         reconnects.fetch_add(1, Ordering::Relaxed);
+                        // Advice consumed: the next outage starts from
+                        // the policy's own backoff again.
+                        busy_advice_ms.store(0, Ordering::Relaxed);
                         if let Some(events) = event_tx {
                             events.send(ClientEvent::Reconnected { attempts }).ok();
                         }
@@ -1036,6 +1175,14 @@ impl TcpClient {
     /// connection is broken.
     pub fn sockopt_failures(&self) -> u64 {
         self.sockopt_failures.load(Ordering::Relaxed)
+    }
+
+    /// The latest `Busy { retry_after_ms }` advice seen from the server,
+    /// in milliseconds; `0` when none is pending. The reconnect loop
+    /// sleeps at least this long before each redial and resets the
+    /// advice once a redial succeeds.
+    pub fn busy_advice_ms(&self) -> u64 {
+        self.busy_advice_ms.load(Ordering::Relaxed)
     }
 
     /// Shuts the connection down; the server sees a disconnect and the

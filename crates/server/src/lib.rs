@@ -17,6 +17,7 @@ mod access;
 mod couple;
 mod history;
 mod locks;
+mod overload;
 mod registry;
 mod server;
 mod shard;
@@ -25,6 +26,7 @@ pub use access::AccessTable;
 pub use couple::CoupleDirectory;
 pub use history::HistoryStore;
 pub use locks::{ExecId, LockTable};
+pub use overload::{approx_cost, classify, MessageClass, OverloadConfig, Verdict};
 pub use registry::Registry;
 pub use server::{
     ComponentSlice, Delivery, LivenessConfig, Outgoing, RouteEvent, ServerCore, ServerStats,

@@ -25,6 +25,7 @@ use crate::access::AccessTable;
 use crate::couple::CoupleDirectory;
 use crate::history::HistoryStore;
 use crate::locks::LockTable;
+use crate::overload::{Admission, MessageClass, OverloadConfig, Verdict};
 use crate::registry::Registry;
 
 /// What a state transfer is doing, which decides how its completion is
@@ -224,6 +225,13 @@ pub struct LivenessConfig {
     /// (not even a [`Message::Ping`]) for this long. `0` disables the
     /// idle check.
     pub idle_timeout_us: u64,
+    /// Upper bound on concurrently quarantined instances (and therefore
+    /// on live resume tokens held for disconnected peers). When a new
+    /// quarantine would exceed it, the entry with the *oldest* deadline
+    /// is expired early through the full deregistration path, so a
+    /// register/disconnect flood cannot grow the quarantine and token
+    /// stores without limit. `0` = unbounded (the pre-cap behavior).
+    pub max_quarantined: usize,
 }
 
 /// A disconnected instance whose grace period is still running.
@@ -305,6 +313,24 @@ pub struct ServerStats {
     /// regression is counted here so a misbehaving time source is
     /// observable instead of silent.
     pub clock_regressions: u64,
+    /// Control-class messages shed by admission control.
+    pub overload_sheds_control: u64,
+    /// Bulk-class messages shed by admission control.
+    pub overload_sheds_bulk: u64,
+    /// [`Message::Busy`] replies sent (at most one per endpoint per
+    /// budget window, so this counts advisory notifications, not sheds).
+    pub busy_replies: u64,
+    /// Endpoints evicted via §3.2 auto-decoupling after sustained
+    /// admission-control abuse (strikes exhausted).
+    pub overload_evictions: u64,
+    /// Quarantine entries expired *early* because
+    /// [`LivenessConfig::max_quarantined`] was reached (oldest-deadline
+    /// first). Disjoint from `quarantine_expiries`, which counts
+    /// on-time expiries.
+    pub quarantine_store_evictions: u64,
+    /// Endpoints currently holding an admission budget window (gauge,
+    /// bounded by pruning of idle windows).
+    pub overload_tracked_endpoints: usize,
 }
 
 /// Aggregates counters across shard cores: sums everything except
@@ -343,6 +369,12 @@ impl ServerStats {
             payload_encodes,
             payload_reuses,
             clock_regressions,
+            overload_sheds_control,
+            overload_sheds_bulk,
+            busy_replies,
+            overload_evictions,
+            quarantine_store_evictions,
+            overload_tracked_endpoints,
         } = other;
         self.events_granted += events_granted;
         self.events_rejected += events_rejected;
@@ -373,6 +405,12 @@ impl ServerStats {
         self.payload_encodes += payload_encodes;
         self.payload_reuses += payload_reuses;
         self.clock_regressions += clock_regressions;
+        self.overload_sheds_control += overload_sheds_control;
+        self.overload_sheds_bulk += overload_sheds_bulk;
+        self.busy_replies += busy_replies;
+        self.overload_evictions += overload_evictions;
+        self.quarantine_store_evictions += quarantine_store_evictions;
+        self.overload_tracked_endpoints += overload_tracked_endpoints;
     }
 }
 
@@ -541,6 +579,15 @@ pub struct ServerCore<E> {
     payload_reuses: u64,
     /// `tick` calls that presented a clock earlier than `now_us`.
     clock_regressions: u64,
+    /// Admission-control state (token-bucket budgets per endpoint).
+    admission: Admission<E>,
+    /// Overload counters (see [`ServerStats`]).
+    overload_sheds_control: u64,
+    overload_sheds_bulk: u64,
+    busy_replies: u64,
+    overload_evictions: u64,
+    /// Quarantine entries expired early by the `max_quarantined` cap.
+    quarantine_store_evictions: u64,
     /// Increment applied to every id counter (exec, transfer, transfer
     /// group, token seq). Shard `i` of `n` starts its counters at `i + 1`
     /// with stride `n`, so ids minted by different shards never collide.
@@ -604,6 +651,12 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             payload_encodes: 0,
             payload_reuses: 0,
             clock_regressions: 0,
+            admission: Admission::new(OverloadConfig::default()),
+            overload_sheds_control: 0,
+            overload_sheds_bulk: 0,
+            busy_replies: 0,
+            overload_evictions: 0,
+            quarantine_store_evictions: 0,
             id_stride: 1,
             route_log: Vec::new(),
             route_log_enabled: false,
@@ -651,6 +704,24 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
     /// The active liveness policy.
     pub fn liveness(&self) -> LivenessConfig {
         self.liveness
+    }
+
+    /// Creates a server with an explicit overload-control policy.
+    pub fn with_overload(overload: OverloadConfig) -> Self {
+        let mut s = Self::new();
+        s.set_overload(overload);
+        s
+    }
+
+    /// Replaces the overload-control policy. Budget windows restart:
+    /// existing strikes and partially-spent budgets are discarded.
+    pub fn set_overload(&mut self, overload: OverloadConfig) {
+        self.admission.set_config(overload);
+    }
+
+    /// The active overload-control policy.
+    pub fn overload(&self) -> OverloadConfig {
+        self.admission.config()
     }
 
     /// The registration records.
@@ -715,6 +786,12 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             payload_encodes: self.payload_encodes,
             payload_reuses: self.payload_reuses,
             clock_regressions: self.clock_regressions,
+            overload_sheds_control: self.overload_sheds_control,
+            overload_sheds_bulk: self.overload_sheds_bulk,
+            busy_replies: self.busy_replies,
+            overload_evictions: self.overload_evictions,
+            quarantine_store_evictions: self.quarantine_store_evictions,
+            overload_tracked_endpoints: self.admission.tracked_endpoints(),
         }
     }
 
@@ -1022,6 +1099,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
                 out.extend(q);
             }
         }
+        self.admission.prune(self.now_us);
         self.note_outgoing(&out);
         self.debug_check_invariants();
         out
@@ -1091,7 +1169,63 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         out
     }
 
+    /// Runs admission control for one inbound message without processing
+    /// it. `None` admits (and charges the message against the endpoint's
+    /// budgets); `Some(out)` sheds, where `out` carries at most one
+    /// [`Message::Busy`] advisory per endpoint per budget window and, if
+    /// sustained abuse crossed the strike threshold, the §3.2
+    /// auto-decoupling fan-out of the evicted sender.
+    ///
+    /// [`ServerCore::handle`] calls this itself; the only external caller
+    /// is the shard router, for messages it answers without forwarding to
+    /// a core (merged queries, cross-shard reads and command delivery).
+    /// Calling it *and* `handle` for the same message double-charges the
+    /// budget.
+    pub fn admit(&mut self, endpoint: E, msg: &Message) -> Option<Outgoing<E>> {
+        let verdict = self.admission.admit(endpoint, msg, self.now_us);
+        let Verdict::Shed { class, reply_busy, escalate } = verdict else {
+            return None;
+        };
+        match class {
+            MessageClass::Control => self.overload_sheds_control += 1,
+            MessageClass::Bulk => self.overload_sheds_bulk += 1,
+            // Liveness is never shed.
+            MessageClass::Liveness => {}
+        }
+        let mut out = Outgoing::new();
+        if reply_busy {
+            self.busy_replies += 1;
+            let retry_after_ms = self.admission.config().retry_after_ms;
+            out.push_unicast(endpoint, Message::Busy { retry_after_ms });
+        }
+        if let Some(id) = self.registry.instance_at(endpoint) {
+            // A shed message still proves the peer is alive: keep the
+            // idle-timeout clock from quarantining a throttled-but-live
+            // client.
+            self.last_seen.insert(id, self.now_us);
+            if escalate {
+                self.overload_evictions += 1;
+                self.admission.forget(&endpoint);
+                let evicted = if self.liveness.grace_us > 0 {
+                    self.quarantine_instance(id)
+                } else {
+                    self.deregister_instance(id)
+                };
+                out.extend(evicted);
+            }
+        }
+        self.note_outgoing(&out);
+        self.debug_check_invariants();
+        Some(out)
+    }
+
     fn handle_inner(&mut self, endpoint: E, msg: Message) -> Outgoing<E> {
+        // Admission control runs before anything else — including
+        // registration, so a pre-registration `Register` flood is shed
+        // like any other control traffic.
+        if let Some(shed) = self.admit(endpoint, &msg) {
+            return shed;
+        }
         // Registration and rejoin are the only messages legal before a
         // Welcome.
         if let Message::Register { user, host, app_name } = &msg {
@@ -1243,7 +1377,8 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             | Message::ApplyState { .. }
             | Message::PermissionDenied { .. }
             | Message::CommandDelivery { .. }
-            | Message::ErrorReply { .. }) => {
+            | Message::ErrorReply { .. }
+            | Message::Busy { .. }) => {
                 self.unexpected_messages += 1;
                 self.to_instance(
                     from,
@@ -1890,9 +2025,27 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
     /// access rights survive until the grace period expires.
     fn quarantine_instance(&mut self, id: InstanceId) -> Outgoing<E> {
         let mut out = Outgoing::new();
+        // Bounded store: make room before inserting by expiring the
+        // oldest-deadline entries early (ties broken by smallest id for
+        // determinism). Each eviction runs the full deregistration path,
+        // so couples dissolve and resume tokens retire exactly as they
+        // would at on-time expiry.
+        let cap = self.liveness.max_quarantined;
+        if cap > 0 {
+            while self.quarantined.len() >= cap {
+                let oldest =
+                    self.quarantined.iter().map(|(i, q)| (q.deadline_us, *i)).min().map(|(_, i)| i);
+                let Some(victim) = oldest else { break };
+                self.quarantined.remove(&victim);
+                self.quarantine_store_evictions += 1;
+                let dereg = self.deregister_instance(victim);
+                out.extend(dereg);
+            }
+        }
         self.sever_instance_io(id, &mut out);
         if let Some(endpoint) = self.registry.unbind(id) {
             self.route_event(RouteEvent::Unbound { instance: id, endpoint });
+            self.admission.forget(&endpoint);
         }
         self.last_seen.remove(&id);
         let deadline_us = self.now_us.saturating_add(self.liveness.grace_us);
@@ -1920,6 +2073,9 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             self.route_event(RouteEvent::TokenRetired { token });
         }
         let endpoint = self.registry.endpoint_of(id);
+        if let Some(e) = endpoint {
+            self.admission.forget(&e);
+        }
         self.registry.deregister(id);
         self.route_event(RouteEvent::Deregistered { instance: id, endpoint });
         out

@@ -34,6 +34,7 @@ use std::hash::Hash;
 
 use cosoft_wire::{InstanceId, Message, Target};
 
+use crate::overload::OverloadConfig;
 use crate::server::{LivenessConfig, Outgoing, RouteEvent, ServerCore, ServerStats};
 
 /// Traffic buffered for a frozen endpoint during a handoff.
@@ -148,6 +149,19 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
             next_handoff: 1,
             rebalance_threshold: 4,
             stats: RouterStats::default(),
+        }
+    }
+
+    /// Applies one overload-control policy to every shard core. Budgets
+    /// are per-core, so a sharded deployment gives each shard its own
+    /// windows while the shed counters compose through
+    /// [`ShardRouter::stats`]. Messages the router answers without
+    /// forwarding (merged [`Message::QueryInstances`], cross-shard reads
+    /// and command delivery) are charged against the *sender's* shard
+    /// via [`ServerCore::admit`].
+    pub fn set_overload(&mut self, overload: OverloadConfig) {
+        for core in &mut self.shards {
+            core.set_overload(overload);
         }
     }
 
@@ -284,7 +298,14 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
                 match self.instance_shard.get(&object.instance).copied() {
                     Some(owner) if owner != s0 => {
                         // Read-only cross-shard query: answer from the
-                        // owner's directory without moving anything.
+                        // owner's directory without moving anything. No
+                        // core `handle` runs, so charge admission at the
+                        // sender's shard first.
+                        let probe = Message::ListCoupled { object: object.clone() };
+                        if let Some(shed) = self.core_mut(s0).admit(endpoint, &probe) {
+                            self.apply_route_events(s0);
+                            return shed;
+                        }
                         self.core_mut(s0).touch(endpoint);
                         let coupled = self.core(owner).couples().coupled_with(&object);
                         let mut out = Outgoing::new();
@@ -375,6 +396,12 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
         let Some(&s0) = self.endpoint_shard.get(&endpoint) else {
             return self.forward(0, endpoint, Message::QueryInstances);
         };
+        // Router-synthesized reply: charge admission at the sender's
+        // shard explicitly, since no core `handle` runs for this message.
+        if let Some(shed) = self.core_mut(s0).admit(endpoint, &Message::QueryInstances) {
+            self.apply_route_events(s0);
+            return shed;
+        }
         self.core_mut(s0).touch(endpoint);
         let mut entries: Vec<cosoft_wire::InstanceInfo> =
             self.shards.iter().flat_map(|s| s.registry().all()).collect();
@@ -406,6 +433,17 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
         match to {
             Target::Instance(i) => match self.instance_shard.get(&i).copied() {
                 Some(owner) if owner != s0 => {
+                    // Cross-shard delivery bypasses the sender core's
+                    // `handle`: charge admission there explicitly.
+                    let probe = Message::CoSendCommand {
+                        to: Target::Instance(i),
+                        command: command.clone(),
+                        payload: payload.clone(),
+                    };
+                    if let Some(shed) = self.core_mut(s0).admit(endpoint, &probe) {
+                        self.apply_route_events(s0);
+                        return shed;
+                    }
                     self.core_mut(s0).touch(endpoint);
                     self.stats.cross_shard_commands += 1;
                     match self.core_mut(owner).deliver_command(
@@ -452,6 +490,15 @@ impl<E: Copy + Eq + Hash> ShardRouter<E> {
             }
             Target::Group(object) => match self.instance_shard.get(&object.instance).copied() {
                 Some(owner) if owner != s0 => {
+                    let probe = Message::CoSendCommand {
+                        to: Target::Group(object.clone()),
+                        command: command.clone(),
+                        payload: payload.clone(),
+                    };
+                    if let Some(shed) = self.core_mut(s0).admit(endpoint, &probe) {
+                        self.apply_route_events(s0);
+                        return shed;
+                    }
                     self.core_mut(s0).touch(endpoint);
                     self.stats.cross_shard_commands += 1;
                     self.core_mut(owner)

@@ -335,7 +335,8 @@ impl ShardModel {
         // A grace window so a disconnected client stays quarantined in
         // its shard's registry (the model never ticks, so quarantines
         // never expire and the at-quiescence census stays exact).
-        let liveness = LivenessConfig { grace_us: 1_000_000, idle_timeout_us: 0 };
+        let liveness =
+            LivenessConfig { grace_us: 1_000_000, idle_timeout_us: 0, max_quarantined: 0 };
         let mut router: ShardRouter<Endpoint> = ShardRouter::with_liveness(2, liveness);
         let mut clients = Vec::new();
         for e in 0..3u32 {

@@ -780,6 +780,7 @@ fn disconnect_with_grace_quarantines_and_rejoin_resumes() {
     let mut s: ServerCore<Endpoint> = ServerCore::with_liveness(cosoft_server::LivenessConfig {
         grace_us: 1_000,
         idle_timeout_us: 0,
+        max_quarantined: 0,
     });
     let (a, token_a) = register_with_token(&mut s, 1, 1);
     let (b, _) = register_with_token(&mut s, 2, 2);
@@ -822,6 +823,7 @@ fn grace_expiry_deregisters_and_decouples() {
     let mut s: ServerCore<Endpoint> = ServerCore::with_liveness(cosoft_server::LivenessConfig {
         grace_us: 1_000,
         idle_timeout_us: 0,
+        max_quarantined: 0,
     });
     let (a, token_a) = register_with_token(&mut s, 1, 1);
     let (b, _) = register_with_token(&mut s, 2, 2);
@@ -854,6 +856,7 @@ fn copies_touching_a_quarantined_instance_fail_fast() {
     let mut s: ServerCore<Endpoint> = ServerCore::with_liveness(cosoft_server::LivenessConfig {
         grace_us: 60_000_000,
         idle_timeout_us: 0,
+        max_quarantined: 0,
     });
     let (a, _) = register_with_token(&mut s, 1, 1);
     let (b, _) = register_with_token(&mut s, 2, 2);
@@ -899,6 +902,7 @@ fn events_skip_quarantined_group_members() {
     let mut s: ServerCore<Endpoint> = ServerCore::with_liveness(cosoft_server::LivenessConfig {
         grace_us: 60_000_000,
         idle_timeout_us: 0,
+        max_quarantined: 0,
     });
     let (a, _) = register_with_token(&mut s, 1, 1);
     let (b, _) = register_with_token(&mut s, 2, 2);
@@ -928,6 +932,7 @@ fn idle_timeout_quarantines_silent_instances() {
     let mut s: ServerCore<Endpoint> = ServerCore::with_liveness(cosoft_server::LivenessConfig {
         grace_us: 10_000,
         idle_timeout_us: 1_000,
+        max_quarantined: 0,
     });
     let (_a, _) = register_with_token(&mut s, 1, 1);
     let (b, token_b) = register_with_token(&mut s, 2, 2);
@@ -1092,6 +1097,7 @@ fn backwards_tick_is_clamped_and_counted() {
     let mut s: ServerCore<Endpoint> = ServerCore::with_liveness(cosoft_server::LivenessConfig {
         grace_us: 1_000,
         idle_timeout_us: 0,
+        max_quarantined: 0,
     });
     // With liveness on, Register yields Welcome + SessionToken.
     let out = s
@@ -1121,4 +1127,217 @@ fn backwards_tick_is_clamped_and_counted() {
     s.tick(6_000).into_messages();
     assert!(!s.registry().contains(a), "grace still runs out on the clamped clock");
     assert_eq!(s.stats().clock_regressions, 1, "forward ticks are not regressions");
+}
+
+// ---- overload control (admission, shedding, escalation) -------------------
+
+fn overloaded(
+    grace_us: u64,
+    control_budget: u32,
+    bulk_budget: u32,
+    strikes: u32,
+) -> ServerCore<Endpoint> {
+    let mut s: ServerCore<Endpoint> = ServerCore::with_liveness(cosoft_server::LivenessConfig {
+        grace_us,
+        idle_timeout_us: 0,
+        max_quarantined: 0,
+    });
+    s.set_overload(cosoft_server::OverloadConfig {
+        window_us: 1_000,
+        control_budget,
+        bulk_budget,
+        max_window_bytes: 0,
+        retry_after_ms: 75,
+        strikes_before_evict: strikes,
+    });
+    s
+}
+
+#[test]
+fn bulk_is_shed_with_one_busy_while_control_and_liveness_flow() {
+    let mut s = overloaded(0, 0, 1, 0);
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+
+    // First bulk request is admitted (and fails on its merits — the
+    // source object doesn't matter here, only that it was processed).
+    let first = s
+        .handle(
+            1,
+            Message::CopyFrom {
+                src: gid(b, "x"),
+                dst: gid(a, "y"),
+                mode: CopyMode::Strict,
+                req_id: 1,
+            },
+        )
+        .into_messages();
+    assert_eq!(count_kind(&first, "busy"), 0);
+
+    // The rest of the window's bulk traffic is shed: exactly one Busy
+    // carrying the configured advice, no matter how many messages flood in.
+    let mut busies = 0;
+    for i in 0..40 {
+        let out = s
+            .handle(
+                1,
+                Message::CopyFrom {
+                    src: gid(b, "x"),
+                    dst: gid(a, "y"),
+                    mode: CopyMode::Strict,
+                    req_id: 2 + i,
+                },
+            )
+            .into_messages();
+        for (e, m) in &out {
+            if let Message::Busy { retry_after_ms } = m {
+                assert_eq!(*e, 1);
+                assert_eq!(*retry_after_ms, 75);
+                busies += 1;
+            }
+        }
+    }
+    assert_eq!(busies, 1, "one advisory Busy per endpoint per window");
+    assert_eq!(s.stats().overload_sheds_bulk, 40);
+    assert_eq!(s.stats().busy_replies, 1);
+
+    // Control and liveness classes keep flowing on their own budgets.
+    let out = s.handle(1, Message::QueryInstances).into_messages();
+    assert_eq!(count_kind(&out, "instance-list"), 1);
+    let out = s.handle(1, Message::Ping { nonce: 9 }).into_messages();
+    assert_eq!(count_kind(&out, "pong"), 1);
+    assert_eq!(s.stats().overload_evictions, 0, "shedding alone never evicts");
+}
+
+#[test]
+fn sustained_abuse_escalates_to_auto_decoupling_eviction() {
+    // Couple first with admission off, then arm the tight budget — the
+    // setup traffic must not eat the window under test.
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+    s.handle(1, Message::Couple { src: gid(a, "x"), dst: gid(b, "y") }).into_messages();
+    s.set_overload(cosoft_server::OverloadConfig {
+        window_us: 1_000,
+        control_budget: 1,
+        bulk_budget: 0,
+        max_window_bytes: 0,
+        retry_after_ms: 75,
+        strikes_before_evict: 2,
+    });
+
+    // Three consecutive windows of flooding; the flooder receives Busy
+    // (in each window) strictly before the eviction fires.
+    let mut saw_busy_before_eviction = false;
+    let mut evicted_out: Vec<(Endpoint, Message)> = Vec::new();
+    'outer: for window in 0u64..3 {
+        s.tick(window * 1_000).into_messages();
+        for _ in 0..5 {
+            let out = s.handle(1, Message::QueryInstances).into_messages();
+            if count_kind(&out, "busy") > 0 && s.stats().overload_evictions == 0 {
+                saw_busy_before_eviction = true;
+            }
+            if s.stats().overload_evictions > 0 {
+                evicted_out = out;
+                break 'outer;
+            }
+        }
+    }
+    assert!(saw_busy_before_eviction, "flooder must be told Busy before being evicted");
+    assert_eq!(s.stats().overload_evictions, 1);
+    assert!(!s.registry().contains(a), "zero grace: eviction deregisters the flooder");
+    assert!(s.registry().contains(b));
+    // §3.2 auto-decoupling: the surviving peer learns the new grouping.
+    assert!(count_kind(&evicted_out, "couple-update") >= 1, "{evicted_out:?}");
+    assert!(s.stats().overload_sheds_control >= 3);
+
+    // A fresh connection on the same endpoint starts with clean budgets.
+    s.tick(10_000).into_messages();
+    let c = register(&mut s, 1, 3);
+    assert!(s.registry().contains(c));
+}
+
+#[test]
+fn eviction_respects_grace_and_quarantines() {
+    let mut s = overloaded(1_000_000, 1, 0, 1);
+    let (a, _) = register_with_token(&mut s, 1, 1);
+    for window in 0u64..2 {
+        s.tick(window * 1_000).into_messages();
+        for _ in 0..4 {
+            s.handle(1, Message::QueryInstances).into_messages();
+        }
+    }
+    assert_eq!(s.stats().overload_evictions, 1);
+    assert!(s.registry().contains(a), "grace > 0: evicted instance is quarantined, not dropped");
+    assert_eq!(s.stats().quarantined_instances, 1);
+}
+
+#[test]
+fn register_floods_are_shed_before_registration() {
+    let mut s = overloaded(0, 1, 0, 0);
+    let reg = || Message::Register { user: UserId(7), host: "ws".into(), app_name: "app".into() };
+    let out = s.handle(1, reg()).into_messages();
+    assert_eq!(count_kind(&out, "welcome"), 1);
+    for _ in 0..10 {
+        let out = s.handle(1, reg()).into_messages();
+        assert_eq!(count_kind(&out, "welcome"), 0, "flooded Register must not register");
+    }
+    assert_eq!(s.registry().all().len(), 1);
+    assert!(s.stats().overload_sheds_control >= 10);
+}
+
+#[test]
+fn busy_inbound_is_server_to_client_only() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    register(&mut s, 1, 1);
+    let out = s.handle(1, Message::Busy { retry_after_ms: 5 }).into_messages();
+    assert_eq!(count_kind(&out, "error-reply"), 1);
+    assert_eq!(s.stats().unexpected_messages, 1);
+}
+
+#[test]
+fn quarantine_store_cap_evicts_oldest_deadline_first() {
+    let mut s: ServerCore<Endpoint> = ServerCore::with_liveness(cosoft_server::LivenessConfig {
+        grace_us: 1_000_000,
+        idle_timeout_us: 0,
+        max_quarantined: 2,
+    });
+    let (a, _) = register_with_token(&mut s, 1, 1);
+    let (b, _) = register_with_token(&mut s, 2, 2);
+    let (c, _) = register_with_token(&mut s, 3, 3);
+    // Stagger the deadlines: a's quarantine is oldest.
+    s.disconnect(1).into_messages();
+    s.tick(10).into_messages();
+    s.disconnect(2).into_messages();
+    s.tick(20).into_messages();
+    assert_eq!(s.stats().quarantined_instances, 2);
+
+    // The third quarantine exceeds the cap: a (oldest deadline) is
+    // expired early through the full deregistration path.
+    s.disconnect(3).into_messages();
+    assert_eq!(s.stats().quarantined_instances, 2);
+    assert_eq!(s.stats().quarantine_store_evictions, 1);
+    assert!(!s.registry().contains(a), "oldest quarantine evicted");
+    assert!(s.registry().contains(b));
+    assert!(s.registry().contains(c));
+
+    // Evicted early means its token is dead: rejoin is refused.
+    // (b and c remain resumable.)
+    s.tick(30).into_messages();
+    assert_eq!(s.stats().quarantine_expiries, 0, "cap evictions are counted separately");
+}
+
+#[test]
+fn quarantine_cap_zero_is_unbounded() {
+    let mut s: ServerCore<Endpoint> = ServerCore::with_liveness(cosoft_server::LivenessConfig {
+        grace_us: 1_000_000,
+        idle_timeout_us: 0,
+        max_quarantined: 0,
+    });
+    for e in 1..=20u64 {
+        register_with_token(&mut s, e, e);
+        s.disconnect(e).into_messages();
+    }
+    assert_eq!(s.stats().quarantined_instances, 20);
+    assert_eq!(s.stats().quarantine_store_evictions, 0);
 }

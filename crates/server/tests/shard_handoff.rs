@@ -85,7 +85,7 @@ fn cross_shard_couple_merges_components() {
 fn requester_dies_mid_merge() {
     // A grace window so the replayed disconnect quarantines instead of
     // deregistering outright (default grace is 0).
-    let liveness = LivenessConfig { grace_us: 1_000_000, idle_timeout_us: 0 };
+    let liveness = LivenessConfig { grace_us: 1_000_000, idle_timeout_us: 0, max_quarantined: 0 };
     let (mut router, inst) = registered_on(ShardRouter::with_liveness(2, liveness), 2);
     // Pre-couple on one shard so the component being frozen holds both
     // the requester and its peer.
@@ -200,7 +200,7 @@ fn re_merge_is_idempotent() {
 /// the migration instead of extracting a ghost.
 #[test]
 fn seed_vanishing_mid_freeze_skips_migration() {
-    let liveness = LivenessConfig { grace_us: 1_000, idle_timeout_us: 0 };
+    let liveness = LivenessConfig { grace_us: 1_000, idle_timeout_us: 0, max_quarantined: 0 };
     let mut router: ShardRouter<Endpoint> = ShardRouter::with_liveness(2, liveness);
     let out = router
         .handle(

@@ -739,6 +739,10 @@ pub fn put_message(buf: &mut BytesMut, m: &Message) {
             buf.put_u8(36);
             put_uvarint(buf, *resume_token);
         }
+        Message::Busy { retry_after_ms } => {
+            buf.put_u8(37);
+            put_uvarint(buf, *retry_after_ms);
+        }
     }
 }
 
@@ -875,6 +879,7 @@ pub fn get_message(buf: &mut Bytes) -> Result<Message> {
         34 => Message::Ping { nonce: get_uvarint(buf)? },
         35 => Message::Pong { nonce: get_uvarint(buf)? },
         36 => Message::SessionToken { resume_token: get_uvarint(buf)? },
+        37 => Message::Busy { retry_after_ms: get_uvarint(buf)? },
         other => return Err(WireError::InvalidTag { kind: "Message", tag: other }),
     })
 }
@@ -943,6 +948,7 @@ pub const TAG_KIND_NAMES: &[&str] = &[
     "ping",              // 34
     "pong",              // 35
     "session-token",     // 36
+    "busy",              // 37
 ];
 
 /// A complete, already-framed wire message (`u32-le length ‖ body`)
@@ -1263,6 +1269,7 @@ mod tests {
             Message::Ping { nonce: 17 },
             Message::Pong { nonce: 17 },
             Message::SessionToken { resume_token: u64::MAX },
+            Message::Busy { retry_after_ms: 250 },
         ]
     }
 

@@ -399,6 +399,18 @@ pub enum Message {
         /// Why it failed.
         reason: String,
     },
+
+    // ---- overload control ---------------------------------------------------
+    /// Server → client: the message was shed by admission control (the
+    /// endpoint's budget or the server's byte budget is exhausted). The
+    /// request was *not* processed; the client should back off for at
+    /// least `retry_after_ms` before retrying. Unlike a disconnect this
+    /// keeps the session alive — only sustained abuse escalates to the
+    /// §3.2 auto-decoupling path.
+    Busy {
+        /// Advisory back-off in milliseconds before retrying.
+        retry_after_ms: u64,
+    },
 }
 
 impl Message {
@@ -449,6 +461,7 @@ impl Message {
         "co-send-command",
         "command-delivery",
         "error-reply",
+        "busy",
     ];
 
     /// Short variant name for logging and metrics.
@@ -491,6 +504,7 @@ impl Message {
             Message::CoSendCommand { .. } => "co-send-command",
             Message::CommandDelivery { .. } => "command-delivery",
             Message::ErrorReply { .. } => "error-reply",
+            Message::Busy { .. } => "busy",
         }
     }
 }

@@ -193,6 +193,7 @@ fn golden_table() -> Vec<(Message, Vec<u8>)> {
             M::ErrorReply { context: "couple".into(), reason: "bad".into() },
             vec![0x1f, 0x06, 0x63, 0x6f, 0x75, 0x70, 0x6c, 0x65, 0x03, 0x62, 0x61, 0x64],
         ),
+        (M::Busy { retry_after_ms: 300 }, vec![0x25, 0xac, 0x02]),
     ]
 }
 

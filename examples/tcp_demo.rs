@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = TcpServer::spawn_with_liveness(
         "127.0.0.1:0",
         TcpHostConfig::default(),
-        LivenessConfig { grace_us: 10_000_000, idle_timeout_us: 0 },
+        LivenessConfig { grace_us: 10_000_000, idle_timeout_us: 0, max_quarantined: 0 },
     )?;
     println!("server listening on {}", server.addr());
 

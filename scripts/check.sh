@@ -8,7 +8,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
 # Protocol/source audit. Text lints: Message enum vs codec tags vs
-# golden vectors. AST rules over the parsed workspace: panic-freedom
+# golden vectors, plus the manifest scan keeping the fault-injection
+# feature out of default features and release dependency graphs.
+# AST rules over the parsed workspace: panic-freedom
 # ratchet against audit-baseline.toml, blocking calls reachable from
 # the poll loop, lock-order cycles, restricted teardown APIs, crate
 # lint headers, dispatch coverage.
@@ -40,3 +42,15 @@ cargo run -q --release -p cosoft-bench --bin shard -- --smoke
 ulimit -n 16384 2>/dev/null || true
 cargo test -q --release --test tcp_connscale
 cargo run -q --release -p cosoft-bench --bin connscale -- --smoke
+# Chaos suite: scripted peer-side faults (torn/garbage/oversized
+# frames, handshake stalls) plus, with the fault-injection feature,
+# deterministic injected partial writes / short reads / WouldBlock
+# storms and a seeded randomized soak. Every fault must end clean:
+# exactly one Disconnected per torn connection, no poll-thread death.
+cargo test -q --test tcp_chaos
+cargo test -q --features fault-injection --test tcp_chaos
+# Overload-control smoke: well-behaved goodput must hold within 90% of
+# baseline against a 16x flooder (shed, told Busy, then evicted) —
+# asserted by the bench's own unit tests, series into BENCH_overload.json.
+cargo test -q -p cosoft-bench --lib overload
+cargo run -q --release -p cosoft-bench --bin overload -- --smoke

@@ -18,7 +18,9 @@ use cosoft_net::tcp::{
     ClientEvent, ConnId, NetEvent, ReconnectPolicy, RecvError, TcpClient, TcpHost, TcpHostConfig,
     TcpStats, TcpStatsHandle,
 };
-use cosoft_server::{LivenessConfig, Outgoing, RouterStats, ServerStats, ShardRouter};
+use cosoft_server::{
+    LivenessConfig, Outgoing, OverloadConfig, RouterStats, ServerStats, ShardRouter,
+};
 
 /// A COSOFT server listening on TCP.
 ///
@@ -95,6 +97,27 @@ impl TcpServer {
         liveness: LivenessConfig,
         shards: usize,
     ) -> io::Result<TcpServer> {
+        TcpServer::spawn_with_overload(addr, config, liveness, shards, OverloadConfig::default())
+    }
+
+    /// Binds and starts serving with per-endpoint admission control: each
+    /// shard core enforces `overload`'s per-class message budgets and the
+    /// global byte budget, answering excess traffic with
+    /// `Busy { retry_after_ms }` and escalating sustained abuse to the
+    /// §3.2 auto-decoupling eviction. The default [`OverloadConfig`] is
+    /// fully open (no budgets), making this a superset of
+    /// [`TcpServer::spawn_sharded`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn_with_overload(
+        addr: &str,
+        config: TcpHostConfig,
+        liveness: LivenessConfig,
+        shards: usize,
+        overload: OverloadConfig,
+    ) -> io::Result<TcpServer> {
         let host = TcpHost::bind_with_config(addr, config)?;
         let local = host.local_addr();
         let net_stats = host.stats_handle();
@@ -121,6 +144,7 @@ impl TcpServer {
         };
         let thread = std::thread::Builder::new().name("cosoft-server".into()).spawn(move || {
             let mut router: ShardRouter<ConnId> = ShardRouter::with_liveness(shards, liveness);
+            router.set_overload(overload);
             let start = Instant::now();
             let mut last_published = (router.stats(), router.router_stats());
             let mut published_at = Instant::now();

@@ -1,0 +1,452 @@
+//! Transport chaos tests: every scripted fault — torn frames, garbage
+//! bytes, oversized headers, stalled peers, partial writes, `WouldBlock`
+//! storms, short reads, injected socket errors — must end in a clean
+//! state: exactly one `Disconnected` per torn connection, no poll-thread
+//! death, no permanently blocked sender, and healthy peers unaffected.
+//!
+//! Peer-originated faults (evil bytes written by a raw socket) need no
+//! instrumentation and always run. Kernel-boundary faults (cut writes,
+//! shortened reads, synthesized errors) use the deterministic
+//! `FaultInjector` behind the non-default `fault-injection` feature:
+//!
+//! ```text
+//! cargo test --features fault-injection --test tcp_chaos
+//! ```
+//!
+//! The seeded random soak scales with `COSOFT_CHAOS_STEPS` (messages per
+//! client; default keeps the gating run fast, the scheduled CI job turns
+//! it up).
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+use cosoft::net::tcp::{NetEvent, TcpClient, TcpHost, TcpHostConfig};
+use cosoft::net::RecvError;
+use cosoft::wire::{codec, InstanceId, Message, UserId};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn accept_one(host: &TcpHost) -> cosoft::net::ConnId {
+    match host.events().recv_timeout(TIMEOUT).expect("accept") {
+        NetEvent::Connected(c) => c,
+        other => panic!("expected Connected, got {other:?}"),
+    }
+}
+
+// Only the feature-gated injected-fault tests build payload blobs.
+#[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+fn payload_msg(bytes: usize) -> Message {
+    Message::CommandDelivery {
+        from: InstanceId(1),
+        command: "chaos-blob".into(),
+        payload: (0..bytes).map(|i| (i % 251) as u8).collect(),
+    }
+}
+
+/// Drives one round trip over a healthy client to prove the host (and
+/// its poll thread) survived whatever the test just did to a peer.
+fn assert_host_alive(host: &TcpHost, client: &TcpClient, conn: cosoft::net::ConnId) {
+    client.send(&Message::Ping { nonce: 0xA11E }).expect("healthy send");
+    loop {
+        match host.events().recv_timeout(TIMEOUT).expect("healthy inbound") {
+            NetEvent::Message(c, Message::Ping { nonce: 0xA11E }) => {
+                assert_eq!(c, conn);
+                break;
+            }
+            // Stale events from the evil peer may still be queued.
+            _ => continue,
+        }
+    }
+    host.send(conn, &Message::Pong { nonce: 0xA11E }).expect("healthy outbound");
+    match client.recv_within(TIMEOUT).expect("healthy reply") {
+        Message::Pong { nonce } => assert_eq!(nonce, 0xA11E),
+        other => panic!("expected Pong, got {other:?}"),
+    }
+}
+
+/// Collects `Disconnected` events for `window`, asserting exactly one
+/// and that it names `victim`.
+fn expect_one_disconnect(host: &TcpHost, victim: cosoft::net::ConnId) {
+    let mut disconnects = Vec::new();
+    let deadline = Instant::now() + TIMEOUT;
+    while disconnects.is_empty() && Instant::now() < deadline {
+        if let Ok(NetEvent::Disconnected(c)) = host.events().recv_timeout(Duration::from_millis(50))
+        {
+            disconnects.push(c);
+        }
+    }
+    // A short grace to catch an (incorrect) duplicate teardown.
+    while let Ok(event) = host.events().recv_timeout(Duration::from_millis(200)) {
+        if let NetEvent::Disconnected(c) = event {
+            disconnects.push(c);
+        }
+    }
+    assert_eq!(disconnects, vec![victim], "exactly one Disconnected for the torn connection");
+}
+
+#[test]
+fn torn_frame_kills_only_its_own_connection() {
+    let host = TcpHost::bind("127.0.0.1:0").unwrap();
+    let healthy = TcpClient::connect(host.local_addr()).unwrap();
+    let healthy_conn = accept_one(&host);
+
+    // Evil peer: one valid frame, then a frame header promising 64 bytes
+    // followed by only 5 and a hard close — a torn frame.
+    let mut evil = std::net::TcpStream::connect(host.local_addr()).unwrap();
+    let evil_conn = accept_one(&host);
+    evil.write_all(&codec::frame_message(&Message::Ping { nonce: 1 })).unwrap();
+    match host.events().recv_timeout(TIMEOUT).expect("valid frame first") {
+        NetEvent::Message(c, Message::Ping { nonce: 1 }) => assert_eq!(c, evil_conn),
+        other => panic!("expected the valid Ping, got {other:?}"),
+    }
+    evil.write_all(&64u32.to_le_bytes()).unwrap();
+    evil.write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0x00]).unwrap();
+    drop(evil);
+
+    expect_one_disconnect(&host, evil_conn);
+    assert_host_alive(&host, &healthy, healthy_conn);
+}
+
+#[test]
+fn garbage_frame_body_kills_only_its_own_connection() {
+    let host = TcpHost::bind("127.0.0.1:0").unwrap();
+    let healthy = TcpClient::connect(host.local_addr()).unwrap();
+    let healthy_conn = accept_one(&host);
+
+    // Complete frame, nonsense body: an unknown tag the decoder rejects.
+    let mut evil = std::net::TcpStream::connect(host.local_addr()).unwrap();
+    let evil_conn = accept_one(&host);
+    evil.write_all(&4u32.to_le_bytes()).unwrap();
+    evil.write_all(&[0xEE, 0xEE, 0xEE, 0xEE]).unwrap();
+
+    expect_one_disconnect(&host, evil_conn);
+    // The evil socket was shut down by the host, not the test.
+    assert_host_alive(&host, &healthy, healthy_conn);
+    drop(evil);
+}
+
+#[test]
+fn oversized_length_header_kills_only_its_own_connection() {
+    let host = TcpHost::bind("127.0.0.1:0").unwrap();
+    let healthy = TcpClient::connect(host.local_addr()).unwrap();
+    let healthy_conn = accept_one(&host);
+
+    // A length header past MAX_LEN must be fatal before any allocation.
+    let mut evil = std::net::TcpStream::connect(host.local_addr()).unwrap();
+    let evil_conn = accept_one(&host);
+    evil.write_all(&u32::MAX.to_le_bytes()).unwrap();
+
+    expect_one_disconnect(&host, evil_conn);
+    assert_host_alive(&host, &healthy, healthy_conn);
+    drop(evil);
+}
+
+#[test]
+fn stalled_peer_hits_the_handshake_deadline() {
+    let config =
+        TcpHostConfig { handshake_timeout: Duration::from_millis(250), ..TcpHostConfig::default() };
+    let host = TcpHost::bind_with_config("127.0.0.1:0", config).unwrap();
+
+    // Speaking peer: sends a frame immediately, must outlive the
+    // deadline untouched.
+    let speaking = TcpClient::connect(host.local_addr()).unwrap();
+    let speaking_conn = accept_one(&host);
+    speaking.send(&Message::Ping { nonce: 7 }).unwrap();
+    match host.events().recv_timeout(TIMEOUT).expect("handshake frame") {
+        NetEvent::Message(c, Message::Ping { nonce: 7 }) => assert_eq!(c, speaking_conn),
+        other => panic!("expected Ping, got {other:?}"),
+    }
+
+    // Stalled peer: connects, never writes a byte.
+    let stalled = std::net::TcpStream::connect(host.local_addr()).unwrap();
+    let stalled_conn = accept_one(&host);
+
+    expect_one_disconnect(&host, stalled_conn);
+    assert_eq!(host.stats().handshake_timeouts, 1);
+    // Well past the stalled peer's deadline, the speaking peer (whose
+    // deadline was met) still exchanges traffic.
+    assert_host_alive(&host, &speaking, speaking_conn);
+    drop(stalled);
+}
+
+#[test]
+fn recv_within_distinguishes_silent_peer_from_dead_peer() {
+    let host = TcpHost::bind("127.0.0.1:0").unwrap();
+    let client = TcpClient::connect(host.local_addr()).unwrap();
+    let conn = accept_one(&host);
+
+    // Peer alive but silent: a timeout, not a disconnect.
+    match client.recv_within(Duration::from_millis(200)) {
+        Err(RecvError::Timeout) => {}
+        other => panic!("silent-but-alive peer must time out, got {other:?}"),
+    }
+
+    // Still alive: a reply arrives on the same connection.
+    host.send(conn, &Message::Pong { nonce: 9 }).unwrap();
+    match client.recv_within(TIMEOUT) {
+        Ok(Message::Pong { nonce: 9 }) => {}
+        other => panic!("expected Pong, got {other:?}"),
+    }
+
+    // Now actually dead: a disconnect, not a timeout.
+    host.disconnect(conn);
+    let started = Instant::now();
+    match client.recv_within(TIMEOUT) {
+        Err(RecvError::Disconnected) => {}
+        other => panic!("dead peer must report Disconnected, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < TIMEOUT,
+        "disconnect must surface promptly, not by exhausting the timeout"
+    );
+}
+
+#[test]
+fn pump_for_returns_on_time_against_a_silent_server() {
+    use cosoft::core::session::Session;
+    use cosoft::runtime::{TcpServer, TcpSession};
+    use cosoft::uikit::{spec, Toolkit};
+
+    let server = TcpServer::spawn("127.0.0.1:0").expect("bind");
+    let session = Session::new(
+        Toolkit::from_tree(spec::build_tree(r#"form f { textfield t text="" }"#).unwrap()),
+        UserId(1),
+        "chaos-host",
+        "tcp-chaos-test",
+    );
+    let mut tcp = TcpSession::connect(server.addr(), session).expect("register");
+
+    // Registered and idle: a pump window against a silent (but alive)
+    // server returns close to on time instead of wedging.
+    let window = Duration::from_millis(300);
+    let started = Instant::now();
+    tcp.pump_for(window).expect("pump over silent server");
+    let elapsed = started.elapsed();
+    assert!(elapsed >= window, "pump_for returned early: {elapsed:?}");
+    assert!(elapsed < window + TIMEOUT, "pump_for wedged: {elapsed:?}");
+    assert!(tcp.session().instance().is_some(), "session lost its registration while idle");
+
+    // Server gone for good: pump_for still honors its window and
+    // returns — a dead receiver must not hang or hot-spin the caller.
+    drop(server);
+    std::thread::sleep(Duration::from_millis(100));
+    let started = Instant::now();
+    tcp.pump_for(window).expect("pump over dead server");
+    let elapsed = started.elapsed();
+    assert!(elapsed >= window, "pump_for returned early on dead server: {elapsed:?}");
+    assert!(elapsed < window + TIMEOUT, "pump_for wedged on dead server: {elapsed:?}");
+}
+
+/// Kernel-boundary faults, driven by the deterministic `FaultInjector`.
+#[cfg(feature = "fault-injection")]
+mod injected {
+    use super::*;
+    use std::sync::Arc;
+
+    use cosoft::net::tcp::ConnId;
+    use cosoft::net::{FaultInjector, ReadFault, WriteFault};
+
+    #[test]
+    fn scripted_partial_writes_deliver_frames_intact() {
+        let faults = Arc::new(FaultInjector::scripted());
+        // A storm of tiny cuts across several flush attempts: every
+        // frame boundary and the mid-frame head accounting get hit.
+        faults.script_writes(
+            ConnId(1),
+            [
+                WriteFault::Truncate(1),
+                WriteFault::Truncate(2),
+                WriteFault::WouldBlock,
+                WriteFault::Truncate(3),
+                WriteFault::Truncate(64),
+                WriteFault::WouldBlock,
+                WriteFault::Truncate(700),
+                WriteFault::Pass,
+                WriteFault::Truncate(5),
+            ],
+        );
+        let host =
+            TcpHost::bind_with_faults("127.0.0.1:0", TcpHostConfig::default(), faults.clone())
+                .unwrap();
+        let client = TcpClient::connect(host.local_addr()).unwrap();
+        let conn = accept_one(&host);
+
+        let sent: Vec<Message> = (0..6).map(|i| payload_msg(512 + i * 137)).collect();
+        for msg in &sent {
+            host.send(conn, msg).unwrap();
+        }
+        for expected in &sent {
+            let got = client.recv_within(TIMEOUT).expect("frame despite partial writes");
+            assert_eq!(&got, expected, "frame corrupted by partial-write accounting");
+        }
+        // The outbox may drain between sends, stranding tail faults with
+        // nothing to cut; keep traffic flowing until the schedule is
+        // fully consumed.
+        let deadline = Instant::now() + TIMEOUT;
+        let mut nonce = 0;
+        while faults.pending_write_faults() > 0 {
+            assert!(Instant::now() < deadline, "write-fault schedule never fully ran");
+            host.send(conn, &Message::Pong { nonce }).unwrap();
+            nonce += 1;
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(faults.faults_injected() >= 8);
+        // No teardown: the connection survives the storm.
+        client.send(&Message::Ping { nonce: 3 }).unwrap();
+        match host.events().recv_timeout(TIMEOUT).expect("still alive") {
+            NetEvent::Message(c, Message::Ping { nonce: 3 }) => assert_eq!(c, conn),
+            other => panic!("expected Ping, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wouldblock_storm_recovers_without_teardown() {
+        let faults = Arc::new(FaultInjector::scripted());
+        faults.script_writes(ConnId(1), std::iter::repeat_n(WriteFault::WouldBlock, 100));
+        let host =
+            TcpHost::bind_with_faults("127.0.0.1:0", TcpHostConfig::default(), faults.clone())
+                .unwrap();
+        let client = TcpClient::connect(host.local_addr()).unwrap();
+        let conn = accept_one(&host);
+
+        let msg = payload_msg(2048);
+        host.send(conn, &msg).unwrap();
+        let got = client.recv_within(TIMEOUT).expect("frame after the storm");
+        assert_eq!(got, msg);
+        assert_eq!(faults.pending_write_faults(), 0);
+        assert!(faults.faults_injected() >= 100);
+    }
+
+    #[test]
+    fn injected_write_error_tears_down_exactly_once() {
+        let faults = Arc::new(FaultInjector::scripted());
+        faults.script_writes(ConnId(1), [WriteFault::Error(std::io::ErrorKind::ConnectionReset)]);
+        let host =
+            TcpHost::bind_with_faults("127.0.0.1:0", TcpHostConfig::default(), faults.clone())
+                .unwrap();
+        let victim = TcpClient::connect(host.local_addr()).unwrap();
+        let victim_conn = accept_one(&host);
+        let healthy = TcpClient::connect(host.local_addr()).unwrap();
+        let healthy_conn = accept_one(&host);
+
+        host.send(victim_conn, &Message::Pong { nonce: 1 }).unwrap();
+        expect_one_disconnect(&host, victim_conn);
+        assert_host_alive(&host, &healthy, healthy_conn);
+        drop(victim);
+    }
+
+    #[test]
+    fn scripted_short_reads_reassemble_frames_intact() {
+        let faults = Arc::new(FaultInjector::scripted());
+        // Byte-at-a-time and small odd sizes: the frame reassembler sees
+        // headers and bodies split at every offset.
+        faults.script_reads(ConnId(1), (0..400).map(|i| ReadFault::Short(1 + i % 7)));
+        let host =
+            TcpHost::bind_with_faults("127.0.0.1:0", TcpHostConfig::default(), faults.clone())
+                .unwrap();
+        let client = TcpClient::connect(host.local_addr()).unwrap();
+        let conn = accept_one(&host);
+
+        let sent: Vec<Message> = (0..4).map(|i| payload_msg(64 + i * 41)).collect();
+        for msg in &sent {
+            client.send(msg).unwrap();
+        }
+        for expected in &sent {
+            match host.events().recv_timeout(TIMEOUT).expect("frame despite short reads") {
+                NetEvent::Message(c, got) => {
+                    assert_eq!(c, conn);
+                    assert_eq!(&got, expected, "frame corrupted by short-read reassembly");
+                }
+                other => panic!("expected Message, got {other:?}"),
+            }
+        }
+        assert!(faults.faults_injected() > 0);
+    }
+
+    #[test]
+    fn injected_read_stall_delays_but_does_not_drop() {
+        let faults = Arc::new(FaultInjector::scripted());
+        faults.script_reads(ConnId(1), std::iter::repeat_n(ReadFault::WouldBlock, 50));
+        let host =
+            TcpHost::bind_with_faults("127.0.0.1:0", TcpHostConfig::default(), faults.clone())
+                .unwrap();
+        let client = TcpClient::connect(host.local_addr()).unwrap();
+        let conn = accept_one(&host);
+
+        client.send(&Message::Ping { nonce: 0x57A11 }).unwrap();
+        match host.events().recv_timeout(TIMEOUT).expect("frame after the stall") {
+            NetEvent::Message(c, Message::Ping { nonce: 0x57A11 }) => assert_eq!(c, conn),
+            other => panic!("expected Ping, got {other:?}"),
+        }
+        assert!(faults.faults_injected() >= 50);
+    }
+
+    /// Seeded random chaos soak: several clients echo traffic through a
+    /// host rolling recoverable faults on every I/O operation. All
+    /// traffic must complete, nothing may disconnect. `COSOFT_CHAOS_STEPS`
+    /// scales messages per client (the scheduled CI job turns it up);
+    /// `COSOFT_CHAOS_SEED` replays a specific schedule.
+    #[test]
+    fn chaos_soak() {
+        let steps: usize =
+            std::env::var("COSOFT_CHAOS_STEPS").ok().and_then(|s| s.parse().ok()).unwrap_or(25);
+        let seed: u64 = std::env::var("COSOFT_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xC050_7CA0_5EED);
+        const CLIENTS: u64 = 4;
+
+        let faults = Arc::new(FaultInjector::random(seed, 150, 100, 150));
+        let host =
+            TcpHost::bind_with_faults("127.0.0.1:0", TcpHostConfig::default(), faults.clone())
+                .unwrap();
+        let addr = host.local_addr();
+
+        // Each worker returns its client so the connection stays open
+        // until the echo loop finishes: a drop on worker exit would
+        // surface a legitimate Disconnected the loop must treat as fatal
+        // for everyone else.
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let client = TcpClient::connect(addr).expect("connect");
+                    for i in 0..steps {
+                        let msg = Message::CommandDelivery {
+                            from: InstanceId(c),
+                            command: format!("soak-{c}-{i}"),
+                            payload: vec![(c as u8) ^ (i as u8); 256 + (i * 97) % 2048],
+                        };
+                        client.send(&msg).expect("soak send");
+                        let echo = client.recv_within(TIMEOUT).expect("soak echo");
+                        assert_eq!(echo, msg, "echo corrupted under random faults");
+                    }
+                    client
+                })
+            })
+            .collect();
+
+        // Echo loop: every inbound message goes straight back out on the
+        // same connection; any Disconnected fails the soak.
+        let total = CLIENTS as usize * steps;
+        let mut echoed = 0;
+        let deadline = Instant::now() + TIMEOUT + Duration::from_millis(20 * total as u64);
+        while echoed < total {
+            assert!(Instant::now() < deadline, "soak wedged at {echoed}/{total} echoes");
+            match host.events().recv_timeout(Duration::from_millis(100)) {
+                Ok(NetEvent::Connected(_)) => {}
+                Ok(NetEvent::Message(conn, msg)) => {
+                    host.send(conn, &msg).expect("echo send");
+                    echoed += 1;
+                }
+                Ok(NetEvent::Disconnected(c)) => {
+                    panic!("recoverable faults must never tear a connection down, lost {c:?}")
+                }
+                Err(_) => {}
+            }
+        }
+        let clients: Vec<TcpClient> =
+            workers.into_iter().map(|w| w.join().expect("soak worker")).collect();
+        drop(clients);
+        assert!(faults.faults_injected() > 0, "the soak must actually inject faults");
+    }
+}

@@ -98,6 +98,7 @@ fn one_thousand_connections_register_couple_fanout_teardown() {
         queue_max_bytes: 64 * 1024 * 1024,
         enqueue_timeout: Duration::from_secs(10),
         io_threads: 2,
+        ..TcpHostConfig::default()
     };
     let server = TcpServer::spawn_with_config("127.0.0.1:0", config).expect("bind");
     let addr = server.addr();

@@ -36,6 +36,7 @@ fn fast_policy() -> ReconnectPolicy {
         base_delay: Duration::from_millis(20),
         max_delay: Duration::from_millis(100),
         jitter: 0.2,
+        jitter_seed: Some(0xC05F_0F7),
     }
 }
 
@@ -44,7 +45,7 @@ fn graceful_server() -> TcpServer {
         "127.0.0.1:0",
         TcpHostConfig::default(),
         // 30s grace: effectively "within grace" for the whole test.
-        LivenessConfig { grace_us: 30_000_000, idle_timeout_us: 0 },
+        LivenessConfig { grace_us: 30_000_000, idle_timeout_us: 0, max_quarantined: 0 },
     )
     .expect("bind")
 }
