@@ -7,7 +7,7 @@
 //! 1. **Cross-file protocol drift.** The [`cosoft_wire::Message`] enum,
 //!    its codec tag table, the golden byte-vector suite, and the server
 //!    dispatch in `crates/server/src/server.rs` must all enumerate the
-//!    same 37 message kinds. Nothing in the type system ties them
+//!    same 38 message kinds. Nothing in the type system ties them
 //!    together across crates and test files, so a new variant can slip
 //!    in with no wire tag, no golden vector, or a silent `_ =>` drop in
 //!    the server. The [`lints`] module checks the literal wire tables

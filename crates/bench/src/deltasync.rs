@@ -1,0 +1,272 @@
+//! Delta state-sync benchmark: bytes-on-wire and transfer latency of
+//! attribute-level [`cosoft_wire::StateDelta`] legs against full
+//! [`Message::ApplyState`] snapshots, for widget trees of growing depth.
+//!
+//! Each series drives the sans-I/O [`ServerCore`] with repeated
+//! `CopyTo` transfers that change a single leaf attribute of a deep
+//! tree. The *delta* destination has an acknowledged sync base, so
+//! every transfer after the first rides an `ApplyDelta` frame; the
+//! *snapshot* destination is a fresh object every round, so the same
+//! state always travels as a full snapshot. Comparing the two gives the
+//! wire savings and the end-to-end (handle + acknowledge) latency of
+//! the delta path.
+
+use std::time::Instant;
+
+use cosoft_server::{Delivery, ServerCore};
+use cosoft_wire::{
+    AttrName, CopyMode, GlobalObjectId, InstanceId, Message, ObjectPath, StateNode, UserId, Value,
+    WidgetKind,
+};
+
+/// Tree depths every run reports, shallowest to deepest.
+pub const DEPTHS: [usize; 4] = [2, 4, 6, 8];
+
+/// One measured series: a fixed tree depth driven for `rounds`
+/// single-attribute transfers along both paths.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaSample {
+    /// Nesting depth of the transferred widget tree.
+    pub depth: usize,
+    /// Nodes in the transferred tree.
+    pub tree_nodes: usize,
+    /// Transfers measured per path.
+    pub rounds: u64,
+    /// Average bytes of one full-snapshot `ApplyState` frame.
+    pub snapshot_bytes: u64,
+    /// Average bytes of one `ApplyDelta` frame for the same change.
+    pub delta_bytes: u64,
+    /// `delta_bytes / snapshot_bytes` — wire size of the delta leg
+    /// relative to the snapshot it replaces.
+    pub delta_ratio: f64,
+    /// Average microseconds for one snapshot transfer (request handling
+    /// plus acknowledgement) through the core.
+    pub snapshot_us: f64,
+    /// Average microseconds for one delta transfer through the core.
+    pub delta_us: f64,
+}
+
+/// A depth-deep chain of forms, each level carrying a couple of sibling
+/// leaves so the snapshot has realistic width, ending in one text leaf
+/// whose content is the only thing the benchmark mutates.
+pub fn deep_tree(depth: usize, text: &str) -> StateNode {
+    let mut node = StateNode::new(WidgetKind::TextField, "leaf")
+        .with_attr(AttrName::Text, Value::Text(text.into()));
+    for level in (0..depth).rev() {
+        node = StateNode::new(WidgetKind::Form, &format!("lvl{level}"))
+            .with_attr(AttrName::Title, Value::Text(format!("panel {level}")))
+            .with_child(
+                StateNode::new(WidgetKind::Label, "caption")
+                    .with_attr(AttrName::Text, Value::Text(format!("caption {level}"))),
+            )
+            .with_child(
+                StateNode::new(WidgetKind::Button, "ok")
+                    .with_attr(AttrName::Text, Value::Text("ok".into())),
+            )
+            .with_child(node);
+    }
+    node
+}
+
+fn count_nodes(node: &StateNode) -> usize {
+    1 + node.children.iter().map(count_nodes).sum::<usize>()
+}
+
+/// Finds the one transfer frame of `kind` addressed to `endpoint` and
+/// returns its encoded length plus its request id.
+fn transfer_leg(
+    out: &cosoft_server::Outgoing<u64>,
+    endpoint: u64,
+    kind: &str,
+) -> Option<(usize, u64)> {
+    for item in out.items() {
+        if let Delivery::Shared(endpoints, frame) = item {
+            if endpoints.contains(&endpoint) && frame.kind_name() == Some(kind) {
+                let req_id = match frame.decode() {
+                    Ok(Message::ApplyState { req_id, .. })
+                    | Ok(Message::ApplyDelta { req_id, .. }) => req_id,
+                    _ => return None,
+                };
+                return Some((frame.len(), req_id));
+            }
+        }
+    }
+    None
+}
+
+/// Drives `rounds` single-attribute transfers at each depth in `depths`
+/// and returns one sample per depth.
+///
+/// # Panics
+///
+/// Panics if the server rejects a registration or drops a transfer leg
+/// — both would be benchmark-setup bugs, not load-dependent failures.
+pub fn run(depths: &[usize], rounds: u64) -> Vec<DeltaSample> {
+    depths.iter().map(|&depth| run_one(depth, rounds)).collect()
+}
+
+fn run_one(depth: usize, rounds: u64) -> DeltaSample {
+    let mut core: ServerCore<u64> = ServerCore::new();
+    let mut instances = Vec::new();
+    for endpoint in 0..2u64 {
+        let out = core.handle(
+            endpoint,
+            Message::Register {
+                user: UserId(endpoint + 1),
+                host: format!("bench-{endpoint}"),
+                app_name: "deltasync".into(),
+            },
+        );
+        let instance = out
+            .items()
+            .iter()
+            .find_map(|d| match d {
+                Delivery::Unicast(_, Message::Welcome { instance }) => Some(*instance),
+                _ => None,
+            })
+            .expect("registration must be answered");
+        instances.push(instance);
+    }
+    let (sender, receiver) = (instances[0], instances[1]);
+    let obj = |instance: InstanceId, p: &str| {
+        GlobalObjectId::new(instance, ObjectPath::parse(p).expect("static path"))
+    };
+
+    // Prime the delta destination: first contact is always a snapshot.
+    let mut req_id = 1u64;
+    let out = core.handle(
+        0,
+        Message::CopyTo {
+            src: obj(sender, "src"),
+            dst: obj(receiver, "d"),
+            snapshot: deep_tree(depth, "prime"),
+            mode: CopyMode::Strict,
+            req_id,
+        },
+    );
+    let (_, leg) = transfer_leg(&out, 1, "apply-state").expect("prime leg");
+    core.handle(1, Message::StateApplied { req_id: leg, overwritten: None, error: None });
+
+    let tree_nodes = count_nodes(&deep_tree(depth, "prime"));
+    let mut delta_bytes = 0u64;
+    let mut snapshot_bytes = 0u64;
+    let mut delta_elapsed = 0u128;
+    let mut snapshot_elapsed = 0u128;
+
+    for round in 0..rounds {
+        let state = deep_tree(depth, &format!("round {round}"));
+
+        // Delta path: same destination object, acknowledged base.
+        req_id += 1;
+        let t0 = Instant::now();
+        let out = core.handle(
+            0,
+            Message::CopyTo {
+                src: obj(sender, "src"),
+                dst: obj(receiver, "d"),
+                snapshot: state.clone(),
+                mode: CopyMode::Strict,
+                req_id,
+            },
+        );
+        let (len, leg) = transfer_leg(&out, 1, "apply-delta").expect("delta leg");
+        core.handle(1, Message::StateApplied { req_id: leg, overwritten: None, error: None });
+        delta_elapsed += t0.elapsed().as_micros();
+        delta_bytes += len as u64;
+
+        // Snapshot path: a fresh destination object every round, so the
+        // identical state always travels in full.
+        req_id += 1;
+        let t0 = Instant::now();
+        let out = core.handle(
+            0,
+            Message::CopyTo {
+                src: obj(sender, "src"),
+                dst: obj(receiver, &format!("s{round}")),
+                snapshot: state,
+                mode: CopyMode::Strict,
+                req_id,
+            },
+        );
+        let (len, leg) = transfer_leg(&out, 1, "apply-state").expect("snapshot leg");
+        core.handle(1, Message::StateApplied { req_id: leg, overwritten: None, error: None });
+        snapshot_elapsed += t0.elapsed().as_micros();
+        snapshot_bytes += len as u64;
+    }
+
+    let rounds_f = rounds as f64;
+    let snapshot_avg = snapshot_bytes / rounds.max(1);
+    let delta_avg = delta_bytes / rounds.max(1);
+    DeltaSample {
+        depth,
+        tree_nodes,
+        rounds,
+        snapshot_bytes: snapshot_avg,
+        delta_bytes: delta_avg,
+        delta_ratio: delta_avg as f64 / (snapshot_avg as f64).max(1.0),
+        snapshot_us: snapshot_elapsed as f64 / rounds_f.max(1.0),
+        delta_us: delta_elapsed as f64 / rounds_f.max(1.0),
+    }
+}
+
+/// Renders the samples as the `BENCH_deltasync.json` document.
+pub fn to_json(samples: &[DeltaSample], smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"deltasync\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"series\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"depth\": {}, \"tree_nodes\": {}, \"rounds\": {}, \"snapshot_bytes\": {}, \
+             \"delta_bytes\": {}, \"delta_ratio\": {:.4}, \"snapshot_us\": {:.2}, \
+             \"delta_us\": {:.2}}}{}\n",
+            s.depth,
+            s.tree_nodes,
+            s.rounds,
+            s.snapshot_bytes,
+            s.delta_bytes,
+            s.delta_ratio,
+            s.snapshot_us,
+            s.delta_us,
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Acceptance gate: a single-attribute change in a depth-6 tree must
+    /// travel in no more than a quarter of the full-snapshot bytes.
+    #[test]
+    fn delta_leg_is_at_most_a_quarter_of_the_snapshot() {
+        let samples = run(&[6], 4);
+        let s = &samples[0];
+        assert!(s.delta_bytes > 0, "delta legs must be measured");
+        assert!(
+            (s.delta_bytes as f64) <= 0.25 * s.snapshot_bytes as f64,
+            "depth-6 single-attr delta must be ≤ 25% of the snapshot: \
+             {} vs {} bytes",
+            s.delta_bytes,
+            s.snapshot_bytes
+        );
+    }
+
+    #[test]
+    fn deeper_trees_widen_the_gap() {
+        let samples = run(&[2, 6], 2);
+        assert!(samples[1].delta_ratio < samples[0].delta_ratio);
+    }
+
+    #[test]
+    fn json_lists_every_series() {
+        let samples = run(&[2], 2);
+        let json = to_json(&samples, true);
+        assert!(json.contains("\"depth\": 2"));
+        assert!(json.contains("\"smoke\": true"));
+        assert!(json.contains("\"delta_ratio\""));
+    }
+}

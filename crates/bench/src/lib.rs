@@ -9,6 +9,9 @@
 //! * [`shard`] measures aggregate delivery throughput of the
 //!   couple-component-sharded server, one thread per shard core
 //!   (`--bin shard` writes `BENCH_shard.json`);
+//! * [`deltasync`] measures bytes-on-wire and latency of attribute-level
+//!   delta transfers against full snapshots at growing tree depths
+//!   (`--bin deltasync` writes `BENCH_deltasync.json`);
 //! * [`connscale`] measures delivery throughput and latency of the
 //!   readiness-driven TCP host at 100/1k/5k concurrent connections on a
 //!   fixed poll pool (`--bin connscale` writes `BENCH_connscale.json`);
@@ -25,6 +28,7 @@
 #![deny(missing_docs)]
 
 pub mod connscale;
+pub mod deltasync;
 pub mod fanout;
 pub mod figures;
 pub mod overload;

@@ -17,7 +17,7 @@ use std::fmt;
 
 use cosoft_uikit::{FeedbackUndo, Toolkit, UiError};
 use cosoft_wire::{
-    AccessRight, CopyMode, GlobalObjectId, InstanceId, InstanceInfo, Message, ObjectPath,
+    delta, AccessRight, CopyMode, GlobalObjectId, InstanceId, InstanceInfo, Message, ObjectPath,
     StateNode, Target, UiEvent, UserId,
 };
 
@@ -161,6 +161,13 @@ pub struct Session {
     /// survive, even when it happens to equal the echo.
     remote_epoch: HashMap<ObjectPath, u64>,
     command_handlers: HashMap<String, CommandHandler>,
+    /// Last successfully applied transfer per local object, as transmitted
+    /// by the server (version, state). The server sends attribute-level
+    /// deltas against this base on subsequent transfers; a missing or
+    /// stale entry makes the session reject the delta, which triggers the
+    /// server's full-snapshot fallback. Kept across rejoins so resync
+    /// transfers can still ride the delta path.
+    sync_bases: HashMap<ObjectPath, (u64, StateNode)>,
     next_seq: u64,
     next_req: u64,
     outbox: Vec<Message>,
@@ -198,6 +205,7 @@ impl Session {
             pending_order: Vec::new(),
             remote_epoch: HashMap::new(),
             command_handlers: HashMap::new(),
+            sync_bases: HashMap::new(),
             next_seq: 1,
             next_req: 1,
             outbox: Vec::new(),
@@ -552,6 +560,7 @@ impl Session {
         let destroyed = self.toolkit.tree_mut().destroy(id).map_err(SessionError::Ui)?;
         for p in destroyed {
             self.hooks.unregister(&p);
+            self.sync_bases.remove(&p);
             if self.coupling.remove(&p).is_some() {
                 if let Ok(gid) = self.gid(&p) {
                     self.outbox.push(Message::ObjectDestroyed { object: gid });
@@ -631,8 +640,25 @@ impl Session {
             Message::ApplyState { req_id, path, snapshot, mode } => {
                 let reply = self.apply_state(&path, &snapshot, mode);
                 let (overwritten, error) = match reply {
-                    Ok(prev) => (Some(prev), None),
+                    Ok(prev) => {
+                        // Cache the *transmitted* snapshot (not the
+                        // post-reconciliation widget state) as the delta
+                        // base: the server diffs against what it sent, so
+                        // both sides must agree on the base bytes even
+                        // when flexible reconciliation dropped attributes.
+                        let version = delta::state_version(&snapshot);
+                        self.sync_bases.insert(path.clone(), (version, snapshot));
+                        (Some(prev), None)
+                    }
                     Err(e) => (None, Some(e.to_string())),
+                };
+                self.outbox.push(Message::StateApplied { req_id, overwritten, error });
+            }
+            Message::ApplyDelta { req_id, path, base_version, new_version, delta, mode } => {
+                let reply = self.apply_delta(&path, base_version, new_version, &delta, mode);
+                let (overwritten, error) = match reply {
+                    Ok(prev) => (Some(prev), None),
+                    Err(e) => (None, Some(e)),
                 };
                 self.outbox.push(Message::StateApplied { req_id, overwritten, error });
             }
@@ -803,6 +829,38 @@ impl Session {
             }
         };
         self.hooks.deliver_snapshot(self.toolkit.tree_mut(), path, snapshot);
+        Ok(prev)
+    }
+
+    /// Reconstructs the full transmitted state from a delta against the
+    /// cached base, then applies it exactly like a snapshot transfer.
+    /// Any mismatch (no base, wrong base version, unapplicable edit,
+    /// reconstructed-version disagreement) is reported back as an error so
+    /// the server falls back to a full snapshot.
+    fn apply_delta(
+        &mut self,
+        path: &ObjectPath,
+        base_version: u64,
+        new_version: u64,
+        d: &delta::StateDelta,
+        mode: CopyMode,
+    ) -> Result<StateNode, String> {
+        let next = match self.sync_bases.get(path) {
+            Some((have, base)) if *have == base_version => {
+                delta::apply(base, d).map_err(|e| format!("delta base diverged: {e}"))?
+            }
+            Some((have, _)) => {
+                return Err(format!(
+                    "delta base version mismatch: have {have}, server assumed {base_version}"
+                ));
+            }
+            None => return Err("delta base version mismatch: no base cached".to_owned()),
+        };
+        if delta::state_version(&next) != new_version {
+            return Err("delta base diverged: reconstructed state version mismatch".to_owned());
+        }
+        let prev = self.apply_state(path, &next, mode).map_err(|e| e.to_string())?;
+        self.sync_bases.insert(path.clone(), (new_version, next));
         Ok(prev)
     }
 }

@@ -183,3 +183,107 @@ fn leave_queues_deregister() {
     let out = s.drain_outbox();
     assert!(matches!(out[0], Message::Deregister));
 }
+
+// ---- delta transfers -------------------------------------------------------
+
+fn textfield(text: &str) -> cosoft_wire::StateNode {
+    cosoft_wire::StateNode::new(cosoft_wire::WidgetKind::TextField, "t")
+        .with_attr(cosoft_wire::AttrName::Text, cosoft_wire::Value::Text(text.into()))
+}
+
+/// A snapshot transfer primes the delta base; a subsequent `ApplyDelta`
+/// against it reconstructs and applies the new state.
+#[test]
+fn apply_delta_reconstructs_against_cached_base() {
+    let mut s = fresh();
+    s.on_message(Message::Welcome { instance: InstanceId(1) });
+    s.drain_outbox();
+
+    let v1 = textfield("v1");
+    let v2 = textfield("v2");
+    s.on_message(Message::ApplyState {
+        req_id: 1,
+        path: path("f.t"),
+        snapshot: v1.clone(),
+        mode: CopyMode::Strict,
+    });
+    let out = s.drain_outbox();
+    assert!(matches!(&out[0], Message::StateApplied { error: None, .. }), "prime: {out:?}");
+
+    s.on_message(Message::ApplyDelta {
+        req_id: 2,
+        path: path("f.t"),
+        base_version: cosoft_wire::delta::state_version(&v1),
+        new_version: cosoft_wire::delta::state_version(&v2),
+        delta: cosoft_wire::delta::diff(&v1, &v2),
+        mode: CopyMode::Strict,
+    });
+    let out = s.drain_outbox();
+    match &out[0] {
+        Message::StateApplied { req_id: 2, overwritten: Some(prev), error: None } => {
+            assert_eq!(prev.attrs.get(&cosoft_wire::AttrName::Text).unwrap().as_text(), Some("v1"));
+        }
+        other => panic!("expected successful StateApplied, got {other:?}"),
+    }
+    let tree = s.toolkit().tree();
+    let id = tree.resolve(&path("f.t")).unwrap();
+    let snap = tree.snapshot(id, false).unwrap();
+    assert_eq!(snap.attrs.get(&cosoft_wire::AttrName::Text).unwrap().as_text(), Some("v2"));
+}
+
+/// A delta against a missing or stale base must be rejected with an error
+/// reply (the server's cue to fall back to a full snapshot), leaving the
+/// widget untouched.
+#[test]
+fn apply_delta_without_matching_base_is_rejected() {
+    let mut s = fresh();
+    s.on_message(Message::Welcome { instance: InstanceId(1) });
+    s.drain_outbox();
+
+    let v1 = textfield("v1");
+    let v2 = textfield("v2");
+
+    // No base cached at all.
+    s.on_message(Message::ApplyDelta {
+        req_id: 3,
+        path: path("f.t"),
+        base_version: cosoft_wire::delta::state_version(&v1),
+        new_version: cosoft_wire::delta::state_version(&v2),
+        delta: cosoft_wire::delta::diff(&v1, &v2),
+        mode: CopyMode::Strict,
+    });
+    let out = s.drain_outbox();
+    match &out[0] {
+        Message::StateApplied { req_id: 3, overwritten: None, error: Some(e) } => {
+            assert!(e.contains("base"), "error names the base mismatch: {e}");
+        }
+        other => panic!("expected rejected StateApplied, got {other:?}"),
+    }
+
+    // Prime with v1, then claim a delta against a *different* base version.
+    s.on_message(Message::ApplyState {
+        req_id: 4,
+        path: path("f.t"),
+        snapshot: v1.clone(),
+        mode: CopyMode::Strict,
+    });
+    s.drain_outbox();
+    s.on_message(Message::ApplyDelta {
+        req_id: 5,
+        path: path("f.t"),
+        base_version: cosoft_wire::delta::state_version(&v2),
+        new_version: cosoft_wire::delta::state_version(&v1),
+        delta: cosoft_wire::delta::diff(&v2, &v1),
+        mode: CopyMode::Strict,
+    });
+    let out = s.drain_outbox();
+    assert!(
+        matches!(&out[0], Message::StateApplied { req_id: 5, overwritten: None, error: Some(_) }),
+        "stale base must be rejected, got {out:?}"
+    );
+    // The widget keeps the v1 text from the priming snapshot.
+    let tree = s.toolkit().tree();
+    let id = tree.resolve(&path("f.t")).unwrap();
+    let snap = tree.snapshot(id, false).unwrap();
+    assert_eq!(snap.attrs.get(&cosoft_wire::AttrName::Text).unwrap().as_text(), Some("v1"));
+}

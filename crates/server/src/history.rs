@@ -2,16 +2,369 @@
 //! states which have been overwritten when synchronizing by state was
 //! applied, and provide the possibility of undoing/redoing user's
 //! actions".
+//!
+//! Stacks are stored as a *structural-sharing chain* rather than a vector
+//! of full snapshots: every entry is either an anchor — an immutable
+//! [`Arc`]-shared tree whose unchanged subtrees are physically shared with
+//! its neighbors — or the attribute-level [`StateDelta`] that turns the
+//! previous state into this one. Anchors recur every
+//! [`ANCHOR_EVERY`] entries, so undo/redo reconstruct any state by
+//! replaying at most a handful of deltas from the nearest anchor, and a
+//! deep UI tree no longer costs a full copy per overwrite. Cloning a
+//! store (the model checker forks [`crate::ServerCore`] at every
+//! branching point) only bumps reference counts — the trees themselves
+//! are shared between the forks.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
-use cosoft_wire::{GlobalObjectId, StateNode};
+use cosoft_wire::delta::{EditOp, NodeEdit, NodePatch, StateDelta};
+use cosoft_wire::{AttrMap, GlobalObjectId, InstanceId, StateNode, WidgetKind};
 
-/// Per-object undo/redo stacks of overwritten UI states.
+/// A full anchor snapshot is stored every this many entries; the chain
+/// between two anchors is pure deltas, so reconstructing any state
+/// replays at most `ANCHOR_EVERY - 1` of them.
+const ANCHOR_EVERY: usize = 8;
+
+/// An immutable, reference-counted state tree. Structurally identical to
+/// [`StateNode`] except that children are `Arc`-shared, so rebuilding one
+/// spine of the tree (the usual shape of an overwrite) shares every
+/// untouched subtree with the previous state.
+#[derive(Debug, Clone, PartialEq)]
+struct SharedNode {
+    kind: WidgetKind,
+    name: String,
+    attrs: AttrMap,
+    semantic: Vec<u8>,
+    children: Vec<Arc<SharedNode>>,
+}
+
+fn from_state(s: &StateNode) -> Arc<SharedNode> {
+    Arc::new(SharedNode {
+        kind: s.kind.clone(),
+        name: s.name.clone(),
+        attrs: s.attrs.clone(),
+        semantic: s.semantic.clone(),
+        children: s.children.iter().map(from_state).collect(),
+    })
+}
+
+fn to_state(n: &SharedNode) -> StateNode {
+    let mut out = StateNode::new(n.kind.clone(), &n.name);
+    out.attrs = n.attrs.clone();
+    out.semantic = n.semantic.clone();
+    out.children = n.children.iter().map(|c| to_state(c)).collect();
+    out
+}
+
+fn eq_state(n: &SharedNode, s: &StateNode) -> bool {
+    n.kind == s.kind
+        && n.name == s.name
+        && n.attrs == s.attrs
+        && n.semantic == s.semantic
+        && n.children.len() == s.children.len()
+        && n.children.iter().zip(&s.children).all(|(a, b)| eq_state(a, b))
+}
+
+fn shared_child<'a>(n: &'a SharedNode, name: &str) -> Option<&'a Arc<SharedNode>> {
+    n.children.iter().find(|c| c.name == name)
+}
+
+fn has_duplicate_names<'a>(names: impl Iterator<Item = &'a str>) -> bool {
+    let mut seen = HashSet::new();
+    names.into_iter().any(|n| !seen.insert(n))
+}
+
+/// Computes the delta that turns the shared tree `base` into `target`,
+/// with exactly the semantics of [`cosoft_wire::delta::diff`] (root
+/// rename and duplicate child names fall back to wholesale replacement;
+/// everything else is per-node patches plus child restructures).
+fn diff_shared(base: &SharedNode, target: &StateNode) -> StateDelta {
+    let mut edits = Vec::new();
+    if base.name != target.name {
+        if !eq_state(base, target) {
+            edits.push(NodeEdit { path: Vec::new(), op: EditOp::Replace(target.clone()) });
+        }
+        return StateDelta { edits };
+    }
+    let mut path = Vec::new();
+    diff_shared_rec(base, target, &mut path, &mut edits);
+    StateDelta { edits }
+}
+
+fn diff_shared_rec(
+    base: &SharedNode,
+    target: &StateNode,
+    path: &mut Vec<String>,
+    edits: &mut Vec<NodeEdit>,
+) {
+    if eq_state(base, target) {
+        return;
+    }
+    if has_duplicate_names(base.children.iter().map(|c| c.name.as_str()))
+        || has_duplicate_names(target.children.iter().map(|c| c.name.as_str()))
+    {
+        edits.push(NodeEdit { path: path.clone(), op: EditOp::Replace(target.clone()) });
+        return;
+    }
+
+    let mut patch = NodePatch::default();
+    if base.kind != target.kind {
+        patch.kind = Some(target.kind.clone());
+    }
+    for (k, v) in &target.attrs {
+        if base.attrs.get(k) != Some(v) {
+            patch.upserts.insert(k.clone(), v.clone());
+        }
+    }
+    for k in base.attrs.keys() {
+        if !target.attrs.contains_key(k) {
+            patch.removals.push(k.clone());
+        }
+    }
+    if base.semantic != target.semantic {
+        patch.semantic = Some(target.semantic.clone());
+    }
+    if !patch.is_empty() {
+        edits.push(NodeEdit { path: path.clone(), op: EditOp::Patch(patch) });
+    }
+
+    let base_names: Vec<&str> = base.children.iter().map(|c| c.name.as_str()).collect();
+    let target_names: Vec<&str> = target.children.iter().map(|c| c.name.as_str()).collect();
+    if base_names != target_names {
+        let base_set: HashSet<&str> = base_names.iter().copied().collect();
+        let inserts: Vec<StateNode> = target
+            .children
+            .iter()
+            .filter(|c| !base_set.contains(c.name.as_str()))
+            .cloned()
+            .collect();
+        edits.push(NodeEdit {
+            path: path.clone(),
+            op: EditOp::Restructure {
+                order: target_names.iter().map(|s| (*s).to_owned()).collect(),
+                inserts,
+            },
+        });
+    }
+
+    for tc in &target.children {
+        if let Some(bc) = shared_child(base, &tc.name) {
+            path.push(tc.name.clone());
+            diff_shared_rec(bc, tc, path, edits);
+            path.pop();
+        }
+    }
+}
+
+/// Applies a delta to a shared tree copy-on-write: only the spine from
+/// the root to each edited node is rebuilt, every untouched subtree is
+/// `Arc`-shared with `base`.
+///
+/// Total by construction: the store only ever applies a delta to the
+/// exact state it was diffed against, so unresolvable paths or child
+/// names cannot occur — if they somehow did, the edit is skipped rather
+/// than panicking.
+fn apply_shared(base: &Arc<SharedNode>, delta: &StateDelta) -> Arc<SharedNode> {
+    let mut cur = base.clone();
+    for edit in &delta.edits {
+        cur = apply_edit_shared(&cur, &edit.path, &edit.op);
+    }
+    cur
+}
+
+fn apply_edit_shared(node: &Arc<SharedNode>, path: &[String], op: &EditOp) -> Arc<SharedNode> {
+    match path.split_first() {
+        None => apply_op_shared(node, op),
+        Some((seg, rest)) => {
+            let Some(idx) = node.children.iter().position(|c| c.name == *seg) else {
+                return node.clone();
+            };
+            let mut n = (**node).clone();
+            // audit: infallible — idx comes from `position` over these same children
+            n.children[idx] = apply_edit_shared(&node.children[idx], rest, op);
+            Arc::new(n)
+        }
+    }
+}
+
+fn apply_op_shared(node: &Arc<SharedNode>, op: &EditOp) -> Arc<SharedNode> {
+    match op {
+        EditOp::Patch(p) => {
+            let mut n = (**node).clone();
+            if let Some(kind) = &p.kind {
+                n.kind = kind.clone();
+            }
+            for (k, v) in &p.upserts {
+                n.attrs.insert(k.clone(), v.clone());
+            }
+            for k in &p.removals {
+                n.attrs.remove(k);
+            }
+            if let Some(semantic) = &p.semantic {
+                n.semantic = semantic.clone();
+            }
+            Arc::new(n)
+        }
+        EditOp::Replace(replacement) => from_state(replacement),
+        EditOp::Restructure { order, inserts } => {
+            let mut n = (**node).clone();
+            let existing = std::mem::take(&mut n.children);
+            let mut rebuilt = Vec::with_capacity(order.len());
+            for name in order {
+                if let Some(c) = existing.iter().find(|c| &c.name == name) {
+                    rebuilt.push(c.clone());
+                } else if let Some(ins) = inserts.iter().find(|c| &c.name == name) {
+                    rebuilt.push(from_state(ins));
+                }
+                // Unknown names cannot occur (see `apply_shared`); skip.
+            }
+            n.children = rebuilt;
+            Arc::new(n)
+        }
+    }
+}
+
+/// One chain entry: a materialized anchor or the delta from the previous
+/// entry's state.
+#[derive(Debug, Clone)]
+enum Entry {
+    Anchor(Arc<SharedNode>),
+    Delta(Arc<StateDelta>),
+}
+
+/// One object's undo (or redo) chain: anchors plus deltas in a
+/// [`VecDeque`] (depth-cap eviction pops the *front* in O(1)), with the
+/// newest state cached in materialized form. Opaque outside the store;
+/// it only exists as a named type so extracted stacks can travel in a
+/// shard-migration slice ([`HistoryStore::extract_instances`] /
+/// [`HistoryStore::adopt`]).
+#[derive(Debug, Clone, Default)]
+pub struct HistoryStack {
+    entries: VecDeque<Entry>,
+    /// Materialization of the newest entry (`None` iff the chain is
+    /// empty), so pushes diff against it without replaying the chain.
+    top: Option<Arc<SharedNode>>,
+}
+
+impl HistoryStack {
+    fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn push(&mut self, state: &StateNode, max_depth: usize) {
+        let new_top = match &self.top {
+            Some(top) => {
+                let d = diff_shared(top, state);
+                let nt = apply_shared(top, &d);
+                let trailing_deltas =
+                    self.entries.iter().rev().take_while(|e| matches!(e, Entry::Delta(_))).count();
+                if trailing_deltas >= ANCHOR_EVERY - 1 {
+                    self.entries.push_back(Entry::Anchor(nt.clone()));
+                } else {
+                    self.entries.push_back(Entry::Delta(Arc::new(d)));
+                }
+                nt
+            }
+            None => {
+                let nt = from_state(state);
+                self.entries.push_back(Entry::Anchor(nt.clone()));
+                nt
+            }
+        };
+        self.top = Some(new_top);
+        while self.entries.len() > max_depth {
+            self.evict_front();
+        }
+    }
+
+    /// Drops the oldest entry. The front of a non-empty chain is always
+    /// an anchor; when its successor is a delta, the successor is first
+    /// materialized into an anchor so the chain still starts from a full
+    /// snapshot.
+    fn evict_front(&mut self) {
+        let Some(front) = self.entries.pop_front() else { return };
+        if let Entry::Anchor(base) = front {
+            let promoted = match self.entries.front() {
+                Some(Entry::Delta(d)) => Some(Entry::Anchor(apply_shared(&base, d))),
+                _ => None,
+            };
+            if let Some(p) = promoted {
+                // audit: infallible — `front()` just returned Some, so index 0 exists
+                self.entries[0] = p;
+            }
+        }
+        if self.entries.is_empty() {
+            self.top = None;
+        }
+    }
+
+    fn pop(&mut self) -> Option<StateNode> {
+        let top = self.top.clone()?;
+        self.entries.pop_back();
+        self.top = self.rematerialize_top();
+        Some(to_state(&top))
+    }
+
+    /// Replays the chain suffix from the nearest anchor (at most
+    /// [`ANCHOR_EVERY`] − 1 delta applications) into the new top state.
+    fn rematerialize_top(&self) -> Option<Arc<SharedNode>> {
+        let start = self.entries.iter().rposition(|e| matches!(e, Entry::Anchor(_)))?;
+        let mut cur: Option<Arc<SharedNode>> = None;
+        for e in self.entries.iter().skip(start) {
+            cur = Some(match e {
+                Entry::Anchor(a) => a.clone(),
+                Entry::Delta(d) => match cur {
+                    Some(c) => apply_shared(&c, d),
+                    // Unreachable: the scan starts at an anchor.
+                    None => return None,
+                },
+            });
+        }
+        cur
+    }
+
+    /// Whether `other` is a clone sharing this chain's allocations: same
+    /// entries, each backed by the *same* `Arc` (pointer equality).
+    fn shares_storage_with(&self, other: &HistoryStack) -> bool {
+        self.entries.len() == other.entries.len()
+            && self.entries.iter().zip(&other.entries).all(|(a, b)| match (a, b) {
+                (Entry::Anchor(x), Entry::Anchor(y)) => Arc::ptr_eq(x, y),
+                (Entry::Delta(x), Entry::Delta(y)) => Arc::ptr_eq(x, y),
+                _ => false,
+            })
+    }
+
+    #[cfg(test)]
+    fn count_unique_nodes(&self, seen: &mut HashSet<*const SharedNode>) -> usize {
+        fn walk(n: &Arc<SharedNode>, seen: &mut HashSet<*const SharedNode>) -> usize {
+            if !seen.insert(Arc::as_ptr(n)) {
+                return 0;
+            }
+            1 + n.children.iter().map(|c| walk(c, seen)).sum::<usize>()
+        }
+        let mut total = 0;
+        for e in &self.entries {
+            if let Entry::Anchor(a) = e {
+                total += walk(a, seen);
+            }
+        }
+        if let Some(t) = &self.top {
+            total += walk(t, seen);
+        }
+        total
+    }
+}
+
+/// Per-object undo/redo chains of overwritten UI states.
 #[derive(Debug, Clone)]
 pub struct HistoryStore {
-    undo: HashMap<GlobalObjectId, Vec<StateNode>>,
-    redo: HashMap<GlobalObjectId, Vec<StateNode>>,
+    undo: HashMap<GlobalObjectId, HistoryStack>,
+    redo: HashMap<GlobalObjectId, HistoryStack>,
     max_depth: usize,
 }
 
@@ -38,11 +391,8 @@ impl HistoryStore {
     /// history semantics).
     pub fn record_overwrite(&mut self, object: GlobalObjectId, overwritten: StateNode) {
         self.redo.remove(&object);
-        let stack = self.undo.entry(object).or_default();
-        stack.push(overwritten);
-        if stack.len() > self.max_depth {
-            stack.remove(0);
-        }
+        let max_depth = self.max_depth;
+        self.undo.entry(object).or_default().push(&overwritten, max_depth);
     }
 
     /// Pops the most recent overwritten state for undo. The caller applies
@@ -54,11 +404,8 @@ impl HistoryStore {
 
     /// Records the state displaced by an undo, making it redoable.
     pub fn record_undone(&mut self, object: GlobalObjectId, displaced: StateNode) {
-        let stack = self.redo.entry(object).or_default();
-        stack.push(displaced);
-        if stack.len() > self.max_depth {
-            stack.remove(0);
-        }
+        let max_depth = self.max_depth;
+        self.redo.entry(object).or_default().push(&displaced, max_depth);
     }
 
     /// Pops the most recent undone state for redo. The caller applies it
@@ -71,35 +418,72 @@ impl HistoryStore {
     /// Records the state displaced by a redo back onto the undo stack
     /// (without clearing redo, unlike a fresh overwrite).
     pub fn record_redone(&mut self, object: GlobalObjectId, displaced: StateNode) {
-        let stack = self.undo.entry(object).or_default();
-        stack.push(displaced);
-        if stack.len() > self.max_depth {
-            stack.remove(0);
-        }
+        let max_depth = self.max_depth;
+        self.undo.entry(object).or_default().push(&displaced, max_depth);
     }
 
     /// Depth of the undo stack for `object`.
     pub fn undo_depth(&self, object: &GlobalObjectId) -> usize {
-        self.undo.get(object).map(Vec::len).unwrap_or(0)
+        self.undo.get(object).map(HistoryStack::depth).unwrap_or(0)
     }
 
     /// Depth of the redo stack for `object`.
     pub fn redo_depth(&self, object: &GlobalObjectId) -> usize {
-        self.redo.get(object).map(Vec::len).unwrap_or(0)
+        self.redo.get(object).map(HistoryStack::depth).unwrap_or(0)
     }
 
-    /// Drops all history of `object` (e.g. when it is destroyed).
-    pub fn forget(&mut self, object: &GlobalObjectId) {
-        self.undo.remove(object);
-        self.redo.remove(object);
+    /// Drops all history of `object` (e.g. when it is destroyed). Returns
+    /// whether any entries were actually held.
+    pub fn forget(&mut self, object: &GlobalObjectId) -> bool {
+        let had_undo = self.undo.remove(object).is_some();
+        let had_redo = self.redo.remove(object).is_some();
+        had_undo || had_redo
     }
 
-    /// Removes and returns the undo/redo stacks of every object owned by
+    /// Drops the history of every object owned by `instance` (the single
+    /// teardown path: deregistration after quarantine expiry, eviction,
+    /// or a graceful leave). Returns how many objects had entries purged.
+    pub fn purge_instance(&mut self, instance: InstanceId) -> usize {
+        let mut purged: HashSet<GlobalObjectId> = HashSet::new();
+        self.undo.retain(|o, _| {
+            let keep = o.instance != instance;
+            if !keep {
+                purged.insert(o.clone());
+            }
+            keep
+        });
+        self.redo.retain(|o, _| {
+            let keep = o.instance != instance;
+            if !keep {
+                purged.insert(o.clone());
+            }
+            keep
+        });
+        purged.len()
+    }
+
+    /// Whether `other` (typically a fork of the owning
+    /// [`crate::ServerCore`]) physically shares this store's chain
+    /// allocations: identical stacks whose entries are pointer-equal
+    /// `Arc`s, i.e. the clone cost was reference-count bumps, not tree
+    /// copies.
+    pub fn storage_is_shared_with(&self, other: &HistoryStore) -> bool {
+        fn maps_share(
+            a: &HashMap<GlobalObjectId, HistoryStack>,
+            b: &HashMap<GlobalObjectId, HistoryStack>,
+        ) -> bool {
+            a.len() == b.len()
+                && a.iter().all(|(o, s)| b.get(o).is_some_and(|t| s.shares_storage_with(t)))
+        }
+        maps_share(&self.undo, &other.undo) && maps_share(&self.redo, &other.redo)
+    }
+
+    /// Removes and returns the undo/redo chains of every object owned by
     /// an instance in `members`, for migration to another shard.
     pub fn extract_instances(
         &mut self,
-        members: &std::collections::HashSet<cosoft_wire::InstanceId>,
-    ) -> Vec<(GlobalObjectId, Vec<StateNode>, Vec<StateNode>)> {
+        members: &HashSet<InstanceId>,
+    ) -> Vec<(GlobalObjectId, HistoryStack, HistoryStack)> {
         let mut objects: Vec<GlobalObjectId> = self
             .undo
             .keys()
@@ -119,8 +503,8 @@ impl HistoryStore {
             .collect()
     }
 
-    /// Re-installs stacks extracted from another shard's store.
-    pub fn adopt(&mut self, entries: Vec<(GlobalObjectId, Vec<StateNode>, Vec<StateNode>)>) {
+    /// Re-installs chains extracted from another shard's store.
+    pub fn adopt(&mut self, entries: Vec<(GlobalObjectId, HistoryStack, HistoryStack)>) {
         for (object, undo, redo) in entries {
             if !undo.is_empty() {
                 self.undo.insert(object.clone(), undo);
@@ -144,6 +528,35 @@ mod tests {
     fn state(text: &str) -> StateNode {
         StateNode::new(WidgetKind::TextField, "f")
             .with_attr(AttrName::Text, Value::Text(text.into()))
+    }
+
+    /// A complete binary tree of the given depth (depth 1 = a leaf).
+    fn deep_tree(depth: usize, label: &str) -> StateNode {
+        fn build(depth: usize, name: &str, label: &str) -> StateNode {
+            let mut n = StateNode::new(WidgetKind::Panel, name)
+                .with_attr(AttrName::Title, Value::Text(label.into()));
+            if depth > 1 {
+                n = n.with_child(build(depth - 1, "l", label)).with_child(build(
+                    depth - 1,
+                    "r",
+                    label,
+                ));
+            }
+            n
+        }
+        build(depth, "root", label)
+    }
+
+    /// `deep_tree` with one leaf attribute changed, leaving the rest of
+    /// the tree identical — the typical shape of an overwrite.
+    fn deep_tree_variant(depth: usize, label: &str, leaf_text: &str) -> StateNode {
+        let mut t = deep_tree(depth, label);
+        let mut node = &mut t;
+        while let Some(first) = node.children.first_mut() {
+            node = first;
+        }
+        node.attrs.insert(AttrName::Text, Value::Text(leaf_text.into()));
+        t
     }
 
     #[test]
@@ -208,8 +621,120 @@ mod tests {
         let o = gid("a");
         h.record_overwrite(o.clone(), state("x"));
         h.record_undone(o.clone(), state("y"));
-        h.forget(&o);
+        assert!(h.forget(&o));
+        assert!(!h.forget(&o));
         assert_eq!(h.undo_depth(&o), 0);
         assert_eq!(h.redo_depth(&o), 0);
+    }
+
+    #[test]
+    fn purge_instance_drops_all_objects_of_that_instance() {
+        let mut h = HistoryStore::new();
+        let mine_a = gid("a");
+        let mine_b = gid("b");
+        let foreign = GlobalObjectId::new(InstanceId(2), ObjectPath::parse("a").unwrap());
+        h.record_overwrite(mine_a.clone(), state("x"));
+        h.record_undone(mine_a.clone(), state("y"));
+        h.record_overwrite(mine_b.clone(), state("x"));
+        h.record_overwrite(foreign.clone(), state("x"));
+        // Two distinct objects purged (a counted once despite both stacks).
+        assert_eq!(h.purge_instance(InstanceId(1)), 2);
+        assert_eq!(h.undo_depth(&mine_a), 0);
+        assert_eq!(h.redo_depth(&mine_a), 0);
+        assert_eq!(h.undo_depth(&mine_b), 0);
+        assert_eq!(h.undo_depth(&foreign), 1);
+        assert_eq!(h.purge_instance(InstanceId(1)), 0);
+    }
+
+    #[test]
+    fn deep_chain_replays_exactly_across_anchors_and_eviction() {
+        // More pushes than both the anchor interval and the cap: pops must
+        // replay every surviving state exactly, across anchor boundaries
+        // and after front eviction re-anchored the chain.
+        let mut h = HistoryStore::with_max_depth(12);
+        let o = gid("a.f");
+        for i in 0..20 {
+            h.record_overwrite(o.clone(), deep_tree_variant(5, "base", &format!("leaf{i}")));
+        }
+        assert_eq!(h.undo_depth(&o), 12);
+        for i in (8..20).rev() {
+            assert_eq!(h.pop_undo(&o).unwrap(), deep_tree_variant(5, "base", &format!("leaf{i}")));
+        }
+        assert!(h.pop_undo(&o).is_none());
+    }
+
+    #[test]
+    fn duplicate_child_names_still_replay_exactly() {
+        // Duplicate sibling names force the wholesale-replace fallback in
+        // the delta layer; the chain must still reconstruct each state.
+        let mut twins = StateNode::new(WidgetKind::Panel, "root");
+        twins.children.push(state("first"));
+        twins.children.push(state("second"));
+        let mut twins2 = twins.clone();
+        twins2.children[1] = state("changed");
+        let mut h = HistoryStore::new();
+        let o = gid("a");
+        h.record_overwrite(o.clone(), twins.clone());
+        h.record_overwrite(o.clone(), twins2.clone());
+        assert_eq!(h.pop_undo(&o).unwrap(), twins2);
+        assert_eq!(h.pop_undo(&o).unwrap(), twins);
+    }
+
+    #[test]
+    fn overwrites_share_unchanged_subtrees() {
+        // 32 overwrites of a depth-6 tree (63 nodes), each changing one
+        // leaf attribute. With full copies this would retain ~32 × 63
+        // nodes; structural sharing keeps it near one tree plus one spine
+        // (6 nodes) per overwrite.
+        let depth = 6usize;
+        let tree_nodes = (1usize << depth) - 1;
+        let pushes = 32usize;
+        let mut h = HistoryStore::new();
+        let o = gid("a");
+        for i in 0..pushes {
+            h.record_overwrite(o.clone(), deep_tree_variant(depth, "base", &format!("v{i}")));
+        }
+        let mut seen = HashSet::new();
+        let unique = h.undo.get(&o).unwrap().count_unique_nodes(&mut seen);
+        let full_copy_cost = pushes * tree_nodes;
+        assert!(
+            unique < tree_nodes + (pushes + 1) * (depth + 1),
+            "unique nodes {unique} suggests full copies (cap {})",
+            tree_nodes + (pushes + 1) * (depth + 1)
+        );
+        assert!(unique * 4 < full_copy_cost, "no structural sharing: {unique} nodes retained");
+    }
+
+    #[test]
+    fn clones_share_chain_storage() {
+        let mut h = HistoryStore::with_max_depth(50);
+        let o = gid("a");
+        for i in 0..40 {
+            h.record_overwrite(o.clone(), deep_tree_variant(6, "base", &format!("v{i}")));
+        }
+        h.record_undone(o.clone(), state("displaced"));
+        let fork = h.clone();
+        assert!(fork.storage_is_shared_with(&h));
+        // Divergence after the fork breaks sharing for the touched stack.
+        let mut fork2 = h.clone();
+        fork2.record_overwrite(o.clone(), state("new"));
+        assert!(!fork2.storage_is_shared_with(&h));
+    }
+
+    #[test]
+    fn extract_and_adopt_preserve_chains() {
+        let mut h = HistoryStore::new();
+        let o = gid("a");
+        for i in 0..10 {
+            h.record_overwrite(o.clone(), deep_tree_variant(4, "base", &format!("v{i}")));
+        }
+        let members: HashSet<InstanceId> = [InstanceId(1)].into_iter().collect();
+        let extracted = h.extract_instances(&members);
+        assert_eq!(h.undo_depth(&o), 0);
+        let mut other = HistoryStore::new();
+        other.adopt(extracted);
+        for i in (0..10).rev() {
+            assert_eq!(other.pop_undo(&o).unwrap(), deep_tree_variant(4, "base", &format!("v{i}")));
+        }
     }
 }

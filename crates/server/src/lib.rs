@@ -24,7 +24,7 @@ mod shard;
 
 pub use access::AccessTable;
 pub use couple::CoupleDirectory;
-pub use history::HistoryStore;
+pub use history::{HistoryStack, HistoryStore};
 pub use locks::{ExecId, LockTable};
 pub use overload::{approx_cost, classify, MessageClass, OverloadConfig, Verdict};
 pub use registry::Registry;

@@ -82,6 +82,7 @@ pub fn classify(msg: &Message) -> MessageClass {
         | Message::GroupUnlocked { .. }
         | Message::StateRequest { .. }
         | Message::ApplyState { .. }
+        | Message::ApplyDelta { .. }
         | Message::PermissionDenied { .. }
         | Message::CommandDelivery { .. }
         | Message::ErrorReply { .. }
@@ -106,6 +107,7 @@ pub fn approx_cost(msg: &Message) -> u64 {
             snapshot.as_ref().map_or(0, cosoft_wire::StateNode::approx_size)
         }
         Message::ApplyState { snapshot, .. } => snapshot.approx_size(),
+        Message::ApplyDelta { delta, .. } => delta.approx_size(),
         Message::StateApplied { overwritten, error, .. } => {
             overwritten.as_ref().map_or(0, cosoft_wire::StateNode::approx_size)
                 + error.as_ref().map_or(0, String::len)

@@ -14,16 +14,17 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use cosoft_wire::{
-    codec, AccessRight, CopyMode, GlobalObjectId, InstanceId, Message, ObjectPath, SharedFrame,
-    Target, UserId,
+    codec, delta, AccessRight, CopyMode, GlobalObjectId, InstanceId, Message, ObjectPath,
+    SharedFrame, StateNode, Target, UserId,
 };
 
 use crate::access::AccessTable;
 use crate::couple::CoupleDirectory;
-use crate::history::HistoryStore;
+use crate::history::{HistoryStack, HistoryStore};
 use crate::locks::LockTable;
 use crate::overload::{Admission, MessageClass, OverloadConfig, Verdict};
 use crate::registry::Registry;
@@ -48,6 +49,28 @@ struct Transfer {
     dst: GlobalObjectId,
     kind: TransferKind,
     group: u64,
+    /// The state this leg is installing at its destination, kept until
+    /// the destination acknowledges: a success installs it as the
+    /// destination's sync base for future delta diffs; a failed
+    /// delta-encoded leg resends `snapshot_bytes` as a full `ApplyState`.
+    sync: Option<AppliedSync>,
+}
+
+/// Bookkeeping for the snapshot a transfer leg carries (see
+/// [`Transfer::sync`]).
+#[derive(Debug, Clone)]
+struct AppliedSync {
+    /// Content version of the carried state ([`delta::state_version`]).
+    version: u64,
+    /// The carried state itself (shared across the fan-out's legs).
+    state: Arc<StateNode>,
+    /// Its canonical encoding, for the full-snapshot fallback resend.
+    snapshot_bytes: Bytes,
+    /// Reconciliation mode of the original leg, reused by the fallback.
+    mode: CopyMode,
+    /// Whether the leg went out as an `ApplyDelta` (and may therefore
+    /// fall back) rather than a full `ApplyState`.
+    via_delta: bool,
 }
 
 /// The logical transfer a requester is waiting on.
@@ -331,6 +354,15 @@ pub struct ServerStats {
     /// Endpoints currently holding an admission budget window (gauge,
     /// bounded by pruning of idle windows).
     pub overload_tracked_endpoints: usize,
+    /// Objects whose history chains were purged on the teardown path
+    /// (instance deregistration or an `ObjectDestroyed` notification).
+    pub history_purges: u64,
+    /// Fan-out legs sent as attribute-level `ApplyDelta` (the destination
+    /// held a matching sync base) instead of a full `ApplyState`.
+    pub delta_legs_sent: u64,
+    /// Delta legs the receiver refused (diverged or unknown base) that
+    /// were resent as full snapshots.
+    pub delta_fallbacks: u64,
 }
 
 /// Aggregates counters across shard cores: sums everything except
@@ -375,6 +407,9 @@ impl ServerStats {
             overload_evictions,
             quarantine_store_evictions,
             overload_tracked_endpoints,
+            history_purges,
+            delta_legs_sent,
+            delta_fallbacks,
         } = other;
         self.events_granted += events_granted;
         self.events_rejected += events_rejected;
@@ -411,6 +446,9 @@ impl ServerStats {
         self.overload_evictions += overload_evictions;
         self.quarantine_store_evictions += quarantine_store_evictions;
         self.overload_tracked_endpoints += overload_tracked_endpoints;
+        self.history_purges += history_purges;
+        self.delta_legs_sent += delta_legs_sent;
+        self.delta_fallbacks += delta_fallbacks;
     }
 }
 
@@ -475,7 +513,11 @@ pub struct ComponentSlice<E> {
     quarantined: Vec<(InstanceId, u64)>,
     tokens: Vec<(u64, InstanceId)>,
     links: Vec<(GlobalObjectId, GlobalObjectId)>,
-    history: Vec<(GlobalObjectId, Vec<cosoft_wire::StateNode>, Vec<cosoft_wire::StateNode>)>,
+    history: Vec<(GlobalObjectId, HistoryStack, HistoryStack)>,
+    /// Destination sync bases (object, content version, last applied
+    /// state): delta sync keeps working across a shard migration because
+    /// the versions travel in the slice.
+    sync_bases: Vec<(GlobalObjectId, u64, Arc<StateNode>)>,
     access: Vec<(UserId, GlobalObjectId, AccessRight)>,
     execs: Vec<(u64, ExecState, Vec<GlobalObjectId>)>,
     transfer_groups: Vec<(u64, TransferGroup)>,
@@ -524,6 +566,10 @@ pub struct ServerCore<E> {
     locks: LockTable,
     couples: CoupleDirectory,
     history: HistoryStore,
+    /// Per destination object: the content version and state of the last
+    /// snapshot it acknowledged applying, used to diff attribute-level
+    /// `ApplyDelta` legs instead of re-sending full snapshots.
+    sync_bases: HashMap<GlobalObjectId, (u64, Arc<StateNode>)>,
     next_exec: u64,
     next_transfer: u64,
     execs: HashMap<u64, ExecState>,
@@ -588,6 +634,11 @@ pub struct ServerCore<E> {
     overload_evictions: u64,
     /// Quarantine entries expired early by the `max_quarantined` cap.
     quarantine_store_evictions: u64,
+    /// Objects whose history was purged on the teardown path.
+    history_purges: u64,
+    /// Delta-sync counters (see [`ServerStats`]).
+    delta_legs_sent: u64,
+    delta_fallbacks: u64,
     /// Increment applied to every id counter (exec, transfer, transfer
     /// group, token seq). Shard `i` of `n` starts its counters at `i + 1`
     /// with stride `n`, so ids minted by different shards never collide.
@@ -615,6 +666,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             locks: LockTable::new(),
             couples: CoupleDirectory::new(),
             history: HistoryStore::new(),
+            sync_bases: HashMap::new(),
             next_exec: 1,
             next_transfer: 1,
             execs: HashMap::new(),
@@ -657,6 +709,9 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             busy_replies: 0,
             overload_evictions: 0,
             quarantine_store_evictions: 0,
+            history_purges: 0,
+            delta_legs_sent: 0,
+            delta_fallbacks: 0,
             id_stride: 1,
             route_log: Vec::new(),
             route_log_enabled: false,
@@ -792,6 +847,9 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             overload_evictions: self.overload_evictions,
             quarantine_store_evictions: self.quarantine_store_evictions,
             overload_tracked_endpoints: self.admission.tracked_endpoints(),
+            history_purges: self.history_purges,
+            delta_legs_sent: self.delta_legs_sent,
+            delta_fallbacks: self.delta_fallbacks,
         }
     }
 
@@ -964,6 +1022,13 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         for id in self.last_seen.keys() {
             if !self.registry.contains(*id) {
                 return Err(format!("traffic timestamp retained for unregistered instance {id}"));
+            }
+        }
+        // Delta sync bases must be purged with their instance, or the
+        // cache grows without bound under register/leave churn.
+        for object in self.sync_bases.keys() {
+            if !self.registry.contains(object.instance) {
+                return Err(format!("sync base retained for unregistered object {object}"));
             }
         }
         Ok(())
@@ -1305,7 +1370,10 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
                     );
                 } else {
                     let survivors = self.couples.remove_object(&object);
-                    self.history.forget(&object);
+                    if self.history.forget(&object) {
+                        self.history_purges += 1;
+                    }
+                    self.sync_bases.remove(&object);
                     // Each survivor (and the destroyer) learns the new
                     // grouping of the remaining objects.
                     for o in &survivors {
@@ -1375,6 +1443,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             | Message::GroupUnlocked { .. }
             | Message::StateRequest { .. }
             | Message::ApplyState { .. }
+            | Message::ApplyDelta { .. }
             | Message::PermissionDenied { .. }
             | Message::CommandDelivery { .. }
             | Message::ErrorReply { .. }
@@ -1696,23 +1765,81 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             return;
         }
         group.outstanding += targets.len();
-        // The snapshot — by far the heavy part of `ApplyState` — is
-        // serialized exactly once; each leg's frame splices the shared
-        // payload behind its own req-id and target path, instead of the
-        // old per-target `snapshot.clone()` + re-encode.
+        // The snapshot — by far the heavy part of a state transfer — is
+        // serialized exactly once; each leg's frame splices a shared
+        // payload behind its own req-id and target path. Destinations
+        // holding a known-good sync base (they acknowledged an earlier
+        // snapshot) get an attribute-level `ApplyDelta` diffed against
+        // that base instead of the full snapshot; deltas are cached per
+        // base version, so one encoded delta serves every group member
+        // that last acknowledged the same state.
         let snapshot_bytes = codec::encode_state_shared(&snapshot);
+        let new_version = delta::version_of_encoded(&snapshot_bytes);
+        let state = Arc::new(snapshot);
         self.payload_encodes += 1;
-        self.payload_reuses += targets.len() as u64 - 1;
+        let mut snapshot_spliced = false;
+        let mut delta_cache: HashMap<u64, Bytes> = HashMap::new();
         for target in targets {
             let req_id = self.next_transfer;
             self.next_transfer += self.id_stride;
-            self.transfers.insert(req_id, Transfer { dst: target.clone(), kind, group: group_id });
-            if let Some(endpoint) = self.registry.endpoint_of(target.instance) {
-                out.push_shared(
-                    vec![endpoint],
-                    codec::frame_apply_state(req_id, &target.path, &snapshot_bytes, mode),
+            let Some(endpoint) = self.registry.endpoint_of(target.instance) else {
+                // Cannot happen (targets are filtered to bound instances)
+                // but losing the endpoint must not lose the leg record.
+                self.transfers.insert(
+                    req_id,
+                    Transfer { dst: target.clone(), kind, group: group_id, sync: None },
                 );
+                continue;
+            };
+            let (frame, via_delta) = match self.sync_bases.get(&target) {
+                Some((base_version, base)) => {
+                    let payload = match delta_cache.entry(*base_version) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            self.payload_reuses += 1;
+                            e.into_mut()
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            self.payload_encodes += 1;
+                            e.insert(codec::encode_delta_shared(&delta::diff(base, &state)))
+                        }
+                    };
+                    let frame = codec::frame_apply_delta(
+                        req_id,
+                        &target.path,
+                        *base_version,
+                        new_version,
+                        payload,
+                        mode,
+                    );
+                    (frame, true)
+                }
+                None => {
+                    if snapshot_spliced {
+                        self.payload_reuses += 1;
+                    }
+                    snapshot_spliced = true;
+                    (codec::frame_apply_state(req_id, &target.path, &snapshot_bytes, mode), false)
+                }
+            };
+            if via_delta {
+                self.delta_legs_sent += 1;
             }
+            self.transfers.insert(
+                req_id,
+                Transfer {
+                    dst: target.clone(),
+                    kind,
+                    group: group_id,
+                    sync: Some(AppliedSync {
+                        version: new_version,
+                        state: state.clone(),
+                        snapshot_bytes: snapshot_bytes.clone(),
+                        mode,
+                        via_delta,
+                    }),
+                },
+            );
+            out.push_shared(vec![endpoint], frame);
         }
     }
 
@@ -1783,10 +1910,56 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         let Some(t) = self.transfers.remove(&req_id) else {
             return out;
         };
+        // A refused delta leg — the receiver's sync base was unknown or
+        // diverged — falls back to the full snapshot: drop the stale
+        // base, mint a replacement leg splicing the stored encoding, and
+        // leave the group's accounting untouched (outstanding stays the
+        // same, no failure is recorded, the other legs are unaffected).
+        if error.is_some() && t.sync.as_ref().is_some_and(|s| s.via_delta) {
+            self.sync_bases.remove(&t.dst);
+            if let Some(endpoint) = self.registry.endpoint_of(t.dst.instance) {
+                self.delta_fallbacks += 1;
+                let new_req = self.next_transfer;
+                self.next_transfer += self.id_stride;
+                let mut fallback = t;
+                if let Some(sync) = fallback.sync.as_mut() {
+                    sync.via_delta = false;
+                    self.payload_reuses += 1;
+                    out.push_shared(
+                        vec![endpoint],
+                        codec::frame_apply_state(
+                            new_req,
+                            &fallback.dst.path,
+                            &sync.snapshot_bytes,
+                            sync.mode,
+                        ),
+                    );
+                }
+                self.transfers.insert(new_req, fallback);
+                return out;
+            }
+            // No endpoint to resend to: fall through to the normal
+            // failure accounting below.
+            if let Some(g) = self.transfer_groups.get_mut(&t.group) {
+                g.outstanding -= 1;
+                g.failed = Some("delta fallback target unreachable".into());
+            }
+            self.maybe_finish_group(t.group, &mut out);
+            return out;
+        }
+        let succeeded = error.is_none();
         if let Some(g) = self.transfer_groups.get_mut(&t.group) {
             g.outstanding -= 1;
             if let Some(reason) = error {
                 g.failed = Some(reason);
+            }
+        }
+        // A successful apply makes the carried state the destination's
+        // sync base: the next transfer to this object can travel as an
+        // attribute-level delta against it.
+        if succeeded {
+            if let Some(sync) = &t.sync {
+                self.sync_bases.insert(t.dst.clone(), (sync.version, sync.state.clone()));
             }
         }
         if let Some(prev) = overwritten {
@@ -2066,6 +2239,11 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             self.to_group(&instances, Message::CoupleUpdate { group: survivors }, &mut out);
         }
         self.sever_instance_io(id, &mut out);
+        // The departed instance's objects are gone for good: their
+        // history chains and delta sync bases must go with them, or the
+        // stores grow monotonically under register/leave churn.
+        self.history_purges += self.history.purge_instance(id) as u64;
+        self.sync_bases.retain(|o, _| o.instance != id);
         self.quarantined.remove(&id);
         self.last_seen.remove(&id);
         if let Some(token) = self.token_of.remove(&id) {
@@ -2116,6 +2294,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
                 tokens: Vec::new(),
                 links: Vec::new(),
                 history: Vec::new(),
+                sync_bases: Vec::new(),
                 access: Vec::new(),
                 execs: Vec::new(),
                 transfer_groups: Vec::new(),
@@ -2229,6 +2408,15 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             .collect();
         let links = self.couples.extract_instance_links(&members);
         let history = self.history.extract_instances(&members);
+        let mut sync_bases: Vec<(GlobalObjectId, u64, Arc<StateNode>)> = Vec::new();
+        self.sync_bases.retain(|o, (version, state)| {
+            let inside = members.contains(&o.instance);
+            if inside {
+                sync_bases.push((o.clone(), *version, state.clone()));
+            }
+            !inside
+        });
+        sync_bases.sort_by(|a, b| a.0.cmp(&b.0));
         let access = self.access.extract_instances(&members);
         let execs = inside_execs
             .into_iter()
@@ -2270,6 +2458,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             tokens,
             links,
             history,
+            sync_bases,
             access,
             execs,
             transfer_groups,
@@ -2292,6 +2481,7 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
             tokens,
             links,
             history,
+            sync_bases,
             access,
             execs,
             transfer_groups,
@@ -2313,6 +2503,9 @@ impl<E: Copy + Eq + Hash> ServerCore<E> {
         }
         self.couples.adopt_links(links);
         self.history.adopt(history);
+        for (object, version, state) in sync_bases {
+            self.sync_bases.insert(object, (version, state));
+        }
         self.access.adopt(access);
         for (exec_id, exec, objects) in execs {
             // Cannot conflict: the objects arrive with the component that

@@ -4,8 +4,8 @@
 
 use cosoft_server::ServerCore;
 use cosoft_wire::{
-    AccessRight, AttrName, CopyMode, EventKind, GlobalObjectId, InstanceId, Message, ObjectPath,
-    StateNode, Target, UiEvent, UserId, Value, WidgetKind,
+    delta, AccessRight, AttrName, CopyMode, EventKind, GlobalObjectId, InstanceId, Message,
+    ObjectPath, StateNode, Target, UiEvent, UserId, Value, WidgetKind,
 };
 
 type Endpoint = u64;
@@ -336,11 +336,13 @@ fn undo_restores_and_redo_reapplies() {
         .into_messages();
     assert_eq!(s.history().undo_depth(&gid(b, "l")), 1);
 
-    // Undo: the server pushes v1 back to b.
+    // Undo: the server pushes v1 back to b. The first transfer cached a
+    // v2 sync base for b, so the undo travels as a delta against it.
     let out = s.handle(2, Message::UndoState { object: gid(b, "l") }).into_messages();
-    let req_id = match find(&out, 2, "apply-state") {
-        Message::ApplyState { req_id, snapshot, mode, .. } => {
-            assert_eq!(snapshot, &v1);
+    let req_id = match find(&out, 2, "apply-delta") {
+        Message::ApplyDelta { req_id, base_version, delta: d, mode, .. } => {
+            assert_eq!(*base_version, delta::state_version(&v2));
+            assert_eq!(delta::apply(&v2, d).unwrap(), v1);
             assert_eq!(*mode, CopyMode::DestructiveMerge);
             *req_id
         }
@@ -351,10 +353,10 @@ fn undo_restores_and_redo_reapplies() {
         .into_messages();
     assert_eq!(s.history().redo_depth(&gid(b, "l")), 1);
 
-    // Redo: the server pushes v2 again.
+    // Redo: the server pushes v2 again, as a delta against v1.
     let out = s.handle(2, Message::RedoState { object: gid(b, "l") }).into_messages();
-    match find(&out, 2, "apply-state") {
-        Message::ApplyState { snapshot, .. } => assert_eq!(snapshot, &v2),
+    match find(&out, 2, "apply-delta") {
+        Message::ApplyDelta { delta: d, .. } => assert_eq!(delta::apply(&v1, d).unwrap(), v2),
         _ => unreachable!(),
     }
 
@@ -1340,4 +1342,228 @@ fn quarantine_cap_zero_is_unbounded() {
     }
     assert_eq!(s.stats().quarantined_instances, 20);
     assert_eq!(s.stats().quarantine_store_evictions, 0);
+}
+
+// ---- delta state sync (attribute-level transfers) --------------------------
+
+/// A deep widget tree whose single varying leaf attribute makes for a tiny
+/// delta against a large snapshot.
+fn deep_tree(depth: usize, text: &str) -> StateNode {
+    let mut node = StateNode::new(WidgetKind::Label, "leaf")
+        .with_attr(AttrName::Text, Value::Text(text.into()));
+    for level in (0..depth).rev() {
+        node = StateNode::new(WidgetKind::Form, &format!("lvl{level}"))
+            .with_attr(AttrName::Title, Value::Text(format!("panel {level}")))
+            .with_child(node);
+    }
+    node
+}
+
+/// Pushes `snapshot` from endpoint 1 to `dst` and returns the outgoing
+/// batch addressed to the destination.
+fn push_to(
+    s: &mut ServerCore<Endpoint>,
+    dst: GlobalObjectId,
+    src: GlobalObjectId,
+    snapshot: StateNode,
+    req_id: u64,
+) -> Vec<(Endpoint, Message)> {
+    s.handle(1, Message::CopyTo { src, dst, snapshot, mode: CopyMode::Strict, req_id })
+        .into_messages()
+}
+
+/// First contact travels as a full snapshot; once the destination has
+/// acknowledged a base, subsequent transfers ride attribute-level deltas
+/// that reconstruct the transmitted state exactly.
+#[test]
+fn second_transfer_to_acknowledged_destination_is_a_delta() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+
+    let v1 = deep_tree(6, "v1");
+    let v2 = deep_tree(6, "v2");
+
+    // First push: no base cached, full snapshot.
+    let out = push_to(&mut s, gid(b, "f"), gid(a, "f"), v1.clone(), 1);
+    let req_id = match find(&out, 2, "apply-state") {
+        Message::ApplyState { req_id, .. } => *req_id,
+        _ => unreachable!(),
+    };
+    assert_eq!(s.stats().delta_legs_sent, 0);
+    s.handle(2, Message::StateApplied { req_id, overwritten: None, error: None }).into_messages();
+
+    // Second push: the acknowledged v1 base turns it into a delta.
+    let out = push_to(&mut s, gid(b, "f"), gid(a, "f"), v2.clone(), 2);
+    let req_id = match find(&out, 2, "apply-delta") {
+        Message::ApplyDelta { req_id, base_version, new_version, delta: d, .. } => {
+            assert_eq!(*base_version, delta::state_version(&v1));
+            assert_eq!(*new_version, delta::state_version(&v2));
+            assert_eq!(delta::apply(&v1, d).unwrap(), v2);
+            *req_id
+        }
+        _ => unreachable!(),
+    };
+    let stats = s.stats();
+    assert_eq!(stats.delta_legs_sent, 1);
+    assert_eq!(stats.delta_fallbacks, 0);
+    let out = s
+        .handle(2, Message::StateApplied { req_id, overwritten: Some(v1), error: None })
+        .into_messages();
+    match find(&out, 1, "state-applied") {
+        Message::StateApplied { req_id, .. } => assert_eq!(*req_id, 2),
+        _ => unreachable!(),
+    }
+}
+
+/// A destination that rejects a delta (diverged or missing base) gets the
+/// same state re-sent as a full snapshot, the transfer group still
+/// completes, and the fallback re-primes the base so the next transfer is
+/// a delta again.
+#[test]
+fn rejected_delta_falls_back_to_full_snapshot_and_converges() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+
+    let v1 = deep_tree(4, "v1");
+    let v2 = deep_tree(4, "v2");
+    let v3 = deep_tree(4, "v3");
+
+    let out = push_to(&mut s, gid(b, "f"), gid(a, "f"), v1, 1);
+    let req_id = match find(&out, 2, "apply-state") {
+        Message::ApplyState { req_id, .. } => *req_id,
+        _ => unreachable!(),
+    };
+    s.handle(2, Message::StateApplied { req_id, overwritten: None, error: None }).into_messages();
+
+    // The client lost its base (say, it re-created the widget). It must
+    // reject the delta; the server resends the full snapshot under a
+    // fresh request id without failing the transfer group.
+    let out = push_to(&mut s, gid(b, "f"), gid(a, "f"), v2.clone(), 2);
+    let req_id = match find(&out, 2, "apply-delta") {
+        Message::ApplyDelta { req_id, .. } => *req_id,
+        _ => unreachable!(),
+    };
+    let out = s
+        .handle(
+            2,
+            Message::StateApplied {
+                req_id,
+                overwritten: None,
+                error: Some("delta base version mismatch: no base cached".into()),
+            },
+        )
+        .into_messages();
+    assert_eq!(s.stats().delta_fallbacks, 1);
+    let fallback_req = match find(&out, 2, "apply-state") {
+        Message::ApplyState { req_id: r, snapshot, .. } => {
+            assert_eq!(snapshot, &v2, "fallback must carry the full target state");
+            assert_ne!(*r, req_id, "fallback is a fresh request");
+            *r
+        }
+        _ => unreachable!(),
+    };
+    // The requester has not been answered yet: the group is still open.
+    assert!(!out.iter().any(|(e, m)| *e == 1 && m.kind_name() == "state-applied"));
+
+    let out = s
+        .handle(2, Message::StateApplied { req_id: fallback_req, overwritten: None, error: None })
+        .into_messages();
+    match find(&out, 1, "state-applied") {
+        Message::StateApplied { req_id, error, .. } => {
+            assert_eq!(*req_id, 2);
+            assert!(error.is_none(), "group completes cleanly after the fallback");
+        }
+        _ => unreachable!(),
+    }
+
+    // The fallback re-primed the base: the next push is a delta again.
+    let out = push_to(&mut s, gid(b, "f"), gid(a, "f"), v3.clone(), 3);
+    match find(&out, 2, "apply-delta") {
+        Message::ApplyDelta { base_version, delta: d, .. } => {
+            assert_eq!(*base_version, delta::state_version(&v2));
+            assert_eq!(delta::apply(&v2, d).unwrap(), v3);
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Deregistration and object destruction purge history chains and delta
+/// bases for the departed objects, and the purges are counted. Without
+/// this, the history and sync-base maps grow without bound under
+/// register/leave churn.
+#[test]
+fn teardown_purges_history_and_sync_bases() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+
+    for (req, text) in [(1, "v1"), (2, "v2"), (3, "v3")] {
+        let out = push_to(&mut s, gid(b, "f"), gid(a, "f"), deep_tree(3, text), req);
+        let req_id = out
+            .iter()
+            .find_map(|(e, m)| match m {
+                Message::ApplyState { req_id, .. } | Message::ApplyDelta { req_id, .. }
+                    if *e == 2 =>
+                {
+                    Some(*req_id)
+                }
+                _ => None,
+            })
+            .unwrap();
+        s.handle(
+            2,
+            Message::StateApplied { req_id, overwritten: Some(deep_tree(3, "prev")), error: None },
+        )
+        .into_messages();
+    }
+    assert!(s.history().undo_depth(&gid(b, "f")) >= 2);
+    assert_eq!(s.stats().history_purges, 0);
+
+    s.handle(2, Message::Deregister).into_messages();
+    let stats = s.stats();
+    assert_eq!(stats.history_purges, 1, "one object's chains purged with its instance");
+    assert_eq!(s.history().undo_depth(&gid(b, "f")), 0);
+}
+
+/// Satellite for the explorer/model-checker: forking the server with
+/// `clone()` must share history storage via `Arc`, not deep-copy every
+/// recorded snapshot — forking cost must not scale with history depth.
+#[test]
+fn forked_core_shares_history_storage() {
+    let mut s: ServerCore<Endpoint> = ServerCore::new();
+    let a = register(&mut s, 1, 1);
+    let b = register(&mut s, 2, 2);
+
+    for req in 1..=32u64 {
+        let out = push_to(&mut s, gid(b, "f"), gid(a, "f"), deep_tree(6, &format!("v{req}")), req);
+        let req_id = out
+            .iter()
+            .find_map(|(e, m)| match m {
+                Message::ApplyState { req_id, .. } | Message::ApplyDelta { req_id, .. }
+                    if *e == 2 =>
+                {
+                    Some(*req_id)
+                }
+                _ => None,
+            })
+            .unwrap();
+        s.handle(
+            2,
+            Message::StateApplied {
+                req_id,
+                overwritten: Some(deep_tree(6, &format!("v{}", req - 1))),
+                error: None,
+            },
+        )
+        .into_messages();
+    }
+    assert!(s.history().undo_depth(&gid(b, "f")) >= 16);
+
+    let fork = s.clone();
+    assert!(
+        fork.history().storage_is_shared_with(s.history()),
+        "cloned history must share its chain storage entry-for-entry"
+    );
 }

@@ -352,6 +352,18 @@ proptest! {
                                     None
                                 },
                             }),
+                            // Delta legs appear once a destination has an
+                            // acknowledged base; erroring some of them
+                            // exercises the full-snapshot fallback resend.
+                            Message::ApplyDelta { req_id, .. } => Some(Message::StateApplied {
+                                req_id,
+                                overwritten: Some(snap()),
+                                error: if req_id % 4 == 0 {
+                                    Some("delta base version mismatch".into())
+                                } else {
+                                    None
+                                },
+                            }),
                             Message::EventGranted { exec_id, .. }
                             | Message::ExecuteEvent { exec_id, .. } => {
                                 Some(Message::ExecuteDone { exec_id })

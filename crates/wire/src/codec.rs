@@ -14,10 +14,11 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::delta::{EditOp, NodeEdit, NodePatch};
 use crate::message::InstanceInfo;
 use crate::{
     AccessRight, AttrName, CopyMode, EventKind, GlobalObjectId, InstanceId, Message, ObjectPath,
-    StateNode, Target, UiEvent, UserId, Value, WidgetKind, WireError,
+    StateDelta, StateNode, Target, UiEvent, UserId, Value, WidgetKind, WireError,
 };
 
 /// Maximum accepted declared length for any collection, string or frame.
@@ -357,6 +358,127 @@ pub fn get_state(buf: &mut Bytes) -> Result<StateNode> {
         node.children.push(get_state(buf)?);
     }
     Ok(node)
+}
+
+// --------------------------------------------------------------------------
+// state deltas
+// --------------------------------------------------------------------------
+
+/// Encodes a [`StateDelta`].
+pub fn put_delta(buf: &mut BytesMut, d: &StateDelta) {
+    put_uvarint(buf, d.edits.len() as u64);
+    for e in &d.edits {
+        put_uvarint(buf, e.path.len() as u64);
+        for seg in &e.path {
+            put_str(buf, seg);
+        }
+        match &e.op {
+            EditOp::Patch(p) => {
+                buf.put_u8(0);
+                match &p.kind {
+                    None => buf.put_u8(0),
+                    Some(k) => {
+                        buf.put_u8(1);
+                        put_kind(buf, k);
+                    }
+                }
+                put_uvarint(buf, p.upserts.len() as u64);
+                for (k, v) in &p.upserts {
+                    put_attr_name(buf, k);
+                    put_value(buf, v);
+                }
+                put_uvarint(buf, p.removals.len() as u64);
+                for k in &p.removals {
+                    put_attr_name(buf, k);
+                }
+                match &p.semantic {
+                    None => buf.put_u8(0),
+                    Some(b) => {
+                        buf.put_u8(1);
+                        put_bytes(buf, b);
+                    }
+                }
+            }
+            EditOp::Replace(s) => {
+                buf.put_u8(1);
+                put_state(buf, s);
+            }
+            EditOp::Restructure { order, inserts } => {
+                buf.put_u8(2);
+                put_uvarint(buf, order.len() as u64);
+                for n in order {
+                    put_str(buf, n);
+                }
+                put_uvarint(buf, inserts.len() as u64);
+                for s in inserts {
+                    put_state(buf, s);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes a [`StateDelta`].
+pub fn get_delta(buf: &mut Bytes) -> Result<StateDelta> {
+    let n_edits = get_len(buf)?;
+    let mut edits = Vec::with_capacity(n_edits.min(1024));
+    for _ in 0..n_edits {
+        let n_segs = get_len(buf)?;
+        let mut path = Vec::with_capacity(n_segs.min(64));
+        for _ in 0..n_segs {
+            path.push(get_str(buf)?);
+        }
+        let op = match get_u8(buf, "edit op tag")? {
+            0 => {
+                let mut patch = NodePatch::default();
+                match get_u8(buf, "option tag")? {
+                    0 => {}
+                    1 => patch.kind = Some(get_kind(buf)?),
+                    other => {
+                        return Err(WireError::InvalidTag {
+                            kind: "Option<WidgetKind>",
+                            tag: other,
+                        })
+                    }
+                }
+                let n_ups = get_len(buf)?;
+                for _ in 0..n_ups {
+                    let k = get_attr_name(buf)?;
+                    let v = get_value(buf)?;
+                    patch.upserts.insert(k, v);
+                }
+                let n_rm = get_len(buf)?;
+                for _ in 0..n_rm {
+                    patch.removals.push(get_attr_name(buf)?);
+                }
+                match get_u8(buf, "option tag")? {
+                    0 => {}
+                    1 => patch.semantic = Some(get_blob(buf)?),
+                    other => {
+                        return Err(WireError::InvalidTag { kind: "Option<Vec<u8>>", tag: other })
+                    }
+                }
+                EditOp::Patch(patch)
+            }
+            1 => EditOp::Replace(get_state(buf)?),
+            2 => {
+                let n_order = get_len(buf)?;
+                let mut order = Vec::with_capacity(n_order.min(1024));
+                for _ in 0..n_order {
+                    order.push(get_str(buf)?);
+                }
+                let n_ins = get_len(buf)?;
+                let mut inserts = Vec::with_capacity(n_ins.min(1024));
+                for _ in 0..n_ins {
+                    inserts.push(get_state(buf)?);
+                }
+                EditOp::Restructure { order, inserts }
+            }
+            other => return Err(WireError::InvalidTag { kind: "EditOp", tag: other }),
+        };
+        edits.push(NodeEdit { path, op });
+    }
+    Ok(StateDelta { edits })
 }
 
 // --------------------------------------------------------------------------
@@ -743,6 +865,15 @@ pub fn put_message(buf: &mut BytesMut, m: &Message) {
             buf.put_u8(37);
             put_uvarint(buf, *retry_after_ms);
         }
+        Message::ApplyDelta { req_id, path, base_version, new_version, delta, mode } => {
+            buf.put_u8(38);
+            put_uvarint(buf, *req_id);
+            put_path(buf, path);
+            put_uvarint(buf, *base_version);
+            put_uvarint(buf, *new_version);
+            put_delta(buf, delta);
+            put_copy_mode(buf, *mode);
+        }
     }
 }
 
@@ -880,6 +1011,14 @@ pub fn get_message(buf: &mut Bytes) -> Result<Message> {
         35 => Message::Pong { nonce: get_uvarint(buf)? },
         36 => Message::SessionToken { resume_token: get_uvarint(buf)? },
         37 => Message::Busy { retry_after_ms: get_uvarint(buf)? },
+        38 => Message::ApplyDelta {
+            req_id: get_uvarint(buf)?,
+            path: get_path(buf)?,
+            base_version: get_uvarint(buf)?,
+            new_version: get_uvarint(buf)?,
+            delta: get_delta(buf)?,
+            mode: get_copy_mode(buf)?,
+        },
         other => return Err(WireError::InvalidTag { kind: "Message", tag: other }),
     })
 }
@@ -949,6 +1088,7 @@ pub const TAG_KIND_NAMES: &[&str] = &[
     "pong",              // 35
     "session-token",     // 36
     "busy",              // 37
+    "apply-delta",       // 38
 ];
 
 /// A complete, already-framed wire message (`u32-le length ‖ body`)
@@ -1092,6 +1232,39 @@ pub fn frame_apply_state(
     put_uvarint(&mut buf, req_id);
     put_path(&mut buf, path);
     buf.extend_from_slice(snapshot);
+    put_copy_mode(&mut buf, mode);
+    seal_frame(buf)
+}
+
+/// Encodes a [`StateDelta`] once into a shared payload that
+/// [`frame_apply_delta`] can splice into many per-leg frames.
+pub fn encode_delta_shared(d: &StateDelta) -> Bytes {
+    let mut buf = BytesMut::with_capacity(128);
+    put_delta(&mut buf, d);
+    buf.freeze()
+}
+
+/// Builds an `ApplyDelta` frame around an already-encoded delta
+/// ([`encode_delta_shared`]). A transfer fanning out to a coupling group
+/// whose members share a sync base encodes the delta once instead of
+/// re-encoding it per leg; the resulting bytes are identical to framing
+/// `Message::ApplyDelta` whole.
+pub fn frame_apply_delta(
+    req_id: u64,
+    path: &ObjectPath,
+    base_version: u64,
+    new_version: u64,
+    delta: &Bytes,
+    mode: CopyMode,
+) -> SharedFrame {
+    let mut buf = BytesMut::with_capacity(delta.len() + 48);
+    buf.put_u32_le(0);
+    buf.put_u8(38); // ApplyDelta wire tag
+    put_uvarint(&mut buf, req_id);
+    put_path(&mut buf, path);
+    put_uvarint(&mut buf, base_version);
+    put_uvarint(&mut buf, new_version);
+    buf.extend_from_slice(delta);
     put_copy_mode(&mut buf, mode);
     seal_frame(buf)
 }
@@ -1270,7 +1443,32 @@ mod tests {
             Message::Pong { nonce: 17 },
             Message::SessionToken { resume_token: u64::MAX },
             Message::Busy { retry_after_ms: 250 },
+            Message::ApplyDelta {
+                req_id: 6,
+                path: path("b"),
+                base_version: 11,
+                new_version: 12,
+                delta: sample_delta(),
+                mode: CopyMode::FlexibleMatch,
+            },
+            Message::ApplyDelta {
+                req_id: 7,
+                path: path("b.c"),
+                base_version: 0,
+                new_version: u64::MAX,
+                delta: crate::delta::StateDelta::default(),
+                mode: CopyMode::Strict,
+            },
         ]
+    }
+
+    fn sample_delta() -> crate::delta::StateDelta {
+        let base = sample_state();
+        let mut target = base.clone();
+        target.attrs.insert(AttrName::Title, Value::Text("T2".into()));
+        target.children.push(StateNode::new(WidgetKind::Button, "go"));
+        target.semantic = vec![4, 5];
+        crate::delta::diff(&base, &target)
     }
 
     #[test]
@@ -1429,6 +1627,39 @@ mod tests {
             });
             assert_eq!(spliced.as_slice(), &whole[..], "req_id={req_id} mode={mode:?}");
         }
+    }
+
+    #[test]
+    fn spliced_apply_delta_frame_matches_whole_message() {
+        let delta = sample_delta();
+        let payload = encode_delta_shared(&delta);
+        for (req_id, base_version, new_version, mode) in [
+            (0u64, 0u64, 1u64, CopyMode::Strict),
+            (3, 11, 12, CopyMode::FlexibleMatch),
+            (u64::MAX, u64::MAX, 0, CopyMode::DestructiveMerge),
+        ] {
+            let p = path("b.c");
+            let spliced = frame_apply_delta(req_id, &p, base_version, new_version, &payload, mode);
+            let whole = frame_message(&Message::ApplyDelta {
+                req_id,
+                path: p.clone(),
+                base_version,
+                new_version,
+                delta: delta.clone(),
+                mode,
+            });
+            assert_eq!(spliced.as_slice(), &whole[..], "req_id={req_id} mode={mode:?}");
+        }
+    }
+
+    #[test]
+    fn delta_codec_round_trips() {
+        let delta = sample_delta();
+        let mut b = BytesMut::new();
+        put_delta(&mut b, &delta);
+        let mut r = b.freeze();
+        assert_eq!(get_delta(&mut r).unwrap(), delta);
+        assert!(!r.has_remaining());
     }
 
     #[test]

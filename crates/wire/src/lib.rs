@@ -39,6 +39,7 @@
 #![deny(missing_docs)]
 
 pub mod codec;
+pub mod delta;
 mod error;
 mod event;
 mod id;
@@ -47,6 +48,7 @@ mod state;
 mod value;
 
 pub use codec::SharedFrame;
+pub use delta::{DeltaError, EditOp, NodeEdit, NodePatch, StateDelta};
 pub use error::WireError;
 pub use event::{EventKind, UiEvent};
 pub use id::{GlobalObjectId, InstanceId, ObjectPath, UserId};

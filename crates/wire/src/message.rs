@@ -1,6 +1,6 @@
 use std::fmt;
 
-use crate::{GlobalObjectId, InstanceId, ObjectPath, StateNode, UiEvent, UserId};
+use crate::{GlobalObjectId, InstanceId, ObjectPath, StateDelta, StateNode, UiEvent, UserId};
 
 /// Access-right category of the server's three-valued permission tuples
 /// `(user, UI-state identifier, access right)` (§2.2).
@@ -328,6 +328,26 @@ pub enum Message {
         /// Reconciliation mode.
         mode: CopyMode,
     },
+    /// Server → destination instance: apply an attribute-level delta to
+    /// the object at `path`, provided the receiver's sync base for that
+    /// object still carries `base_version`; reply with
+    /// [`Message::StateApplied`]. On a version mismatch the receiver
+    /// replies with an error and the server falls back to a full
+    /// [`Message::ApplyState`] snapshot.
+    ApplyDelta {
+        /// Server-side transfer id.
+        req_id: u64,
+        /// Local destination object.
+        path: ObjectPath,
+        /// Content version of the sync base the delta was diffed against.
+        base_version: u64,
+        /// Content version of the state the delta reconstructs.
+        new_version: u64,
+        /// The attribute-level edits.
+        delta: StateDelta,
+        /// Reconciliation mode for applying the reconstructed state.
+        mode: CopyMode,
+    },
     /// Destination instance → server: state applied; `overwritten` is the
     /// destination's previous state, stored by the server as a historical
     /// UI state for undo (§2.2).
@@ -453,6 +473,7 @@ impl Message {
         "state-request",
         "state-reply",
         "apply-state",
+        "apply-delta",
         "state-applied",
         "undo-state",
         "redo-state",
@@ -496,6 +517,7 @@ impl Message {
             Message::StateRequest { .. } => "state-request",
             Message::StateReply { .. } => "state-reply",
             Message::ApplyState { .. } => "apply-state",
+            Message::ApplyDelta { .. } => "apply-delta",
             Message::StateApplied { .. } => "state-applied",
             Message::UndoState { .. } => "undo-state",
             Message::RedoState { .. } => "redo-state",

@@ -1,0 +1,292 @@
+//! Property-based tests for attribute-level state deltas: for arbitrary
+//! `StateNode` trees (including semantic payloads, child reorders,
+//! renames and duplicate child names) `apply(a, diff(a, b))` must
+//! reconstruct `b` exactly — and therefore re-encode byte-identically —
+//! and the delta codec must round-trip.
+
+use proptest::prelude::*;
+
+use cosoft_wire::delta::{apply, diff, state_version, version_of_encoded};
+use cosoft_wire::{codec, AttrName, CopyMode, Message, ObjectPath, StateNode, Value, WidgetKind};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-zA-Z0-9 _\\-]{0,16}".prop_map(Value::Text),
+        prop::collection::vec(any::<u8>(), 0..16).prop_map(Value::Bytes),
+        (any::<i32>(), any::<i32>()).prop_map(|(x, y)| Value::Point(x, y)),
+    ]
+}
+
+fn arb_attr_name() -> impl Strategy<Value = AttrName> {
+    prop_oneof![
+        Just(AttrName::Title),
+        Just(AttrName::Text),
+        Just(AttrName::ValueNum),
+        Just(AttrName::Selected),
+        "[a-z][a-z0-9_]{0,8}".prop_map(|s| AttrName::from_str_lossy(&s)),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = WidgetKind> {
+    prop_oneof![
+        Just(WidgetKind::Form),
+        Just(WidgetKind::Panel),
+        Just(WidgetKind::Label),
+        Just(WidgetKind::TextField),
+        "[a-z][a-z0-9_]{0,6}".prop_map(|s| WidgetKind::from_str_lossy(&s)),
+    ]
+}
+
+/// Arbitrary snapshot trees. Child names are drawn from a small pool on
+/// purpose so that independently generated trees overlap (exercising the
+/// recursive-match path) and duplicates occur (exercising the wholesale
+/// replace fallback).
+fn arb_state() -> impl Strategy<Value = StateNode> {
+    let leaf = (
+        arb_kind(),
+        "[a-e][0-2]{0,2}",
+        prop::collection::btree_map(arb_attr_name(), arb_value(), 0..4),
+        prop::collection::vec(any::<u8>(), 0..12),
+    )
+        .prop_map(|(kind, name, attrs, semantic)| {
+            let mut n = StateNode::new(kind, &name);
+            n.attrs = attrs;
+            n.semantic = semantic;
+            n
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            arb_kind(),
+            "[a-e][0-2]{0,2}",
+            prop::collection::btree_map(arb_attr_name(), arb_value(), 0..3),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(kind, name, attrs, children)| {
+                let mut n = StateNode::new(kind, &name);
+                n.attrs = attrs;
+                n.children = children;
+                n
+            })
+    })
+}
+
+/// One random edit applied to a tree, producing correlated (base, target)
+/// pairs: attr upsert, attr removal, semantic change, child reorder,
+/// child removal, child insertion — chosen by an opaque seed.
+fn mutate(mut s: StateNode, seed: u64, attr: AttrName, value: Value) -> StateNode {
+    // Walk to a pseudo-random node.
+    let mut node = &mut s;
+    let mut cursor = seed;
+    while !node.children.is_empty() && cursor & 1 == 1 {
+        let idx = ((cursor >> 1) as usize) % node.children.len();
+        node = &mut node.children[idx];
+        cursor >>= 3;
+    }
+    match (seed >> 32) % 6 {
+        0 => {
+            node.attrs.insert(attr, value);
+        }
+        1 => {
+            let key = node.attrs.keys().next().cloned();
+            if let Some(key) = key {
+                node.attrs.remove(&key);
+            }
+        }
+        2 => {
+            node.semantic.push((seed >> 8) as u8);
+        }
+        3 => {
+            node.children.reverse();
+        }
+        4 => {
+            if !node.children.is_empty() {
+                let idx = ((seed >> 16) as usize) % node.children.len();
+                node.children.remove(idx);
+            }
+        }
+        _ => {
+            node.children.push(
+                StateNode::new(WidgetKind::Button, &format!("n{}", seed % 97))
+                    .with_attr(attr, value),
+            );
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The core contract: diff then apply reconstructs the target for
+    /// arbitrary, independently generated tree pairs.
+    #[test]
+    fn diff_apply_reconstructs_arbitrary_pairs(a in arb_state(), b in arb_state()) {
+        let d = diff(&a, &b);
+        let rebuilt = apply(&a, &d).expect("delta of (a, b) must apply to a");
+        prop_assert_eq!(&rebuilt, &b);
+        // Byte-identical round trip: the reconstruction re-encodes to
+        // exactly the target's canonical encoding.
+        prop_assert_eq!(
+            codec::encode_state_shared(&rebuilt),
+            codec::encode_state_shared(&b)
+        );
+        prop_assert_eq!(state_version(&rebuilt), state_version(&b));
+    }
+
+    /// Correlated pairs: a chain of small mutations (attr upserts and
+    /// removals, semantic edits, child reorder/remove/insert) stays
+    /// reconstructible at every step.
+    #[test]
+    fn diff_apply_tracks_mutation_chains(
+        base in arb_state(),
+        seeds in prop::collection::vec(any::<u64>(), 1..6),
+        attr in arb_attr_name(),
+        value in arb_value(),
+    ) {
+        let mut prev = base;
+        for seed in seeds {
+            let next = mutate(prev.clone(), seed, attr.clone(), value.clone());
+            let d = diff(&prev, &next);
+            let rebuilt = apply(&prev, &d).expect("mutation delta must apply");
+            prop_assert_eq!(&rebuilt, &next);
+            prop_assert_eq!(
+                codec::encode_state_shared(&rebuilt),
+                codec::encode_state_shared(&next)
+            );
+            prev = next;
+        }
+    }
+
+    /// Self-diff is empty and applies as the identity.
+    #[test]
+    fn self_diff_is_empty(a in arb_state()) {
+        let d = diff(&a, &a);
+        prop_assert!(d.is_empty());
+        prop_assert_eq!(apply(&a, &d).expect("empty delta applies"), a);
+    }
+
+    /// The delta codec round-trips and leaves no trailing bytes.
+    #[test]
+    fn delta_codec_round_trips(a in arb_state(), b in arb_state()) {
+        let d = diff(&a, &b);
+        let mut buf = bytes::BytesMut::new();
+        codec::put_delta(&mut buf, &d);
+        let mut r = buf.freeze();
+        let back = codec::get_delta(&mut r).expect("delta decodes");
+        prop_assert_eq!(back, d);
+        prop_assert_eq!(r.len(), 0);
+    }
+
+    /// ApplyDelta messages round-trip through the message codec, and the
+    /// spliced (encode-once) framing is byte-identical to whole-message
+    /// framing — the fan-out path is indistinguishable on the wire.
+    #[test]
+    fn spliced_apply_delta_matches_whole_message(
+        a in arb_state(),
+        b in arb_state(),
+        req_id in any::<u64>(),
+        base_version in any::<u64>(),
+    ) {
+        let delta = diff(&a, &b);
+        let new_version = state_version(&b);
+        let path = ObjectPath::parse("root.panel").expect("valid");
+        let msg = Message::ApplyDelta {
+            req_id,
+            path: path.clone(),
+            base_version,
+            new_version,
+            delta: delta.clone(),
+            mode: CopyMode::FlexibleMatch,
+        };
+        let bytes = codec::encode_message(&msg);
+        prop_assert_eq!(codec::decode_message(&bytes).expect("decodes"), msg.clone());
+
+        let payload = codec::encode_delta_shared(&delta);
+        let frame = codec::frame_apply_delta(
+            req_id, &path, base_version, new_version, &payload, CopyMode::FlexibleMatch,
+        );
+        prop_assert_eq!(frame.as_slice(), codec::frame_message(&msg).as_slice());
+    }
+
+    /// Versions are content-derived: equal trees agree, and the
+    /// encoded-bytes fast path agrees with the tree-level fingerprint.
+    #[test]
+    fn versions_are_content_derived(a in arb_state()) {
+        prop_assert_eq!(state_version(&a), state_version(&a.clone()));
+        prop_assert_eq!(
+            state_version(&a),
+            version_of_encoded(&codec::encode_state_shared(&a))
+        );
+    }
+}
+
+/// The client-side acceptance rule for a delta leg, mirrored from
+/// `Session::apply_delta`: base version must match, the delta must
+/// apply, and the reconstruction must hash to the advertised version.
+fn client_accepts(
+    client_base: &StateNode,
+    assumed_base_version: u64,
+    new_version: u64,
+    d: &cosoft_wire::StateDelta,
+) -> Result<StateNode, ()> {
+    if state_version(client_base) != assumed_base_version {
+        return Err(());
+    }
+    let next = apply(client_base, d).map_err(|_| ())?;
+    if state_version(&next) != new_version {
+        return Err(());
+    }
+    Ok(next)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Divergence safety: a client holding *any* base — matching,
+    /// stale, or unrelated — either reconstructs the target exactly or
+    /// rejects the delta; after a rejection, the full-snapshot fallback
+    /// converges and re-primes a base that supports deltas again.
+    #[test]
+    fn divergent_base_falls_back_and_converges(
+        server_base in arb_state(),
+        client_base in arb_state(),
+        target in arb_state(),
+    ) {
+        let d = diff(&server_base, &target);
+        let new_version = state_version(&target);
+        match client_accepts(&client_base, state_version(&server_base), new_version, &d) {
+            Ok(next) => {
+                // Acceptance implies byte-exact convergence — the
+                // version check never lets a wrong state through.
+                prop_assert_eq!(
+                    codec::encode_state_shared(&next),
+                    codec::encode_state_shared(&target)
+                );
+            }
+            Err(()) => {
+                // Fallback: the server re-sends `target` in full. The
+                // snapshot converges by construction; the interesting
+                // claim is that the re-primed base chain works — the
+                // *next* delta (target → server_base, say) applies.
+                let reprimed = target.clone();
+                let d2 = diff(&reprimed, &server_base);
+                let rebuilt = client_accepts(
+                    &reprimed,
+                    state_version(&reprimed),
+                    state_version(&server_base),
+                    &d2,
+                );
+                prop_assert_eq!(rebuilt, Ok(server_base.clone()));
+            }
+        }
+        // A matching base always accepts: divergence is the only
+        // reason a delta leg can fail.
+        let matching = client_accepts(
+            &server_base, state_version(&server_base), new_version, &d,
+        );
+        prop_assert_eq!(matching, Ok(target));
+    }
+}

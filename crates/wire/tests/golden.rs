@@ -12,8 +12,9 @@
 use std::collections::BTreeSet;
 
 use cosoft_wire::{
-    codec, AccessRight, AttrName, CopyMode, EventKind, GlobalObjectId, InstanceId, InstanceInfo,
-    Message, ObjectPath, StateNode, Target, UiEvent, UserId, Value, WidgetKind,
+    codec, AccessRight, AttrName, CopyMode, EditOp, EventKind, GlobalObjectId, InstanceId,
+    InstanceInfo, Message, NodeEdit, NodePatch, ObjectPath, StateDelta, StateNode, Target, UiEvent,
+    UserId, Value, WidgetKind,
 };
 
 fn gid(i: u64, p: &str) -> GlobalObjectId {
@@ -194,6 +195,35 @@ fn golden_table() -> Vec<(Message, Vec<u8>)> {
             vec![0x1f, 0x06, 0x63, 0x6f, 0x75, 0x70, 0x6c, 0x65, 0x03, 0x62, 0x61, 0x64],
         ),
         (M::Busy { retry_after_ms: 300 }, vec![0x25, 0xac, 0x02]),
+        (
+            M::ApplyDelta {
+                req_id: 5,
+                path: path("f.l"),
+                base_version: 9,
+                new_version: 300,
+                delta: StateDelta {
+                    edits: vec![NodeEdit {
+                        path: vec![],
+                        op: EditOp::Patch(NodePatch {
+                            kind: None,
+                            upserts: [(AttrName::Text, Value::Text("hi".into()))]
+                                .into_iter()
+                                .collect(),
+                            removals: vec![],
+                            semantic: None,
+                        }),
+                    }],
+                },
+                mode: CopyMode::FlexibleMatch,
+            },
+            // tag ‖ req_id ‖ path "f.l" ‖ base 9 ‖ new 300 (LEB128 0xAC
+            // 0x02) ‖ 1 edit: empty path, Patch (no kind, 1 upsert
+            // "text" → Text "hi", 0 removals, no semantic) ‖ mode.
+            vec![
+                0x26, 0x05, 0x02, 0x01, 0x66, 0x01, 0x6c, 0x09, 0xac, 0x02, 0x01, 0x00, 0x00, 0x00,
+                0x01, 0x04, 0x74, 0x65, 0x78, 0x74, 0x03, 0x02, 0x68, 0x69, 0x00, 0x00, 0x02,
+            ],
+        ),
     ]
 }
 

@@ -54,3 +54,8 @@ cargo test -q --features fault-injection --test tcp_chaos
 # asserted by the bench's own unit tests, series into BENCH_overload.json.
 cargo test -q -p cosoft-bench --lib overload
 cargo run -q --release -p cosoft-bench --bin overload -- --smoke
+# Delta-sync smoke: a single-attribute change in a depth-6 tree must
+# travel in ≤25% of the full-snapshot bytes (gated by the bench's own
+# unit tests), every depth series into BENCH_deltasync.json.
+cargo test -q -p cosoft-bench --lib deltasync
+cargo run -q --release -p cosoft-bench --bin deltasync -- --smoke
